@@ -1,0 +1,94 @@
+// Command datagen runs the paper's data-generation flow (Fig. 4) for one
+// benchmark configuration and writes the artifacts to a directory: the
+// partitioned M3D netlist, the TDF pattern statistics, and a set of
+// fault-injected failure logs.
+//
+// Usage:
+//
+//	datagen -design aes -config syn1 -out ./data/aes -samples 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+	"repro/internal/failurelog"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+)
+
+func main() {
+	design := flag.String("design", "aes", "benchmark: aes, tate, netcard, leon3mp")
+	config := flag.String("config", "syn1", "configuration: syn1, tpi, syn2, par, rand")
+	out := flag.String("out", "data", "output directory")
+	samples := flag.Int("samples", 20, "failure logs to generate")
+	compacted := flag.Bool("compacted", false, "use EDT response compaction")
+	format := flag.String("format", "bench", "netlist output format: bench or verilog")
+	scale := flag.Float64("scale", 1.0, "design size multiplier")
+	seed := flag.Int64("seed", 1, "global seed")
+	flag.Parse()
+
+	p, ok := gen.ProfileByName(*design)
+	if !ok {
+		fatal("unknown design %q", *design)
+	}
+	if *scale != 1.0 {
+		p = p.Scaled(*scale)
+	}
+	b, err := dataset.Build(p, dataset.ConfigName(*config), dataset.BuildOptions{Seed: *seed})
+	if err != nil {
+		fatal("build: %v", err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal("mkdir: %v", err)
+	}
+
+	ext := ".nl"
+	if *format == "verilog" {
+		ext = ".v"
+	}
+	nlPath := filepath.Join(*out, b.Name+ext)
+	f, err := os.Create(nlPath)
+	if err != nil {
+		fatal("create: %v", err)
+	}
+	switch *format {
+	case "verilog":
+		err = netlist.WriteVerilog(f, b.Netlist)
+	case "bench":
+		err = netlist.Write(f, b.Netlist)
+	default:
+		fatal("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal("write netlist: %v", err)
+	}
+	f.Close()
+
+	st, _ := b.Netlist.ComputeStats()
+	fmt.Printf("%s: %d gates, %d MIVs, %d flops, %d patterns, FC %.1f%%\n",
+		b.Name, st.Gates, st.MIVs, st.FFs, b.ATPG.Patterns.N, b.ATPG.Coverage()*100)
+	fmt.Printf("netlist: %s\n", nlPath)
+
+	ss := b.Generate(dataset.SampleOptions{Count: *samples, Compacted: *compacted, Seed: *seed + 5})
+	for i, smp := range ss {
+		logPath := filepath.Join(*out, fmt.Sprintf("%s_fail_%03d.log", b.Name, i))
+		lf, err := os.Create(logPath)
+		if err != nil {
+			fatal("create log: %v", err)
+		}
+		if err := failurelog.Write(lf, smp.Log); err != nil {
+			fatal("write log: %v", err)
+		}
+		lf.Close()
+	}
+	fmt.Printf("wrote %d failure logs to %s\n", len(ss), *out)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "datagen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment prints the same rows/series the paper
+// reports; see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	experiments -run table5            # one experiment
+//	experiments -run all               # the whole evaluation
+//	experiments -run table6 -scale 0.5 -train 120 -test 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: "+strings.Join(experiment.Experiments(), ", ")+", or all")
+	scale := flag.Float64("scale", 1.0, "design size multiplier")
+	train := flag.Int("train", 240, "training samples per design")
+	test := flag.Int("test", 100, "test samples per configuration")
+	seed := flag.Int64("seed", 1, "global seed")
+	designs := flag.String("designs", "aes,tate,netcard,leon3mp", "comma-separated designs")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiment.Experiments() {
+			fmt.Println(e)
+		}
+		return
+	}
+
+	s := experiment.NewSuite(os.Stdout)
+	s.Scale = *scale
+	s.TrainCount = *train
+	s.TestCount = *test
+	s.Seed = *seed
+	s.Designs = strings.Split(*designs, ",")
+	if err := s.Run(*run); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,123 @@
+// Command m3ddiag is the end-to-end diagnosis CLI: it builds (or rebuilds)
+// a benchmark configuration, trains the GNN framework (or loads a saved
+// one), and diagnoses failure logs, printing the pruned and reordered
+// report with the tier-level prediction.
+//
+// Usage:
+//
+//	m3ddiag -design aes -train-samples 200 -diagnose-samples 5
+//	m3ddiag -design aes -save-model aes.fw
+//	m3ddiag -design aes -load-model aes.fw -diagnose-samples 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gen"
+)
+
+func main() {
+	design := flag.String("design", "aes", "benchmark: aes, tate, netcard, leon3mp")
+	config := flag.String("config", "syn1", "configuration to diagnose")
+	scale := flag.Float64("scale", 1.0, "design size multiplier")
+	seed := flag.Int64("seed", 1, "global seed")
+	trainSamples := flag.Int("train-samples", 200, "training set size")
+	diagSamples := flag.Int("diagnose-samples", 5, "injected chips to diagnose")
+	compacted := flag.Bool("compacted", false, "EDT response compaction")
+	saveModel := flag.String("save-model", "", "write the trained framework to this file")
+	loadModel := flag.String("load-model", "", "load a framework instead of training")
+	flag.Parse()
+
+	p, ok := gen.ProfileByName(*design)
+	if !ok {
+		fatal("unknown design %q", *design)
+	}
+	if *scale != 1.0 {
+		p = p.Scaled(*scale)
+	}
+	fmt.Printf("building %s/%s ...\n", *design, *config)
+	b, err := dataset.Build(p, dataset.ConfigName(*config), dataset.BuildOptions{Seed: *seed})
+	if err != nil {
+		fatal("build: %v", err)
+	}
+	st, _ := b.Netlist.ComputeStats()
+	fmt.Printf("%d gates, %d MIVs, %d patterns, TDF coverage %.1f%%\n",
+		st.Gates, st.MIVs, b.ATPG.Patterns.N, b.ATPG.Coverage()*100)
+
+	var fw *core.Framework
+	if *loadModel != "" {
+		f, err := os.Open(*loadModel)
+		if err != nil {
+			fatal("open model: %v", err)
+		}
+		fw, err = core.Load(f)
+		f.Close()
+		if err != nil {
+			fatal("load model: %v", err)
+		}
+		fmt.Printf("loaded framework from %s (T_P=%.3f)\n", *loadModel, fw.TP)
+	} else {
+		fmt.Printf("training on %d samples ...\n", *trainSamples)
+		train := b.Generate(dataset.SampleOptions{
+			Count: *trainSamples, Seed: *seed + 2, Compacted: *compacted, MIVFraction: 0.2,
+		})
+		fw = core.Train(train, core.TrainOptions{Seed: *seed + 3})
+		fmt.Printf("trained (T_P=%.3f)\n", fw.TP)
+	}
+	if *saveModel != "" {
+		f, err := os.Create(*saveModel)
+		if err != nil {
+			fatal("create model: %v", err)
+		}
+		if err := fw.Save(f); err != nil {
+			fatal("save model: %v", err)
+		}
+		f.Close()
+		fmt.Printf("saved framework to %s\n", *saveModel)
+	}
+
+	test := b.Generate(dataset.SampleOptions{
+		Count: *diagSamples, Seed: *seed + 9, Compacted: *compacted, MIVFraction: 0.2,
+	})
+	for i, smp := range test {
+		rep, out := fw.Diagnose(b, smp.Log)
+		tier := "bottom"
+		if out.PredictedTier == 1 {
+			tier = "top"
+		}
+		action := "reordered"
+		if out.Pruned {
+			action = "pruned"
+		}
+		fmt.Printf("\nchip %d: injected %v, %d failing bits\n", i, smp.Faults, len(smp.Log.Fails))
+		fmt.Printf("  predicted faulty tier: %s (confidence %.3f, %s)\n", tier, out.Confidence, action)
+		if len(out.FaultyMIVs) > 0 {
+			fmt.Printf("  suspected faulty MIVs: %v\n", out.FaultyMIVs)
+		}
+		fmt.Printf("  ATPG report: %d candidates (hit at %d); final report: %d candidates (hit at %d)\n",
+			rep.Resolution(), rep.FirstHit(b.Netlist, smp.Faults),
+			out.Report.Resolution(), out.Report.FirstHit(b.Netlist, smp.Faults))
+		for r, c := range out.Report.Candidates {
+			if r >= 5 {
+				fmt.Printf("    ... %d more\n", out.Report.Resolution()-5)
+				break
+			}
+			g := b.Netlist.Gates[c.Fault.SiteGate(b.Netlist)]
+			kind := "gate"
+			if g.IsMIV {
+				kind = "MIV"
+			}
+			fmt.Printf("    #%d %s %s (%s, tier %d) score %.1f [TFSF %d / TFSP %d / TPSF %d]\n",
+				r+1, c.Fault, g.Name, kind, g.Tier, c.Score, c.TFSF, c.TFSP, c.TPSF)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "m3ddiag: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Compression: diagnosis under EDT-style response compaction. The XOR
+// space compactor folds up to 20 scan chains into one output channel, so a
+// failing tester bit no longer identifies the failing scan cell — the
+// candidate space widens and reports degrade, yet the framework keeps
+// working with no extra hardware (paper Tables VII/VIII).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/mat"
+)
+
+func main() {
+	profile, _ := gen.ProfileByName("tate")
+	profile = profile.Scaled(0.2)
+	bundle, err := dataset.Build(profile, dataset.Syn1, dataset.BuildOptions{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d scan chains -> %d EDT channels (%dx compaction), %d patterns\n\n",
+		bundle.Name, bundle.Arch.NumChains(), bundle.Arch.Channels,
+		bundle.Arch.Ratio, bundle.ATPG.Patterns.N)
+
+	for _, compacted := range []bool{false, true} {
+		mode := "bypass (uncompacted)"
+		if compacted {
+			mode = "EDT compacted"
+		}
+		train := bundle.Generate(dataset.SampleOptions{
+			Count: 100, Seed: 2, Compacted: compacted, MIVFraction: 0.2,
+		})
+		fw := core.Train(train, core.TrainOptions{Seed: 3})
+		test := bundle.Generate(dataset.SampleOptions{
+			Count: 50, Seed: 9, Compacted: compacted, MIVFraction: 0.2,
+		})
+		var resA, resF []float64
+		accA, accF, tierOK, tierN := 0, 0, 0, 0
+		var failBits []float64
+		for _, chip := range test {
+			failBits = append(failBits, float64(len(chip.Log.Fails)))
+			rep, out := fw.Diagnose(bundle, chip.Log)
+			resA = append(resA, float64(rep.Resolution()))
+			resF = append(resF, float64(out.Report.Resolution()))
+			if rep.Accurate(bundle.Netlist, chip.Faults) {
+				accA++
+			}
+			if out.Report.Accurate(bundle.Netlist, chip.Faults) {
+				accF++
+			}
+			if chip.TierLabel >= 0 {
+				tierN++
+				if out.PredictedTier == chip.TierLabel {
+					tierOK++
+				}
+			}
+		}
+		mA, _ := mat.MeanStd(resA)
+		mF, _ := mat.MeanStd(resF)
+		mB, _ := mat.MeanStd(failBits)
+		fmt.Printf("%s:\n", mode)
+		fmt.Printf("  mean failing bits per chip:   %.1f\n", mB)
+		fmt.Printf("  ATPG accuracy / resolution:   %d/%d, %.1f\n", accA, len(test), mA)
+		fmt.Printf("  framework accuracy / resol.:  %d/%d, %.1f\n", accF, len(test), mF)
+		fmt.Printf("  tier-level localization:      %d/%d\n\n", tierOK, tierN)
+	}
+	fmt.Println("=> compaction blurs observation but the GNN framework still localizes")
+	fmt.Println("   the faulty tier, with no bypass pins or extra test data required.")
+}

@@ -1,0 +1,62 @@
+// Yield learning: the paper's Section VII-A scenario. An immature M3D
+// process causes systematic delay defects — several TDFs concentrated in
+// one device tier. The foundry needs fast, reliable tier-level feedback
+// across a lot of failing chips, even when the per-chip diagnosis report
+// cannot pin down every individual defect.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gen"
+)
+
+func main() {
+	profile, _ := gen.ProfileByName("netcard")
+	profile = profile.Scaled(0.2)
+	bundle, err := dataset.Build(profile, dataset.Syn1, dataset.BuildOptions{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("lot simulation on %s (%d gates)\n", bundle.Name, bundle.Netlist.NumLogicGates())
+
+	// Train on multi-fault samples: each failing chip carries 2-5 TDFs in
+	// a single tier (tier-specific systematic defects).
+	train := bundle.Generate(dataset.SampleOptions{Count: 120, Seed: 2, MultiFault: true})
+	fw := core.Train(train, core.TrainOptions{Seed: 3})
+
+	// A "lot" of failing chips, all from a process that damages the top
+	// tier: simulate by filtering multi-fault samples to top-tier labels.
+	lot := bundle.Generate(dataset.SampleOptions{Count: 120, Seed: 9, MultiFault: true})
+	pol := fw.PolicyFor(bundle)
+	pol.DisableMIV = true
+
+	votes := map[int]int{}
+	correct, total := 0, 0
+	accATPG := 0
+	for _, chip := range lot {
+		if chip.TierLabel != 1 {
+			continue // keep only the top-tier systematic-defect chips
+		}
+		total++
+		rep := bundle.Diag.DiagnoseMulti(chip.Log)
+		if rep.Accurate(bundle.Netlist, chip.Faults) {
+			accATPG++
+		}
+		sg := bundle.Graph.Backtrace(chip.Log, bundle.Diag.Result())
+		out := pol.Apply(rep, sg)
+		votes[out.PredictedTier]++
+		if out.PredictedTier == 1 {
+			correct++
+		}
+	}
+	fmt.Printf("\nlot of %d failing chips, all defects in the TOP tier\n", total)
+	fmt.Printf("per-chip full diagnosis accuracy (every defect found): %d/%d — hard with multiple faults\n",
+		accATPG, total)
+	fmt.Printf("tier votes from Tier-predictor: top=%d bottom=%d\n", votes[1], votes[0])
+	fmt.Printf("tier-level localization: %.1f%%\n", float64(correct)/float64(total)*100)
+	fmt.Println("\n=> the foundry can review the top-tier process steps immediately,")
+	fmt.Println("   without waiting for per-chip physical failure analysis.")
+}

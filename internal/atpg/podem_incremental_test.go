@@ -1,0 +1,71 @@
+package atpg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/faultsim"
+	"repro/internal/gen"
+)
+
+// TestIncrementalImplyMatchesFull assigns random values to random decision
+// variables and checks that incremental propagation leaves the three value
+// planes identical to a full re-evaluation.
+func TestIncrementalImplyMatchesFull(t *testing.T) {
+	p, _ := gen.ProfileByName("aes")
+	n := gen.Generate(p.Scaled(0.04), 2)
+	if err := n.Levelize(); err != nil {
+		t.Fatal(err)
+	}
+	faults := faultsim.AllFaults(n)
+
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pd := newPodem(n, 10)
+		f := faults[rng.Intn(len(faults))]
+		for i := range pd.piVal {
+			pd.piVal[i] = vX
+		}
+		for i := range pd.ffVal {
+			pd.ffVal[i] = vX
+		}
+		pd.imply(f)
+		cone := pd.siteCone(f)
+		nvars := len(n.PIs) + len(n.FFs)
+		for step := 0; step < 25; step++ {
+			v := rng.Intn(nvars)
+			val := byte(rng.Intn(3)) // 0, 1, or X
+			if v < len(n.PIs) {
+				pd.piVal[v] = val
+			} else {
+				pd.ffVal[v-len(n.PIs)] = val
+			}
+			pd.propagate(v, f)
+			pd.refreshSiteCone(cone, f)
+		}
+		// Reference full evaluation with the same assignments.
+		ref := newPodem(n, 10)
+		copy(ref.piVal, pd.piVal)
+		copy(ref.ffVal, pd.ffVal)
+		ref.imply(f)
+		for id := range n.Gates {
+			if pd.f1[id] != ref.f1[id] {
+				t.Logf("seed %d fault %v: f1[%d] inc %d full %d", seed, f, id, pd.f1[id], ref.f1[id])
+				return false
+			}
+			if pd.g2[id] != ref.g2[id] {
+				t.Logf("seed %d fault %v: g2[%d] inc %d full %d", seed, f, id, pd.g2[id], ref.g2[id])
+				return false
+			}
+			if pd.b2[id] != ref.b2[id] {
+				t.Logf("seed %d fault %v: b2[%d] inc %d full %d", seed, f, id, pd.b2[id], ref.b2[id])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,34 @@
+package atpg
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/partition"
+)
+
+func TestScaleATPG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale measurement")
+	}
+	for _, name := range []string{"aes", "tate", "netcard", "leon3mp"} {
+		p, _ := gen.ProfileByName(name)
+		t0 := time.Now()
+		n := gen.Generate(p, 1)
+		m3d, err := partition.Partition(n, partition.FM, partition.Options{Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tGen := time.Since(t0)
+		t0 = time.Now()
+		res, err := Generate(m3d, Options{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, _ := m3d.ComputeStats()
+		t.Logf("%s: gates=%d ffs=%d mivs=%d depth=%d | FC=%.3f pats=%d (r%d+d%d) | gen=%v atpg=%v",
+			name, st.Gates, st.FFs, st.MIVs, st.Depth, res.Coverage(), res.Patterns.N,
+			res.RandomPatterns, res.DeterministicPatterns, tGen, time.Since(t0))
+	}
+}

@@ -1,0 +1,190 @@
+// Package baseline implements the 2-D diagnostic-resolution-enhancement
+// baseline the paper compares against (Xue et al., PADRE [11]). The paper
+// uses only the first-level classifier of that framework: a learned
+// per-candidate filter that scores each diagnosis-report candidate from
+// tester-match features and removes candidates predicted to be
+// non-defects, with the decision threshold chosen conservatively so that
+// diagnosis accuracy is essentially preserved.
+//
+// The baseline has no notion of M3D tiers — exactly why the paper shows it
+// cannot deliver tier-level localization on large designs.
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/diagnosis"
+	"repro/internal/netlist"
+)
+
+// FeatureDim is the per-candidate feature width.
+const FeatureDim = 7
+
+// CandidateFeatures extracts the learned filter's input for one candidate
+// in a report: tester-match ratios, rank context, and site topology.
+func CandidateFeatures(c diagnosis.Candidate, rank, reportLen int, best float64, n *netlist.Netlist) []float64 {
+	obs := float64(c.TFSF + c.TFSP)
+	pred := float64(c.TFSF + c.TPSF)
+	f := make([]float64, FeatureDim)
+	if obs > 0 {
+		f[0] = float64(c.TFSF) / obs // explained fraction
+		f[1] = float64(c.TFSP) / obs // unexplained fraction
+	}
+	if pred > 0 {
+		f[2] = float64(c.TPSF) / pred // misprediction fraction
+	}
+	if best != 0 {
+		f[3] = c.Score / best // relative score
+	}
+	f[4] = float64(rank) / float64(reportLen) // normalized rank
+	g := n.Gates[c.Fault.SiteGate(n)]
+	f[5] = math.Log1p(float64(len(g.Fanout)))
+	f[6] = math.Log1p(float64(g.Level))
+	return f
+}
+
+// Model is a logistic-regression first-level candidate classifier.
+type Model struct {
+	W []float64
+	B float64
+	// Threshold on the defect probability below which a candidate is
+	// filtered out, calibrated during training for ~zero accuracy loss.
+	Threshold float64
+}
+
+// Sample is one labeled training candidate.
+type Sample struct {
+	Features []float64
+	IsDefect bool
+}
+
+// Train fits the logistic regression by gradient descent and calibrates
+// the filtering threshold to the q-quantile of defect-candidate scores
+// (q=0.01 retains 99% of true defects, the paper's accuracy-first choice).
+func Train(samples []Sample, epochs int, lr float64, q float64) *Model {
+	m := &Model{W: make([]float64, FeatureDim)}
+	if len(samples) == 0 {
+		return m
+	}
+	if epochs == 0 {
+		epochs = 60
+	}
+	if lr == 0 {
+		lr = 0.3
+	}
+	// Class weighting: defects are rare among candidates.
+	pos := 0
+	for _, s := range samples {
+		if s.IsDefect {
+			pos++
+		}
+	}
+	wPos := 1.0
+	if pos > 0 && pos < len(samples) {
+		wPos = float64(len(samples)-pos) / float64(pos)
+		if wPos > 30 {
+			wPos = 30
+		}
+	}
+	for ep := 0; ep < epochs; ep++ {
+		gw := make([]float64, FeatureDim)
+		gb := 0.0
+		for _, s := range samples {
+			p := m.Prob(s.Features)
+			y, w := 0.0, 1.0
+			if s.IsDefect {
+				y, w = 1.0, wPos
+			}
+			d := w * (p - y)
+			for j, x := range s.Features {
+				gw[j] += d * x
+			}
+			gb += d
+		}
+		inv := lr / float64(len(samples))
+		for j := range m.W {
+			m.W[j] -= inv * gw[j]
+		}
+		m.B -= inv * gb
+	}
+	// Calibrate threshold.
+	var defectProbs []float64
+	for _, s := range samples {
+		if s.IsDefect {
+			defectProbs = append(defectProbs, m.Prob(s.Features))
+		}
+	}
+	if len(defectProbs) == 0 {
+		m.Threshold = 0
+		return m
+	}
+	sort.Float64s(defectProbs)
+	idx := int(q * float64(len(defectProbs)))
+	if idx >= len(defectProbs) {
+		idx = len(defectProbs) - 1
+	}
+	m.Threshold = defectProbs[idx] * 0.95
+	return m
+}
+
+// Prob returns the defect probability of a candidate feature vector.
+func (m *Model) Prob(f []float64) float64 {
+	z := m.B
+	for j, x := range f {
+		z += m.W[j] * x
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// Apply filters and reorders a diagnosis report: candidates scoring below
+// the calibrated threshold are removed (at least the single best-scoring
+// candidate always survives) and survivors are re-ranked by defect
+// probability.
+func (m *Model) Apply(rep *diagnosis.Report, n *netlist.Netlist) *diagnosis.Report {
+	if len(rep.Candidates) == 0 {
+		return rep
+	}
+	best := rep.Candidates[0].Score
+	type scored struct {
+		c diagnosis.Candidate
+		p float64
+	}
+	all := make([]scored, len(rep.Candidates))
+	for i, c := range rep.Candidates {
+		f := CandidateFeatures(c, i, len(rep.Candidates), best, n)
+		all[i] = scored{c, m.Prob(f)}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].p > all[j].p })
+	out := &diagnosis.Report{Design: rep.Design, Compacted: rep.Compacted}
+	for i, s := range all {
+		if i > 0 && s.p < m.Threshold {
+			continue
+		}
+		out.Candidates = append(out.Candidates, s.c)
+	}
+	return out
+}
+
+// TierLocalized reports whether every candidate in the report sits in one
+// tier — the paper's criterion for counting a baseline report as
+// localized at the tier level. MIV candidates inherit their driver's tier.
+func TierLocalized(rep *diagnosis.Report, n *netlist.Netlist) bool {
+	if len(rep.Candidates) == 0 {
+		return false
+	}
+	tierOf := func(gate int) int8 {
+		g := n.Gates[gate]
+		if g.IsMIV {
+			g = n.Gates[g.Fanin[0]]
+		}
+		return g.Tier
+	}
+	first := tierOf(rep.Candidates[0].Fault.SiteGate(n))
+	for _, c := range rep.Candidates[1:] {
+		if tierOf(c.Fault.SiteGate(n)) != first {
+			return false
+		}
+	}
+	return true
+}

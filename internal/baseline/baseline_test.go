@@ -1,0 +1,159 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/diagnosis"
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+)
+
+func testNetlist(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	n := netlist.New("t")
+	a := n.AddGate("a", netlist.Input)
+	prev := a
+	for i := 0; i < 10; i++ {
+		prev = n.AddGate("", netlist.Not, prev)
+		n.Gates[prev].Tier = netlist.TierBottom
+		if i >= 5 {
+			n.Gates[prev].Tier = netlist.TierTop
+		}
+	}
+	n.AddGate("o", netlist.Output, prev)
+	if err := n.Levelize(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func mkCand(gate, tfsf, tfsp, tpsf int) diagnosis.Candidate {
+	return diagnosis.Candidate{
+		Fault: faultsim.Fault{Gate: gate, Pin: faultsim.OutputPin},
+		TFSF:  tfsf, TFSP: tfsp, TPSF: tpsf,
+		Score: float64(tfsf) - float64(tfsp) - 0.4*float64(tpsf),
+	}
+}
+
+// synthDataset builds candidates where defects have high explained
+// fraction and non-defects don't.
+func synthDataset(n *netlist.Netlist, count int, seed int64) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Sample
+	for i := 0; i < count; i++ {
+		isDefect := i%5 == 0
+		var c diagnosis.Candidate
+		if isDefect {
+			c = mkCand(1+rng.Intn(10), 10, rng.Intn(2), rng.Intn(2))
+		} else {
+			c = mkCand(1+rng.Intn(10), 2+rng.Intn(4), 4+rng.Intn(6), 3+rng.Intn(4))
+		}
+		out = append(out, Sample{
+			Features: CandidateFeatures(c, rng.Intn(10), 10, 10, n),
+			IsDefect: isDefect,
+		})
+	}
+	return out
+}
+
+func TestTrainSeparates(t *testing.T) {
+	n := testNetlist(t)
+	train := synthDataset(n, 400, 1)
+	m := Train(train, 0, 0, 0.01)
+	// Defects must score above non-defects on held-out data.
+	test := synthDataset(n, 100, 2)
+	var defMin, nonMax float64 = 1, 0
+	for _, s := range test {
+		p := m.Prob(s.Features)
+		if s.IsDefect && p < defMin {
+			defMin = p
+		}
+		if !s.IsDefect && p > nonMax {
+			nonMax = p
+		}
+	}
+	if defMin <= 0.5 {
+		t.Fatalf("defect min prob %.3f too low", defMin)
+	}
+	if nonMax >= defMin {
+		t.Fatalf("overlap: nonMax %.3f >= defMin %.3f", nonMax, defMin)
+	}
+}
+
+func TestApplyFiltersAndKeepsBest(t *testing.T) {
+	n := testNetlist(t)
+	m := Train(synthDataset(n, 400, 3), 0, 0, 0.01)
+	rep := &diagnosis.Report{Candidates: []diagnosis.Candidate{
+		mkCand(1, 10, 0, 0), // defect-like
+		mkCand(2, 3, 8, 5),  // noise
+		mkCand(3, 2, 9, 6),  // noise
+	}}
+	out := m.Apply(rep, n)
+	if len(out.Candidates) == 0 {
+		t.Fatal("empty filtered report")
+	}
+	if out.Candidates[0].Fault.Gate != 1 {
+		t.Fatal("defect-like candidate should rank first")
+	}
+	if len(out.Candidates) >= len(rep.Candidates) {
+		t.Fatal("nothing filtered")
+	}
+}
+
+func TestApplyAlwaysKeepsTopCandidate(t *testing.T) {
+	n := testNetlist(t)
+	m := &Model{W: make([]float64, FeatureDim), Threshold: 0.99}
+	rep := &diagnosis.Report{Candidates: []diagnosis.Candidate{mkCand(1, 1, 9, 9)}}
+	out := m.Apply(rep, n)
+	if len(out.Candidates) != 1 {
+		t.Fatal("top candidate must survive")
+	}
+}
+
+func TestTierLocalized(t *testing.T) {
+	n := testNetlist(t)
+	bottomGate, topGate := -1, -1
+	for _, g := range n.Gates {
+		if g.Tier == netlist.TierBottom && g.Type == netlist.Not {
+			bottomGate = g.ID
+		}
+		if g.Tier == netlist.TierTop && g.Type == netlist.Not {
+			topGate = g.ID
+		}
+	}
+	same := &diagnosis.Report{Candidates: []diagnosis.Candidate{
+		mkCand(bottomGate, 1, 0, 0), mkCand(bottomGate, 1, 0, 0),
+	}}
+	if !TierLocalized(same, n) {
+		t.Fatal("single-tier report not localized")
+	}
+	mixed := &diagnosis.Report{Candidates: []diagnosis.Candidate{
+		mkCand(bottomGate, 1, 0, 0), mkCand(topGate, 1, 0, 0),
+	}}
+	if TierLocalized(mixed, n) {
+		t.Fatal("mixed-tier report localized")
+	}
+	if TierLocalized(&diagnosis.Report{}, n) {
+		t.Fatal("empty report localized")
+	}
+}
+
+func TestTrainEmpty(t *testing.T) {
+	m := Train(nil, 0, 0, 0.01)
+	if m == nil {
+		t.Fatal("nil model")
+	}
+}
+
+func TestCandidateFeatureRanges(t *testing.T) {
+	n := testNetlist(t)
+	c := mkCand(2, 5, 5, 5)
+	f := CandidateFeatures(c, 3, 10, 10, n)
+	if len(f) != FeatureDim {
+		t.Fatalf("feature dim %d", len(f))
+	}
+	if f[0] != 0.5 || f[1] != 0.5 || f[2] != 0.5 {
+		t.Fatalf("ratio features wrong: %v", f)
+	}
+}

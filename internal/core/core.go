@@ -1,0 +1,227 @@
+// Package core assembles the paper's primary contribution: the GNN-based
+// tier-level delay-fault localization framework for monolithic 3-D ICs.
+// A Framework bundles the three trained models — Tier-predictor,
+// MIV-pinpointer, and the transfer-learned pruning Classifier — together
+// with the PR-curve threshold T_P, and deploys them as the candidate
+// pruning and reordering policy on ATPG diagnosis reports.
+//
+// Typical use:
+//
+//	bundle, _ := dataset.Build(profile, dataset.Syn1, dataset.BuildOptions{Seed: 1})
+//	train := bundle.Generate(dataset.SampleOptions{Count: 400, Seed: 2})
+//	fw := core.Train(train, core.TrainOptions{Seed: 3})
+//	outcome := fw.Diagnose(bundle, failureLog)
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/diagnosis"
+	"repro/internal/failurelog"
+	"repro/internal/gnn"
+	"repro/internal/policy"
+)
+
+// Framework is the trained diagnosis framework.
+type Framework struct {
+	Tier *gnn.TierPredictor
+	MIV  *gnn.MIVPinpointer
+	Cls  *gnn.Classifier
+	// TP is the classification threshold derived from the training PR
+	// curve at the precision target.
+	TP float64
+}
+
+// TrainOptions configures framework training.
+type TrainOptions struct {
+	Seed int64
+	// Epochs for each model; default 30.
+	Epochs int
+	// PrecisionTarget for T_P selection; default 0.99 (the paper's <1%
+	// accuracy-loss budget).
+	PrecisionTarget float64
+	// SkipClassifier trains without the prune/reorder Classifier
+	// (high-confidence predictions then always prune).
+	SkipClassifier bool
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Epochs == 0 {
+		o.Epochs = 30
+	}
+	if o.PrecisionTarget == 0 {
+		o.PrecisionTarget = 0.99
+	}
+	return o
+}
+
+// Train fits the framework on labeled samples (typically Syn-1 plus
+// randomly partitioned variants for transferability, Section IV).
+func Train(samples []dataset.Sample, opt TrainOptions) *Framework {
+	opt = opt.withDefaults()
+	// Tier-predictor: gate-fault samples carry tier labels; the output
+	// vector is sized to however many tiers the samples cover.
+	numTiers := 2
+	var tierSamples []gnn.GraphSample
+	for _, s := range samples {
+		if s.TierLabel < 0 {
+			continue
+		}
+		if s.TierLabel+1 > numTiers {
+			numTiers = s.TierLabel + 1
+		}
+		tierSamples = append(tierSamples, gnn.GraphSample{SG: s.SG, Label: s.TierLabel})
+	}
+	fw := &Framework{
+		Tier: gnn.NewTierPredictorK(opt.Seed, numTiers),
+		MIV:  gnn.NewMIVPinpointer(opt.Seed + 1),
+	}
+	fw.Tier.Train(tierSamples, gnn.TrainConfig{
+		Epochs: opt.Epochs, Seed: opt.Seed + 2, FitScaler: true,
+	})
+
+	// T_P from the training PR curve (Section V-B).
+	var conf []float64
+	var correct []bool
+	for _, s := range tierSamples {
+		tier, c := fw.Tier.PredictTier(s.SG)
+		conf = append(conf, c)
+		correct = append(correct, tier == s.Label)
+	}
+	fw.TP = policy.DeriveTP(conf, correct, opt.PrecisionTarget)
+
+	// Classifier on Predicted Positive samples: label 1 (prune) for True
+	// Positives, 0 for False Positives; balance by dummy-buffer
+	// oversampling (Section V-C).
+	if !opt.SkipClassifier {
+		var clsSamples []gnn.GraphSample
+		for i, s := range tierSamples {
+			if conf[i] < fw.TP {
+				continue
+			}
+			label := 0
+			if correct[i] {
+				label = 1
+			}
+			clsSamples = append(clsSamples, gnn.GraphSample{SG: s.SG, Label: label})
+		}
+		clsSamples = policy.Oversample(clsSamples, opt.Seed+3)
+		fw.Cls = gnn.NewClassifier(fw.Tier, opt.Seed+4)
+		fw.Cls.Train(clsSamples, gnn.TrainConfig{Epochs: opt.Epochs / 2, Seed: opt.Seed + 5})
+	}
+
+	// MIV-pinpointer: node classification over MIV nodes of every
+	// subgraph; the faulty MIV (if any) is the positive node.
+	var nodeSamples []gnn.NodeSample
+	for _, s := range samples {
+		if len(s.SG.MIVLocal) == 0 || len(s.Faults) != 1 {
+			continue
+		}
+		faultGate := -1
+		if s.TierLabel < 0 {
+			faultGate = s.Sites[0] // the faulty MIV gate
+		}
+		ns := gnn.NodeSample{SG: s.SG}
+		for k, li := range s.SG.MIVLocal {
+			ns.NodeIdx = append(ns.NodeIdx, li)
+			if faultGate >= 0 && s.SG.MIVGates[k] == faultGate {
+				ns.Labels = append(ns.Labels, 1)
+			} else {
+				ns.Labels = append(ns.Labels, 0)
+			}
+		}
+		nodeSamples = append(nodeSamples, ns)
+	}
+	fw.MIV.Train(nodeSamples, gnn.TrainConfig{
+		Epochs: opt.Epochs, Seed: opt.Seed + 6, FitScaler: true,
+	})
+	return fw
+}
+
+// PolicyFor binds the framework to a design's heterogeneous graph.
+func (fw *Framework) PolicyFor(b *dataset.Bundle) *policy.Policy {
+	return &policy.Policy{
+		Tier:  fw.Tier,
+		MIV:   fw.MIV,
+		Cls:   fw.Cls,
+		TP:    fw.TP,
+		Graph: b.Graph,
+	}
+}
+
+// Diagnose runs the full deployment flow of Fig. 1 for one failure log:
+// ATPG diagnosis and GNN prediction (conceptually in parallel), then the
+// candidate pruning and reordering policy.
+func (fw *Framework) Diagnose(b *dataset.Bundle, log *failurelog.Log) (*diagnosis.Report, *policy.Outcome) {
+	rep := b.Diag.Diagnose(log)
+	sg := b.Graph.Backtrace(log, b.Diag.Result())
+	out := fw.PolicyFor(b).Apply(rep, sg)
+	return rep, out
+}
+
+// frameworkJSON is the serialized framework.
+type frameworkJSON struct {
+	TP   float64         `json:"tp"`
+	Tier json.RawMessage `json:"tier"`
+	MIV  json.RawMessage `json:"miv"`
+	Cls  json.RawMessage `json:"cls,omitempty"`
+}
+
+// Save writes all models and the threshold as a single JSON document.
+func (fw *Framework) Save(w io.Writer) error {
+	enc := func(m *gnn.Model) (json.RawMessage, error) {
+		var buf bytes.Buffer
+		if err := gnn.Save(&buf, m); err != nil {
+			return nil, err
+		}
+		return json.RawMessage(buf.Bytes()), nil
+	}
+	out := frameworkJSON{TP: fw.TP}
+	var err error
+	if out.Tier, err = enc(fw.Tier.Model); err != nil {
+		return err
+	}
+	if out.MIV, err = enc(fw.MIV.Model); err != nil {
+		return err
+	}
+	if fw.Cls != nil {
+		if out.Cls, err = enc(fw.Cls.Model); err != nil {
+			return err
+		}
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// Load reads a framework written by Save.
+func Load(r io.Reader) (*Framework, error) {
+	var in frameworkJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	dec := func(raw json.RawMessage) (*gnn.Model, error) {
+		return gnn.Load(bytes.NewReader(raw))
+	}
+	fw := &Framework{TP: in.TP}
+	tm, err := dec(in.Tier)
+	if err != nil {
+		return nil, err
+	}
+	fw.Tier = &gnn.TierPredictor{Model: tm}
+	mm, err := dec(in.MIV)
+	if err != nil {
+		return nil, err
+	}
+	fw.MIV = &gnn.MIVPinpointer{Model: mm, Threshold: 0.5}
+	if len(in.Cls) > 0 {
+		cm, err := dec(in.Cls)
+		if err != nil {
+			return nil, err
+		}
+		fw.Cls = &gnn.Classifier{Model: cm}
+	}
+	return fw, nil
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/diagnosis"
+	"repro/internal/gen"
+)
+
+// endToEnd holds the shared small-scale fixture: a Syn-1 bundle, training
+// samples, and a trained framework.
+type endToEnd struct {
+	bundle *dataset.Bundle
+	train  []dataset.Sample
+	test   []dataset.Sample
+	fw     *Framework
+}
+
+var e2e *endToEnd
+
+func getE2E(t *testing.T) *endToEnd {
+	t.Helper()
+	if e2e != nil {
+		return e2e
+	}
+	p, _ := gen.ProfileByName("aes")
+	p = p.Scaled(0.12)
+	b, err := dataset.Build(p, dataset.Syn1, dataset.BuildOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := b.Generate(dataset.SampleOptions{Count: 120, Seed: 2, MIVFraction: 0.25})
+	test := b.Generate(dataset.SampleOptions{Count: 60, Seed: 3, MIVFraction: 0.25})
+	fw := Train(train, TrainOptions{Seed: 4, Epochs: 25})
+	e2e = &endToEnd{bundle: b, train: train, test: test, fw: fw}
+	return e2e
+}
+
+func TestTierPredictorLearnsEndToEnd(t *testing.T) {
+	x := getE2E(t)
+	ok, total := 0, 0
+	for _, s := range x.test {
+		if s.TierLabel < 0 {
+			continue
+		}
+		tier, _ := x.fw.Tier.PredictTier(s.SG)
+		total++
+		if tier == s.TierLabel {
+			ok++
+		}
+	}
+	if total < 20 {
+		t.Fatalf("too few tier-labeled test samples: %d", total)
+	}
+	acc := float64(ok) / float64(total)
+	if acc < 0.8 {
+		t.Fatalf("tier accuracy %.2f (%d/%d) — framework did not learn", acc, ok, total)
+	}
+	t.Logf("tier accuracy %.3f (%d/%d), TP=%.3f", acc, ok, total, x.fw.TP)
+}
+
+func TestMIVPinpointerFindsFaultyMIV(t *testing.T) {
+	x := getE2E(t)
+	hits, falsePos, mivSamples := 0, 0, 0
+	for _, s := range x.test {
+		if s.TierLabel >= 0 {
+			// Gate-fault sample: flagged MIVs are false positives.
+			falsePos += len(x.fw.MIV.PredictFaultyMIVs(s.SG))
+			continue
+		}
+		mivSamples++
+		pred := x.fw.MIV.PredictFaultyMIVs(s.SG)
+		for _, g := range pred {
+			if g == s.Sites[0] {
+				hits++
+				break
+			}
+		}
+	}
+	if mivSamples == 0 {
+		t.Fatal("no MIV-fault test samples")
+	}
+	if float64(hits)/float64(mivSamples) < 0.5 {
+		t.Fatalf("MIV-pinpointer recall %d/%d below 50%%", hits, mivSamples)
+	}
+	t.Logf("MIV recall %d/%d, false positives on clean samples: %d", hits, mivSamples, falsePos)
+}
+
+func TestPolicyImprovesReports(t *testing.T) {
+	x := getE2E(t)
+	n := x.bundle.Netlist
+	var resBefore, resAfter, fhiBefore, fhiAfter float64
+	accBefore, accAfter, cnt := 0, 0, 0
+	for _, s := range x.test {
+		rep, out := x.fw.Diagnose(x.bundle, s.Log)
+		if rep.Resolution() == 0 {
+			continue
+		}
+		cnt++
+		resBefore += float64(rep.Resolution())
+		resAfter += float64(out.Report.Resolution())
+		if f := rep.FirstHit(n, s.Faults); f > 0 {
+			fhiBefore += float64(f)
+			accBefore++
+		}
+		if f := out.Report.FirstHit(n, s.Faults); f > 0 {
+			fhiAfter += float64(f)
+			accAfter++
+		}
+	}
+	if cnt == 0 {
+		t.Fatal("no reports")
+	}
+	t.Logf("resolution %.2f -> %.2f, hits %d -> %d, FHI %.2f -> %.2f over %d",
+		resBefore/float64(cnt), resAfter/float64(cnt), accBefore, accAfter,
+		fhiBefore/float64(max(accBefore, 1)), fhiAfter/float64(max(accAfter, 1)), cnt)
+	if resAfter > resBefore {
+		t.Fatal("policy increased mean resolution")
+	}
+	// Accuracy loss must stay small (paper: <1%; allow a few samples at
+	// this tiny training scale).
+	if accBefore-accAfter > cnt/10 {
+		t.Fatalf("accuracy dropped too much: %d -> %d of %d", accBefore, accAfter, cnt)
+	}
+}
+
+func TestBackupDictionaryRecoversAccuracy(t *testing.T) {
+	x := getE2E(t)
+	n := x.bundle.Netlist
+	for _, s := range x.test {
+		rep, out := x.fw.Diagnose(x.bundle, s.Log)
+		if !rep.Accurate(n, s.Faults) {
+			continue
+		}
+		if out.Report.Accurate(n, s.Faults) {
+			continue
+		}
+		// Pruned away: the backup dictionary must contain the truth.
+		recovered := &diagnosis.Report{Candidates: append(append([]diagnosis.Candidate(nil),
+			out.Report.Candidates...), out.Backup...)}
+		if !recovered.Accurate(n, s.Faults) {
+			t.Fatal("backup dictionary lost the ground truth")
+		}
+	}
+}
+
+func TestSaveLoadFramework(t *testing.T) {
+	x := getE2E(t)
+	var buf bytes.Buffer
+	if err := x.fw.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.TP != x.fw.TP {
+		t.Fatal("TP not preserved")
+	}
+	for _, s := range x.test[:10] {
+		a, _ := x.fw.Tier.PredictTier(s.SG)
+		b, _ := loaded.Tier.PredictTier(s.SG)
+		if a != b {
+			t.Fatal("loaded framework predicts differently")
+		}
+	}
+	if (loaded.Cls == nil) != (x.fw.Cls == nil) {
+		t.Fatal("classifier presence not preserved")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

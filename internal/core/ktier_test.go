@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gen"
+)
+
+// TestThreeTierEndToEnd exercises the paper's claimed extension: the
+// Tier-predictor generalizes to more than two tiers by widening the graph
+// representation vector (Section III-C).
+func TestThreeTierEndToEnd(t *testing.T) {
+	p, _ := gen.ProfileByName("aes")
+	p = p.Scaled(0.12)
+	b, err := dataset.Build(p, dataset.Syn1, dataset.BuildOptions{Seed: 2, Tiers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three tiers must actually host fault sites.
+	tiersSeen := map[int]bool{}
+	train := b.Generate(dataset.SampleOptions{Count: 150, Seed: 3, MIVFraction: 0.15})
+	for _, s := range train {
+		if s.TierLabel >= 0 {
+			tiersSeen[s.TierLabel] = true
+		}
+	}
+	if len(tiersSeen) != 3 {
+		t.Fatalf("training labels cover tiers %v, want 3", tiersSeen)
+	}
+	fw := Train(train, TrainOptions{Seed: 4, Epochs: 25})
+	if got := len(fw.Tier.Model.Out.B); got != 3 {
+		t.Fatalf("Tier-predictor output width %d, want 3", got)
+	}
+	test := b.Generate(dataset.SampleOptions{Count: 60, Seed: 5, MIVFraction: 0.15})
+	ok, total := 0, 0
+	for _, s := range test {
+		if s.TierLabel < 0 {
+			continue
+		}
+		total++
+		if tier, _ := fw.Tier.PredictTier(s.SG); tier == s.TierLabel {
+			ok++
+		}
+	}
+	if total < 20 {
+		t.Fatalf("too few labeled test samples: %d", total)
+	}
+	acc := float64(ok) / float64(total)
+	// Three-way random baseline is 33%; demand clear learning.
+	if acc < 0.6 {
+		t.Fatalf("3-tier accuracy %.2f (%d/%d)", acc, ok, total)
+	}
+	t.Logf("3-tier accuracy %.3f (%d/%d), TP=%.3f", acc, ok, total, fw.TP)
+
+	// The pruning policy must work with three tiers too.
+	pol := fw.PolicyFor(b)
+	for _, s := range test[:10] {
+		rep := b.Diag.Diagnose(s.Log)
+		out := pol.Apply(rep, s.SG)
+		if out.PredictedTier < 0 || out.PredictedTier > 2 {
+			t.Fatalf("predicted tier %d out of range", out.PredictedTier)
+		}
+		total := out.Report.Resolution() + len(out.Backup)
+		if total != rep.Resolution() {
+			t.Fatalf("policy lost candidates: %d+%d != %d",
+				out.Report.Resolution(), len(out.Backup), rep.Resolution())
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package dataset implements the paper's data-generation flow (Fig. 4):
+// synthesize a benchmark, derive its design configurations (Syn-1, TPI,
+// Syn-2, Par, and randomly partitioned variants for augmentation), insert
+// DfT, generate TDF patterns, and produce labeled failure-log samples by
+// fault injection and simulation.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/atpg"
+	"repro/internal/diagnosis"
+	"repro/internal/failurelog"
+	"repro/internal/faultsim"
+	"repro/internal/gen"
+	"repro/internal/hgraph"
+	"repro/internal/netlist"
+	"repro/internal/partition"
+	"repro/internal/scan"
+)
+
+// ConfigName identifies a design configuration from the paper.
+type ConfigName string
+
+// The four evaluated configurations plus the random-partition
+// augmentation source.
+const (
+	Syn1     ConfigName = "syn1" // training configuration
+	TPI      ConfigName = "tpi"  // test-point-inserted netlist
+	Syn2     ConfigName = "syn2" // resynthesized at another clock
+	Par      ConfigName = "par"  // alternative (SA) partitioner
+	RandPart ConfigName = "rand" // random partition (data augmentation)
+)
+
+// Configs lists the evaluated configurations in the paper's order.
+func Configs() []ConfigName { return []ConfigName{Syn1, TPI, Syn2, Par} }
+
+// Bundle holds everything needed to generate and diagnose samples for one
+// (benchmark, configuration) pair.
+type Bundle struct {
+	Name    string
+	Profile gen.Profile
+	Config  ConfigName
+	Netlist *netlist.Netlist
+	Arch    *scan.Arch
+	ATPG    *atpg.Result
+	Graph   *hgraph.Graph
+	Diag    *diagnosis.Engine
+
+	faults    []faultsim.Fault
+	mivFaults []faultsim.Fault
+}
+
+// BuildOptions tunes bundle construction.
+type BuildOptions struct {
+	Seed int64
+	// Tiers is the number of device tiers (default 2).
+	Tiers int
+	// ATPG overrides pattern generation options (zero value = defaults).
+	ATPG atpg.Options
+	// Diagnosis overrides report construction options.
+	Diagnosis diagnosis.Options
+	// RandVariant selects among random partitions when Config==RandPart.
+	RandVariant int64
+}
+
+// Build constructs the bundle for one configuration. The same base seed
+// always generates the same underlying RTL, so configurations of one
+// benchmark are true functional siblings.
+func Build(p gen.Profile, cfg ConfigName, opt BuildOptions) (*Bundle, error) {
+	base := gen.Generate(p, opt.Seed)
+	var nl2d *netlist.Netlist
+	method := partition.FM
+	pseed := opt.Seed + 101
+	switch cfg {
+	case Syn1:
+		nl2d = base
+	case Syn2:
+		nl2d = gen.Resynthesize(base, opt.Seed+11, 0.35)
+	case TPI:
+		nl2d = gen.InsertTestPoints(base, 0.01)
+	case Par:
+		nl2d = base
+		method = partition.SA
+	case RandPart:
+		nl2d = base
+		method = partition.Random
+		pseed = opt.Seed + 1000 + opt.RandVariant
+	default:
+		return nil, fmt.Errorf("dataset: unknown configuration %q", cfg)
+	}
+	m3d, err := partition.Partition(nl2d, method, partition.Options{Seed: pseed, Tiers: opt.Tiers})
+	if err != nil {
+		return nil, err
+	}
+	m3d.Name = fmt.Sprintf("%s_%s", p.Name, cfg)
+
+	aopt := opt.ATPG
+	if aopt.Seed == 0 {
+		aopt.Seed = opt.Seed + 7
+	}
+	ares, err := atpg.Generate(m3d, aopt)
+	if err != nil {
+		return nil, err
+	}
+	arch, err := scan.Build(m3d, p.ScanChains, p.CompactionRatio)
+	if err != nil {
+		return nil, err
+	}
+	diag, err := diagnosis.NewEngine(arch, ares.Patterns, opt.Diagnosis)
+	if err != nil {
+		return nil, err
+	}
+	return &Bundle{
+		Name:      m3d.Name,
+		Profile:   p,
+		Config:    cfg,
+		Netlist:   m3d,
+		Arch:      arch,
+		ATPG:      ares,
+		Graph:     hgraph.Build(arch),
+		Diag:      diag,
+		faults:    faultsim.AllFaults(m3d),
+		mivFaults: faultsim.MIVFaults(m3d),
+	}, nil
+}
+
+// Sample is one labeled diagnosis case: the injected ground truth, the
+// tester failure log, and the back-traced subgraph.
+type Sample struct {
+	Faults []faultsim.Fault
+	// Sites holds the value-carrying site gate of each fault (the driving
+	// gate for input-pin faults); this is the ground-truth "location".
+	Sites []int
+	Log   *failurelog.Log
+	SG    *hgraph.Subgraph
+	// TierLabel is the 0-based tier index of the fault site(s) for gate
+	// faults (1 = top in two-tier designs), or -1 for MIV faults, which
+	// belong to no tier.
+	TierLabel int
+}
+
+// SampleOptions drives sample generation.
+type SampleOptions struct {
+	Count     int
+	Compacted bool
+	Seed      int64
+	// MIVFraction of samples inject an MIV fault (default 0.1).
+	MIVFraction float64
+	// MultiFault injects 2-5 same-tier faults per sample when true
+	// (Section VII-A).
+	MultiFault bool
+	// MaxFails truncates each failure log to its first MaxFails failing
+	// bits, modeling the fail-memory limit of production testers
+	// (default 256).
+	MaxFails int
+}
+
+// Generate draws fault-injection samples. Faults whose failure log is
+// empty (undetected by the pattern set) are re-drawn, mirroring the paper
+// where each sample corresponds to a failing chip.
+func (b *Bundle) Generate(opt SampleOptions) []Sample {
+	if opt.MIVFraction == 0 {
+		opt.MIVFraction = 0.1
+	}
+	if opt.MaxFails == 0 {
+		opt.MaxFails = 256
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	out := make([]Sample, 0, opt.Count)
+	attempts := 0
+	for len(out) < opt.Count && attempts < opt.Count*60 {
+		attempts++
+		var faults []faultsim.Fault
+		if opt.MultiFault {
+			faults = b.drawMultiFault(rng)
+		} else if rng.Float64() < opt.MIVFraction && len(b.mivFaults) > 0 {
+			faults = []faultsim.Fault{b.mivFaults[rng.Intn(len(b.mivFaults))]}
+		} else {
+			faults = []faultsim.Fault{b.faults[rng.Intn(len(b.faults))]}
+		}
+		log := b.Diag.InjectLog(faults, opt.Compacted)
+		if log.Empty() {
+			continue
+		}
+		if len(log.Fails) > opt.MaxFails {
+			log.Fails = log.Fails[:opt.MaxFails]
+			log.Truncated = true
+		}
+		sg := b.Graph.Backtrace(log, b.Diag.Result())
+		sites := make([]int, len(faults))
+		for i, f := range faults {
+			sites[i] = f.SiteGate(b.Netlist)
+		}
+		out = append(out, Sample{
+			Faults:    faults,
+			Sites:     sites,
+			Log:       log,
+			SG:        sg,
+			TierLabel: tierLabel(b.Netlist, faults),
+		})
+	}
+	return out
+}
+
+// drawMultiFault picks 2-5 gate faults in one tier (systematic defects).
+func (b *Bundle) drawMultiFault(rng *rand.Rand) []faultsim.Fault {
+	maxTier := int8(1)
+	for _, g := range b.Netlist.Gates {
+		if g.Tier > maxTier {
+			maxTier = g.Tier
+		}
+	}
+	tier := int8(rng.Intn(int(maxTier) + 1))
+	count := 2 + rng.Intn(4)
+	var out []faultsim.Fault
+	for tries := 0; len(out) < count && tries < 200; tries++ {
+		f := b.faults[rng.Intn(len(b.faults))]
+		if b.Netlist.Gates[f.SiteGate(b.Netlist)].Tier != tier {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// tierLabel derives the sample's tier label: the common tier of the
+// injected faults, or -1 for MIV faults.
+func tierLabel(n *netlist.Netlist, faults []faultsim.Fault) int {
+	label := -1
+	for _, f := range faults {
+		t, ok := hgraph.TrueTier(n, f.SiteGate(n))
+		if !ok {
+			return -1
+		}
+		label = t
+	}
+	return label
+}
+
+// FaultPool exposes the full TDF list (for diagnosis experiments).
+func (b *Bundle) FaultPool() []faultsim.Fault { return b.faults }
+
+// MIVFaultPool exposes the MIV-only TDF list.
+func (b *Bundle) MIVFaultPool() []faultsim.Fault { return b.mivFaults }

@@ -1,0 +1,129 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func tinyBundle(t *testing.T, cfg ConfigName) *Bundle {
+	t.Helper()
+	p, _ := gen.ProfileByName("aes")
+	p = p.Scaled(0.08)
+	b, err := Build(p, cfg, BuildOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBuildConfigs(t *testing.T) {
+	base := tinyBundle(t, Syn1)
+	for _, cfg := range []ConfigName{TPI, Syn2, Par} {
+		b := tinyBundle(t, cfg)
+		if b.Netlist.NumMIVs() == 0 {
+			t.Errorf("%s: no MIVs", cfg)
+		}
+		if b.ATPG.Coverage() < 0.85 {
+			t.Errorf("%s: coverage %.3f", cfg, b.ATPG.Coverage())
+		}
+		switch cfg {
+		case TPI:
+			if len(b.Netlist.FFs) <= len(base.Netlist.FFs) {
+				t.Error("TPI should add observation flops")
+			}
+		case Syn2:
+			if b.Netlist.NumGates() == base.Netlist.NumGates() {
+				t.Error("Syn2 should change the gate count")
+			}
+		}
+	}
+	if _, err := Build(base.Profile, ConfigName("bogus"), BuildOptions{Seed: 1}); err == nil {
+		t.Fatal("unknown config accepted")
+	}
+}
+
+func TestRandPartVariantsDiffer(t *testing.T) {
+	p, _ := gen.ProfileByName("aes")
+	p = p.Scaled(0.08)
+	a, err := Build(p, RandPart, BuildOptions{Seed: 1, RandVariant: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(p, RandPart, BuildOptions{Seed: 1, RandVariant: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTiers := true
+	for i, g := range a.Netlist.Gates {
+		if i < len(b.Netlist.Gates) && g.Tier != b.Netlist.Gates[i].Tier {
+			sameTiers = false
+			break
+		}
+	}
+	if sameTiers {
+		t.Fatal("random partition variants should assign different tiers")
+	}
+}
+
+func TestGenerateSamples(t *testing.T) {
+	b := tinyBundle(t, Syn1)
+	samples := b.Generate(SampleOptions{Count: 30, Seed: 5, MIVFraction: 0.3})
+	if len(samples) != 30 {
+		t.Fatalf("generated %d samples", len(samples))
+	}
+	sawMIV, sawTop, sawBottom := false, false, false
+	for _, s := range samples {
+		if s.Log.Empty() {
+			t.Fatal("sample with empty log")
+		}
+		if s.SG.NumNodes() == 0 {
+			t.Fatal("sample with empty subgraph")
+		}
+		switch s.TierLabel {
+		case -1:
+			sawMIV = true
+		case 0:
+			sawBottom = true
+		case 1:
+			sawTop = true
+		}
+	}
+	if !sawMIV || !sawTop || !sawBottom {
+		t.Fatalf("label mix missing: miv=%v top=%v bottom=%v", sawMIV, sawTop, sawBottom)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	b := tinyBundle(t, Syn1)
+	a := b.Generate(SampleOptions{Count: 10, Seed: 9})
+	c := b.Generate(SampleOptions{Count: 10, Seed: 9})
+	for i := range a {
+		if len(a[i].Log.Fails) != len(c[i].Log.Fails) || a[i].TierLabel != c[i].TierLabel {
+			t.Fatal("nondeterministic samples")
+		}
+	}
+}
+
+func TestMultiFaultSamples(t *testing.T) {
+	b := tinyBundle(t, Syn1)
+	samples := b.Generate(SampleOptions{Count: 10, Seed: 11, MultiFault: true})
+	if len(samples) == 0 {
+		t.Fatal("no multi-fault samples")
+	}
+	for _, s := range samples {
+		if len(s.Faults) < 2 {
+			t.Fatalf("multi-fault sample has %d faults", len(s.Faults))
+		}
+		// All faults share one tier.
+		tier := b.Netlist.Gates[s.Faults[0].SiteGate(b.Netlist)].Tier
+		for _, f := range s.Faults[1:] {
+			if b.Netlist.Gates[f.SiteGate(b.Netlist)].Tier != tier {
+				t.Fatal("multi-fault sample spans tiers")
+			}
+		}
+		if s.TierLabel < 0 {
+			t.Fatal("multi-fault gate sample should carry a tier label")
+		}
+	}
+}

@@ -1,0 +1,452 @@
+// Package diagnosis implements effect-cause transition-delay-fault
+// diagnosis, standing in for the commercial ATPG diagnosis tool in the
+// paper's flow. Given the netlist, the applied LOC pattern set, and a
+// tester failure log, it:
+//
+//  1. extracts candidate fault sites by back-tracing every failing
+//     response through the fan-in cones of the failing observation points
+//     and keeping sites that transition under the failing patterns
+//     (critical-path tracing style candidate extraction);
+//  2. fault-simulates each candidate and scores it by how well its
+//     predicted failures match the tester's (TFSF/TFSP/TPSF counts);
+//  3. emits a ranked report whose quality is measured the same way the
+//     paper measures commercial reports: diagnostic resolution (report
+//     length), accuracy (ground truth present), and first-hit index.
+//
+// Under response compaction the failing observation is an XOR channel
+// rather than a scan cell, which widens the candidate cones and degrades
+// resolution — the same effect the paper reports in Tables VII/VIII.
+package diagnosis
+
+import (
+	"sort"
+
+	"repro/internal/failurelog"
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+// Options tunes report construction.
+type Options struct {
+	// MaxCandidates caps the report length. Default 64.
+	MaxCandidates int
+	// ScoreSlack keeps candidates scoring within this fraction of the best
+	// score. Default 0.7 (commercial reports list plausible candidates
+	// well below the best match).
+	ScoreSlack float64
+	// TFSPWeight and TPSFWeight are the mismatch penalties. Defaults 0.35
+	// and 0.15, ranking primarily by explained failures the way commercial
+	// match-based diagnosis does.
+	TFSPWeight, TPSFWeight float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = 64
+	}
+	if o.ScoreSlack == 0 {
+		o.ScoreSlack = 0.7
+	}
+	if o.TFSPWeight == 0 {
+		o.TFSPWeight = 0.35
+	}
+	if o.TPSFWeight == 0 {
+		o.TPSFWeight = 0.15
+	}
+	return o
+}
+
+// Candidate is one ranked suspect in a diagnosis report.
+type Candidate struct {
+	// Fault is the suspected TDF (output-pin granularity).
+	Fault faultsim.Fault
+	// TFSF counts tester-fail/sim-fail matches; TFSP tester failures the
+	// candidate cannot explain; TPSF simulated failures the tester did not
+	// see.
+	TFSF, TFSP, TPSF int
+	// Score is the ranking value.
+	Score float64
+}
+
+// Report is a ranked candidate list for one failure log.
+type Report struct {
+	Design     string
+	Compacted  bool
+	Candidates []Candidate
+}
+
+// Resolution returns the diagnostic resolution (number of candidates).
+func (r *Report) Resolution() int { return len(r.Candidates) }
+
+// FirstHit returns the 1-based index of the first candidate whose site gate
+// and polarity match any of the ground-truth faults, or 0 if none match.
+func (r *Report) FirstHit(n *netlist.Netlist, truths []faultsim.Fault) int {
+	for i, c := range r.Candidates {
+		for _, truth := range truths {
+			if Matches(n, c.Fault, truth) {
+				return i + 1
+			}
+		}
+	}
+	return 0
+}
+
+// Accurate reports whether every ground-truth fault location appears in
+// the report (the paper's accuracy criterion; for single faults this is
+// simply "the defect is in the list").
+func (r *Report) Accurate(n *netlist.Netlist, truths []faultsim.Fault) bool {
+	for _, truth := range truths {
+		hit := false
+		for _, c := range r.Candidates {
+			if Matches(n, c.Fault, truth) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	return len(truths) > 0
+}
+
+// Matches reports whether a candidate pinpoints the ground-truth defect
+// location: same value-carrying site gate and same polarity.
+func Matches(n *netlist.Netlist, cand, truth faultsim.Fault) bool {
+	return cand.SiteGate(n) == truth.SiteGate(n) && cand.Pol == truth.Pol
+}
+
+// Engine diagnoses failure logs for one (design, pattern set) pair. The
+// good-machine simulation and observation cones are computed once and
+// reused across logs.
+type Engine struct {
+	sim  *sim.Simulator
+	fsim *faultsim.Engine
+	arch *scan.Arch
+	ps   *sim.PatternSet
+	res  *sim.Result
+	opt  Options
+
+	coneCache map[int][]int32 // capture gate -> fan-in cone gate IDs
+}
+
+// NewEngine runs the good-machine simulation and prepares cone caches.
+func NewEngine(arch *scan.Arch, ps *sim.PatternSet, opt Options) (*Engine, error) {
+	s, err := sim.New(arch.Netlist())
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		sim:       s,
+		fsim:      faultsim.NewEngine(s),
+		arch:      arch,
+		ps:        ps,
+		res:       s.Run(ps),
+		opt:       opt.withDefaults(),
+		coneCache: make(map[int][]int32),
+	}, nil
+}
+
+// Result exposes the cached good-machine simulation.
+func (d *Engine) Result() *sim.Result { return d.res }
+
+// Arch exposes the scan architecture.
+func (d *Engine) Arch() *scan.Arch { return d.arch }
+
+// FaultSim exposes the fault-simulation engine (shared with data
+// generation and the GNN framework).
+func (d *Engine) FaultSim() *faultsim.Engine { return d.fsim }
+
+// cone returns the cached fan-in cone of a capture gate.
+func (d *Engine) cone(capture int) []int32 {
+	if c, ok := d.coneCache[capture]; ok {
+		return c
+	}
+	n := d.arch.Netlist()
+	seen := n.FaninCone(capture)
+	cone := make([]int32, 0, 64)
+	for id, in := range seen {
+		if in {
+			cone = append(cone, int32(id))
+		}
+	}
+	d.coneCache[capture] = cone
+	return cone
+}
+
+// suspects computes the per-response suspect counts: for every failing
+// (pattern, obs) response, each gate in the fan-in cone of the failing
+// observation that transitions under the pattern gets one vote.
+func (d *Engine) suspects(log *failurelog.Log) (count []int32, responses int) {
+	n := d.arch.Netlist()
+	count = make([]int32, len(n.Gates))
+	mark := make([]int32, len(n.Gates)) // response stamp to dedupe votes
+	for i := range mark {
+		mark[i] = -1
+	}
+	stamp := int32(0)
+	for _, f := range log.Fails {
+		stamp++
+		responses++
+		for _, obsGate := range d.arch.ObsGates(int(f.Obs), log.Compacted) {
+			capture := d.arch.CaptureGate(obsGate)
+			for _, g := range d.cone(capture) {
+				if mark[g] == stamp {
+					continue
+				}
+				if d.res.HasTransition(int(g), int(f.Pattern)) {
+					mark[g] = stamp
+					count[g]++
+				}
+			}
+		}
+	}
+	return count, responses
+}
+
+// maxScoredCandidates bounds the fault-simulation budget per log.
+const maxScoredCandidates = 240
+
+// extractCandidates turns suspect votes into a vote-ranked candidate pool.
+// Commercial tools keep plausible candidates that explain many (not
+// necessarily all) failing responses, so every site voted by at least 30%
+// of the responses enters the pool, best-voted first, up to the scoring
+// budget. Polarity follows the transitions the site makes under failing
+// patterns.
+func (d *Engine) extractCandidates(log *failurelog.Log, count []int32, responses int) []faultsim.Fault {
+	n := d.arch.Netlist()
+	fails := log.FailsByPattern()
+	type voted struct {
+		id    int
+		votes int32
+	}
+	var pool []voted
+	need := int32(0.3 * float64(responses))
+	if need < 1 {
+		need = 1
+	}
+	for id, c := range count {
+		if c < need {
+			continue
+		}
+		g := n.Gates[id]
+		if g.Type == netlist.Input || g.Type == netlist.Output {
+			continue
+		}
+		pool = append(pool, voted{id, c})
+	}
+	if len(pool) == 0 {
+		// Aliasing or reconvergence starved the pool: fall back to any
+		// voted site.
+		for id, c := range count {
+			g := n.Gates[id]
+			if c > 0 && g.Type != netlist.Input && g.Type != netlist.Output {
+				pool = append(pool, voted{id, c})
+			}
+		}
+	}
+	sort.Slice(pool, func(i, j int) bool {
+		if pool[i].votes != pool[j].votes {
+			return pool[i].votes > pool[j].votes
+		}
+		return pool[i].id < pool[j].id
+	})
+	if len(pool) > maxScoredCandidates {
+		pool = pool[:maxScoredCandidates]
+	}
+	var cands []faultsim.Fault
+	for _, v := range pool {
+		rise, fall := false, false
+		for p := range fails {
+			if !d.res.HasTransition(v.id, int(p)) {
+				continue
+			}
+			if !sim.GetBit(d.res.V1[v.id], int(p)) {
+				rise = true
+			} else {
+				fall = true
+			}
+		}
+		if rise {
+			cands = append(cands, faultsim.Fault{Gate: v.id, Pin: faultsim.OutputPin, Pol: faultsim.SlowToRise})
+		}
+		if fall {
+			cands = append(cands, faultsim.Fault{Gate: v.id, Pin: faultsim.OutputPin, Pol: faultsim.SlowToFall})
+		}
+	}
+	return cands
+}
+
+// branchCandidates expands a net-level candidate into its per-branch
+// input-pin faults. The defect may sit on a single branch, and a whole-net
+// fault can alias through reconvergence where the branch fault does not.
+func (d *Engine) branchCandidates(c faultsim.Fault) []faultsim.Fault {
+	n := d.arch.Netlist()
+	g := n.Gates[c.Gate]
+	if c.Pin != faultsim.OutputPin || len(g.Fanout) < 2 {
+		return nil
+	}
+	var out []faultsim.Fault
+	for _, s := range g.Fanout {
+		for pin, src := range n.Gates[s].Fanin {
+			if src == c.Gate {
+				out = append(out, faultsim.Fault{Gate: s, Pin: pin, Pol: c.Pol})
+			}
+		}
+	}
+	return out
+}
+
+// failureKey packs a failing bit for set comparison.
+func failureKey(f scan.Failure) int64 { return int64(f.Pattern)<<32 | int64(uint32(f.Obs)) }
+
+// faultHash is a deterministic mixing function used only to break ranking
+// ties without favoring any particular member of an equivalence class.
+func faultHash(f faultsim.Fault) uint64 {
+	h := uint64(f.Gate)*0x9e3779b97f4a7c15 + uint64(f.Pin+2)*0xbf58476d1ce4e5b9 + uint64(f.Pol)
+	h ^= h >> 31
+	h *= 0x94d049bb133111eb
+	h ^= h >> 29
+	return h
+}
+
+// score fault-simulates one candidate and compares its predicted failures
+// to the observed log. When the log was truncated by the tester's fail
+// memory, predicted failures beyond the last recorded pattern are not
+// evidence against the candidate and are ignored.
+func (d *Engine) score(cand faultsim.Fault, observed map[int64]bool, compacted bool, horizon int32) Candidate {
+	diff := d.fsim.Diff(d.res, []faultsim.Fault{cand})
+	pred := d.arch.FailuresFromDiffUnsorted(diff, d.ps.N, compacted)
+	c := Candidate{Fault: cand}
+	for _, p := range pred {
+		if horizon >= 0 && p.Pattern > horizon {
+			continue
+		}
+		if observed[failureKey(p)] {
+			c.TFSF++
+		} else {
+			c.TPSF++
+		}
+	}
+	c.TFSP = len(observed) - c.TFSF
+	c.Score = float64(c.TFSF) - d.opt.TFSPWeight*float64(c.TFSP) - d.opt.TPSFWeight*float64(c.TPSF)
+	return c
+}
+
+// Diagnose produces a ranked single-fault diagnosis report for the log.
+func (d *Engine) Diagnose(log *failurelog.Log) *Report {
+	rep := &Report{Design: log.Design, Compacted: log.Compacted}
+	if log.Empty() {
+		return rep
+	}
+	count, responses := d.suspects(log)
+	cands := d.extractCandidates(log, count, responses)
+
+	observed := make(map[int64]bool, len(log.Fails))
+	for _, f := range log.Fails {
+		observed[failureKey(f)] = true
+	}
+	horizon := int32(-1)
+	if log.Truncated {
+		horizon = log.LastPattern()
+	}
+	// Stage 1: score net-level candidates.
+	scored := make([]Candidate, 0, len(cands))
+	for _, cand := range cands {
+		c := d.score(cand, observed, log.Compacted, horizon)
+		if c.TFSF == 0 {
+			continue
+		}
+		scored = append(scored, c)
+	}
+	// Ties (equivalence classes: buffer chains, MIVs, indistinguishable
+	// reconvergent sites) are ordered by a deterministic hash — a real
+	// tool has no oracle to put the true defect first within a class.
+	rank := func() {
+		sort.Slice(scored, func(i, j int) bool {
+			if scored[i].Score != scored[j].Score {
+				return scored[i].Score > scored[j].Score
+			}
+			hi, hj := faultHash(scored[i].Fault), faultHash(scored[j].Fault)
+			if hi != hj {
+				return hi < hj
+			}
+			return scored[i].Fault.Gate < scored[j].Fault.Gate
+		})
+	}
+	rank()
+	// Stage 2: refine the strongest net-level candidates to pin
+	// granularity (branch faults dodge reconvergent aliasing).
+	const refineTop = 40
+	n2 := len(scored)
+	if n2 > refineTop {
+		n2 = refineTop
+	}
+	for _, c := range scored[:n2] {
+		for _, bc := range d.branchCandidates(c.Fault) {
+			sc := d.score(bc, observed, log.Compacted, horizon)
+			if sc.TFSF > 0 {
+				scored = append(scored, sc)
+			}
+		}
+	}
+	rank()
+	if len(scored) == 0 {
+		return rep
+	}
+	// Inclusion follows match strength: any candidate explaining a solid
+	// fraction of what the best candidate explains is reported, ranked by
+	// score. This is what gives large designs their large reports.
+	bestTFSF := 0
+	for _, c := range scored {
+		if c.TFSF > bestTFSF {
+			bestTFSF = c.TFSF
+		}
+	}
+	floor := int(float64(bestTFSF) * (1 - d.opt.ScoreSlack))
+	for _, c := range scored {
+		if len(rep.Candidates) >= d.opt.MaxCandidates {
+			break
+		}
+		if c.TFSF < floor {
+			continue
+		}
+		// A plausible candidate must explain at least as much as it
+		// mispredicts.
+		if c.TPSF > c.TFSF {
+			continue
+		}
+		rep.Candidates = append(rep.Candidates, c)
+	}
+	return rep
+}
+
+// ExtractStats exposes candidate-extraction internals for tooling and
+// calibration.
+type ExtractStats struct {
+	Extracted int
+	AllScores []float64
+}
+
+// DebugExtract reports how many candidates extraction produced for a log
+// and their full score distribution (including TFSF==0 candidates).
+func (d *Engine) DebugExtract(log *failurelog.Log) ExtractStats {
+	count, responses := d.suspects(log)
+	cands := d.extractCandidates(log, count, responses)
+	observed := make(map[int64]bool, len(log.Fails))
+	for _, f := range log.Fails {
+		observed[failureKey(f)] = true
+	}
+	horizon := int32(-1)
+	if log.Truncated {
+		horizon = log.LastPattern()
+	}
+	st := ExtractStats{Extracted: len(cands)}
+	for _, cand := range cands {
+		c := d.score(cand, observed, log.Compacted, horizon)
+		st.AllScores = append(st.AllScores, c.Score)
+	}
+	return st
+}

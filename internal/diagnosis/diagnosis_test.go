@@ -1,0 +1,287 @@
+package diagnosis
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/faultsim"
+	"repro/internal/gen"
+	"repro/internal/partition"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+// fixture builds a small partitioned design with patterns and a diagnosis
+// engine, shared across tests in this package.
+type fixture struct {
+	eng    *Engine
+	faults []faultsim.Fault
+}
+
+var fixtures = map[string]*fixture{}
+
+func getFixture(t *testing.T, scale float64, seed int64) *fixture {
+	t.Helper()
+	key := "aes"
+	if f, ok := fixtures[key]; ok {
+		return f
+	}
+	p, _ := gen.ProfileByName("aes")
+	p = p.Scaled(scale)
+	n := gen.Generate(p, seed)
+	m3d, err := partition.Partition(n, partition.FM, partition.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ares, err := atpg.Generate(m3d, atpg.Options{Seed: seed, TargetCoverage: 0.97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch, err := scan.Build(m3d, p.ScanChains, p.CompactionRatio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(arch, ares.Patterns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{eng: eng, faults: faultsim.AllFaults(m3d)}
+	fixtures[key] = f
+	return f
+}
+
+// detectableFaults returns injectable faults that actually produce
+// failures in the given mode.
+func detectableFaults(fx *fixture, compacted bool, limit int, seed int64) []faultsim.Fault {
+	rng := rand.New(rand.NewSource(seed))
+	var out []faultsim.Fault
+	perm := rng.Perm(len(fx.faults))
+	for _, i := range perm {
+		if len(out) >= limit {
+			break
+		}
+		f := fx.faults[i]
+		log := fx.eng.InjectLog([]faultsim.Fault{f}, compacted)
+		if !log.Empty() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestDiagnoseFindsInjectedFault(t *testing.T) {
+	fx := getFixture(t, 0.1, 1)
+	n := fx.eng.Arch().Netlist()
+	hits, total := 0, 0
+	var resolutions []int
+	for _, f := range detectableFaults(fx, false, 30, 5) {
+		log := fx.eng.InjectLog([]faultsim.Fault{f}, false)
+		rep := fx.eng.Diagnose(log)
+		total++
+		if rep.Accurate(n, []faultsim.Fault{f}) {
+			hits++
+		}
+		resolutions = append(resolutions, rep.Resolution())
+	}
+	if total == 0 {
+		t.Fatal("no detectable faults found")
+	}
+	if float64(hits)/float64(total) < 0.9 {
+		t.Fatalf("accuracy %d/%d below 90%%", hits, total)
+	}
+	for _, r := range resolutions {
+		if r == 0 {
+			t.Fatal("empty report for a failing chip")
+		}
+	}
+}
+
+func TestDiagnoseCompactedStillAccurate(t *testing.T) {
+	fx := getFixture(t, 0.1, 1)
+	n := fx.eng.Arch().Netlist()
+	hits, total := 0, 0
+	sumResUncomp, sumResComp := 0, 0
+	for _, f := range detectableFaults(fx, true, 25, 9) {
+		logC := fx.eng.InjectLog([]faultsim.Fault{f}, true)
+		logU := fx.eng.InjectLog([]faultsim.Fault{f}, false)
+		repC := fx.eng.Diagnose(logC)
+		repU := fx.eng.Diagnose(logU)
+		total++
+		if repC.Accurate(n, []faultsim.Fault{f}) {
+			hits++
+		}
+		sumResComp += repC.Resolution()
+		sumResUncomp += repU.Resolution()
+	}
+	if total == 0 {
+		t.Fatal("no detectable faults")
+	}
+	if float64(hits)/float64(total) < 0.8 {
+		t.Fatalf("compacted accuracy %d/%d below 80%%", hits, total)
+	}
+	// Compaction must not substantially *improve* aggregate resolution
+	// (small-sample noise allowed at this tiny fixture scale).
+	if float64(sumResComp) < 0.75*float64(sumResUncomp) {
+		t.Fatalf("compacted resolution %d much better than uncompacted %d", sumResComp, sumResUncomp)
+	}
+}
+
+func TestFirstHitAndRanking(t *testing.T) {
+	fx := getFixture(t, 0.1, 1)
+	n := fx.eng.Arch().Netlist()
+	sumFHI, sumRes, cnt := 0, 0, 0
+	for _, f := range detectableFaults(fx, false, 20, 11) {
+		log := fx.eng.InjectLog([]faultsim.Fault{f}, false)
+		rep := fx.eng.Diagnose(log)
+		fhi := rep.FirstHit(n, []faultsim.Fault{f})
+		if fhi == 0 {
+			continue
+		}
+		sumFHI += fhi
+		sumRes += rep.Resolution()
+		cnt++
+	}
+	if cnt == 0 {
+		t.Fatal("no hits")
+	}
+	// The ground truth should rank well above the midpoint on average.
+	if float64(sumFHI)/float64(cnt) > float64(sumRes)/float64(cnt) {
+		t.Fatalf("mean FHI %.1f worse than mean resolution %.1f",
+			float64(sumFHI)/float64(cnt), float64(sumRes)/float64(cnt))
+	}
+}
+
+func TestDiagnoseEmptyLog(t *testing.T) {
+	fx := getFixture(t, 0.1, 1)
+	rep := fx.eng.Diagnose(fx.eng.InjectLog(nil, false))
+	if rep.Resolution() != 0 {
+		t.Fatal("empty log must produce empty report")
+	}
+}
+
+func TestPerfectCandidateScoresHighest(t *testing.T) {
+	fx := getFixture(t, 0.1, 1)
+	for _, f := range detectableFaults(fx, false, 5, 13) {
+		if f.Pin != faultsim.OutputPin {
+			continue // output faults have exact candidate twins
+		}
+		log := fx.eng.InjectLog([]faultsim.Fault{f}, false)
+		rep := fx.eng.Diagnose(log)
+		if len(rep.Candidates) == 0 {
+			t.Fatal("empty report")
+		}
+		top := rep.Candidates[0]
+		if top.TFSP != 0 {
+			t.Fatalf("top candidate for %v leaves %d failures unexplained", f, top.TFSP)
+		}
+	}
+}
+
+func TestDiagnoseMultiCoversAllFaults(t *testing.T) {
+	fx := getFixture(t, 0.1, 1)
+	n := fx.eng.Arch().Netlist()
+	rng := rand.New(rand.NewSource(17))
+	okCnt, total := 0, 0
+	for trial := 0; trial < 12; trial++ {
+		// 2-3 faults in the same tier (the paper's systematic-defect model).
+		tier := int8(trial % 2)
+		var fs []faultsim.Fault
+		for len(fs) < 2+trial%2 {
+			f := fx.faults[rng.Intn(len(fx.faults))]
+			if n.Gates[f.SiteGate(n)].Tier != tier {
+				continue
+			}
+			if log := fx.eng.InjectLog([]faultsim.Fault{f}, false); log.Empty() {
+				continue
+			}
+			fs = append(fs, f)
+		}
+		log := fx.eng.InjectLog(fs, false)
+		if log.Empty() {
+			continue
+		}
+		rep := fx.eng.DiagnoseMulti(log)
+		total++
+		if rep.Accurate(n, fs) {
+			okCnt++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no multi-fault trials")
+	}
+	// Multi-fault diagnosis is hard; demand a loose floor only.
+	if float64(okCnt)/float64(total) < 0.3 {
+		t.Fatalf("multi-fault accuracy %d/%d below floor", okCnt, total)
+	}
+}
+
+func TestInjectLogDeterministic(t *testing.T) {
+	fx := getFixture(t, 0.1, 1)
+	fs := detectableFaults(fx, false, 1, 19)
+	if len(fs) == 0 {
+		t.Skip("no detectable fault")
+	}
+	a := fx.eng.InjectLog(fs, false)
+	b := fx.eng.InjectLog(fs, false)
+	if len(a.Fails) != len(b.Fails) {
+		t.Fatal("nondeterministic injection")
+	}
+	for i := range a.Fails {
+		if a.Fails[i] != b.Fails[i] {
+			t.Fatal("fails differ")
+		}
+	}
+}
+
+func TestSim64PatternAlignmentInvariant(t *testing.T) {
+	// Guard against tail-bit leakage through the whole stack: injecting a
+	// fault into a design with a non-multiple-of-64 pattern count must not
+	// produce failures beyond N.
+	fx := getFixture(t, 0.1, 1)
+	N := fx.eng.ps.N
+	for _, f := range detectableFaults(fx, false, 10, 23) {
+		log := fx.eng.InjectLog([]faultsim.Fault{f}, false)
+		for _, fl := range log.Fails {
+			if int(fl.Pattern) >= N {
+				t.Fatalf("failure at pattern %d beyond N=%d", fl.Pattern, N)
+			}
+		}
+	}
+}
+
+var _ = sim.GetBit // keep sim imported for auxiliary helpers
+
+// TestReportInvariants checks structural invariants on every generated
+// report: FirstHit is within [0, resolution], accuracy coincides with a
+// positive FirstHit for single faults, candidates are unique, and scores
+// are non-increasing within equal-score hash order.
+func TestReportInvariants(t *testing.T) {
+	fx := getFixture(t, 0.1, 1)
+	n := fx.eng.Arch().Netlist()
+	for _, f := range detectableFaults(fx, false, 25, 31) {
+		log := fx.eng.InjectLog([]faultsim.Fault{f}, false)
+		rep := fx.eng.Diagnose(log)
+		fhi := rep.FirstHit(n, []faultsim.Fault{f})
+		if fhi < 0 || fhi > rep.Resolution() {
+			t.Fatalf("FHI %d outside [0,%d]", fhi, rep.Resolution())
+		}
+		if rep.Accurate(n, []faultsim.Fault{f}) != (fhi > 0) {
+			t.Fatal("Accurate and FirstHit disagree")
+		}
+		seen := map[faultsim.Fault]bool{}
+		prev := rep.Candidates
+		for i, c := range prev {
+			if seen[c.Fault] {
+				t.Fatalf("duplicate candidate %v", c.Fault)
+			}
+			seen[c.Fault] = true
+			if i > 0 && c.Score > prev[i-1].Score+1e-9 {
+				t.Fatalf("scores not non-increasing at %d", i)
+			}
+			if c.TFSF <= 0 {
+				t.Fatal("candidate with no explained failures in report")
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package experiment
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gnn"
+	"repro/internal/hgraph"
+	"repro/internal/policy"
+)
+
+// Ablations prints the DESIGN.md §4 ablation studies on the AES Syn-1
+// configuration: Topedge features, the PR-curve threshold, and
+// dummy-buffer oversampling.
+func (s *Suite) Ablations() error {
+	s.printf("\n== Ablations (DESIGN.md §4, aes/syn1) ==\n")
+	design := "aes"
+	b, err := s.bundle(design, dataset.Syn1, 0)
+	if err != nil {
+		return err
+	}
+	train := b.Generate(dataset.SampleOptions{Count: s.TrainCount, Seed: s.Seed + 700, MIVFraction: 0.2})
+	test := b.Generate(dataset.SampleOptions{Count: s.TestCount, Seed: s.Seed + 701, MIVFraction: 0.2})
+
+	tierAcc := func(tp *gnn.TierPredictor, samples []dataset.Sample) float64 {
+		ok, n := 0, 0
+		for _, smp := range samples {
+			if smp.TierLabel < 0 {
+				continue
+			}
+			n++
+			if tier, _ := tp.PredictTier(smp.SG); tier == smp.TierLabel {
+				ok++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return float64(ok) / float64(n)
+	}
+
+	// 1. Topedge features.
+	zeroTop := func(samples []dataset.Sample) []dataset.Sample {
+		out := make([]dataset.Sample, len(samples))
+		for i, smp := range samples {
+			cp := smp
+			sg := *smp.SG
+			sg.X = smp.SG.X.Clone()
+			for r := 0; r < sg.X.Rows; r++ {
+				row := sg.X.Row(r)
+				row[2] = 0
+				for c := 9; c < hgraph.FeatureDim; c++ {
+					row[c] = 0
+				}
+			}
+			cp.SG = &sg
+			out[i] = cp
+		}
+		return out
+	}
+	fwFull := core.Train(train, core.TrainOptions{Seed: s.Seed + 702, SkipClassifier: true})
+	fwNoTop := core.Train(zeroTop(train), core.TrainOptions{Seed: s.Seed + 702, SkipClassifier: true})
+	s.printf("1. Topedge features: tier accuracy %.1f%% with vs %.1f%% without\n",
+		tierAcc(fwFull.Tier, test)*100, tierAcc(fwNoTop.Tier, zeroTop(test))*100)
+
+	// 2. PR threshold vs fixed 0.5.
+	fw := core.Train(train, core.TrainOptions{Seed: s.Seed + 703})
+	lossAt := func(tp float64) float64 {
+		pol := fw.PolicyFor(b)
+		pol.TP = tp
+		lost, n := 0, 0
+		for _, smp := range test {
+			rep := s.diagnose(b, smp.Log)
+			if !rep.Accurate(b.Netlist, smp.Faults) {
+				continue
+			}
+			n++
+			if !pol.Apply(rep, smp.SG).Report.Accurate(b.Netlist, smp.Faults) {
+				lost++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return float64(lost) / float64(n)
+	}
+	s.printf("2. Pruning accuracy loss: %.1f%% at T_P=%.3f vs %.1f%% at fixed 0.5\n",
+		lossAt(fw.TP)*100, fw.TP, lossAt(0.5)*100)
+
+	// 3. Oversampling for the Classifier.
+	var cls []gnn.GraphSample
+	for _, smp := range train {
+		if smp.TierLabel < 0 {
+			continue
+		}
+		tier, conf := fw.Tier.PredictTier(smp.SG)
+		if conf < fw.TP {
+			continue
+		}
+		label := 0
+		if tier == smp.TierLabel {
+			label = 1
+		}
+		cls = append(cls, gnn.GraphSample{SG: smp.SG, Label: label})
+	}
+	fpCaught := func(c *gnn.Classifier) (int, int) {
+		ok, n := 0, 0
+		for _, smp := range test {
+			if smp.TierLabel < 0 {
+				continue
+			}
+			tier, conf := fw.Tier.PredictTier(smp.SG)
+			if conf < fw.TP || tier == smp.TierLabel {
+				continue
+			}
+			n++
+			if c.PredictPrune(smp.SG) < 0.5 {
+				ok++
+			}
+		}
+		return ok, n
+	}
+	cOS := gnn.NewClassifier(fw.Tier, s.Seed+704)
+	cOS.Train(policy.Oversample(cls, s.Seed+705), gnn.TrainConfig{Epochs: 15, Seed: s.Seed + 706})
+	cRaw := gnn.NewClassifier(fw.Tier, s.Seed+704)
+	cRaw.Train(cls, gnn.TrainConfig{Epochs: 15, Seed: s.Seed + 706})
+	a, an := fpCaught(cOS)
+	r, rn := fpCaught(cRaw)
+	s.printf("3. Classifier FP rejection: %d/%d with oversampling vs %d/%d without\n", a, an, r, rn)
+	return nil
+}

@@ -1,0 +1,130 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinySuite runs experiments end to end at a very small scale.
+func tinySuite() (*Suite, *bytes.Buffer) {
+	var buf bytes.Buffer
+	s := NewSuite(&buf)
+	s.Scale = 0.1
+	s.TrainCount = 60
+	s.TestCount = 24
+	s.Designs = []string{"aes"}
+	return s, &buf
+}
+
+func TestSuiteTable3(t *testing.T) {
+	s, buf := tinySuite()
+	if err := s.Run("table3"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table III") || !strings.Contains(out, "aes") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	// FC must be present and plausible.
+	if !strings.Contains(out, "%") {
+		t.Fatal("no coverage column")
+	}
+}
+
+func TestSuiteTable5And6(t *testing.T) {
+	s, buf := tinySuite()
+	if err := s.Run("table5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run("table6"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table V", "Table VI", "GNN standalone", "syn1", "tpi", "syn2", "par"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSuiteFig5(t *testing.T) {
+	s, buf := tinySuite()
+	s.Designs = []string{"tate"} // Fig5 is defined on tate
+	s.TestCount = 16
+	if err := s.Run("fig5"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "distance ratio") {
+		t.Fatalf("missing overlap ratio:\n%s", buf.String())
+	}
+}
+
+func TestSuiteTable11(t *testing.T) {
+	s, buf := tinySuite()
+	if err := s.Run("table11"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ATPG only", "Tier-predictor", "MIV-pinpointer", "Tier + MIV"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing method row %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSuiteUnknownExperiment(t *testing.T) {
+	s, _ := tinySuite()
+	if err := s.Run("table99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestDelta(t *testing.T) {
+	if Delta(10, 5) != 50 {
+		t.Fatalf("Delta = %v", Delta(10, 5))
+	}
+	if Delta(0, 5) != 0 {
+		t.Fatal("Delta with zero base")
+	}
+}
+
+func TestEvalStateMetrics(t *testing.T) {
+	var st evalState
+	st.samples = 4
+	st.accurate = 3
+	st.resolutions = []float64{2, 4, 6, 8}
+	st.fhis = []float64{1, 3}
+	st.addTier(true)
+	st.addTier(false)
+	m := st.metrics()
+	if m.Accuracy != 0.75 || m.MeanRes != 5 || m.MeanFHI != 2 || m.TierLocal != 0.5 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestSuiteAblations(t *testing.T) {
+	s, buf := tinySuite()
+	if err := s.Run("ablations"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Topedge features", "Pruning accuracy loss", "FP rejection"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSuiteDeterministicOutput(t *testing.T) {
+	run := func() string {
+		s, buf := tinySuite()
+		if err := s.Run("table3"); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if run() != run() {
+		t.Fatal("table3 output differs across identical runs")
+	}
+}

@@ -1,0 +1,100 @@
+// Package experiment reproduces every table and figure of the paper's
+// evaluation: the workload generators, parameter sweeps, baselines, and
+// printers that emit the same rows and series the paper reports. See
+// DESIGN.md for the per-experiment index.
+package experiment
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/diagnosis"
+	"repro/internal/mat"
+	"repro/internal/netlist"
+)
+
+// ReportMetrics aggregates diagnosis-report quality over a sample set, the
+// way Tables V–VIII report it.
+type ReportMetrics struct {
+	Samples   int
+	Accuracy  float64
+	MeanRes   float64
+	StdRes    float64
+	MeanFHI   float64
+	StdFHI    float64
+	TierLocal float64 // fraction localized at tier level (see TierBasis)
+	// TierBasis counts the reports considered for TierLocal (reports
+	// already single-tier in the raw ATPG output are excluded, matching
+	// the paper's accounting).
+	TierBasis int
+}
+
+// evalState accumulates per-sample measurements.
+type evalState struct {
+	resolutions []float64
+	fhis        []float64
+	accurate    int
+	samples     int
+	tierOK      int
+	tierBasis   int
+}
+
+func (e *evalState) add(n *netlist.Netlist, rep *diagnosis.Report, s dataset.Sample) {
+	e.samples++
+	e.resolutions = append(e.resolutions, float64(rep.Resolution()))
+	if rep.Accurate(n, s.Faults) {
+		e.accurate++
+		if f := rep.FirstHit(n, s.Faults); f > 0 {
+			e.fhis = append(e.fhis, float64(f))
+		}
+	}
+}
+
+// addTier records one tier-localization observation (only called for
+// reports that were not already single-tier before localization).
+func (e *evalState) addTier(localized bool) {
+	e.tierBasis++
+	if localized {
+		e.tierOK++
+	}
+}
+
+func (e *evalState) metrics() ReportMetrics {
+	m := ReportMetrics{Samples: e.samples, TierBasis: e.tierBasis}
+	if e.samples > 0 {
+		m.Accuracy = float64(e.accurate) / float64(e.samples)
+	}
+	m.MeanRes, m.StdRes = mat.MeanStd(e.resolutions)
+	m.MeanFHI, m.StdFHI = mat.MeanStd(e.fhis)
+	if e.tierBasis > 0 {
+		m.TierLocal = float64(e.tierOK) / float64(e.tierBasis)
+	}
+	return m
+}
+
+// EvalATPG measures raw ATPG diagnosis report quality on samples
+// (Tables V and VII).
+func EvalATPG(b *dataset.Bundle, samples []dataset.Sample) ReportMetrics {
+	var st evalState
+	for _, s := range samples {
+		rep := b.Diag.Diagnose(s.Log)
+		st.add(b.Netlist, rep, s)
+	}
+	return st.metrics()
+}
+
+// evalATPGCached is EvalATPG through the suite's report cache.
+func (s *Suite) evalATPGCached(b *dataset.Bundle, samples []dataset.Sample) ReportMetrics {
+	var st evalState
+	for _, smp := range samples {
+		st.add(b.Netlist, s.diagnose(b, smp.Log), smp)
+	}
+	return st.metrics()
+}
+
+// Delta expresses the relative improvement of m over base for a
+// smaller-is-better quantity, as the paper's parenthesized percentages.
+func Delta(base, m float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - m) / base * 100
+}

@@ -1,0 +1,290 @@
+package experiment
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/diagnosis"
+	"repro/internal/gnn"
+	"repro/internal/hgraph"
+	"repro/internal/netlist"
+	"repro/internal/policy"
+)
+
+// Table3 prints the design matrix (paper Table III): gate count, MIVs,
+// scan chains and channels, chain length, pattern count, and TDF coverage
+// for the Syn-1 configuration of every benchmark.
+func (s *Suite) Table3() error {
+	s.printf("\n== Table III: design matrix of M3D benchmarks ==\n")
+	s.printf("%-9s %8s %8s %10s %8s %10s %7s\n",
+		"Design", "Ng", "#MIVs", "Nsc(Nch)", "ChainLen", "#Patterns", "FC")
+	for _, d := range s.Designs {
+		b, err := s.bundle(d, dataset.Syn1, 0)
+		if err != nil {
+			return err
+		}
+		st, err := b.Netlist.ComputeStats()
+		if err != nil {
+			return err
+		}
+		s.printf("%-9s %8d %8d %6d(%2d) %8d %10d %6.1f%%\n",
+			d, st.Gates, st.MIVs, b.Arch.NumChains(), b.Arch.Channels,
+			b.Arch.ChainLen, b.ATPG.Patterns.N, b.ATPG.Coverage()*100)
+	}
+	return nil
+}
+
+// Table2 prints the Table-II feature significance scores produced by the
+// feature-mask explainer on the Tate Tier-predictor.
+func (s *Suite) Table2() error {
+	s.printf("\n== Table II: feature significance (GNNExplainer-style mask) ==\n")
+	design := "tate"
+	fw, err := s.framework(design, false)
+	if err != nil {
+		return err
+	}
+	test, _, err := s.testSamples(design, dataset.Syn1, false)
+	if err != nil {
+		return err
+	}
+	var sgs []*hgraph.Subgraph
+	for _, smp := range test {
+		if len(sgs) >= 40 {
+			break
+		}
+		sgs = append(sgs, smp.SG)
+	}
+	scores := gnn.ExplainFeatures(fw.Tier.Model, sgs, 30, 0.05)
+	s.printf("%-42s %s\n", "Feature", "Significance")
+	for i, name := range hgraph.FeatureNames {
+		s.printf("%-42s %.4f\n", name, scores[i])
+	}
+	return nil
+}
+
+// TableATPGQuality prints Tables V/VII: raw ATPG diagnosis report quality
+// per design and configuration.
+func (s *Suite) TableATPGQuality(compacted bool, title string) error {
+	s.printf("\n== %s ==\n", title)
+	s.printf("%-9s %-6s %9s %10s %9s %8s %8s\n",
+		"Design", "Config", "Accuracy", "MeanResol", "StdResol", "MeanFHI", "StdFHI")
+	for _, d := range s.Designs {
+		for _, cfg := range dataset.Configs() {
+			test, b, err := s.testSamples(d, cfg, compacted)
+			if err != nil {
+				return err
+			}
+			m := s.evalATPGCached(b, test)
+			s.printf("%-9s %-6s %8.1f%% %10.1f %9.1f %8.1f %8.1f\n",
+				d, cfg, m.Accuracy*100, m.MeanRes, m.StdRes, m.MeanFHI, m.StdFHI)
+		}
+	}
+	return nil
+}
+
+// methodEval aggregates one localization method over a test set.
+type methodEval struct {
+	st evalState
+}
+
+// localization metrics need the truth tier; MIV-site samples are excluded
+// from the tier statistic, matching the paper (MIVs belong to no tier).
+func tierLocalizedAtFaulty(rep *diagnosis.Report, n *netlist.Netlist, truthTier int) bool {
+	if len(rep.Candidates) == 0 {
+		return false
+	}
+	for _, c := range rep.Candidates {
+		if policy.EffectiveTier(n, c.Fault.SiteGate(n)) != truthTier {
+			return false
+		}
+	}
+	return true
+}
+
+func spansBothTiers(rep *diagnosis.Report, n *netlist.Netlist) bool {
+	if len(rep.Candidates) < 2 {
+		return false
+	}
+	first := policy.EffectiveTier(n, rep.Candidates[0].Fault.SiteGate(n))
+	for _, c := range rep.Candidates[1:] {
+		if policy.EffectiveTier(n, c.Fault.SiteGate(n)) != first {
+			return true
+		}
+	}
+	return false
+}
+
+// TableLocalization prints Tables VI/VIII: the 2-D baseline [11], the
+// proposed framework standalone, and the combined flow, with tier-level
+// localization, per design and configuration. Deltas are vs. the raw ATPG
+// report.
+func (s *Suite) TableLocalization(compacted bool, title string) error {
+	s.printf("\n== %s ==\n", title)
+	s.printf("%-9s %-6s | %-34s | %-34s | %-34s\n", "", "",
+		"[11] baseline", "GNN standalone", "GNN + [11]")
+	s.printf("%-9s %-6s | %6s %9s %9s %6s | %6s %9s %9s %6s | %6s %9s %9s %6s\n",
+		"Design", "Config",
+		"Acc", "Res(d%)", "FHI(d%)", "TierL",
+		"Acc", "Res(d%)", "FHI(d%)", "TierL",
+		"Acc", "Res(d%)", "FHI(d%)", "TierL")
+	for _, d := range s.Designs {
+		fw, err := s.framework(d, compacted)
+		if err != nil {
+			return err
+		}
+		bl, err := s.baselineModel(d, compacted)
+		if err != nil {
+			return err
+		}
+		for _, cfg := range dataset.Configs() {
+			test, b, err := s.testSamples(d, cfg, compacted)
+			if err != nil {
+				return err
+			}
+			n := b.Netlist
+			atpg := &methodEval{}
+			blEval := &methodEval{}
+			gnnEval := &methodEval{}
+			combo := &methodEval{}
+			pol := fw.PolicyFor(b)
+			for _, smp := range test {
+				rep := s.diagnose(b, smp.Log)
+				atpg.st.add(n, rep, smp)
+
+				// Tier-localization basis: reports not already single-tier.
+				basis := spansBothTiers(rep, n) && smp.TierLabel >= 0
+
+				// [11] baseline.
+				blRep := bl.Apply(rep, n)
+				blEval.st.add(n, blRep, smp)
+				if basis {
+					blEval.st.addTier(tierLocalizedAtFaulty(blRep, n, smp.TierLabel))
+				}
+
+				// Proposed framework (the sample carries its back-traced
+				// subgraph).
+				sg := smp.SG
+				out := pol.Apply(rep, sg)
+				gnnEval.st.add(n, out.Report, smp)
+				if basis {
+					gnnEval.st.addTier(out.PredictedTier == smp.TierLabel)
+				}
+
+				// Combined: framework first, then the baseline filter.
+				comboRep := bl.Apply(out.Report, n)
+				combo.st.add(n, comboRep, smp)
+				if basis {
+					combo.st.addTier(out.PredictedTier == smp.TierLabel)
+				}
+			}
+			am := atpg.st.metrics()
+			prints := func(m ReportMetrics) {
+				s.printf("%5.1f%% %4.1f(%+3.0f%%) %4.1f(%+3.0f%%) %5.1f%% | ",
+					m.Accuracy*100,
+					m.MeanRes, Delta(am.MeanRes, m.MeanRes),
+					m.MeanFHI, Delta(am.MeanFHI, m.MeanFHI),
+					m.TierLocal*100)
+			}
+			s.printf("%-9s %-6s | ", d, cfg)
+			prints(blEval.st.metrics())
+			prints(gnnEval.st.metrics())
+			prints(combo.st.metrics())
+			s.printf("\n")
+		}
+	}
+	return nil
+}
+
+// Table10 prints the multi-fault localization results (paper Table X):
+// 2–5 same-tier TDFs, training on Syn-1, testing on Syn-2.
+func (s *Suite) Table10() error {
+	s.printf("\n== Table X: multiple delay-fault localization ==\n")
+	s.printf("%-9s | %-28s | %-38s\n", "", "ATPG diagnosis only", "Proposed framework")
+	s.printf("%-9s | %6s %8s %8s | %6s %8s %8s %6s\n",
+		"Design", "Acc", "MeanRes", "MeanFHI", "Acc", "Res(d%)", "FHI(d%)", "TierL")
+	for _, d := range s.Designs {
+		// Train on Syn-1 multi-fault samples.
+		trainB, err := s.bundle(d, dataset.Syn1, 0)
+		if err != nil {
+			return err
+		}
+		train := trainB.Generate(dataset.SampleOptions{
+			Count: s.TrainCount, Seed: s.Seed + 300, MultiFault: true,
+		})
+		fw := core.Train(train, core.TrainOptions{Seed: s.Seed + 301})
+
+		testB, err := s.bundle(d, dataset.Syn2, 0)
+		if err != nil {
+			return err
+		}
+		test := testB.Generate(dataset.SampleOptions{
+			Count: s.TestCount, Seed: s.Seed + 302, MultiFault: true,
+		})
+		n := testB.Netlist
+		pol := fw.PolicyFor(testB)
+		// Multi-fault samples carry no single-MIV labels; run tier-only.
+		pol.DisableMIV = true
+		var atpgSt, fwSt evalState
+		for _, smp := range test {
+			rep := testB.Diag.DiagnoseMulti(smp.Log)
+			atpgSt.add(n, rep, smp)
+			out := pol.Apply(rep, smp.SG)
+			fwSt.add(n, out.Report, smp)
+			if smp.TierLabel >= 0 {
+				fwSt.addTier(out.PredictedTier == smp.TierLabel)
+			}
+		}
+		am, fm := atpgSt.metrics(), fwSt.metrics()
+		s.printf("%-9s | %5.1f%% %8.1f %8.1f | %5.1f%% %4.1f(%+3.0f%%) %4.1f(%+3.0f%%) %5.1f%%\n",
+			d, am.Accuracy*100, am.MeanRes, am.MeanFHI,
+			fm.Accuracy*100, fm.MeanRes, Delta(am.MeanRes, fm.MeanRes),
+			fm.MeanFHI, Delta(am.MeanFHI, fm.MeanFHI), fm.TierLocal*100)
+	}
+	return nil
+}
+
+// Table11 prints the standalone-model ablation (paper Table XI) on AES
+// Syn-1, with the test set augmented by 10% MIV-fault-only samples.
+func (s *Suite) Table11() error {
+	s.printf("\n== Table XI: standalone Tier-predictor / MIV-pinpointer ablation (aes) ==\n")
+	design := "aes"
+	fw, err := s.framework(design, false)
+	if err != nil {
+		return err
+	}
+	test, b, err := s.testSamples(design, dataset.Syn1, false)
+	if err != nil {
+		return err
+	}
+	// Augment by 10% MIV-only samples.
+	extra := b.Generate(dataset.SampleOptions{
+		Count: s.TestCount / 10, Seed: s.Seed + 400, MIVFraction: 1.0,
+	})
+	test = append(append([]dataset.Sample(nil), test...), extra...)
+
+	n := b.Netlist
+	modes := []struct {
+		name string
+		pol  *policy.Policy
+	}{
+		{"ATPG only", nil},
+		{"Tier-predictor", &policy.Policy{Tier: fw.Tier, Cls: fw.Cls, TP: fw.TP, Graph: b.Graph, DisableMIV: true}},
+		{"MIV-pinpointer", &policy.Policy{MIV: fw.MIV, Graph: b.Graph, DisableTier: true}},
+		{"Tier + MIV", &policy.Policy{Tier: fw.Tier, MIV: fw.MIV, Cls: fw.Cls, TP: fw.TP, Graph: b.Graph}},
+	}
+	s.printf("%-16s %9s %9s %9s %9s %9s\n",
+		"Method", "Accuracy", "MeanRes", "StdRes", "MeanFHI", "StdFHI")
+	for _, mode := range modes {
+		var st evalState
+		for _, smp := range test {
+			rep := s.diagnose(b, smp.Log)
+			if mode.pol != nil {
+				rep = mode.pol.Apply(rep, smp.SG).Report
+			}
+			st.add(n, rep, smp)
+		}
+		m := st.metrics()
+		s.printf("%-16s %8.1f%% %9.1f %9.1f %9.1f %9.1f\n",
+			mode.name, m.Accuracy*100, m.MeanRes, m.StdRes, m.MeanFHI, m.StdFHI)
+	}
+	return nil
+}

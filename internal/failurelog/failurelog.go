@@ -1,0 +1,114 @@
+// Package failurelog defines the tester failure log: the list of failing
+// (pattern, observation) bits a defective chip produces on automatic test
+// equipment. The log, together with the netlist and pattern set, is the
+// only input the diagnosis framework consumes — matching the paper's claim
+// that no extra diagnostic test data is required.
+package failurelog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/scan"
+)
+
+// Log is one chip's failure log.
+type Log struct {
+	// Design names the circuit under diagnosis.
+	Design string
+	// Compacted records whether responses passed through the EDT compactor.
+	Compacted bool
+	// Truncated marks a log cut short by the tester's fail memory; a
+	// diagnosis engine must then ignore predicted failures beyond the last
+	// recorded pattern.
+	Truncated bool
+	// Fails lists failing bits sorted by (pattern, observation).
+	Fails []scan.Failure
+}
+
+// LastPattern returns the highest failing pattern ID, or -1 for an empty
+// log.
+func (l *Log) LastPattern() int32 {
+	last := int32(-1)
+	for _, f := range l.Fails {
+		if f.Pattern > last {
+			last = f.Pattern
+		}
+	}
+	return last
+}
+
+// FailingPatterns returns the distinct failing pattern IDs in order.
+func (l *Log) FailingPatterns() []int32 {
+	var out []int32
+	seen := make(map[int32]bool)
+	for _, f := range l.Fails {
+		if !seen[f.Pattern] {
+			seen[f.Pattern] = true
+			out = append(out, f.Pattern)
+		}
+	}
+	return out
+}
+
+// FailsByPattern groups failing observations by pattern.
+func (l *Log) FailsByPattern() map[int32][]int32 {
+	m := make(map[int32][]int32)
+	for _, f := range l.Fails {
+		m[f.Pattern] = append(m[f.Pattern], f.Obs)
+	}
+	return m
+}
+
+// Empty reports whether the log contains no failures (the chip passed).
+func (l *Log) Empty() bool { return len(l.Fails) == 0 }
+
+// Write serializes the log in a simple line format:
+//
+//	FAILLOG <design> compacted=<bool>
+//	<pattern> <obs>
+//	...
+func Write(w io.Writer, l *Log) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "FAILLOG %s compacted=%t\n", l.Design, l.Compacted)
+	for _, f := range l.Fails {
+		fmt.Fprintf(bw, "%d %d\n", f.Pattern, f.Obs)
+	}
+	return bw.Flush()
+}
+
+// Read parses the format produced by Write.
+func Read(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("failurelog: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 3 || header[0] != "FAILLOG" {
+		return nil, fmt.Errorf("failurelog: bad header %q", sc.Text())
+	}
+	l := &Log{Design: header[1]}
+	switch header[2] {
+	case "compacted=true":
+		l.Compacted = true
+	case "compacted=false":
+		l.Compacted = false
+	default:
+		return nil, fmt.Errorf("failurelog: bad header flag %q", header[2])
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var p, o int32
+		if _, err := fmt.Sscanf(line, "%d %d", &p, &o); err != nil {
+			return nil, fmt.Errorf("failurelog: bad line %q: %w", line, err)
+		}
+		l.Fails = append(l.Fails, scan.Failure{Pattern: p, Obs: o})
+	}
+	return l, sc.Err()
+}

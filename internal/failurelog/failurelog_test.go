@@ -1,0 +1,88 @@
+package failurelog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/scan"
+)
+
+func sample() *Log {
+	return &Log{
+		Design:    "aes",
+		Compacted: true,
+		Fails: []scan.Failure{
+			{Pattern: 0, Obs: 3},
+			{Pattern: 0, Obs: 7},
+			{Pattern: 2, Obs: 3},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	l := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Design != "aes" || !got.Compacted || len(got.Fails) != 3 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	for i := range l.Fails {
+		if got.Fails[i] != l.Fails[i] {
+			t.Fatalf("fail %d: %v vs %v", i, got.Fails[i], l.Fails[i])
+		}
+	}
+}
+
+func TestFailingPatterns(t *testing.T) {
+	l := sample()
+	ps := l.FailingPatterns()
+	if len(ps) != 2 || ps[0] != 0 || ps[1] != 2 {
+		t.Fatalf("FailingPatterns = %v", ps)
+	}
+}
+
+func TestFailsByPattern(t *testing.T) {
+	m := sample().FailsByPattern()
+	if len(m[0]) != 2 || len(m[2]) != 1 {
+		t.Fatalf("FailsByPattern = %v", m)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if !(&Log{}).Empty() {
+		t.Fatal("empty log not Empty")
+	}
+	if sample().Empty() {
+		t.Fatal("non-empty log Empty")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"NOTAHEADER x y",
+		"FAILLOG aes compacted=maybe",
+		"FAILLOG aes compacted=true\nnot numbers",
+	} {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestReadUncompactedFlag(t *testing.T) {
+	l, err := Read(strings.NewReader("FAILLOG tate compacted=false\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Compacted || l.Design != "tate" || len(l.Fails) != 1 {
+		t.Fatalf("%+v", l)
+	}
+}

@@ -1,0 +1,57 @@
+package faultsim
+
+import "repro/internal/netlist"
+
+// Collapse reduces the uncollapsed TDF list to structural equivalence
+// class representatives, using only transformations that are exact for
+// transition faults under any pattern set:
+//
+//   - an input-pin fault on a net's only sink is equivalent to the driver's
+//     output fault (same polarity);
+//   - a buffer's output fault is equivalent to its input fault;
+//   - an inverter's output fault is equivalent to its input fault with the
+//     opposite polarity (a late rise at the input is a late fall at the
+//     output).
+//
+// It returns the representative list and a map from every fault in the
+// uncollapsed list to the index of its representative. Fault-coverage
+// bookkeeping on the collapsed list matches commercial practice.
+func Collapse(n *netlist.Netlist) (reps []Fault, classOf map[Fault]int) {
+	all := AllFaults(n)
+	classOf = make(map[Fault]int, len(all))
+	repIdx := make(map[Fault]int)
+
+	// canonical walks a fault to its class representative.
+	var canonical func(f Fault) Fault
+	canonical = func(f Fault) Fault {
+		if f.Pin != OutputPin {
+			g := n.Gates[f.Gate]
+			src := n.Gates[g.Fanin[f.Pin]]
+			if len(src.Fanout) == 1 {
+				// Only sink: equivalent to the driver's output fault.
+				return canonical(Fault{Gate: src.ID, Pin: OutputPin, Pol: f.Pol})
+			}
+			return f
+		}
+		g := n.Gates[f.Gate]
+		switch g.Type {
+		case netlist.Buf:
+			return canonical(Fault{Gate: g.ID, Pin: 0, Pol: f.Pol})
+		case netlist.Not:
+			return canonical(Fault{Gate: g.ID, Pin: 0, Pol: 1 - f.Pol})
+		}
+		return f
+	}
+
+	for _, f := range all {
+		rep := canonical(f)
+		idx, ok := repIdx[rep]
+		if !ok {
+			idx = len(reps)
+			repIdx[rep] = idx
+			reps = append(reps, rep)
+		}
+		classOf[f] = idx
+	}
+	return reps, classOf
+}

@@ -1,0 +1,90 @@
+package faultsim
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sim"
+)
+
+// TestCollapseClassesBehaveIdentically verifies that every fault produces
+// exactly the same observation diff as its class representative, over a
+// real generated design (buffer chains included, which is where collapsing
+// bites).
+func TestCollapseClassesBehaveIdentically(t *testing.T) {
+	p, _ := gen.ProfileByName("netcard") // buffer-chain heavy
+	n := gen.Generate(p.Scaled(0.05), 1)
+	s, err := sim.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(s)
+	ps := sim.RandomPatterns(n, 128, 7)
+	res := s.Run(ps)
+
+	reps, classOf := Collapse(n)
+	all := AllFaults(n)
+	if len(reps) >= len(all) {
+		t.Fatalf("collapsing did not reduce the list: %d vs %d", len(reps), len(all))
+	}
+	t.Logf("collapsed %d -> %d (%.1f%%)", len(all), len(reps),
+		float64(len(reps))/float64(len(all))*100)
+
+	sameDiff := func(a, b map[int][]uint64) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k, va := range a {
+			vb, ok := b[k]
+			if !ok || len(va) != len(vb) {
+				return false
+			}
+			for i := range va {
+				if va[i] != vb[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	checked := 0
+	for i, f := range all {
+		rep := reps[classOf[f]]
+		if rep == f {
+			continue
+		}
+		if i%17 != 0 { // sample the list; full check is O(faults × cones)
+			continue
+		}
+		checked++
+		da := e.Diff(res, []Fault{f})
+		db := e.Diff(res, []Fault{rep})
+		if !sameDiff(da, db) {
+			t.Fatalf("fault %v and representative %v diverge", f, rep)
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d equivalences checked", checked)
+	}
+}
+
+func TestCollapseEveryFaultMapped(t *testing.T) {
+	p, _ := gen.ProfileByName("aes")
+	n := gen.Generate(p.Scaled(0.04), 2)
+	reps, classOf := Collapse(n)
+	for _, f := range AllFaults(n) {
+		idx, ok := classOf[f]
+		if !ok {
+			t.Fatalf("fault %v unmapped", f)
+		}
+		if idx < 0 || idx >= len(reps) {
+			t.Fatalf("fault %v maps to bad class %d", f, idx)
+		}
+	}
+	// Representatives map to themselves.
+	for i, r := range reps {
+		if classOf[r] != i {
+			t.Fatalf("representative %v not canonical", r)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package faultsim
+
+import (
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// diffState holds reusable buffers for the single-fault multi-word diff
+// path, the inner loop of diagnosis candidate scoring.
+type diffState struct {
+	words  int
+	fval   []uint64 // len gates*words: faulty values where vstamp matches
+	vstamp []int32
+	pstamp []int32
+	stamp  int32
+	queue  *levelQueue
+	capts  []int32 // changed capture gates collected during propagation
+	isCapt []bool
+}
+
+func (e *Engine) initDiff(words int) {
+	n := e.n
+	ds := &diffState{
+		words:  words,
+		fval:   make([]uint64, len(n.Gates)*words),
+		vstamp: make([]int32, len(n.Gates)),
+		pstamp: make([]int32, len(n.Gates)),
+		isCapt: make([]bool, len(n.Gates)),
+	}
+	for i := range ds.vstamp {
+		ds.vstamp[i] = -1
+		ds.pstamp[i] = -1
+	}
+	for _, po := range n.POs {
+		ds.isCapt[n.Gates[po].Fanin[0]] = true
+	}
+	for _, ff := range n.FFs {
+		ds.isCapt[n.Gates[ff].Fanin[0]] = true
+	}
+	ds.queue = newLevelQueue(n)
+	e.dfs = ds
+}
+
+// diffFast computes the observation-gate difference map for one fault,
+// equivalent to the generic Diff path but allocation-free in the
+// propagation loop.
+func (e *Engine) diffFast(res *sim.Result, f Fault) map[int][]uint64 {
+	words := len(res.V2[0])
+	if e.dfs == nil || e.dfs.words != words {
+		e.initDiff(words)
+	}
+	ds := e.dfs
+	ds.stamp++
+	st := ds.stamp
+	n := e.n
+
+	good := func(id int) []uint64 { return res.V2[id] }
+	faulty := func(id int) []uint64 {
+		if ds.vstamp[id] == st {
+			return ds.fval[id*words : (id+1)*words]
+		}
+		return good(id)
+	}
+
+	seed := f.Gate
+	seedIsDFFOut := f.Pin == OutputPin && n.Gates[seed].Type == netlist.DFF
+	ds.queue.reset()
+	ds.capts = ds.capts[:0]
+	// DFF/PO input-pin faults only perturb the observation itself.
+	obsOnly := false
+	if f.Pin != OutputPin {
+		t := n.Gates[f.Gate].Type
+		if t == netlist.DFF || t == netlist.Output {
+			obsOnly = true
+		}
+	}
+	if !obsOnly {
+		ds.queue.push(int32(seed))
+		ds.pstamp[seed] = st
+	}
+
+	out := make([]uint64, words)
+	for !ds.queue.empty() {
+		id := int(ds.queue.popMin())
+		g := n.Gates[id]
+		switch {
+		case g.Type == netlist.DFF:
+			if !(id == seed && seedIsDFFOut) {
+				continue
+			}
+			gv := good(id)
+			for w := 0; w < words; w++ {
+				out[w] = applyTDF(f.Pol, res.V1[id][w], gv[w])
+			}
+		case g.Type == netlist.Output || g.Type == netlist.Input:
+			continue
+		default:
+			evalFastWords(g, faulty, words, out)
+			if id == f.Gate && f.Pin != OutputPin {
+				src := g.Fanin[f.Pin]
+				sv := faulty(src)
+				pert := make([]uint64, words)
+				for w := 0; w < words; w++ {
+					pert[w] = applyTDF(f.Pol, res.V1[src][w], sv[w])
+				}
+				evalFastWordsOverride(g, faulty, f.Pin, pert, words, out)
+			}
+			if id == f.Gate && f.Pin == OutputPin {
+				for w := 0; w < words; w++ {
+					out[w] = applyTDF(f.Pol, res.V1[id][w], out[w])
+				}
+			}
+		}
+		gv := good(id)
+		diff := false
+		for w := 0; w < words; w++ {
+			if out[w] != gv[w] {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			continue
+		}
+		copy(ds.fval[id*words:(id+1)*words], out)
+		ds.vstamp[id] = st
+		if ds.isCapt[id] {
+			ds.capts = append(ds.capts, int32(id))
+		}
+		for _, s := range g.Fanout {
+			sg := n.Gates[s]
+			if sg.Type == netlist.Output || sg.Type == netlist.DFF {
+				continue
+			}
+			if ds.pstamp[s] != st {
+				ds.pstamp[s] = st
+				ds.queue.push(int32(s))
+			}
+		}
+	}
+
+	// Fold changed capture sources into observation diffs, applying any
+	// observation-local input-pin fault.
+	obsDiff := make(map[int][]uint64)
+	record := func(obsGate, captureSrc int) {
+		captured := good(captureSrc)
+		if ds.vstamp[captureSrc] == st {
+			captured = ds.fval[captureSrc*words : (captureSrc+1)*words]
+		}
+		var local []uint64
+		if f.Pin != OutputPin && f.Gate == obsGate {
+			local = make([]uint64, words)
+			for w := 0; w < words; w++ {
+				local[w] = applyTDF(f.Pol, res.V1[captureSrc][w], captured[w])
+			}
+			captured = local
+		}
+		gv := good(captureSrc)
+		d := make([]uint64, words)
+		any := uint64(0)
+		for w := 0; w < words; w++ {
+			d[w] = captured[w] ^ gv[w]
+			any |= d[w]
+		}
+		if any != 0 {
+			obsDiff[obsGate] = d
+		}
+	}
+	for _, po := range n.POs {
+		src := n.Gates[po].Fanin[0]
+		if ds.vstamp[src] == st || (f.Pin != OutputPin && f.Gate == po) {
+			record(po, src)
+		}
+	}
+	for _, ff := range n.FFs {
+		src := n.Gates[ff].Fanin[0]
+		if ds.vstamp[src] == st || (f.Pin != OutputPin && f.Gate == ff) {
+			record(ff, src)
+		}
+	}
+	return obsDiff
+}
+
+// evalFastWords evaluates a gate word-wise from per-gate value accessors.
+func evalFastWords(g *netlist.Gate, val func(int) []uint64, words int, out []uint64) {
+	switch g.Type {
+	case netlist.Buf:
+		copy(out, val(g.Fanin[0]))
+	case netlist.Not:
+		src := val(g.Fanin[0])
+		for w := 0; w < words; w++ {
+			out[w] = ^src[w]
+		}
+	case netlist.And, netlist.Nand:
+		copy(out, val(g.Fanin[0]))
+		for _, f := range g.Fanin[1:] {
+			src := val(f)
+			for w := 0; w < words; w++ {
+				out[w] &= src[w]
+			}
+		}
+		if g.Type == netlist.Nand {
+			for w := 0; w < words; w++ {
+				out[w] = ^out[w]
+			}
+		}
+	case netlist.Or, netlist.Nor:
+		copy(out, val(g.Fanin[0]))
+		for _, f := range g.Fanin[1:] {
+			src := val(f)
+			for w := 0; w < words; w++ {
+				out[w] |= src[w]
+			}
+		}
+		if g.Type == netlist.Nor {
+			for w := 0; w < words; w++ {
+				out[w] = ^out[w]
+			}
+		}
+	case netlist.Xor, netlist.Xnor:
+		copy(out, val(g.Fanin[0]))
+		for _, f := range g.Fanin[1:] {
+			src := val(f)
+			for w := 0; w < words; w++ {
+				out[w] ^= src[w]
+			}
+		}
+		if g.Type == netlist.Xnor {
+			for w := 0; w < words; w++ {
+				out[w] = ^out[w]
+			}
+		}
+	case netlist.Mux:
+		sel, a, b := val(g.Fanin[0]), val(g.Fanin[1]), val(g.Fanin[2])
+		for w := 0; w < words; w++ {
+			out[w] = (sel[w] & b[w]) | (^sel[w] & a[w])
+		}
+	}
+}
+
+// evalFastWordsOverride is evalFastWords with one input overridden.
+func evalFastWordsOverride(g *netlist.Gate, val func(int) []uint64, pin int, pv []uint64, words int, out []uint64) {
+	in := func(p int) []uint64 {
+		if p == pin {
+			return pv
+		}
+		return val(g.Fanin[p])
+	}
+	switch g.Type {
+	case netlist.Buf:
+		copy(out, in(0))
+	case netlist.Not:
+		src := in(0)
+		for w := 0; w < words; w++ {
+			out[w] = ^src[w]
+		}
+	case netlist.And, netlist.Nand:
+		copy(out, in(0))
+		for p := 1; p < len(g.Fanin); p++ {
+			src := in(p)
+			for w := 0; w < words; w++ {
+				out[w] &= src[w]
+			}
+		}
+		if g.Type == netlist.Nand {
+			for w := 0; w < words; w++ {
+				out[w] = ^out[w]
+			}
+		}
+	case netlist.Or, netlist.Nor:
+		copy(out, in(0))
+		for p := 1; p < len(g.Fanin); p++ {
+			src := in(p)
+			for w := 0; w < words; w++ {
+				out[w] |= src[w]
+			}
+		}
+		if g.Type == netlist.Nor {
+			for w := 0; w < words; w++ {
+				out[w] = ^out[w]
+			}
+		}
+	case netlist.Xor, netlist.Xnor:
+		copy(out, in(0))
+		for p := 1; p < len(g.Fanin); p++ {
+			src := in(p)
+			for w := 0; w < words; w++ {
+				out[w] ^= src[w]
+			}
+		}
+		if g.Type == netlist.Xnor {
+			for w := 0; w < words; w++ {
+				out[w] = ^out[w]
+			}
+		}
+	case netlist.Mux:
+		sel, a, b := in(0), in(1), in(2)
+		for w := 0; w < words; w++ {
+			out[w] = (sel[w] & b[w]) | (^sel[w] & a[w])
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func tinyProfile() Profile {
+	p, _ := ProfileByName("aes")
+	p = p.Scaled(0.1)
+	return p
+}
+
+func TestGenerateMeetsTargets(t *testing.T) {
+	for _, p := range Profiles() {
+		p := p.Scaled(0.15)
+		n := Generate(p, 1)
+		s, err := n.ComputeStats()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if s.Gates < p.TargetGates-p.TargetGates/8 {
+			t.Errorf("%s: %d gates < target %d", p.Name, s.Gates, p.TargetGates)
+		}
+		// Budget plus sweep slack plus repeater insertion (~2.5 buffers per
+		// buffered net).
+		limit := int(float64(p.TargetGates)*(1.3+4*p.BufferChainFraction)) + 64
+		if s.Gates > limit {
+			t.Errorf("%s: %d gates overshoots limit %d", p.Name, s.Gates, limit)
+		}
+		if s.FFs != p.FFs || s.PIs != p.PIs || s.POs != p.POs {
+			t.Errorf("%s: ports/flops %+v vs profile %+v", p.Name, s, p)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := tinyProfile()
+	var a, b bytes.Buffer
+	if err := netlist.Write(&a, Generate(p, 42)); err != nil {
+		t.Fatal(err)
+	}
+	if err := netlist.Write(&b, Generate(p, 42)); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed must generate identical netlists")
+	}
+	var c bytes.Buffer
+	if err := netlist.Write(&c, Generate(p, 43)); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Fatal("different seeds should generate different netlists")
+	}
+}
+
+func TestProfileShapesDiffer(t *testing.T) {
+	// netcard must be shallower and more flop-heavy than leon3mp,
+	// reflecting the diagnosis-difficulty drivers described in DESIGN.md.
+	nc, _ := ProfileByName("netcard")
+	leon, _ := ProfileByName("leon3mp")
+	nlNC := Generate(nc.Scaled(0.2), 3)
+	nlLeon := Generate(leon.Scaled(0.2), 3)
+	sNC, _ := nlNC.ComputeStats()
+	sLeon, _ := nlLeon.ComputeStats()
+	// Flop density over functional cells (repeater buffers excluded — the
+	// netcard profile buffers far more nets).
+	functional := func(n *netlist.Netlist) int {
+		c := 0
+		for _, g := range n.Gates {
+			switch g.Type {
+			case netlist.Input, netlist.Output, netlist.DFF, netlist.Buf:
+			default:
+				c++
+			}
+		}
+		return c
+	}
+	ratioNC := float64(sNC.FFs) / float64(functional(nlNC))
+	ratioLeon := float64(sLeon.FFs) / float64(functional(nlLeon))
+	if ratioNC <= ratioLeon {
+		t.Errorf("netcard FF ratio %.3f should exceed leon3mp %.3f", ratioNC, ratioLeon)
+	}
+	if sNC.Depth >= sLeon.Depth {
+		t.Errorf("netcard depth %d should be below leon3mp %d", sNC.Depth, sLeon.Depth)
+	}
+}
+
+func TestChannels(t *testing.T) {
+	p := Profile{ScanChains: 44, CompactionRatio: 20}
+	if p.Channels() != 3 {
+		t.Fatalf("Channels = %d want 3", p.Channels())
+	}
+	p = Profile{ScanChains: 0, CompactionRatio: 20}
+	if p.Channels() != 1 {
+		t.Fatal("Channels must be at least 1")
+	}
+}
+
+// equivalent checks functional equivalence of two netlists that share PI/FF
+// ordering by comparing observation-point responses over random patterns.
+func equivalent(t *testing.T, a, b *netlist.Netlist, patterns int, seed int64) bool {
+	t.Helper()
+	sa, err := sim.New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := sim.New(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psA := sim.RandomPatterns(a, patterns, seed)
+	psB := sim.NewPatternSet(b, patterns)
+	copyBits := func(dst, src [][]uint64, count int) {
+		for i := 0; i < count; i++ {
+			copy(dst[i], src[i])
+		}
+	}
+	copyBits(psB.PI, psA.PI, len(a.PIs))
+	// b may have extra flops (test points); original flops come first.
+	copyBits(psB.FF, psA.FF, len(a.FFs))
+	ra := sa.Run(psA)
+	rb := sb.Run(psB)
+	for i, po := range a.POs {
+		vb := rb.V2[b.POs[i]]
+		for w, va := range ra.V2[po] {
+			if va != vb[w] {
+				return false
+			}
+		}
+	}
+	for i, ff := range a.FFs {
+		// Compare flop data-pin capture values (V2 of the flop's source).
+		srcA := a.Gates[ff].Fanin[0]
+		srcB := b.Gates[b.FFs[i]].Fanin[0]
+		vb := rb.V2[srcB]
+		for w, va := range ra.V2[srcA] {
+			if va != vb[w] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestResynthesizePreservesFunction(t *testing.T) {
+	p := tinyProfile()
+	base := Generate(p, 5)
+	syn2 := Resynthesize(base, 99, 0.4)
+	if !equivalent(t, base, syn2, 128, 11) {
+		t.Fatal("Syn-2 transform changed circuit function")
+	}
+	if syn2.NumGates() == base.NumGates() {
+		t.Error("Syn-2 should change the gate count")
+	}
+}
+
+func TestResynthesizeDeterministic(t *testing.T) {
+	p := tinyProfile()
+	base := Generate(p, 5)
+	var a, b bytes.Buffer
+	if err := netlist.Write(&a, Resynthesize(base, 7, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := netlist.Write(&b, Resynthesize(base, 7, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("Resynthesize must be deterministic per seed")
+	}
+}
+
+func TestInsertTestPoints(t *testing.T) {
+	p := tinyProfile()
+	base := Generate(p, 6)
+	tpi := InsertTestPoints(base, 0.01)
+	added := len(tpi.FFs) - len(base.FFs)
+	budget := base.NumLogicGates() / 100
+	if budget < 1 {
+		budget = 1
+	}
+	if added != budget {
+		t.Fatalf("added %d test points, want %d", added, budget)
+	}
+	for _, ff := range tpi.FFs[len(base.FFs):] {
+		if !tpi.Gates[ff].IsTestPoint {
+			t.Fatal("TP flop not flagged")
+		}
+	}
+	// Observation-only TPs never change function.
+	if !equivalent(t, base, tpi, 128, 12) {
+		t.Fatal("TPI changed circuit function")
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	if _, ok := ProfileByName("aes"); !ok {
+		t.Fatal("aes missing")
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Fatal("unknown profile resolved")
+	}
+}
+
+func TestBufferChainsAreInline(t *testing.T) {
+	p, _ := ProfileByName("netcard")
+	n := Generate(p.Scaled(0.1), 4)
+	chains := 0
+	for _, g := range n.Gates {
+		if g.Type != netlist.Buf || g.IsMIV {
+			continue
+		}
+		chains++
+		// Every repeater has exactly one fanin; chain members other than
+		// the last have exactly one fanout (the next buffer).
+		if len(g.Fanin) != 1 {
+			t.Fatalf("repeater %s has %d fanins", g.Name, len(g.Fanin))
+		}
+	}
+	if chains == 0 {
+		t.Fatal("netcard profile should insert buffer chains")
+	}
+	// Chains must not create dangling logic: every buffer drives something.
+	for _, g := range n.Gates {
+		if g.Type == netlist.Buf && len(g.Fanout) == 0 {
+			t.Fatalf("dangling repeater %s", g.Name)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// Generate builds a synthetic sequential design for the profile. The result
+// is deterministic for a given (profile, seed) pair, validated, and
+// levelized. Flop data pins and primary outputs are wired after logic
+// generation so every design is a legal sequential circuit.
+func Generate(p Profile, seed int64) *netlist.Netlist {
+	rng := rand.New(rand.NewSource(seed))
+	g := &generator{p: p, rng: rng, n: netlist.New(p.Name)}
+	g.build()
+	if err := g.n.Validate(); err != nil {
+		panic(fmt.Sprintf("gen: generated invalid netlist for %s: %v", p.Name, err))
+	}
+	if err := g.n.Levelize(); err != nil {
+		panic(fmt.Sprintf("gen: levelize %s: %v", p.Name, err))
+	}
+	return g.n
+}
+
+type generator struct {
+	p    Profile
+	rng  *rand.Rand
+	n    *netlist.Netlist
+	pool []int // signal IDs available as motif inputs
+	hubs []int // designated high-fanout signals
+	next int   // name counter
+}
+
+func (g *generator) name(prefix string) string {
+	g.next++
+	return fmt.Sprintf("%s_%d", prefix, g.next)
+}
+
+// pick selects a motif input signal according to the profile's depth and
+// share biases.
+func (g *generator) pick() int {
+	if len(g.hubs) > 0 && g.rng.Float64() < g.p.ShareBias {
+		return g.hubs[g.rng.Intn(len(g.hubs))]
+	}
+	n := len(g.pool)
+	if g.rng.Float64() < g.p.DepthBias {
+		// Prefer the most recent quarter of the pool.
+		lo := n * 3 / 4
+		return g.pool[lo+g.rng.Intn(n-lo)]
+	}
+	return g.pool[g.rng.Intn(n)]
+}
+
+func (g *generator) emit(prefix string, t netlist.GateType, fanin ...int) int {
+	id := g.n.AddGate(g.name(prefix), t, fanin...)
+	g.pool = append(g.pool, id)
+	return id
+}
+
+func (g *generator) build() {
+	p := g.p
+	// Ports and flops first: flop outputs seed the combinational pool.
+	for i := 0; i < p.PIs; i++ {
+		g.pool = append(g.pool, g.n.AddGate(fmt.Sprintf("pi_%d", i), netlist.Input))
+	}
+	ffs := make([]int, p.FFs)
+	for i := range ffs {
+		ffs[i] = g.n.AddGate(fmt.Sprintf("ff_%d", i), netlist.DFF)
+		g.pool = append(g.pool, ffs[i])
+	}
+	// Designate hubs among early signals.
+	for i := 0; i < p.HubCount && i < len(g.pool); i++ {
+		g.hubs = append(g.hubs, g.pool[g.rng.Intn(len(g.pool))])
+	}
+
+	w := p.MotifWeights
+	total := w.SBox + w.XorTree + w.Adder + w.MuxTree + w.Random
+	if total == 0 {
+		total = 1
+		w.Random = 1
+	}
+	// Leave ~12% of the gate budget for the dangling-signal sweep below.
+	motifBudget := p.TargetGates - p.TargetGates/8
+	for g.n.NumLogicGates() < motifBudget {
+		r := g.rng.Intn(total)
+		switch {
+		case r < w.SBox:
+			g.sbox()
+		case r < w.SBox+w.XorTree:
+			g.xorTree(4 + g.rng.Intn(9))
+		case r < w.SBox+w.XorTree+w.Adder:
+			g.adder(3 + g.rng.Intn(6))
+		case r < w.SBox+w.XorTree+w.Adder+w.MuxTree:
+			g.muxTree(2 + g.rng.Intn(3))
+		default:
+			g.randomLogic(4 + g.rng.Intn(8))
+		}
+	}
+
+	// Sweep: real synthesis leaves no dead logic, and unobservable gates
+	// would create untestable faults. XOR-compress every dangling signal
+	// into sink roots that drive flops and outputs.
+	sinks := g.sweepDangling()
+
+	// Close the loop: every flop gets a data source, every PO a driver.
+	// Sink roots are consumed first so the whole design is observable.
+	nextSink := 0
+	source := func() int {
+		if nextSink < len(sinks) {
+			nextSink++
+			return sinks[nextSink-1]
+		}
+		return g.pick()
+	}
+	for _, ff := range ffs {
+		g.n.Connect(ff, source())
+	}
+	for i := 0; i < p.POs; i++ {
+		g.n.AddGate(fmt.Sprintf("po_%d", i), netlist.Output, source())
+	}
+	// Any sink roots beyond the port/flop count get folded into the last
+	// PO's driver cone via a final XOR chain replacement — instead, simply
+	// guarantee above that sinks fit: sweepDangling sizes its trees so
+	// len(sinks) <= FFs+POs.
+
+	// Physical-design repeater insertion: inline buffer chains on a
+	// fraction of nets. Faults along a chain are indistinguishable from
+	// each other and from the driver's output fault, which is what gives
+	// large designs their large diagnosis reports.
+	g.insertBufferChains()
+}
+
+// insertBufferChains rewires BufferChainFraction of driving nets through a
+// fresh 1-4 stage buffer chain (function-preserving).
+func (g *generator) insertBufferChains() {
+	frac := g.p.BufferChainFraction
+	if frac <= 0 {
+		return
+	}
+	orig := len(g.n.Gates)
+	for id := 0; id < orig; id++ {
+		gate := g.n.Gates[id]
+		if gate.Type == netlist.Output || len(gate.Fanout) == 0 {
+			continue
+		}
+		if g.rng.Float64() >= frac {
+			continue
+		}
+		sinks := append([]int(nil), gate.Fanout...)
+		chainLen := 1 + g.rng.Intn(4)
+		prev := id
+		for c := 0; c < chainLen; c++ {
+			prev = g.n.AddGate(g.name("rep"), netlist.Buf, prev)
+		}
+		for _, s := range sinks {
+			sg := g.n.Gates[s]
+			for pin, f := range sg.Fanin {
+				if f == id {
+					g.n.ReplaceFanin(s, pin, prev)
+				}
+			}
+		}
+	}
+}
+
+// sweepDangling XOR-compresses all fanout-less logic signals into at most
+// (FFs+POs) tree roots and returns them.
+func (g *generator) sweepDangling() []int {
+	var dangling []int
+	for _, gate := range g.n.Gates {
+		if len(gate.Fanout) > 0 {
+			continue
+		}
+		switch gate.Type {
+		case netlist.Input, netlist.Output, netlist.DFF:
+			continue
+		}
+		dangling = append(dangling, gate.ID)
+	}
+	maxRoots := g.p.FFs + g.p.POs
+	if maxRoots < 1 {
+		maxRoots = 1
+	}
+	groupSize := (len(dangling) + maxRoots - 1) / maxRoots
+	if groupSize < 2 {
+		groupSize = 2
+	}
+	var roots []int
+	for i := 0; i < len(dangling); i += groupSize {
+		end := i + groupSize
+		if end > len(dangling) {
+			end = len(dangling)
+		}
+		cur := dangling[i:end]
+		for len(cur) > 1 {
+			var next []int
+			for j := 0; j+1 < len(cur); j += 2 {
+				next = append(next, g.n.AddGate(g.name("sw"), netlist.Xor, cur[j], cur[j+1]))
+			}
+			if len(cur)%2 == 1 {
+				next = append(next, cur[len(cur)-1])
+			}
+			cur = next
+		}
+		roots = append(roots, cur[0])
+	}
+	return roots
+}
+
+// sbox emits an 8-input nonlinear confusion cone: two 4-input layers of
+// mixed AND/OR/XOR reduced through NAND/NOR with an XOR output mix,
+// mimicking a synthesized S-box slice.
+func (g *generator) sbox() {
+	in := make([]int, 8)
+	for i := range in {
+		in[i] = g.pick()
+	}
+	mixed := make([]int, 4)
+	pairTypes := []netlist.GateType{netlist.Xor, netlist.Nand, netlist.Nor, netlist.Xnor}
+	for i := range mixed {
+		t := pairTypes[g.rng.Intn(len(pairTypes))]
+		mixed[i] = g.emit("sb", t, in[2*i], in[2*i+1])
+	}
+	l2a := g.emit("sb", netlist.And, mixed[0], mixed[1])
+	l2b := g.emit("sb", netlist.Or, mixed[2], mixed[3])
+	x := g.emit("sb", netlist.Xor, l2a, l2b)
+	inv := g.emit("sb", netlist.Not, x)
+	g.emit("sb", netlist.Xor, inv, mixed[g.rng.Intn(4)])
+}
+
+// xorTree emits a k-input XOR reduction (diffusion / parity).
+func (g *generator) xorTree(k int) {
+	cur := make([]int, k)
+	for i := range cur {
+		cur[i] = g.pick()
+	}
+	for len(cur) > 1 {
+		var next []int
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, g.emit("xt", netlist.Xor, cur[i], cur[i+1]))
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+	}
+}
+
+// adder emits a k-bit ripple-carry slice: sum = a^b^c, carry = ab | c(a^b).
+func (g *generator) adder(k int) {
+	carry := g.pick()
+	for i := 0; i < k; i++ {
+		a, b := g.pick(), g.pick()
+		axb := g.emit("ad", netlist.Xor, a, b)
+		g.emit("ad", netlist.Xor, axb, carry) // sum bit
+		ab := g.emit("ad", netlist.And, a, b)
+		cax := g.emit("ad", netlist.And, carry, axb)
+		carry = g.emit("ad", netlist.Or, ab, cax)
+	}
+}
+
+// muxTree emits a depth-d binary mux tree steering shared bus signals.
+func (g *generator) muxTree(depth int) {
+	leaves := 1 << depth
+	cur := make([]int, leaves)
+	for i := range cur {
+		cur[i] = g.pick()
+	}
+	for len(cur) > 1 {
+		sel := g.pick()
+		var next []int
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, g.emit("mx", netlist.Mux, sel, cur[i], cur[i+1]))
+		}
+		cur = next
+	}
+}
+
+// randomLogic emits k unstructured 2-input gates.
+func (g *generator) randomLogic(k int) {
+	types := []netlist.GateType{
+		netlist.And, netlist.Or, netlist.Nand, netlist.Nor, netlist.Xor, netlist.Xnor,
+	}
+	for i := 0; i < k; i++ {
+		t := types[g.rng.Intn(len(types))]
+		if g.rng.Float64() < 0.1 {
+			g.emit("rl", netlist.Not, g.pick())
+			continue
+		}
+		g.emit("rl", t, g.pick(), g.pick())
+	}
+}

@@ -1,0 +1,135 @@
+// Package gen synthesizes the four benchmark designs the paper evaluates
+// (AES, Tate, netcard, leon3mp) as deterministic, seeded gate-level netlists,
+// and implements the design-configuration transforms the paper studies:
+// Syn-2 (function-preserving resynthesis) and TPI (test-point insertion).
+//
+// The paper synthesizes licensed RTL with Synopsys Design Compiler; neither
+// the RTL nor the tool is available, so each design is substituted by a
+// synthetic analog at ~1/16 scale built from the structural motifs that
+// dominate the original: S-box-style nonlinear cones and XOR diffusion
+// layers for AES, wide GF-arithmetic XOR/adder networks for Tate, shallow
+// highly shared mux/bus logic with a large flop population for netcard, and
+// deep mixed control/datapath logic for leon3mp. Diagnosis difficulty is a
+// function of topology (cone overlap, depth, observability, pattern count),
+// which these motifs control directly, so the substitution preserves the
+// relative behaviour the paper reports across the four designs.
+package gen
+
+// Profile describes one synthetic benchmark design. All quantities are
+// targets; the generator reports actuals via netlist.ComputeStats.
+type Profile struct {
+	// Name identifies the design ("aes", "tate", "netcard", "leon3mp").
+	Name string
+	// TargetGates is the approximate combinational cell budget.
+	TargetGates int
+	// FFs is the number of scan flip-flops.
+	FFs int
+	// PIs and POs are the primary port counts.
+	PIs, POs int
+	// ScanChains is the number of scan chains stitched at DfT insertion.
+	ScanChains int
+	// CompactionRatio is the max scan chains per EDT output channel.
+	CompactionRatio int
+	// MotifWeights gives the relative frequency of each logic motif.
+	MotifWeights MotifWeights
+	// DepthBias in [0,1]: 0 samples motif inputs uniformly from all
+	// existing signals (shallow, wide designs); 1 prefers recently created
+	// signals (deep designs).
+	DepthBias float64
+	// ShareBias in [0,1] is the probability that a motif input is drawn
+	// from the small set of designated high-fanout signals (buses,
+	// enables), creating the reconvergence that hurts diagnosis.
+	ShareBias float64
+	// HubCount is the number of designated high-fanout signals.
+	HubCount int
+	// BufferChainFraction of nets receive an inline buffer chain after
+	// logic generation, modeling the repeater insertion of physical
+	// design. Chains create equivalence classes of indistinguishable
+	// faults, the main driver of large diagnosis reports on big designs.
+	BufferChainFraction float64
+}
+
+// MotifWeights holds the sampling weights for the generator's logic motifs.
+type MotifWeights struct {
+	SBox    int // 8-input nonlinear confusion cone
+	XorTree int // wide parity / diffusion reduction
+	Adder   int // ripple-carry datapath slice
+	MuxTree int // bus multiplexing / control steering
+	Random  int // unstructured 2-input glue logic
+}
+
+// Profiles returns the four benchmark profiles in the paper's order.
+// Scale is ~1/16 of the paper's gate counts (Table III) so that the full
+// experiment suite runs on a laptop in minutes.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Name: "aes", TargetGates: 3200, FFs: 416, PIs: 40, POs: 40,
+			ScanChains: 20, CompactionRatio: 20,
+			MotifWeights: MotifWeights{SBox: 6, XorTree: 5, Adder: 0, MuxTree: 1, Random: 2},
+			DepthBias:    0.45, ShareBias: 0.08, HubCount: 24,
+			BufferChainFraction: 0.02,
+		},
+		{
+			Name: "tate", TargetGates: 6000, FFs: 880, PIs: 48, POs: 48,
+			ScanChains: 44, CompactionRatio: 20,
+			MotifWeights: MotifWeights{SBox: 1, XorTree: 6, Adder: 5, MuxTree: 1, Random: 2},
+			DepthBias:    0.5, ShareBias: 0.1, HubCount: 32,
+			BufferChainFraction: 0.015,
+		},
+		{
+			Name: "netcard", TargetGates: 7200, FFs: 2000, PIs: 64, POs: 64,
+			ScanChains: 100, CompactionRatio: 20,
+			MotifWeights: MotifWeights{SBox: 0, XorTree: 1, Adder: 1, MuxTree: 7, Random: 5},
+			DepthBias:    0.12, ShareBias: 0.35, HubCount: 96,
+			BufferChainFraction: 0.12,
+		},
+		{
+			Name: "leon3mp", TargetGates: 10500, FFs: 2750, PIs: 72, POs: 72,
+			ScanChains: 110, CompactionRatio: 20,
+			MotifWeights: MotifWeights{SBox: 2, XorTree: 3, Adder: 4, MuxTree: 4, Random: 4},
+			DepthBias:    0.6, ShareBias: 0.22, HubCount: 72,
+			BufferChainFraction: 0.06,
+		},
+	}
+}
+
+// ProfileByName returns the named profile, or false if unknown.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Channels returns the number of EDT output channels implied by the scan
+// chain count and compaction ratio (at least one).
+func (p Profile) Channels() int {
+	ch := (p.ScanChains + p.CompactionRatio - 1) / p.CompactionRatio
+	if ch < 1 {
+		ch = 1
+	}
+	return ch
+}
+
+// Scaled returns a copy of the profile with every size-like quantity
+// multiplied by f (minimum 1 where applicable). Useful for quick tests.
+func (p Profile) Scaled(f float64) Profile {
+	scale := func(v int) int {
+		s := int(float64(v) * f)
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	q := p
+	q.TargetGates = scale(p.TargetGates)
+	q.FFs = scale(p.FFs)
+	q.PIs = scale(p.PIs)
+	q.POs = scale(p.POs)
+	q.ScanChains = scale(p.ScanChains)
+	q.HubCount = scale(p.HubCount)
+	return q
+}

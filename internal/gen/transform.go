@@ -1,0 +1,178 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// Resynthesize applies seeded, function-preserving local rewrites to model
+// re-synthesis of the same RTL under a different design configuration
+// (the paper's Syn-2: another clock frequency). The rewrites change gate
+// types, counts, pin ordering and buffering — exactly the structural drift
+// a different timing target produces — without changing functionality:
+//
+//   - De Morgan remap: AND(a,b) → NOR(¬a,¬b); OR(a,b) → NAND(¬a,¬b)
+//   - Polarity split: NAND(a,b) → NOT(AND(a,b)); NOR → NOT(OR)
+//   - Buffer insertion on a random subset of high-fanout nets
+//   - Commutative pin swap on XOR/XNOR/AND/OR gates
+//
+// Each eligible gate is rewritten with probability intensity (0..1).
+func Resynthesize(src *netlist.Netlist, seed int64, intensity float64) *netlist.Netlist {
+	rng := rand.New(rand.NewSource(seed))
+	n := src.Clone()
+	n.Name = src.Name + "_syn2"
+	orig := len(n.Gates) // rewrite only original gates, not ones we add
+	nameCnt := 0
+	fresh := func(prefix string) string {
+		nameCnt++
+		return fmt.Sprintf("%s_rs%d", prefix, nameCnt)
+	}
+	for id := 0; id < orig; id++ {
+		g := n.Gates[id]
+		if g.IsMIV || g.IsTestPoint {
+			continue
+		}
+		if rng.Float64() >= intensity {
+			continue
+		}
+		switch g.Type {
+		case netlist.And, netlist.Or:
+			if len(g.Fanin) != 2 {
+				continue
+			}
+			// De Morgan: inputs inverted, gate becomes NOR/NAND.
+			for pin := 0; pin < 2; pin++ {
+				inv := n.AddGate(fresh("inv"), netlist.Not, g.Fanin[pin])
+				n.Gates[inv].Tier = g.Tier
+				n.ReplaceFanin(id, pin, inv)
+			}
+			if g.Type == netlist.And {
+				g.Type = netlist.Nor
+			} else {
+				g.Type = netlist.Nand
+			}
+		case netlist.Nand, netlist.Nor:
+			if len(g.Fanin) != 2 {
+				continue
+			}
+			// Split polarity: keep this gate as the positive phase and
+			// drive the old fanouts through a fresh inverter.
+			fanouts := append([]int(nil), g.Fanout...)
+			inv := n.AddGate(fresh("inv"), netlist.Not, id)
+			n.Gates[inv].Tier = g.Tier
+			for _, s := range fanouts {
+				sg := n.Gates[s]
+				for pin, f := range sg.Fanin {
+					if f == id {
+						n.ReplaceFanin(s, pin, inv)
+					}
+				}
+			}
+			if g.Type == netlist.Nand {
+				g.Type = netlist.And
+			} else {
+				g.Type = netlist.Or
+			}
+		case netlist.Xor, netlist.Xnor:
+			g.Fanin[0], g.Fanin[1] = g.Fanin[1], g.Fanin[0]
+		case netlist.Buf:
+			// Occasionally duplicate buffering on busy nets.
+			if len(g.Fanout) >= 3 {
+				b := n.AddGate(fresh("buf"), netlist.Buf, g.Fanin[0])
+				n.Gates[b].Tier = g.Tier
+				s := g.Fanout[0]
+				for pin, f := range n.Gates[s].Fanin {
+					if f == id {
+						n.ReplaceFanin(s, pin, b)
+						break
+					}
+				}
+			}
+		}
+	}
+	if err := n.Validate(); err != nil {
+		panic(fmt.Sprintf("gen: Resynthesize produced invalid netlist: %v", err))
+	}
+	if err := n.Levelize(); err != nil {
+		panic(fmt.Sprintf("gen: Resynthesize levelize: %v", err))
+	}
+	return n
+}
+
+// InsertTestPoints adds observation test points (dedicated DfT flops whose
+// data pins tap hard-to-observe nets) to model the paper's TPI
+// configuration. The budget is maxFraction of the gate count (the paper
+// uses 1%). Targets are the gates with the greatest structural observation
+// depth: the BFS distance to the nearest observation point.
+func InsertTestPoints(src *netlist.Netlist, maxFraction float64) *netlist.Netlist {
+	n := src.Clone()
+	n.Name = src.Name + "_tpi"
+	budget := int(float64(n.NumLogicGates()) * maxFraction)
+	if budget < 1 {
+		budget = 1
+	}
+	depth := observationDepth(n)
+	type cand struct{ id, d int }
+	var cands []cand
+	for id, d := range depth {
+		g := n.Gates[id]
+		if g.Type == netlist.Input || g.Type == netlist.Output || g.Type == netlist.DFF {
+			continue
+		}
+		cands = append(cands, cand{id, d})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d > cands[j].d
+		}
+		return cands[i].id < cands[j].id
+	})
+	if len(cands) > budget {
+		cands = cands[:budget]
+	}
+	for i, c := range cands {
+		tp := n.AddGate(fmt.Sprintf("tp_%d", i), netlist.DFF, c.id)
+		n.Gates[tp].IsTestPoint = true
+		n.Gates[tp].Tier = n.Gates[c.id].Tier
+	}
+	if err := n.Levelize(); err != nil {
+		panic(fmt.Sprintf("gen: InsertTestPoints levelize: %v", err))
+	}
+	return n
+}
+
+// observationDepth returns, per gate, the forward BFS distance to the
+// nearest observation point (PO or flop data pin). Unreachable gates get a
+// large sentinel so they are prioritized for test points.
+func observationDepth(n *netlist.Netlist) []int {
+	const inf = 1 << 30
+	depth := make([]int, len(n.Gates))
+	for i := range depth {
+		depth[i] = inf
+	}
+	// Multi-source reverse BFS from observation points along fanin edges.
+	var queue []int
+	for _, op := range n.ObservationPoints() {
+		depth[op] = 0
+		queue = append(queue, op)
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		g := n.Gates[id]
+		for _, f := range g.Fanin {
+			if depth[f] > depth[id]+1 {
+				depth[f] = depth[id] + 1
+				fg := n.Gates[f]
+				if fg.Type == netlist.DFF {
+					continue // stop at frame boundary
+				}
+				queue = append(queue, f)
+			}
+		}
+	}
+	return depth
+}

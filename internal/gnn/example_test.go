@@ -1,0 +1,24 @@
+package gnn_test
+
+import (
+	"fmt"
+
+	"repro/internal/gnn"
+)
+
+// The PR curve drives the paper's T_P selection: the smallest threshold
+// whose precision clears the target keeps pruning accuracy loss below 1%.
+func ExampleThresholdForPrecision() {
+	confidences := []float64{0.99, 0.97, 0.92, 0.85, 0.70}
+	correct := []bool{true, true, true, false, true}
+	curve := gnn.PRCurve(confidences, correct)
+	tp, ok := gnn.ThresholdForPrecision(curve, 0.99)
+	fmt.Printf("T_P = %.2f (reachable: %v)\n", tp, ok)
+	// Output: T_P = 0.92 (reachable: true)
+}
+
+func ExampleSoftmax() {
+	p := gnn.Softmax([]float64{2, 0})
+	fmt.Printf("%.3f %.3f\n", p[0], p[1])
+	// Output: 0.881 0.119
+}

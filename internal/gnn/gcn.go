@@ -1,0 +1,243 @@
+// Package gnn is a from-scratch graph neural network stack sufficient to
+// train and deploy the paper's three models — Tier-predictor,
+// MIV-pinpointer, and the pruning Classifier — on back-traced subgraphs.
+// It replaces the paper's PyTorch + DGL dependency with pure Go: dense
+// float64 math, graph convolution layers in the Kipf–Welling formulation
+// the paper cites, mean-pool readout, softmax cross-entropy, Adam, and
+// hand-written backpropagation.
+package gnn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/hgraph"
+	"repro/internal/mat"
+)
+
+// AdjNorm is a subgraph's symmetric-normalized adjacency with self-loops
+// (Â = A + I, coefficients 1/√(d_i·d_n)), stored sparsely.
+type AdjNorm struct {
+	N     int
+	Nbrs  [][]int32
+	Coefs [][]float64
+}
+
+// NewAdjNorm builds the normalized adjacency for a subgraph.
+func NewAdjNorm(sg *hgraph.Subgraph) *AdjNorm {
+	n := sg.NumNodes()
+	a := &AdjNorm{N: n, Nbrs: make([][]int32, n), Coefs: make([][]float64, n)}
+	deg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		deg[i] = float64(len(sg.Adj[i])) + 1 // self-loop
+	}
+	for i := 0; i < n; i++ {
+		nbrs := make([]int32, 0, len(sg.Adj[i])+1)
+		coefs := make([]float64, 0, len(sg.Adj[i])+1)
+		nbrs = append(nbrs, int32(i))
+		coefs = append(coefs, 1/deg[i])
+		for _, j := range sg.Adj[i] {
+			nbrs = append(nbrs, j)
+			coefs = append(coefs, 1/math.Sqrt(deg[i]*deg[int(j)]))
+		}
+		a.Nbrs[i] = nbrs
+		a.Coefs[i] = coefs
+	}
+	return a
+}
+
+// Apply computes Â·X (aggregation) into a new matrix.
+func (a *AdjNorm) Apply(x *mat.Matrix) *mat.Matrix {
+	out := mat.New(x.Rows, x.Cols)
+	for i := 0; i < a.N; i++ {
+		orow := out.Row(i)
+		for k, j := range a.Nbrs[i] {
+			c := a.Coefs[i][k]
+			xrow := x.Row(int(j))
+			for col := range orow {
+				orow[col] += c * xrow[col]
+			}
+		}
+	}
+	return out
+}
+
+// ApplyT computes Âᵀ·X. Â is symmetric by construction but the
+// coefficient lists are stored row-wise, so transpose application scatters
+// instead of gathers.
+func (a *AdjNorm) ApplyT(x *mat.Matrix) *mat.Matrix {
+	out := mat.New(x.Rows, x.Cols)
+	for i := 0; i < a.N; i++ {
+		xrow := x.Row(i)
+		for k, j := range a.Nbrs[i] {
+			c := a.Coefs[i][k]
+			orow := out.Row(int(j))
+			for col := range orow {
+				orow[col] += c * xrow[col]
+			}
+		}
+	}
+	return out
+}
+
+// GCNLayer is one graph convolution: H' = ReLU(Â·H·W + b) (the final layer
+// of a stack may disable the activation).
+type GCNLayer struct {
+	W *mat.Matrix
+	B []float64
+	// ReLU disables the activation when false (linear output layer).
+	ReLU bool
+
+	// caches for backprop
+	m     *mat.Matrix // Â·H
+	z     *mat.Matrix // pre-activation
+	gradW *mat.Matrix
+	gradB []float64
+}
+
+// NewGCNLayer initializes a layer with Glorot-style scaled weights.
+func NewGCNLayer(in, out int, relu bool, rng *rand.Rand) *GCNLayer {
+	l := &GCNLayer{W: mat.New(in, out), B: make([]float64, out), ReLU: relu}
+	scale := math.Sqrt(2.0 / float64(in+out))
+	for i := range l.W.Data {
+		l.W.Data[i] = rng.NormFloat64() * scale
+	}
+	l.gradW = mat.New(in, out)
+	l.gradB = make([]float64, out)
+	return l
+}
+
+// Forward computes the layer output for one subgraph.
+func (l *GCNLayer) Forward(adj *AdjNorm, h *mat.Matrix) *mat.Matrix {
+	l.m = adj.Apply(h)
+	z := mat.Mul(l.m, l.W)
+	z.AddRowVector(l.B)
+	l.z = z
+	if !l.ReLU {
+		return z.Clone()
+	}
+	out := z.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward accumulates parameter gradients for the cached forward pass and
+// returns the gradient with respect to the layer input.
+func (l *GCNLayer) Backward(adj *AdjNorm, dOut *mat.Matrix) *mat.Matrix {
+	dz := dOut.Clone()
+	if l.ReLU {
+		for i := range dz.Data {
+			if l.z.Data[i] <= 0 {
+				dz.Data[i] = 0
+			}
+		}
+	}
+	l.gradW.AddInPlace(mat.Mul(l.m.T(), dz))
+	for i := 0; i < dz.Rows; i++ {
+		row := dz.Row(i)
+		for j, v := range row {
+			l.gradB[j] += v
+		}
+	}
+	dm := mat.Mul(dz, l.W.T())
+	return adj.ApplyT(dm)
+}
+
+// Dense is a fully connected layer y = x·W + b on row vectors.
+type Dense struct {
+	W *mat.Matrix
+	B []float64
+
+	x     []float64
+	gradW *mat.Matrix
+	gradB []float64
+}
+
+// NewDense initializes a dense layer.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{W: mat.New(in, out), B: make([]float64, out)}
+	scale := math.Sqrt(2.0 / float64(in+out))
+	for i := range d.W.Data {
+		d.W.Data[i] = rng.NormFloat64() * scale
+	}
+	d.gradW = mat.New(in, out)
+	d.gradB = make([]float64, out)
+	return d
+}
+
+// Forward computes the layer output for one row vector.
+func (d *Dense) Forward(x []float64) []float64 {
+	d.x = append(d.x[:0], x...)
+	out := make([]float64, len(d.B))
+	copy(out, d.B)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		wrow := d.W.Row(i)
+		for j, wv := range wrow {
+			out[j] += xv * wv
+		}
+	}
+	return out
+}
+
+// Backward accumulates gradients and returns dL/dx.
+func (d *Dense) Backward(dOut []float64) []float64 {
+	for i, xv := range d.x {
+		grow := d.gradW.Row(i)
+		for j, g := range dOut {
+			grow[j] += xv * g
+		}
+	}
+	for j, g := range dOut {
+		d.gradB[j] += g
+	}
+	dx := make([]float64, len(d.x))
+	for i := range dx {
+		wrow := d.W.Row(i)
+		s := 0.0
+		for j, g := range dOut {
+			s += wrow[j] * g
+		}
+		dx[i] = s
+	}
+	return dx
+}
+
+// Softmax returns the softmax of logits.
+func Softmax(logits []float64) []float64 {
+	max := logits[0]
+	for _, v := range logits[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]float64, len(logits))
+	sum := 0.0
+	for i, v := range logits {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// CrossEntropyGrad returns the loss and dL/dlogits for a softmax
+// cross-entropy with integer label and a class weight.
+func CrossEntropyGrad(logits []float64, label int, weight float64) (float64, []float64) {
+	p := Softmax(logits)
+	loss := -weight * math.Log(math.Max(p[label], 1e-12))
+	grad := make([]float64, len(p))
+	for i := range p {
+		grad[i] = weight * p[i]
+	}
+	grad[label] -= weight
+	return loss, grad
+}

@@ -1,0 +1,244 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/hgraph"
+	"repro/internal/mat"
+)
+
+// HeadKind selects the model's output structure.
+type HeadKind string
+
+// Graph-level heads mean-pool node embeddings and classify the pooled
+// vector (Tier-predictor, Classifier); node-level heads classify every
+// node embedding independently (MIV-pinpointer).
+const (
+	GraphHead HeadKind = "graph"
+	NodeHead  HeadKind = "node"
+)
+
+// Scaler standardizes node features with statistics frozen at training
+// time, so transferred models see inputs on the training scale.
+type Scaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitScaler computes feature statistics over a set of feature matrices.
+func FitScaler(xs []*mat.Matrix) *Scaler {
+	if len(xs) == 0 {
+		return nil
+	}
+	d := xs[0].Cols
+	s := &Scaler{Mean: make([]float64, d), Std: make([]float64, d)}
+	n := 0.0
+	for _, x := range xs {
+		for i := 0; i < x.Rows; i++ {
+			row := x.Row(i)
+			for j, v := range row {
+				s.Mean[j] += v
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return s
+	}
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, x := range xs {
+		for i := 0; i < x.Rows; i++ {
+			row := x.Row(i)
+			for j, v := range row {
+				d := v - s.Mean[j]
+				s.Std[j] += d * d
+			}
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-9 {
+			s.Std[j] = 1
+		}
+	}
+	return s
+}
+
+// Transform returns a standardized copy of x.
+func (s *Scaler) Transform(x *mat.Matrix) *mat.Matrix {
+	if s == nil {
+		return x.Clone()
+	}
+	out := x.Clone()
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] = (row[j] - s.Mean[j]) / s.Std[j]
+		}
+	}
+	return out
+}
+
+// Model is a GCN stack with either a graph-level or node-level softmax
+// head. The zero value is not usable; construct with NewModel or Load.
+type Model struct {
+	Head   HeadKind
+	Layers []*GCNLayer
+	Out    *Dense
+	Scale  *Scaler
+	// FrozenLayers stops gradient updates for the first k GCN layers
+	// (network-based transfer learning for the Classifier).
+	FrozenLayers int
+}
+
+// Config describes a model architecture.
+type Config struct {
+	Head   HeadKind
+	Input  int   // input feature width
+	Hidden []int // GCN layer widths
+	Output int   // number of classes
+	Seed   int64
+}
+
+// NewModel builds a model with Glorot-initialized parameters.
+func NewModel(cfg Config) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{Head: cfg.Head}
+	in := cfg.Input
+	for _, h := range cfg.Hidden {
+		m.Layers = append(m.Layers, NewGCNLayer(in, h, true, rng))
+		in = h
+	}
+	m.Out = NewDense(in, cfg.Output, rng)
+	return m
+}
+
+// embed runs the GCN stack and returns node embeddings.
+func (m *Model) embed(adj *AdjNorm, x *mat.Matrix) *mat.Matrix {
+	h := m.Scale.Transform(x)
+	for _, l := range m.Layers {
+		h = l.Forward(adj, h)
+	}
+	return h
+}
+
+// PredictGraph returns class probabilities for a whole subgraph
+// (graph-head models). Empty subgraphs yield a uniform distribution.
+func (m *Model) PredictGraph(sg *hgraph.Subgraph) []float64 {
+	nOut := len(m.Out.B)
+	if sg.NumNodes() == 0 {
+		out := make([]float64, nOut)
+		for i := range out {
+			out[i] = 1 / float64(nOut)
+		}
+		return out
+	}
+	adj := NewAdjNorm(sg)
+	h := m.embed(adj, sg.X)
+	pooled := h.ColMeans()
+	return Softmax(m.Out.Forward(pooled))
+}
+
+// PredictNodes returns per-node class probabilities (node-head models) as
+// an n×classes matrix.
+func (m *Model) PredictNodes(sg *hgraph.Subgraph) *mat.Matrix {
+	nOut := len(m.Out.B)
+	out := mat.New(sg.NumNodes(), nOut)
+	if sg.NumNodes() == 0 {
+		return out
+	}
+	adj := NewAdjNorm(sg)
+	h := m.embed(adj, sg.X)
+	for i := 0; i < h.Rows; i++ {
+		p := Softmax(m.Out.Forward(h.Row(i)))
+		copy(out.Row(i), p)
+	}
+	return out
+}
+
+// params returns the trainable parameter/gradient pairs, respecting
+// FrozenLayers.
+func (m *Model) params() (ps []*mat.Matrix, gs []*mat.Matrix, vs [][]float64, gvs [][]float64) {
+	for i, l := range m.Layers {
+		if i < m.FrozenLayers {
+			continue
+		}
+		ps = append(ps, l.W)
+		gs = append(gs, l.gradW)
+		vs = append(vs, l.B)
+		gvs = append(gvs, l.gradB)
+	}
+	ps = append(ps, m.Out.W)
+	gs = append(gs, m.Out.gradW)
+	vs = append(vs, m.Out.B)
+	gvs = append(gvs, m.Out.gradB)
+	return
+}
+
+// zeroGrads clears accumulated gradients.
+func (m *Model) zeroGrads() {
+	for _, l := range m.Layers {
+		l.gradW.Zero()
+		for i := range l.gradB {
+			l.gradB[i] = 0
+		}
+	}
+	m.Out.gradW.Zero()
+	for i := range m.Out.gradB {
+		m.Out.gradB[i] = 0
+	}
+}
+
+// backwardGraph backpropagates a graph-level logit gradient.
+func (m *Model) backwardGraph(adj *AdjNorm, nNodes int, dLogits []float64) {
+	dPooled := m.Out.Backward(dLogits)
+	dh := mat.New(nNodes, len(dPooled))
+	inv := 1 / float64(nNodes)
+	for i := 0; i < nNodes; i++ {
+		row := dh.Row(i)
+		for j, v := range dPooled {
+			row[j] = v * inv
+		}
+	}
+	m.backwardStack(adj, dh)
+}
+
+func (m *Model) backwardStack(adj *AdjNorm, dh *mat.Matrix) {
+	// Frozen layers still accumulate (unused) gradients; params() simply
+	// never surfaces them to the optimizer.
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		dh = m.Layers[i].Backward(adj, dh)
+	}
+}
+
+// CloneArchitecture returns a model with the same shapes and freshly
+// initialized trainable parameters; used to build the Classifier from a
+// pretrained Tier-predictor by copying its hidden layers.
+func (m *Model) CloneArchitecture(seed int64, outClasses int) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	out := &Model{Head: m.Head, Scale: m.Scale}
+	for _, l := range m.Layers {
+		nl := NewGCNLayer(l.W.Rows, l.W.Cols, l.ReLU, rng)
+		out.Layers = append(out.Layers, nl)
+	}
+	out.Out = NewDense(m.Out.W.Rows, outClasses, rng)
+	return out
+}
+
+// CopyPretrainedLayers copies the source model's GCN weights into the
+// receiver and freezes them (network-based deep transfer learning,
+// Section V-C).
+func (m *Model) CopyPretrainedLayers(src *Model) {
+	for i := range m.Layers {
+		if i >= len(src.Layers) {
+			break
+		}
+		copy(m.Layers[i].W.Data, src.Layers[i].W.Data)
+		copy(m.Layers[i].B, src.Layers[i].B)
+	}
+	m.FrozenLayers = len(src.Layers)
+	m.Scale = src.Scale
+}

@@ -1,0 +1,180 @@
+package gnn
+
+import (
+	"repro/internal/hgraph"
+)
+
+// Tier class indices: the output class IS the tier index (0 = bottom).
+// For two-tier designs the output vector is [p_bottom, p_top].
+const (
+	TierBottomClass = 0
+	TierTopClass    = 1
+)
+
+// TierPredictor wraps a graph-head model that predicts the faulty tier of
+// a back-traced subgraph (Section III-C).
+type TierPredictor struct {
+	Model *Model
+}
+
+// NewTierPredictor builds the paper's two-tier Tier-predictor
+// architecture: GCN(13→32)→GCN(32→32)→mean-pool→dense(32→2).
+func NewTierPredictor(seed int64) *TierPredictor { return NewTierPredictorK(seed, 2) }
+
+// NewTierPredictorK widens the graph representation vector to k tiers
+// (Section III-C: "extending the dimension of the graph representation
+// vector to be the number of tiers").
+func NewTierPredictorK(seed int64, tiers int) *TierPredictor {
+	if tiers < 2 {
+		tiers = 2
+	}
+	return &TierPredictor{Model: NewModel(Config{
+		Head: GraphHead, Input: hgraph.FeatureDim, Hidden: []int{32, 32}, Output: tiers, Seed: seed,
+	})}
+}
+
+// Predict returns [p_top, p_bottom].
+func (t *TierPredictor) Predict(sg *hgraph.Subgraph) (pTop, pBottom float64) {
+	p := t.Model.PredictGraph(sg)
+	return p[TierTopClass], p[TierBottomClass]
+}
+
+// PredictTier returns the most probable tier index and its confidence
+// (the maximum class probability).
+func (t *TierPredictor) PredictTier(sg *hgraph.Subgraph) (tier int, confidence float64) {
+	p := t.Model.PredictGraph(sg)
+	best := 0
+	for i, v := range p {
+		if v > p[best] {
+			best = i
+		}
+	}
+	return best, p[best]
+}
+
+// Train fits the Tier-predictor; the sample label is the tier index.
+func (t *TierPredictor) Train(samples []GraphSample, cfg TrainConfig) float64 {
+	return t.Model.Fit(samples, cfg)
+}
+
+// Accuracy evaluates tier prediction on labeled samples.
+func (t *TierPredictor) Accuracy(samples []GraphSample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, s := range samples {
+		tier, _ := t.PredictTier(s.SG)
+		if tier == s.Label {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(samples))
+}
+
+// MIVPinpointer wraps a node-head model that flags defective MIV nodes
+// inside a subgraph (Section III-C). Class 1 = faulty.
+type MIVPinpointer struct {
+	Model *Model
+	// Threshold on the faulty-class probability; default 0.5.
+	Threshold float64
+}
+
+// NewMIVPinpointer builds the MIV-pinpointer architecture:
+// GCN(13→32)→GCN(32→32)→per-node dense(32→2).
+func NewMIVPinpointer(seed int64) *MIVPinpointer {
+	return &MIVPinpointer{
+		Model: NewModel(Config{
+			Head: NodeHead, Input: hgraph.FeatureDim, Hidden: []int{32, 32}, Output: 2, Seed: seed,
+		}),
+		Threshold: 0.5,
+	}
+}
+
+// PredictFaultyMIVs returns the netlist gate IDs of MIVs whose faulty-class
+// probability exceeds the threshold.
+func (m *MIVPinpointer) PredictFaultyMIVs(sg *hgraph.Subgraph) []int {
+	if len(sg.MIVLocal) == 0 {
+		return nil
+	}
+	probs := m.Model.PredictNodes(sg)
+	var out []int
+	for k, li := range sg.MIVLocal {
+		if probs.At(int(li), 1) >= m.Threshold {
+			out = append(out, sg.MIVGates[k])
+		}
+	}
+	return out
+}
+
+// Train fits the pinpointer on node samples whose NodeIdx are MIV-node
+// local indices with label 1 for the defective MIV. Positive nodes are
+// up-weighted by the observed class imbalance.
+func (m *MIVPinpointer) Train(samples []NodeSample, cfg TrainConfig) float64 {
+	pos, neg := 0, 0
+	for _, s := range samples {
+		for _, l := range s.Labels {
+			if l == 1 {
+				pos++
+			} else {
+				neg++
+			}
+		}
+	}
+	w := 1.0
+	if pos > 0 {
+		w = float64(neg) / float64(pos)
+		if w < 1 {
+			w = 1
+		}
+		if w > 50 {
+			w = 50
+		}
+	}
+	weighted := make([]NodeSample, len(samples))
+	for i, s := range samples {
+		weighted[i] = s
+		ws := make([]float64, len(s.Labels))
+		for k, l := range s.Labels {
+			if l == 1 {
+				ws[k] = w
+			} else {
+				ws[k] = 1
+			}
+		}
+		weighted[i].Weights = ws
+	}
+	return m.Model.FitNodes(weighted, cfg)
+}
+
+// Classifier wraps the transfer-learned prune/reorder decision model
+// (Section V-C): pretrained Tier-predictor hidden layers (frozen) plus a
+// trainable classification head. Class 1 = safe to prune (True Positive),
+// class 0 = reorder only (False Positive risk).
+type Classifier struct {
+	Model *Model
+}
+
+// PruneClass is the Classifier output index meaning "prune".
+const PruneClass = 1
+
+// NewClassifier builds a Classifier from a trained Tier-predictor via
+// network-based deep transfer learning.
+func NewClassifier(pretrained *TierPredictor, seed int64) *Classifier {
+	m := pretrained.Model.CloneArchitecture(seed, 2)
+	m.CopyPretrainedLayers(pretrained.Model)
+	return &Classifier{Model: m}
+}
+
+// PredictPrune returns the probability that pruning the report according
+// to the tier prediction is safe.
+func (c *Classifier) PredictPrune(sg *hgraph.Subgraph) float64 {
+	return c.Model.PredictGraph(sg)[PruneClass]
+}
+
+// Train fits the classification head (hidden layers stay frozen).
+func (c *Classifier) Train(samples []GraphSample, cfg TrainConfig) float64 {
+	// The scaler is inherited from the pretrained model; never refit.
+	cfg.FitScaler = false
+	return c.Model.Fit(samples, cfg)
+}

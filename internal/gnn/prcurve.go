@@ -1,0 +1,75 @@
+package gnn
+
+import "sort"
+
+// PRPoint is one point of a precision–recall curve.
+type PRPoint struct {
+	Threshold float64
+	Precision float64
+	Recall    float64
+}
+
+// PRCurve computes the precision–recall curve of a confidence-scored
+// binary prediction set, following the paper's Section V-B semantics:
+// a sample is Actual Positive when the predicted class is correct, and
+// Predicted Positive when its confidence reaches the threshold.
+func PRCurve(confidences []float64, correct []bool) []PRPoint {
+	type pair struct {
+		conf float64
+		ok   bool
+	}
+	ps := make([]pair, len(confidences))
+	for i := range confidences {
+		ps[i] = pair{confidences[i], correct[i]}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].conf < ps[j].conf })
+
+	totalPos := 0
+	for _, p := range ps {
+		if p.ok {
+			totalPos++
+		}
+	}
+	// Suffix counts: tp[i] = positives with confidence >= ps[i].conf.
+	suffixTP := make([]int, len(ps)+1)
+	for i := len(ps) - 1; i >= 0; i-- {
+		suffixTP[i] = suffixTP[i+1]
+		if ps[i].ok {
+			suffixTP[i]++
+		}
+	}
+	var curve []PRPoint
+	for i := 0; i < len(ps); i++ {
+		if i > 0 && ps[i].conf == ps[i-1].conf {
+			continue
+		}
+		tp := suffixTP[i]
+		all := len(ps) - i
+		point := PRPoint{Threshold: ps[i].conf}
+		if all > 0 {
+			point.Precision = float64(tp) / float64(all)
+		}
+		if totalPos > 0 {
+			point.Recall = float64(tp) / float64(totalPos)
+		}
+		curve = append(curve, point)
+	}
+	return curve
+}
+
+// ThresholdForPrecision returns the minimum classification threshold whose
+// precision reaches target (the paper's T_P with target 0.99). If no
+// threshold achieves the target, the highest-precision threshold is
+// returned with ok=false.
+func ThresholdForPrecision(curve []PRPoint, target float64) (float64, bool) {
+	best, bestPrec := 0.0, -1.0
+	for _, p := range curve {
+		if p.Precision >= target {
+			return p.Threshold, true
+		}
+		if p.Precision > bestPrec {
+			bestPrec, best = p.Precision, p.Threshold
+		}
+	}
+	return best, false
+}

@@ -1,0 +1,73 @@
+package gnn
+
+import "sort"
+
+// ROCPoint is one point of a receiver-operating-characteristic curve.
+type ROCPoint struct {
+	Threshold float64
+	TPR       float64 // recall / sensitivity
+	FPR       float64
+}
+
+// ROCCurve computes the ROC curve over confidence-scored binary outcomes
+// (same input convention as PRCurve). The paper chooses PR over ROC for
+// the Tier-predictor because the Actual Positive / Actual Negative split
+// is heavily skewed (Section V-B, citing Davis & Goadrich); both are
+// provided so the choice can be reproduced.
+func ROCCurve(confidences []float64, correct []bool) []ROCPoint {
+	type pair struct {
+		conf float64
+		ok   bool
+	}
+	ps := make([]pair, len(confidences))
+	totalPos, totalNeg := 0, 0
+	for i := range confidences {
+		ps[i] = pair{confidences[i], correct[i]}
+		if correct[i] {
+			totalPos++
+		} else {
+			totalNeg++
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].conf < ps[j].conf })
+	suffixTP := make([]int, len(ps)+1)
+	for i := len(ps) - 1; i >= 0; i-- {
+		suffixTP[i] = suffixTP[i+1]
+		if ps[i].ok {
+			suffixTP[i]++
+		}
+	}
+	var curve []ROCPoint
+	for i := 0; i < len(ps); i++ {
+		if i > 0 && ps[i].conf == ps[i-1].conf {
+			continue
+		}
+		tp := suffixTP[i]
+		fp := len(ps) - i - tp
+		pt := ROCPoint{Threshold: ps[i].conf}
+		if totalPos > 0 {
+			pt.TPR = float64(tp) / float64(totalPos)
+		}
+		if totalNeg > 0 {
+			pt.FPR = float64(fp) / float64(totalNeg)
+		}
+		curve = append(curve, pt)
+	}
+	return curve
+}
+
+// AUC integrates the ROC curve with the trapezoid rule (points are in
+// decreasing-FPR order as produced by ROCCurve).
+func AUC(curve []ROCPoint) float64 {
+	if len(curve) < 2 {
+		return 0
+	}
+	area := 0.0
+	// Append the implicit (0,0) endpoint at threshold above max.
+	pts := append(append([]ROCPoint(nil), curve...), ROCPoint{FPR: 0, TPR: 0})
+	for i := 0; i+1 < len(pts); i++ {
+		dx := pts[i].FPR - pts[i+1].FPR
+		area += dx * (pts[i].TPR + pts[i+1].TPR) / 2
+	}
+	return area
+}

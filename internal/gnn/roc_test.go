@@ -1,0 +1,76 @@
+package gnn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestROCCurvePerfectClassifier(t *testing.T) {
+	conf := []float64{0.9, 0.8, 0.2, 0.1}
+	correct := []bool{true, true, false, false}
+	curve := ROCCurve(conf, correct)
+	if auc := AUC(curve); math.Abs(auc-1.0) > 1e-9 {
+		t.Fatalf("AUC of perfect classifier = %v", auc)
+	}
+	// Lowest threshold: everything predicted positive.
+	if curve[0].TPR != 1 || curve[0].FPR != 1 {
+		t.Fatalf("lowest-threshold point %+v", curve[0])
+	}
+}
+
+func TestROCCurveRandomClassifier(t *testing.T) {
+	// Interleaved confidences: AUC ~ 0.5.
+	conf := []float64{0.8, 0.7, 0.6, 0.5, 0.4, 0.3}
+	correct := []bool{true, false, true, false, true, false}
+	auc := AUC(ROCCurve(conf, correct))
+	if auc < 0.4 || auc > 0.8 {
+		t.Fatalf("AUC = %v", auc)
+	}
+}
+
+// TestPRMoreInformativeUnderImbalance reproduces the paper's rationale for
+// choosing PR over ROC (Section V-B): with a 90:1 positive-skewed split, a
+// classifier that admits a fixed number of false positives barely moves
+// the ROC FPR axis, while PR precision exposes the error mass directly.
+func TestPRMoreInformativeUnderImbalance(t *testing.T) {
+	var conf []float64
+	var correct []bool
+	// 180 positives with high confidence; 2 negatives with even higher
+	// confidence (the damaging kind of mistake).
+	for i := 0; i < 180; i++ {
+		conf = append(conf, 0.9)
+		correct = append(correct, true)
+	}
+	conf = append(conf, 0.99, 0.98)
+	correct = append(correct, false, false)
+
+	roc := ROCCurve(conf, correct)
+	pr := PRCurve(conf, correct)
+
+	// At threshold 0.9 the ROC point has FPR 1 (both negatives admitted)
+	// but so does every threshold <= 0.98 — the axis saturates with only
+	// two negatives. Precision at the same threshold still quantifies the
+	// mistake mass: 180/182.
+	var prec09 float64
+	for _, p := range pr {
+		if p.Threshold == 0.9 {
+			prec09 = p.Precision
+		}
+	}
+	if math.Abs(prec09-180.0/182.0) > 1e-9 {
+		t.Fatalf("precision at 0.9 = %v", prec09)
+	}
+	// ROC cannot distinguish thresholds 0.9 and 0.98 by FPR.
+	var fpr09, fpr098 float64 = -1, -1
+	for _, p := range roc {
+		if p.Threshold == 0.9 {
+			fpr09 = p.FPR
+		}
+		if p.Threshold == 0.98 {
+			fpr098 = p.FPR
+		}
+	}
+	if fpr09 != 1 || fpr098 != 1 {
+		t.Fatalf("FPR at 0.9=%v, 0.98=%v (expected saturation)", fpr09, fpr098)
+	}
+}

@@ -1,0 +1,64 @@
+package gnn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/mat"
+)
+
+// modelJSON is the serialized form of a Model.
+type modelJSON struct {
+	Head         HeadKind    `json:"head"`
+	FrozenLayers int         `json:"frozen_layers"`
+	Scale        *Scaler     `json:"scale,omitempty"`
+	Layers       []layerJSON `json:"layers"`
+	Out          layerJSON   `json:"out"`
+}
+
+type layerJSON struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	W    []float64 `json:"w"`
+	B    []float64 `json:"b"`
+	ReLU bool      `json:"relu,omitempty"`
+}
+
+// Save writes the model as JSON.
+func Save(w io.Writer, m *Model) error {
+	mj := modelJSON{Head: m.Head, FrozenLayers: m.FrozenLayers, Scale: m.Scale}
+	for _, l := range m.Layers {
+		mj.Layers = append(mj.Layers, layerJSON{
+			Rows: l.W.Rows, Cols: l.W.Cols, W: l.W.Data, B: l.B, ReLU: l.ReLU,
+		})
+	}
+	mj.Out = layerJSON{Rows: m.Out.W.Rows, Cols: m.Out.W.Cols, W: m.Out.W.Data, B: m.Out.B}
+	enc := json.NewEncoder(w)
+	return enc.Encode(mj)
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var mj modelJSON
+	if err := json.NewDecoder(r).Decode(&mj); err != nil {
+		return nil, fmt.Errorf("gnn: load: %w", err)
+	}
+	m := &Model{Head: mj.Head, FrozenLayers: mj.FrozenLayers, Scale: mj.Scale}
+	for _, lj := range mj.Layers {
+		l := &GCNLayer{W: &mat.Matrix{Rows: lj.Rows, Cols: lj.Cols, Data: lj.W}, B: lj.B, ReLU: lj.ReLU}
+		if len(l.W.Data) != lj.Rows*lj.Cols || len(l.B) != lj.Cols {
+			return nil, fmt.Errorf("gnn: load: inconsistent layer shape %dx%d", lj.Rows, lj.Cols)
+		}
+		l.gradW = mat.New(lj.Rows, lj.Cols)
+		l.gradB = make([]float64, lj.Cols)
+		m.Layers = append(m.Layers, l)
+	}
+	if mj.Out.Rows*mj.Out.Cols != len(mj.Out.W) || len(mj.Out.B) != mj.Out.Cols {
+		return nil, fmt.Errorf("gnn: load: inconsistent output shape")
+	}
+	m.Out = &Dense{W: &mat.Matrix{Rows: mj.Out.Rows, Cols: mj.Out.Cols, Data: mj.Out.W}, B: mj.Out.B}
+	m.Out.gradW = mat.New(mj.Out.Rows, mj.Out.Cols)
+	m.Out.gradB = make([]float64, mj.Out.Cols)
+	return m, nil
+}

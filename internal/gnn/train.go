@@ -1,0 +1,209 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/hgraph"
+	"repro/internal/mat"
+)
+
+// GraphSample is one labeled subgraph for graph-level classification.
+type GraphSample struct {
+	SG    *hgraph.Subgraph
+	Label int
+	// Weight scales the sample's loss (class balancing). Zero means 1.
+	Weight float64
+}
+
+// NodeSample is one subgraph with node-level labels for selected nodes.
+type NodeSample struct {
+	SG *hgraph.Subgraph
+	// NodeIdx lists local node indices with labels; Labels aligns with it.
+	NodeIdx []int32
+	Labels  []int
+	Weights []float64 // per-labeled-node loss weight (nil = all 1)
+}
+
+// TrainConfig drives Fit/FitNodes.
+type TrainConfig struct {
+	Epochs    int     // default 30
+	Batch     int     // gradient accumulation size, default 8
+	LR        float64 // default 0.01
+	Seed      int64
+	FitScaler bool // compute feature standardization from this set
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs == 0 {
+		c.Epochs = 30
+	}
+	if c.Batch == 0 {
+		c.Batch = 8
+	}
+	if c.LR == 0 {
+		c.LR = 0.01
+	}
+	return c
+}
+
+// adam holds optimizer state aligned with the model's parameter list.
+type adam struct {
+	lr, b1, b2, eps float64
+	t               int
+	mMat, vMat      []*mat.Matrix
+	mVec, vVec      [][]float64
+}
+
+func newAdam(lr float64, ps []*mat.Matrix, vs [][]float64) *adam {
+	a := &adam{lr: lr, b1: 0.9, b2: 0.999, eps: 1e-8}
+	for _, p := range ps {
+		a.mMat = append(a.mMat, mat.New(p.Rows, p.Cols))
+		a.vMat = append(a.vMat, mat.New(p.Rows, p.Cols))
+	}
+	for _, v := range vs {
+		a.mVec = append(a.mVec, make([]float64, len(v)))
+		a.vVec = append(a.vVec, make([]float64, len(v)))
+	}
+	return a
+}
+
+func (a *adam) step(ps []*mat.Matrix, gs []*mat.Matrix, vs [][]float64, gvs [][]float64, scale float64) {
+	a.t++
+	c1 := 1 - math.Pow(a.b1, float64(a.t))
+	c2 := 1 - math.Pow(a.b2, float64(a.t))
+	for k, p := range ps {
+		m, v, g := a.mMat[k], a.vMat[k], gs[k]
+		for i := range p.Data {
+			gi := g.Data[i] * scale
+			m.Data[i] = a.b1*m.Data[i] + (1-a.b1)*gi
+			v.Data[i] = a.b2*v.Data[i] + (1-a.b2)*gi*gi
+			p.Data[i] -= a.lr * (m.Data[i] / c1) / (math.Sqrt(v.Data[i]/c2) + a.eps)
+		}
+	}
+	for k, p := range vs {
+		m, v, g := a.mVec[k], a.vVec[k], gvs[k]
+		for i := range p {
+			gi := g[i] * scale
+			m[i] = a.b1*m[i] + (1-a.b1)*gi
+			v[i] = a.b2*v[i] + (1-a.b2)*gi*gi
+			p[i] -= a.lr * (m[i] / c1) / (math.Sqrt(v[i]/c2) + a.eps)
+		}
+	}
+}
+
+// Fit trains a graph-head model with softmax cross-entropy. It returns the
+// mean training loss of the final epoch.
+func (m *Model) Fit(samples []GraphSample, cfg TrainConfig) float64 {
+	cfg = cfg.withDefaults()
+	if cfg.FitScaler || m.Scale == nil {
+		xs := make([]*mat.Matrix, 0, len(samples))
+		for _, s := range samples {
+			xs = append(xs, s.SG.X)
+		}
+		m.Scale = FitScaler(xs)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ps, gs, vs, gvs := m.params()
+	opt := newAdam(cfg.LR, ps, vs)
+	lastLoss := 0.0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(samples))
+		total, count := 0.0, 0
+		m.zeroGrads()
+		inBatch := 0
+		for _, si := range perm {
+			s := samples[si]
+			if s.SG.NumNodes() == 0 {
+				continue
+			}
+			w := s.Weight
+			if w == 0 {
+				w = 1
+			}
+			adj := NewAdjNorm(s.SG)
+			h := m.embed(adj, s.SG.X)
+			pooled := h.ColMeans()
+			logits := m.Out.Forward(pooled)
+			loss, dLogits := CrossEntropyGrad(logits, s.Label, w)
+			total += loss
+			count++
+			m.backwardGraph(adj, s.SG.NumNodes(), dLogits)
+			inBatch++
+			if inBatch >= cfg.Batch {
+				opt.step(ps, gs, vs, gvs, 1/float64(inBatch))
+				m.zeroGrads()
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			opt.step(ps, gs, vs, gvs, 1/float64(inBatch))
+			m.zeroGrads()
+		}
+		if count > 0 {
+			lastLoss = total / float64(count)
+		}
+	}
+	return lastLoss
+}
+
+// FitNodes trains a node-head model on per-node labels.
+func (m *Model) FitNodes(samples []NodeSample, cfg TrainConfig) float64 {
+	cfg = cfg.withDefaults()
+	if cfg.FitScaler || m.Scale == nil {
+		xs := make([]*mat.Matrix, 0, len(samples))
+		for _, s := range samples {
+			xs = append(xs, s.SG.X)
+		}
+		m.Scale = FitScaler(xs)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ps, gs, vs, gvs := m.params()
+	opt := newAdam(cfg.LR, ps, vs)
+	lastLoss := 0.0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(samples))
+		total, count := 0.0, 0
+		m.zeroGrads()
+		inBatch := 0
+		for _, si := range perm {
+			s := samples[si]
+			if s.SG.NumNodes() == 0 || len(s.NodeIdx) == 0 {
+				continue
+			}
+			adj := NewAdjNorm(s.SG)
+			h := m.embed(adj, s.SG.X)
+			dh := mat.New(h.Rows, h.Cols)
+			for k, li := range s.NodeIdx {
+				w := 1.0
+				if s.Weights != nil {
+					w = s.Weights[k]
+				}
+				logits := m.Out.Forward(h.Row(int(li)))
+				loss, dLogits := CrossEntropyGrad(logits, s.Labels[k], w)
+				total += loss
+				count++
+				dx := m.Out.Backward(dLogits)
+				row := dh.Row(int(li))
+				for j, v := range dx {
+					row[j] += v
+				}
+			}
+			m.backwardStack(adj, dh)
+			inBatch++
+			if inBatch >= cfg.Batch {
+				opt.step(ps, gs, vs, gvs, 1/float64(inBatch))
+				m.zeroGrads()
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			opt.step(ps, gs, vs, gvs, 1/float64(inBatch))
+			m.zeroGrads()
+		}
+		if count > 0 {
+			lastLoss = total / float64(count)
+		}
+	}
+	return lastLoss
+}

@@ -1,0 +1,172 @@
+package hgraph
+
+import (
+	"repro/internal/failurelog"
+	"repro/internal/mat"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Subgraph is the homogeneous circuit-level graph extracted by
+// back-tracing one failure log (Fig. 3 of the paper). Node features follow
+// Table II; topological dependency of the top level is already encoded in
+// the numerical feature columns.
+type Subgraph struct {
+	// Nodes maps local index -> full-graph node ID.
+	Nodes []int32
+	// Adj is the undirected local adjacency used by the GCN layers.
+	Adj [][]int32
+	// X holds the FeatureDim-wide node feature matrix.
+	X *mat.Matrix
+	// MIVLocal lists local indices of MIV output-pin nodes; MIVGates holds
+	// the corresponding netlist gate IDs.
+	MIVLocal []int32
+	MIVGates []int
+	// TierOf gives each local node's normalized tier location in [0,1]
+	// (0.5 for MIVs, which sit between tiers).
+	TierOf []float64
+}
+
+// NumNodes returns the subgraph size.
+func (s *Subgraph) NumNodes() int { return len(s.Nodes) }
+
+// Backtrace runs the paper's back-tracing algorithm: for every erroneous
+// response, collect the fault-site nodes in the fan-in cones of the failing
+// Topnodes that transition under the failing pattern; intersect the
+// per-response suspect sets; extract the induced circuit-level subgraph.
+// When the strict intersection is empty (reconvergence or compactor
+// aliasing), the threshold relaxes progressively — the subgraph must never
+// be empty for a failing chip.
+func (g *Graph) Backtrace(log *failurelog.Log, res *sim.Result) *Subgraph {
+	if log.Empty() {
+		return &Subgraph{X: mat.New(0, FeatureDim)}
+	}
+	count := make([]int32, g.NumNodes)
+	mark := make([]int32, g.NumNodes)
+	for i := range mark {
+		mark[i] = -1
+	}
+	var queue []int32
+	responses := int32(0)
+	for _, f := range log.Fails {
+		st := responses
+		responses++
+		// Topnodes behind this failing observation: the data-pin node of
+		// each failing flop or PO.
+		for _, obsGate := range g.arch.ObsGates(int(f.Obs), log.Compacted) {
+			top := g.InNode[obsGate][0]
+			// BFS over fan-in cone, keeping transitioning nodes.
+			queue = queue[:0]
+			if mark[top] != st {
+				mark[top] = st
+				queue = append(queue, top)
+			}
+			for qi := 0; qi < len(queue); qi++ {
+				v := queue[qi]
+				if g.nodeTransitions(res, v, int(f.Pattern)) {
+					count[v]++
+					mark[v] = st // already stamped; keep single vote
+				}
+				for _, u := range g.Fanin[v] {
+					if mark[u] != st {
+						mark[u] = st
+						queue = append(queue, u)
+					}
+				}
+			}
+		}
+	}
+
+	// Intersection with progressive relaxation.
+	var picked []int32
+	for _, frac := range []float64{1.0, 0.8, 0.5, 0.0} {
+		need := int32(frac * float64(responses))
+		if need < 1 {
+			need = 1
+		}
+		for v := int32(0); v < int32(g.NumNodes); v++ {
+			if count[v] >= need {
+				picked = append(picked, v)
+			}
+		}
+		if len(picked) > 0 {
+			break
+		}
+	}
+	return g.subgraph(picked)
+}
+
+// subgraph builds the induced subgraph with Table-II features.
+func (g *Graph) subgraph(nodes []int32) *Subgraph {
+	local := make(map[int32]int32, len(nodes))
+	for i, v := range nodes {
+		local[v] = int32(i)
+	}
+	s := &Subgraph{
+		Nodes:  nodes,
+		Adj:    make([][]int32, len(nodes)),
+		X:      mat.New(len(nodes), FeatureDim),
+		TierOf: make([]float64, len(nodes)),
+	}
+	n := g.Netlist()
+	subFi := make([]int, len(nodes))
+	subFo := make([]int, len(nodes))
+	for i, v := range nodes {
+		for _, u := range g.Fanin[v] {
+			if j, ok := local[u]; ok {
+				s.Adj[i] = append(s.Adj[i], j)
+				subFi[i]++
+				subFo[j]++
+			}
+		}
+		for _, u := range g.Fanout[v] {
+			if j, ok := local[u]; ok {
+				s.Adj[i] = append(s.Adj[i], j)
+			}
+		}
+		gate := n.Gates[g.NodeGate[v]]
+		if gate.IsMIV && g.NodePin[v] == -1 {
+			s.MIVLocal = append(s.MIVLocal, int32(i))
+			s.MIVGates = append(s.MIVGates, gate.ID)
+		}
+		s.TierOf[i] = g.Loc[v]
+	}
+	for i, v := range nodes {
+		row := s.X.Row(i)
+		g.staticFeatureRow(v, row)
+		row[7] = float64(subFi[i])
+		row[8] = float64(subFo[i])
+	}
+	return s
+}
+
+// FeatureSummary returns the mean feature vector of a subgraph — the
+// per-sample descriptor used for the PCA transferability analysis (Fig. 5).
+func (s *Subgraph) FeatureSummary() []float64 {
+	return s.X.ColMeans()
+}
+
+// TrueTier returns the tier label (0-based) for a ground-truth fault site
+// gate, and ok=false for MIV sites (which belong to no tier).
+func TrueTier(n *netlist.Netlist, siteGate int) (int, bool) {
+	g := n.Gates[siteGate]
+	if g.IsMIV || g.Tier < 0 {
+		return 0, false
+	}
+	return int(g.Tier), true
+}
+
+// ContainsGate reports whether any pin node of the gate is in the subgraph.
+func (s *Subgraph) ContainsGate(g *Graph, gate int) bool {
+	for _, v := range s.Nodes {
+		if int(g.NodeGate[v]) == gate {
+			return true
+		}
+	}
+	return false
+}
+
+// LocalMIVGate returns the netlist gate ID of a local MIV node index.
+func (s *Subgraph) LocalMIVGate(g *Graph, localIdx int32) int {
+	return int(g.NodeGate[s.Nodes[localIdx]])
+}

@@ -1,0 +1,295 @@
+// Package hgraph builds the paper's heterogeneous graph from a circuit
+// under diagnosis and derives the back-traced subgraphs the GNN models
+// consume.
+//
+// Circuit level: every fault site is a node — the output pin of each gate
+// and every input pin of every gate — with edges from input pins to output
+// pins (gate traversal) and from net stems to net branches (output pin to
+// the sink's input pin). MIV pseudo-buffers contribute their own pin nodes,
+// so every MIV can be pinpointed in constant time (Section III-A).
+//
+// Top level: each observation point (the data input of a scan flop, plus
+// primary-output inputs) forms a Topnode connected by Topedges to every
+// node in its fan-in cone. Topedges are not materialized: as the paper
+// notes, they exist to accelerate back-tracing and contribute numerical
+// features — the shortest distance to the Topnode and the number of MIVs
+// on that path — which Build aggregates per node (count, mean, standard
+// deviation) during one BFS per Topnode.
+package hgraph
+
+import (
+	"math"
+
+	"repro/internal/netlist"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+// Graph is the full heterogeneous graph for one design.
+type Graph struct {
+	arch *scan.Arch
+
+	// NumNodes is the circuit-level (pin) node count.
+	NumNodes int
+	// NodeGate and NodePin map node -> (gate, pin); pin -1 is the output.
+	NodeGate []int32
+	NodePin  []int32
+	// OutNode maps gate -> its output-pin node. InNode maps gate -> input
+	// pin nodes in pin order.
+	OutNode []int32
+	InNode  [][]int32
+
+	// Fanin/Fanout are the circuit-level directed pin adjacency.
+	Fanin  [][]int32
+	Fanout [][]int32
+
+	// Topnodes lists the observation-point nodes (flop data pins, then PO
+	// input pins) aligned with the netlist's FFs and POs slices.
+	TopFF []int32
+	TopPO []int32
+
+	// Per-node static features.
+	NFi, NFo []float64 // circuit fan-in/fan-out degrees
+	Lvl      []float64 // topological level of the owning gate
+	Loc      []float64 // tier (0 bottom, 1 top; MIV nodes carry 0.5)
+	Out      []float64 // 1 for output-pin nodes
+	MIV      []float64 // 1 if the node is an MIV pin or adjacent to one
+
+	// Topedge aggregates per node.
+	NTop                     []float64 // number of fan-in Topedges
+	DMean, DStd              []float64 // shortest-distance stats
+	MIVMean, MIVStd          []float64 // MIVs-on-path stats
+	sumD, sumD2, sumM, sumM2 []float64
+}
+
+// FeatureDim is the width of the Table-II node feature vector produced by
+// Subgraph.Features: 11 static features plus 2 subgraph-local degrees.
+const FeatureDim = 13
+
+// FeatureNames lists the Table-II features in column order.
+var FeatureNames = [FeatureDim]string{
+	"circuit fan-in edges",
+	"circuit fan-out edges",
+	"topedges connected",
+	"tier-level location",
+	"topological level",
+	"is gate output",
+	"connects to MIV",
+	"subgraph fan-in edges",
+	"subgraph fan-out edges",
+	"mean topedge length",
+	"std topedge length",
+	"mean topedge MIVs",
+	"std topedge MIVs",
+}
+
+// Build constructs the heterogeneous graph. res supplies good-machine
+// transition data indirectly at back-trace time; Build itself needs only
+// the structure.
+func Build(arch *scan.Arch) *Graph {
+	n := arch.Netlist()
+	g := &Graph{arch: arch}
+
+	// Allocate pin nodes.
+	g.OutNode = make([]int32, len(n.Gates))
+	g.InNode = make([][]int32, len(n.Gates))
+	id := int32(0)
+	for _, gate := range n.Gates {
+		g.OutNode[gate.ID] = id
+		g.NodeGate = append(g.NodeGate, int32(gate.ID))
+		g.NodePin = append(g.NodePin, -1)
+		id++
+		pins := make([]int32, len(gate.Fanin))
+		for p := range gate.Fanin {
+			pins[p] = id
+			g.NodeGate = append(g.NodeGate, int32(gate.ID))
+			g.NodePin = append(g.NodePin, int32(p))
+			id++
+		}
+		g.InNode[gate.ID] = pins
+	}
+	g.NumNodes = int(id)
+
+	// Edges: stem->branch and input-pin->output-pin.
+	g.Fanin = make([][]int32, g.NumNodes)
+	g.Fanout = make([][]int32, g.NumNodes)
+	addEdge := func(from, to int32) {
+		g.Fanout[from] = append(g.Fanout[from], to)
+		g.Fanin[to] = append(g.Fanin[to], from)
+	}
+	for _, gate := range n.Gates {
+		for p, src := range gate.Fanin {
+			addEdge(g.OutNode[src], g.InNode[gate.ID][p])
+			if gate.Type != netlist.DFF {
+				// Gate traversal; flop data pins terminate the
+				// combinational frame, matching the simulator.
+				addEdge(g.InNode[gate.ID][p], g.OutNode[gate.ID])
+			}
+		}
+	}
+
+	// Topnodes.
+	for _, ff := range n.FFs {
+		g.TopFF = append(g.TopFF, g.InNode[ff][0])
+	}
+	for _, po := range n.POs {
+		g.TopPO = append(g.TopPO, g.InNode[po][0])
+	}
+
+	g.buildStaticFeatures(n)
+	g.buildTopedgeStats(n)
+	return g
+}
+
+func (g *Graph) buildStaticFeatures(n *netlist.Netlist) {
+	N := g.NumNodes
+	g.NFi = make([]float64, N)
+	g.NFo = make([]float64, N)
+	g.Lvl = make([]float64, N)
+	g.Loc = make([]float64, N)
+	g.Out = make([]float64, N)
+	g.MIV = make([]float64, N)
+	// Normalize the tier feature to [0,1] across however many tiers the
+	// design has (the paper's two-tier case keeps 0/1 exactly).
+	maxTier := int8(1)
+	for _, gate := range n.Gates {
+		if gate.Tier > maxTier {
+			maxTier = gate.Tier
+		}
+	}
+	for v := 0; v < N; v++ {
+		gate := n.Gates[g.NodeGate[v]]
+		g.NFi[v] = float64(len(g.Fanin[v]))
+		g.NFo[v] = float64(len(g.Fanout[v]))
+		g.Lvl[v] = float64(gate.Level)
+		if gate.Tier >= 0 {
+			g.Loc[v] = float64(gate.Tier) / float64(maxTier)
+		} else {
+			g.Loc[v] = 0.5 // MIVs sit between tiers
+		}
+		if g.NodePin[v] == -1 {
+			g.Out[v] = 1
+		}
+		if gate.IsMIV {
+			g.MIV[v] = 1
+			continue
+		}
+		// Adjacent to an MIV?
+		for _, src := range gate.Fanin {
+			if n.Gates[src].IsMIV {
+				g.MIV[v] = 1
+			}
+		}
+		if g.MIV[v] == 0 {
+			for _, s := range gate.Fanout {
+				if n.Gates[s].IsMIV {
+					g.MIV[v] = 1
+				}
+			}
+		}
+	}
+}
+
+// buildTopedgeStats runs one reverse BFS per Topnode over the pin graph,
+// accumulating per-node Topedge count, distance and MIV-count statistics.
+func (g *Graph) buildTopedgeStats(n *netlist.Netlist) {
+	N := g.NumNodes
+	g.NTop = make([]float64, N)
+	g.sumD = make([]float64, N)
+	g.sumD2 = make([]float64, N)
+	g.sumM = make([]float64, N)
+	g.sumM2 = make([]float64, N)
+
+	dist := make([]int32, N)
+	mivs := make([]int32, N)
+	stamp := make([]int32, N)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	queue := make([]int32, 0, 1024)
+
+	tops := make([]int32, 0, len(g.TopFF)+len(g.TopPO))
+	tops = append(tops, g.TopFF...)
+	tops = append(tops, g.TopPO...)
+	for t, top := range tops {
+		st := int32(t)
+		queue = queue[:0]
+		queue = append(queue, top)
+		stamp[top] = st
+		dist[top] = 0
+		mivs[top] = 0
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			g.NTop[v]++
+			d := float64(dist[v])
+			m := float64(mivs[v])
+			g.sumD[v] += d
+			g.sumD2[v] += d * d
+			g.sumM[v] += m
+			g.sumM2[v] += m * m
+			for _, u := range g.Fanin[v] {
+				if stamp[u] == st {
+					continue
+				}
+				stamp[u] = st
+				dist[u] = dist[v] + 1
+				mivs[u] = mivs[v]
+				if n.Gates[g.NodeGate[u]].IsMIV {
+					mivs[u]++
+				}
+				queue = append(queue, u)
+			}
+		}
+	}
+	g.DMean = make([]float64, N)
+	g.DStd = make([]float64, N)
+	g.MIVMean = make([]float64, N)
+	g.MIVStd = make([]float64, N)
+	for v := 0; v < N; v++ {
+		c := g.NTop[v]
+		if c == 0 {
+			continue
+		}
+		g.DMean[v] = g.sumD[v] / c
+		g.MIVMean[v] = g.sumM[v] / c
+		g.DStd[v] = math.Sqrt(math.Max(0, g.sumD2[v]/c-g.DMean[v]*g.DMean[v]))
+		g.MIVStd[v] = math.Sqrt(math.Max(0, g.sumM2[v]/c-g.MIVMean[v]*g.MIVMean[v]))
+	}
+}
+
+// Arch returns the scan architecture the graph was built over.
+func (g *Graph) Arch() *scan.Arch { return g.arch }
+
+// Netlist returns the underlying design.
+func (g *Graph) Netlist() *netlist.Netlist { return g.arch.Netlist() }
+
+// nodeTransitions reports whether pin node v switches under pattern k: a
+// pin carries the value of its net's driving gate (the gate itself for
+// output pins, the fanin source for input pins).
+func (g *Graph) nodeTransitions(res *sim.Result, v int32, k int) bool {
+	gate := g.Netlist().Gates[g.NodeGate[v]]
+	if g.NodePin[v] == -1 {
+		if gate.Type == netlist.Output {
+			return res.HasTransition(gate.Fanin[0], k)
+		}
+		return res.HasTransition(gate.ID, k)
+	}
+	return res.HasTransition(gate.Fanin[g.NodePin[v]], k)
+}
+
+// staticFeatureRow fills the first 7 and last 4 Table-II columns for node v
+// into row (length FeatureDim); columns 7 and 8 (subgraph degrees) are the
+// caller's responsibility.
+func (g *Graph) staticFeatureRow(v int32, row []float64) {
+	row[0] = g.NFi[v]
+	row[1] = g.NFo[v]
+	row[2] = g.NTop[v]
+	row[3] = g.Loc[v]
+	row[4] = g.Lvl[v]
+	row[5] = g.Out[v]
+	row[6] = g.MIV[v]
+	row[9] = g.DMean[v]
+	row[10] = g.DStd[v]
+	row[11] = g.MIVMean[v]
+	row[12] = g.MIVStd[v]
+}

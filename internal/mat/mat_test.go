@@ -1,0 +1,254 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("unexpected shape %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At(1,2)=%v want 7", m.At(1, 2))
+	}
+	if m.Row(1)[2] != 7 {
+		t.Fatalf("Row view broken")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := Mul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	for i := range c.Data {
+		if c.Data[i] != want.Data[i] {
+			t.Fatalf("Mul = %v want %v", c.Data, want.Data)
+		}
+	}
+}
+
+func TestMulIntoMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(4, 7)
+	b := New(7, 3)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	want := Mul(a, b)
+	got := New(4, 3)
+	MulInto(got, a, b)
+	for i := range want.Data {
+		if !almostEqual(got.Data[i], want.Data[i], 1e-12) {
+			t.Fatalf("MulInto mismatch at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(6)
+		c := 1 + rng.Intn(6)
+		m := New(r, c)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		tt := m.T().T()
+		for i := range m.Data {
+			if m.Data[i] != tt.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		mk := func() *Matrix {
+			m := New(n, n)
+			for i := range m.Data {
+				m.Data[i] = rng.Float64()*2 - 1
+			}
+			return m
+		}
+		a, b, c := mk(), mk(), mk()
+		left := Mul(Mul(a, b), c)
+		right := Mul(a, Mul(b, c))
+		diff := Sub(left, right)
+		return diff.MaxAbs() < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubHadamardScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	if got := Add(a, b).At(1, 1); got != 12 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(b, a).At(0, 0); got != 4 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Hadamard(a, b).At(0, 1); got != 12 {
+		t.Errorf("Hadamard = %v", got)
+	}
+	if got := Scale(a, 2).At(1, 0); got != 6 {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestAddRowVectorAndColMeans(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	m.AddRowVector([]float64{10, 20})
+	if m.At(0, 0) != 11 || m.At(1, 1) != 24 {
+		t.Fatalf("AddRowVector result %v", m.Data)
+	}
+	means := m.ColMeans()
+	if means[0] != 12 || means[1] != 23 {
+		t.Fatalf("ColMeans = %v", means)
+	}
+}
+
+func TestSymEigDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}})
+	vals, _ := SymEig(a)
+	want := []float64{3, 2, 1}
+	for i := range want {
+		if !almostEqual(vals[i], want[i], 1e-10) {
+			t.Fatalf("eigenvalues %v want %v", vals, want)
+		}
+	}
+}
+
+func TestSymEigReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 6
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	vals, vecs := SymEig(a)
+	// Reconstruct A = V Λ Vᵀ.
+	lam := New(n, n)
+	for i, v := range vals {
+		lam.Set(i, i, v)
+	}
+	rec := Mul(Mul(vecs, lam), vecs.T())
+	if d := Sub(rec, a).MaxAbs(); d > 1e-8 {
+		t.Fatalf("reconstruction error %v", d)
+	}
+	// Orthonormality of eigenvectors.
+	eye := Mul(vecs.T(), vecs)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if !almostEqual(eye.At(i, j), want, 1e-8) {
+				t.Fatalf("VᵀV not identity at (%d,%d): %v", i, j, eye.At(i, j))
+			}
+		}
+	}
+}
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Points spread along (1,1)/√2 with small orthogonal noise.
+	rng := rand.New(rand.NewSource(42))
+	n := 500
+	x := New(n, 2)
+	for i := 0; i < n; i++ {
+		tval := rng.NormFloat64() * 5
+		noise := rng.NormFloat64() * 0.1
+		x.Set(i, 0, tval+noise)
+		x.Set(i, 1, tval-noise)
+	}
+	res := PCA(x, 1)
+	v0 := math.Abs(res.Components.At(0, 0))
+	v1 := math.Abs(res.Components.At(1, 0))
+	if !almostEqual(v0, math.Sqrt(0.5), 0.02) || !almostEqual(v1, math.Sqrt(0.5), 0.02) {
+		t.Fatalf("first component %v,%v want ±0.707", v0, v1)
+	}
+	if res.Explained[0] < 0.99 {
+		t.Fatalf("explained variance %v want >0.99", res.Explained[0])
+	}
+}
+
+func TestPCAProjectShape(t *testing.T) {
+	x := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}})
+	res := PCA(x, 2)
+	p := res.Project(x)
+	if p.Rows != 3 || p.Cols != 2 {
+		t.Fatalf("projection shape %dx%d", p.Rows, p.Cols)
+	}
+}
+
+func TestStats(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if s := StdDev(xs); !almostEqual(s, 2, 1e-12) {
+		t.Errorf("StdDev = %v", s)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty-slice stats should be 0")
+	}
+	if MeanInt([]int{1, 2, 3}) != 2 {
+		t.Error("MeanInt")
+	}
+	if !almostEqual(StdDevInt([]int{2, 4}), 1, 1e-12) {
+		t.Error("StdDevInt")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	i3 := Identity(3)
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	p := Mul(i3, m)
+	if d := Sub(p, m).MaxAbs(); d != 0 {
+		t.Fatalf("I·M != M, diff %v", d)
+	}
+}
+
+func TestNorm2AndMaxAbs(t *testing.T) {
+	m := FromRows([][]float64{{3, -4}})
+	if m.Norm2() != 5 {
+		t.Errorf("Norm2 = %v", m.Norm2())
+	}
+	if m.MaxAbs() != 4 {
+		t.Errorf("MaxAbs = %v", m.MaxAbs())
+	}
+}

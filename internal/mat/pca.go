@@ -1,0 +1,69 @@
+package mat
+
+import "math"
+
+// PCAResult holds the outcome of a principal component analysis.
+type PCAResult struct {
+	// Components holds the principal axes as columns (d×k).
+	Components *Matrix
+	// Explained holds the fraction of total variance captured by each of
+	// the k retained components.
+	Explained []float64
+	// Mean is the per-feature mean subtracted before projection.
+	Mean []float64
+}
+
+// PCA computes the top-k principal components of the samples in x
+// (one sample per row). Features are mean-centered but not rescaled,
+// matching the paper's visualization of raw subgraph feature vectors.
+func PCA(x *Matrix, k int) *PCAResult {
+	d := x.Cols
+	if k <= 0 || k > d {
+		k = d
+	}
+	mean := x.ColMeans()
+	centered := x.Clone()
+	for i := 0; i < centered.Rows; i++ {
+		row := centered.Row(i)
+		for j := range row {
+			row[j] -= mean[j]
+		}
+	}
+	// Covariance = Xᵀ X / (n-1).
+	cov := Mul(centered.T(), centered)
+	if centered.Rows > 1 {
+		cov.ScaleInPlace(1 / float64(centered.Rows-1))
+	}
+	vals, vecs := SymEig(cov)
+
+	total := 0.0
+	for _, v := range vals {
+		if v > 0 {
+			total += v
+		}
+	}
+	comp := New(d, k)
+	explained := make([]float64, k)
+	for c := 0; c < k; c++ {
+		for r := 0; r < d; r++ {
+			comp.Set(r, c, vecs.At(r, c))
+		}
+		if total > 0 {
+			explained[c] = math.Max(vals[c], 0) / total
+		}
+	}
+	return &PCAResult{Components: comp, Explained: explained, Mean: mean}
+}
+
+// Project maps the samples in x (one per row) onto the principal axes,
+// returning an n×k matrix of scores.
+func (p *PCAResult) Project(x *Matrix) *Matrix {
+	centered := x.Clone()
+	for i := 0; i < centered.Rows; i++ {
+		row := centered.Row(i)
+		for j := range row {
+			row[j] -= p.Mean[j]
+		}
+	}
+	return Mul(centered, p.Components)
+}

@@ -1,0 +1,174 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// The text format is a bench-style structural dialect with M3D annotations:
+//
+//	# comment
+//	NAME aes_syn1
+//	INPUT(pi_0)
+//	n12 = NAND(pi_0, n5) @1
+//	miv_3 = MIV(n12)
+//	tp_1 = TP_OR(n12, n5) @0
+//	ff_4 = DFF(n12) @0
+//	po_0 = OUTPUT(n12)
+//
+// "@0"/"@1" annotate the device tier; MIV declares a tier-crossing via
+// pseudo-buffer; a TP_ prefix marks a DfT test point of the underlying type.
+
+// Write serializes the netlist in the text format. Gates are emitted in ID
+// order, which is always a valid declaration order.
+func Write(w io.Writer, n *Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %d gates, %d FFs, %d MIVs\n", n.NumLogicGates(), len(n.FFs), n.NumMIVs())
+	fmt.Fprintf(bw, "NAME %s\n", n.Name)
+	for _, g := range n.Gates {
+		switch {
+		case g.Type == Input:
+			fmt.Fprintf(bw, "INPUT(%s)\n", g.Name)
+		case g.IsMIV:
+			fmt.Fprintf(bw, "%s = MIV(%s)\n", g.Name, n.Gates[g.Fanin[0]].Name)
+		default:
+			names := make([]string, len(g.Fanin))
+			for i, f := range g.Fanin {
+				names[i] = n.Gates[f].Name
+			}
+			typeName := g.Type.String()
+			if g.IsTestPoint {
+				typeName = "TP_" + typeName
+			}
+			fmt.Fprintf(bw, "%s = %s(%s)", g.Name, typeName, strings.Join(names, ", "))
+			if g.Tier != TierNone {
+				fmt.Fprintf(bw, " @%d", g.Tier)
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format produced by Write. Declarations are resolved
+// in two passes so sequential feedback (a DFF whose data source is declared
+// later) round-trips correctly.
+func Read(r io.Reader) (*Netlist, error) {
+	type decl struct {
+		line int
+		id   int
+		args []string
+	}
+	n := New("")
+	byName := make(map[string]int)
+	var decls []decl
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "NAME "); ok {
+			n.Name = strings.TrimSpace(rest)
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "INPUT("); ok {
+			name := strings.TrimSuffix(strings.TrimSpace(rest), ")")
+			byName[name] = n.AddGate(name, Input)
+			continue
+		}
+		name, rhs, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("netlist: line %d: malformed %q", lineNo, line)
+		}
+		name = strings.TrimSpace(name)
+		rhs = strings.TrimSpace(rhs)
+
+		tier := TierNone
+		if at := strings.LastIndex(rhs, "@"); at >= 0 {
+			switch strings.TrimSpace(rhs[at+1:]) {
+			case "0":
+				tier = TierBottom
+			case "1":
+				tier = TierTop
+			default:
+				return nil, fmt.Errorf("netlist: line %d: bad tier %q", lineNo, rhs[at+1:])
+			}
+			rhs = strings.TrimSpace(rhs[:at])
+		}
+		open := strings.Index(rhs, "(")
+		if open < 0 || !strings.HasSuffix(rhs, ")") {
+			return nil, fmt.Errorf("netlist: line %d: malformed expression %q", lineNo, rhs)
+		}
+		typeName := strings.TrimSpace(rhs[:open])
+		isMIV := typeName == "MIV"
+		isTP := strings.HasPrefix(typeName, "TP_")
+		if isMIV {
+			typeName = "BUF"
+		}
+		if isTP {
+			typeName = strings.TrimPrefix(typeName, "TP_")
+		}
+		gt, known := ParseGateType(typeName)
+		if !known {
+			return nil, fmt.Errorf("netlist: line %d: unknown gate type %q", lineNo, typeName)
+		}
+		var args []string
+		for _, a := range strings.Split(strings.TrimSuffix(rhs[open+1:], ")"), ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				args = append(args, a)
+			}
+		}
+		id := n.AddGate(name, gt) // fanin attached in the second pass
+		g := n.Gates[id]
+		g.Tier = tier
+		g.IsMIV = isMIV
+		g.IsTestPoint = isTP
+		byName[name] = id
+		decls = append(decls, decl{line: lineNo, id: id, args: args})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, d := range decls {
+		for _, a := range d.args {
+			src, found := byName[a]
+			if !found {
+				return nil, fmt.Errorf("netlist: line %d: undeclared signal %q", d.line, a)
+			}
+			n.Connect(d.id, src)
+		}
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// GateByName returns the ID of the gate with the given instance name, or -1.
+// It is a linear scan intended for tests and tooling, not hot paths.
+func (n *Netlist) GateByName(name string) int {
+	for _, g := range n.Gates {
+		if g.Name == name {
+			return g.ID
+		}
+	}
+	return -1
+}
+
+// SortedGateNames returns all instance names in lexicographic order,
+// useful for deterministic golden-file comparisons.
+func (n *Netlist) SortedGateNames() []string {
+	names := make([]string, len(n.Gates))
+	for i, g := range n.Gates {
+		names[i] = g.Name
+	}
+	sort.Strings(names)
+	return names
+}

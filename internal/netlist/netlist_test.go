@@ -1,0 +1,291 @@
+package netlist
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildSmall creates: two PIs, a NAND, an XOR, a DFF feeding back, one PO.
+func buildSmall(t *testing.T) *Netlist {
+	t.Helper()
+	n := New("small")
+	a := n.AddGate("a", Input)
+	b := n.AddGate("b", Input)
+	ff := n.AddGate("ff", DFF) // data pin connected below (forward reference)
+	nand := n.AddGate("nand1", Nand, a, b)
+	xor := n.AddGate("xor1", Xor, nand, ff)
+	n.Connect(ff, xor)
+	n.AddGate("po", Output, xor)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return n
+}
+
+func TestAddGateWiring(t *testing.T) {
+	n := New("t")
+	a := n.AddGate("a", Input)
+	b := n.AddGate("b", Input)
+	g := n.AddGate("g", And, a, b)
+	if len(n.Gates[a].Fanout) != 1 || n.Gates[a].Fanout[0] != g {
+		t.Fatalf("fanout of a = %v", n.Gates[a].Fanout)
+	}
+	if len(n.Gates[g].Fanin) != 2 {
+		t.Fatalf("fanin of g = %v", n.Gates[g].Fanin)
+	}
+	if len(n.PIs) != 2 {
+		t.Fatalf("PIs = %v", n.PIs)
+	}
+}
+
+func TestAddGateFaninLimitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 2-input NOT")
+		}
+	}()
+	n := New("t")
+	a := n.AddGate("a", Input)
+	b := n.AddGate("b", Input)
+	n.AddGate("bad", Not, a, b)
+}
+
+func TestLevelizeAndTopoOrder(t *testing.T) {
+	n := buildSmall(t)
+	if err := n.Levelize(); err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) *Gate { return n.Gates[n.GateByName(name)] }
+	if get("a").Level != 0 || get("ff").Level != 0 {
+		t.Fatal("sources must be level 0")
+	}
+	if get("nand1").Level != 1 || get("xor1").Level != 2 {
+		t.Fatalf("levels nand=%d xor=%d", get("nand1").Level, get("xor1").Level)
+	}
+	// Topological order: every gate after its fanins (combinationally).
+	pos := make(map[int]int)
+	for i, id := range n.TopoOrder() {
+		pos[id] = i
+	}
+	for _, g := range n.Gates {
+		if g.Type.IsSource() {
+			continue
+		}
+		for _, f := range g.Fanin {
+			if pos[f] > pos[g.ID] {
+				t.Fatalf("gate %s before its fanin %s", g.Name, n.Gates[f].Name)
+			}
+		}
+	}
+}
+
+func TestCombinationalCycleDetected(t *testing.T) {
+	n := New("cyc")
+	a := n.AddGate("a", Input)
+	g1 := n.AddGate("g1", And, a)
+	g2 := n.AddGate("g2", And, g1, a)
+	n.Connect(g1, g2) // combinational cycle g1 -> g2 -> g1
+	if err := n.Levelize(); err == nil {
+		t.Fatal("expected cycle detection")
+	}
+}
+
+func TestDFFBreaksCycle(t *testing.T) {
+	n := buildSmall(t) // xor feeds ff which feeds xor: sequential loop only
+	if err := n.Levelize(); err != nil {
+		t.Fatalf("sequential loop should be fine: %v", err)
+	}
+}
+
+func TestFaninFanoutCones(t *testing.T) {
+	n := buildSmall(t)
+	xor := n.GateByName("xor1")
+	cone := n.FaninCone(xor)
+	for _, name := range []string{"xor1", "nand1", "a", "b", "ff"} {
+		if !cone[n.GateByName(name)] {
+			t.Errorf("fanin cone missing %s", name)
+		}
+	}
+	if cone[n.GateByName("po")] {
+		t.Error("fanin cone must not contain the PO")
+	}
+	a := n.GateByName("a")
+	fo := n.FanoutCone(a)
+	for _, name := range []string{"a", "nand1", "xor1", "po", "ff"} {
+		if !fo[n.GateByName(name)] {
+			t.Errorf("fanout cone missing %s", name)
+		}
+	}
+	if fo[n.GateByName("b")] {
+		t.Error("fanout cone must not contain b")
+	}
+}
+
+func TestFanoutConeStopsAtDFF(t *testing.T) {
+	n := buildSmall(t)
+	fo := n.FanoutCone(n.GateByName("a"))
+	// ff is reached, but traversal must not continue through it back to xor's
+	// already-seen cone; specifically the only gates are the five checked
+	// above.
+	count := 0
+	for _, in := range fo {
+		if in {
+			count++
+		}
+	}
+	if count != 5 {
+		t.Fatalf("fanout cone size %d want 5", count)
+	}
+}
+
+func TestObservationPoints(t *testing.T) {
+	n := buildSmall(t)
+	ops := n.ObservationPoints()
+	if len(ops) != 2 { // 1 PO + 1 FF
+		t.Fatalf("ops = %v", ops)
+	}
+}
+
+func TestStats(t *testing.T) {
+	n := buildSmall(t)
+	s, err := n.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Gates != 2 || s.FFs != 1 || s.PIs != 2 || s.POs != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.Depth != 3 { // xor1 at 2, the PO pseudo-gate at 3
+		t.Fatalf("depth %d want 3", s.Depth)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	n := buildSmall(t)
+	n.Gates[n.GateByName("nand1")].Tier = TierTop
+	n.Gates[n.GateByName("xor1")].Tier = TierBottom
+	n.Gates[n.GateByName("ff")].Tier = TierBottom
+	var buf bytes.Buffer
+	if err := Write(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v\ninput:\n%s", err, buf.String())
+	}
+	if got.Name != "small" || got.NumGates() != n.NumGates() {
+		t.Fatalf("round trip mismatch: %s %d", got.Name, got.NumGates())
+	}
+	if got.Gates[got.GateByName("nand1")].Tier != TierTop {
+		t.Error("tier annotation lost")
+	}
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	// Second serialization must be stable.
+	var buf3 bytes.Buffer
+	if err := Write(&buf3, n); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != buf3.String() {
+		t.Fatalf("unstable serialization:\n%s\nvs\n%s", buf2.String(), buf3.String())
+	}
+}
+
+func TestReadMIVAndTP(t *testing.T) {
+	src := `NAME x
+INPUT(a)
+INPUT(b)
+g1 = AND(a, b) @1
+m1 = MIV(g1)
+t1 = TP_OR(m1, a) @0
+o1 = OUTPUT(t1)
+`
+	n, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := n.Gates[n.GateByName("m1")]
+	if !m.IsMIV || m.Type != Buf {
+		t.Fatalf("MIV not parsed: %+v", m)
+	}
+	tp := n.Gates[n.GateByName("t1")]
+	if !tp.IsTestPoint || tp.Type != Or || tp.Tier != TierBottom {
+		t.Fatalf("TP not parsed: %+v", tp)
+	}
+	if n.NumMIVs() != 1 {
+		t.Fatalf("NumMIVs = %d", n.NumMIVs())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"g1 = AND(a, b)",           // undeclared signal
+		"INPUT(a)\ng1 = FROB(a)",   // unknown type
+		"INPUT(a)\ng1 = AND(a) @5", // bad tier
+		"INPUT(a)\nnonsense line",  // malformed
+	}
+	for _, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestParseGateType(t *testing.T) {
+	for gt := Input; gt < numGateTypes; gt++ {
+		got, ok := ParseGateType(gt.String())
+		if !ok || got != gt {
+			t.Errorf("ParseGateType(%s) = %v,%v", gt, got, ok)
+		}
+	}
+	if _, ok := ParseGateType("BOGUS"); ok {
+		t.Error("BOGUS parsed")
+	}
+}
+
+// TestTopoOrderProperty builds random layered DAGs and checks the
+// topological invariant plus level monotonicity.
+func TestTopoOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := New("rand")
+		var pool []int
+		for i := 0; i < 4; i++ {
+			pool = append(pool, n.AddGate("", Input))
+		}
+		for i := 0; i < 30; i++ {
+			a := pool[rng.Intn(len(pool))]
+			b := pool[rng.Intn(len(pool))]
+			types := []GateType{And, Or, Nand, Nor, Xor}
+			id := n.AddGate("", types[rng.Intn(len(types))], a, b)
+			pool = append(pool, id)
+		}
+		n.AddGate("", Output, pool[len(pool)-1])
+		if err := n.Levelize(); err != nil {
+			return false
+		}
+		for _, g := range n.Gates {
+			if g.Type.IsSource() {
+				continue
+			}
+			for _, f := range g.Fanin {
+				fg := n.Gates[f]
+				if fg.Type == DFF {
+					continue
+				}
+				if fg.Level >= g.Level {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

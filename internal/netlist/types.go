@@ -1,0 +1,112 @@
+// Package netlist defines the gate-level circuit model shared by every
+// subsystem in the repository: the synthetic benchmark generator, the M3D
+// tier partitioner, scan insertion, logic/fault simulation, ATPG, the
+// diagnosis engine, and the heterogeneous-graph builder.
+//
+// The model is a directed acyclic graph of gates. Sequential elements (DFFs)
+// are represented explicitly; for launch-on-capture delay-fault work the
+// simulator treats DFF outputs as pseudo-primary inputs and DFF data pins as
+// pseudo-primary outputs. Monolithic inter-tier vias (MIVs) are modeled as
+// buffer gates flagged IsMIV, inserted on every net that crosses tiers.
+package netlist
+
+import "fmt"
+
+// GateType enumerates the supported cell functions.
+type GateType uint8
+
+// Supported gate types. Input/Output are port pseudo-gates; DFF is the only
+// sequential type. MIVs are Buf gates with the IsMIV flag set.
+const (
+	Input GateType = iota
+	Output
+	Buf
+	Not
+	And
+	Nand
+	Or
+	Nor
+	Xor
+	Xnor
+	Mux // Fanin: [sel, a, b]; out = sel ? b : a
+	DFF // Fanin: [d]
+	numGateTypes
+)
+
+var gateTypeNames = [...]string{
+	Input: "INPUT", Output: "OUTPUT", Buf: "BUF", Not: "NOT",
+	And: "AND", Nand: "NAND", Or: "OR", Nor: "NOR",
+	Xor: "XOR", Xnor: "XNOR", Mux: "MUX", DFF: "DFF",
+}
+
+// String returns the canonical upper-case name of the gate type.
+func (t GateType) String() string {
+	if int(t) < len(gateTypeNames) {
+		return gateTypeNames[t]
+	}
+	return fmt.Sprintf("GateType(%d)", uint8(t))
+}
+
+// ParseGateType resolves a canonical gate-type name. It reports false for
+// unknown names.
+func ParseGateType(s string) (GateType, bool) {
+	for t, name := range gateTypeNames {
+		if name == s {
+			return GateType(t), true
+		}
+	}
+	return 0, false
+}
+
+// IsSource reports whether the gate type produces a value with no
+// combinational fanin (primary input or flop output).
+func (t GateType) IsSource() bool { return t == Input || t == DFF }
+
+// MaxFanin returns the maximum number of inputs the gate type accepts, or -1
+// for unbounded (And/Nand/Or/Nor trees of any width).
+func (t GateType) MaxFanin() int {
+	switch t {
+	case Input:
+		return 0
+	case Output, Buf, Not, DFF:
+		return 1
+	case Xor, Xnor:
+		return 2
+	case Mux:
+		return 3
+	default:
+		return -1
+	}
+}
+
+// Tier identifiers for two-tier M3D designs. TierNone marks gates that have
+// not been assigned (and MIVs, which by definition sit between tiers).
+const (
+	TierNone   int8 = -1
+	TierBottom int8 = 0
+	TierTop    int8 = 1
+)
+
+// Gate is a single cell instance. Fanin holds driving gate IDs in pin order;
+// Fanout is the derived reverse adjacency maintained by the Netlist.
+type Gate struct {
+	ID     int
+	Name   string
+	Type   GateType
+	Fanin  []int
+	Fanout []int
+
+	// Tier is the M3D device tier (TierBottom/TierTop), or TierNone before
+	// partitioning and for MIV gates.
+	Tier int8
+	// IsMIV marks monolithic inter-tier via pseudo-buffers.
+	IsMIV bool
+	// IsTestPoint marks DfT observation/control points added by TPI.
+	IsTestPoint bool
+	// Level is the topological level assigned by Levelize (sources = 0).
+	Level int32
+}
+
+// NumPins returns the number of fault-site pins on the gate: one output pin
+// plus one pin per fanin. Input pseudo-gates expose only their output pin.
+func (g *Gate) NumPins() int { return 1 + len(g.Fanin) }

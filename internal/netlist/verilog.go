@@ -1,0 +1,269 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteVerilog serializes the netlist as structural Verilog using gate
+// primitives, one instantiation per gate with the output net first. M3D
+// annotations ride on attribute instances:
+//
+//	(* tier=1 *)    device tier
+//	(* miv *)       monolithic inter-tier via pseudo-buffer
+//	(* tp *)        DfT test point
+//
+// Flops are emitted as `dff` cell instances (Q, D). The dialect is a
+// strict subset readable by ReadVerilog and by standard tools that accept
+// primitive-level structural netlists.
+func WriteVerilog(w io.Writer, n *Netlist) error {
+	bw := bufio.NewWriter(w)
+	name := n.Name
+	if name == "" {
+		name = "top"
+	}
+	var ports []string
+	for _, pi := range n.PIs {
+		ports = append(ports, n.Gates[pi].Name)
+	}
+	for _, po := range n.POs {
+		ports = append(ports, n.Gates[po].Name)
+	}
+	fmt.Fprintf(bw, "module %s (%s);\n", name, strings.Join(ports, ", "))
+	for _, pi := range n.PIs {
+		fmt.Fprintf(bw, "  input %s;\n", n.Gates[pi].Name)
+	}
+	for _, po := range n.POs {
+		fmt.Fprintf(bw, "  output %s;\n", n.Gates[po].Name)
+	}
+	for _, g := range n.Gates {
+		switch g.Type {
+		case Input, Output:
+			continue
+		}
+		fmt.Fprintf(bw, "  wire %s;\n", netName(g))
+	}
+	for _, g := range n.Gates {
+		switch g.Type {
+		case Input:
+			continue
+		case Output:
+			fmt.Fprintf(bw, "  assign %s = %s;\n", g.Name, netName(n.Gates[g.Fanin[0]]))
+			continue
+		}
+		var attrs []string
+		if g.Tier != TierNone {
+			attrs = append(attrs, fmt.Sprintf("tier=%d", g.Tier))
+		}
+		if g.IsMIV {
+			attrs = append(attrs, "miv")
+		}
+		if g.IsTestPoint {
+			attrs = append(attrs, "tp")
+		}
+		if len(attrs) > 0 {
+			fmt.Fprintf(bw, "  (* %s *)\n", strings.Join(attrs, ", "))
+		}
+		prim := verilogPrim(g.Type)
+		conns := []string{netName(g)}
+		for _, f := range g.Fanin {
+			conns = append(conns, netName(n.Gates[f]))
+		}
+		fmt.Fprintf(bw, "  %s %s (%s);\n", prim, g.Name, strings.Join(conns, ", "))
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+// netName returns the net driven by the gate's output. Ports drive nets of
+// their own name; everything else drives <name>.
+func netName(g *Gate) string { return g.Name }
+
+func verilogPrim(t GateType) string {
+	switch t {
+	case Buf:
+		return "buf"
+	case Not:
+		return "not"
+	case And:
+		return "and"
+	case Nand:
+		return "nand"
+	case Or:
+		return "or"
+	case Nor:
+		return "nor"
+	case Xor:
+		return "xor"
+	case Xnor:
+		return "xnor"
+	case Mux:
+		return "mux2"
+	case DFF:
+		return "dff"
+	}
+	return "buf"
+}
+
+func primGateType(s string) (GateType, bool) {
+	switch s {
+	case "buf":
+		return Buf, true
+	case "not":
+		return Not, true
+	case "and":
+		return And, true
+	case "nand":
+		return Nand, true
+	case "or":
+		return Or, true
+	case "nor":
+		return Nor, true
+	case "xor":
+		return Xor, true
+	case "xnor":
+		return Xnor, true
+	case "mux2":
+		return Mux, true
+	case "dff":
+		return DFF, true
+	}
+	return 0, false
+}
+
+// ReadVerilog parses the structural dialect produced by WriteVerilog.
+func ReadVerilog(r io.Reader) (*Netlist, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	n := New("")
+	byNet := map[string]int{}
+
+	type pendingInst struct {
+		line  int
+		id    int
+		conns []string // input nets, in pin order
+	}
+	type pendingAssign struct {
+		line     int
+		out, src string
+	}
+	var insts []pendingInst
+	var assigns []pendingAssign
+	var outputs []string
+	var attrTier int8 = TierNone
+	attrMIV, attrTP := false, false
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") || line == "endmodule" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "module "):
+			rest := strings.TrimPrefix(line, "module ")
+			if i := strings.IndexAny(rest, " ("); i >= 0 {
+				n.Name = strings.TrimSpace(rest[:i])
+			}
+		case strings.HasPrefix(line, "input "):
+			for _, p := range splitList(strings.TrimPrefix(line, "input ")) {
+				byNet[p] = n.AddGate(p, Input)
+			}
+		case strings.HasPrefix(line, "output "):
+			outputs = append(outputs, splitList(strings.TrimPrefix(line, "output "))...)
+		case strings.HasPrefix(line, "wire "):
+			// Declarations only; nets materialize with their drivers.
+		case strings.HasPrefix(line, "(*"):
+			body := strings.TrimSuffix(strings.TrimPrefix(line, "(*"), "*)")
+			for _, a := range strings.Split(body, ",") {
+				a = strings.TrimSpace(a)
+				switch {
+				case a == "miv":
+					attrMIV = true
+				case a == "tp":
+					attrTP = true
+				case strings.HasPrefix(a, "tier="):
+					var t int
+					if _, err := fmt.Sscanf(a, "tier=%d", &t); err != nil {
+						return nil, fmt.Errorf("verilog: line %d: bad attribute %q", lineNo, a)
+					}
+					attrTier = int8(t)
+				}
+			}
+		case strings.HasPrefix(line, "assign "):
+			body := strings.TrimSuffix(strings.TrimPrefix(line, "assign "), ";")
+			lhs, rhs, ok := strings.Cut(body, "=")
+			if !ok {
+				return nil, fmt.Errorf("verilog: line %d: malformed assign %q", lineNo, line)
+			}
+			assigns = append(assigns, pendingAssign{lineNo, strings.TrimSpace(lhs), strings.TrimSpace(rhs)})
+		default:
+			// Primitive instantiation: prim name (out, in...);
+			open := strings.Index(line, "(")
+			if open < 0 || !strings.HasSuffix(line, ");") {
+				return nil, fmt.Errorf("verilog: line %d: unrecognized %q", lineNo, line)
+			}
+			head := strings.Fields(line[:open])
+			if len(head) != 2 {
+				return nil, fmt.Errorf("verilog: line %d: malformed instantiation %q", lineNo, line)
+			}
+			gt, ok := primGateType(head[0])
+			if !ok {
+				return nil, fmt.Errorf("verilog: line %d: unknown primitive %q", lineNo, head[0])
+			}
+			conns := splitList(strings.TrimSuffix(line[open+1:], ");"))
+			if len(conns) < 2 {
+				return nil, fmt.Errorf("verilog: line %d: instantiation needs output and inputs", lineNo)
+			}
+			id := n.AddGate(head[1], gt)
+			g := n.Gates[id]
+			g.Tier = attrTier
+			g.IsMIV = attrMIV
+			g.IsTestPoint = attrTP
+			attrTier, attrMIV, attrTP = TierNone, false, false
+			if g.IsMIV && g.Type == Buf {
+				g.Tier = TierNone
+			}
+			byNet[conns[0]] = id
+			insts = append(insts, pendingInst{lineNo, id, conns[1:]})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, in := range insts {
+		for _, net := range in.conns {
+			src, ok := byNet[net]
+			if !ok {
+				return nil, fmt.Errorf("verilog: line %d: undriven net %q", in.line, net)
+			}
+			n.Connect(in.id, src)
+		}
+	}
+	for _, a := range assigns {
+		src, ok := byNet[a.src]
+		if !ok {
+			return nil, fmt.Errorf("verilog: line %d: undriven net %q", a.line, a.src)
+		}
+		n.AddGate(a.out, Output, src)
+	}
+	_ = outputs
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func splitList(s string) []string {
+	s = strings.TrimSuffix(strings.TrimSpace(s), ";")
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

