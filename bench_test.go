@@ -242,6 +242,43 @@ func BenchmarkDiagnoseThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkDatasetGenerate measures the parallel rejection-resampling
+// sample generator at the machine's full worker count (samples/sec is the
+// number that should scale with cores; the samples themselves are
+// identical for every worker count).
+func BenchmarkDatasetGenerate(b *testing.B) {
+	f := getFixture(b)
+	const count = 40
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss := f.bundle.Generate(dataset.SampleOptions{Count: count, Seed: 12, MIVFraction: 0.2})
+		if len(ss) != count {
+			b.Fatalf("generated %d/%d samples", len(ss), count)
+		}
+	}
+	b.ReportMetric(float64(count*b.N)/b.Elapsed().Seconds(), "samples/sec")
+}
+
+// BenchmarkGNNFit measures data-parallel mini-batch training of the
+// Tier-predictor on the fixture's training set.
+func BenchmarkGNNFit(b *testing.B) {
+	f := getFixture(b)
+	var graphs []gnn.GraphSample
+	for _, s := range f.train {
+		if s.TierLabel < 0 {
+			continue
+		}
+		graphs = append(graphs, gnn.GraphSample{SG: s.SG, Label: s.TierLabel})
+	}
+	const epochs = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp := gnn.NewTierPredictor(13)
+		tp.Model.Fit(graphs, gnn.TrainConfig{Epochs: epochs, Seed: 14, FitScaler: true})
+	}
+	b.ReportMetric(float64(epochs*b.N)/b.Elapsed().Seconds(), "epochs/sec")
+}
+
 // BenchmarkBacktrace measures subgraph extraction alone.
 func BenchmarkBacktrace(b *testing.B) {
 	f := getFixture(b)

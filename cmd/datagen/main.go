@@ -29,6 +29,7 @@ func main() {
 	format := flag.String("format", "bench", "netlist output format: bench or verilog")
 	scale := flag.Float64("scale", 1.0, "design size multiplier")
 	seed := flag.Int64("seed", 1, "global seed")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = all cores); output is identical for any value")
 	flag.Parse()
 
 	p, ok := gen.ProfileByName(*design)
@@ -73,7 +74,7 @@ func main() {
 		b.Name, st.Gates, st.MIVs, st.FFs, b.ATPG.Patterns.N, b.ATPG.Coverage()*100)
 	fmt.Printf("netlist: %s\n", nlPath)
 
-	ss := b.Generate(dataset.SampleOptions{Count: *samples, Compacted: *compacted, Seed: *seed + 5})
+	ss := b.Generate(dataset.SampleOptions{Count: *samples, Compacted: *compacted, Seed: *seed + 5, Workers: *workers})
 	for i, smp := range ss {
 		logPath := filepath.Join(*out, fmt.Sprintf("%s_fail_%03d.log", b.Name, i))
 		lf, err := os.Create(logPath)

@@ -26,6 +26,7 @@ func main() {
 	test := flag.Int("test", 100, "test samples per configuration")
 	seed := flag.Int64("seed", 1, "global seed")
 	designs := flag.String("designs", "aes,tate,netcard,leon3mp", "comma-separated designs")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = all cores); output is identical for any value")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -42,6 +43,7 @@ func main() {
 	s.TestCount = *test
 	s.Seed = *seed
 	s.Designs = strings.Split(*designs, ",")
+	s.Workers = *workers
 	if err := s.Run(*run); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

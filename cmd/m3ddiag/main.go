@@ -30,6 +30,7 @@ func main() {
 	compacted := flag.Bool("compacted", false, "EDT response compaction")
 	saveModel := flag.String("save-model", "", "write the trained framework to this file")
 	loadModel := flag.String("load-model", "", "load a framework instead of training")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = all cores); results are identical for any value")
 	flag.Parse()
 
 	p, ok := gen.ProfileByName(*design)
@@ -64,8 +65,9 @@ func main() {
 		fmt.Printf("training on %d samples ...\n", *trainSamples)
 		train := b.Generate(dataset.SampleOptions{
 			Count: *trainSamples, Seed: *seed + 2, Compacted: *compacted, MIVFraction: 0.2,
+			Workers: *workers,
 		})
-		fw = core.Train(train, core.TrainOptions{Seed: *seed + 3})
+		fw = core.Train(train, core.TrainOptions{Seed: *seed + 3, Workers: *workers})
 		fmt.Printf("trained (T_P=%.3f)\n", fw.TP)
 	}
 	if *saveModel != "" {
@@ -82,6 +84,7 @@ func main() {
 
 	test := b.Generate(dataset.SampleOptions{
 		Count: *diagSamples, Seed: *seed + 9, Compacted: *compacted, MIVFraction: 0.2,
+		Workers: *workers,
 	})
 	for i, smp := range test {
 		rep, out := fw.Diagnose(b, smp.Log)

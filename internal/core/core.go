@@ -47,6 +47,10 @@ type TrainOptions struct {
 	// SkipClassifier trains without the prune/reorder Classifier
 	// (high-confidence predictions then always prune).
 	SkipClassifier bool
+	// Workers bounds mini-batch training parallelism for all three models
+	// (0 = all cores). The trained weights are identical for every worker
+	// count.
+	Workers int
 }
 
 func (o TrainOptions) withDefaults() TrainOptions {
@@ -81,7 +85,7 @@ func Train(samples []dataset.Sample, opt TrainOptions) *Framework {
 		MIV:  gnn.NewMIVPinpointer(opt.Seed + 1),
 	}
 	fw.Tier.Train(tierSamples, gnn.TrainConfig{
-		Epochs: opt.Epochs, Seed: opt.Seed + 2, FitScaler: true,
+		Epochs: opt.Epochs, Seed: opt.Seed + 2, FitScaler: true, Workers: opt.Workers,
 	})
 
 	// T_P from the training PR curve (Section V-B).
@@ -111,7 +115,7 @@ func Train(samples []dataset.Sample, opt TrainOptions) *Framework {
 		}
 		clsSamples = policy.Oversample(clsSamples, opt.Seed+3)
 		fw.Cls = gnn.NewClassifier(fw.Tier, opt.Seed+4)
-		fw.Cls.Train(clsSamples, gnn.TrainConfig{Epochs: opt.Epochs / 2, Seed: opt.Seed + 5})
+		fw.Cls.Train(clsSamples, gnn.TrainConfig{Epochs: opt.Epochs / 2, Seed: opt.Seed + 5, Workers: opt.Workers})
 	}
 
 	// MIV-pinpointer: node classification over MIV nodes of every
@@ -137,7 +141,7 @@ func Train(samples []dataset.Sample, opt TrainOptions) *Framework {
 		nodeSamples = append(nodeSamples, ns)
 	}
 	fw.MIV.Train(nodeSamples, gnn.TrainConfig{
-		Epochs: opt.Epochs, Seed: opt.Seed + 6, FitScaler: true,
+		Epochs: opt.Epochs, Seed: opt.Seed + 6, FitScaler: true, Workers: opt.Workers,
 	})
 	return fw
 }

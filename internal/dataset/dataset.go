@@ -16,6 +16,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/hgraph"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/scan"
 )
@@ -50,6 +51,37 @@ type Bundle struct {
 
 	faults    []faultsim.Fault
 	mivFaults []faultsim.Fault
+	// tierFaults groups the gate faults by the tier of their site gate;
+	// tiers with fewer than two eligible faults are excluded so multi-fault
+	// draws always find a valid tier (MIV faults belong to no tier and are
+	// never included).
+	tierFaults [][]faultsim.Fault
+}
+
+// groupFaultsByTier builds the per-tier gate-fault pools used by
+// multi-fault sampling, dropping tiers that cannot host a 2+ fault defect.
+func groupFaultsByTier(n *netlist.Netlist, faults []faultsim.Fault) [][]faultsim.Fault {
+	maxTier := int8(1)
+	for _, g := range n.Gates {
+		if g.Tier > maxTier {
+			maxTier = g.Tier
+		}
+	}
+	byTier := make([][]faultsim.Fault, maxTier+1)
+	for _, f := range faults {
+		t := n.Gates[f.SiteGate(n)].Tier
+		if t < 0 {
+			continue
+		}
+		byTier[t] = append(byTier[t], f)
+	}
+	eligible := byTier[:0]
+	for _, fs := range byTier {
+		if len(fs) >= 2 {
+			eligible = append(eligible, fs)
+		}
+	}
+	return eligible
 }
 
 // BuildOptions tunes bundle construction.
@@ -112,17 +144,19 @@ func Build(p gen.Profile, cfg ConfigName, opt BuildOptions) (*Bundle, error) {
 	if err != nil {
 		return nil, err
 	}
+	faults := faultsim.AllFaults(m3d)
 	return &Bundle{
-		Name:      m3d.Name,
-		Profile:   p,
-		Config:    cfg,
-		Netlist:   m3d,
-		Arch:      arch,
-		ATPG:      ares,
-		Graph:     hgraph.Build(arch),
-		Diag:      diag,
-		faults:    faultsim.AllFaults(m3d),
-		mivFaults: faultsim.MIVFaults(m3d),
+		Name:       m3d.Name,
+		Profile:    p,
+		Config:     cfg,
+		Netlist:    m3d,
+		Arch:       arch,
+		ATPG:       ares,
+		Graph:      hgraph.Build(arch),
+		Diag:       diag,
+		faults:     faults,
+		mivFaults:  faultsim.MIVFaults(m3d),
+		tierFaults: groupFaultsByTier(m3d, faults),
 	}, nil
 }
 
@@ -155,11 +189,23 @@ type SampleOptions struct {
 	// bits, modeling the fail-memory limit of production testers
 	// (default 256).
 	MaxFails int
+	// Workers bounds the injection/back-trace fan-out (0 = all cores).
+	// The generated samples are identical for every worker count.
+	Workers int
 }
+
+// attemptFactor bounds total injection attempts at Count*attemptFactor,
+// so a pattern set that detects almost nothing cannot loop forever.
+const attemptFactor = 60
 
 // Generate draws fault-injection samples. Faults whose failure log is
 // empty (undetected by the pattern set) are re-drawn, mirroring the paper
 // where each sample corresponds to a failing chip.
+//
+// Attempts are indexed and each derives its own RNG stream from
+// (opt.Seed, index), so attempts are independent and can run on any
+// worker in any order: the output is always the first Count successful
+// attempts in index order, bitwise-identical for every worker count.
 func (b *Bundle) Generate(opt SampleOptions) []Sample {
 	if opt.MIVFraction == 0 {
 		opt.MIVFraction = 0.1
@@ -167,59 +213,97 @@ func (b *Bundle) Generate(opt SampleOptions) []Sample {
 	if opt.MaxFails == 0 {
 		opt.MaxFails = 256
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
+	workers := par.Workers(opt.Workers)
+	engines := make([]*diagnosis.Engine, workers)
+	engines[0] = b.Diag
+	for i := 1; i < workers; i++ {
+		engines[i] = b.Diag.Fork()
+	}
+	maxAttempts := opt.Count * attemptFactor
+	// Batch sizing trades wasted attempts past Count against fan-out
+	// efficiency; it has no effect on which samples are produced.
+	batch := 4 * workers
+	if batch < 8 {
+		batch = 8
+	}
 	out := make([]Sample, 0, opt.Count)
-	attempts := 0
-	for len(out) < opt.Count && attempts < opt.Count*60 {
-		attempts++
-		var faults []faultsim.Fault
-		if opt.MultiFault {
-			faults = b.drawMultiFault(rng)
-		} else if rng.Float64() < opt.MIVFraction && len(b.mivFaults) > 0 {
-			faults = []faultsim.Fault{b.mivFaults[rng.Intn(len(b.mivFaults))]}
-		} else {
-			faults = []faultsim.Fault{b.faults[rng.Intn(len(b.faults))]}
+	for next := 0; len(out) < opt.Count && next < maxAttempts; next += batch {
+		n := batch
+		if next+n > maxAttempts {
+			n = maxAttempts - next
 		}
-		log := b.Diag.InjectLog(faults, opt.Compacted)
-		if log.Empty() {
-			continue
-		}
-		if len(log.Fails) > opt.MaxFails {
-			log.Fails = log.Fails[:opt.MaxFails]
-			log.Truncated = true
-		}
-		sg := b.Graph.Backtrace(log, b.Diag.Result())
-		sites := make([]int, len(faults))
-		for i, f := range faults {
-			sites[i] = f.SiteGate(b.Netlist)
-		}
-		out = append(out, Sample{
-			Faults:    faults,
-			Sites:     sites,
-			Log:       log,
-			SG:        sg,
-			TierLabel: tierLabel(b.Netlist, faults),
+		results := par.MapWorker(workers, n, func(w, i int) *Sample {
+			return b.attempt(engines[w], uint64(next+i), opt)
 		})
+		for _, s := range results {
+			if s != nil && len(out) < opt.Count {
+				out = append(out, *s)
+			}
+		}
 	}
 	return out
 }
 
-// drawMultiFault picks 2-5 gate faults in one tier (systematic defects).
-func (b *Bundle) drawMultiFault(rng *rand.Rand) []faultsim.Fault {
-	maxTier := int8(1)
-	for _, g := range b.Netlist.Gates {
-		if g.Tier > maxTier {
-			maxTier = g.Tier
+// attempt runs one indexed injection attempt on the given (possibly
+// forked) diagnosis engine. It returns nil when the drawn fault set is
+// undetected by the pattern set (the attempt is rejected, matching the
+// paper's "every sample is a failing chip").
+func (b *Bundle) attempt(eng *diagnosis.Engine, index uint64, opt SampleOptions) *Sample {
+	rng := rand.New(rand.NewSource(par.SeedFor(opt.Seed, index)))
+	var faults []faultsim.Fault
+	switch {
+	case opt.MultiFault:
+		faults = b.drawMultiFault(rng)
+		if len(faults) < 2 {
+			return nil // no tier can host a multi-fault defect
 		}
+	case rng.Float64() < opt.MIVFraction && len(b.mivFaults) > 0:
+		faults = []faultsim.Fault{b.mivFaults[rng.Intn(len(b.mivFaults))]}
+	default:
+		faults = []faultsim.Fault{b.faults[rng.Intn(len(b.faults))]}
 	}
-	tier := int8(rng.Intn(int(maxTier) + 1))
+	log := eng.InjectLog(faults, opt.Compacted)
+	if log.Empty() {
+		return nil
+	}
+	if len(log.Fails) > opt.MaxFails {
+		log.Fails = log.Fails[:opt.MaxFails]
+		log.Truncated = true
+	}
+	sg := b.Graph.Backtrace(log, eng.Result())
+	sites := make([]int, len(faults))
+	for i, f := range faults {
+		sites[i] = f.SiteGate(b.Netlist)
+	}
+	return &Sample{
+		Faults:    faults,
+		Sites:     sites,
+		Log:       log,
+		SG:        sg,
+		TierLabel: tierLabel(b.Netlist, faults),
+	}
+}
+
+// drawMultiFault picks 2-5 gate faults in one tier (systematic defects).
+// Only tiers holding at least two eligible faults are drawn from, so the
+// result always has >= 2 faults (or is nil when no tier qualifies).
+func (b *Bundle) drawMultiFault(rng *rand.Rand) []faultsim.Fault {
+	if len(b.tierFaults) == 0 {
+		return nil
+	}
+	pool := b.tierFaults[rng.Intn(len(b.tierFaults))]
 	count := 2 + rng.Intn(4)
-	var out []faultsim.Fault
-	for tries := 0; len(out) < count && tries < 200; tries++ {
-		f := b.faults[rng.Intn(len(b.faults))]
-		if b.Netlist.Gates[f.SiteGate(b.Netlist)].Tier != tier {
+	if count > len(pool) {
+		count = len(pool)
+	}
+	out := make([]faultsim.Fault, 0, count)
+	seen := make(map[faultsim.Fault]bool, count)
+	for len(out) < count {
+		f := pool[rng.Intn(len(pool))]
+		if seen[f] {
 			continue
 		}
+		seen[f] = true
 		out = append(out, f)
 	}
 	return out

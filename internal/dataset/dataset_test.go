@@ -1,9 +1,13 @@
 package dataset
 
 import (
+	"math/rand"
+	"runtime"
 	"testing"
 
+	"repro/internal/faultsim"
 	"repro/internal/gen"
+	"repro/internal/netlist"
 )
 
 func tinyBundle(t *testing.T, cfg ConfigName) *Bundle {
@@ -102,6 +106,131 @@ func TestGenerateDeterministic(t *testing.T) {
 		if len(a[i].Log.Fails) != len(c[i].Log.Fails) || a[i].TierLabel != c[i].TierLabel {
 			t.Fatal("nondeterministic samples")
 		}
+	}
+}
+
+// sampleEqual compares the full observable content of two samples.
+func sampleEqual(a, b Sample) bool {
+	if len(a.Faults) != len(b.Faults) || a.TierLabel != b.TierLabel {
+		return false
+	}
+	for i := range a.Faults {
+		if a.Faults[i] != b.Faults[i] || a.Sites[i] != b.Sites[i] {
+			return false
+		}
+	}
+	if len(a.Log.Fails) != len(b.Log.Fails) || a.Log.Truncated != b.Log.Truncated {
+		return false
+	}
+	for i := range a.Log.Fails {
+		if a.Log.Fails[i] != b.Log.Fails[i] {
+			return false
+		}
+	}
+	if a.SG.NumNodes() != b.SG.NumNodes() {
+		return false
+	}
+	for i := range a.SG.Nodes {
+		if a.SG.Nodes[i] != b.SG.Nodes[i] {
+			return false
+		}
+	}
+	if len(a.SG.X.Data) != len(b.SG.X.Data) {
+		return false
+	}
+	for i := range a.SG.X.Data {
+		if a.SG.X.Data[i] != b.SG.X.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGenerateWorkerEquivalence asserts the tentpole determinism claim:
+// parallel generation is bitwise-identical to sequential generation for
+// every worker count (run under -race in CI to also catch data races).
+func TestGenerateWorkerEquivalence(t *testing.T) {
+	b := tinyBundle(t, Syn1)
+	opts := []SampleOptions{
+		{Count: 16, Seed: 21, MIVFraction: 0.3},
+		{Count: 12, Seed: 22, Compacted: true},
+		{Count: 10, Seed: 23, MultiFault: true},
+	}
+	for _, base := range opts {
+		base.Workers = 1
+		ref := b.Generate(base)
+		if len(ref) != base.Count {
+			t.Fatalf("reference produced %d/%d samples", len(ref), base.Count)
+		}
+		for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+			opt := base
+			opt.Workers = w
+			got := b.Generate(opt)
+			if len(got) != len(ref) {
+				t.Fatalf("workers=%d: %d samples vs %d", w, len(got), len(ref))
+			}
+			for i := range got {
+				if !sampleEqual(ref[i], got[i]) {
+					t.Fatalf("workers=%d: sample %d differs from sequential run", w, i)
+				}
+			}
+		}
+	}
+}
+
+// TestDrawMultiFaultStarvedTier is the regression test for the tier
+// starvation bug: when a tier holds fewer than two eligible faults, the
+// draw must pick a different tier instead of returning a 0- or 1-fault
+// "multi-fault" sample.
+func TestDrawMultiFaultStarvedTier(t *testing.T) {
+	// Hand-built two-tier netlist whose top tier contains no eligible
+	// fault site (only port pseudo-gates land there).
+	n := &netlist.Netlist{Name: "starved"}
+	addGate := func(typ netlist.GateType, tier int8, fanin ...int) int {
+		id := len(n.Gates)
+		n.Gates = append(n.Gates, &netlist.Gate{ID: id, Type: typ, Tier: tier, Fanin: fanin})
+		return id
+	}
+	in0 := addGate(netlist.Input, netlist.TierBottom)
+	in1 := addGate(netlist.Input, netlist.TierBottom)
+	and0 := addGate(netlist.And, netlist.TierBottom, in0, in1)
+	or0 := addGate(netlist.Or, netlist.TierBottom, and0, in1)
+	addGate(netlist.Output, netlist.TierTop, or0)
+
+	b := &Bundle{Netlist: n, faults: faultsim.AllFaults(n)}
+	b.tierFaults = groupFaultsByTier(n, b.faults)
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		fs := b.drawMultiFault(rng)
+		if len(fs) < 2 {
+			t.Fatalf("trial %d: drew %d faults", trial, len(fs))
+		}
+		tier := n.Gates[fs[0].SiteGate(n)].Tier
+		for _, f := range fs[1:] {
+			if n.Gates[f.SiteGate(n)].Tier != tier {
+				t.Fatalf("trial %d: faults span tiers", trial)
+			}
+		}
+		seen := map[faultsim.Fault]bool{}
+		for _, f := range fs {
+			if seen[f] {
+				t.Fatalf("trial %d: duplicate fault %v", trial, f)
+			}
+			seen[f] = true
+		}
+	}
+}
+
+// TestDrawMultiFaultNoEligibleTier covers the fully starved design: every
+// tier below the 2-fault floor must yield nil, not a degenerate sample.
+func TestDrawMultiFaultNoEligibleTier(t *testing.T) {
+	n := &netlist.Netlist{Name: "empty"}
+	n.Gates = append(n.Gates, &netlist.Gate{ID: 0, Type: netlist.Input, Tier: netlist.TierBottom})
+	b := &Bundle{Netlist: n, faults: faultsim.AllFaults(n)}
+	b.tierFaults = groupFaultsByTier(n, b.faults)
+	if fs := b.drawMultiFault(rand.New(rand.NewSource(1))); fs != nil {
+		t.Fatalf("expected nil, got %d faults", len(fs))
 	}
 }
 

@@ -20,6 +20,7 @@ package diagnosis
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/failurelog"
 	"repro/internal/faultsim"
@@ -129,7 +130,28 @@ type Engine struct {
 	res  *sim.Result
 	opt  Options
 
-	coneCache map[int][]int32 // capture gate -> fan-in cone gate IDs
+	cones *coneStore // capture gate -> fan-in cone gate IDs, shared by forks
+}
+
+// coneStore is the fan-in cone cache shared between an engine and its
+// forks. Cones are deterministic functions of the capture gate, so a rare
+// duplicate computation under contention stores an identical value.
+type coneStore struct {
+	mu sync.RWMutex
+	m  map[int][]int32
+}
+
+func (c *coneStore) get(capture int) ([]int32, bool) {
+	c.mu.RLock()
+	v, ok := c.m[capture]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+func (c *coneStore) put(capture int, cone []int32) {
+	c.mu.Lock()
+	c.m[capture] = cone
+	c.mu.Unlock()
 }
 
 // NewEngine runs the good-machine simulation and prepares cone caches.
@@ -139,14 +161,31 @@ func NewEngine(arch *scan.Arch, ps *sim.PatternSet, opt Options) (*Engine, error
 		return nil, err
 	}
 	return &Engine{
-		sim:       s,
-		fsim:      faultsim.NewEngine(s),
-		arch:      arch,
-		ps:        ps,
-		res:       s.Run(ps),
-		opt:       opt.withDefaults(),
-		coneCache: make(map[int][]int32),
+		sim:   s,
+		fsim:  faultsim.NewEngine(s),
+		arch:  arch,
+		ps:    ps,
+		res:   s.Run(ps),
+		opt:   opt.withDefaults(),
+		cones: &coneStore{m: make(map[int][]int32)},
 	}, nil
+}
+
+// Fork returns an engine that shares this engine's immutable state (the
+// good-machine simulation, patterns, scan architecture, and cone cache)
+// but carries private fault-simulation scratch, so forks can inject and
+// diagnose logs concurrently from separate goroutines. Reports produced by
+// a fork are bitwise-identical to the parent's.
+func (d *Engine) Fork() *Engine {
+	return &Engine{
+		sim:   d.sim,
+		fsim:  d.fsim.Fork(),
+		arch:  d.arch,
+		ps:    d.ps,
+		res:   d.res,
+		opt:   d.opt,
+		cones: d.cones,
+	}
 }
 
 // Result exposes the cached good-machine simulation.
@@ -161,7 +200,7 @@ func (d *Engine) FaultSim() *faultsim.Engine { return d.fsim }
 
 // cone returns the cached fan-in cone of a capture gate.
 func (d *Engine) cone(capture int) []int32 {
-	if c, ok := d.coneCache[capture]; ok {
+	if c, ok := d.cones.get(capture); ok {
 		return c
 	}
 	n := d.arch.Netlist()
@@ -172,7 +211,7 @@ func (d *Engine) cone(capture int) []int32 {
 			cone = append(cone, int32(id))
 		}
 	}
-	d.coneCache[capture] = cone
+	d.cones.put(capture, cone)
 	return cone
 }
 

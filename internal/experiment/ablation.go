@@ -18,8 +18,8 @@ func (s *Suite) Ablations() error {
 	if err != nil {
 		return err
 	}
-	train := b.Generate(dataset.SampleOptions{Count: s.TrainCount, Seed: s.Seed + 700, MIVFraction: 0.2})
-	test := b.Generate(dataset.SampleOptions{Count: s.TestCount, Seed: s.Seed + 701, MIVFraction: 0.2})
+	train := b.Generate(dataset.SampleOptions{Count: s.TrainCount, Seed: s.Seed + 700, MIVFraction: 0.2, Workers: s.Workers})
+	test := b.Generate(dataset.SampleOptions{Count: s.TestCount, Seed: s.Seed + 701, MIVFraction: 0.2, Workers: s.Workers})
 
 	tierAcc := func(tp *gnn.TierPredictor, samples []dataset.Sample) float64 {
 		ok, n := 0, 0
@@ -57,13 +57,14 @@ func (s *Suite) Ablations() error {
 		}
 		return out
 	}
-	fwFull := core.Train(train, core.TrainOptions{Seed: s.Seed + 702, SkipClassifier: true})
-	fwNoTop := core.Train(zeroTop(train), core.TrainOptions{Seed: s.Seed + 702, SkipClassifier: true})
+	fwFull := core.Train(train, core.TrainOptions{Seed: s.Seed + 702, SkipClassifier: true, Workers: s.Workers})
+	fwNoTop := core.Train(zeroTop(train), core.TrainOptions{Seed: s.Seed + 702, SkipClassifier: true, Workers: s.Workers})
 	s.printf("1. Topedge features: tier accuracy %.1f%% with vs %.1f%% without\n",
 		tierAcc(fwFull.Tier, test)*100, tierAcc(fwNoTop.Tier, zeroTop(test))*100)
 
 	// 2. PR threshold vs fixed 0.5.
-	fw := core.Train(train, core.TrainOptions{Seed: s.Seed + 703})
+	fw := core.Train(train, core.TrainOptions{Seed: s.Seed + 703, Workers: s.Workers})
+	s.parallelDiagnose(b, test, true) // warm the cache for both lossAt calls
 	lossAt := func(tp float64) float64 {
 		pol := fw.PolicyFor(b)
 		pol.TP = tp
@@ -120,9 +121,9 @@ func (s *Suite) Ablations() error {
 		return ok, n
 	}
 	cOS := gnn.NewClassifier(fw.Tier, s.Seed+704)
-	cOS.Train(policy.Oversample(cls, s.Seed+705), gnn.TrainConfig{Epochs: 15, Seed: s.Seed + 706})
+	cOS.Train(policy.Oversample(cls, s.Seed+705), gnn.TrainConfig{Epochs: 15, Seed: s.Seed + 706, Workers: s.Workers})
 	cRaw := gnn.NewClassifier(fw.Tier, s.Seed+704)
-	cRaw.Train(cls, gnn.TrainConfig{Epochs: 15, Seed: s.Seed + 706})
+	cRaw.Train(cls, gnn.TrainConfig{Epochs: 15, Seed: s.Seed + 706, Workers: s.Workers})
 	a, an := fpCaught(cOS)
 	r, rn := fpCaught(cRaw)
 	s.printf("3. Classifier FP rejection: %d/%d with oversampling vs %d/%d without\n", a, an, r, rn)

@@ -128,3 +128,27 @@ func TestSuiteDeterministicOutput(t *testing.T) {
 		t.Fatal("table3 output differs across identical runs")
 	}
 }
+
+// TestSuiteWorkerEquivalence asserts the tentpole claim at the suite
+// level: a diagnosis-heavy table and a training-heavy table print
+// byte-identical output for every worker count.
+func TestSuiteWorkerEquivalence(t *testing.T) {
+	run := func(workers int) string {
+		s, buf := tinySuite()
+		s.TrainCount = 40
+		s.TestCount = 16
+		s.Workers = workers
+		for _, e := range []string{"table5", "table6"} {
+			if err := s.Run(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.String()
+	}
+	ref := run(1)
+	for _, w := range []int{4} {
+		if got := run(w); got != ref {
+			t.Fatalf("workers=%d output differs from sequential run:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s", w, ref, w, got)
+		}
+	}
+}

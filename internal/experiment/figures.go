@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/hgraph"
 	"repro/internal/mat"
+	"repro/internal/par"
 )
 
 // Fig5 reproduces the PCA transferability visualization: subgraph feature
@@ -102,8 +103,9 @@ func (s *Suite) Fig6() error {
 		}
 		train := b.Generate(dataset.SampleOptions{
 			Count: s.TrainCount, Seed: s.Seed + 500 + hash(string(cfg)), MIVFraction: 0.2,
+			Workers: s.Workers,
 		})
-		dedicated := core.Train(train, core.TrainOptions{Seed: s.Seed + 501})
+		dedicated := core.Train(train, core.TrainOptions{Seed: s.Seed + 501, Workers: s.Workers})
 		test, _, err := s.testSamples(design, cfg, false)
 		if err != nil {
 			return err
@@ -178,7 +180,7 @@ func (s *Suite) measureRuntime(design string) (*RuntimeBreakdown, error) {
 		return nil, err
 	}
 	t0 = time.Now()
-	fw := core.Train(train, core.TrainOptions{Seed: s.Seed + 600})
+	fw := core.Train(train, core.TrainOptions{Seed: s.Seed + 600, Workers: s.Workers})
 	rb.GNNTraining = time.Since(t0)
 
 	test, _, err := s.testSamples(design, dataset.Syn2, false)
@@ -224,7 +226,7 @@ func (s *Suite) measureRuntime(design string) (*RuntimeBreakdown, error) {
 // phase (feature construction, GNN training) and deployment (T_ATPG,
 // T_GNN, T_update over the Syn-2 test set).
 func (s *Suite) Table9() error {
-	s.printf("\n== Table IX / Fig. 9: runtime analysis ==\n")
+	s.printf("\n== Table IX / Fig. 9: runtime analysis (workers=%d) ==\n", par.Workers(s.Workers))
 	s.printf("%-9s | %12s %12s | %10s %10s %10s\n",
 		"Design", "FeatConstr", "GNNTrain", "T_ATPG", "T_GNN", "T_update")
 	for _, d := range s.Designs {

@@ -81,11 +81,13 @@ func EvalATPG(b *dataset.Bundle, samples []dataset.Sample) ReportMetrics {
 	return st.metrics()
 }
 
-// evalATPGCached is EvalATPG through the suite's report cache.
+// evalATPGCached is EvalATPG through the suite's report cache, with the
+// uncached diagnoses fanned out over forked engines.
 func (s *Suite) evalATPGCached(b *dataset.Bundle, samples []dataset.Sample) ReportMetrics {
+	reps := s.parallelDiagnose(b, samples, true)
 	var st evalState
-	for _, smp := range samples {
-		st.add(b.Netlist, s.diagnose(b, smp.Log), smp)
+	for i, smp := range samples {
+		st.add(b.Netlist, reps[i], smp)
 	}
 	return st.metrics()
 }

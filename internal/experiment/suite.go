@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -11,11 +12,13 @@ import (
 	"repro/internal/diagnosis"
 	"repro/internal/failurelog"
 	"repro/internal/gen"
+	"repro/internal/par"
 )
 
 // Suite runs the paper's experiments with shared, cached state: one bundle
 // per (design, configuration) and one trained framework per (design,
-// observation mode).
+// observation mode). The caches are memoizing singleflights, so concurrent
+// experiments never build the same bundle or framework twice.
 type Suite struct {
 	// Scale multiplies every design profile (1.0 = the full scaled-down
 	// benchmarks of DESIGN.md).
@@ -28,15 +31,22 @@ type Suite struct {
 	Designs []string
 	// Seed drives everything.
 	Seed int64
+	// Workers bounds the suite's parallelism (0 = all cores): bundle
+	// construction, sample generation, diagnosis fan-out, and GNN
+	// mini-batch training. Every printed table is identical for every
+	// worker count.
+	Workers int
 	// W receives the table/figure output.
 	W io.Writer
 
-	bundles    map[string]*dataset.Bundle
-	frameworks map[string]*core.Framework
-	baselines  map[string]*baseline.Model
-	samples    map[string][]dataset.Sample
+	bundles    par.Flight[*dataset.Bundle]
+	frameworks par.Flight[*core.Framework]
+	baselines  par.Flight[*baseline.Model]
+	samples    par.Flight[[]dataset.Sample]
 	runtime    map[string]*RuntimeBreakdown
-	reports    map[*failurelog.Log]*diagnosis.Report
+
+	repMu   sync.Mutex
+	reports map[*failurelog.Log]*diagnosis.Report
 }
 
 // NewSuite returns a suite with defaults applied.
@@ -48,10 +58,6 @@ func NewSuite(w io.Writer) *Suite {
 		Designs:    []string{"aes", "tate", "netcard", "leon3mp"},
 		Seed:       1,
 		W:          w,
-		bundles:    map[string]*dataset.Bundle{},
-		frameworks: map[string]*core.Framework{},
-		baselines:  map[string]*baseline.Model{},
-		samples:    map[string][]dataset.Sample{},
 		runtime:    map[string]*RuntimeBreakdown{},
 		reports:    map[*failurelog.Log]*diagnosis.Report{},
 	}
@@ -69,6 +75,12 @@ func Experiments() []string {
 // Run executes one experiment by name, or every experiment for "all".
 func (s *Suite) Run(name string) error {
 	if name == "all" {
+		// Bundle construction (partitioning, ATPG, scan stitching) is the
+		// dominant fixed cost and every bundle is independent, so warm the
+		// cache with a parallel fan-out before the sequential printers run.
+		if err := s.prefetchBundles(); err != nil {
+			return err
+		}
 		for _, e := range Experiments() {
 			if err := s.Run(e); err != nil {
 				return fmt.Errorf("%s: %w", e, err)
@@ -119,22 +131,44 @@ func (s *Suite) profile(design string) (gen.Profile, error) {
 	return p, nil
 }
 
+// prefetchBundles constructs every (design, config) bundle the full suite
+// needs, fanned out over workers. Duplicate requests from the experiment
+// printers then hit the singleflight cache.
+func (s *Suite) prefetchBundles() error {
+	type spec struct {
+		design  string
+		cfg     dataset.ConfigName
+		variant int64
+	}
+	var specs []spec
+	for _, d := range s.Designs {
+		for _, cfg := range dataset.Configs() {
+			specs = append(specs, spec{d, cfg, 0})
+		}
+		specs = append(specs, spec{d, dataset.RandPart, 1}, spec{d, dataset.RandPart, 2})
+	}
+	errs := par.Map(par.Workers(s.Workers), len(specs), func(i int) error {
+		_, err := s.bundle(specs[i].design, specs[i].cfg, specs[i].variant)
+		return err
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // bundle returns the cached bundle for (design, config).
 func (s *Suite) bundle(design string, cfg dataset.ConfigName, randVariant int64) (*dataset.Bundle, error) {
 	key := fmt.Sprintf("%s/%s/%d", design, cfg, randVariant)
-	if b, ok := s.bundles[key]; ok {
-		return b, nil
-	}
-	p, err := s.profile(design)
-	if err != nil {
-		return nil, err
-	}
-	b, err := dataset.Build(p, cfg, dataset.BuildOptions{Seed: s.Seed, RandVariant: randVariant})
-	if err != nil {
-		return nil, err
-	}
-	s.bundles[key] = b
-	return b, nil
+	return s.bundles.Do(key, func() (*dataset.Bundle, error) {
+		p, err := s.profile(design)
+		if err != nil {
+			return nil, err
+		}
+		return dataset.Build(p, cfg, dataset.BuildOptions{Seed: s.Seed, RandVariant: randVariant})
+	})
 }
 
 // testSamples returns cached test samples for one (design, config, mode).
@@ -144,119 +178,180 @@ func (s *Suite) testSamples(design string, cfg dataset.ConfigName, compacted boo
 		return nil, nil, err
 	}
 	key := fmt.Sprintf("test/%s/%s/%v", design, cfg, compacted)
-	if ss, ok := s.samples[key]; ok {
-		return ss, b, nil
-	}
-	ss := b.Generate(dataset.SampleOptions{
-		Count: s.TestCount, Compacted: compacted, Seed: s.Seed + 40 + hash(key),
+	ss, err := s.samples.Do(key, func() ([]dataset.Sample, error) {
+		return b.Generate(dataset.SampleOptions{
+			Count: s.TestCount, Compacted: compacted, Seed: s.Seed + 40 + hash(key),
+			Workers: s.Workers,
+		}), nil
 	})
-	s.samples[key] = ss
-	return ss, b, nil
+	return ss, b, err
 }
 
 // trainSamples builds the transferable training set for a design: Syn-1
 // plus two randomly partitioned variants (Section IV's augmentation).
 func (s *Suite) trainSamples(design string, compacted bool) ([]dataset.Sample, error) {
 	key := fmt.Sprintf("train/%s/%v", design, compacted)
-	if ss, ok := s.samples[key]; ok {
-		return ss, nil
-	}
-	var out []dataset.Sample
-	half := s.TrainCount / 2
-	quarter := (s.TrainCount - half) / 2
-	specs := []struct {
-		cfg     dataset.ConfigName
-		variant int64
-		count   int
-	}{
-		{dataset.Syn1, 0, half},
-		{dataset.RandPart, 1, quarter},
-		{dataset.RandPart, 2, s.TrainCount - half - quarter},
-	}
-	for i, sp := range specs {
-		b, err := s.bundle(design, sp.cfg, sp.variant)
-		if err != nil {
-			return nil, err
+	return s.samples.Do(key, func() ([]dataset.Sample, error) {
+		var out []dataset.Sample
+		half := s.TrainCount / 2
+		quarter := (s.TrainCount - half) / 2
+		specs := []struct {
+			cfg     dataset.ConfigName
+			variant int64
+			count   int
+		}{
+			{dataset.Syn1, 0, half},
+			{dataset.RandPart, 1, quarter},
+			{dataset.RandPart, 2, s.TrainCount - half - quarter},
 		}
-		out = append(out, b.Generate(dataset.SampleOptions{
-			Count: sp.count, Compacted: compacted,
-			Seed: s.Seed + 100 + int64(i) + hash(key), MIVFraction: 0.2,
-		})...)
-	}
-	s.samples[key] = out
-	return out, nil
+		for i, sp := range specs {
+			b, err := s.bundle(design, sp.cfg, sp.variant)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, b.Generate(dataset.SampleOptions{
+				Count: sp.count, Compacted: compacted,
+				Seed: s.Seed + 100 + int64(i) + hash(key), MIVFraction: 0.2,
+				Workers: s.Workers,
+			})...)
+		}
+		return out, nil
+	})
 }
 
 // framework returns the trained framework for (design, mode).
 func (s *Suite) framework(design string, compacted bool) (*core.Framework, error) {
 	key := fmt.Sprintf("%s/%v", design, compacted)
-	if fw, ok := s.frameworks[key]; ok {
-		return fw, nil
-	}
-	train, err := s.trainSamples(design, compacted)
-	if err != nil {
-		return nil, err
-	}
-	fw := core.Train(train, core.TrainOptions{Seed: s.Seed + 7})
-	s.frameworks[key] = fw
-	return fw, nil
+	return s.frameworks.Do(key, func() (*core.Framework, error) {
+		train, err := s.trainSamples(design, compacted)
+		if err != nil {
+			return nil, err
+		}
+		return core.Train(train, core.TrainOptions{Seed: s.Seed + 7, Workers: s.Workers}), nil
+	})
 }
 
 // baselineModel returns the trained PADRE-like first-level classifier for
 // (design, mode), fit on candidates from the Syn-1 training samples.
 func (s *Suite) baselineModel(design string, compacted bool) (*baseline.Model, error) {
 	key := fmt.Sprintf("%s/%v", design, compacted)
-	if m, ok := s.baselines[key]; ok {
-		return m, nil
-	}
-	b, err := s.bundle(design, dataset.Syn1, 0)
-	if err != nil {
-		return nil, err
-	}
-	// Candidate labeling must diagnose on the same netlist the samples
-	// were injected into, so the baseline trains on Syn-1 samples only.
-	limit := s.TrainCount / 2
-	if limit > 120 {
-		limit = 120 // candidate labeling is diagnosis-heavy
-	}
-	train := b.Generate(dataset.SampleOptions{
-		Count: limit, Compacted: compacted, Seed: s.Seed + 200 + hash(key),
-	})
-	var samples []baseline.Sample
-	for _, smp := range train {
-		rep := b.Diag.Diagnose(smp.Log)
-		if len(rep.Candidates) == 0 {
-			continue
+	return s.baselines.Do(key, func() (*baseline.Model, error) {
+		b, err := s.bundle(design, dataset.Syn1, 0)
+		if err != nil {
+			return nil, err
 		}
-		best := rep.Candidates[0].Score
-		for rank, c := range rep.Candidates {
-			isDefect := false
-			for _, truth := range smp.Faults {
-				if c.Fault.SiteGate(b.Netlist) == truth.SiteGate(b.Netlist) && c.Fault.Pol == truth.Pol {
-					isDefect = true
-				}
+		// Candidate labeling must diagnose on the same netlist the samples
+		// were injected into, so the baseline trains on Syn-1 samples only.
+		limit := s.TrainCount / 2
+		if limit > 120 {
+			limit = 120 // candidate labeling is diagnosis-heavy
+		}
+		train := b.Generate(dataset.SampleOptions{
+			Count: limit, Compacted: compacted, Seed: s.Seed + 200 + hash(key),
+			Workers: s.Workers,
+		})
+		reps := s.parallelDiagnose(b, train, false)
+		var samples []baseline.Sample
+		for si, smp := range train {
+			rep := reps[si]
+			if len(rep.Candidates) == 0 {
+				continue
 			}
-			samples = append(samples, baseline.Sample{
-				Features: baseline.CandidateFeatures(c, rank, len(rep.Candidates), best, b.Netlist),
-				IsDefect: isDefect,
-			})
+			best := rep.Candidates[0].Score
+			for rank, c := range rep.Candidates {
+				isDefect := false
+				for _, truth := range smp.Faults {
+					if c.Fault.SiteGate(b.Netlist) == truth.SiteGate(b.Netlist) && c.Fault.Pol == truth.Pol {
+						isDefect = true
+					}
+				}
+				samples = append(samples, baseline.Sample{
+					Features: baseline.CandidateFeatures(c, rank, len(rep.Candidates), best, b.Netlist),
+					IsDefect: isDefect,
+				})
+			}
 		}
-	}
-	m := baseline.Train(samples, 0, 0, 0.02)
-	s.baselines[key] = m
-	return m, nil
+		return baseline.Train(samples, 0, 0, 0.02), nil
+	})
 }
 
 // diagnose runs (or returns the cached) ATPG diagnosis of a sample's
 // failure log. Tables V/VI and VII/VIII share test sets, so caching halves
 // the diagnosis cost of a full run. Runtime measurements bypass the cache.
 func (s *Suite) diagnose(b *dataset.Bundle, log *failurelog.Log) *diagnosis.Report {
-	if rep, ok := s.reports[log]; ok {
+	s.repMu.Lock()
+	rep, ok := s.reports[log]
+	s.repMu.Unlock()
+	if ok {
 		return rep
 	}
-	rep := b.Diag.Diagnose(log)
+	rep = b.Diag.Diagnose(log)
+	s.repMu.Lock()
 	s.reports[log] = rep
+	s.repMu.Unlock()
 	return rep
+}
+
+// parallelDiagnose diagnoses every sample's failure log, fanned out over
+// forked engines, and returns the reports aligned with samples. With
+// cache=true the suite report cache is consulted and filled, so subsequent
+// s.diagnose calls for the same logs are hits.
+func (s *Suite) parallelDiagnose(b *dataset.Bundle, samples []dataset.Sample, cache bool) []*diagnosis.Report {
+	return s.parallelDiagnoseMode(b, samples, cache, false)
+}
+
+// parallelDiagnoseMulti is parallelDiagnose through the multi-fault
+// diagnosis path (never cached — its reports differ from single-fault
+// ones).
+func (s *Suite) parallelDiagnoseMulti(b *dataset.Bundle, samples []dataset.Sample) []*diagnosis.Report {
+	return s.parallelDiagnoseMode(b, samples, false, true)
+}
+
+func (s *Suite) parallelDiagnoseMode(b *dataset.Bundle, samples []dataset.Sample, cache, multi bool) []*diagnosis.Report {
+	out := make([]*diagnosis.Report, len(samples))
+	var todo []int
+	if cache {
+		s.repMu.Lock()
+		for i, smp := range samples {
+			if rep, ok := s.reports[smp.Log]; ok {
+				out[i] = rep
+			} else {
+				todo = append(todo, i)
+			}
+		}
+		s.repMu.Unlock()
+	} else {
+		todo = make([]int, len(samples))
+		for i := range todo {
+			todo[i] = i
+		}
+	}
+	if len(todo) == 0 {
+		return out
+	}
+	workers := par.Workers(s.Workers)
+	engines := make([]*diagnosis.Engine, workers)
+	engines[0] = b.Diag
+	for i := 1; i < workers; i++ {
+		engines[i] = b.Diag.Fork()
+	}
+	reps := par.MapWorker(workers, len(todo), func(w, i int) *diagnosis.Report {
+		if multi {
+			return engines[w].DiagnoseMulti(samples[todo[i]].Log)
+		}
+		return engines[w].Diagnose(samples[todo[i]].Log)
+	})
+	for k, i := range todo {
+		out[i] = reps[k]
+	}
+	if cache {
+		s.repMu.Lock()
+		for k, i := range todo {
+			s.reports[samples[i].Log] = reps[k]
+		}
+		s.repMu.Unlock()
+	}
+	return out
 }
 
 func hash(s string) int64 {

@@ -146,8 +146,11 @@ func (s *Suite) TableLocalization(compacted bool, title string) error {
 			gnnEval := &methodEval{}
 			combo := &methodEval{}
 			pol := fw.PolicyFor(b)
-			for _, smp := range test {
-				rep := s.diagnose(b, smp.Log)
+			// Warm the report cache in parallel; the loop below then
+			// applies the (cache-mutating, sequential) policies in order.
+			reps := s.parallelDiagnose(b, test, true)
+			for si, smp := range test {
+				rep := reps[si]
 				atpg.st.add(n, rep, smp)
 
 				// Tier-localization basis: reports not already single-tier.
@@ -208,24 +211,25 @@ func (s *Suite) Table10() error {
 			return err
 		}
 		train := trainB.Generate(dataset.SampleOptions{
-			Count: s.TrainCount, Seed: s.Seed + 300, MultiFault: true,
+			Count: s.TrainCount, Seed: s.Seed + 300, MultiFault: true, Workers: s.Workers,
 		})
-		fw := core.Train(train, core.TrainOptions{Seed: s.Seed + 301})
+		fw := core.Train(train, core.TrainOptions{Seed: s.Seed + 301, Workers: s.Workers})
 
 		testB, err := s.bundle(d, dataset.Syn2, 0)
 		if err != nil {
 			return err
 		}
 		test := testB.Generate(dataset.SampleOptions{
-			Count: s.TestCount, Seed: s.Seed + 302, MultiFault: true,
+			Count: s.TestCount, Seed: s.Seed + 302, MultiFault: true, Workers: s.Workers,
 		})
 		n := testB.Netlist
 		pol := fw.PolicyFor(testB)
 		// Multi-fault samples carry no single-MIV labels; run tier-only.
 		pol.DisableMIV = true
+		reps := s.parallelDiagnoseMulti(testB, test)
 		var atpgSt, fwSt evalState
-		for _, smp := range test {
-			rep := testB.Diag.DiagnoseMulti(smp.Log)
+		for si, smp := range test {
+			rep := reps[si]
 			atpgSt.add(n, rep, smp)
 			out := pol.Apply(rep, smp.SG)
 			fwSt.add(n, out.Report, smp)
@@ -257,9 +261,10 @@ func (s *Suite) Table11() error {
 	}
 	// Augment by 10% MIV-only samples.
 	extra := b.Generate(dataset.SampleOptions{
-		Count: s.TestCount / 10, Seed: s.Seed + 400, MIVFraction: 1.0,
+		Count: s.TestCount / 10, Seed: s.Seed + 400, MIVFraction: 1.0, Workers: s.Workers,
 	})
 	test = append(append([]dataset.Sample(nil), test...), extra...)
+	s.parallelDiagnose(b, test, true) // warm the report cache for every mode
 
 	n := b.Netlist
 	modes := []struct {

@@ -136,6 +136,14 @@ func NewEngine(s *sim.Simulator) *Engine {
 // Netlist returns the design under simulation.
 func (e *Engine) Netlist() *netlist.Netlist { return e.n }
 
+// Fork returns an engine sharing this engine's immutable state (netlist,
+// simulator, topological order) but with private propagation scratch, so
+// forks can simulate faults concurrently from separate goroutines. The
+// scratch (detect/diff state) is rebuilt lazily on first use.
+func (e *Engine) Fork() *Engine {
+	return &Engine{s: e.s, n: e.n, order: e.order, pos: e.pos}
+}
+
 // Diff simulates the faulty machine for the given fault set against the
 // good-machine result and returns, for each observation gate (PO or flop)
 // whose captured value differs on any pattern, the bit-parallel difference

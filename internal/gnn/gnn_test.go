@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/hgraph"
@@ -201,6 +202,86 @@ func TestNodeHeadLearns(t *testing.T) {
 	}
 	if float64(ok)/float64(total) < 0.8 {
 		t.Fatalf("node accuracy %d/%d", ok, total)
+	}
+}
+
+// weightsEqual compares every trainable parameter of two models bitwise.
+func weightsEqual(a, b *Model) bool {
+	for i := range a.Layers {
+		for k := range a.Layers[i].W.Data {
+			if a.Layers[i].W.Data[k] != b.Layers[i].W.Data[k] {
+				return false
+			}
+		}
+		for k := range a.Layers[i].B {
+			if a.Layers[i].B[k] != b.Layers[i].B[k] {
+				return false
+			}
+		}
+	}
+	for k := range a.Out.W.Data {
+		if a.Out.W.Data[k] != b.Out.W.Data[k] {
+			return false
+		}
+	}
+	for k := range a.Out.B {
+		if a.Out.B[k] != b.Out.B[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFitWorkerEquivalence asserts the tentpole determinism claim for
+// graph-head training: the trained weights are bitwise-identical for every
+// worker count (run under -race in CI to also catch data races).
+func TestFitWorkerEquivalence(t *testing.T) {
+	train := makeDataset(70, 50)
+	newTrained := func(workers int) (*Model, float64) {
+		m := NewModel(Config{Head: GraphHead, Input: hgraph.FeatureDim, Hidden: []int{8, 8}, Output: 2, Seed: 13})
+		loss := m.Fit(train, TrainConfig{Epochs: 4, Seed: 14, FitScaler: true, Workers: workers})
+		return m, loss
+	}
+	ref, refLoss := newTrained(1)
+	for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		m, loss := newTrained(w)
+		if loss != refLoss {
+			t.Fatalf("workers=%d: loss %v vs %v", w, loss, refLoss)
+		}
+		if !weightsEqual(ref, m) {
+			t.Fatalf("workers=%d: weights differ from sequential run", w)
+		}
+	}
+}
+
+// TestFitNodesWorkerEquivalence is the node-head counterpart.
+func TestFitNodesWorkerEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	var samples []NodeSample
+	for i := 0; i < 40; i++ {
+		sg := syntheticGraph(rng, i%2)
+		var idx []int32
+		var labels []int
+		for v := 0; v < sg.NumNodes(); v += 2 {
+			idx = append(idx, int32(v))
+			labels = append(labels, i%2)
+		}
+		samples = append(samples, NodeSample{SG: sg, NodeIdx: idx, Labels: labels})
+	}
+	newTrained := func(workers int) (*Model, float64) {
+		m := NewModel(Config{Head: NodeHead, Input: hgraph.FeatureDim, Hidden: []int{8}, Output: 2, Seed: 15})
+		loss := m.FitNodes(samples, TrainConfig{Epochs: 4, Seed: 16, FitScaler: true, Workers: workers})
+		return m, loss
+	}
+	ref, refLoss := newTrained(1)
+	for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		m, loss := newTrained(w)
+		if loss != refLoss {
+			t.Fatalf("workers=%d: loss %v vs %v", w, loss, refLoss)
+		}
+		if !weightsEqual(ref, m) {
+			t.Fatalf("workers=%d: weights differ from sequential run", w)
+		}
 	}
 }
 

@@ -214,6 +214,42 @@ func (m *Model) backwardStack(adj *AdjNorm, dh *mat.Matrix) {
 	}
 }
 
+// replica returns a model sharing the receiver's parameters and scaler but
+// owning private gradient and activation buffers. During a mini-batch the
+// shared W/B are read-only, so replicas can run forward/backward for
+// different samples concurrently; their gradients are then reduced into the
+// primary model in slot order.
+func (m *Model) replica() *Model {
+	r := &Model{Head: m.Head, Scale: m.Scale, FrozenLayers: m.FrozenLayers}
+	for _, l := range m.Layers {
+		r.Layers = append(r.Layers, &GCNLayer{
+			W: l.W, B: l.B, ReLU: l.ReLU,
+			gradW: mat.New(l.W.Rows, l.W.Cols),
+			gradB: make([]float64, len(l.B)),
+		})
+	}
+	r.Out = &Dense{
+		W: m.Out.W, B: m.Out.B,
+		gradW: mat.New(m.Out.W.Rows, m.Out.W.Cols),
+		gradB: make([]float64, len(m.Out.B)),
+	}
+	return r
+}
+
+// addGradsFrom accumulates a replica's gradients into the receiver's.
+func (m *Model) addGradsFrom(r *Model) {
+	for i, l := range m.Layers {
+		l.gradW.AddInPlace(r.Layers[i].gradW)
+		for j, v := range r.Layers[i].gradB {
+			l.gradB[j] += v
+		}
+	}
+	m.Out.gradW.AddInPlace(r.Out.gradW)
+	for j, v := range r.Out.gradB {
+		m.Out.gradB[j] += v
+	}
+}
+
 // CloneArchitecture returns a model with the same shapes and freshly
 // initialized trainable parameters; used to build the Classifier from a
 // pretrained Tier-predictor by copying its hidden layers.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/hgraph"
 	"repro/internal/mat"
+	"repro/internal/par"
 )
 
 // GraphSample is one labeled subgraph for graph-level classification.
@@ -32,6 +33,12 @@ type TrainConfig struct {
 	LR        float64 // default 0.01
 	Seed      int64
 	FitScaler bool // compute feature standardization from this set
+	// Workers bounds forward/backward parallelism inside each mini-batch
+	// (0 = all cores, capped at Batch). Each batch slot runs on its own
+	// model replica and gradients are reduced in slot order before the
+	// optimizer step, so the trained weights are bitwise-identical for
+	// every worker count.
+	Workers int
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -92,8 +99,29 @@ func (a *adam) step(ps []*mat.Matrix, gs []*mat.Matrix, vs [][]float64, gvs [][]
 	}
 }
 
+// trainSlots allocates the per-batch-slot replicas and loss buffers used
+// by the data-parallel mini-batch loop.
+func (m *Model) trainSlots(cfg TrainConfig) (workers int, slots []*Model, losses []float64) {
+	workers = par.Workers(cfg.Workers)
+	if workers > cfg.Batch {
+		workers = cfg.Batch
+	}
+	slots = make([]*Model, cfg.Batch)
+	for i := range slots {
+		slots[i] = m.replica()
+	}
+	return workers, slots, make([]float64, cfg.Batch)
+}
+
 // Fit trains a graph-head model with softmax cross-entropy. It returns the
 // mean training loss of the final epoch.
+//
+// Mini-batches are data-parallel: each batch slot runs forward/backward on
+// its own replica (shared weights, private buffers), and slot gradients
+// are reduced in slot order before the Adam step. Because the reduction
+// order is fixed by the shuffled sample order — never by goroutine
+// scheduling — the trained weights are bitwise-identical for every
+// cfg.Workers value.
 func (m *Model) Fit(samples []GraphSample, cfg TrainConfig) float64 {
 	cfg = cfg.withDefaults()
 	if cfg.FitScaler || m.Scale == nil {
@@ -106,48 +134,55 @@ func (m *Model) Fit(samples []GraphSample, cfg TrainConfig) float64 {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ps, gs, vs, gvs := m.params()
 	opt := newAdam(cfg.LR, ps, vs)
+	workers, slots, losses := m.trainSlots(cfg)
 	lastLoss := 0.0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		perm := rng.Perm(len(samples))
-		total, count := 0.0, 0
-		m.zeroGrads()
-		inBatch := 0
+		// Drop untrainable samples up front so batch boundaries are fixed
+		// before the parallel fan-out.
+		kept := perm[:0]
 		for _, si := range perm {
-			s := samples[si]
-			if s.SG.NumNodes() == 0 {
-				continue
-			}
-			w := s.Weight
-			if w == 0 {
-				w = 1
-			}
-			adj := NewAdjNorm(s.SG)
-			h := m.embed(adj, s.SG.X)
-			pooled := h.ColMeans()
-			logits := m.Out.Forward(pooled)
-			loss, dLogits := CrossEntropyGrad(logits, s.Label, w)
-			total += loss
-			count++
-			m.backwardGraph(adj, s.SG.NumNodes(), dLogits)
-			inBatch++
-			if inBatch >= cfg.Batch {
-				opt.step(ps, gs, vs, gvs, 1/float64(inBatch))
-				m.zeroGrads()
-				inBatch = 0
+			if samples[si].SG.NumNodes() > 0 {
+				kept = append(kept, si)
 			}
 		}
-		if inBatch > 0 {
-			opt.step(ps, gs, vs, gvs, 1/float64(inBatch))
+		total := 0.0
+		m.zeroGrads()
+		for start := 0; start < len(kept); start += cfg.Batch {
+			n := min(cfg.Batch, len(kept)-start)
+			par.ForEach(workers, n, func(k int) {
+				r := slots[k]
+				r.zeroGrads()
+				s := samples[kept[start+k]]
+				w := s.Weight
+				if w == 0 {
+					w = 1
+				}
+				adj := NewAdjNorm(s.SG)
+				h := r.embed(adj, s.SG.X)
+				pooled := h.ColMeans()
+				logits := r.Out.Forward(pooled)
+				loss, dLogits := CrossEntropyGrad(logits, s.Label, w)
+				losses[k] = loss
+				r.backwardGraph(adj, s.SG.NumNodes(), dLogits)
+			})
+			for k := 0; k < n; k++ {
+				m.addGradsFrom(slots[k])
+				total += losses[k]
+			}
+			opt.step(ps, gs, vs, gvs, 1/float64(n))
 			m.zeroGrads()
 		}
-		if count > 0 {
-			lastLoss = total / float64(count)
+		if len(kept) > 0 {
+			lastLoss = total / float64(len(kept))
 		}
 	}
 	return lastLoss
 }
 
-// FitNodes trains a node-head model on per-node labels.
+// FitNodes trains a node-head model on per-node labels. It parallelizes
+// mini-batches the same way as Fit and gives the same bitwise determinism
+// guarantee for every cfg.Workers value.
 func (m *Model) FitNodes(samples []NodeSample, cfg TrainConfig) float64 {
 	cfg = cfg.withDefaults()
 	if cfg.FitScaler || m.Scale == nil {
@@ -160,45 +195,51 @@ func (m *Model) FitNodes(samples []NodeSample, cfg TrainConfig) float64 {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ps, gs, vs, gvs := m.params()
 	opt := newAdam(cfg.LR, ps, vs)
+	workers, slots, losses := m.trainSlots(cfg)
 	lastLoss := 0.0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		perm := rng.Perm(len(samples))
-		total, count := 0.0, 0
-		m.zeroGrads()
-		inBatch := 0
+		kept := perm[:0]
 		for _, si := range perm {
-			s := samples[si]
-			if s.SG.NumNodes() == 0 || len(s.NodeIdx) == 0 {
-				continue
-			}
-			adj := NewAdjNorm(s.SG)
-			h := m.embed(adj, s.SG.X)
-			dh := mat.New(h.Rows, h.Cols)
-			for k, li := range s.NodeIdx {
-				w := 1.0
-				if s.Weights != nil {
-					w = s.Weights[k]
-				}
-				logits := m.Out.Forward(h.Row(int(li)))
-				loss, dLogits := CrossEntropyGrad(logits, s.Labels[k], w)
-				total += loss
-				count++
-				dx := m.Out.Backward(dLogits)
-				row := dh.Row(int(li))
-				for j, v := range dx {
-					row[j] += v
-				}
-			}
-			m.backwardStack(adj, dh)
-			inBatch++
-			if inBatch >= cfg.Batch {
-				opt.step(ps, gs, vs, gvs, 1/float64(inBatch))
-				m.zeroGrads()
-				inBatch = 0
+			if samples[si].SG.NumNodes() > 0 && len(samples[si].NodeIdx) > 0 {
+				kept = append(kept, si)
 			}
 		}
-		if inBatch > 0 {
-			opt.step(ps, gs, vs, gvs, 1/float64(inBatch))
+		total, count := 0.0, 0
+		m.zeroGrads()
+		for start := 0; start < len(kept); start += cfg.Batch {
+			n := min(cfg.Batch, len(kept)-start)
+			par.ForEach(workers, n, func(k int) {
+				r := slots[k]
+				r.zeroGrads()
+				s := samples[kept[start+k]]
+				adj := NewAdjNorm(s.SG)
+				h := r.embed(adj, s.SG.X)
+				dh := mat.New(h.Rows, h.Cols)
+				loss := 0.0
+				for ki, li := range s.NodeIdx {
+					w := 1.0
+					if s.Weights != nil {
+						w = s.Weights[ki]
+					}
+					logits := r.Out.Forward(h.Row(int(li)))
+					l, dLogits := CrossEntropyGrad(logits, s.Labels[ki], w)
+					loss += l
+					dx := r.Out.Backward(dLogits)
+					row := dh.Row(int(li))
+					for j, v := range dx {
+						row[j] += v
+					}
+				}
+				losses[k] = loss
+				r.backwardStack(adj, dh)
+			})
+			for k := 0; k < n; k++ {
+				m.addGradsFrom(slots[k])
+				total += losses[k]
+				count += len(samples[kept[start+k]].NodeIdx)
+			}
+			opt.step(ps, gs, vs, gvs, 1/float64(n))
 			m.zeroGrads()
 		}
 		if count > 0 {

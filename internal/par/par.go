@@ -1,0 +1,144 @@
+// Package par is the repository's deterministic parallel execution layer:
+// a bounded worker pool with an index-ordered Map primitive, per-index RNG
+// stream derivation, and a memoizing singleflight for shared caches.
+//
+// Every primitive is designed so that the observable result is a pure
+// function of the inputs and never of the worker count or the goroutine
+// schedule: Map returns results in input order, SeedFor gives each work
+// item its own statistically independent RNG stream derived from the item
+// index alone, and Flight guarantees a cached computation runs exactly
+// once no matter how many goroutines request it concurrently. Parallel
+// runs are therefore bitwise-identical to sequential runs.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 mean "all cores"
+// (runtime.GOMAXPROCS).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach invokes fn(i) for every i in [0, n) on at most workers
+// goroutines. fn must be safe for concurrent invocation on distinct
+// indices. With workers <= 1 (or n <= 1) the calls run inline on the
+// caller's goroutine, in index order, with no goroutine overhead.
+func ForEach(workers, n int, fn func(i int)) {
+	ForEachWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with the executing worker's id (in
+// [0, workers)) passed to fn, so callers can maintain per-worker scratch
+// state (forked engines, model replicas) without locking. A given index is
+// processed by exactly one worker; the mapping of indices to workers is
+// not deterministic, so per-worker state must not influence results.
+func ForEachWorker(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for worker := 0; worker < w; worker++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(worker)
+	}
+	wg.Wait()
+}
+
+// Map fans fn out over indices [0, n) on at most workers goroutines and
+// returns the results in input order, so the output is independent of the
+// worker count and the schedule.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapWorker is Map with the executing worker's id passed to fn (see
+// ForEachWorker).
+func MapWorker[T any](workers, n int, fn func(worker, i int) T) []T {
+	out := make([]T, n)
+	ForEachWorker(workers, n, func(w, i int) { out[i] = fn(w, i) })
+	return out
+}
+
+// SplitMix64 is the splitmix64 finalizer: a bijective mixing function with
+// full avalanche, used to turn consecutive indices into well-separated
+// stream keys.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SeedFor derives the RNG seed of work item index from a base seed:
+// seed ⊕ splitmix64(index). Each index gets a statistically independent
+// stream that depends only on (seed, index), never on which worker runs it
+// or in what order, which is what keeps randomized parallel work
+// deterministic across worker counts.
+func SeedFor(seed int64, index uint64) int64 {
+	return seed ^ int64(SplitMix64(index))
+}
+
+// Flight is a memoizing singleflight: concurrent Do calls with the same
+// key run fn exactly once and share its result, and the result stays
+// cached for later calls. The zero value is ready to use.
+type Flight[V any] struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do returns the cached result for key, executing fn to produce it if no
+// prior or in-flight call exists. Errors are cached too: a failed build is
+// not retried, mirroring how the experiment suite treats a broken bundle
+// as fatal.
+func (f *Flight[V]) Do(key string, fn func() (V, error)) (V, error) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = make(map[string]*flightCall[V])
+	}
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+	c.val, c.err = fn()
+	close(c.done)
+	return c.val, c.err
+}

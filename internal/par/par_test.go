@@ -1,0 +1,145 @@
+package par
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d", Workers(0))
+	}
+	if Workers(-3) != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", Workers(-3))
+	}
+	if Workers(5) != 5 {
+		t.Fatalf("Workers(5) = %d", Workers(5))
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		out := Map(workers, 100, func(i int) int { return i * i })
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: len=%d", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if out := Map(4, 0, func(i int) int { return i }); len(out) != 0 {
+		t.Fatalf("len=%d", len(out))
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	const n = 500
+	var hits [n]atomic.Int32
+	ForEach(8, n, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d visited %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestMapWorkerIDsBounded(t *testing.T) {
+	const workers = 4
+	ids := MapWorker(workers, 200, func(w, i int) int { return w })
+	for i, w := range ids {
+		if w < 0 || w >= workers {
+			t.Fatalf("index %d ran on worker %d", i, w)
+		}
+	}
+}
+
+func TestSeedForStreamsIndependent(t *testing.T) {
+	// Distinct indices must give distinct seeds, and the first draw of each
+	// stream should look uncorrelated (no shared prefix).
+	seen := map[int64]bool{}
+	var first []float64
+	for i := uint64(0); i < 64; i++ {
+		s := SeedFor(42, i)
+		if seen[s] {
+			t.Fatalf("seed collision at index %d", i)
+		}
+		seen[s] = true
+		first = append(first, rand.New(rand.NewSource(s)).Float64())
+	}
+	mean := 0.0
+	for _, v := range first {
+		mean += v
+	}
+	mean /= float64(len(first))
+	if mean < 0.3 || mean > 0.7 {
+		t.Fatalf("first-draw mean %.3f suggests correlated streams", mean)
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values from the canonical splitmix64 with seed advanced by
+	// the golden ratio increment (Steele et al.).
+	if got := SplitMix64(0); got != 0xe220a8397b1dcdaf {
+		t.Fatalf("SplitMix64(0) = %#x", got)
+	}
+	if SplitMix64(1) == SplitMix64(2) {
+		t.Fatal("adjacent indices collide")
+	}
+}
+
+func TestFlightDedupesConcurrentCalls(t *testing.T) {
+	var f Flight[int]
+	var runs atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := f.Do("k", func() (int, error) {
+				runs.Add(1)
+				return 7, nil
+			})
+			if v != 7 || err != nil {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if runs.Load() != 1 {
+		t.Fatalf("fn ran %d times", runs.Load())
+	}
+	// Result stays memoized.
+	v, _ := f.Do("k", func() (int, error) { runs.Add(1); return 0, nil })
+	if v != 7 || runs.Load() != 1 {
+		t.Fatalf("memoization broken: v=%d runs=%d", v, runs.Load())
+	}
+}
+
+func TestFlightCachesErrors(t *testing.T) {
+	var f Flight[int]
+	boom := errors.New("boom")
+	if _, err := f.Do("k", func() (int, error) { return 0, boom }); err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := f.Do("k", func() (int, error) { return 1, nil }); err != boom {
+		t.Fatalf("error not cached: %v", err)
+	}
+}
+
+func TestFlightDistinctKeys(t *testing.T) {
+	var f Flight[string]
+	a, _ := f.Do("a", func() (string, error) { return "A", nil })
+	b, _ := f.Do("b", func() (string, error) { return "B", nil })
+	if a != "A" || b != "B" {
+		t.Fatalf("a=%q b=%q", a, b)
+	}
+}
