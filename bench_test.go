@@ -130,9 +130,15 @@ func BenchmarkAblationTopFeatures(b *testing.B) {
 	}
 	var accFull, accNoTop float64
 	for i := 0; i < b.N; i++ {
-		fwFull := core.Train(f.train, core.TrainOptions{Seed: 4, SkipClassifier: true})
+		fwFull, err := core.Train(f.train, core.TrainOptions{Seed: 4, SkipClassifier: true})
+		if err != nil {
+			b.Fatal(err)
+		}
 		accFull = tierAccuracy(fwFull.Tier, f.test)
-		fwNoTop := core.Train(zeroTopCols(f.train), core.TrainOptions{Seed: 4, SkipClassifier: true})
+		fwNoTop, err := core.Train(zeroTopCols(f.train), core.TrainOptions{Seed: 4, SkipClassifier: true})
+		if err != nil {
+			b.Fatal(err)
+		}
 		accNoTop = tierAccuracy(fwNoTop.Tier, zeroTopCols(f.test))
 	}
 	b.ReportMetric(accFull*100, "acc-full-%")
@@ -146,7 +152,10 @@ func BenchmarkAblationThreshold(b *testing.B) {
 	f := getFixture(b)
 	var lossTP, loss05 float64
 	for i := 0; i < b.N; i++ {
-		fw := core.Train(f.train, core.TrainOptions{Seed: 5})
+		fw, err := core.Train(f.train, core.TrainOptions{Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
 		measure := func(tp float64) float64 {
 			pol := fw.PolicyFor(f.bundle)
 			pol.TP = tp
@@ -180,7 +189,10 @@ func BenchmarkAblationOversample(b *testing.B) {
 	f := getFixture(b)
 	var withOS, withoutOS float64
 	for i := 0; i < b.N; i++ {
-		fw := core.Train(f.train, core.TrainOptions{Seed: 6})
+		fw, err := core.Train(f.train, core.TrainOptions{Seed: 6})
+		if err != nil {
+			b.Fatal(err)
+		}
 		// Rebuild classifier training set exactly as core.Train does.
 		var cls []gnn.GraphSample
 		for _, s := range f.train {
@@ -234,7 +246,10 @@ func BenchmarkAblationOversample(b *testing.B) {
 // (back-trace + GNN inference + ATPG diagnosis + policy).
 func BenchmarkDiagnoseThroughput(b *testing.B) {
 	f := getFixture(b)
-	fw := core.Train(f.train, core.TrainOptions{Seed: 10})
+	fw, err := core.Train(f.train, core.TrainOptions{Seed: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := f.test[i%len(f.test)]
@@ -292,7 +307,10 @@ func BenchmarkBacktrace(b *testing.B) {
 // BenchmarkTierInference measures one Tier-predictor forward pass.
 func BenchmarkTierInference(b *testing.B) {
 	f := getFixture(b)
-	fw := core.Train(f.train, core.TrainOptions{Seed: 11, SkipClassifier: true})
+	fw, err := core.Train(f.train, core.TrainOptions{Seed: 11, SkipClassifier: true})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fw.Tier.PredictTier(f.test[i%len(f.test)].SG)

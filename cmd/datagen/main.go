@@ -18,6 +18,7 @@ import (
 	"repro/internal/failurelog"
 	"repro/internal/gen"
 	"repro/internal/netlist"
+	"repro/internal/noise"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "design size multiplier")
 	seed := flag.Int64("seed", 1, "global seed")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all cores); output is identical for any value")
+	noiseLevel := flag.Float64("noise", 0, "tester-noise severity in [0,1]; 0 disables the noise model")
 	flag.Parse()
 
 	p, ok := gen.ProfileByName(*design)
@@ -74,7 +76,10 @@ func main() {
 		b.Name, st.Gates, st.MIVs, st.FFs, b.ATPG.Patterns.N, b.ATPG.Coverage()*100)
 	fmt.Printf("netlist: %s\n", nlPath)
 
-	ss := b.Generate(dataset.SampleOptions{Count: *samples, Compacted: *compacted, Seed: *seed + 5, Workers: *workers})
+	ss := b.Generate(dataset.SampleOptions{
+		Count: *samples, Compacted: *compacted, Seed: *seed + 5, Workers: *workers,
+		Noise: noise.ModelAt(*noiseLevel, *seed+7),
+	})
 	for i, smp := range ss {
 		logPath := filepath.Join(*out, fmt.Sprintf("%s_fail_%03d.log", b.Name, i))
 		lf, err := os.Create(logPath)

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiment"
@@ -27,6 +28,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "global seed")
 	designs := flag.String("designs", "aes,tate,netcard,leon3mp", "comma-separated designs")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all cores); output is identical for any value")
+	noiseLevels := flag.String("noise", "", "comma-separated tester-noise levels for the noise experiment (default 0,0.25,0.5,0.75,1)")
+	checkpoint := flag.String("checkpoint", "", "directory for training checkpoints; training resumes from any found there")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -44,6 +47,19 @@ func main() {
 	s.Seed = *seed
 	s.Designs = strings.Split(*designs, ",")
 	s.Workers = *workers
+	s.CheckpointDir = *checkpoint
+	if *noiseLevels != "" {
+		var levels []float64
+		for _, part := range strings.Split(*noiseLevels, ",") {
+			l, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: bad -noise level %q: %v\n", part, err)
+				os.Exit(1)
+			}
+			levels = append(levels, l)
+		}
+		s.NoiseLevels = levels
+	}
 	if err := s.Run(*run); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/gen"
+	"repro/internal/noise"
 )
 
 func main() {
@@ -31,6 +32,8 @@ func main() {
 	saveModel := flag.String("save-model", "", "write the trained framework to this file")
 	loadModel := flag.String("load-model", "", "load a framework instead of training")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all cores); results are identical for any value")
+	noiseLevel := flag.Float64("noise", 0, "tester-noise severity in [0,1]; 0 disables the noise model")
+	checkpoint := flag.String("checkpoint", "", "directory for training checkpoints; resumes if one exists")
 	flag.Parse()
 
 	p, ok := gen.ProfileByName(*design)
@@ -65,9 +68,14 @@ func main() {
 		fmt.Printf("training on %d samples ...\n", *trainSamples)
 		train := b.Generate(dataset.SampleOptions{
 			Count: *trainSamples, Seed: *seed + 2, Compacted: *compacted, MIVFraction: 0.2,
-			Workers: *workers,
+			Workers: *workers, Noise: noise.ModelAt(*noiseLevel, *seed+7),
 		})
-		fw = core.Train(train, core.TrainOptions{Seed: *seed + 3, Workers: *workers})
+		fw, err = core.Train(train, core.TrainOptions{
+			Seed: *seed + 3, Workers: *workers, CheckpointDir: *checkpoint,
+		})
+		if err != nil {
+			fatal("train: %v", err)
+		}
 		fmt.Printf("trained (T_P=%.3f)\n", fw.TP)
 	}
 	if *saveModel != "" {
@@ -84,7 +92,7 @@ func main() {
 
 	test := b.Generate(dataset.SampleOptions{
 		Count: *diagSamples, Seed: *seed + 9, Compacted: *compacted, MIVFraction: 0.2,
-		Workers: *workers,
+		Workers: *workers, Noise: noise.ModelAt(*noiseLevel, *seed+11),
 	})
 	for i, smp := range test {
 		rep, out := fw.Diagnose(b, smp.Log)

@@ -33,7 +33,10 @@ func main() {
 		train := bundle.Generate(dataset.SampleOptions{
 			Count: 100, Seed: 2, Compacted: compacted, MIVFraction: 0.2,
 		})
-		fw := core.Train(train, core.TrainOptions{Seed: 3})
+		fw, err := core.Train(train, core.TrainOptions{Seed: 3})
+		if err != nil {
+			panic(err)
+		}
 		test := bundle.Generate(dataset.SampleOptions{
 			Count: 50, Seed: 9, Compacted: compacted, MIVFraction: 0.2,
 		})

@@ -31,7 +31,10 @@ func main() {
 	fmt.Printf("generated %d training samples\n", len(train))
 
 	// 3. Train Tier-predictor, MIV-pinpointer, and the pruning Classifier.
-	fw := core.Train(train, core.TrainOptions{Seed: 3})
+	fw, err := core.Train(train, core.TrainOptions{Seed: 3})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("trained framework (PR-curve threshold T_P = %.3f)\n\n", fw.TP)
 
 	// 4. A "failing chip": inject one fault and capture its failure log.

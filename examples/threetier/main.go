@@ -30,7 +30,10 @@ func main() {
 		bundle.Name, []int{counts[0], counts[1], counts[2]}, bundle.Netlist.NumMIVs())
 
 	train := bundle.Generate(dataset.SampleOptions{Count: 150, Seed: 2, MIVFraction: 0.15})
-	fw := core.Train(train, core.TrainOptions{Seed: 3})
+	fw, err := core.Train(train, core.TrainOptions{Seed: 3})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("Tier-predictor output width: %d classes\n\n", len(fw.Tier.Model.Out.B))
 
 	test := bundle.Generate(dataset.SampleOptions{Count: 60, Seed: 9, MIVFraction: 0.15})

@@ -34,7 +34,10 @@ func main() {
 			Count: 60, Seed: int64(10 + i), MIVFraction: 0.2,
 		})...)
 	}
-	fw := core.Train(train, core.TrainOptions{Seed: 3})
+	fw, err := core.Train(train, core.TrainOptions{Seed: 3})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("transferred model trained on %d samples (Syn-1 + 2 random partitions)\n\n", len(train))
 
 	fmt.Printf("%-6s %16s %18s\n", "Config", "Tier accuracy", "ATPG->final resol")

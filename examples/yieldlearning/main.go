@@ -25,7 +25,10 @@ func main() {
 	// Train on multi-fault samples: each failing chip carries 2-5 TDFs in
 	// a single tier (tier-specific systematic defects).
 	train := bundle.Generate(dataset.SampleOptions{Count: 120, Seed: 2, MultiFault: true})
-	fw := core.Train(train, core.TrainOptions{Seed: 3})
+	fw, err := core.Train(train, core.TrainOptions{Seed: 3})
+	if err != nil {
+		panic(err)
+	}
 
 	// A "lot" of failing chips, all from a process that damages the top
 	// tier: simulate by filtering multi-fault samples to top-tier labels.

@@ -9,7 +9,7 @@
 //
 //	bundle, _ := dataset.Build(profile, dataset.Syn1, dataset.BuildOptions{Seed: 1})
 //	train := bundle.Generate(dataset.SampleOptions{Count: 400, Seed: 2})
-//	fw := core.Train(train, core.TrainOptions{Seed: 3})
+//	fw, _ := core.Train(train, core.TrainOptions{Seed: 3})
 //	outcome := fw.Diagnose(bundle, failureLog)
 package core
 
@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"path/filepath"
 
 	"repro/internal/dataset"
 	"repro/internal/diagnosis"
@@ -51,6 +52,16 @@ type TrainOptions struct {
 	// (0 = all cores). The trained weights are identical for every worker
 	// count.
 	Workers int
+	// CheckpointDir enables periodic training checkpoints: each model
+	// writes <dir>/{tier,cls,miv}.ckpt and an interrupted Train resumes
+	// from them, producing bitwise-identical weights to an uninterrupted
+	// run. "" disables checkpointing.
+	CheckpointDir string
+	// CheckpointEvery is the epoch interval between checkpoints (default 1).
+	CheckpointEvery int
+	// Stats, when non-nil, aggregates training counters (finite-loss-guard
+	// skips, resumed epochs) across the three models.
+	Stats *gnn.TrainStats
 }
 
 func (o TrainOptions) withDefaults() TrainOptions {
@@ -64,9 +75,20 @@ func (o TrainOptions) withDefaults() TrainOptions {
 }
 
 // Train fits the framework on labeled samples (typically Syn-1 plus
-// randomly partitioned variants for transferability, Section IV).
-func Train(samples []dataset.Sample, opt TrainOptions) *Framework {
+// randomly partitioned variants for transferability, Section IV). With
+// opt.CheckpointDir set, a Train interrupted mid-way resumes from the last
+// checkpoint files and still produces the weights of an uninterrupted run.
+func Train(samples []dataset.Sample, opt TrainOptions) (*Framework, error) {
 	opt = opt.withDefaults()
+	ckpt := func(name string) gnn.CheckpointConfig {
+		if opt.CheckpointDir == "" {
+			return gnn.CheckpointConfig{}
+		}
+		return gnn.CheckpointConfig{
+			Path:  filepath.Join(opt.CheckpointDir, name+".ckpt"),
+			Every: opt.CheckpointEvery,
+		}
+	}
 	// Tier-predictor: gate-fault samples carry tier labels; the output
 	// vector is sized to however many tiers the samples cover.
 	numTiers := 2
@@ -84,9 +106,12 @@ func Train(samples []dataset.Sample, opt TrainOptions) *Framework {
 		Tier: gnn.NewTierPredictorK(opt.Seed, numTiers),
 		MIV:  gnn.NewMIVPinpointer(opt.Seed + 1),
 	}
-	fw.Tier.Train(tierSamples, gnn.TrainConfig{
+	if _, err := fw.Tier.Train(tierSamples, gnn.TrainConfig{
 		Epochs: opt.Epochs, Seed: opt.Seed + 2, FitScaler: true, Workers: opt.Workers,
-	})
+		Checkpoint: ckpt("tier"), Stats: opt.Stats,
+	}); err != nil {
+		return nil, fmt.Errorf("core: train tier-predictor: %w", err)
+	}
 
 	// T_P from the training PR curve (Section V-B).
 	var conf []float64
@@ -115,7 +140,12 @@ func Train(samples []dataset.Sample, opt TrainOptions) *Framework {
 		}
 		clsSamples = policy.Oversample(clsSamples, opt.Seed+3)
 		fw.Cls = gnn.NewClassifier(fw.Tier, opt.Seed+4)
-		fw.Cls.Train(clsSamples, gnn.TrainConfig{Epochs: opt.Epochs / 2, Seed: opt.Seed + 5, Workers: opt.Workers})
+		if _, err := fw.Cls.Train(clsSamples, gnn.TrainConfig{
+			Epochs: opt.Epochs / 2, Seed: opt.Seed + 5, Workers: opt.Workers,
+			Checkpoint: ckpt("cls"), Stats: opt.Stats,
+		}); err != nil {
+			return nil, fmt.Errorf("core: train classifier: %w", err)
+		}
 	}
 
 	// MIV-pinpointer: node classification over MIV nodes of every
@@ -140,10 +170,13 @@ func Train(samples []dataset.Sample, opt TrainOptions) *Framework {
 		}
 		nodeSamples = append(nodeSamples, ns)
 	}
-	fw.MIV.Train(nodeSamples, gnn.TrainConfig{
+	if _, err := fw.MIV.Train(nodeSamples, gnn.TrainConfig{
 		Epochs: opt.Epochs, Seed: opt.Seed + 6, FitScaler: true, Workers: opt.Workers,
-	})
-	return fw
+		Checkpoint: ckpt("miv"), Stats: opt.Stats,
+	}); err != nil {
+		return nil, fmt.Errorf("core: train miv-pinpointer: %w", err)
+	}
+	return fw, nil
 }
 
 // PolicyFor binds the framework to a design's heterogeneous graph.
@@ -205,6 +238,9 @@ func Load(r io.Reader) (*Framework, error) {
 	var in frameworkJSON
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	if len(in.Tier) == 0 || len(in.MIV) == 0 {
+		return nil, fmt.Errorf("core: load: framework file is missing the tier or miv model")
 	}
 	dec := func(raw json.RawMessage) (*gnn.Model, error) {
 		return gnn.Load(bytes.NewReader(raw))

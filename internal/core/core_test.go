@@ -33,7 +33,10 @@ func getE2E(t *testing.T) *endToEnd {
 	}
 	train := b.Generate(dataset.SampleOptions{Count: 120, Seed: 2, MIVFraction: 0.25})
 	test := b.Generate(dataset.SampleOptions{Count: 60, Seed: 3, MIVFraction: 0.25})
-	fw := Train(train, TrainOptions{Seed: 4, Epochs: 25})
+	fw, err := Train(train, TrainOptions{Seed: 4, Epochs: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
 	e2e = &endToEnd{bundle: b, train: train, test: test, fw: fw}
 	return e2e
 }

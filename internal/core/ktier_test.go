@@ -28,7 +28,10 @@ func TestThreeTierEndToEnd(t *testing.T) {
 	if len(tiersSeen) != 3 {
 		t.Fatalf("training labels cover tiers %v, want 3", tiersSeen)
 	}
-	fw := Train(train, TrainOptions{Seed: 4, Epochs: 25})
+	fw, err := Train(train, TrainOptions{Seed: 4, Epochs: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := len(fw.Tier.Model.Out.B); got != 3 {
 		t.Fatalf("Tier-predictor output width %d, want 3", got)
 	}

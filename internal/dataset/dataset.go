@@ -16,6 +16,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/hgraph"
 	"repro/internal/netlist"
+	"repro/internal/noise"
 	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/scan"
@@ -189,6 +190,12 @@ type SampleOptions struct {
 	// bits, modeling the fail-memory limit of production testers
 	// (default 256).
 	MaxFails int
+	// Noise perturbs each simulated failure log with the tester-
+	// imperfection model before truncation and back-tracing (nil or an
+	// identity model leaves the pipeline bitwise-unchanged). Attempts whose
+	// log is emptied by noise are rejected like undetected faults: every
+	// sample still corresponds to a chip the tester saw failing.
+	Noise *noise.Model
 	// Workers bounds the injection/back-trace fan-out (0 = all cores).
 	// The generated samples are identical for every worker count.
 	Workers int
@@ -265,6 +272,12 @@ func (b *Bundle) attempt(eng *diagnosis.Engine, index uint64, opt SampleOptions)
 	log := eng.InjectLog(faults, opt.Compacted)
 	if log.Empty() {
 		return nil
+	}
+	if !opt.Noise.IsIdentity() {
+		log = opt.Noise.Apply(log, index, b.ATPG.Patterns.N, b.Arch.NumObs(opt.Compacted))
+		if log.Empty() {
+			return nil
+		}
 	}
 	if len(log.Fails) > opt.MaxFails {
 		log.Fails = log.Fails[:opt.MaxFails]

@@ -1,13 +1,16 @@
 package dataset
 
 import (
+	"bytes"
 	"math/rand"
 	"runtime"
 	"testing"
 
+	"repro/internal/failurelog"
 	"repro/internal/faultsim"
 	"repro/internal/gen"
 	"repro/internal/netlist"
+	"repro/internal/noise"
 )
 
 func tinyBundle(t *testing.T, cfg ConfigName) *Bundle {
@@ -254,5 +257,86 @@ func TestMultiFaultSamples(t *testing.T) {
 		if s.TierLabel < 0 {
 			t.Fatal("multi-fault gate sample should carry a tier label")
 		}
+	}
+}
+
+// TestGenerateNoiseLevelZeroIsIdentity is the golden identity check: a nil
+// noise model and an explicit level-0 model must produce byte-identical
+// written failure logs and fully equal samples.
+func TestGenerateNoiseLevelZeroIsIdentity(t *testing.T) {
+	b := tinyBundle(t, Syn1)
+	base := SampleOptions{Count: 12, Seed: 31, MIVFraction: 0.3}
+	clean := b.Generate(base)
+	withZero := base
+	withZero.Noise = noise.ModelAt(0, 99)
+	zero := b.Generate(withZero)
+	if len(clean) != len(zero) {
+		t.Fatalf("%d vs %d samples", len(clean), len(zero))
+	}
+	for i := range clean {
+		if !sampleEqual(clean[i], zero[i]) {
+			t.Fatalf("sample %d differs under level-0 noise", i)
+		}
+		var a, c bytes.Buffer
+		if err := failurelog.Write(&a, clean[i].Log); err != nil {
+			t.Fatal(err)
+		}
+		if err := failurelog.Write(&c, zero[i].Log); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), c.Bytes()) {
+			t.Fatalf("sample %d: written log bytes differ under level-0 noise", i)
+		}
+	}
+}
+
+// TestGenerateNoiseWorkerEquivalence extends the determinism contract to
+// noisy generation: the same seed and noise model must produce identical
+// samples for every worker count.
+func TestGenerateNoiseWorkerEquivalence(t *testing.T) {
+	b := tinyBundle(t, Syn1)
+	for _, level := range []float64{0.3, 1.0} {
+		base := SampleOptions{Count: 12, Seed: 33, MIVFraction: 0.3, Workers: 1,
+			Noise: noise.ModelAt(level, 77)}
+		ref := b.Generate(base)
+		if len(ref) == 0 {
+			t.Fatalf("level %.1f: no samples survived", level)
+		}
+		for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+			opt := base
+			opt.Workers = w
+			got := b.Generate(opt)
+			if len(got) != len(ref) {
+				t.Fatalf("level %.1f workers=%d: %d samples vs %d", level, w, len(got), len(ref))
+			}
+			for i := range got {
+				if !sampleEqual(ref[i], got[i]) {
+					t.Fatalf("level %.1f workers=%d: sample %d differs", level, w, i)
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateNoisePerturbs sanity-checks that a harsh model actually
+// changes the logs and that pipeline stages still hold their invariants.
+func TestGenerateNoisePerturbs(t *testing.T) {
+	b := tinyBundle(t, Syn1)
+	clean := b.Generate(SampleOptions{Count: 12, Seed: 35})
+	noisy := b.Generate(SampleOptions{Count: 12, Seed: 35, Noise: noise.ModelAt(1, 55)})
+	changed := false
+	for i := range noisy {
+		if noisy[i].Log.Empty() {
+			t.Fatal("emptied log survived generation")
+		}
+		if noisy[i].SG.NumNodes() == 0 {
+			t.Fatal("noisy sample with empty subgraph")
+		}
+		if i < len(clean) && len(noisy[i].Log.Fails) != len(clean[i].Log.Fails) {
+			changed = true
+		}
+	}
+	if !changed && len(noisy) == len(clean) {
+		t.Fatal("max-severity noise left every log untouched")
 	}
 }

@@ -374,9 +374,22 @@ func (d *Engine) score(cand faultsim.Fault, observed map[int64]bool, compacted b
 	return c
 }
 
-// Diagnose produces a ranked single-fault diagnosis report for the log.
+// sanitize drops fails the engine's pattern set and scan architecture
+// cannot address (out-of-range pattern or observation indices). Tester
+// logs arrive from outside the pipeline and may disagree with the
+// diagnosis setup; indexing simulation results by an unchecked value would
+// panic deep inside the simulator.
+func (d *Engine) sanitize(log *failurelog.Log) *failurelog.Log {
+	l, _ := log.Sanitized(d.ps.N, d.arch.NumObs(log.Compacted))
+	return l
+}
+
+// Diagnose produces a ranked single-fault diagnosis report for the log. It
+// never panics on degenerate input: empty logs, or logs whose every fail
+// is out of range for this engine, yield an empty report.
 func (d *Engine) Diagnose(log *failurelog.Log) *Report {
 	rep := &Report{Design: log.Design, Compacted: log.Compacted}
+	log = d.sanitize(log)
 	if log.Empty() {
 		return rep
 	}
@@ -472,6 +485,7 @@ type ExtractStats struct {
 // DebugExtract reports how many candidates extraction produced for a log
 // and their full score distribution (including TFSF==0 candidates).
 func (d *Engine) DebugExtract(log *failurelog.Log) ExtractStats {
+	log = d.sanitize(log)
 	count, responses := d.suspects(log)
 	cands := d.extractCandidates(log, count, responses)
 	observed := make(map[int64]bool, len(log.Fails))

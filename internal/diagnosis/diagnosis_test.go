@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/atpg"
+	"repro/internal/failurelog"
 	"repro/internal/faultsim"
 	"repro/internal/gen"
 	"repro/internal/partition"
@@ -283,5 +284,63 @@ func TestReportInvariants(t *testing.T) {
 				t.Fatal("candidate with no explained failures in report")
 			}
 		}
+	}
+}
+
+// TestDiagnoseDegenerateLogs drives Diagnose and DiagnoseMulti with every
+// degenerate log shape a real tester (or the noise model) can produce:
+// empty logs, out-of-range patterns and observations, negative indices.
+// The defined behavior is a valid (possibly empty) report — never a panic.
+func TestDiagnoseDegenerateLogs(t *testing.T) {
+	fx := getFixture(t, 0.1, 1)
+	patterns := fx.eng.ps.N
+	numObs := fx.eng.arch.NumObs(false)
+	logs := map[string]*failurelog.Log{
+		"empty":           {Design: "aes"},
+		"empty truncated": {Design: "aes", Truncated: true},
+		"pattern too big": {Design: "aes", Fails: []scan.Failure{{Pattern: int32(patterns + 7), Obs: 0}}},
+		"obs too big":     {Design: "aes", Fails: []scan.Failure{{Pattern: 0, Obs: int32(numObs + 3)}}},
+		"negative":        {Design: "aes", Fails: []scan.Failure{{Pattern: -4, Obs: -1}}},
+		"all out of range": {Design: "aes", Fails: []scan.Failure{
+			{Pattern: -1, Obs: 0}, {Pattern: int32(patterns), Obs: 0}, {Pattern: 0, Obs: int32(numObs)},
+		}},
+	}
+	for name, log := range logs {
+		for _, diag := range []struct {
+			kind string
+			run  func(*failurelog.Log) *Report
+		}{
+			{"Diagnose", fx.eng.Diagnose},
+			{"DiagnoseMulti", fx.eng.DiagnoseMulti},
+		} {
+			rep := diag.run(log) // must not panic
+			if rep == nil {
+				t.Fatalf("%s(%s): nil report", diag.kind, name)
+			}
+			for _, c := range rep.Candidates {
+				_ = c.Fault // report must stay iterable
+			}
+		}
+	}
+}
+
+// TestDiagnoseMixedRangeLogKeepsValidFails checks that out-of-range fails
+// are dropped, not fatal: a valid failing bit alongside garbage still
+// drives diagnosis.
+func TestDiagnoseMixedRangeLog(t *testing.T) {
+	fx := getFixture(t, 0.1, 1)
+	faults := detectableFaults(fx, false, 1, 17)
+	if len(faults) == 0 {
+		t.Skip("no detectable fault at this scale")
+	}
+	clean := fx.eng.InjectLog(faults[:1], false)
+	dirty := &failurelog.Log{Design: clean.Design, Fails: append([]scan.Failure{
+		{Pattern: -9, Obs: 2}, {Pattern: 1 << 30, Obs: 0},
+	}, clean.Fails...)}
+	repClean := fx.eng.Diagnose(clean)
+	repDirty := fx.eng.Diagnose(dirty)
+	if repClean.Resolution() != repDirty.Resolution() {
+		t.Fatalf("resolution changed by out-of-range fails: %d vs %d",
+			repClean.Resolution(), repDirty.Resolution())
 	}
 }

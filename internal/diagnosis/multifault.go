@@ -30,6 +30,7 @@ func (d *Engine) InjectLog(faults []faultsim.Fault, compacted bool) *failurelog.
 // log, followed by near-tie candidates up to the report cap.
 func (d *Engine) DiagnoseMulti(log *failurelog.Log) *Report {
 	rep := &Report{Design: log.Design, Compacted: log.Compacted}
+	log = d.sanitize(log)
 	if log.Empty() {
 		return rep
 	}

@@ -57,13 +57,22 @@ func (s *Suite) Ablations() error {
 		}
 		return out
 	}
-	fwFull := core.Train(train, core.TrainOptions{Seed: s.Seed + 702, SkipClassifier: true, Workers: s.Workers})
-	fwNoTop := core.Train(zeroTop(train), core.TrainOptions{Seed: s.Seed + 702, SkipClassifier: true, Workers: s.Workers})
+	fwFull, err := core.Train(train, core.TrainOptions{Seed: s.Seed + 702, SkipClassifier: true, Workers: s.Workers})
+	if err != nil {
+		return err
+	}
+	fwNoTop, err := core.Train(zeroTop(train), core.TrainOptions{Seed: s.Seed + 702, SkipClassifier: true, Workers: s.Workers})
+	if err != nil {
+		return err
+	}
 	s.printf("1. Topedge features: tier accuracy %.1f%% with vs %.1f%% without\n",
 		tierAcc(fwFull.Tier, test)*100, tierAcc(fwNoTop.Tier, zeroTop(test))*100)
 
 	// 2. PR threshold vs fixed 0.5.
-	fw := core.Train(train, core.TrainOptions{Seed: s.Seed + 703, Workers: s.Workers})
+	fw, err := core.Train(train, core.TrainOptions{Seed: s.Seed + 703, Workers: s.Workers})
+	if err != nil {
+		return err
+	}
 	s.parallelDiagnose(b, test, true) // warm the cache for both lossAt calls
 	lossAt := func(tp float64) float64 {
 		pol := fw.PolicyFor(b)
@@ -121,9 +130,13 @@ func (s *Suite) Ablations() error {
 		return ok, n
 	}
 	cOS := gnn.NewClassifier(fw.Tier, s.Seed+704)
-	cOS.Train(policy.Oversample(cls, s.Seed+705), gnn.TrainConfig{Epochs: 15, Seed: s.Seed + 706, Workers: s.Workers})
+	if _, err := cOS.Train(policy.Oversample(cls, s.Seed+705), gnn.TrainConfig{Epochs: 15, Seed: s.Seed + 706, Workers: s.Workers}); err != nil {
+		return err
+	}
 	cRaw := gnn.NewClassifier(fw.Tier, s.Seed+704)
-	cRaw.Train(cls, gnn.TrainConfig{Epochs: 15, Seed: s.Seed + 706, Workers: s.Workers})
+	if _, err := cRaw.Train(cls, gnn.TrainConfig{Epochs: 15, Seed: s.Seed + 706, Workers: s.Workers}); err != nil {
+		return err
+	}
 	a, an := fpCaught(cOS)
 	r, rn := fpCaught(cRaw)
 	s.printf("3. Classifier FP rejection: %d/%d with oversampling vs %d/%d without\n", a, an, r, rn)

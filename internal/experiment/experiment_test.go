@@ -152,3 +152,71 @@ func TestSuiteWorkerEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestSuiteNoiseTable runs the noise-robustness experiment end to end at
+// max severity: no crashes, one row per (config, level), and the level-0
+// row must match the clean-pipeline numbers in the same run.
+func TestSuiteNoiseTable(t *testing.T) {
+	s, buf := tinySuite()
+	s.TrainCount = 40
+	s.TestCount = 16
+	s.NoiseLevels = []float64{0, 0.5, 1.0}
+	if err := s.Run("noise"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Noise robustness") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "aes") {
+			rows++
+		}
+	}
+	if want := 4 * len(s.NoiseLevels); rows != want {
+		t.Fatalf("%d table rows, want %d:\n%s", rows, want, out)
+	}
+}
+
+// TestSuiteNoiseWorkerEquivalence: the noise table must be byte-identical
+// for every worker count, like every other experiment.
+func TestSuiteNoiseWorkerEquivalence(t *testing.T) {
+	run := func(workers int) string {
+		s, buf := tinySuite()
+		s.TrainCount = 40
+		s.TestCount = 12
+		s.Workers = workers
+		s.NoiseLevels = []float64{0.75}
+		if err := s.Run("noise"); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	ref := run(1)
+	if got := run(4); got != ref {
+		t.Fatalf("noise table differs across worker counts:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", ref, got)
+	}
+}
+
+// TestSuiteCheckpointResume runs a training-heavy table twice against the
+// same checkpoint directory; the second run resumes from completed
+// checkpoints and must print identical output.
+func TestSuiteCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	run := func() string {
+		s, buf := tinySuite()
+		s.TrainCount = 40
+		s.TestCount = 12
+		s.CheckpointDir = dir
+		if err := s.Run("table5"); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := run()
+	second := run()
+	if first != second {
+		t.Fatalf("resumed run differs:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}

@@ -105,7 +105,10 @@ func (s *Suite) Fig6() error {
 			Count: s.TrainCount, Seed: s.Seed + 500 + hash(string(cfg)), MIVFraction: 0.2,
 			Workers: s.Workers,
 		})
-		dedicated := core.Train(train, core.TrainOptions{Seed: s.Seed + 501, Workers: s.Workers})
+		dedicated, err := core.Train(train, core.TrainOptions{Seed: s.Seed + 501, Workers: s.Workers})
+		if err != nil {
+			return err
+		}
 		test, _, err := s.testSamples(design, cfg, false)
 		if err != nil {
 			return err
@@ -180,7 +183,10 @@ func (s *Suite) measureRuntime(design string) (*RuntimeBreakdown, error) {
 		return nil, err
 	}
 	t0 = time.Now()
-	fw := core.Train(train, core.TrainOptions{Seed: s.Seed + 600, Workers: s.Workers})
+	fw, err := core.Train(train, core.TrainOptions{Seed: s.Seed + 600, Workers: s.Workers})
+	if err != nil {
+		return nil, err
+	}
 	rb.GNNTraining = time.Since(t0)
 
 	test, _, err := s.testSamples(design, dataset.Syn2, false)

@@ -3,6 +3,8 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -36,6 +38,13 @@ type Suite struct {
 	// mini-batch training. Every printed table is identical for every
 	// worker count.
 	Workers int
+	// NoiseLevels are the tester-noise severities swept by the "noise"
+	// experiment (level 0 is the clean pipeline).
+	NoiseLevels []float64
+	// CheckpointDir, when set, makes framework training write periodic
+	// checkpoints under per-(design, mode) subdirectories and resume from
+	// them on a rerun.
+	CheckpointDir string
 	// W receives the table/figure output.
 	W io.Writer
 
@@ -52,15 +61,34 @@ type Suite struct {
 // NewSuite returns a suite with defaults applied.
 func NewSuite(w io.Writer) *Suite {
 	return &Suite{
-		Scale:      1.0,
-		TrainCount: 240,
-		TestCount:  100,
-		Designs:    []string{"aes", "tate", "netcard", "leon3mp"},
-		Seed:       1,
-		W:          w,
-		runtime:    map[string]*RuntimeBreakdown{},
-		reports:    map[*failurelog.Log]*diagnosis.Report{},
+		Scale:       1.0,
+		TrainCount:  240,
+		TestCount:   100,
+		Designs:     []string{"aes", "tate", "netcard", "leon3mp"},
+		Seed:        1,
+		NoiseLevels: []float64{0, 0.25, 0.5, 0.75, 1.0},
+		W:           w,
+		runtime:     map[string]*RuntimeBreakdown{},
+		reports:     map[*failurelog.Log]*diagnosis.Report{},
 	}
+}
+
+// checkpointDir returns the per-(design, mode) checkpoint directory, or ""
+// when checkpointing is disabled. The directory is created on demand so
+// gnn checkpoint writes never race a missing parent.
+func (s *Suite) checkpointDir(design string, compacted bool) string {
+	if s.CheckpointDir == "" {
+		return ""
+	}
+	mode := "bypass"
+	if compacted {
+		mode = "edt"
+	}
+	dir := filepath.Join(s.CheckpointDir, design+"_"+mode)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "" // fall back to uncheckpointed training
+	}
+	return dir
 }
 
 // Experiments lists the runnable experiment names in paper order.
@@ -68,7 +96,7 @@ func Experiments() []string {
 	return []string{
 		"table2", "table3", "fig5", "fig6",
 		"table5", "table6", "table7", "table8",
-		"table9", "fig10", "table10", "table11", "ablations",
+		"table9", "fig10", "table10", "table11", "ablations", "noise",
 	}
 }
 
@@ -115,6 +143,8 @@ func (s *Suite) Run(name string) error {
 		return s.Table11()
 	case "ablations":
 		return s.Ablations()
+	case "noise":
+		return s.TableNoise()
 	}
 	return fmt.Errorf("experiment: unknown experiment %q (have %v)", name, Experiments())
 }
@@ -227,7 +257,10 @@ func (s *Suite) framework(design string, compacted bool) (*core.Framework, error
 		if err != nil {
 			return nil, err
 		}
-		return core.Train(train, core.TrainOptions{Seed: s.Seed + 7, Workers: s.Workers}), nil
+		return core.Train(train, core.TrainOptions{
+			Seed: s.Seed + 7, Workers: s.Workers,
+			CheckpointDir: s.checkpointDir(design, compacted),
+		})
 	})
 }
 

@@ -213,7 +213,10 @@ func (s *Suite) Table10() error {
 		train := trainB.Generate(dataset.SampleOptions{
 			Count: s.TrainCount, Seed: s.Seed + 300, MultiFault: true, Workers: s.Workers,
 		})
-		fw := core.Train(train, core.TrainOptions{Seed: s.Seed + 301, Workers: s.Workers})
+		fw, err := core.Train(train, core.TrainOptions{Seed: s.Seed + 301, Workers: s.Workers})
+		if err != nil {
+			return err
+		}
 
 		testB, err := s.bundle(d, dataset.Syn2, 0)
 		if err != nil {

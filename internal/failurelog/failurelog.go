@@ -65,21 +65,56 @@ func (l *Log) FailsByPattern() map[int32][]int32 {
 // Empty reports whether the log contains no failures (the chip passed).
 func (l *Log) Empty() bool { return len(l.Fails) == 0 }
 
+// Sanitized returns the log with every fail whose pattern or observation
+// index lies outside [0,patterns) x [0,numObs) removed, plus the number of
+// fails dropped. Real parsed logs can reference patterns or channels the
+// diagnosis setup does not have (mismatched pattern sets, corrupt lines);
+// consumers that index simulation results by these values must sanitize
+// first. When nothing is out of range the receiver itself is returned.
+func (l *Log) Sanitized(patterns, numObs int) (*Log, int) {
+	bad := 0
+	for _, f := range l.Fails {
+		if f.Pattern < 0 || int(f.Pattern) >= patterns || f.Obs < 0 || int(f.Obs) >= numObs {
+			bad++
+		}
+	}
+	if bad == 0 {
+		return l, 0
+	}
+	out := &Log{Design: l.Design, Compacted: l.Compacted, Truncated: l.Truncated}
+	out.Fails = make([]scan.Failure, 0, len(l.Fails)-bad)
+	for _, f := range l.Fails {
+		if f.Pattern < 0 || int(f.Pattern) >= patterns || f.Obs < 0 || int(f.Obs) >= numObs {
+			continue
+		}
+		out.Fails = append(out.Fails, f)
+	}
+	return out, bad
+}
+
 // Write serializes the log in a simple line format:
 //
-//	FAILLOG <design> compacted=<bool>
+//	FAILLOG <design> compacted=<bool> [truncated=true]
 //	<pattern> <obs>
 //	...
+//
+// The truncated flag is only emitted when set, so untruncated logs are
+// byte-identical to the original two-flag format.
 func Write(w io.Writer, l *Log) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "FAILLOG %s compacted=%t\n", l.Design, l.Compacted)
+	fmt.Fprintf(bw, "FAILLOG %s compacted=%t", l.Design, l.Compacted)
+	if l.Truncated {
+		fmt.Fprintf(bw, " truncated=true")
+	}
+	fmt.Fprintln(bw)
 	for _, f := range l.Fails {
 		fmt.Fprintf(bw, "%d %d\n", f.Pattern, f.Obs)
 	}
 	return bw.Flush()
 }
 
-// Read parses the format produced by Write.
+// Read parses the format produced by Write. Old two-flag headers (without
+// the truncated flag) are accepted and read as Truncated=false.
 func Read(r io.Reader) (*Log, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
@@ -87,7 +122,7 @@ func Read(r io.Reader) (*Log, error) {
 		return nil, fmt.Errorf("failurelog: empty input")
 	}
 	header := strings.Fields(sc.Text())
-	if len(header) != 3 || header[0] != "FAILLOG" {
+	if len(header) < 3 || len(header) > 4 || header[0] != "FAILLOG" {
 		return nil, fmt.Errorf("failurelog: bad header %q", sc.Text())
 	}
 	l := &Log{Design: header[1]}
@@ -98,6 +133,16 @@ func Read(r io.Reader) (*Log, error) {
 		l.Compacted = false
 	default:
 		return nil, fmt.Errorf("failurelog: bad header flag %q", header[2])
+	}
+	if len(header) == 4 {
+		switch header[3] {
+		case "truncated=true":
+			l.Truncated = true
+		case "truncated=false":
+			l.Truncated = false
+		default:
+			return nil, fmt.Errorf("failurelog: bad header flag %q", header[3])
+		}
 	}
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())

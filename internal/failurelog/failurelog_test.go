@@ -86,3 +86,78 @@ func TestReadUncompactedFlag(t *testing.T) {
 		t.Fatalf("%+v", l)
 	}
 }
+
+func TestRoundTripTruncated(t *testing.T) {
+	l := sample()
+	l.Truncated = true
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Truncated {
+		t.Fatalf("Truncated lost across Write/Read: header %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	if got.Design != l.Design || got.Compacted != l.Compacted || len(got.Fails) != len(l.Fails) {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestWriteUntruncatedKeepsOldHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	if header := strings.SplitN(buf.String(), "\n", 2)[0]; header != "FAILLOG aes compacted=true" {
+		t.Fatalf("untruncated header changed: %q", header)
+	}
+}
+
+func TestReadOldAndNewHeaders(t *testing.T) {
+	for _, tc := range []struct {
+		src       string
+		truncated bool
+	}{
+		{"FAILLOG aes compacted=true\n1 2\n", false},
+		{"FAILLOG aes compacted=true truncated=false\n1 2\n", false},
+		{"FAILLOG aes compacted=true truncated=true\n1 2\n", true},
+	} {
+		l, err := Read(strings.NewReader(tc.src))
+		if err != nil {
+			t.Fatalf("%q: %v", tc.src, err)
+		}
+		if l.Truncated != tc.truncated {
+			t.Errorf("%q: Truncated=%v, want %v", tc.src, l.Truncated, tc.truncated)
+		}
+	}
+	if _, err := Read(strings.NewReader("FAILLOG aes compacted=true truncated=maybe\n")); err == nil {
+		t.Error("bad truncated flag should be rejected")
+	}
+	if _, err := Read(strings.NewReader("FAILLOG aes compacted=true truncated=true extra\n")); err == nil {
+		t.Error("five-field header should be rejected")
+	}
+}
+
+func TestSanitized(t *testing.T) {
+	l := &Log{Design: "aes", Truncated: true, Fails: []scan.Failure{
+		{Pattern: -1, Obs: 0},
+		{Pattern: 0, Obs: 3},
+		{Pattern: 2, Obs: 9},
+		{Pattern: 5, Obs: 0},
+		{Pattern: 3, Obs: -2},
+	}}
+	got, dropped := l.Sanitized(6, 8)
+	if dropped != 3 || len(got.Fails) != 2 {
+		t.Fatalf("dropped=%d fails=%v", dropped, got.Fails)
+	}
+	if !got.Truncated || got.Design != "aes" {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+	clean := sample()
+	if got, dropped := clean.Sanitized(10, 10); got != clean || dropped != 0 {
+		t.Fatalf("clean log should be returned as-is, got %+v dropped=%d", got, dropped)
+	}
+}

@@ -1,0 +1,195 @@
+package gnn
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CheckpointConfig enables periodic training checkpoints. A checkpoint
+// captures everything the epoch loop depends on — the model weights, the
+// Adam moment estimates, and the number of completed epochs — so a run
+// interrupted at any checkpoint boundary and resumed from the file
+// produces bitwise-identical final weights to an uninterrupted run (the
+// epoch-shuffle RNG is replayed deterministically from the seed).
+type CheckpointConfig struct {
+	// Path of the checkpoint file; "" disables checkpointing. If the file
+	// already exists when training starts, it is loaded and training
+	// resumes after the recorded epoch.
+	Path string
+	// Every is the number of epochs between checkpoints (default 1).
+	Every int
+}
+
+func (c CheckpointConfig) every() int {
+	if c.Every <= 0 {
+		return 1
+	}
+	return c.Every
+}
+
+// TrainStats reports what happened inside a Fit/FitNodes run when the
+// caller provides it via TrainConfig.Stats.
+type TrainStats struct {
+	// SkippedBatches counts mini-batches dropped by the finite-loss guard
+	// (NaN or Inf loss; no optimizer step was taken for them).
+	SkippedBatches int
+	// ResumedEpochs is the number of completed epochs restored from a
+	// checkpoint file (0 for a fresh run).
+	ResumedEpochs int
+}
+
+// checkpointJSON is the on-disk checkpoint: the serialized model plus the
+// optimizer state aligned, in order, with the model's trainable parameter
+// list.
+type checkpointJSON struct {
+	Epoch int             `json:"epoch"`
+	AdamT int             `json:"adam_t"`
+	MMat  [][]float64     `json:"m_mat"`
+	VMat  [][]float64     `json:"v_mat"`
+	MVec  [][]float64     `json:"m_vec"`
+	VVec  [][]float64     `json:"v_vec"`
+	Model json.RawMessage `json:"model"`
+}
+
+// saveCheckpoint writes the training state atomically (temp file + rename
+// in the destination directory), so an interruption mid-write can never
+// leave a half-written checkpoint behind.
+func saveCheckpoint(path string, m *Model, a *adam, epoch int) error {
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		return fmt.Errorf("gnn: checkpoint: %w", err)
+	}
+	ck := checkpointJSON{Epoch: epoch, AdamT: a.t, Model: buf.Bytes()}
+	for _, mm := range a.mMat {
+		ck.MMat = append(ck.MMat, mm.Data)
+	}
+	for _, vm := range a.vMat {
+		ck.VMat = append(ck.VMat, vm.Data)
+	}
+	ck.MVec, ck.VVec = a.mVec, a.vVec
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("gnn: checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("gnn: checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("gnn: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("gnn: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("gnn: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint restores training state from path into the model and the
+// optimizer. Returns ok=false (and no error) when the file does not exist.
+// A checkpoint whose shapes disagree with the model being trained is
+// rejected with a descriptive error.
+func loadCheckpoint(path string, m *Model, a *adam) (epoch int, ok bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("gnn: checkpoint: %w", err)
+	}
+	var ck checkpointJSON
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return 0, false, fmt.Errorf("gnn: checkpoint %s: %w", path, err)
+	}
+	if ck.Epoch < 0 {
+		return 0, false, fmt.Errorf("gnn: checkpoint %s: negative epoch %d", path, ck.Epoch)
+	}
+	cm, err := Load(bytes.NewReader(ck.Model))
+	if err != nil {
+		return 0, false, fmt.Errorf("gnn: checkpoint %s: %w", path, err)
+	}
+	if err := m.restoreFrom(cm); err != nil {
+		return 0, false, fmt.Errorf("gnn: checkpoint %s: %w", path, err)
+	}
+	if err := a.restore(ck); err != nil {
+		return 0, false, fmt.Errorf("gnn: checkpoint %s: %w", path, err)
+	}
+	return ck.Epoch, true, nil
+}
+
+// restoreFrom copies a loaded checkpoint model's weights and scaler into
+// the receiver, validating that the architectures match.
+func (m *Model) restoreFrom(cm *Model) error {
+	if cm.Head != m.Head {
+		return fmt.Errorf("head %q does not match model %q", cm.Head, m.Head)
+	}
+	if len(cm.Layers) != len(m.Layers) {
+		return fmt.Errorf("%d layers does not match model's %d", len(cm.Layers), len(m.Layers))
+	}
+	for i, l := range m.Layers {
+		cl := cm.Layers[i]
+		if cl.W.Rows != l.W.Rows || cl.W.Cols != l.W.Cols {
+			return fmt.Errorf("layer %d shape %dx%d does not match model's %dx%d",
+				i, cl.W.Rows, cl.W.Cols, l.W.Rows, l.W.Cols)
+		}
+	}
+	if cm.Out.W.Rows != m.Out.W.Rows || cm.Out.W.Cols != m.Out.W.Cols {
+		return fmt.Errorf("output shape %dx%d does not match model's %dx%d",
+			cm.Out.W.Rows, cm.Out.W.Cols, m.Out.W.Rows, m.Out.W.Cols)
+	}
+	for i, l := range m.Layers {
+		copy(l.W.Data, cm.Layers[i].W.Data)
+		copy(l.B, cm.Layers[i].B)
+	}
+	copy(m.Out.W.Data, cm.Out.W.Data)
+	copy(m.Out.B, cm.Out.B)
+	m.Scale = cm.Scale
+	return nil
+}
+
+// restore loads serialized Adam state, validating it against the
+// optimizer's (model-derived) parameter layout.
+func (a *adam) restore(ck checkpointJSON) error {
+	if ck.AdamT < 0 {
+		return fmt.Errorf("negative adam step %d", ck.AdamT)
+	}
+	if len(ck.MMat) != len(a.mMat) || len(ck.VMat) != len(a.vMat) {
+		return fmt.Errorf("adam matrix-state count %d/%d does not match %d trainable matrices",
+			len(ck.MMat), len(ck.VMat), len(a.mMat))
+	}
+	if len(ck.MVec) != len(a.mVec) || len(ck.VVec) != len(a.vVec) {
+		return fmt.Errorf("adam vector-state count %d/%d does not match %d trainable vectors",
+			len(ck.MVec), len(ck.VVec), len(a.mVec))
+	}
+	for i, mm := range a.mMat {
+		if len(ck.MMat[i]) != len(mm.Data) || len(ck.VMat[i]) != len(mm.Data) {
+			return fmt.Errorf("adam matrix %d length %d does not match parameter size %d",
+				i, len(ck.MMat[i]), len(mm.Data))
+		}
+	}
+	for i, mv := range a.mVec {
+		if len(ck.MVec[i]) != len(mv) || len(ck.VVec[i]) != len(mv) {
+			return fmt.Errorf("adam vector %d length %d does not match parameter size %d",
+				i, len(ck.MVec[i]), len(mv))
+		}
+	}
+	a.t = ck.AdamT
+	for i := range a.mMat {
+		copy(a.mMat[i].Data, ck.MMat[i])
+		copy(a.vMat[i].Data, ck.VMat[i])
+	}
+	for i := range a.mVec {
+		copy(a.mVec[i], ck.MVec[i])
+		copy(a.vVec[i], ck.VVec[i])
+	}
+	return nil
+}

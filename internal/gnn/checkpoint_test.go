@@ -1,0 +1,194 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/hgraph"
+)
+
+func newTestModel(seed int64) *Model {
+	return NewModel(Config{Head: GraphHead, Input: hgraph.FeatureDim, Hidden: []int{8, 8}, Output: 2, Seed: seed})
+}
+
+// TestFitCheckpointResumeBitwise interrupts training at a checkpoint
+// boundary and resumes from the file; the final weights must be
+// bitwise-identical to an uninterrupted run of the full epoch budget.
+func TestFitCheckpointResumeBitwise(t *testing.T) {
+	train := makeDataset(70, 40)
+	ckpt := filepath.Join(t.TempDir(), "fit.ckpt")
+	cfg := func(epochs int) TrainConfig {
+		return TrainConfig{Epochs: epochs, Seed: 21, FitScaler: true, Checkpoint: CheckpointConfig{Path: ckpt}}
+	}
+
+	// Reference: 6 epochs straight through, no checkpointing.
+	ref := newTestModel(20)
+	if _, err := ref.Fit(train, TrainConfig{Epochs: 6, Seed: 21, FitScaler: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted: 3 epochs, then a fresh same-seed model resumes to 6.
+	first := newTestModel(20)
+	if _, err := first.Fit(train, cfg(3)); err != nil {
+		t.Fatal(err)
+	}
+	resumed := newTestModel(20)
+	var stats TrainStats
+	c := cfg(6)
+	c.Stats = &stats
+	if _, err := resumed.Fit(train, c); err != nil {
+		t.Fatal(err)
+	}
+	if stats.ResumedEpochs != 3 {
+		t.Fatalf("ResumedEpochs = %d, want 3", stats.ResumedEpochs)
+	}
+	if !weightsEqual(ref, resumed) {
+		t.Fatal("resumed weights differ from uninterrupted run")
+	}
+}
+
+// TestFitNodesCheckpointResumeBitwise is the node-head counterpart.
+func TestFitNodesCheckpointResumeBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	var samples []NodeSample
+	for i := 0; i < 30; i++ {
+		sg := syntheticGraph(rng, i%2)
+		var idx []int32
+		var labels []int
+		for v := 0; v < sg.NumNodes(); v += 2 {
+			idx = append(idx, int32(v))
+			labels = append(labels, i%2)
+		}
+		samples = append(samples, NodeSample{SG: sg, NodeIdx: idx, Labels: labels})
+	}
+	newNode := func() *Model {
+		return NewModel(Config{Head: NodeHead, Input: hgraph.FeatureDim, Hidden: []int{8}, Output: 2, Seed: 22})
+	}
+	ckpt := filepath.Join(t.TempDir(), "fitnodes.ckpt")
+
+	ref := newNode()
+	if _, err := ref.FitNodes(samples, TrainConfig{Epochs: 5, Seed: 23, FitScaler: true}); err != nil {
+		t.Fatal(err)
+	}
+	first := newNode()
+	if _, err := first.FitNodes(samples, TrainConfig{Epochs: 2, Seed: 23, FitScaler: true,
+		Checkpoint: CheckpointConfig{Path: ckpt}}); err != nil {
+		t.Fatal(err)
+	}
+	resumed := newNode()
+	if _, err := resumed.FitNodes(samples, TrainConfig{Epochs: 5, Seed: 23, FitScaler: true,
+		Checkpoint: CheckpointConfig{Path: ckpt}}); err != nil {
+		t.Fatal(err)
+	}
+	if !weightsEqual(ref, resumed) {
+		t.Fatal("resumed node-head weights differ from uninterrupted run")
+	}
+}
+
+// TestCheckpointEveryInterval checks that only every Nth epoch (plus the
+// final one) writes a file, by pointing Every=2 at a 3-epoch run and
+// resuming: the checkpoint after epoch 2 is the resume point.
+func TestCheckpointEveryInterval(t *testing.T) {
+	train := makeDataset(75, 30)
+	ckpt := filepath.Join(t.TempDir(), "every.ckpt")
+	m := newTestModel(24)
+	var stats TrainStats
+	if _, err := m.Fit(train, TrainConfig{Epochs: 3, Seed: 25, FitScaler: true, Stats: &stats,
+		Checkpoint: CheckpointConfig{Path: ckpt, Every: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	// The final epoch always checkpoints: resuming with the same budget is
+	// a no-op that reports all epochs complete.
+	resumed := newTestModel(24)
+	var rstats TrainStats
+	if _, err := resumed.Fit(train, TrainConfig{Epochs: 3, Seed: 25, FitScaler: true, Stats: &rstats,
+		Checkpoint: CheckpointConfig{Path: ckpt, Every: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if rstats.ResumedEpochs != 3 {
+		t.Fatalf("ResumedEpochs = %d, want 3 (final epoch must checkpoint)", rstats.ResumedEpochs)
+	}
+	if !weightsEqual(m, resumed) {
+		t.Fatal("no-op resume changed the weights")
+	}
+}
+
+// TestCheckpointRejectsCorruptFile verifies that a mangled checkpoint is
+// reported as an error rather than silently training from garbage.
+func TestCheckpointRejectsCorruptFile(t *testing.T) {
+	train := makeDataset(80, 20)
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"garbage.ckpt":  "not json at all",
+		"badmodel.ckpt": `{"epoch":1,"adam_t":1,"m_mat":[],"v_mat":[],"m_vec":[],"v_vec":[],"model":{"head":"nope","layers":[],"out":{"rows":1,"cols":1,"w":[0],"b":[0]}}}`,
+		"negepoch.ckpt": `{"epoch":-1,"adam_t":0,"model":{}}`,
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m := newTestModel(26)
+		if _, err := m.Fit(train, TrainConfig{Epochs: 2, Seed: 27, FitScaler: true,
+			Checkpoint: CheckpointConfig{Path: path}}); err == nil {
+			t.Errorf("%s: corrupt checkpoint accepted", name)
+		}
+	}
+}
+
+// TestCheckpointRejectsArchitectureMismatch trains one architecture,
+// checkpoints it, and tries to resume a different one.
+func TestCheckpointRejectsArchitectureMismatch(t *testing.T) {
+	train := makeDataset(85, 20)
+	ckpt := filepath.Join(t.TempDir(), "arch.ckpt")
+	m := newTestModel(28)
+	if _, err := m.Fit(train, TrainConfig{Epochs: 1, Seed: 29, FitScaler: true,
+		Checkpoint: CheckpointConfig{Path: ckpt}}); err != nil {
+		t.Fatal(err)
+	}
+	other := NewModel(Config{Head: GraphHead, Input: hgraph.FeatureDim, Hidden: []int{4}, Output: 2, Seed: 28})
+	if _, err := other.Fit(train, TrainConfig{Epochs: 2, Seed: 29, FitScaler: true,
+		Checkpoint: CheckpointConfig{Path: ckpt}}); err == nil {
+		t.Fatal("checkpoint for a different architecture accepted")
+	}
+}
+
+// TestFitSkipsNonFiniteBatches poisons one sample's features with NaN and
+// checks the finite-loss guard drops its batches while the weights stay
+// finite and the skip counter advances.
+func TestFitSkipsNonFiniteBatches(t *testing.T) {
+	train := makeDataset(95, 24)
+	bad := train[5].SG.X.Row(0)
+	for j := range bad {
+		bad[j] = math.NaN()
+	}
+	m := newTestModel(30)
+	// Identity scaler: only the poisoned sample's batches go non-finite,
+	// everything else still trains.
+	ident := &Scaler{Mean: make([]float64, hgraph.FeatureDim), Std: make([]float64, hgraph.FeatureDim)}
+	for j := range ident.Std {
+		ident.Std[j] = 1
+	}
+	m.Scale = ident
+	var stats TrainStats
+	if _, err := m.Fit(train, TrainConfig{Epochs: 3, Seed: 31, FitScaler: false, Stats: &stats}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.SkippedBatches == 0 {
+		t.Fatal("NaN batch was not skipped")
+	}
+	for _, l := range m.Layers {
+		for _, w := range l.W.Data {
+			if !finite(w) {
+				t.Fatal("non-finite weight survived the guard")
+			}
+		}
+	}
+	for _, w := range m.Out.W.Data {
+		if !finite(w) {
+			t.Fatal("non-finite output weight survived the guard")
+		}
+	}
+}

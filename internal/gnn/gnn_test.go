@@ -239,7 +239,10 @@ func TestFitWorkerEquivalence(t *testing.T) {
 	train := makeDataset(70, 50)
 	newTrained := func(workers int) (*Model, float64) {
 		m := NewModel(Config{Head: GraphHead, Input: hgraph.FeatureDim, Hidden: []int{8, 8}, Output: 2, Seed: 13})
-		loss := m.Fit(train, TrainConfig{Epochs: 4, Seed: 14, FitScaler: true, Workers: workers})
+		loss, err := m.Fit(train, TrainConfig{Epochs: 4, Seed: 14, FitScaler: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
 		return m, loss
 	}
 	ref, refLoss := newTrained(1)
@@ -270,7 +273,10 @@ func TestFitNodesWorkerEquivalence(t *testing.T) {
 	}
 	newTrained := func(workers int) (*Model, float64) {
 		m := NewModel(Config{Head: NodeHead, Input: hgraph.FeatureDim, Hidden: []int{8}, Output: 2, Seed: 15})
-		loss := m.FitNodes(samples, TrainConfig{Epochs: 4, Seed: 16, FitScaler: true, Workers: workers})
+		loss, err := m.FitNodes(samples, TrainConfig{Epochs: 4, Seed: 16, FitScaler: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
 		return m, loss
 	}
 	ref, refLoss := newTrained(1)

@@ -53,7 +53,7 @@ func (t *TierPredictor) PredictTier(sg *hgraph.Subgraph) (tier int, confidence f
 }
 
 // Train fits the Tier-predictor; the sample label is the tier index.
-func (t *TierPredictor) Train(samples []GraphSample, cfg TrainConfig) float64 {
+func (t *TierPredictor) Train(samples []GraphSample, cfg TrainConfig) (float64, error) {
 	return t.Model.Fit(samples, cfg)
 }
 
@@ -110,7 +110,7 @@ func (m *MIVPinpointer) PredictFaultyMIVs(sg *hgraph.Subgraph) []int {
 // Train fits the pinpointer on node samples whose NodeIdx are MIV-node
 // local indices with label 1 for the defective MIV. Positive nodes are
 // up-weighted by the observed class imbalance.
-func (m *MIVPinpointer) Train(samples []NodeSample, cfg TrainConfig) float64 {
+func (m *MIVPinpointer) Train(samples []NodeSample, cfg TrainConfig) (float64, error) {
 	pos, neg := 0, 0
 	for _, s := range samples {
 		for _, l := range s.Labels {
@@ -173,7 +173,7 @@ func (c *Classifier) PredictPrune(sg *hgraph.Subgraph) float64 {
 }
 
 // Train fits the classification head (hidden layers stay frozen).
-func (c *Classifier) Train(samples []GraphSample, cfg TrainConfig) float64 {
+func (c *Classifier) Train(samples []GraphSample, cfg TrainConfig) (float64, error) {
 	// The scaler is inherited from the pretrained model; never refit.
 	cfg.FitScaler = false
 	return c.Model.Fit(samples, cfg)

@@ -38,24 +38,76 @@ func Save(w io.Writer, m *Model) error {
 	return enc.Encode(mj)
 }
 
-// Load reads a model previously written by Save.
+// validate rejects structurally corrupt serialized models before any
+// matrix is materialized, so truncated or hand-mangled files produce a
+// descriptive error instead of a panic or a silently broken model.
+func (mj *modelJSON) validate() error {
+	switch mj.Head {
+	case GraphHead, NodeHead:
+	default:
+		return fmt.Errorf("unknown head kind %q", mj.Head)
+	}
+	if mj.FrozenLayers < 0 || mj.FrozenLayers > len(mj.Layers) {
+		return fmt.Errorf("frozen_layers %d out of range for %d layers", mj.FrozenLayers, len(mj.Layers))
+	}
+	width := -1 // unknown until the first layer pins it
+	for i, lj := range mj.Layers {
+		if err := lj.validate(); err != nil {
+			return fmt.Errorf("layer %d: %w", i, err)
+		}
+		if width >= 0 && lj.Rows != width {
+			return fmt.Errorf("layer %d: input width %d does not match previous layer output %d", i, lj.Rows, width)
+		}
+		width = lj.Cols
+	}
+	if err := mj.Out.validate(); err != nil {
+		return fmt.Errorf("output layer: %w", err)
+	}
+	if width >= 0 && mj.Out.Rows != width {
+		return fmt.Errorf("output layer: input width %d does not match last hidden width %d", mj.Out.Rows, width)
+	}
+	if s := mj.Scale; s != nil {
+		if len(s.Mean) != len(s.Std) {
+			return fmt.Errorf("scaler: %d means vs %d stds", len(s.Mean), len(s.Std))
+		}
+		if len(mj.Layers) > 0 && len(s.Mean) != mj.Layers[0].Rows {
+			return fmt.Errorf("scaler width %d does not match input width %d", len(s.Mean), mj.Layers[0].Rows)
+		}
+	}
+	return nil
+}
+
+func (lj *layerJSON) validate() error {
+	if lj.Rows <= 0 || lj.Cols <= 0 {
+		return fmt.Errorf("non-positive shape %dx%d", lj.Rows, lj.Cols)
+	}
+	if len(lj.W) != lj.Rows*lj.Cols {
+		return fmt.Errorf("weight length %d does not match shape %dx%d", len(lj.W), lj.Rows, lj.Cols)
+	}
+	if len(lj.B) != lj.Cols {
+		return fmt.Errorf("bias length %d does not match %d columns", len(lj.B), lj.Cols)
+	}
+	return nil
+}
+
+// Load reads a model previously written by Save. Corrupted or truncated
+// input — bad JSON, negative or inconsistent shapes, weight vectors that
+// do not match their declared dimensions — is rejected with a descriptive
+// error; Load never panics on malformed data.
 func Load(r io.Reader) (*Model, error) {
 	var mj modelJSON
 	if err := json.NewDecoder(r).Decode(&mj); err != nil {
 		return nil, fmt.Errorf("gnn: load: %w", err)
 	}
+	if err := mj.validate(); err != nil {
+		return nil, fmt.Errorf("gnn: load: %w", err)
+	}
 	m := &Model{Head: mj.Head, FrozenLayers: mj.FrozenLayers, Scale: mj.Scale}
 	for _, lj := range mj.Layers {
 		l := &GCNLayer{W: &mat.Matrix{Rows: lj.Rows, Cols: lj.Cols, Data: lj.W}, B: lj.B, ReLU: lj.ReLU}
-		if len(l.W.Data) != lj.Rows*lj.Cols || len(l.B) != lj.Cols {
-			return nil, fmt.Errorf("gnn: load: inconsistent layer shape %dx%d", lj.Rows, lj.Cols)
-		}
 		l.gradW = mat.New(lj.Rows, lj.Cols)
 		l.gradB = make([]float64, lj.Cols)
 		m.Layers = append(m.Layers, l)
-	}
-	if mj.Out.Rows*mj.Out.Cols != len(mj.Out.W) || len(mj.Out.B) != mj.Out.Cols {
-		return nil, fmt.Errorf("gnn: load: inconsistent output shape")
 	}
 	m.Out = &Dense{W: &mat.Matrix{Rows: mj.Out.Rows, Cols: mj.Out.Cols, Data: mj.Out.W}, B: mj.Out.B}
 	m.Out.gradW = mat.New(mj.Out.Rows, mj.Out.Cols)

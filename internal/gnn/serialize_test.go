@@ -1,0 +1,49 @@
+package gnn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestLoadRejectsMangledInput feeds Load a catalog of corrupted serialized
+// models; every one must produce a descriptive error, never a panic or a
+// silently broken model.
+func TestLoadRejectsMangledInput(t *testing.T) {
+	valid := func() string {
+		train := makeDataset(40, 20)
+		tp := NewTierPredictor(7)
+		if _, err := tp.Train(train, TrainConfig{Epochs: 2, Seed: 8, FitScaler: true}); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, tp.Model); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}()
+	if _, err := Load(strings.NewReader(valid)); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+
+	cases := map[string]string{
+		"empty":           "",
+		"not json":        "xxxx{",
+		"truncated json":  valid[:len(valid)/2],
+		"unknown head":    `{"head":"conv","layers":[],"out":{"rows":1,"cols":1,"w":[0],"b":[0]}}`,
+		"zero rows":       `{"head":"graph","layers":[{"rows":0,"cols":2,"w":[],"b":[0,0]}],"out":{"rows":2,"cols":2,"w":[0,0,0,0],"b":[0,0]}}`,
+		"negative cols":   `{"head":"graph","layers":[{"rows":2,"cols":-1,"w":[],"b":[]}],"out":{"rows":2,"cols":2,"w":[0,0,0,0],"b":[0,0]}}`,
+		"short weights":   `{"head":"graph","layers":[{"rows":2,"cols":2,"w":[1,2,3],"b":[0,0]}],"out":{"rows":2,"cols":2,"w":[0,0,0,0],"b":[0,0]}}`,
+		"short bias":      `{"head":"graph","layers":[{"rows":2,"cols":2,"w":[1,2,3,4],"b":[0]}],"out":{"rows":2,"cols":2,"w":[0,0,0,0],"b":[0,0]}}`,
+		"broken chaining": `{"head":"graph","layers":[{"rows":2,"cols":3,"w":[0,0,0,0,0,0],"b":[0,0,0]},{"rows":2,"cols":2,"w":[0,0,0,0],"b":[0,0]}],"out":{"rows":2,"cols":2,"w":[0,0,0,0],"b":[0,0]}}`,
+		"out mismatch":    `{"head":"graph","layers":[{"rows":2,"cols":3,"w":[0,0,0,0,0,0],"b":[0,0,0]}],"out":{"rows":2,"cols":2,"w":[0,0,0,0],"b":[0,0]}}`,
+		"bad frozen":      `{"head":"graph","frozen_layers":5,"layers":[{"rows":2,"cols":2,"w":[0,0,0,0],"b":[0,0]}],"out":{"rows":2,"cols":2,"w":[0,0,0,0],"b":[0,0]}}`,
+		"scaler length":   `{"head":"graph","scale":{"Mean":[0,0],"Std":[1]},"layers":[{"rows":2,"cols":2,"w":[0,0,0,0],"b":[0,0]}],"out":{"rows":2,"cols":2,"w":[0,0,0,0],"b":[0,0]}}`,
+		"scaler width":    `{"head":"graph","scale":{"Mean":[0],"Std":[1]},"layers":[{"rows":2,"cols":2,"w":[0,0,0,0],"b":[0,0]}],"out":{"rows":2,"cols":2,"w":[0,0,0,0],"b":[0,0]}}`,
+	}
+	for name, src := range cases {
+		if _, err := Load(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: corrupted model accepted", name)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package gnn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -39,6 +40,12 @@ type TrainConfig struct {
 	// optimizer step, so the trained weights are bitwise-identical for
 	// every worker count.
 	Workers int
+	// Checkpoint enables periodic checkpoint files and resume (see
+	// CheckpointConfig). The zero value disables checkpointing.
+	Checkpoint CheckpointConfig
+	// Stats, when non-nil, receives counters from the run: batches skipped
+	// by the finite-loss guard and epochs restored from a checkpoint.
+	Stats *TrainStats
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -113,6 +120,47 @@ func (m *Model) trainSlots(cfg TrainConfig) (workers int, slots []*Model, losses
 	return workers, slots, make([]float64, cfg.Batch)
 }
 
+// finite reports whether x is a usable loss value.
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// resume restores checkpointed training state when cfg.Checkpoint names an
+// existing file, and replays the epoch-shuffle RNG so the remaining epochs
+// draw exactly the permutations an uninterrupted run would have drawn.
+// Returns the epoch to continue from.
+func (m *Model) resume(cfg TrainConfig, opt *adam, rng *rand.Rand, nSamples int) (int, error) {
+	if cfg.Checkpoint.Path == "" {
+		return 0, nil
+	}
+	epoch, ok, err := loadCheckpoint(cfg.Checkpoint.Path, m, opt)
+	if err != nil || !ok {
+		return 0, err
+	}
+	if epoch > cfg.Epochs {
+		epoch = cfg.Epochs
+	}
+	for i := 0; i < epoch; i++ {
+		rng.Perm(nSamples)
+	}
+	if cfg.Stats != nil {
+		cfg.Stats.ResumedEpochs = epoch
+	}
+	return epoch, nil
+}
+
+// maybeCheckpoint writes a checkpoint after the (0-based) epoch completes,
+// honoring the configured interval. The final epoch always checkpoints so
+// a finished run can be inspected or extended.
+func (m *Model) maybeCheckpoint(cfg TrainConfig, opt *adam, epoch int) error {
+	if cfg.Checkpoint.Path == "" {
+		return nil
+	}
+	done := epoch + 1
+	if done%cfg.Checkpoint.every() != 0 && done != cfg.Epochs {
+		return nil
+	}
+	return saveCheckpoint(cfg.Checkpoint.Path, m, opt, done)
+}
+
 // Fit trains a graph-head model with softmax cross-entropy. It returns the
 // mean training loss of the final epoch.
 //
@@ -122,7 +170,12 @@ func (m *Model) trainSlots(cfg TrainConfig) (workers int, slots []*Model, losses
 // order is fixed by the shuffled sample order — never by goroutine
 // scheduling — the trained weights are bitwise-identical for every
 // cfg.Workers value.
-func (m *Model) Fit(samples []GraphSample, cfg TrainConfig) float64 {
+//
+// A finite-loss guard drops any mini-batch whose loss is NaN or Inf
+// (degenerate subgraphs, poisoned features): no optimizer step is taken
+// for it and cfg.Stats.SkippedBatches is incremented, so one bad sample
+// cannot destroy the weights.
+func (m *Model) Fit(samples []GraphSample, cfg TrainConfig) (float64, error) {
 	cfg = cfg.withDefaults()
 	if cfg.FitScaler || m.Scale == nil {
 		xs := make([]*mat.Matrix, 0, len(samples))
@@ -134,9 +187,13 @@ func (m *Model) Fit(samples []GraphSample, cfg TrainConfig) float64 {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ps, gs, vs, gvs := m.params()
 	opt := newAdam(cfg.LR, ps, vs)
+	startEpoch, err := m.resume(cfg, opt, rng, len(samples))
+	if err != nil {
+		return 0, fmt.Errorf("gnn: fit: %w", err)
+	}
 	workers, slots, losses := m.trainSlots(cfg)
 	lastLoss := 0.0
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		perm := rng.Perm(len(samples))
 		// Drop untrainable samples up front so batch boundaries are fixed
 		// before the parallel fan-out.
@@ -166,24 +223,37 @@ func (m *Model) Fit(samples []GraphSample, cfg TrainConfig) float64 {
 				losses[k] = loss
 				r.backwardGraph(adj, s.SG.NumNodes(), dLogits)
 			})
+			batchLoss := 0.0
+			for k := 0; k < n; k++ {
+				batchLoss += losses[k]
+			}
+			if !finite(batchLoss) {
+				if cfg.Stats != nil {
+					cfg.Stats.SkippedBatches++
+				}
+				continue
+			}
 			for k := 0; k < n; k++ {
 				m.addGradsFrom(slots[k])
-				total += losses[k]
 			}
+			total += batchLoss
 			opt.step(ps, gs, vs, gvs, 1/float64(n))
 			m.zeroGrads()
 		}
 		if len(kept) > 0 {
 			lastLoss = total / float64(len(kept))
 		}
+		if err := m.maybeCheckpoint(cfg, opt, epoch); err != nil {
+			return lastLoss, fmt.Errorf("gnn: fit: %w", err)
+		}
 	}
-	return lastLoss
+	return lastLoss, nil
 }
 
 // FitNodes trains a node-head model on per-node labels. It parallelizes
-// mini-batches the same way as Fit and gives the same bitwise determinism
-// guarantee for every cfg.Workers value.
-func (m *Model) FitNodes(samples []NodeSample, cfg TrainConfig) float64 {
+// mini-batches the same way as Fit and gives the same bitwise determinism,
+// finite-loss guard, and checkpoint/resume guarantees.
+func (m *Model) FitNodes(samples []NodeSample, cfg TrainConfig) (float64, error) {
 	cfg = cfg.withDefaults()
 	if cfg.FitScaler || m.Scale == nil {
 		xs := make([]*mat.Matrix, 0, len(samples))
@@ -195,9 +265,13 @@ func (m *Model) FitNodes(samples []NodeSample, cfg TrainConfig) float64 {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ps, gs, vs, gvs := m.params()
 	opt := newAdam(cfg.LR, ps, vs)
+	startEpoch, err := m.resume(cfg, opt, rng, len(samples))
+	if err != nil {
+		return 0, fmt.Errorf("gnn: fitnodes: %w", err)
+	}
 	workers, slots, losses := m.trainSlots(cfg)
 	lastLoss := 0.0
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		perm := rng.Perm(len(samples))
 		kept := perm[:0]
 		for _, si := range perm {
@@ -234,17 +308,30 @@ func (m *Model) FitNodes(samples []NodeSample, cfg TrainConfig) float64 {
 				losses[k] = loss
 				r.backwardStack(adj, dh)
 			})
+			batchLoss := 0.0
+			for k := 0; k < n; k++ {
+				batchLoss += losses[k]
+			}
+			if !finite(batchLoss) {
+				if cfg.Stats != nil {
+					cfg.Stats.SkippedBatches++
+				}
+				continue
+			}
 			for k := 0; k < n; k++ {
 				m.addGradsFrom(slots[k])
-				total += losses[k]
 				count += len(samples[kept[start+k]].NodeIdx)
 			}
+			total += batchLoss
 			opt.step(ps, gs, vs, gvs, 1/float64(n))
 			m.zeroGrads()
 		}
 		if count > 0 {
 			lastLoss = total / float64(count)
 		}
+		if err := m.maybeCheckpoint(cfg, opt, epoch); err != nil {
+			return lastLoss, fmt.Errorf("gnn: fitnodes: %w", err)
+		}
 	}
-	return lastLoss
+	return lastLoss, nil
 }

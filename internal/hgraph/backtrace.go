@@ -38,6 +38,10 @@ func (s *Subgraph) NumNodes() int { return len(s.Nodes) }
 // aliasing), the threshold relaxes progressively — the subgraph must never
 // be empty for a failing chip.
 func (g *Graph) Backtrace(log *failurelog.Log, res *sim.Result) *Subgraph {
+	// Fails outside the simulated pattern set or the observation space
+	// (mismatched or noisy tester logs) cannot be back-traced; drop them
+	// rather than index out of range.
+	log, _ = log.Sanitized(res.N, g.arch.NumObs(log.Compacted))
 	if log.Empty() {
 		return &Subgraph{X: mat.New(0, FeatureDim)}
 	}

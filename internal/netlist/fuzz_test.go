@@ -1,0 +1,28 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadVerilog checks the structural-Verilog parser never panics on
+// arbitrary input and that anything it accepts can be re-serialized.
+func FuzzReadVerilog(f *testing.F) {
+	f.Add("module top (a, y);\n  input a;\n  output y;\n  wire n1;\n  buf n1 (n1, a);\n  assign y = n1;\nendmodule\n")
+	f.Add("module top ();\nendmodule\n")
+	f.Add("module m (a);\n  input a;\n  (* tier=1 *) (* miv *) buf b1 (b1, a);\nendmodule\n")
+	f.Add("not a module")
+	f.Add("module top (a, y;\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := ReadVerilog(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteVerilog(&buf, n); err != nil {
+			t.Fatalf("WriteVerilog after successful ReadVerilog: %v", err)
+		}
+	})
+}

@@ -1,0 +1,155 @@
+// Package noise models tester imperfections: the ways a real ATE failure
+// log deviates from the ideal simulated one. Production fail memories
+// truncate logs, marginal (small-slack) delay faults fail intermittently,
+// and noisy channels drop or inject fail bits. A Model perturbs failure
+// logs between simulation and diagnosis so the rest of the pipeline can be
+// hardened — and measured — against degraded tester data.
+//
+// Determinism contract: a perturbation is a pure function of
+// (Model, index, log). The RNG stream is derived from (Seed, index) with
+// the same splitmix64 derivation the dataset generator uses, so noisy
+// sample generation stays bitwise-identical for every worker count. A
+// Model at level 0 (the zero knobs) is the exact identity: Apply returns
+// the input log untouched.
+package noise
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/failurelog"
+	"repro/internal/par"
+	"repro/internal/scan"
+)
+
+// Model is a composable, seeded tester-imperfection model. The zero value
+// (and any model with all knobs zero) is the identity.
+type Model struct {
+	// Seed drives every perturbation draw; independent of the dataset seed.
+	Seed int64
+	// Level records the severity this model was derived from (ModelAt);
+	// informational only — the knobs below define the behavior.
+	Level float64
+
+	// DropProb drops each recorded fail bit independently with this
+	// probability, modeling intermittent/marginal delay faults that fail on
+	// some tester passes and not others.
+	DropProb float64
+	// SpuriousRate injects roughly SpuriousRate*len(Fails) spurious fail
+	// bits at uniformly random in-range (pattern, observation) positions,
+	// modeling channel glitches and compactor upsets.
+	SpuriousRate float64
+	// WindowFrac, when in (0,1), truncates the pattern window: fails at
+	// patterns >= WindowFrac*patterns are discarded and the log is marked
+	// Truncated, modeling a test aborted partway through the pattern set.
+	WindowFrac float64
+	// MaxFails, when > 0, caps the total recorded fails and marks the log
+	// Truncated when the cap bites (fail-memory truncation).
+	MaxFails int
+}
+
+// ModelAt derives a model from a single severity knob in [0,1]. Level 0 is
+// the exact identity; level 1 is the harshest tester: a third of the fail
+// bits dropped, a quarter as many spurious bits injected, the pattern
+// window cut roughly in half, and a 16-entry fail memory.
+func ModelAt(level float64, seed int64) *Model {
+	if level <= 0 {
+		return &Model{Seed: seed}
+	}
+	if level > 1 {
+		level = 1
+	}
+	return &Model{
+		Seed:         seed,
+		Level:        level,
+		DropProb:     0.35 * level,
+		SpuriousRate: 0.25 * level,
+		WindowFrac:   1 - 0.45*level,
+		MaxFails:     16 + int((1-level)*240),
+	}
+}
+
+// IsIdentity reports whether Apply is guaranteed to return its input
+// unchanged.
+func (m *Model) IsIdentity() bool {
+	return m == nil ||
+		(m.DropProb == 0 && m.SpuriousRate == 0 && m.WindowFrac == 0 && m.MaxFails == 0)
+}
+
+// Apply perturbs one failure log. index selects the RNG stream (use the
+// sample/attempt index so parallel generation stays deterministic);
+// patterns and numObs bound spurious injection to valid tester coordinates.
+// The input log is never mutated; identity models return it as-is.
+func (m *Model) Apply(log *failurelog.Log, index uint64, patterns, numObs int) *failurelog.Log {
+	if m.IsIdentity() {
+		return log
+	}
+	rng := rand.New(rand.NewSource(par.SeedFor(m.Seed, index)))
+	out := &failurelog.Log{
+		Design:    log.Design,
+		Compacted: log.Compacted,
+		Truncated: log.Truncated,
+		Fails:     make([]scan.Failure, 0, len(log.Fails)),
+	}
+
+	// 1. Intermittent faults: drop each bit independently. One rng draw per
+	// input bit keeps the stream layout fixed regardless of outcomes.
+	for _, f := range log.Fails {
+		if m.DropProb > 0 && rng.Float64() < m.DropProb {
+			continue
+		}
+		out.Fails = append(out.Fails, f)
+	}
+
+	// 2. Spurious fails: inject extra bits at random valid coordinates,
+	// skipping positions already failing.
+	if m.SpuriousRate > 0 && patterns > 0 && numObs > 0 {
+		want := m.SpuriousRate * float64(len(log.Fails))
+		n := int(want)
+		if rng.Float64() < want-float64(n) {
+			n++
+		}
+		seen := make(map[scan.Failure]bool, len(out.Fails)+n)
+		for _, f := range out.Fails {
+			seen[f] = true
+		}
+		for i := 0; i < n; i++ {
+			f := scan.Failure{Pattern: int32(rng.Intn(patterns)), Obs: int32(rng.Intn(numObs))}
+			if seen[f] {
+				continue // collision: the bit already fails, nothing to add
+			}
+			seen[f] = true
+			out.Fails = append(out.Fails, f)
+		}
+		sort.Slice(out.Fails, func(i, j int) bool {
+			if out.Fails[i].Pattern != out.Fails[j].Pattern {
+				return out.Fails[i].Pattern < out.Fails[j].Pattern
+			}
+			return out.Fails[i].Obs < out.Fails[j].Obs
+		})
+	}
+
+	// 3. Pattern-window truncation: the test aborted before applying the
+	// whole pattern set.
+	if m.WindowFrac > 0 && m.WindowFrac < 1 && patterns > 0 {
+		horizon := int32(m.WindowFrac * float64(patterns))
+		kept := out.Fails[:0]
+		for _, f := range out.Fails {
+			if f.Pattern < horizon {
+				kept = append(kept, f)
+			}
+		}
+		if len(kept) < len(out.Fails) {
+			out.Truncated = true
+		}
+		out.Fails = kept
+	}
+
+	// 4. Fail-memory truncation: the tester stops recording after MaxFails
+	// bits.
+	if m.MaxFails > 0 && len(out.Fails) > m.MaxFails {
+		out.Fails = out.Fails[:m.MaxFails]
+		out.Truncated = true
+	}
+	return out
+}

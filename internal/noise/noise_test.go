@@ -1,0 +1,131 @@
+package noise
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/failurelog"
+	"repro/internal/scan"
+)
+
+func sampleLog(n int) *failurelog.Log {
+	l := &failurelog.Log{Design: "aes"}
+	for i := 0; i < n; i++ {
+		l.Fails = append(l.Fails, scan.Failure{Pattern: int32(i / 3), Obs: int32(i % 7)})
+	}
+	return l
+}
+
+func TestLevelZeroIsIdentity(t *testing.T) {
+	log := sampleLog(30)
+	for _, m := range []*Model{nil, {}, {Seed: 42}, ModelAt(0, 42), ModelAt(-1, 42)} {
+		if !m.IsIdentity() {
+			t.Fatalf("%+v should be the identity", m)
+		}
+		if got := m.Apply(log, 7, 100, 50); got != log {
+			t.Fatalf("identity Apply returned a new log %+v", got)
+		}
+	}
+	if ModelAt(0.5, 42).IsIdentity() {
+		t.Fatal("level 0.5 must not be the identity")
+	}
+}
+
+func TestApplyDeterministic(t *testing.T) {
+	log := sampleLog(60)
+	m := ModelAt(0.7, 99)
+	a := m.Apply(log, 3, 100, 50)
+	b := m.Apply(log, 3, 100, 50)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (model, index, log) produced different outputs")
+	}
+	c := m.Apply(log, 4, 100, 50)
+	if reflect.DeepEqual(a.Fails, c.Fails) {
+		t.Fatal("different indices should perturb differently")
+	}
+}
+
+func TestApplyNeverMutatesInput(t *testing.T) {
+	log := sampleLog(60)
+	before := append([]scan.Failure(nil), log.Fails...)
+	ModelAt(1, 1).Apply(log, 0, 100, 50)
+	if !reflect.DeepEqual(log.Fails, before) || log.Truncated {
+		t.Fatal("Apply mutated its input log")
+	}
+}
+
+func TestSpuriousFailsInRangeAndSorted(t *testing.T) {
+	log := sampleLog(40)
+	m := &Model{Seed: 5, SpuriousRate: 2.0}
+	out := m.Apply(log, 0, 20, 7)
+	if len(out.Fails) <= len(log.Fails) {
+		t.Fatalf("expected injected fails, got %d <= %d", len(out.Fails), len(log.Fails))
+	}
+	if !sort.SliceIsSorted(out.Fails, func(i, j int) bool {
+		if out.Fails[i].Pattern != out.Fails[j].Pattern {
+			return out.Fails[i].Pattern < out.Fails[j].Pattern
+		}
+		return out.Fails[i].Obs < out.Fails[j].Obs
+	}) {
+		t.Fatal("output fails not sorted by (pattern, obs)")
+	}
+	for _, f := range out.Fails {
+		if f.Pattern < 0 || f.Pattern >= 20 || f.Obs < 0 || f.Obs >= 7 {
+			t.Fatalf("spurious fail %+v out of tester range", f)
+		}
+	}
+}
+
+func TestWindowTruncationSetsFlag(t *testing.T) {
+	log := sampleLog(60) // patterns 0..19
+	m := &Model{Seed: 1, WindowFrac: 0.5}
+	out := m.Apply(log, 0, 20, 7)
+	if !out.Truncated {
+		t.Fatal("window truncation should mark the log Truncated")
+	}
+	for _, f := range out.Fails {
+		if f.Pattern >= 10 {
+			t.Fatalf("fail %+v survived a 10-pattern window", f)
+		}
+	}
+}
+
+func TestMaxFailsCapSetsFlag(t *testing.T) {
+	log := sampleLog(60)
+	m := &Model{Seed: 1, MaxFails: 8}
+	out := m.Apply(log, 0, 100, 50)
+	if len(out.Fails) != 8 || !out.Truncated {
+		t.Fatalf("cap: got %d fails, truncated=%v; want 8, true", len(out.Fails), out.Truncated)
+	}
+	// Cap not reached: no flag.
+	out = (&Model{Seed: 1, MaxFails: 1000}).Apply(log, 0, 100, 50)
+	if out.Truncated {
+		t.Fatal("cap above log size must not mark Truncated")
+	}
+}
+
+func TestMaxSeverityOnDegenerateLogs(t *testing.T) {
+	m := ModelAt(1, 3)
+	empty := &failurelog.Log{Design: "aes"}
+	if out := m.Apply(empty, 0, 100, 50); out == nil {
+		t.Fatal("Apply(empty) returned nil")
+	}
+	// Zero tester dimensions must not panic or inject.
+	out := m.Apply(sampleLog(10), 0, 0, 0)
+	for _, f := range out.Fails {
+		if f.Pattern < 0 || f.Obs < 0 {
+			t.Fatalf("invalid fail %+v with zero tester dims", f)
+		}
+	}
+}
+
+func TestModelAtClampsLevel(t *testing.T) {
+	m1, m2 := ModelAt(1, 9), ModelAt(5, 9)
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatalf("levels above 1 should clamp: %+v vs %+v", m1, m2)
+	}
+	if m1.MaxFails != 16 {
+		t.Fatalf("harshest fail memory = %d, want 16", m1.MaxFails)
+	}
+}
