@@ -9,11 +9,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 
+	"repro/internal/artifact"
 	"repro/internal/dataset"
 	"repro/internal/failurelog"
 	"repro/internal/gen"
@@ -34,6 +38,11 @@ func main() {
 	noiseLevel := flag.Float64("noise", 0, "tester-noise severity in [0,1]; 0 disables the noise model")
 	flag.Parse()
 
+	// Ctrl-C cancels between artifact writes, so an interrupted run leaves
+	// only complete files (every write below is atomic temp+rename).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	p, ok := gen.ProfileByName(*design)
 	if !ok {
 		fatal("unknown design %q", *design)
@@ -53,23 +62,19 @@ func main() {
 	if *format == "verilog" {
 		ext = ".v"
 	}
-	nlPath := filepath.Join(*out, b.Name+ext)
-	f, err := os.Create(nlPath)
-	if err != nil {
-		fatal("create: %v", err)
-	}
-	switch *format {
-	case "verilog":
-		err = netlist.WriteVerilog(f, b.Netlist)
-	case "bench":
-		err = netlist.Write(f, b.Netlist)
-	default:
+	if *format != "bench" && *format != "verilog" {
 		fatal("unknown format %q", *format)
 	}
+	nlPath := filepath.Join(*out, b.Name+ext)
+	err = artifact.WriteAtomic(nlPath, func(w io.Writer) error {
+		if *format == "verilog" {
+			return netlist.WriteVerilog(w, b.Netlist)
+		}
+		return netlist.Write(w, b.Netlist)
+	})
 	if err != nil {
 		fatal("write netlist: %v", err)
 	}
-	f.Close()
 
 	st, _ := b.Netlist.ComputeStats()
 	fmt.Printf("%s: %d gates, %d MIVs, %d flops, %d patterns, FC %.1f%%\n",
@@ -80,18 +85,21 @@ func main() {
 		Count: *samples, Compacted: *compacted, Seed: *seed + 5, Workers: *workers,
 		Noise: noise.ModelAt(*noiseLevel, *seed+7),
 	})
+	written := 0
 	for i, smp := range ss {
-		logPath := filepath.Join(*out, fmt.Sprintf("%s_fail_%03d.log", b.Name, i))
-		lf, err := os.Create(logPath)
-		if err != nil {
-			fatal("create log: %v", err)
+		if ctx.Err() != nil {
+			fatal("interrupted after %d of %d logs (all written files are complete)", written, len(ss))
 		}
-		if err := failurelog.Write(lf, smp.Log); err != nil {
+		logPath := filepath.Join(*out, fmt.Sprintf("%s_fail_%03d.log", b.Name, i))
+		smp := smp
+		if err := artifact.WriteAtomic(logPath, func(w io.Writer) error {
+			return failurelog.Write(w, smp.Log)
+		}); err != nil {
 			fatal("write log: %v", err)
 		}
-		lf.Close()
+		written++
 	}
-	fmt.Printf("wrote %d failure logs to %s\n", len(ss), *out)
+	fmt.Printf("wrote %d failure logs to %s\n", written, *out)
 }
 
 func fatal(format string, args ...any) {

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -40,6 +43,12 @@ func main() {
 		return
 	}
 
+	// Ctrl-C cancels the context so a long "all" run stops at the next
+	// experiment boundary with checkpoints flushed; a second Ctrl-C kills
+	// the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	s := experiment.NewSuite(os.Stdout)
 	s.Scale = *scale
 	s.TrainCount = *train
@@ -53,15 +62,21 @@ func main() {
 		for _, part := range strings.Split(*noiseLevels, ",") {
 			l, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: bad -noise level %q: %v\n", part, err)
-				os.Exit(1)
+				fatal("bad -noise level %q: %v", part, err)
 			}
 			levels = append(levels, l)
 		}
 		s.NoiseLevels = levels
 	}
-	if err := s.Run(*run); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+	if err := s.RunContext(ctx, *run); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fatal("interrupted: %v", err)
+		}
+		fatal("%v", err)
 	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -11,10 +11,13 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/gen"
@@ -54,16 +57,21 @@ func main() {
 
 	var fw *core.Framework
 	if *loadModel != "" {
-		f, err := os.Open(*loadModel)
-		if err != nil {
-			fatal("open model: %v", err)
-		}
-		fw, err = core.Load(f)
-		f.Close()
+		// Sealed files (written by -save-model) verify their checksum
+		// footer; plain files from older versions still load as-is.
+		payload, sealed, err := artifact.ReadMaybeSealed(*loadModel)
 		if err != nil {
 			fatal("load model: %v", err)
 		}
-		fmt.Printf("loaded framework from %s (T_P=%.3f)\n", *loadModel, fw.TP)
+		fw, err = core.Load(bytes.NewReader(payload))
+		if err != nil {
+			fatal("load model: %v", err)
+		}
+		integrity := "checksum verified"
+		if !sealed {
+			integrity = "legacy unsealed file"
+		}
+		fmt.Printf("loaded framework from %s (T_P=%.3f, %s)\n", *loadModel, fw.TP, integrity)
 	} else {
 		fmt.Printf("training on %d samples ...\n", *trainSamples)
 		train := b.Generate(dataset.SampleOptions{
@@ -79,15 +87,12 @@ func main() {
 		fmt.Printf("trained (T_P=%.3f)\n", fw.TP)
 	}
 	if *saveModel != "" {
-		f, err := os.Create(*saveModel)
-		if err != nil {
-			fatal("create model: %v", err)
-		}
-		if err := fw.Save(f); err != nil {
+		// Atomic temp+rename with a checksum footer: a crash or Ctrl-C
+		// mid-save never leaves a truncated model behind.
+		if err := artifact.WriteSealed(*saveModel, func(w io.Writer) error { return fw.Save(w) }); err != nil {
 			fatal("save model: %v", err)
 		}
-		f.Close()
-		fmt.Printf("saved framework to %s\n", *saveModel)
+		fmt.Printf("saved framework to %s (sealed, checksummed)\n", *saveModel)
 	}
 
 	test := b.Generate(dataset.SampleOptions{

@@ -1,0 +1,198 @@
+// Command m3dserve is the long-running diagnosis service: it builds a
+// benchmark configuration, loads the newest valid framework from a
+// crash-safe artifact store (training and storing one first if the store
+// is empty), and serves failure-log diagnoses over HTTP/JSON with bounded
+// admission, per-request deadlines, panic isolation, and graceful
+// drain-on-SIGTERM.
+//
+// Endpoints: POST /diagnose (FAILLOG body, ?multi=1, ?timeout_ms=N),
+// GET /healthz, GET /readyz, POST /reload. SIGHUP also triggers a reload.
+//
+// Usage:
+//
+//	m3dserve -design aes -store ./m3dstore -addr :8080
+//	m3dserve -design aes -store ./m3dstore -train-samples 200   # cold store
+//	m3dserve -store ./m3dstore -verify-store                    # integrity sweep
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	design := flag.String("design", "aes", "benchmark: aes, tate, netcard, leon3mp")
+	config := flag.String("config", "syn1", "configuration to serve")
+	scale := flag.Float64("scale", 1.0, "design size multiplier")
+	seed := flag.Int64("seed", 1, "global seed")
+	storeDir := flag.String("store", "m3dstore", "artifact store directory (crash-safe, checksummed)")
+	modelName := flag.String("model", "framework", "artifact name of the served framework")
+	trainSamples := flag.Int("train-samples", 200, "training set size when the store holds no framework")
+	compacted := flag.Bool("compacted", false, "EDT response compaction")
+	workers := flag.Int("workers", 0, "training worker goroutines (0 = all cores)")
+	concurrency := flag.Int("concurrency", 0, "max concurrent diagnoses (0 = all cores)")
+	queue := flag.Int("queue", 64, "max queued requests before load-shedding with 429")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
+	drainGrace := flag.Duration("drain-grace", 500*time.Millisecond, "readiness-flip window before the listener closes, so load balancers see /readyz go 503")
+	verifyStore := flag.Bool("verify-store", false, "verify every artifact in the store and exit")
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "m3dserve: "+format+"\n", args...)
+	}
+
+	store, err := artifact.Open(*storeDir)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *verifyStore {
+		bad, err := store.VerifyAll()
+		if len(bad) > 0 {
+			fatal("store verification failed for %d file(s): %v\n%v", len(bad), bad, err)
+		}
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("store %s verified clean\n", *storeDir)
+		return
+	}
+
+	// Interrupt/terminate start the drain; a second signal kills hard.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	p, ok := gen.ProfileByName(*design)
+	if !ok {
+		fatal("unknown design %q", *design)
+	}
+	if *scale != 1.0 {
+		p = p.Scaled(*scale)
+	}
+	logf("building %s/%s ...", *design, *config)
+	b, err := dataset.Build(p, dataset.ConfigName(*config), dataset.BuildOptions{Seed: *seed})
+	if err != nil {
+		fatal("build: %v", err)
+	}
+
+	fw, err := loadOrTrain(ctx, store, *modelName, b, *trainSamples, *seed, *compacted, *workers, logf)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	srv := serve.New(b, fw, serve.Config{
+		MaxConcurrent:  *concurrency,
+		MaxQueue:       *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Logf:           logf,
+	})
+	srv.EnableReload(store, *modelName)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		logf("serving %s on %s (concurrency %d, queue %d, timeout %v)",
+			b.Name, *addr, *concurrency, *queue, *timeout)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	// SIGHUP hot-reloads the framework from the store.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if v, err := srv.Reload(); err != nil {
+				logf("reload failed (still serving the previous framework): %v", err)
+			} else {
+				logf("reloaded framework v%d on SIGHUP", v)
+			}
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		fatal("listen: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: flip readiness first so load balancers stop
+	// routing here, give them the grace window, then stop the listener and
+	// drain in-flight requests within the drain deadline.
+	logf("drain: readiness down, shedding new requests (%d in flight)", srv.Inflight())
+	srv.StartDrain()
+	time.Sleep(*drainGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logf("drain deadline exceeded, closing %d in-flight request(s): %v", srv.Inflight(), err)
+		httpSrv.Close()
+		os.Exit(1)
+	}
+	logf("drained cleanly")
+}
+
+// loadOrTrain loads the newest valid framework from the store, or — when
+// the store has none — trains one and seals it into the store so the next
+// start is instant.
+func loadOrTrain(ctx context.Context, store *artifact.Store, name string, b *dataset.Bundle,
+	trainSamples int, seed int64, compacted bool, workers int,
+	logf func(string, ...any)) (*core.Framework, error) {
+
+	if payload, path, v, err := store.LoadLatest(name); err == nil {
+		fw, err := core.Load(bytes.NewReader(payload))
+		if err != nil {
+			return nil, fmt.Errorf("stored framework %s is invalid: %w", path, err)
+		}
+		logf("loaded framework %s v%d (T_P=%.3f)", name, v, fw.TP)
+		return fw, nil
+	} else if !errors.Is(err, artifact.ErrNotFound) {
+		return nil, err
+	}
+
+	if trainSamples <= 0 {
+		return nil, fmt.Errorf("store holds no framework %q and -train-samples is 0", name)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	logf("store holds no framework %q; training on %d samples ...", name, trainSamples)
+	train := b.Generate(dataset.SampleOptions{
+		Count: trainSamples, Seed: seed + 2, Compacted: compacted,
+		MIVFraction: 0.2, Workers: workers,
+	})
+	fw, err := core.Train(train, core.TrainOptions{Seed: seed + 3, Workers: workers})
+	if err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+	path, v, err := store.Save(name, func(w io.Writer) error { return fw.Save(w) })
+	if err != nil {
+		return nil, err
+	}
+	logf("trained and stored framework v%d at %s (T_P=%.3f)", v, path, fw.TP)
+	return fw, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "m3dserve: "+format+"\n", args...)
+	os.Exit(1)
+}

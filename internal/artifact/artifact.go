@@ -1,0 +1,330 @@
+// Package artifact is the crash-safe store for the pipeline's durable
+// files: trained framework bundles, and any other artifact whose partial
+// or corrupted presence on disk must never be mistaken for the real thing.
+//
+// Two guarantees, layered:
+//
+//   - Atomicity: every write goes to a temp file in the destination
+//     directory, is fsynced, and is renamed into place, so a crash (or a
+//     SIGKILL mid-flood) leaves either the old file or the new file —
+//     never a truncated hybrid.
+//   - Integrity: sealed artifacts carry a fixed-size footer (magic,
+//     payload length, CRC64-ECMA of the payload) that is verified on every
+//     load. A flipped bit or a foreign file is detected before a single
+//     payload byte reaches the model loader.
+//
+// A Store adds versioning on top: each Save of a name creates
+// name.v%06d.art, loads walk versions newest-first, and corrupt versions
+// are quarantined (moved aside, never deleted) while the load continues
+// with the next older version — a bad hot-reload can therefore never take
+// down a serving process that has one good version on disk.
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Magic identifies a sealed artifact; it is the first 8 bytes of the
+// 24-byte footer, chosen to never collide with JSON or text payloads.
+const Magic = "M3DART\x00\x01"
+
+// footerSize is magic(8) + payload length (8, big-endian) + CRC64-ECMA(8).
+const footerSize = 24
+
+// crcTable is the ECMA polynomial table used for all artifact checksums.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// ErrNotFound reports that a store holds no (valid) version of a name.
+var ErrNotFound = errors.New("artifact: not found")
+
+// ErrCorrupt reports a failed footer or checksum validation.
+var ErrCorrupt = errors.New("artifact: corrupt")
+
+// WriteAtomic writes a file via temp-file + fsync + rename in the
+// destination directory, so the path never holds a partially written file
+// even across a crash. The write callback receives the temp file's writer.
+func WriteAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("artifact: write %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("artifact: sync %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("artifact: close %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("artifact: rename %s: %w", path, err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a completed rename survives a crash; best
+// effort — some filesystems reject directory fsync and the rename itself
+// is still atomic there.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// seal appends the integrity footer for a payload.
+func seal(payload []byte) []byte {
+	footer := make([]byte, footerSize)
+	copy(footer, Magic)
+	binary.BigEndian.PutUint64(footer[8:16], uint64(len(payload)))
+	binary.BigEndian.PutUint64(footer[16:24], crc64.Checksum(payload, crcTable))
+	return footer
+}
+
+// WriteSealed atomically writes path with the payload produced by write,
+// followed by the integrity footer.
+func WriteSealed(path string, write func(io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		return fmt.Errorf("artifact: build payload for %s: %w", path, err)
+	}
+	payload := buf.Bytes()
+	footer := seal(payload)
+	return WriteAtomic(path, func(w io.Writer) error {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+		_, err := w.Write(footer)
+		return err
+	})
+}
+
+// unseal validates a sealed byte stream and returns its payload.
+func unseal(data []byte) ([]byte, error) {
+	if len(data) < footerSize {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the footer", ErrCorrupt, len(data))
+	}
+	footer := data[len(data)-footerSize:]
+	payload := data[:len(data)-footerSize]
+	if string(footer[:8]) != Magic {
+		return nil, fmt.Errorf("%w: missing footer magic", ErrCorrupt)
+	}
+	if n := binary.BigEndian.Uint64(footer[8:16]); n != uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: footer says %d payload bytes, file has %d (truncated or grafted)", ErrCorrupt, n, len(payload))
+	}
+	want := binary.BigEndian.Uint64(footer[16:24])
+	if got := crc64.Checksum(payload, crcTable); got != want {
+		return nil, fmt.Errorf("%w: CRC64 mismatch (want %016x, got %016x)", ErrCorrupt, want, got)
+	}
+	return payload, nil
+}
+
+// ReadSealed reads a sealed artifact and returns its verified payload.
+func ReadSealed(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	payload, err := unseal(data)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: %s: %w", path, err)
+	}
+	return payload, nil
+}
+
+// ReadMaybeSealed reads a file that may or may not carry the artifact
+// footer: sealed files are verified and stripped (sealed=true), anything
+// else is returned as-is unverified (sealed=false). This is the migration
+// path for model files written before the store existed.
+func ReadMaybeSealed(path string) (payload []byte, sealed bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("artifact: %w", err)
+	}
+	if len(data) >= footerSize && string(data[len(data)-footerSize:len(data)-footerSize+8]) == Magic {
+		payload, err := unseal(data)
+		if err != nil {
+			return nil, true, fmt.Errorf("artifact: %s: %w", path, err)
+		}
+		return payload, true, nil
+	}
+	return data, false, nil
+}
+
+// VerifyFile checks a sealed artifact's footer and checksum.
+func VerifyFile(path string) error {
+	_, err := ReadSealed(path)
+	return err
+}
+
+// Store is a directory of sealed, versioned artifacts.
+type Store struct {
+	dir string
+}
+
+// QuarantineDir is the subdirectory corrupt versions are moved into.
+const QuarantineDir = "quarantine"
+
+const ext = ".art"
+
+// Open opens (creating if needed) a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, QuarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// versionFile formats the on-disk name of one version.
+func versionFile(name string, v int) string {
+	return fmt.Sprintf("%s.v%06d%s", name, v, ext)
+}
+
+// parseVersion extracts the version from a store filename for name, or
+// ok=false when the file belongs to another name or is not versioned.
+func parseVersion(name, file string) (int, bool) {
+	rest, found := strings.CutPrefix(file, name+".v")
+	if !found {
+		return 0, false
+	}
+	num, found := strings.CutSuffix(rest, ext)
+	if !found || len(num) == 0 {
+		return 0, false
+	}
+	v, err := strconv.Atoi(num)
+	if err != nil || v < 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// Versions lists the stored version numbers of a name, ascending.
+func (s *Store) Versions(name string) ([]int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	var out []int
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if v, ok := parseVersion(name, e.Name()); ok {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Save seals the payload produced by write as the next version of name
+// and returns its path and version number. The write is atomic: a crash
+// mid-save leaves no partial version behind.
+func (s *Store) Save(name string, write func(io.Writer) error) (path string, version int, err error) {
+	vs, err := s.Versions(name)
+	if err != nil {
+		return "", 0, err
+	}
+	version = 1
+	if len(vs) > 0 {
+		version = vs[len(vs)-1] + 1
+	}
+	path = filepath.Join(s.dir, versionFile(name, version))
+	if err := WriteSealed(path, write); err != nil {
+		return "", 0, err
+	}
+	return path, version, nil
+}
+
+// quarantine moves a corrupt version aside (never deletes), so operators
+// can inspect it and loads stop retrying it.
+func (s *Store) quarantine(path string) {
+	dst := filepath.Join(s.dir, QuarantineDir, filepath.Base(path))
+	os.Rename(path, dst)
+	syncDir(s.dir)
+}
+
+// LoadLatest returns the newest version of name that passes integrity
+// verification, together with its path and version. Corrupt versions are
+// quarantined and the next older version is tried — a store with one good
+// version always loads. ErrNotFound is returned when no valid version
+// remains.
+func (s *Store) LoadLatest(name string) (payload []byte, path string, version int, err error) {
+	vs, err := s.Versions(name)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	for i := len(vs) - 1; i >= 0; i-- {
+		p := filepath.Join(s.dir, versionFile(name, vs[i]))
+		data, err := ReadSealed(p)
+		if err == nil {
+			return data, p, vs[i], nil
+		}
+		if errors.Is(err, ErrCorrupt) {
+			s.quarantine(p)
+			continue
+		}
+		return nil, "", 0, err
+	}
+	return nil, "", 0, fmt.Errorf("%w: no valid version of %q in %s", ErrNotFound, name, s.dir)
+}
+
+// VerifyAll checks every artifact in the store (quarantine excluded) and
+// returns the paths that fail, with a combined error describing each
+// failure. An empty store verifies clean.
+func (s *Store) VerifyAll() (bad []string, err error) {
+	entries, rerr := os.ReadDir(s.dir)
+	if rerr != nil {
+		return nil, fmt.Errorf("artifact: %w", rerr)
+	}
+	var errs []error
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ext) {
+			continue
+		}
+		p := filepath.Join(s.dir, e.Name())
+		if verr := VerifyFile(p); verr != nil {
+			bad = append(bad, p)
+			errs = append(errs, verr)
+		}
+	}
+	return bad, errors.Join(errs...)
+}
+
+// Quarantined lists the filenames currently in quarantine.
+func (s *Store) Quarantined() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, QuarantineDir))
+	if err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

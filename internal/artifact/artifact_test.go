@@ -1,0 +1,249 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBytes(b []byte) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := w.Write(b)
+		return err
+	}
+}
+
+func TestSealedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.art")
+	payload := []byte(`{"weights":[1,2,3]}`)
+	if err := WriteSealed(path, writeBytes(payload)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSealed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q", got)
+	}
+	if err := VerifyFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSealedDetectsTruncationAndBitFlips(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.art")
+	payload := bytes.Repeat([]byte("delay-fault "), 100)
+	if err := WriteSealed(path, writeBytes(payload)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation point must fail verification (the trailing bytes of
+	// a shorter file are not a valid footer for the shorter payload).
+	for _, cut := range []int{0, 1, len(data) / 2, len(data) - footerSize, len(data) - 1} {
+		p := filepath.Join(dir, "trunc.art")
+		if err := os.WriteFile(p, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyFile(p); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+	// Every single-bit flip — payload, length field, CRC field, magic —
+	// must fail verification.
+	for _, pos := range []int{0, len(payload) / 2, len(payload) - 1, len(payload), len(payload) + 9, len(data) - 1} {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x10
+		p := filepath.Join(dir, "flip.art")
+		if err := os.WriteFile(p, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyFile(p); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at %d: err = %v, want ErrCorrupt", pos, err)
+		}
+	}
+}
+
+func TestReadMaybeSealed(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "legacy.fw")
+	if err := os.WriteFile(plain, []byte(`{"tp":0.5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, sealed, err := ReadMaybeSealed(plain)
+	if err != nil || sealed {
+		t.Fatalf("legacy read: sealed=%v err=%v", sealed, err)
+	}
+	if string(got) != `{"tp":0.5}` {
+		t.Fatalf("legacy payload %q", got)
+	}
+	sp := filepath.Join(dir, "new.fw")
+	if err := WriteSealed(sp, writeBytes([]byte(`{"tp":0.9}`))); err != nil {
+		t.Fatal(err)
+	}
+	got, sealed, err = ReadMaybeSealed(sp)
+	if err != nil || !sealed {
+		t.Fatalf("sealed read: sealed=%v err=%v", sealed, err)
+	}
+	if string(got) != `{"tp":0.9}` {
+		t.Fatalf("sealed payload %q", got)
+	}
+}
+
+func TestWriteAtomicLeavesNoTempOnError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	boom := errors.New("boom")
+	if err := WriteAtomic(path, func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("directory not clean after failed write: %v", entries)
+	}
+}
+
+func TestStoreVersioning(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		_, v, err := s.Save("fw", writeBytes([]byte{byte(i)}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != i {
+			t.Fatalf("save %d got version %d", i, v)
+		}
+	}
+	vs, err := s.Versions("fw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 || vs[0] != 1 || vs[2] != 3 {
+		t.Fatalf("versions = %v", vs)
+	}
+	payload, path, v, err := s.LoadLatest("fw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 || payload[0] != 3 || !strings.Contains(path, "fw.v000003.art") {
+		t.Fatalf("latest = v%d %q from %s", v, payload, path)
+	}
+	// A different name is invisible.
+	if _, _, _, err := s.LoadLatest("other"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestStoreQuarantineAndContinue(t *testing.T) {
+	root := t.TempDir()
+	s, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Save("fw", writeBytes([]byte("good-v1"))); err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := s.Save("fw", writeBytes([]byte("good-v2")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest version with a bit flip.
+	data, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[2] ^= 0x04
+	if err := os.WriteFile(p2, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if bad, _ := s.VerifyAll(); len(bad) != 1 {
+		t.Fatalf("VerifyAll found %v, want exactly the corrupted file", bad)
+	}
+	payload, _, v, err := s.LoadLatest("fw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 || string(payload) != "good-v1" {
+		t.Fatalf("loaded v%d %q, want the surviving v1", v, payload)
+	}
+	// The corrupt version was moved aside, not deleted or retried.
+	q, err := s.Quarantined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 1 || q[0] != filepath.Base(p2) {
+		t.Fatalf("quarantine = %v", q)
+	}
+	if _, err := os.Stat(p2); !os.IsNotExist(err) {
+		t.Fatalf("corrupt file still present: %v", err)
+	}
+	if bad, err := s.VerifyAll(); len(bad) != 0 || err != nil {
+		t.Fatalf("store not clean after quarantine: %v %v", bad, err)
+	}
+	// Saving after quarantine does not reuse the quarantined version number
+	// in a way that breaks ordering: next save must still be loadable.
+	if _, _, err := s.Save("fw", writeBytes([]byte("good-v3"))); err != nil {
+		t.Fatal(err)
+	}
+	payload, _, _, err = s.LoadLatest("fw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != "good-v3" {
+		t.Fatalf("latest after re-save = %q", payload)
+	}
+}
+
+func TestStoreAllVersionsCorrupt(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := s.Save("fw", writeBytes([]byte("only")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(p, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s.LoadLatest("fw"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestParseVersion(t *testing.T) {
+	cases := []struct {
+		name, file string
+		v          int
+		ok         bool
+	}{
+		{"fw", "fw.v000001.art", 1, true},
+		{"fw", "fw.v123456.art", 123456, true},
+		{"fw", "fw.v1.art", 1, true},
+		{"fw", "other.v000001.art", 0, false},
+		{"fw", "fw.v.art", 0, false},
+		{"fw", "fw.vxx.art", 0, false},
+		{"fw", "fw.v000001.tmp", 0, false},
+	}
+	for _, c := range cases {
+		v, ok := parseVersion(c.name, c.file)
+		if v != c.v || ok != c.ok {
+			t.Fatalf("parseVersion(%q, %q) = %d,%v want %d,%v", c.name, c.file, v, ok, c.v, c.ok)
+		}
+	}
+}

@@ -15,6 +15,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -194,10 +195,48 @@ func (fw *Framework) PolicyFor(b *dataset.Bundle) *policy.Policy {
 // ATPG diagnosis and GNN prediction (conceptually in parallel), then the
 // candidate pruning and reordering policy.
 func (fw *Framework) Diagnose(b *dataset.Bundle, log *failurelog.Log) (*diagnosis.Report, *policy.Outcome) {
-	rep := b.Diag.Diagnose(log)
-	sg := b.Graph.Backtrace(log, b.Diag.Result())
-	out := fw.PolicyFor(b).Apply(rep, sg)
+	rep, out, _ := fw.DiagnoseCtx(context.Background(), b, log)
 	return rep, out
+}
+
+// DiagnoseCtx is Diagnose with cooperative cancellation threaded through
+// both heavy stages (candidate scoring and subgraph back-tracing), so a
+// diagnosis whose request deadline expires returns promptly instead of
+// running to completion. On cancellation it returns nil results and the
+// context's error.
+func (fw *Framework) DiagnoseCtx(ctx context.Context, b *dataset.Bundle, log *failurelog.Log) (*diagnosis.Report, *policy.Outcome, error) {
+	rep, err := b.Diag.DiagnoseCtx(ctx, log)
+	if err != nil {
+		return nil, nil, err
+	}
+	sg, err := b.Graph.BacktraceCtx(ctx, log, b.Diag.Result())
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("core: diagnose: %w", err)
+	}
+	out := fw.PolicyFor(b).Apply(rep, sg)
+	return rep, out, nil
+}
+
+// DiagnoseMultiCtx is DiagnoseCtx for failure logs that may contain several
+// simultaneous same-tier defects (Section VII-A): the ATPG stage uses the
+// relaxed multi-fault extraction and greedy set cover.
+func (fw *Framework) DiagnoseMultiCtx(ctx context.Context, b *dataset.Bundle, log *failurelog.Log) (*diagnosis.Report, *policy.Outcome, error) {
+	rep, err := b.Diag.DiagnoseMultiCtx(ctx, log)
+	if err != nil {
+		return nil, nil, err
+	}
+	sg, err := b.Graph.BacktraceCtx(ctx, log, b.Diag.Result())
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("core: diagnose: %w", err)
+	}
+	out := fw.PolicyFor(b).Apply(rep, sg)
+	return rep, out, nil
 }
 
 // frameworkJSON is the serialized framework.

@@ -180,6 +180,91 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestLoadSurvivesTruncation feeds Load every prefix of a valid framework
+// stream (stepped for speed, plus the boundary cases) and requires either
+// an error or a framework equivalent to the original — never a panic, and
+// never a silently half-loaded framework. (A prefix that drops only the
+// trailing newline is still a complete JSON document, so "accepted but
+// equivalent" is the honest property, not "always rejected".)
+func TestLoadSurvivesTruncation(t *testing.T) {
+	x := getE2E(t)
+	var buf bytes.Buffer
+	if err := x.fw.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	sg := x.test[0].SG
+	wantTier, _ := x.fw.Tier.PredictTier(sg)
+	cuts := []int{0, 1, 2, len(full) / 2, len(full) - 2, len(full) - 1}
+	for n := 3; n < len(full); n += len(full) / 97 {
+		cuts = append(cuts, n)
+	}
+	for _, n := range cuts {
+		n := n
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Load panicked on %d-byte truncation: %v", n, r)
+				}
+			}()
+			fw, err := Load(bytes.NewReader(full[:n]))
+			if err != nil {
+				return // rejected: fine
+			}
+			if fw.TP != x.fw.TP {
+				t.Fatalf("Load accepted a lossy %d-byte truncation of a %d-byte stream (TP %v != %v)",
+					n, len(full), fw.TP, x.fw.TP)
+			}
+			if got, _ := fw.Tier.PredictTier(sg); got != wantTier {
+				t.Fatalf("framework from %d-byte truncation predicts differently", n)
+			}
+		}()
+	}
+}
+
+// TestLoadSurvivesBitFlips corrupts single bits across a valid framework
+// stream and requires Load to either reject the stream or return a
+// structurally usable framework (a flip inside a numeric literal can still
+// be valid JSON) — but never panic. Any accepted framework must survive a
+// prediction call, so no half-validated shape sneaks through.
+func TestLoadSurvivesBitFlips(t *testing.T) {
+	x := getE2E(t)
+	var buf bytes.Buffer
+	if err := x.fw.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	sg := x.test[0].SG
+	step := len(full) / 211
+	if step == 0 {
+		step = 1
+	}
+	for pos := 0; pos < len(full); pos += step {
+		for _, bit := range []byte{0x01, 0x10, 0x80} {
+			mut := append([]byte(nil), full...)
+			mut[pos] ^= bit
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("Load panicked on bit flip 0x%02x at byte %d: %v", bit, pos, r)
+					}
+				}()
+				fw, err := Load(bytes.NewReader(mut))
+				if err != nil {
+					return // rejected: fine
+				}
+				// Accepted: it must be usable, not a latent shape bomb.
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("accepted framework (flip 0x%02x at %d) panicked on use: %v", bit, pos, r)
+					}
+				}()
+				fw.Tier.PredictTier(sg)
+			}()
+		}
+	}
+}
+
 func max(a, b int) int {
 	if a > b {
 		return a

@@ -19,6 +19,8 @@
 package diagnosis
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"sync"
 
@@ -388,10 +390,23 @@ func (d *Engine) sanitize(log *failurelog.Log) *failurelog.Log {
 // never panics on degenerate input: empty logs, or logs whose every fail
 // is out of range for this engine, yield an empty report.
 func (d *Engine) Diagnose(log *failurelog.Log) *Report {
+	rep, _ := d.DiagnoseCtx(context.Background(), log)
+	return rep
+}
+
+// DiagnoseCtx is Diagnose with cooperative cancellation: the context is
+// checked before every candidate fault simulation (the dominant per-log
+// cost), so a diagnosis whose deadline expires returns within one
+// fault-simulation of the cancellation instead of scoring the remaining
+// pool. On cancellation it returns a nil report and the context's error.
+func (d *Engine) DiagnoseCtx(ctx context.Context, log *failurelog.Log) (*Report, error) {
 	rep := &Report{Design: log.Design, Compacted: log.Compacted}
 	log = d.sanitize(log)
 	if log.Empty() {
-		return rep
+		return rep, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("diagnosis: %w", err)
 	}
 	count, responses := d.suspects(log)
 	cands := d.extractCandidates(log, count, responses)
@@ -407,6 +422,9 @@ func (d *Engine) Diagnose(log *failurelog.Log) *Report {
 	// Stage 1: score net-level candidates.
 	scored := make([]Candidate, 0, len(cands))
 	for _, cand := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("diagnosis: %w", err)
+		}
 		c := d.score(cand, observed, log.Compacted, horizon)
 		if c.TFSF == 0 {
 			continue
@@ -437,6 +455,9 @@ func (d *Engine) Diagnose(log *failurelog.Log) *Report {
 		n2 = refineTop
 	}
 	for _, c := range scored[:n2] {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("diagnosis: %w", err)
+		}
 		for _, bc := range d.branchCandidates(c.Fault) {
 			sc := d.score(bc, observed, log.Compacted, horizon)
 			if sc.TFSF > 0 {
@@ -446,7 +467,7 @@ func (d *Engine) Diagnose(log *failurelog.Log) *Report {
 	}
 	rank()
 	if len(scored) == 0 {
-		return rep
+		return rep, nil
 	}
 	// Inclusion follows match strength: any candidate explaining a solid
 	// fraction of what the best candidate explains is reported, ranked by
@@ -472,7 +493,7 @@ func (d *Engine) Diagnose(log *failurelog.Log) *Report {
 		}
 		rep.Candidates = append(rep.Candidates, c)
 	}
-	return rep
+	return rep, nil
 }
 
 // ExtractStats exposes candidate-extraction internals for tooling and

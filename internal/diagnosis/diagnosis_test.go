@@ -1,8 +1,11 @@
 package diagnosis
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/atpg"
 	"repro/internal/failurelog"
@@ -342,5 +345,49 @@ func TestDiagnoseMixedRangeLog(t *testing.T) {
 	if repClean.Resolution() != repDirty.Resolution() {
 		t.Fatalf("resolution changed by out-of-range fails: %d vs %d",
 			repClean.Resolution(), repDirty.Resolution())
+	}
+}
+
+// TestDiagnoseCtxCancelled asserts that an expired context aborts
+// diagnosis promptly with the context's error instead of scoring the full
+// candidate pool, for both the single- and multi-fault paths.
+func TestDiagnoseCtxCancelled(t *testing.T) {
+	fx := getFixture(t, 0.1, 1)
+	faults := detectableFaults(fx, false, 1, 9)
+	if len(faults) == 0 {
+		t.Fatal("no detectable fault")
+	}
+	log := fx.eng.InjectLog(faults[:1], false)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	rep, err := fx.eng.DiagnoseCtx(ctx, log)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("DiagnoseCtx err = %v, want context.Canceled", err)
+	}
+	if rep != nil {
+		t.Fatal("cancelled DiagnoseCtx returned a report")
+	}
+	if el := time.Since(start); el > 200*time.Millisecond {
+		t.Fatalf("cancelled DiagnoseCtx took %v", el)
+	}
+
+	repM, err := fx.eng.DiagnoseMultiCtx(ctx, log)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("DiagnoseMultiCtx err = %v, want context.Canceled", err)
+	}
+	if repM != nil {
+		t.Fatal("cancelled DiagnoseMultiCtx returned a report")
+	}
+
+	// A background context must reproduce the uncancelled path exactly.
+	want := fx.eng.Diagnose(log)
+	got, err := fx.eng.DiagnoseCtx(context.Background(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Resolution() != want.Resolution() {
+		t.Fatalf("ctx path resolution %d != plain %d", got.Resolution(), want.Resolution())
 	}
 }

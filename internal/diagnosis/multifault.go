@@ -1,6 +1,8 @@
 package diagnosis
 
 import (
+	"context"
+	"fmt"
 	"sort"
 
 	"repro/internal/failurelog"
@@ -29,10 +31,23 @@ func (d *Engine) InjectLog(faults []faultsim.Fault, compacted bool) *failurelog.
 // set-cover pass selects a small candidate group that jointly explains the
 // log, followed by near-tie candidates up to the report cap.
 func (d *Engine) DiagnoseMulti(log *failurelog.Log) *Report {
+	rep, _ := d.DiagnoseMultiCtx(context.Background(), log)
+	return rep
+}
+
+// DiagnoseMultiCtx is DiagnoseMulti with cooperative cancellation: the
+// context is checked before each candidate fault simulation and each greedy
+// cover round, so an expired deadline stops the (much larger) multi-fault
+// candidate sweep promptly. On cancellation it returns a nil report and the
+// context's error.
+func (d *Engine) DiagnoseMultiCtx(ctx context.Context, log *failurelog.Log) (*Report, error) {
 	rep := &Report{Design: log.Design, Compacted: log.Compacted}
 	log = d.sanitize(log)
 	if log.Empty() {
-		return rep
+		return rep, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("diagnosis: multi: %w", err)
 	}
 	count, responses := d.suspects(log)
 
@@ -73,6 +88,9 @@ func (d *Engine) DiagnoseMulti(log *failurelog.Log) *Report {
 	}
 	scored := make([]scoredCand, 0, len(cands))
 	for _, cand := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("diagnosis: multi: %w", err)
+		}
 		diff := d.fsim.Diff(d.res, []faultsim.Fault{cand})
 		pred := d.arch.FailuresFromDiffUnsorted(diff, d.ps.N, log.Compacted)
 		c := Candidate{Fault: cand}
@@ -106,6 +124,9 @@ func (d *Engine) DiagnoseMulti(log *failurelog.Log) *Report {
 	chosen := make([]bool, len(scored))
 	var picks []int
 	for len(uncovered) > 0 && len(picks) < 8 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("diagnosis: multi: %w", err)
+		}
 		bestIdx, bestGain := -1, 0
 		for i := range scored {
 			if chosen[i] {
@@ -146,5 +167,5 @@ func (d *Engine) DiagnoseMulti(log *failurelog.Log) *Report {
 		}
 		rep.Candidates = append(rep.Candidates, scored[i].Candidate)
 	}
-	return rep
+	return rep, nil
 }

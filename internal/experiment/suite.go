@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -102,6 +103,17 @@ func Experiments() []string {
 
 // Run executes one experiment by name, or every experiment for "all".
 func (s *Suite) Run(name string) error {
+	return s.RunContext(context.Background(), name)
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// before each experiment, so an interrupted "all" run stops at the next
+// experiment boundary with every completed table already printed and every
+// training checkpoint already flushed.
+func (s *Suite) RunContext(ctx context.Context, name string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("experiment: %w", err)
+	}
 	if name == "all" {
 		// Bundle construction (partitioning, ATPG, scan stitching) is the
 		// dominant fixed cost and every bundle is independent, so warm the
@@ -110,7 +122,7 @@ func (s *Suite) Run(name string) error {
 			return err
 		}
 		for _, e := range Experiments() {
-			if err := s.Run(e); err != nil {
+			if err := s.RunContext(ctx, e); err != nil {
 				return fmt.Errorf("%s: %w", e, err)
 			}
 		}

@@ -1,6 +1,9 @@
 package hgraph
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/failurelog"
 	"repro/internal/mat"
 	"repro/internal/netlist"
@@ -38,12 +41,26 @@ func (s *Subgraph) NumNodes() int { return len(s.Nodes) }
 // aliasing), the threshold relaxes progressively — the subgraph must never
 // be empty for a failing chip.
 func (g *Graph) Backtrace(log *failurelog.Log, res *sim.Result) *Subgraph {
+	sg, _ := g.BacktraceCtx(context.Background(), log, res)
+	return sg
+}
+
+// ctxCheckStride bounds how many BFS node visits may pass between context
+// checks: frequent enough that a cancelled backtrace over a multi-million
+// node cone stops within microseconds, rare enough to stay off the profile.
+const ctxCheckStride = 4096
+
+// BacktraceCtx is Backtrace with cooperative cancellation: the per-response
+// loop and the inner BFS both check ctx periodically, so a backtrace over a
+// large cone stops promptly when the request deadline expires. On
+// cancellation it returns a nil subgraph and ctx's error.
+func (g *Graph) BacktraceCtx(ctx context.Context, log *failurelog.Log, res *sim.Result) (*Subgraph, error) {
 	// Fails outside the simulated pattern set or the observation space
 	// (mismatched or noisy tester logs) cannot be back-traced; drop them
 	// rather than index out of range.
 	log, _ = log.Sanitized(res.N, g.arch.NumObs(log.Compacted))
 	if log.Empty() {
-		return &Subgraph{X: mat.New(0, FeatureDim)}
+		return &Subgraph{X: mat.New(0, FeatureDim)}, nil
 	}
 	count := make([]int32, g.NumNodes)
 	mark := make([]int32, g.NumNodes)
@@ -51,8 +68,12 @@ func (g *Graph) Backtrace(log *failurelog.Log, res *sim.Result) *Subgraph {
 		mark[i] = -1
 	}
 	var queue []int32
+	visits := 0
 	responses := int32(0)
 	for _, f := range log.Fails {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("hgraph: backtrace: %w", err)
+		}
 		st := responses
 		responses++
 		// Topnodes behind this failing observation: the data-pin node of
@@ -66,6 +87,11 @@ func (g *Graph) Backtrace(log *failurelog.Log, res *sim.Result) *Subgraph {
 				queue = append(queue, top)
 			}
 			for qi := 0; qi < len(queue); qi++ {
+				if visits++; visits%ctxCheckStride == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, fmt.Errorf("hgraph: backtrace: %w", err)
+					}
+				}
 				v := queue[qi]
 				if g.nodeTransitions(res, v, int(f.Pattern)) {
 					count[v]++
@@ -97,7 +123,7 @@ func (g *Graph) Backtrace(log *failurelog.Log, res *sim.Result) *Subgraph {
 			break
 		}
 	}
-	return g.subgraph(picked)
+	return g.subgraph(picked), nil
 }
 
 // subgraph builds the induced subgraph with Table-II features.

@@ -1,6 +1,8 @@
 package hgraph
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -298,4 +300,37 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestBacktraceCtxCancelled asserts an expired context aborts the
+// backtrace with an error while a live context reproduces Backtrace.
+func TestBacktraceCtxCancelled(t *testing.T) {
+	fx := getFixture(t)
+	var log *failurelog.Log
+	for _, f := range faultsim.AllFaults(fx.g.Netlist()) {
+		if l := fx.injectLog(t, f, false); !l.Empty() {
+			log = l
+			break
+		}
+	}
+	if log == nil {
+		t.Fatal("no detectable fault")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sg, err := fx.g.BacktraceCtx(ctx, log, fx.res)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("BacktraceCtx err = %v, want context.Canceled", err)
+	}
+	if sg != nil {
+		t.Fatal("cancelled BacktraceCtx returned a subgraph")
+	}
+	want := fx.g.Backtrace(log, fx.res)
+	got, err := fx.g.BacktraceCtx(context.Background(), log, fx.res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != want.NumNodes() {
+		t.Fatalf("ctx path %d nodes != plain %d", got.NumNodes(), want.NumNodes())
+	}
 }

@@ -1,12 +1,14 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkers(t *testing.T) {
@@ -142,4 +144,109 @@ func TestFlightDistinctKeys(t *testing.T) {
 	if a != "A" || b != "B" {
 		t.Fatalf("a=%q b=%q", a, b)
 	}
+}
+
+func TestForEachCtxCompletesWithoutCancel(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		var hits atomic.Int64
+		err := ForEachCtx(context.Background(), w, 100, func(i int) { hits.Add(1) })
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", w, err)
+		}
+		if hits.Load() != 100 {
+			t.Fatalf("workers=%d: %d hits, want 100", w, hits.Load())
+		}
+	}
+}
+
+func TestMapCtxMatchesMap(t *testing.T) {
+	got, err := MapCtx(context.Background(), 4, 50, func(i int) int { return i * i })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Map(4, 50, func(i int) int { return i * i })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("index %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestForEachCtxCancelMidRun cancels while items are still being processed
+// and asserts the call returns promptly with ctx.Err() and without leaking
+// worker goroutines.
+func TestForEachCtxCancelMidRun(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		before := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		var processed atomic.Int64
+		const n = 1 << 20
+		start := time.Now()
+		err := ForEachCtx(ctx, w, n, func(i int) {
+			if processed.Add(1) == 32 {
+				cancel()
+			}
+			time.Sleep(50 * time.Microsecond)
+		})
+		elapsed := time.Since(start)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", w, err)
+		}
+		if p := processed.Load(); p >= n/2 {
+			t.Fatalf("workers=%d: processed %d of %d items after cancel", w, p, n)
+		}
+		if elapsed > 5*time.Second {
+			t.Fatalf("workers=%d: cancelled run took %v", w, elapsed)
+		}
+		// All workers must have exited by return time; allow unrelated
+		// test-runner goroutines a moment to settle.
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if after := runtime.NumGoroutine(); after > before {
+			t.Fatalf("workers=%d: goroutines leaked: %d -> %d", w, before, after)
+		}
+	}
+}
+
+// TestForEachCtxPreCancelled asserts an already-expired context processes
+// nothing (sequential and parallel paths both check before the first item).
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, w := range []int{1, 4} {
+		var hits atomic.Int64
+		err := ForEachCtx(ctx, w, 1000, func(i int) { hits.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v", w, err)
+		}
+		// Parallel workers may each claim at most one item before seeing
+		// the cancelled context.
+		if hits.Load() > int64(w) {
+			t.Fatalf("workers=%d: %d items ran on a pre-cancelled context", w, hits.Load())
+		}
+	}
+}
+
+// TestForEachCtxStress hammers concurrent runs with racing cancellations;
+// meaningful under -race (the CI test step runs it there).
+func TestForEachCtxStress(t *testing.T) {
+	var wg sync.WaitGroup
+	for round := 0; round < 16; round++ {
+		wg.Add(1)
+		go func(round int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var sum atomic.Int64
+			go func() {
+				time.Sleep(time.Duration(round%5) * 100 * time.Microsecond)
+				cancel()
+			}()
+			_ = ForEachCtx(ctx, 4, 4096, func(i int) { sum.Add(int64(i)) })
+		}(round)
+	}
+	wg.Wait()
 }

@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/failurelog"
+)
+
+// Client is an HTTP client for the diagnosis server with retry semantics
+// matched to the server's load-shedding: retryable statuses (429, 503) and
+// transport errors are retried with capped exponential backoff and jitter,
+// and an explicit Retry-After hint from the server overrides the computed
+// backoff. Permanent failures (400, 404, 500, 504) are returned
+// immediately — a request that exceeded its deadline once will exceed it
+// again.
+type Client struct {
+	// Base is the server's base URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the transport client (default http.DefaultClient).
+	HTTP *http.Client
+	// MaxAttempts bounds total tries per call (default 5).
+	MaxAttempts int
+	// BaseBackoff is the first retry delay (default 100ms); attempt k
+	// waits BaseBackoff<<k, capped at MaxBackoff (default 5s), scaled by
+	// a jitter factor uniform in [0.5, 1).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed makes the jitter sequence reproducible; 0 seeds from the
+	// default source.
+	Seed int64
+
+	rngOnce sync.Once
+	rngMu   sync.Mutex
+	rng     *rand.Rand
+}
+
+// StatusError is a non-2xx server response that was not retried (or
+// exhausted its retries).
+type StatusError struct {
+	Status  int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: server returned %d: %s", e.Status, e.Message)
+}
+
+func (c *Client) maxAttempts() int {
+	if c.MaxAttempts <= 0 {
+		return 5
+	}
+	return c.MaxAttempts
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// backoff computes the jittered delay before retry attempt (0-based), or
+// honors the server's Retry-After hint when one was given.
+func (c *Client) backoff(attempt int, retryAfter string) time.Duration {
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	base := c.BaseBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxB := c.MaxBackoff
+	if maxB <= 0 {
+		maxB = 5 * time.Second
+	}
+	d := base << uint(attempt)
+	if d > maxB || d <= 0 {
+		d = maxB
+	}
+	c.rngOnce.Do(func() {
+		seed := c.Seed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		c.rng = rand.New(rand.NewSource(seed))
+	})
+	c.rngMu.Lock()
+	jitter := 0.5 + 0.5*c.rng.Float64()
+	c.rngMu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}
+
+// retryable reports whether a response status is worth retrying: explicit
+// load-shedding and transient unavailability only.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// DiagnoseOptions tunes one Diagnose call.
+type DiagnoseOptions struct {
+	// Multi selects the multi-fault diagnosis path.
+	Multi bool
+	// Timeout asks the server to bound this request's deadline; 0 uses
+	// the server default.
+	Timeout time.Duration
+}
+
+// do runs one HTTP call with the retry loop. body is re-created per
+// attempt via mkBody.
+func (c *Client) do(ctx context.Context, method, url string, mkBody func() io.Reader) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		if attempt > 0 {
+			wait := c.backoff(attempt-1, lastRetryAfter(lastErr))
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("serve: client: %w (last error: %v)", ctx.Err(), lastErr)
+			}
+		}
+		var body io.Reader
+		if mkBody != nil {
+			body = mkBody()
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, body)
+		if err != nil {
+			return nil, fmt.Errorf("serve: client: %w", err)
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("serve: client: %w", ctx.Err())
+			}
+			lastErr = err // transport error: retry
+			continue
+		}
+		if retryable(resp.StatusCode) {
+			msg := readError(resp)
+			lastErr = &retryAfterError{
+				err:        &StatusError{Status: resp.StatusCode, Message: msg},
+				retryAfter: resp.Header.Get("Retry-After"),
+			}
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("serve: client: giving up after %d attempts: %w", c.maxAttempts(), unwrapRetry(lastErr))
+}
+
+// retryAfterError carries the server's Retry-After hint alongside the
+// underlying status error between attempts.
+type retryAfterError struct {
+	err        error
+	retryAfter string
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+func lastRetryAfter(err error) string {
+	if ra, ok := err.(*retryAfterError); ok {
+		return ra.retryAfter
+	}
+	return ""
+}
+
+func unwrapRetry(err error) error {
+	if ra, ok := err.(*retryAfterError); ok {
+		return ra.err
+	}
+	return err
+}
+
+// readError extracts the error message from a non-2xx response body.
+func readError(resp *http.Response) string {
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var er ErrorResponse
+	if json.Unmarshal(data, &er) == nil && er.Error != "" {
+		return er.Error
+	}
+	return string(bytes.TrimSpace(data))
+}
+
+// Diagnose posts a failure log and returns the parsed diagnosis response.
+func (c *Client) Diagnose(ctx context.Context, log *failurelog.Log, opt DiagnoseOptions) (*DiagnoseResponse, error) {
+	var buf bytes.Buffer
+	if err := failurelog.Write(&buf, log); err != nil {
+		return nil, fmt.Errorf("serve: client: encode log: %w", err)
+	}
+	url := c.Base + "/diagnose"
+	sep := "?"
+	if opt.Multi {
+		url += sep + "multi=1"
+		sep = "&"
+	}
+	if opt.Timeout > 0 {
+		url += sep + "timeout_ms=" + strconv.FormatInt(opt.Timeout.Milliseconds(), 10)
+	}
+	resp, err := c.do(ctx, http.MethodPost, url, func() io.Reader { return bytes.NewReader(buf.Bytes()) })
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &StatusError{Status: resp.StatusCode, Message: readErrorBody(resp.Body)}
+	}
+	var out DiagnoseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("serve: client: decode response: %w", err)
+	}
+	return &out, nil
+}
+
+func readErrorBody(body io.Reader) string {
+	data, _ := io.ReadAll(io.LimitReader(body, 64<<10))
+	var er ErrorResponse
+	if json.Unmarshal(data, &er) == nil && er.Error != "" {
+		return er.Error
+	}
+	return string(bytes.TrimSpace(data))
+}
+
+// Ready polls /readyz once; nil means the server is accepting traffic.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.check(ctx, "/readyz")
+}
+
+// Health polls /healthz once; nil means the process is alive.
+func (c *Client) Health(ctx context.Context) error {
+	return c.check(ctx, "/healthz")
+}
+
+func (c *Client) check(ctx context.Context, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return fmt.Errorf("serve: client: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("serve: client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &StatusError{Status: resp.StatusCode, Message: readErrorBody(resp.Body)}
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// WaitReady polls /readyz until it succeeds or ctx expires, backing off
+// between polls; useful for startup orchestration and integration tests.
+func (c *Client) WaitReady(ctx context.Context) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := c.Ready(ctx); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+			return fmt.Errorf("serve: client: server never became ready: %w (last: %v)", ctx.Err(), lastErr)
+		}
+	}
+}
+
+// Reload triggers a hot reload from the server's artifact store and
+// returns the loaded version.
+func (c *Client) Reload(ctx context.Context) (int, error) {
+	resp, err := c.do(ctx, http.MethodPost, c.Base+"/reload", nil)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, &StatusError{Status: resp.StatusCode, Message: readErrorBody(resp.Body)}
+	}
+	var out struct {
+		Version int `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, fmt.Errorf("serve: client: decode response: %w", err)
+	}
+	return out.Version, nil
+}

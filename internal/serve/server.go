@@ -1,0 +1,409 @@
+// Package serve packages the diagnosis framework as a long-running
+// HTTP/JSON inference service with the robustness semantics a production
+// volume-diagnosis front end needs:
+//
+//   - Bounded admission: at most MaxConcurrent diagnoses run at once and
+//     at most MaxQueue requests wait; beyond that the server sheds load
+//     with 429 + Retry-After instead of queueing unboundedly.
+//   - Deadlines: every request carries a context deadline (server default,
+//     client-overridable, capped), threaded through candidate scoring and
+//     back-tracing, so a slow diagnosis stops burning CPU the moment its
+//     deadline expires.
+//   - Panic isolation: a crashing request becomes a 500; the process and
+//     every other in-flight request keep going.
+//   - Graceful shutdown: StartDrain flips /readyz to 503 and sheds new
+//     diagnoses while in-flight requests run to completion within the
+//     drain deadline.
+//   - Hot reload: the served framework lives behind an atomic pointer and
+//     is swapped only after a candidate loaded from the artifact store
+//     passes full validation, so a corrupt artifact can never replace a
+//     working model.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/diagnosis"
+	"repro/internal/failurelog"
+	"repro/internal/policy"
+)
+
+// Config tunes the server's robustness envelope. The zero value gets
+// sensible production defaults from withDefaults.
+type Config struct {
+	// MaxConcurrent bounds simultaneously executing diagnoses
+	// (default GOMAXPROCS).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an execution slot; beyond it
+	// the server sheds with 429 (default 64).
+	MaxQueue int
+	// DefaultTimeout is the per-request deadline when the client does not
+	// send one (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines (default 2m).
+	MaxTimeout time.Duration
+	// RetryAfter is the hint returned with 429/503 responses (default 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds the accepted failure-log size (default 8 MiB).
+	MaxBodyBytes int64
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// CandidateJSON is one ranked suspect in a diagnosis response.
+type CandidateJSON struct {
+	Fault string  `json:"fault"`
+	Gate  int     `json:"gate"`
+	Pin   int     `json:"pin"`
+	Pol   int     `json:"pol"`
+	TFSF  int     `json:"tfsf"`
+	TFSP  int     `json:"tfsp"`
+	TPSF  int     `json:"tpsf"`
+	Score float64 `json:"score"`
+}
+
+// DiagnoseResponse is the JSON body of a successful diagnosis.
+type DiagnoseResponse struct {
+	Design         string          `json:"design"`
+	Compacted      bool            `json:"compacted"`
+	PredictedTier  int             `json:"predicted_tier"`
+	Confidence     float64         `json:"confidence"`
+	Pruned         bool            `json:"pruned"`
+	FaultyMIVs     []int           `json:"faulty_mivs,omitempty"`
+	ATPGResolution int             `json:"atpg_resolution"`
+	Candidates     []CandidateJSON `json:"candidates"`
+	ElapsedMS      float64         `json:"elapsed_ms"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server serves diagnosis requests for one loaded design bundle.
+type Server struct {
+	cfg    Config
+	bundle *dataset.Bundle
+	fw     atomic.Pointer[core.Framework]
+
+	store *artifact.Store
+	model string
+
+	sem      chan struct{}
+	queued   atomic.Int64
+	draining atomic.Bool
+
+	// Inflight counts admitted requests currently executing; exposed for
+	// drain diagnostics.
+	inflight atomic.Int64
+
+	mux http.Handler
+}
+
+// New builds a server for one bundle. fw may be nil (the server reports
+// not-ready until a framework is loaded via SetFramework or Reload).
+func New(b *dataset.Bundle, fw *core.Framework, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		bundle: b,
+		sem:    make(chan struct{}, cfg.MaxConcurrent),
+	}
+	if fw != nil {
+		s.fw.Store(fw)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/diagnose", s.handleDiagnose)
+	mux.HandleFunc("/reload", s.handleReload)
+	s.mux = s.recoverMiddleware(mux)
+	return s
+}
+
+// EnableReload points hot reload at an artifact-store name; Reload (and
+// POST /reload, and SIGHUP in cmd/m3dserve) will load the newest valid
+// version of that artifact.
+func (s *Server) EnableReload(store *artifact.Store, model string) {
+	s.store = store
+	s.model = model
+}
+
+// Handler returns the server's HTTP handler (panic isolation included).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Framework returns the currently served framework (nil before load).
+func (s *Server) Framework() *core.Framework { return s.fw.Load() }
+
+// SetFramework atomically swaps the served framework.
+func (s *Server) SetFramework(fw *core.Framework) { s.fw.Store(fw) }
+
+// StartDrain begins graceful shutdown: /readyz flips to 503 so load
+// balancers stop routing here, and new diagnosis requests are shed while
+// in-flight ones run to completion. Safe to call more than once.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Inflight returns the number of admitted diagnoses currently executing.
+func (s *Server) Inflight() int { return int(s.inflight.Load()) }
+
+// Reload loads the newest valid framework version from the artifact store
+// and swaps it in — but only after core.Load's full validation (shape and
+// chaining checks included) passes, so the running model is never replaced
+// by a corrupt or incompatible artifact. Corrupt store versions are
+// quarantined by the store and older versions tried automatically.
+func (s *Server) Reload() (version int, err error) {
+	if s.store == nil {
+		return 0, errors.New("serve: reload: no artifact store configured")
+	}
+	payload, path, version, err := s.store.LoadLatest(s.model)
+	if err != nil {
+		return 0, fmt.Errorf("serve: reload: %w", err)
+	}
+	fw, err := core.Load(bytes.NewReader(payload))
+	if err != nil {
+		return 0, fmt.Errorf("serve: reload: validate %s: %w", path, err)
+	}
+	s.fw.Store(fw)
+	s.cfg.Logf("serve: reloaded framework %s v%d (T_P=%.3f)", s.model, version, fw.TP)
+	return version, nil
+}
+
+// recoverMiddleware converts a panicking request into a 500 response
+// without killing the process or any other in-flight request.
+func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.cfg.Logf("serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", p))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+func (s *Server) retryAfterHeader(w http.ResponseWriter) {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		s.retryAfterHeader(w)
+		writeError(w, http.StatusServiceUnavailable, "draining")
+	case s.fw.Load() == nil:
+		s.retryAfterHeader(w)
+		writeError(w, http.StatusServiceUnavailable, "no framework loaded")
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	v, err := s.Reload()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "reloaded", "version": v})
+}
+
+// admit implements bounded admission: it acquires an execution slot,
+// waiting in the bounded queue if necessary. It returns a release func on
+// success, or an HTTP status describing why the request was not admitted.
+func (s *Server) admit(ctx context.Context) (release func(), status int, msg string) {
+	// Fast path: free slot, no queueing.
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, 0, ""
+	default:
+	}
+	// Queue, bounded: the (MaxQueue+1)-th waiter is shed immediately —
+	// explicit load-shedding beats unbounded latency under overload.
+	if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		return nil, http.StatusTooManyRequests,
+			fmt.Sprintf("admission queue full (%d executing, %d queued)", s.cfg.MaxConcurrent, s.cfg.MaxQueue)
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, 0, ""
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, http.StatusGatewayTimeout, "deadline expired while queued"
+		}
+		return nil, http.StatusServiceUnavailable, "request cancelled while queued"
+	}
+}
+
+// requestTimeout resolves the effective deadline for one request from the
+// timeout_ms query parameter, clamped to (0, MaxTimeout].
+func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("timeout_ms")
+	if raw == "" {
+		return s.cfg.DefaultTimeout, nil
+	}
+	ms, err := strconv.Atoi(raw)
+	if err != nil || ms <= 0 {
+		return 0, fmt.Errorf("bad timeout_ms %q", raw)
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.draining.Load() {
+		s.retryAfterHeader(w)
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	fw := s.fw.Load()
+	if fw == nil {
+		s.retryAfterHeader(w)
+		writeError(w, http.StatusServiceUnavailable, "no framework loaded")
+		return
+	}
+	timeout, err := s.requestTimeout(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// The admission wait shares the request deadline: a request must not
+	// queue longer than it is willing to run.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	release, status, msg := s.admit(ctx)
+	if release == nil {
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			s.retryAfterHeader(w)
+		}
+		writeError(w, status, msg)
+		return
+	}
+	defer release()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	log, err := failurelog.Read(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("parse failure log: %v", err))
+		return
+	}
+
+	start := time.Now()
+	var rep *diagnosis.Report
+	var out *policy.Outcome
+	if r.URL.Query().Get("multi") == "1" || r.URL.Query().Get("multi") == "true" {
+		rep, out, err = fw.DiagnoseMultiCtx(ctx, s.bundle, log)
+	} else {
+		rep, out, err = fw.DiagnoseCtx(ctx, s.bundle, log)
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, fmt.Sprintf("deadline exceeded after %v: %v", time.Since(start).Round(time.Millisecond), err))
+		case errors.Is(err, context.Canceled):
+			writeError(w, http.StatusServiceUnavailable, "request cancelled")
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+
+	resp := DiagnoseResponse{
+		Design:         rep.Design,
+		Compacted:      rep.Compacted,
+		PredictedTier:  out.PredictedTier,
+		Confidence:     out.Confidence,
+		Pruned:         out.Pruned,
+		FaultyMIVs:     out.FaultyMIVs,
+		ATPGResolution: rep.Resolution(),
+		Candidates:     make([]CandidateJSON, 0, len(out.Report.Candidates)),
+		ElapsedMS:      float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for _, c := range out.Report.Candidates {
+		resp.Candidates = append(resp.Candidates, CandidateJSON{
+			Fault: c.Fault.String(),
+			Gate:  c.Fault.Gate,
+			Pin:   c.Fault.Pin,
+			Pol:   int(c.Fault.Pol),
+			TFSF:  c.TFSF,
+			TFSP:  c.TFSP,
+			TPSF:  c.TPSF,
+			Score: c.Score,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

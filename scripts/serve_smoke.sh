@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — CI integration check for the diagnosis server.
+#
+# Builds m3dserve, generates a failure log, starts the server (training a
+# small model on first boot), posts the log to /diagnose and asserts a
+# well-formed report, then sends SIGTERM and asserts the drain contract:
+# /readyz answers 503 during the grace window, the process exits 0, and
+# every artifact in the store still passes checksum verification.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${SERVE_SMOKE_PORT:-18080}"
+BASE="http://127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+trap 'kill "${SRV_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "== build"
+go build -o "$WORK/m3dserve" ./cmd/m3dserve
+go build -o "$WORK/datagen" ./cmd/datagen
+
+echo "== generate a failure log"
+"$WORK/datagen" -design aes -scale 0.2 -samples 1 -out "$WORK/data" >/dev/null
+LOG="$(ls "$WORK"/data/*_fail_000.log)"
+
+echo "== start m3dserve (trains a small model on first boot)"
+"$WORK/m3dserve" -addr "127.0.0.1:${PORT}" -design aes -scale 0.2 \
+  -store "$WORK/store" -train-samples 40 \
+  -drain-grace 2s -drain-timeout 30s &
+SRV_PID=$!
+
+echo "== wait for /readyz"
+for i in $(seq 1 600); do
+  if curl -fsS "$BASE/readyz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$SRV_PID" 2>/dev/null; then
+    echo "server died during startup" >&2; exit 1
+  fi
+  sleep 0.5
+done
+curl -fsS "$BASE/readyz" >/dev/null
+
+echo "== POST /diagnose"
+RESP="$(curl -fsS --data-binary @"$LOG" "$BASE/diagnose?timeout_ms=60000")"
+echo "$RESP" | grep -q '"candidates"' || { echo "no candidates in response: $RESP" >&2; exit 1; }
+echo "$RESP" | grep -q '"predicted_tier"' || { echo "no predicted_tier in response: $RESP" >&2; exit 1; }
+
+echo "== SIGTERM: readiness must drop during the drain grace window"
+kill -TERM "$SRV_PID"
+sleep 0.5
+READY_STATUS="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz" || echo "down")"
+if [ "$READY_STATUS" != "503" ]; then
+  echo "expected /readyz 503 during drain, got: $READY_STATUS" >&2; exit 1
+fi
+
+echo "== server must drain and exit 0"
+if ! wait "$SRV_PID"; then
+  echo "server exited non-zero after SIGTERM" >&2; exit 1
+fi
+SRV_PID=""
+
+echo "== store must verify clean after the drain"
+"$WORK/m3dserve" -store "$WORK/store" -verify-store
+
+echo "serve smoke: OK"
