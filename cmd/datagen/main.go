@@ -23,6 +23,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/netlist"
 	"repro/internal/noise"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -36,7 +37,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "global seed")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all cores); output is identical for any value")
 	noiseLevel := flag.Float64("noise", 0, "tester-noise severity in [0,1]; 0 disables the noise model")
+	metrics := flag.Bool("metrics", false, "print generation metrics (attempts, rejects by reason, samples/sec) to stderr on exit")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		defer obs.Dump(os.Stderr, reg)
+	}
 
 	// Ctrl-C cancels between artifact writes, so an interrupted run leaves
 	// only complete files (every write below is atomic temp+rename).
@@ -83,7 +91,7 @@ func main() {
 
 	ss := b.Generate(dataset.SampleOptions{
 		Count: *samples, Compacted: *compacted, Seed: *seed + 5, Workers: *workers,
-		Noise: noise.ModelAt(*noiseLevel, *seed+7),
+		Noise: noise.ModelAt(*noiseLevel, *seed+7), Obs: reg,
 	})
 	written := 0
 	for i, smp := range ss {

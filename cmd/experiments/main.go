@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -34,6 +35,9 @@ func main() {
 	noiseLevels := flag.String("noise", "", "comma-separated tester-noise levels for the noise experiment (default 0,0.25,0.5,0.75,1)")
 	checkpoint := flag.String("checkpoint", "", "directory for training checkpoints; training resumes from any found there")
 	list := flag.Bool("list", false, "list experiments and exit")
+	metrics := flag.Bool("metrics", false, "print collected metrics (cache hits, training, data generation) to stderr on exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -43,6 +47,16 @@ func main() {
 		return
 	}
 
+	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal("profiles: %v", err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: profiles: %v\n", err)
+		}
+	}()
+
 	// Ctrl-C cancels the context so a long "all" run stops at the next
 	// experiment boundary with checkpoints flushed; a second Ctrl-C kills
 	// the process the usual way.
@@ -50,6 +64,10 @@ func main() {
 	defer stop()
 
 	s := experiment.NewSuite(os.Stdout)
+	if *metrics {
+		s.Obs = obs.NewRegistry()
+		defer obs.Dump(os.Stderr, s.Obs)
+	}
 	s.Scale = *scale
 	s.TrainCount = *train
 	s.TestCount = *test

@@ -22,6 +22,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/gen"
 	"repro/internal/noise"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -37,7 +38,28 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all cores); results are identical for any value")
 	noiseLevel := flag.Float64("noise", 0, "tester-noise severity in [0,1]; 0 disables the noise model")
 	checkpoint := flag.String("checkpoint", "", "directory for training checkpoints; resumes if one exists")
+	metrics := flag.Bool("metrics", false, "print collected metrics (data generation, training) to stderr on exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal("profiles: %v", err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "m3ddiag: profiles: %v\n", err)
+		}
+	}()
+
+	// A single process-wide registry; nil (all instrumentation free) unless
+	// -metrics asked for the dump.
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		defer obs.Dump(os.Stderr, reg)
+	}
 
 	p, ok := gen.ProfileByName(*design)
 	if !ok {
@@ -76,10 +98,10 @@ func main() {
 		fmt.Printf("training on %d samples ...\n", *trainSamples)
 		train := b.Generate(dataset.SampleOptions{
 			Count: *trainSamples, Seed: *seed + 2, Compacted: *compacted, MIVFraction: 0.2,
-			Workers: *workers, Noise: noise.ModelAt(*noiseLevel, *seed+7),
+			Workers: *workers, Noise: noise.ModelAt(*noiseLevel, *seed+7), Obs: reg,
 		})
 		fw, err = core.Train(train, core.TrainOptions{
-			Seed: *seed + 3, Workers: *workers, CheckpointDir: *checkpoint,
+			Seed: *seed + 3, Workers: *workers, CheckpointDir: *checkpoint, Obs: reg,
 		})
 		if err != nil {
 			fatal("train: %v", err)
@@ -97,7 +119,7 @@ func main() {
 
 	test := b.Generate(dataset.SampleOptions{
 		Count: *diagSamples, Seed: *seed + 9, Compacted: *compacted, MIVFraction: 0.2,
-		Workers: *workers, Noise: noise.ModelAt(*noiseLevel, *seed+11),
+		Workers: *workers, Noise: noise.ModelAt(*noiseLevel, *seed+11), Obs: reg,
 	})
 	for i, smp := range test {
 		rep, out := fw.Diagnose(b, smp.Log)

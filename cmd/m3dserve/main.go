@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -53,6 +55,9 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
 	drainGrace := flag.Duration("drain-grace", 500*time.Millisecond, "readiness-flip window before the listener closes, so load balancers see /readyz go 503")
 	verifyStore := flag.Bool("verify-store", false, "verify every artifact in the store and exit")
+	debugAddr := flag.String("debug-addr", "", "optional second listener with net/http/pprof handlers (e.g. 127.0.0.1:6060); empty disables")
+	traceRing := flag.Int("trace-ring", 64, "recent request traces retained for GET /debug/traces")
+	quiet := flag.Bool("quiet", false, "suppress the per-request access log (metrics and traces still record)")
 	flag.Parse()
 
 	logf := func(format string, args ...any) {
@@ -92,19 +97,46 @@ func main() {
 		fatal("build: %v", err)
 	}
 
-	fw, err := loadOrTrain(ctx, store, *modelName, b, *trainSamples, *seed, *compacted, *workers, logf)
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(reg, *traceRing)
+
+	fw, err := loadOrTrain(ctx, store, *modelName, b, *trainSamples, *seed, *compacted, *workers, reg, logf)
 	if err != nil {
 		fatal("%v", err)
 	}
 
+	accessLogf := logf
+	if *quiet {
+		accessLogf = nil
+	}
 	srv := serve.New(b, fw, serve.Config{
 		MaxConcurrent:  *concurrency,
 		MaxQueue:       *queue,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		Logf:           logf,
+		AccessLogf:     accessLogf,
+		Metrics:        reg,
+		Tracer:         tracer,
 	})
 	srv.EnableReload(store, *modelName)
+
+	// Optional pprof listener, kept off the service port so profiling
+	// endpoints are never reachable through the load balancer.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logf("debug listener (pprof) on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				logf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
@@ -156,7 +188,7 @@ func main() {
 // start is instant.
 func loadOrTrain(ctx context.Context, store *artifact.Store, name string, b *dataset.Bundle,
 	trainSamples int, seed int64, compacted bool, workers int,
-	logf func(string, ...any)) (*core.Framework, error) {
+	reg *obs.Registry, logf func(string, ...any)) (*core.Framework, error) {
 
 	if payload, path, v, err := store.LoadLatest(name); err == nil {
 		fw, err := core.Load(bytes.NewReader(payload))
@@ -178,9 +210,9 @@ func loadOrTrain(ctx context.Context, store *artifact.Store, name string, b *dat
 	logf("store holds no framework %q; training on %d samples ...", name, trainSamples)
 	train := b.Generate(dataset.SampleOptions{
 		Count: trainSamples, Seed: seed + 2, Compacted: compacted,
-		MIVFraction: 0.2, Workers: workers,
+		MIVFraction: 0.2, Workers: workers, Obs: reg,
 	})
-	fw, err := core.Train(train, core.TrainOptions{Seed: seed + 3, Workers: workers})
+	fw, err := core.Train(train, core.TrainOptions{Seed: seed + 3, Workers: workers, Obs: reg})
 	if err != nil {
 		return nil, fmt.Errorf("train: %w", err)
 	}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/diagnosis"
 	"repro/internal/failurelog"
 	"repro/internal/gnn"
+	"repro/internal/obs"
 	"repro/internal/policy"
 )
 
@@ -63,6 +64,10 @@ type TrainOptions struct {
 	// Stats, when non-nil, aggregates training counters (finite-loss-guard
 	// skips, resumed epochs) across the three models.
 	Stats *gnn.TrainStats
+	// Obs receives per-epoch training telemetry (loss, grad norm, epoch
+	// time) for all three models, labeled model="tier"/"cls"/"miv". Nil
+	// disables telemetry at zero cost.
+	Obs *obs.Registry
 }
 
 func (o TrainOptions) withDefaults() TrainOptions {
@@ -109,7 +114,7 @@ func Train(samples []dataset.Sample, opt TrainOptions) (*Framework, error) {
 	}
 	if _, err := fw.Tier.Train(tierSamples, gnn.TrainConfig{
 		Epochs: opt.Epochs, Seed: opt.Seed + 2, FitScaler: true, Workers: opt.Workers,
-		Checkpoint: ckpt("tier"), Stats: opt.Stats,
+		Checkpoint: ckpt("tier"), Stats: opt.Stats, Obs: opt.Obs, ObsModel: "tier",
 	}); err != nil {
 		return nil, fmt.Errorf("core: train tier-predictor: %w", err)
 	}
@@ -143,7 +148,7 @@ func Train(samples []dataset.Sample, opt TrainOptions) (*Framework, error) {
 		fw.Cls = gnn.NewClassifier(fw.Tier, opt.Seed+4)
 		if _, err := fw.Cls.Train(clsSamples, gnn.TrainConfig{
 			Epochs: opt.Epochs / 2, Seed: opt.Seed + 5, Workers: opt.Workers,
-			Checkpoint: ckpt("cls"), Stats: opt.Stats,
+			Checkpoint: ckpt("cls"), Stats: opt.Stats, Obs: opt.Obs, ObsModel: "cls",
 		}); err != nil {
 			return nil, fmt.Errorf("core: train classifier: %w", err)
 		}
@@ -173,7 +178,7 @@ func Train(samples []dataset.Sample, opt TrainOptions) (*Framework, error) {
 	}
 	if _, err := fw.MIV.Train(nodeSamples, gnn.TrainConfig{
 		Epochs: opt.Epochs, Seed: opt.Seed + 6, FitScaler: true, Workers: opt.Workers,
-		Checkpoint: ckpt("miv"), Stats: opt.Stats,
+		Checkpoint: ckpt("miv"), Stats: opt.Stats, Obs: opt.Obs, ObsModel: "miv",
 	}); err != nil {
 		return nil, fmt.Errorf("core: train miv-pinpointer: %w", err)
 	}
@@ -205,6 +210,7 @@ func (fw *Framework) Diagnose(b *dataset.Bundle, log *failurelog.Log) (*diagnosi
 // running to completion. On cancellation it returns nil results and the
 // context's error.
 func (fw *Framework) DiagnoseCtx(ctx context.Context, b *dataset.Bundle, log *failurelog.Log) (*diagnosis.Report, *policy.Outcome, error) {
+	defer obs.Start(ctx, "core.diagnose").End()
 	rep, err := b.Diag.DiagnoseCtx(ctx, log)
 	if err != nil {
 		return nil, nil, err
@@ -216,7 +222,9 @@ func (fw *Framework) DiagnoseCtx(ctx context.Context, b *dataset.Bundle, log *fa
 	if err := ctx.Err(); err != nil {
 		return nil, nil, fmt.Errorf("core: diagnose: %w", err)
 	}
-	out := fw.PolicyFor(b).Apply(rep, sg)
+	span := obs.Start(ctx, "policy.apply")
+	out := fw.PolicyFor(b).ApplyCtx(ctx, rep, sg)
+	span.End()
 	return rep, out, nil
 }
 
@@ -224,6 +232,7 @@ func (fw *Framework) DiagnoseCtx(ctx context.Context, b *dataset.Bundle, log *fa
 // simultaneous same-tier defects (Section VII-A): the ATPG stage uses the
 // relaxed multi-fault extraction and greedy set cover.
 func (fw *Framework) DiagnoseMultiCtx(ctx context.Context, b *dataset.Bundle, log *failurelog.Log) (*diagnosis.Report, *policy.Outcome, error) {
+	defer obs.Start(ctx, "core.diagnose_multi").End()
 	rep, err := b.Diag.DiagnoseMultiCtx(ctx, log)
 	if err != nil {
 		return nil, nil, err
@@ -235,7 +244,9 @@ func (fw *Framework) DiagnoseMultiCtx(ctx context.Context, b *dataset.Bundle, lo
 	if err := ctx.Err(); err != nil {
 		return nil, nil, fmt.Errorf("core: diagnose: %w", err)
 	}
-	out := fw.PolicyFor(b).Apply(rep, sg)
+	span := obs.Start(ctx, "policy.apply")
+	out := fw.PolicyFor(b).ApplyCtx(ctx, rep, sg)
+	span.End()
 	return rep, out, nil
 }
 

@@ -8,6 +8,7 @@ package dataset
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/atpg"
 	"repro/internal/diagnosis"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/hgraph"
 	"repro/internal/netlist"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/scan"
@@ -199,6 +201,12 @@ type SampleOptions struct {
 	// Workers bounds the injection/back-trace fan-out (0 = all cores).
 	// The generated samples are identical for every worker count.
 	Workers int
+	// Obs, when non-nil, receives generation telemetry: attempt/accept/
+	// reject counters (rejects labeled by reason, including noise-emptied
+	// logs) and a samples-per-second gauge. The attempt count depends on
+	// batch sizing (and therefore worker count); the produced samples never
+	// do.
+	Obs *obs.Registry
 }
 
 // attemptFactor bounds total injection attempts at Count*attemptFactor,
@@ -226,6 +234,20 @@ func (b *Bundle) Generate(opt SampleOptions) []Sample {
 	for i := 1; i < workers; i++ {
 		engines[i] = b.Diag.Fork()
 	}
+	// Telemetry handles resolved once; all nil (free no-ops) when opt.Obs
+	// is nil. Attempt accounting always satisfies attempts == accepted +
+	// sum(rejected by reason) because every attempt either yields a sample
+	// or names its rejection reason.
+	var start time.Time
+	if opt.Obs != nil {
+		opt.Obs.Describe("m3d_dataset_attempts_total", "Fault-injection attempts executed by dataset generation.")
+		opt.Obs.Describe("m3d_dataset_accepted_total", "Attempts that produced a usable labeled sample.")
+		opt.Obs.Describe("m3d_dataset_rejected_total", "Attempts rejected, labeled by reason (undetected, noise_emptied, no_multi_tier).")
+		opt.Obs.Describe("m3d_dataset_samples_per_second", "Throughput of the most recent Generate call.")
+		start = time.Now()
+	}
+	cAttempts := opt.Obs.Counter("m3d_dataset_attempts_total")
+	cAccepted := opt.Obs.Counter("m3d_dataset_accepted_total")
 	maxAttempts := opt.Count * attemptFactor
 	// Batch sizing trades wasted attempts past Count against fan-out
 	// efficiency; it has no effect on which samples are produced.
@@ -239,30 +261,48 @@ func (b *Bundle) Generate(opt SampleOptions) []Sample {
 		if next+n > maxAttempts {
 			n = maxAttempts - next
 		}
-		results := par.MapWorker(workers, n, func(w, i int) *Sample {
+		results := par.MapWorker(workers, n, func(w, i int) attemptResult {
 			return b.attempt(engines[w], uint64(next+i), opt)
 		})
-		for _, s := range results {
-			if s != nil && len(out) < opt.Count {
-				out = append(out, *s)
+		cAttempts.Add(int64(n))
+		for _, r := range results {
+			if r.s == nil {
+				opt.Obs.Counter("m3d_dataset_rejected_total", "reason", r.reject).Inc()
+				continue
+			}
+			cAccepted.Inc()
+			if len(out) < opt.Count {
+				out = append(out, *r.s)
 			}
 		}
 	}
+	if opt.Obs != nil {
+		if dt := time.Since(start).Seconds(); dt > 0 {
+			opt.Obs.Gauge("m3d_dataset_samples_per_second").Set(float64(len(out)) / dt)
+		}
+	}
 	return out
+}
+
+// attemptResult pairs an attempt's sample with its rejection reason ("" on
+// success) so generation telemetry can break rejects down by cause.
+type attemptResult struct {
+	s      *Sample
+	reject string
 }
 
 // attempt runs one indexed injection attempt on the given (possibly
 // forked) diagnosis engine. It returns nil when the drawn fault set is
 // undetected by the pattern set (the attempt is rejected, matching the
 // paper's "every sample is a failing chip").
-func (b *Bundle) attempt(eng *diagnosis.Engine, index uint64, opt SampleOptions) *Sample {
+func (b *Bundle) attempt(eng *diagnosis.Engine, index uint64, opt SampleOptions) attemptResult {
 	rng := rand.New(rand.NewSource(par.SeedFor(opt.Seed, index)))
 	var faults []faultsim.Fault
 	switch {
 	case opt.MultiFault:
 		faults = b.drawMultiFault(rng)
 		if len(faults) < 2 {
-			return nil // no tier can host a multi-fault defect
+			return attemptResult{reject: "no_multi_tier"} // no tier can host a multi-fault defect
 		}
 	case rng.Float64() < opt.MIVFraction && len(b.mivFaults) > 0:
 		faults = []faultsim.Fault{b.mivFaults[rng.Intn(len(b.mivFaults))]}
@@ -271,12 +311,12 @@ func (b *Bundle) attempt(eng *diagnosis.Engine, index uint64, opt SampleOptions)
 	}
 	log := eng.InjectLog(faults, opt.Compacted)
 	if log.Empty() {
-		return nil
+		return attemptResult{reject: "undetected"}
 	}
 	if !opt.Noise.IsIdentity() {
 		log = opt.Noise.Apply(log, index, b.ATPG.Patterns.N, b.Arch.NumObs(opt.Compacted))
 		if log.Empty() {
-			return nil
+			return attemptResult{reject: "noise_emptied"}
 		}
 	}
 	if len(log.Fails) > opt.MaxFails {
@@ -288,13 +328,13 @@ func (b *Bundle) attempt(eng *diagnosis.Engine, index uint64, opt SampleOptions)
 	for i, f := range faults {
 		sites[i] = f.SiteGate(b.Netlist)
 	}
-	return &Sample{
+	return attemptResult{s: &Sample{
 		Faults:    faults,
 		Sites:     sites,
 		Log:       log,
 		SG:        sg,
 		TierLabel: tierLabel(b.Netlist, faults),
-	}
+	}}
 }
 
 // drawMultiFault picks 2-5 gate faults in one tier (systematic defects).

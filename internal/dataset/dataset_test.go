@@ -11,6 +11,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/netlist"
 	"repro/internal/noise"
+	"repro/internal/obs"
 )
 
 func tinyBundle(t *testing.T, cfg ConfigName) *Bundle {
@@ -338,5 +339,46 @@ func TestGenerateNoisePerturbs(t *testing.T) {
 	}
 	if !changed && len(noisy) == len(clean) {
 		t.Fatal("max-severity noise left every log untouched")
+	}
+}
+
+// TestGenerateTelemetryCounters checks the attempt accounting invariant:
+// every executed attempt either produced a sample or named its rejection
+// reason, so attempts == accepted + sum(rejected). The produced samples
+// must be bitwise-unchanged by instrumentation.
+func TestGenerateTelemetryCounters(t *testing.T) {
+	b := tinyBundle(t, Syn1)
+	reg := obs.NewRegistry()
+	opt := SampleOptions{Count: 20, Seed: 5, MIVFraction: 0.3, Noise: noise.ModelAt(0.5, 11)}
+	plain := b.Generate(opt)
+	opt.Obs = reg
+	instrumented := b.Generate(opt)
+
+	if len(plain) != len(instrumented) {
+		t.Fatalf("instrumentation changed sample count: %d vs %d", len(plain), len(instrumented))
+	}
+	for i := range plain {
+		if len(plain[i].Log.Fails) != len(instrumented[i].Log.Fails) || plain[i].TierLabel != instrumented[i].TierLabel {
+			t.Fatalf("instrumentation changed sample %d", i)
+		}
+	}
+
+	attempts := reg.Counter("m3d_dataset_attempts_total").Value()
+	accepted := reg.Counter("m3d_dataset_accepted_total").Value()
+	rejected := int64(0)
+	for _, reason := range []string{"undetected", "noise_emptied", "no_multi_tier"} {
+		rejected += reg.Counter("m3d_dataset_rejected_total", "reason", reason).Value()
+	}
+	if attempts == 0 {
+		t.Fatal("no attempts counted")
+	}
+	if attempts != accepted+rejected {
+		t.Fatalf("attempts %d != accepted %d + rejected %d", attempts, accepted, rejected)
+	}
+	if accepted < int64(len(instrumented)) {
+		t.Fatalf("accepted %d < produced %d", accepted, len(instrumented))
+	}
+	if sps := reg.Gauge("m3d_dataset_samples_per_second").Value(); sps <= 0 {
+		t.Fatalf("samples/sec gauge %v", sps)
 	}
 }

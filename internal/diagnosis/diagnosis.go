@@ -27,6 +27,7 @@ import (
 	"repro/internal/failurelog"
 	"repro/internal/faultsim"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/scan"
 	"repro/internal/sim"
 )
@@ -408,8 +409,11 @@ func (d *Engine) DiagnoseCtx(ctx context.Context, log *failurelog.Log) (*Report,
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("diagnosis: %w", err)
 	}
+	span := obs.Start(ctx, "diagnosis.extract")
 	count, responses := d.suspects(log)
 	cands := d.extractCandidates(log, count, responses)
+	span.End()
+	obs.Add(ctx, "m3d_diag_candidates_extracted_total", int64(len(cands)))
 
 	observed := make(map[int64]bool, len(log.Fails))
 	for _, f := range log.Fails {
@@ -420,9 +424,11 @@ func (d *Engine) DiagnoseCtx(ctx context.Context, log *failurelog.Log) (*Report,
 		horizon = log.LastPattern()
 	}
 	// Stage 1: score net-level candidates.
+	span = obs.Start(ctx, "diagnosis.score")
 	scored := make([]Candidate, 0, len(cands))
 	for _, cand := range cands {
 		if err := ctx.Err(); err != nil {
+			span.End()
 			return nil, fmt.Errorf("diagnosis: %w", err)
 		}
 		c := d.score(cand, observed, log.Compacted, horizon)
@@ -431,6 +437,8 @@ func (d *Engine) DiagnoseCtx(ctx context.Context, log *failurelog.Log) (*Report,
 		}
 		scored = append(scored, c)
 	}
+	span.End()
+	obs.Add(ctx, "m3d_diag_candidates_scored_total", int64(len(cands)))
 	// Ties (equivalence classes: buffer chains, MIVs, indistinguishable
 	// reconvergent sites) are ordered by a deterministic hash — a real
 	// tool has no oracle to put the true defect first within a class.
@@ -449,6 +457,7 @@ func (d *Engine) DiagnoseCtx(ctx context.Context, log *failurelog.Log) (*Report,
 	rank()
 	// Stage 2: refine the strongest net-level candidates to pin
 	// granularity (branch faults dodge reconvergent aliasing).
+	span = obs.Start(ctx, "diagnosis.refine")
 	const refineTop = 40
 	n2 := len(scored)
 	if n2 > refineTop {
@@ -456,6 +465,7 @@ func (d *Engine) DiagnoseCtx(ctx context.Context, log *failurelog.Log) (*Report,
 	}
 	for _, c := range scored[:n2] {
 		if err := ctx.Err(); err != nil {
+			span.End()
 			return nil, fmt.Errorf("diagnosis: %w", err)
 		}
 		for _, bc := range d.branchCandidates(c.Fault) {
@@ -465,6 +475,7 @@ func (d *Engine) DiagnoseCtx(ctx context.Context, log *failurelog.Log) (*Report,
 			}
 		}
 	}
+	span.End()
 	rank()
 	if len(scored) == 0 {
 		return rep, nil

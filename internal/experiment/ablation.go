@@ -18,8 +18,8 @@ func (s *Suite) Ablations() error {
 	if err != nil {
 		return err
 	}
-	train := b.Generate(dataset.SampleOptions{Count: s.TrainCount, Seed: s.Seed + 700, MIVFraction: 0.2, Workers: s.Workers})
-	test := b.Generate(dataset.SampleOptions{Count: s.TestCount, Seed: s.Seed + 701, MIVFraction: 0.2, Workers: s.Workers})
+	train := b.Generate(dataset.SampleOptions{Count: s.TrainCount, Seed: s.Seed + 700, MIVFraction: 0.2, Workers: s.Workers, Obs: s.Obs})
+	test := b.Generate(dataset.SampleOptions{Count: s.TestCount, Seed: s.Seed + 701, MIVFraction: 0.2, Workers: s.Workers, Obs: s.Obs})
 
 	tierAcc := func(tp *gnn.TierPredictor, samples []dataset.Sample) float64 {
 		ok, n := 0, 0
@@ -57,11 +57,11 @@ func (s *Suite) Ablations() error {
 		}
 		return out
 	}
-	fwFull, err := core.Train(train, core.TrainOptions{Seed: s.Seed + 702, SkipClassifier: true, Workers: s.Workers})
+	fwFull, err := core.Train(train, core.TrainOptions{Seed: s.Seed + 702, SkipClassifier: true, Workers: s.Workers, Obs: s.Obs})
 	if err != nil {
 		return err
 	}
-	fwNoTop, err := core.Train(zeroTop(train), core.TrainOptions{Seed: s.Seed + 702, SkipClassifier: true, Workers: s.Workers})
+	fwNoTop, err := core.Train(zeroTop(train), core.TrainOptions{Seed: s.Seed + 702, SkipClassifier: true, Workers: s.Workers, Obs: s.Obs})
 	if err != nil {
 		return err
 	}
@@ -69,7 +69,7 @@ func (s *Suite) Ablations() error {
 		tierAcc(fwFull.Tier, test)*100, tierAcc(fwNoTop.Tier, zeroTop(test))*100)
 
 	// 2. PR threshold vs fixed 0.5.
-	fw, err := core.Train(train, core.TrainOptions{Seed: s.Seed + 703, Workers: s.Workers})
+	fw, err := core.Train(train, core.TrainOptions{Seed: s.Seed + 703, Workers: s.Workers, Obs: s.Obs})
 	if err != nil {
 		return err
 	}
@@ -130,11 +130,11 @@ func (s *Suite) Ablations() error {
 		return ok, n
 	}
 	cOS := gnn.NewClassifier(fw.Tier, s.Seed+704)
-	if _, err := cOS.Train(policy.Oversample(cls, s.Seed+705), gnn.TrainConfig{Epochs: 15, Seed: s.Seed + 706, Workers: s.Workers}); err != nil {
+	if _, err := cOS.Train(policy.Oversample(cls, s.Seed+705), gnn.TrainConfig{Epochs: 15, Seed: s.Seed + 706, Workers: s.Workers, Obs: s.Obs}); err != nil {
 		return err
 	}
 	cRaw := gnn.NewClassifier(fw.Tier, s.Seed+704)
-	if _, err := cRaw.Train(cls, gnn.TrainConfig{Epochs: 15, Seed: s.Seed + 706, Workers: s.Workers}); err != nil {
+	if _, err := cRaw.Train(cls, gnn.TrainConfig{Epochs: 15, Seed: s.Seed + 706, Workers: s.Workers, Obs: s.Obs}); err != nil {
 		return err
 	}
 	a, an := fpCaught(cOS)

@@ -103,9 +103,9 @@ func (s *Suite) Fig6() error {
 		}
 		train := b.Generate(dataset.SampleOptions{
 			Count: s.TrainCount, Seed: s.Seed + 500 + hash(string(cfg)), MIVFraction: 0.2,
-			Workers: s.Workers,
+			Workers: s.Workers, Obs: s.Obs,
 		})
-		dedicated, err := core.Train(train, core.TrainOptions{Seed: s.Seed + 501, Workers: s.Workers})
+		dedicated, err := core.Train(train, core.TrainOptions{Seed: s.Seed + 501, Workers: s.Workers, Obs: s.Obs})
 		if err != nil {
 			return err
 		}
@@ -183,7 +183,7 @@ func (s *Suite) measureRuntime(design string) (*RuntimeBreakdown, error) {
 		return nil, err
 	}
 	t0 = time.Now()
-	fw, err := core.Train(train, core.TrainOptions{Seed: s.Seed + 600, Workers: s.Workers})
+	fw, err := core.Train(train, core.TrainOptions{Seed: s.Seed + 600, Workers: s.Workers, Obs: s.Obs})
 	if err != nil {
 		return nil, err
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/diagnosis"
 	"repro/internal/failurelog"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -46,9 +47,14 @@ type Suite struct {
 	// checkpoints under per-(design, mode) subdirectories and resume from
 	// them on a rerun.
 	CheckpointDir string
+	// Obs, when non-nil, receives suite telemetry: singleflight
+	// hit/miss counters per cache plus the training and data-generation
+	// metrics of the underlying packages. Set before the first Run call.
+	Obs *obs.Registry
 	// W receives the table/figure output.
 	W io.Writer
 
+	obsOnce    sync.Once
 	bundles    par.Flight[*dataset.Bundle]
 	frameworks par.Flight[*core.Framework]
 	baselines  par.Flight[*baseline.Model]
@@ -114,6 +120,7 @@ func (s *Suite) RunContext(ctx context.Context, name string) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("experiment: %w", err)
 	}
+	s.obsOnce.Do(s.wireObs)
 	if name == "all" {
 		// Bundle construction (partitioning, ATPG, scan stitching) is the
 		// dominant fixed cost and every bundle is independent, so warm the
@@ -159,6 +166,31 @@ func (s *Suite) RunContext(ctx context.Context, name string) error {
 		return s.TableNoise()
 	}
 	return fmt.Errorf("experiment: unknown experiment %q (have %v)", name, Experiments())
+}
+
+// wireObs attaches singleflight hit/miss counters to the suite's caches.
+// With a nil registry every handle is nil, so the hooks stay unset and Do
+// runs exactly as before.
+func (s *Suite) wireObs() {
+	if s.Obs == nil {
+		return
+	}
+	s.Obs.Describe("m3d_suite_cache_total", "Singleflight lookups in the experiment suite, labeled by cache and hit/miss.")
+	hook := func(cache string) func(string, bool) {
+		hit := s.Obs.Counter("m3d_suite_cache_total", "cache", cache, "result", "hit")
+		miss := s.Obs.Counter("m3d_suite_cache_total", "cache", cache, "result", "miss")
+		return func(_ string, wasHit bool) {
+			if wasHit {
+				hit.Inc()
+			} else {
+				miss.Inc()
+			}
+		}
+	}
+	s.bundles.Hook = hook("bundles")
+	s.frameworks.Hook = hook("frameworks")
+	s.baselines.Hook = hook("baselines")
+	s.samples.Hook = hook("samples")
 }
 
 // profile returns the (possibly rescaled) profile of a design.
@@ -223,7 +255,7 @@ func (s *Suite) testSamples(design string, cfg dataset.ConfigName, compacted boo
 	ss, err := s.samples.Do(key, func() ([]dataset.Sample, error) {
 		return b.Generate(dataset.SampleOptions{
 			Count: s.TestCount, Compacted: compacted, Seed: s.Seed + 40 + hash(key),
-			Workers: s.Workers,
+			Workers: s.Workers, Obs: s.Obs,
 		}), nil
 	})
 	return ss, b, err
@@ -254,7 +286,7 @@ func (s *Suite) trainSamples(design string, compacted bool) ([]dataset.Sample, e
 			out = append(out, b.Generate(dataset.SampleOptions{
 				Count: sp.count, Compacted: compacted,
 				Seed: s.Seed + 100 + int64(i) + hash(key), MIVFraction: 0.2,
-				Workers: s.Workers,
+				Workers: s.Workers, Obs: s.Obs,
 			})...)
 		}
 		return out, nil
@@ -270,7 +302,7 @@ func (s *Suite) framework(design string, compacted bool) (*core.Framework, error
 			return nil, err
 		}
 		return core.Train(train, core.TrainOptions{
-			Seed: s.Seed + 7, Workers: s.Workers,
+			Seed: s.Seed + 7, Workers: s.Workers, Obs: s.Obs,
 			CheckpointDir: s.checkpointDir(design, compacted),
 		})
 	})
@@ -293,7 +325,7 @@ func (s *Suite) baselineModel(design string, compacted bool) (*baseline.Model, e
 		}
 		train := b.Generate(dataset.SampleOptions{
 			Count: limit, Compacted: compacted, Seed: s.Seed + 200 + hash(key),
-			Workers: s.Workers,
+			Workers: s.Workers, Obs: s.Obs,
 		})
 		reps := s.parallelDiagnose(b, train, false)
 		var samples []baseline.Sample

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/hgraph"
 	"repro/internal/mat"
+	"repro/internal/obs"
 )
 
 // syntheticGraph builds a small subgraph whose label is encoded in a
@@ -425,5 +426,42 @@ func TestPredictEmptySubgraph(t *testing.T) {
 	pTop, pBottom := tp.Predict(empty)
 	if pTop != 0.5 || pBottom != 0.5 {
 		t.Fatalf("empty subgraph should be uniform: %v %v", pTop, pBottom)
+	}
+}
+
+// TestFitPublishesTelemetry checks the per-epoch training metrics and that
+// enabling them cannot perturb the trained weights.
+func TestFitPublishesTelemetry(t *testing.T) {
+	train := makeDataset(10, 40)
+	reg := obs.NewRegistry()
+	cfg := TrainConfig{Epochs: 4, Seed: 1, FitScaler: true}
+
+	plain := NewTierPredictor(42)
+	if _, err := plain.Model.Fit(train, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Obs, cfg.ObsModel = reg, "tier"
+	instrumented := NewTierPredictor(42)
+	if _, err := instrumented.Model.Fit(train, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range plain.Model.Layers[0].W.Data {
+		if instrumented.Model.Layers[0].W.Data[i] != v {
+			t.Fatal("telemetry changed the trained weights")
+		}
+	}
+
+	if got := reg.Counter("m3d_train_epochs_total", "model", "tier").Value(); got != 4 {
+		t.Fatalf("epochs counter %d, want 4", got)
+	}
+	loss := reg.Gauge("m3d_train_epoch_loss", "model", "tier").Value()
+	if math.IsNaN(loss) || loss <= 0 {
+		t.Fatalf("epoch loss gauge %v", loss)
+	}
+	if gn := reg.Gauge("m3d_train_grad_norm", "model", "tier").Value(); gn <= 0 {
+		t.Fatalf("grad norm gauge %v", gn)
+	}
+	if es := reg.Gauge("m3d_train_epoch_seconds", "model", "tier").Value(); es <= 0 {
+		t.Fatalf("epoch seconds gauge %v", es)
 	}
 }

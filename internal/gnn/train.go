@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/hgraph"
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -46,6 +48,12 @@ type TrainConfig struct {
 	// Stats, when non-nil, receives counters from the run: batches skipped
 	// by the finite-loss guard and epochs restored from a checkpoint.
 	Stats *TrainStats
+	// Obs, when non-nil, receives per-epoch training telemetry (loss,
+	// gradient norm, epoch wall time) labeled by ObsModel. Telemetry is
+	// read-only aggregation and never changes the trained weights.
+	Obs *obs.Registry
+	// ObsModel labels this run's metrics (e.g. "tier", "cls", "miv").
+	ObsModel string
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -104,6 +112,82 @@ func (a *adam) step(ps []*mat.Matrix, gs []*mat.Matrix, vs [][]float64, gvs [][]
 			p[i] -= a.lr * (m[i] / c1) / (math.Sqrt(v[i]/c2) + a.eps)
 		}
 	}
+}
+
+// trainObs holds metric handles for one training run, resolved once before
+// the epoch loop so the hot path never touches the registry. A nil
+// *trainObs (observability disabled) makes every method a free no-op.
+type trainObs struct {
+	loss, gradNorm, epochSec *obs.Gauge
+	epochs, skipped          *obs.Counter
+}
+
+func newTrainObs(cfg TrainConfig) *trainObs {
+	if cfg.Obs == nil {
+		return nil
+	}
+	model := cfg.ObsModel
+	if model == "" {
+		model = "model"
+	}
+	cfg.Obs.Describe("m3d_train_epoch_loss", "Mean training loss of the most recent completed epoch.")
+	cfg.Obs.Describe("m3d_train_grad_norm", "L2 norm of the accumulated gradients at the last optimizer step of the most recent epoch.")
+	cfg.Obs.Describe("m3d_train_epoch_seconds", "Wall time of the most recent completed epoch.")
+	cfg.Obs.Describe("m3d_train_epochs_total", "Completed training epochs.")
+	cfg.Obs.Describe("m3d_train_skipped_batches_total", "Mini-batches dropped by the finite-loss guard.")
+	return &trainObs{
+		loss:     cfg.Obs.Gauge("m3d_train_epoch_loss", "model", model),
+		gradNorm: cfg.Obs.Gauge("m3d_train_grad_norm", "model", model),
+		epochSec: cfg.Obs.Gauge("m3d_train_epoch_seconds", "model", model),
+		epochs:   cfg.Obs.Counter("m3d_train_epochs_total", "model", model),
+		skipped:  cfg.Obs.Counter("m3d_train_skipped_batches_total", "model", model),
+	}
+}
+
+// epochStart returns the timestamp to measure the epoch against, avoiding
+// the clock read entirely when telemetry is off.
+func (t *trainObs) epochStart() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// endEpoch publishes one completed epoch's gauges.
+func (t *trainObs) endEpoch(start time.Time, loss float64) {
+	if t == nil {
+		return
+	}
+	t.loss.Set(loss)
+	t.epochSec.Set(time.Since(start).Seconds())
+	t.epochs.Inc()
+}
+
+// observeGrads records the L2 norm of the currently accumulated gradients;
+// called just before the final optimizer step of an epoch.
+func (t *trainObs) observeGrads(gs []*mat.Matrix, gvs [][]float64) {
+	if t == nil {
+		return
+	}
+	sum := 0.0
+	for _, g := range gs {
+		for _, v := range g.Data {
+			sum += v * v
+		}
+	}
+	for _, g := range gvs {
+		for _, v := range g {
+			sum += v * v
+		}
+	}
+	t.gradNorm.Set(math.Sqrt(sum))
+}
+
+func (t *trainObs) skipBatch() {
+	if t == nil {
+		return
+	}
+	t.skipped.Inc()
 }
 
 // trainSlots allocates the per-batch-slot replicas and loss buffers used
@@ -192,8 +276,10 @@ func (m *Model) Fit(samples []GraphSample, cfg TrainConfig) (float64, error) {
 		return 0, fmt.Errorf("gnn: fit: %w", err)
 	}
 	workers, slots, losses := m.trainSlots(cfg)
+	tobs := newTrainObs(cfg)
 	lastLoss := 0.0
 	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
+		epochT := tobs.epochStart()
 		perm := rng.Perm(len(samples))
 		// Drop untrainable samples up front so batch boundaries are fixed
 		// before the parallel fan-out.
@@ -231,18 +317,23 @@ func (m *Model) Fit(samples []GraphSample, cfg TrainConfig) (float64, error) {
 				if cfg.Stats != nil {
 					cfg.Stats.SkippedBatches++
 				}
+				tobs.skipBatch()
 				continue
 			}
 			for k := 0; k < n; k++ {
 				m.addGradsFrom(slots[k])
 			}
 			total += batchLoss
+			if start+cfg.Batch >= len(kept) {
+				tobs.observeGrads(gs, gvs)
+			}
 			opt.step(ps, gs, vs, gvs, 1/float64(n))
 			m.zeroGrads()
 		}
 		if len(kept) > 0 {
 			lastLoss = total / float64(len(kept))
 		}
+		tobs.endEpoch(epochT, lastLoss)
 		if err := m.maybeCheckpoint(cfg, opt, epoch); err != nil {
 			return lastLoss, fmt.Errorf("gnn: fit: %w", err)
 		}
@@ -270,8 +361,10 @@ func (m *Model) FitNodes(samples []NodeSample, cfg TrainConfig) (float64, error)
 		return 0, fmt.Errorf("gnn: fitnodes: %w", err)
 	}
 	workers, slots, losses := m.trainSlots(cfg)
+	tobs := newTrainObs(cfg)
 	lastLoss := 0.0
 	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
+		epochT := tobs.epochStart()
 		perm := rng.Perm(len(samples))
 		kept := perm[:0]
 		for _, si := range perm {
@@ -316,6 +409,7 @@ func (m *Model) FitNodes(samples []NodeSample, cfg TrainConfig) (float64, error)
 				if cfg.Stats != nil {
 					cfg.Stats.SkippedBatches++
 				}
+				tobs.skipBatch()
 				continue
 			}
 			for k := 0; k < n; k++ {
@@ -323,12 +417,16 @@ func (m *Model) FitNodes(samples []NodeSample, cfg TrainConfig) (float64, error)
 				count += len(samples[kept[start+k]].NodeIdx)
 			}
 			total += batchLoss
+			if start+cfg.Batch >= len(kept) {
+				tobs.observeGrads(gs, gvs)
+			}
 			opt.step(ps, gs, vs, gvs, 1/float64(n))
 			m.zeroGrads()
 		}
 		if count > 0 {
 			lastLoss = total / float64(count)
 		}
+		tobs.endEpoch(epochT, lastLoss)
 		if err := m.maybeCheckpoint(cfg, opt, epoch); err != nil {
 			return lastLoss, fmt.Errorf("gnn: fitnodes: %w", err)
 		}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/failurelog"
 	"repro/internal/mat"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -55,6 +56,7 @@ const ctxCheckStride = 4096
 // large cone stops promptly when the request deadline expires. On
 // cancellation it returns a nil subgraph and ctx's error.
 func (g *Graph) BacktraceCtx(ctx context.Context, log *failurelog.Log, res *sim.Result) (*Subgraph, error) {
+	defer obs.Start(ctx, "hgraph.backtrace").End()
 	// Fails outside the simulated pattern set or the observation space
 	// (mismatched or noisy tester logs) cannot be back-traced; drop them
 	// rather than index out of range.

@@ -1,0 +1,450 @@
+// Package obs is the repository's stdlib-only observability layer: a
+// concurrency-safe metrics registry (counters, gauges, histograms with
+// fixed bucket layouts) exported in Prometheus text format, a lightweight
+// span tracer with an in-memory ring of recent traces, and profiling
+// helpers for the CLIs.
+//
+// Every entry point is nil-safe: a nil *Registry hands out nil metric
+// handles, and every operation on a nil handle is a no-op that performs no
+// allocation, so instrumented hot paths cost nothing when observability is
+// disabled. Metrics are commutative aggregates only (sums, monotone
+// counters, last-write gauges), so instrumenting deterministic parallel
+// code never perturbs its results and concurrent writers from any worker
+// interleaving produce the same totals.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DurationBuckets is the fixed histogram layout for wall-time observations
+// in seconds: 100µs to 30s in a coarse log scale, matching the spread
+// between a single GNN forward pass and a full large-design diagnosis.
+var DurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// CountBuckets is the fixed layout for small cardinalities (candidates per
+// report, fails per log, nodes per subgraph / 100).
+var CountBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+
+// Kind distinguishes the metric families a registry can hold.
+type Kind uint8
+
+// The supported metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing int64. The zero value is ready;
+// all methods are safe on a nil receiver (no-ops).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (negative deltas are ignored — counters
+// are monotone by contract).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down. The zero value is ready;
+// all methods are safe on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta to the gauge with a CAS loop, so concurrent adds never
+// lose updates.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into a fixed bucket layout. All methods
+// are safe on a nil receiver. Concurrent observers never lose counts.
+type Histogram struct {
+	uppers  []float64 // sorted upper bounds, +Inf implied at the end
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	uppers := append([]float64(nil), buckets...)
+	sort.Float64s(uppers)
+	return &Histogram{uppers: uppers, counts: make([]atomic.Int64, len(uppers)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.uppers, v) // first upper >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// series is one (label signature) instance of a metric family.
+type series struct {
+	labels string // canonical `{k="v",...}` signature, "" for unlabeled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name    string
+	kind    Kind
+	buckets []float64
+	series  map[string]*series
+}
+
+// Registry is a concurrency-safe collection of metric families. A nil
+// *Registry is a valid disabled registry: every getter returns a nil
+// handle whose operations are no-ops.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	helps    map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family), helps: make(map[string]string)}
+}
+
+// labelSignature builds the canonical `{k="v",...}` form from alternating
+// key/value pairs, sorted by key. Odd trailing values are dropped.
+func labelSignature(labels []string) string {
+	n := len(labels) / 2
+	if n == 0 {
+		return ""
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, n)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// get returns (creating on first use) the series of a family. It panics if
+// the name was previously registered with a different kind — mixing kinds
+// under one name is a programming error that would corrupt the export.
+func (r *Registry) get(name string, kind Kind, buckets []float64, labels []string) *series {
+	sig := labelSignature(labels)
+	r.mu.RLock()
+	f := r.families[name]
+	if f != nil {
+		if f.kind != kind {
+			r.mu.RUnlock()
+			panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+		}
+		if s, ok := f.series[sig]; ok {
+			r.mu.RUnlock()
+			return s
+		}
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f = r.families[name]
+	if f == nil {
+		f = &family{name: name, kind: kind, buckets: buckets, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	s, ok := f.series[sig]
+	if !ok {
+		s = &series{labels: sig}
+		switch kind {
+		case KindCounter:
+			s.c = &Counter{}
+		case KindGauge:
+			s.g = &Gauge{}
+		case KindHistogram:
+			s.h = newHistogram(f.buckets)
+		}
+		f.series[sig] = s
+	}
+	return s
+}
+
+// Counter returns the counter for name with optional alternating
+// key/value label pairs, creating it on first use. Nil-safe.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, KindCounter, nil, labels).c
+}
+
+// Gauge returns the gauge for name with optional label pairs. Nil-safe.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, KindGauge, nil, labels).g
+}
+
+// Histogram returns the histogram for name with the family's fixed bucket
+// layout (the layout of the first registration wins) and optional label
+// pairs. Nil-safe.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, KindHistogram, buckets, labels).h
+}
+
+// Describe attaches HELP text to a metric name; the text is emitted when
+// (and only when) the family has at least one series. Nil-safe.
+func (r *Registry) Describe(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.helps[name] = help
+	r.mu.Unlock()
+}
+
+// help returns the registered HELP text for a family name.
+func (r *Registry) help(name string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.helps[name]
+}
+
+// snapshotFamilies returns the families sorted by name with their series
+// sorted by label signature — a deterministic export order.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+func (f *family) sortedSeries() []*series {
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].labels < out[j].labels })
+	return out
+}
+
+// formatValue renders a float the way Prometheus expects (no exponent for
+// integral values).
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// mergeLabels splices an extra k="v" pair into an existing signature.
+func mergeLabels(sig, extra string) string {
+	if sig == "" {
+		return "{" + extra + "}"
+	}
+	return sig[:len(sig)-1] + "," + extra + "}"
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4), families sorted by name and series by label
+// signature, so two exports of the same state are byte-identical. Nil-safe
+// (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, f := range r.snapshotFamilies() {
+		if len(f.series) == 0 {
+			continue
+		}
+		if help := r.help(f.name); help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.sortedSeries() {
+			switch f.kind {
+			case KindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.c.Value())
+			case KindGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatValue(s.g.Value()))
+			case KindHistogram:
+				h := s.h
+				cum := int64(0)
+				for i, upper := range h.uppers {
+					cum += h.counts[i].Load()
+					le := fmt.Sprintf(`le="%s"`, formatValue(upper))
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, mergeLabels(s.labels, le), cum)
+				}
+				cum += h.counts[len(h.uppers)].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, mergeLabels(s.labels, `le="+Inf"`), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, s.labels, formatValue(h.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, s.labels, h.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ServeHTTP makes the registry a GET /metrics handler.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.WritePrometheus(w)
+}
+
+// Dump writes a compact human-readable summary of every metric — one
+// `name{labels} value` line, histograms as count/sum/mean — for CLI
+// end-of-run reports. Nil-safe (writes nothing).
+func Dump(w io.Writer, r *Registry) {
+	if r == nil {
+		return
+	}
+	for _, f := range r.snapshotFamilies() {
+		for _, s := range f.sortedSeries() {
+			switch f.kind {
+			case KindCounter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.c.Value())
+			case KindGauge:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatValue(s.g.Value()))
+			case KindHistogram:
+				n := s.h.Count()
+				mean := 0.0
+				if n > 0 {
+					mean = s.h.Sum() / float64(n)
+				}
+				fmt.Fprintf(w, "%s%s count=%d sum=%s mean=%s\n",
+					f.name, s.labels, n, formatValue(s.h.Sum()), formatValue(mean))
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrent: counters written from N goroutines sum exactly —
+// run under -race in CI.
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 16, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Resolve inside the goroutine: registration must also be safe
+			// under contention.
+			c := r.Counter("m3d_test_total", "route", "/diagnose")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("m3d_test_total", "route", "/diagnose").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ga := r.Gauge("m3d_test_gauge")
+			for i := 0; i < perG; i++ {
+				ga.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Gauge("m3d_test_gauge").Value(); got != goroutines*perG {
+		t.Fatalf("gauge = %v, want %d", got, goroutines*perG)
+	}
+}
+
+// TestHistogramConcurrent: concurrent observers lose neither counts nor
+// sum, and the bucket totals add up exactly.
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	buckets := []float64{1, 2, 5}
+	const goroutines, perG = 8, 4000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := r.Histogram("m3d_test_hist", buckets)
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(i % 8)) // 0..7: spans all buckets + overflow
+			}
+		}(g)
+	}
+	wg.Wait()
+	h := r.Histogram("m3d_test_hist", buckets)
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("count = %d, want %d", got, goroutines*perG)
+	}
+	// sum per goroutine: 0+1+...+7 repeated perG/8 times = 28 * perG/8
+	wantSum := float64(goroutines * perG / 8 * 28)
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+	var bucketTotal int64
+	for i := range h.counts {
+		bucketTotal += h.counts[i].Load()
+	}
+	if bucketTotal != h.Count() {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, h.Count())
+	}
+}
+
+// TestPrometheusGolden pins the full text exposition format byte for byte:
+// sorted families, sorted series, cumulative buckets, +Inf, sum and count.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("m3d_requests_total", "Requests by route and code.")
+	r.Counter("m3d_requests_total", "route", "/diagnose", "code", "200").Add(3)
+	r.Counter("m3d_requests_total", "route", "/diagnose", "code", "429").Add(1)
+	r.Gauge("m3d_inflight").Set(2)
+	h := r.Histogram("m3d_handle_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# TYPE m3d_handle_seconds histogram`,
+		`m3d_handle_seconds_bucket{le="0.1"} 1`,
+		`m3d_handle_seconds_bucket{le="1"} 2`,
+		`m3d_handle_seconds_bucket{le="+Inf"} 3`,
+		`m3d_handle_seconds_sum 5.55`,
+		`m3d_handle_seconds_count 3`,
+		`# TYPE m3d_inflight gauge`,
+		`m3d_inflight 2`,
+		`# HELP m3d_requests_total Requests by route and code.`,
+		`# TYPE m3d_requests_total counter`,
+		`m3d_requests_total{code="200",route="/diagnose"} 3`,
+		`m3d_requests_total{code="429",route="/diagnose"} 1`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestLabelEscaping: label values with quotes, backslashes, and newlines
+// stay on one well-formed line.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m3d_esc_total", "k", "a\"b\\c\nd").Inc()
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	want := `m3d_esc_total{k="a\"b\\c\nd"} 1` + "\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("escaped output %q not found in:\n%s", want, buf.String())
+	}
+}
+
+// TestNilRegistryNoOps: every operation on a nil registry and on nil
+// handles is safe and returns zero values.
+func TestNilRegistryNoOps(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Counter("x").Add(5)
+	r.Gauge("y").Set(3)
+	r.Gauge("y").Add(1)
+	r.Histogram("z", DurationBuckets).Observe(1)
+	r.Describe("x", "help")
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	Dump(&bytes.Buffer{}, r)
+	if r.Counter("x").Value() != 0 || r.Gauge("y").Value() != 0 || r.Histogram("z", nil).Count() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+}
+
+// TestDisabledAllocs: the disabled path — nil metric handles and Start on
+// a context without a trace — must not allocate, so instrumentation is
+// free when observability is off.
+func TestDisabledAllocs(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(1)
+		h.Observe(1)
+		sp := Start(ctx, "stage")
+		sp.End()
+		Add(ctx, "m3d_x_total", 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instrumentation allocated %v times per op, want 0", allocs)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m3d_mixed")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("m3d_mixed")
+}
+
+func TestDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m3d_a_total").Add(2)
+	r.Gauge("m3d_b").Set(1.5)
+	h := r.Histogram("m3d_c_seconds", []float64{1})
+	h.Observe(2)
+	h.Observe(4)
+	var buf bytes.Buffer
+	Dump(&buf, r)
+	want := "m3d_a_total 2\nm3d_b 1.5\nm3d_c_seconds count=2 sum=6 mean=3\n"
+	if buf.String() != want {
+		t.Fatalf("dump = %q, want %q", buf.String(), want)
+	}
+}

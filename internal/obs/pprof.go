@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts CPU profiling to cpuPath (when non-empty) and
+// returns a stop function that ends the CPU profile and writes a heap
+// profile to memPath (when non-empty). Both paths empty yields a no-op
+// stop. Intended for CLI main functions:
+//
+//	stop, err := obs.StartProfiles(*cpuprofile, *memprofile)
+//	if err != nil { ... }
+//	defer stop()
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("obs: cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("obs: mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("obs: mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

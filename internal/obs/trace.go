@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ctx keys for the trace and registry carried through a request.
+type traceCtxKey struct{}
+type registryCtxKey struct{}
+
+// WithRegistry returns a context carrying the registry, so deep pipeline
+// stages (diagnosis, backtrace) can bump counters without new plumbing.
+func WithRegistry(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, registryCtxKey{}, r)
+}
+
+// RegistryFrom extracts the registry from a context (nil when absent).
+func RegistryFrom(ctx context.Context) *Registry {
+	r, _ := ctx.Value(registryCtxKey{}).(*Registry)
+	return r
+}
+
+// Add bumps the named unlabeled counter on the context's registry. A no-op
+// (and allocation-free) when the context carries no registry.
+func Add(ctx context.Context, name string, delta int64) {
+	if r := RegistryFrom(ctx); r != nil {
+		r.Counter(name).Add(delta)
+	}
+}
+
+// SpanRecord is one completed span inside a trace.
+type SpanRecord struct {
+	Name       string  `json:"name"`
+	OffsetMS   float64 `json:"offset_ms"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// TraceRecord is one completed trace in the tracer's ring.
+type TraceRecord struct {
+	ID         uint64       `json:"id"`
+	Name       string       `json:"name"`
+	Start      time.Time    `json:"start"`
+	DurationMS float64      `json:"duration_ms"`
+	Spans      []SpanRecord `json:"spans"`
+}
+
+// Tracer records wall-time spans into duration histograms on its registry
+// (`m3d_span_seconds{span="..."}`) and keeps a bounded in-memory ring of
+// recent traces for GET /debug/traces. A nil *Tracer is a valid disabled
+// tracer.
+type Tracer struct {
+	reg *Registry
+	seq atomic.Uint64
+
+	mu   sync.Mutex
+	ring []TraceRecord
+	next int
+	n    int
+}
+
+// NewTracer builds a tracer recording span histograms into reg (may be
+// nil: spans then only feed the trace ring) and keeping the last ringSize
+// traces (default 64).
+func NewTracer(reg *Registry, ringSize int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = 64
+	}
+	return &Tracer{reg: reg, ring: make([]TraceRecord, ringSize)}
+}
+
+// Trace is one in-progress request-level trace accumulating spans.
+type Trace struct {
+	tr    *Tracer
+	id    uint64
+	name  string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// StartTrace opens a request-level trace and returns a context that
+// carries it (and the tracer's registry), so obs.Start calls anywhere down
+// the request path attach spans to it. Nil-safe: a nil tracer returns ctx
+// unchanged and a nil trace.
+func (t *Tracer) StartTrace(ctx context.Context, name string) (context.Context, *Trace) {
+	if t == nil {
+		return ctx, nil
+	}
+	tr := &Trace{tr: t, id: t.seq.Add(1), name: name, start: time.Now()}
+	ctx = context.WithValue(ctx, traceCtxKey{}, tr)
+	if t.reg != nil {
+		ctx = WithRegistry(ctx, t.reg)
+	}
+	return ctx, tr
+}
+
+// ID returns the trace's sequence number (0 on a nil trace).
+func (t *Trace) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// End completes the trace: its record (with all spans, in completion
+// order) enters the tracer's ring and its total duration is recorded into
+// the `m3d_trace_seconds{trace=name}` histogram. No-op on nil.
+func (t *Trace) End() {
+	if t == nil {
+		return
+	}
+	d := time.Since(t.start)
+	t.mu.Lock()
+	spans := t.spans
+	t.spans = nil
+	t.mu.Unlock()
+	rec := TraceRecord{
+		ID:         t.id,
+		Name:       t.name,
+		Start:      t.start,
+		DurationMS: float64(d.Microseconds()) / 1000,
+		Spans:      spans,
+	}
+	tr := t.tr
+	tr.reg.Histogram("m3d_trace_seconds", DurationBuckets, "trace", t.name).Observe(d.Seconds())
+	tr.mu.Lock()
+	tr.ring[tr.next] = rec
+	tr.next = (tr.next + 1) % len(tr.ring)
+	if tr.n < len(tr.ring) {
+		tr.n++
+	}
+	tr.mu.Unlock()
+}
+
+// addSpan appends a completed span to the trace.
+func (t *Trace) addSpan(name string, start time.Time, d time.Duration) {
+	rec := SpanRecord{
+		Name:       name,
+		OffsetMS:   float64(start.Sub(t.start).Microseconds()) / 1000,
+		DurationMS: float64(d.Microseconds()) / 1000,
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, rec)
+	t.mu.Unlock()
+}
+
+// Span is one in-progress timed stage. A nil *Span (returned by Start when
+// the context carries no trace) is a valid disabled span.
+type Span struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// Start opens a span on the context's active trace. When the context
+// carries no trace (observability disabled) it returns nil and allocates
+// nothing, so instrumented hot paths are free when tracing is off.
+func Start(ctx context.Context, name string) *Span {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, start: time.Now()}
+}
+
+// End completes the span: wall time goes into the trace's span list and
+// the tracer's `m3d_span_seconds{span=name}` histogram. No-op on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.t.addSpan(s.name, s.start, d)
+	s.t.tr.reg.Histogram("m3d_span_seconds", DurationBuckets, "span", s.name).Observe(d.Seconds())
+}
+
+// Snapshot returns the ring's traces, newest first. Nil-safe (returns nil).
+func (t *Tracer) Snapshot() []TraceRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceRecord, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		idx := (t.next - 1 - i + len(t.ring)) % len(t.ring)
+		out = append(out, t.ring[idx])
+	}
+	return out
+}
+
+// ServeHTTP serves the ring as JSON for GET /debug/traces.
+func (t *Tracer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(t.Snapshot())
+}

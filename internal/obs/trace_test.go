@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestTraceSpansAndHistograms(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r, 8)
+	ctx, trace := tr.StartTrace(context.Background(), "POST /diagnose")
+	if trace == nil || trace.ID() == 0 {
+		t.Fatal("expected a live trace with a nonzero id")
+	}
+	sp := Start(ctx, "diagnosis.score")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	sp2 := Start(ctx, "hgraph.backtrace")
+	sp2.End()
+	trace.End()
+
+	recs := tr.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("snapshot has %d traces, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Name != "POST /diagnose" || len(rec.Spans) != 2 {
+		t.Fatalf("unexpected trace record: %+v", rec)
+	}
+	if rec.Spans[0].Name != "diagnosis.score" || rec.Spans[0].DurationMS <= 0 {
+		t.Fatalf("first span not recorded: %+v", rec.Spans[0])
+	}
+	if rec.Spans[1].OffsetMS < rec.Spans[0].OffsetMS {
+		t.Fatalf("span offsets out of order: %+v", rec.Spans)
+	}
+	if rec.DurationMS < rec.Spans[0].DurationMS {
+		t.Fatalf("trace shorter than its span: %+v", rec)
+	}
+	// Span wall time must land in the registry histograms.
+	if n := r.Histogram("m3d_span_seconds", DurationBuckets, "span", "diagnosis.score").Count(); n != 1 {
+		t.Fatalf("span histogram count = %d, want 1", n)
+	}
+	if n := r.Histogram("m3d_trace_seconds", DurationBuckets, "trace", "POST /diagnose").Count(); n != 1 {
+		t.Fatalf("trace histogram count = %d, want 1", n)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := NewTracer(nil, 3)
+	for i := 0; i < 5; i++ {
+		_, trace := tr.StartTrace(context.Background(), "t")
+		trace.End()
+	}
+	recs := tr.Snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("ring holds %d traces, want 3", len(recs))
+	}
+	// Newest first: ids 5, 4, 3.
+	for i, want := range []uint64{5, 4, 3} {
+		if recs[i].ID != want {
+			t.Fatalf("recs[%d].ID = %d, want %d", i, recs[i].ID, want)
+		}
+	}
+}
+
+func TestNilTracerAndOrphanSpans(t *testing.T) {
+	var tr *Tracer
+	ctx, trace := tr.StartTrace(context.Background(), "x")
+	trace.End() // no-op
+	if sp := Start(ctx, "stage"); sp != nil {
+		t.Fatal("Start without a trace must return nil")
+	}
+	if tr.Snapshot() != nil {
+		t.Fatal("nil tracer snapshot must be nil")
+	}
+}
+
+func TestTracesHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r, 4)
+	ctx, trace := tr.StartTrace(context.Background(), "req")
+	Start(ctx, "stage").End()
+	trace.End()
+
+	rec := httptest.NewRecorder()
+	tr.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var out []TraceRecord
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(out) != 1 || out[0].Name != "req" || len(out[0].Spans) != 1 {
+		t.Fatalf("unexpected traces payload: %+v", out)
+	}
+}
+
+// TestContextRegistryAdd: Add reaches the registry planted by StartTrace.
+func TestContextRegistryAdd(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r, 4)
+	ctx, trace := tr.StartTrace(context.Background(), "req")
+	Add(ctx, "m3d_candidates_total", 7)
+	trace.End()
+	if got := r.Counter("m3d_candidates_total").Value(); got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+}

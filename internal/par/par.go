@@ -183,6 +183,13 @@ func SeedFor(seed int64, index uint64) int64 {
 type Flight[V any] struct {
 	mu    sync.Mutex
 	calls map[string]*flightCall[V]
+
+	// Hook, when set before the first Do call, observes every lookup: hit
+	// reports whether the result came from the cache (or joined an
+	// in-flight computation) rather than running fn. Used to feed
+	// cache-effectiveness counters without coupling par to the metrics
+	// package.
+	Hook func(key string, hit bool)
 }
 
 type flightCall[V any] struct {
@@ -202,12 +209,18 @@ func (f *Flight[V]) Do(key string, fn func() (V, error)) (V, error) {
 	}
 	if c, ok := f.calls[key]; ok {
 		f.mu.Unlock()
+		if f.Hook != nil {
+			f.Hook(key, true)
+		}
 		<-c.done
 		return c.val, c.err
 	}
 	c := &flightCall[V]{done: make(chan struct{})}
 	f.calls[key] = c
 	f.mu.Unlock()
+	if f.Hook != nil {
+		f.Hook(key, false)
+	}
 	c.val, c.err = fn()
 	close(c.done)
 	return c.val, c.err

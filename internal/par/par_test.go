@@ -250,3 +250,27 @@ func TestForEachCtxStress(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestFlightHook(t *testing.T) {
+	var f Flight[int]
+	var mu sync.Mutex
+	hits, misses := 0, 0
+	f.Hook = func(_ string, hit bool) {
+		mu.Lock()
+		if hit {
+			hits++
+		} else {
+			misses++
+		}
+		mu.Unlock()
+	}
+	for i := 0; i < 3; i++ {
+		if v, err := f.Do("k", func() (int, error) { return 7, nil }); err != nil || v != 7 {
+			t.Fatalf("Do: %v %v", v, err)
+		}
+	}
+	f.Do("other", func() (int, error) { return 1, nil })
+	if misses != 2 || hits != 2 {
+		t.Fatalf("hits=%d misses=%d, want 2/2", hits, misses)
+	}
+}

@@ -8,10 +8,13 @@
 package policy
 
 import (
+	"context"
+
 	"repro/internal/diagnosis"
 	"repro/internal/gnn"
 	"repro/internal/hgraph"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // Policy bundles the trained models and the threshold used to update ATPG
@@ -72,6 +75,14 @@ func effectiveTier(n *netlist.Netlist, gate int) int {
 // Apply runs the Fig. 7 flow on one diagnosis report using the back-traced
 // subgraph of the same failure log.
 func (p *Policy) Apply(rep *diagnosis.Report, sg *hgraph.Subgraph) *Outcome {
+	return p.ApplyCtx(context.Background(), rep, sg)
+}
+
+// ApplyCtx is Apply with per-stage observability: each GNN forward pass
+// (MIV-pinpointer, Tier-predictor, Classifier) is recorded as a span on
+// the context's trace, so a request trace shows exactly where GNN
+// inference time goes. Results are identical to Apply.
+func (p *Policy) ApplyCtx(ctx context.Context, rep *diagnosis.Report, sg *hgraph.Subgraph) *Outcome {
 	n := p.Graph.Netlist()
 	out := &Outcome{Report: &diagnosis.Report{Design: rep.Design, Compacted: rep.Compacted}}
 
@@ -79,7 +90,9 @@ func (p *Policy) Apply(rep *diagnosis.Report, sg *hgraph.Subgraph) *Outcome {
 	// candidates to the top of the list.
 	mivSet := make(map[int]bool)
 	if !p.DisableMIV && p.MIV != nil {
+		span := obs.Start(ctx, "gnn.forward.miv")
 		out.FaultyMIVs = p.MIV.PredictFaultyMIVs(sg)
+		span.End()
 		for _, g := range out.FaultyMIVs {
 			mivSet[g] = true
 		}
@@ -99,7 +112,9 @@ func (p *Policy) Apply(rep *diagnosis.Report, sg *hgraph.Subgraph) *Outcome {
 	}
 
 	// Step 2: Tier-predictor confidence.
+	span := obs.Start(ctx, "gnn.forward.tier")
 	tier, conf := p.Tier.PredictTier(sg)
+	span.End()
 	out.PredictedTier = tier
 	out.Confidence = conf
 
@@ -108,7 +123,9 @@ func (p *Policy) Apply(rep *diagnosis.Report, sg *hgraph.Subgraph) *Outcome {
 		if p.Cls == nil {
 			prune = true
 		} else {
+			span := obs.Start(ctx, "gnn.forward.cls")
 			prune = p.Cls.PredictPrune(sg) >= 0.5
+			span.End()
 		}
 	}
 	out.Pruned = prune

@@ -48,10 +48,26 @@ type Client struct {
 type StatusError struct {
 	Status  int
 	Message string
+	// RequestID is the server's X-Request-ID for the failing response, so
+	// a client-side error links directly to the server's access-log line.
+	RequestID string
 }
 
 func (e *StatusError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("serve: server returned %d: %s (request %s)", e.Status, e.Message, e.RequestID)
+	}
 	return fmt.Sprintf("serve: server returned %d: %s", e.Status, e.Message)
+}
+
+// statusError builds a StatusError from a non-2xx response, consuming the
+// body and capturing the request ID.
+func statusError(resp *http.Response) *StatusError {
+	return &StatusError{
+		Status:    resp.StatusCode,
+		Message:   readErrorBody(resp.Body),
+		RequestID: resp.Header.Get(RequestIDHeader),
+	}
 }
 
 func (c *Client) maxAttempts() int {
@@ -122,10 +138,15 @@ func (c *Client) do(ctx context.Context, method, url string, mkBody func() io.Re
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
 		if attempt > 0 {
+			// Backoff sleep with a stoppable timer: a cancelled context
+			// interrupts the wait immediately and the timer is released
+			// rather than left running until it fires.
 			wait := c.backoff(attempt-1, lastRetryAfter(lastErr))
+			timer := time.NewTimer(wait)
 			select {
-			case <-time.After(wait):
+			case <-timer.C:
 			case <-ctx.Done():
+				timer.Stop()
 				return nil, fmt.Errorf("serve: client: %w (last error: %v)", ctx.Err(), lastErr)
 			}
 		}
@@ -146,9 +167,10 @@ func (c *Client) do(ctx context.Context, method, url string, mkBody func() io.Re
 			continue
 		}
 		if retryable(resp.StatusCode) {
-			msg := readError(resp)
+			se := statusError(resp)
+			resp.Body.Close()
 			lastErr = &retryAfterError{
-				err:        &StatusError{Status: resp.StatusCode, Message: msg},
+				err:        se,
 				retryAfter: resp.Header.Get("Retry-After"),
 			}
 			continue
@@ -182,17 +204,6 @@ func unwrapRetry(err error) error {
 	return err
 }
 
-// readError extracts the error message from a non-2xx response body.
-func readError(resp *http.Response) string {
-	defer resp.Body.Close()
-	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
-	var er ErrorResponse
-	if json.Unmarshal(data, &er) == nil && er.Error != "" {
-		return er.Error
-	}
-	return string(bytes.TrimSpace(data))
-}
-
 // Diagnose posts a failure log and returns the parsed diagnosis response.
 func (c *Client) Diagnose(ctx context.Context, log *failurelog.Log, opt DiagnoseOptions) (*DiagnoseResponse, error) {
 	var buf bytes.Buffer
@@ -214,7 +225,7 @@ func (c *Client) Diagnose(ctx context.Context, log *failurelog.Log, opt Diagnose
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, &StatusError{Status: resp.StatusCode, Message: readErrorBody(resp.Body)}
+		return nil, statusError(resp)
 	}
 	var out DiagnoseResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
@@ -253,7 +264,7 @@ func (c *Client) check(ctx context.Context, path string) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return &StatusError{Status: resp.StatusCode, Message: readErrorBody(resp.Body)}
+		return statusError(resp)
 	}
 	io.Copy(io.Discard, resp.Body)
 	return nil
@@ -286,7 +297,7 @@ func (c *Client) Reload(ctx context.Context) (int, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, &StatusError{Status: resp.StatusCode, Message: readErrorBody(resp.Body)}
+		return 0, statusError(resp)
 	}
 	var out struct {
 		Version int `json:"version"`

@@ -19,6 +19,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/failurelog"
 	"repro/internal/gen"
+	"repro/internal/obs"
 )
 
 // fixture holds the shared serving stack: a bundle large enough that a
@@ -526,5 +527,154 @@ func waitUntil(t *testing.T, timeout time.Duration, cond func() bool) {
 			t.Fatal("condition not met before timeout")
 		}
 		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestMetricsEndpoint floods the server with K diagnoses and asserts the
+// request counter on /metrics equals exactly K — the same invariant the
+// serve_smoke.sh CI step checks against a real binary.
+func TestMetricsEndpoint(t *testing.T) {
+	fx := getFixture(t)
+	reg := obs.NewRegistry()
+	_, ts, c := newTestServer(t, fx, Config{Metrics: reg, Tracer: obs.NewTracer(reg, 16)})
+
+	const k = 7
+	for i := 0; i < k; i++ {
+		if _, err := c.Diagnose(context.Background(), fx.light, DiagnoseOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf(`m3d_http_requests_total{code="200",route="/diagnose"} %d`, k)
+	if !strings.Contains(string(body), want) {
+		t.Fatalf("metrics missing %q in:\n%s", want, body)
+	}
+	for _, series := range []string{
+		`m3d_http_request_seconds_count{route="/diagnose"} ` + fmt.Sprint(k),
+		`m3d_queue_wait_seconds_count ` + fmt.Sprint(k),
+	} {
+		if !strings.Contains(string(body), series) {
+			t.Fatalf("metrics missing %q in:\n%s", series, body)
+		}
+	}
+}
+
+// TestTracesEndpoint checks that served requests leave trace records with
+// the diagnosis pipeline's spans in the ring.
+func TestTracesEndpoint(t *testing.T) {
+	fx := getFixture(t)
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(reg, 8)
+	_, ts, c := newTestServer(t, fx, Config{Metrics: reg, Tracer: tracer})
+	if _, err := c.Diagnose(context.Background(), fx.light, DiagnoseOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, span := range []string{"POST /diagnose", "core.diagnose", "hgraph.backtrace", "diagnosis.score"} {
+		if !strings.Contains(string(body), span) {
+			t.Fatalf("traces missing span %q in:\n%s", span, body)
+		}
+	}
+}
+
+// TestAccessLogAndRequestID checks the per-request structured log line, the
+// X-Request-ID response header, and its propagation into client errors.
+func TestAccessLogAndRequestID(t *testing.T) {
+	fx := getFixture(t)
+	var mu sync.Mutex
+	var lines []string
+	cfg := Config{AccessLogf: func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}}
+	_, ts, c := newTestServer(t, fx, cfg)
+
+	if _, err := c.Diagnose(context.Background(), fx.light, DiagnoseOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	n := len(lines)
+	var line string
+	if n > 0 {
+		line = lines[n-1]
+	}
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("access log lines = %d, want 1", n)
+	}
+	for _, field := range []string{"request id=", "method=POST", "route=/diagnose", "status=200", "queue_wait_ms=", "handle_ms="} {
+		if !strings.Contains(line, field) {
+			t.Fatalf("access log line missing %q: %s", field, line)
+		}
+	}
+
+	// Every response carries X-Request-ID, and a failing one surfaces it in
+	// the client's StatusError so the log line can be found.
+	resp, err := http.Post(ts.URL+"/diagnose", "text/plain", strings.NewReader("not a failure log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := resp.Header.Get(RequestIDHeader)
+	resp.Body.Close()
+	if id == "" {
+		t.Fatal("400 response has no X-Request-ID")
+	}
+	_, err = c.Diagnose(context.Background(), &failurelog.Log{}, DiagnoseOptions{})
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("want StatusError, got %v", err)
+	}
+	if se.RequestID == "" {
+		t.Fatalf("StatusError carries no request ID: %v", se)
+	}
+	if !strings.Contains(se.Error(), se.RequestID) {
+		t.Fatalf("error text omits the request ID: %v", se)
+	}
+}
+
+// TestClientBackoffCancel is the regression test for the retry sleep: with
+// a 10s base backoff against an always-shedding server, cancelling the
+// context must abort the wait immediately instead of sleeping it out.
+func TestClientBackoffCancel(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"full"}`, http.StatusServiceUnavailable)
+	}))
+	defer stub.Close()
+	c := &Client{Base: stub.URL, MaxAttempts: 5, BaseBackoff: 10 * time.Second, Seed: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Diagnose(ctx, &failurelog.Log{Design: "x"}, DiagnoseOptions{})
+	if err == nil {
+		t.Fatal("expected error after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancellation took %v; the retry sleep ignored ctx", d)
 	}
 }

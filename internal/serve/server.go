@@ -38,6 +38,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/diagnosis"
 	"repro/internal/failurelog"
+	"repro/internal/obs"
 	"repro/internal/policy"
 )
 
@@ -61,6 +62,16 @@ type Config struct {
 	MaxBodyBytes int64
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
+	// AccessLogf receives one structured line per request (request ID,
+	// route, status, queue wait, handle time). Nil disables access logging.
+	AccessLogf func(format string, args ...any)
+	// Metrics receives server metrics and enables GET /metrics. Nil
+	// disables metrics entirely (no-op, allocation-free hot path).
+	Metrics *obs.Registry
+	// Tracer records one trace per request (spans across admission,
+	// parsing, diagnosis stages) and enables GET /debug/traces. Nil
+	// disables tracing.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -135,8 +146,27 @@ type Server struct {
 	// drain diagnostics.
 	inflight atomic.Int64
 
+	// Request-ID generation: a per-process boot stamp plus a sequence
+	// number, so IDs are unique across restarts without coordination.
+	boot  uint32
+	reqSeq atomic.Uint64
+
 	mux http.Handler
 }
+
+// reqInfo is the per-request record shared between the access-log
+// middleware and the handlers (which fill in the queue wait).
+type reqInfo struct {
+	id        string
+	queueWait time.Duration
+}
+
+type reqInfoKey struct{}
+
+// RequestIDHeader carries the request ID on every response; clients echo
+// it back in error messages so one ID links a client-side failure to the
+// server's access log line.
+const RequestIDHeader = "X-Request-ID"
 
 // New builds a server for one bundle. fw may be nil (the server reports
 // not-ready until a framework is loaded via SetFramework or Reload).
@@ -146,6 +176,7 @@ func New(b *dataset.Bundle, fw *core.Framework, cfg Config) *Server {
 		cfg:    cfg,
 		bundle: b,
 		sem:    make(chan struct{}, cfg.MaxConcurrent),
+		boot:   uint32(time.Now().UnixNano()),
 	}
 	if fw != nil {
 		s.fw.Store(fw)
@@ -155,8 +186,97 @@ func New(b *dataset.Bundle, fw *core.Framework, cfg Config) *Server {
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/diagnose", s.handleDiagnose)
 	mux.HandleFunc("/reload", s.handleReload)
-	s.mux = s.recoverMiddleware(mux)
+	if cfg.Metrics != nil {
+		cfg.Metrics.Describe("m3d_http_requests_total", "Requests served, by route and status code.")
+		cfg.Metrics.Describe("m3d_queue_wait_seconds", "Admission queue wait per diagnosis request.")
+		cfg.Metrics.Describe("m3d_http_request_seconds", "Wall time per request, by route.")
+		cfg.Metrics.Describe("m3d_shed_total", "Requests shed without executing, by reason.")
+		mux.Handle("/metrics", cfg.Metrics)
+	}
+	if cfg.Tracer != nil {
+		mux.Handle("/debug/traces", cfg.Tracer)
+	}
+	s.mux = s.accessMiddleware(s.recoverMiddleware(mux))
 	return s
+}
+
+// knownRoutes clamps the route metric label to the server's fixed route
+// set so arbitrary request paths cannot explode label cardinality.
+var knownRoutes = map[string]bool{
+	"/healthz": true, "/readyz": true, "/diagnose": true,
+	"/reload": true, "/metrics": true, "/debug/traces": true,
+}
+
+func routeLabel(path string) string {
+	if knownRoutes[path] {
+		return path
+	}
+	return "other"
+}
+
+// statusRecorder captures the status code written by downstream handlers.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// requestID returns the client-provided X-Request-ID (clamped) or mints a
+// fresh one.
+func (s *Server) requestID(r *http.Request) string {
+	if id := r.Header.Get(RequestIDHeader); id != "" {
+		if len(id) > 64 {
+			id = id[:64]
+		}
+		return id
+	}
+	return fmt.Sprintf("%08x-%06d", s.boot, s.reqSeq.Add(1))
+}
+
+// accessMiddleware assigns every request an ID (echoed in the response
+// header), opens a per-request trace, records request metrics, and emits
+// one structured access-log line: everything an operator needs to follow
+// one request through the system.
+func (s *Server) accessMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		route := routeLabel(r.URL.Path)
+		ri := &reqInfo{id: s.requestID(r)}
+		w.Header().Set(RequestIDHeader, ri.id)
+		ctx := context.WithValue(r.Context(), reqInfoKey{}, ri)
+		ctx, trace := s.cfg.Tracer.StartTrace(ctx, r.Method+" "+route)
+		if s.cfg.Metrics != nil {
+			ctx = obs.WithRegistry(ctx, s.cfg.Metrics)
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		trace.End()
+		if m := s.cfg.Metrics; m != nil {
+			m.Counter("m3d_http_requests_total", "route", route, "code", strconv.Itoa(rec.status)).Inc()
+			m.Histogram("m3d_http_request_seconds", obs.DurationBuckets, "route", route).Observe(elapsed.Seconds())
+		}
+		if al := s.cfg.AccessLogf; al != nil {
+			al("request id=%s method=%s route=%s status=%d queue_wait_ms=%.3f handle_ms=%.3f",
+				ri.id, r.Method, route, rec.status,
+				float64(ri.queueWait.Microseconds())/1000,
+				float64(elapsed.Microseconds())/1000)
+		}
+	})
 }
 
 // EnableReload points hot reload at an artifact-store name; Reload (and
@@ -271,6 +391,20 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "reloaded", "version": v})
 }
 
+// shedReason maps a non-admission status to the m3d_shed_total reason
+// label.
+func shedReason(status int) string {
+	switch status {
+	case http.StatusTooManyRequests:
+		return "queue_full"
+	case http.StatusGatewayTimeout:
+		return "deadline_in_queue"
+	case http.StatusServiceUnavailable:
+		return "cancelled_in_queue"
+	}
+	return "other"
+}
+
 // admit implements bounded admission: it acquires an execution slot,
 // waiting in the bounded queue if necessary. It returns a release func on
 // success, or an HTTP status describing why the request was not admitted.
@@ -283,12 +417,16 @@ func (s *Server) admit(ctx context.Context) (release func(), status int, msg str
 	}
 	// Queue, bounded: the (MaxQueue+1)-th waiter is shed immediately —
 	// explicit load-shedding beats unbounded latency under overload.
-	if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+	q := s.queued.Add(1)
+	s.cfg.Metrics.Gauge("m3d_queue_depth").Set(float64(q))
+	if q > int64(s.cfg.MaxQueue) {
 		s.queued.Add(-1)
 		return nil, http.StatusTooManyRequests,
 			fmt.Sprintf("admission queue full (%d executing, %d queued)", s.cfg.MaxConcurrent, s.cfg.MaxQueue)
 	}
-	defer s.queued.Add(-1)
+	defer func() {
+		s.cfg.Metrics.Gauge("m3d_queue_depth").Set(float64(s.queued.Add(-1)))
+	}()
 	select {
 	case s.sem <- struct{}{}:
 		return func() { <-s.sem }, 0, ""
@@ -344,8 +482,21 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	queueStart := time.Now()
+	qspan := obs.Start(ctx, "serve.queue")
 	release, status, msg := s.admit(ctx)
+	qspan.End()
+	queueWait := time.Since(queueStart)
+	if ri, ok := ctx.Value(reqInfoKey{}).(*reqInfo); ok {
+		ri.queueWait = queueWait
+	}
+	if m := s.cfg.Metrics; m != nil {
+		m.Histogram("m3d_queue_wait_seconds", obs.DurationBuckets).Observe(queueWait.Seconds())
+	}
 	if release == nil {
+		if m := s.cfg.Metrics; m != nil {
+			m.Counter("m3d_shed_total", "reason", shedReason(status)).Inc()
+		}
 		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 			s.retryAfterHeader(w)
 		}
@@ -354,9 +505,15 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
+	s.cfg.Metrics.Gauge("m3d_inflight").Set(float64(s.inflight.Load()))
+	defer func() {
+		s.inflight.Add(-1)
+		s.cfg.Metrics.Gauge("m3d_inflight").Set(float64(s.inflight.Load()))
+	}()
 
+	pspan := obs.Start(ctx, "serve.parse")
 	log, err := failurelog.Read(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	pspan.End()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("parse failure log: %v", err))
 		return

@@ -3,14 +3,18 @@
 #
 # Builds m3dserve, generates a failure log, starts the server (training a
 # small model on first boot), posts the log to /diagnose and asserts a
-# well-formed report, then sends SIGTERM and asserts the drain contract:
-# /readyz answers 503 during the grace window, the process exits 0, and
-# every artifact in the store still passes checksum verification.
+# well-formed report, floods /diagnose and asserts the /metrics request
+# counter matches exactly, probes the pprof debug listener, then sends
+# SIGTERM and asserts the drain contract: /readyz answers 503 during the
+# grace window, the process exits 0, and every artifact in the store still
+# passes checksum verification.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PORT="${SERVE_SMOKE_PORT:-18080}"
+DEBUG_PORT="${SERVE_SMOKE_DEBUG_PORT:-18081}"
 BASE="http://127.0.0.1:${PORT}"
+DEBUG_BASE="http://127.0.0.1:${DEBUG_PORT}"
 WORK="$(mktemp -d)"
 trap 'kill "${SRV_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
@@ -25,6 +29,7 @@ LOG="$(ls "$WORK"/data/*_fail_000.log)"
 echo "== start m3dserve (trains a small model on first boot)"
 "$WORK/m3dserve" -addr "127.0.0.1:${PORT}" -design aes -scale 0.2 \
   -store "$WORK/store" -train-samples 40 \
+  -debug-addr "127.0.0.1:${DEBUG_PORT}" \
   -drain-grace 2s -drain-timeout 30s &
 SRV_PID=$!
 
@@ -42,6 +47,31 @@ echo "== POST /diagnose"
 RESP="$(curl -fsS --data-binary @"$LOG" "$BASE/diagnose?timeout_ms=60000")"
 echo "$RESP" | grep -q '"candidates"' || { echo "no candidates in response: $RESP" >&2; exit 1; }
 echo "$RESP" | grep -q '"predicted_tier"' || { echo "no predicted_tier in response: $RESP" >&2; exit 1; }
+
+echo "== flood /diagnose and assert the /metrics request counter"
+FLOOD=9
+for i in $(seq 1 "$FLOOD"); do
+  curl -fsS --data-binary @"$LOG" "$BASE/diagnose?timeout_ms=60000" >/dev/null
+done
+METRICS="$(curl -fsS "$BASE/metrics")"
+# 1 from the first diagnose above + FLOOD from the loop.
+WANT=$((FLOOD + 1))
+GOT="$(echo "$METRICS" | sed -n 's/^m3d_http_requests_total{code="200",route="\/diagnose"} //p')"
+if [ "$GOT" != "$WANT" ]; then
+  echo "metrics counter mismatch: m3d_http_requests_total /diagnose 200 = '$GOT', want $WANT" >&2
+  echo "$METRICS" | head -40 >&2
+  exit 1
+fi
+echo "$METRICS" | grep -q '^m3d_http_request_seconds_bucket' || {
+  echo "no latency histogram in /metrics" >&2; exit 1; }
+
+echo "== traces ring must hold the diagnose spans"
+curl -fsS "$BASE/debug/traces" | grep -q 'core.diagnose' || {
+  echo "no core.diagnose span in /debug/traces" >&2; exit 1; }
+
+echo "== pprof debug listener must answer"
+curl -fsS "$DEBUG_BASE/debug/pprof/cmdline" >/dev/null || {
+  echo "pprof listener not answering on $DEBUG_BASE" >&2; exit 1; }
 
 echo "== SIGTERM: readiness must drop during the drain grace window"
 kill -TERM "$SRV_PID"
