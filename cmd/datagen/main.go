@@ -24,6 +24,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/noise"
 	"repro/internal/obs"
+	"repro/internal/version"
 )
 
 func main() {
@@ -38,7 +39,13 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all cores); output is identical for any value")
 	noiseLevel := flag.Float64("noise", 0, "tester-noise severity in [0,1]; 0 disables the noise model")
 	metrics := flag.Bool("metrics", false, "print generation metrics (attempts, rejects by reason, samples/sec) to stderr on exit")
+	systematic := flag.Float64("systematic", 0, "fraction of logs carrying one planted systematic defect (0 disables); prints the planted cell")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		version.Print("datagen")
+		return
+	}
 
 	var reg *obs.Registry
 	if *metrics {
@@ -89,10 +96,23 @@ func main() {
 		b.Name, st.Gates, st.MIVs, st.FFs, b.ATPG.Patterns.N, b.ATPG.Coverage()*100)
 	fmt.Printf("netlist: %s\n", nlPath)
 
-	ss := b.Generate(dataset.SampleOptions{
+	opt := dataset.SampleOptions{
 		Count: *samples, Compacted: *compacted, Seed: *seed + 5, Workers: *workers,
 		Noise: noise.ModelAt(*noiseLevel, *seed+7), Obs: reg,
-	})
+	}
+	if *systematic > 0 {
+		// Plant one detectable gate defect across a fraction of the logs, so
+		// a volume campaign over this dataset has a known systematic culprit.
+		f, ok := b.PickSystematicFault(*seed + 13)
+		if !ok {
+			fatal("no detectable gate fault available to plant as systematic")
+		}
+		opt.Systematic = *systematic
+		opt.SystematicFault = f
+		fmt.Printf("systematic defect: %v planted on cell %s (fraction %.2f)\n",
+			f, b.Netlist.Gates[f.SiteGate(b.Netlist)].Name, *systematic)
+	}
+	ss := b.Generate(opt)
 	written := 0
 	for i, smp := range ss {
 		if ctx.Err() != nil {

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/obs"
+	"repro/internal/version"
 )
 
 func main() {
@@ -38,7 +39,12 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print collected metrics (cache hits, training, data generation) to stderr on exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		version.Print("experiments")
+		return
+	}
 
 	if *list {
 		for _, e := range experiment.Experiments() {

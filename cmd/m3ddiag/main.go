@@ -23,6 +23,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/noise"
 	"repro/internal/obs"
+	"repro/internal/version"
 )
 
 func main() {
@@ -41,7 +42,12 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print collected metrics (data generation, training) to stderr on exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		version.Print("m3ddiag")
+		return
+	}
 
 	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {

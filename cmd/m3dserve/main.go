@@ -35,6 +35,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/version"
 )
 
 func main() {
@@ -58,7 +59,12 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "optional second listener with net/http/pprof handlers (e.g. 127.0.0.1:6060); empty disables")
 	traceRing := flag.Int("trace-ring", 64, "recent request traces retained for GET /debug/traces")
 	quiet := flag.Bool("quiet", false, "suppress the per-request access log (metrics and traces still record)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		version.Print("m3dserve")
+		return
+	}
 
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "m3dserve: "+format+"\n", args...)

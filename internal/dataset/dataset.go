@@ -188,6 +188,16 @@ type SampleOptions struct {
 	// MultiFault injects 2-5 same-tier faults per sample when true
 	// (Section VII-A).
 	MultiFault bool
+	// Systematic plants a campaign-level systematic defect: each attempt
+	// injects SystematicFault with this probability instead of drawing a
+	// random fault, so a generated batch of failure logs models a defect
+	// mechanism repeating across dies (the population volume diagnosis must
+	// separate from the random background). 0 disables and leaves the
+	// sample stream bitwise-unchanged.
+	Systematic float64
+	// SystematicFault is the planted defect used when Systematic > 0;
+	// pick one deterministically with Bundle.PickSystematicFault.
+	SystematicFault faultsim.Fault
 	// MaxFails truncates each failure log to its first MaxFails failing
 	// bits, modeling the fail-memory limit of production testers
 	// (default 256).
@@ -304,6 +314,8 @@ func (b *Bundle) attempt(eng *diagnosis.Engine, index uint64, opt SampleOptions)
 		if len(faults) < 2 {
 			return attemptResult{reject: "no_multi_tier"} // no tier can host a multi-fault defect
 		}
+	case opt.Systematic > 0 && rng.Float64() < opt.Systematic:
+		faults = []faultsim.Fault{opt.SystematicFault}
 	case rng.Float64() < opt.MIVFraction && len(b.mivFaults) > 0:
 		faults = []faultsim.Fault{b.mivFaults[rng.Intn(len(b.mivFaults))]}
 	default:
@@ -374,6 +386,30 @@ func tierLabel(n *netlist.Netlist, faults []faultsim.Fault) int {
 		label = t
 	}
 	return label
+}
+
+// PickSystematicFault deterministically selects a gate fault that the
+// bundle's pattern set detects, for planting as a campaign's systematic
+// defect (SampleOptions.SystematicFault). The choice depends only on
+// (bundle, seed): the scan starts at a splitmix-derived index into the
+// fault pool and wraps until a detected gate (non-MIV) fault is found, so
+// different seeds plant different defect mechanisms. ok=false when no
+// fault in the pool is detected (a degenerate pattern set).
+func (b *Bundle) PickSystematicFault(seed int64) (faultsim.Fault, bool) {
+	if len(b.faults) == 0 {
+		return faultsim.Fault{}, false
+	}
+	start := int(par.SplitMix64(uint64(seed)) % uint64(len(b.faults)))
+	for i := 0; i < len(b.faults); i++ {
+		f := b.faults[(start+i)%len(b.faults)]
+		if b.Netlist.Gates[f.SiteGate(b.Netlist)].IsMIV {
+			continue
+		}
+		if b.Diag.FaultSim().Detects(b.Diag.Result(), f) {
+			return f, true
+		}
+	}
+	return faultsim.Fault{}, false
 }
 
 // FaultPool exposes the full TDF list (for diagnosis experiments).

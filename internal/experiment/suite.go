@@ -104,6 +104,7 @@ func Experiments() []string {
 		"table2", "table3", "fig5", "fig6",
 		"table5", "table6", "table7", "table8",
 		"table9", "fig10", "table10", "table11", "ablations", "noise",
+		"volume",
 	}
 }
 
@@ -164,6 +165,8 @@ func (s *Suite) RunContext(ctx context.Context, name string) error {
 		return s.Ablations()
 	case "noise":
 		return s.TableNoise()
+	case "volume":
+		return s.TableVolume()
 	}
 	return fmt.Errorf("experiment: unknown experiment %q (have %v)", name, Experiments())
 }

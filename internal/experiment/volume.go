@@ -1,0 +1,145 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+	"repro/internal/failurelog"
+	"repro/internal/volume"
+)
+
+// TableVolume replays a full volume-diagnosis campaign against known
+// injected faults: for each design it generates a lot of failing dies with
+// one planted systematic defect, runs the campaign engine over the written
+// failure logs, and scores the campaign's two population-level claims
+// against ground truth — was the planted cell flagged as systematic, and
+// how well does the score-derived PFA cost curve predict the actual
+// fraction of defects a physical analyst would have found at each
+// inspection depth.
+func (s *Suite) TableVolume() error {
+	const (
+		sysFraction = 0.3
+		topK        = 16
+		alpha       = 1e-4
+	)
+	s.printf("\nVolume diagnosis: campaign replay against injected ground truth\n")
+	s.printf("(%d dies/design, %.0f%% planted systematic defect, top-%d candidates)\n",
+		s.TestCount, sysFraction*100, topK)
+	s.printf("%-10s %5s %5s %6s %6s  %9s %9s %9s\n",
+		"design", "dies", "ok", "sys?", "sdies", "hit@1", "hit@5", "E~act@5")
+
+	for _, design := range s.Designs {
+		b, err := s.bundle(design, dataset.Syn1, 0)
+		if err != nil {
+			return err
+		}
+		fw, err := s.framework(design, false)
+		if err != nil {
+			return err
+		}
+		planted, ok := b.PickSystematicFault(s.Seed + 301)
+		if !ok {
+			return fmt.Errorf("experiment: %s: no systematic fault available", design)
+		}
+		plantedCell := b.Netlist.Gates[planted.SiteGate(b.Netlist)].Name
+		samples := b.Generate(dataset.SampleOptions{
+			Count: s.TestCount, Seed: s.Seed + 310 + hash(design), MIVFraction: 0.2,
+			Systematic: sysFraction, SystematicFault: planted,
+			Workers: s.Workers, Obs: s.Obs,
+		})
+
+		dir, err := os.MkdirTemp("", "m3dvolume-exp-*")
+		if err != nil {
+			return fmt.Errorf("experiment: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		logDir := filepath.Join(dir, "logs")
+		if err := os.MkdirAll(logDir, 0o755); err != nil {
+			return fmt.Errorf("experiment: %w", err)
+		}
+		inputs := make([]string, len(samples))
+		for i, smp := range samples {
+			inputs[i] = filepath.Join(logDir, fmt.Sprintf("die_%04d.log", i))
+			if err := failurelog.WriteFile(inputs[i], smp.Log); err != nil {
+				return fmt.Errorf("experiment: %w", err)
+			}
+		}
+
+		diagnosers, err := volume.NewLocalDiagnosers(fw, b, s.Workers, false)
+		if err != nil {
+			return err
+		}
+		campaignDir := filepath.Join(dir, "campaign")
+		rep, _, err := volume.Run(context.Background(), volume.Config{
+			Inputs: inputs, Dir: campaignDir, Diagnosers: diagnosers,
+			Netlist: b.Netlist, Design: b.Name, TopK: topK, Alpha: alpha, Obs: s.Obs,
+		})
+		if err != nil {
+			return err
+		}
+
+		flagged := "no"
+		sysDies := 0
+		for _, f := range rep.Systematic {
+			if f.Cell == plantedCell {
+				flagged = "YES"
+				sysDies = f.Dies
+			}
+		}
+
+		// Ground truth: join each sealed per-die result with the faults that
+		// were actually injected, and measure where in the ranked candidate
+		// list the true site first appears.
+		results := volume.Results(campaignDir, inputs)
+		hit1, hit5 := 0, 0
+		diagnosed := 0
+		for i, r := range results {
+			if r == nil || r.Status != volume.StatusOK {
+				continue
+			}
+			diagnosed++
+			truth := map[int]bool{}
+			for _, site := range samples[i].Sites {
+				truth[site] = true
+			}
+			for rank, c := range r.Candidates {
+				if truth[c.Gate] {
+					if rank == 0 {
+						hit1++
+					}
+					if rank < 5 {
+						hit5++
+					}
+					break
+				}
+			}
+		}
+
+		// The expected curve's depth-5 prediction vs the measured fraction:
+		// a calibrated ranker keeps these close.
+		expected5 := 0.0
+		for _, p := range rep.PFACurve {
+			if p.Depth == 5 {
+				expected5 = p.ExpectedFound
+			}
+		}
+		actual5 := 0.0
+		if diagnosed > 0 {
+			actual5 = float64(hit5) / float64(diagnosed)
+		}
+		s.printf("%-10s %5d %5d %6s %6d  %9.3f %9.3f %4.2f/%4.2f\n",
+			design, rep.Logs, rep.Diagnosed, flagged, sysDies,
+			frac(hit1, diagnosed), frac(hit5, diagnosed), expected5, actual5)
+	}
+	return nil
+}
+
+func frac(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}

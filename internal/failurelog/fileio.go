@@ -1,0 +1,49 @@
+package failurelog
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/artifact"
+)
+
+// MaxFileBytes caps ReadFile: a tester log larger than this is rejected
+// before a single byte is parsed, so one corrupt or mislabeled multi-GB
+// file cannot stall (or OOM) a volume-diagnosis campaign that ingests
+// thousands of logs.
+const MaxFileBytes = 64 << 20
+
+// ReadFile opens, size-checks, and parses one failure-log file. Every
+// error names the file, so a campaign over thousands of logs can report
+// exactly which one failed. Files larger than MaxFileBytes are rejected
+// without reading them.
+func ReadFile(path string) (*Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("failurelog: %w", err) // os errors carry the path
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("failurelog: stat %s: %w", path, err)
+	}
+	if fi.Size() > MaxFileBytes {
+		return nil, fmt.Errorf("failurelog: %s: %d bytes exceeds the %d-byte read cap", path, fi.Size(), int64(MaxFileBytes))
+	}
+	l, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("read %s: %w", path, err)
+	}
+	return l, nil
+}
+
+// WriteFile writes the log to path atomically (temp file + fsync + rename),
+// so a crash mid-write never leaves a truncated log for a later campaign
+// to trip over. Errors name the file.
+func WriteFile(path string, l *Log) error {
+	if err := artifact.WriteAtomic(path, func(w io.Writer) error { return Write(w, l) }); err != nil {
+		return fmt.Errorf("failurelog: write %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package failurelog
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scan"
+)
+
+func TestReadWriteFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "chip.log")
+	l := &Log{
+		Design:    "aes_syn1",
+		Compacted: true,
+		Fails:     []scan.Failure{{Pattern: 3, Obs: 7}, {Pattern: 9, Obs: 1}},
+	}
+	if err := WriteFile(path, l); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if got.Design != l.Design || got.Compacted != l.Compacted || len(got.Fails) != len(l.Fails) {
+		t.Fatalf("round trip mismatch: got %+v want %+v", got, l)
+	}
+	for i := range l.Fails {
+		if got.Fails[i] != l.Fails[i] {
+			t.Fatalf("fail %d: got %v want %v", i, got.Fails[i], l.Fails[i])
+		}
+	}
+}
+
+func TestReadFileErrorsNameThePath(t *testing.T) {
+	dir := t.TempDir()
+
+	// Missing file.
+	missing := filepath.Join(dir, "nope.log")
+	if _, err := ReadFile(missing); err == nil || !strings.Contains(err.Error(), "nope.log") {
+		t.Fatalf("missing-file error should name the path, got: %v", err)
+	}
+
+	// Corrupt content.
+	bad := filepath.Join(dir, "bad.log")
+	if err := os.WriteFile(bad, []byte("not a faillog\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil || !strings.Contains(err.Error(), "bad.log") {
+		t.Fatalf("parse error should name the path, got: %v", err)
+	}
+}
+
+func TestReadFileSizeCap(t *testing.T) {
+	dir := t.TempDir()
+	huge := filepath.Join(dir, "huge.log")
+	f, err := os.Create(huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sparse file past the cap: no real disk usage, but Stat reports the
+	// size the cap must reject.
+	if err := f.Truncate(MaxFileBytes + 1); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, err = ReadFile(huge)
+	if err == nil || !strings.Contains(err.Error(), "read cap") || !strings.Contains(err.Error(), "huge.log") {
+		t.Fatalf("oversized file should be rejected with a capped-read error naming the path, got: %v", err)
+	}
+}
+
+func TestWriteFileAtomicOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "chip.log")
+	if err := WriteFile(path, &Log{Design: "d1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, &Log{Design: "d2", Fails: []scan.Failure{{Pattern: 1, Obs: 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Design != "d2" || len(got.Fails) != 1 {
+		t.Fatalf("overwrite lost data: %+v", got)
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected only the log file in %s, found %d entries", dir, len(entries))
+	}
+}

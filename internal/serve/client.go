@@ -22,6 +22,13 @@ import (
 // backoff. Permanent failures (400, 404, 500, 504) are returned
 // immediately — a request that exceeded its deadline once will exceed it
 // again.
+//
+// A Client is safe for concurrent use by multiple goroutines (volume
+// campaigns fan hundreds of Diagnose calls across one shared client): the
+// configuration fields must be set before the first call and not mutated
+// afterwards, and the only mutable state — the retry-jitter RNG — is
+// internally synchronized. When a campaign is done with a client it should
+// call Close to release the transport's idle connections.
 type Client struct {
 	// Base is the server's base URL, e.g. "http://127.0.0.1:8080".
 	Base string
@@ -241,6 +248,15 @@ func readErrorBody(body io.Reader) string {
 		return er.Error
 	}
 	return string(bytes.TrimSpace(data))
+}
+
+// Close releases the transport's idle connections. A long campaign keeps
+// keep-alive connections to every server it touched; Close returns them to
+// the OS once the client is done. In-flight calls are unaffected, and the
+// client remains usable after Close (new calls simply dial fresh
+// connections).
+func (c *Client) Close() {
+	c.httpClient().CloseIdleConnections()
 }
 
 // Ready polls /readyz once; nil means the server is accepting traffic.

@@ -11,6 +11,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -676,5 +677,59 @@ func TestClientBackoffCancel(t *testing.T) {
 	}
 	if d := time.Since(start); d > 2*time.Second {
 		t.Fatalf("cancellation took %v; the retry sleep ignored ctx", d)
+	}
+}
+
+// TestClientConcurrentUse is the campaign-safety contract: one shared
+// client must survive many goroutines diagnosing (and retrying, which
+// exercises the shared jitter RNG) at once under -race, and Close must be
+// callable concurrently with in-flight requests.
+func TestClientConcurrentUse(t *testing.T) {
+	fx := getFixture(t)
+	_, _, c := newTestServer(t, fx, Config{})
+
+	// A shedding stub exercises the retry/backoff path (the only shared
+	// mutable state) from many goroutines at once.
+	var flaky atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if flaky.Add(1)%2 == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"full"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"design":"stub","candidates":[]}`)
+	}))
+	defer stub.Close()
+	retrying := &Client{Base: stub.URL, Seed: 1, BaseBackoff: time.Millisecond}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make([]error, 2*goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(2)
+		go func(g int) {
+			defer wg.Done()
+			_, err := c.Diagnose(context.Background(), fx.light, DiagnoseOptions{})
+			errs[g] = err
+		}(g)
+		go func(g int) {
+			defer wg.Done()
+			_, err := retrying.Diagnose(context.Background(), &failurelog.Log{Design: "x"}, DiagnoseOptions{})
+			errs[goroutines+g] = err
+		}(g)
+	}
+	// Close racing in-flight calls must be safe (it only drops idle conns).
+	c.Close()
+	retrying.Close()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent call %d: %v", i, err)
+		}
+	}
+	c.Close() // idempotent, and the client stays usable afterwards
+	if _, err := c.Diagnose(context.Background(), fx.light, DiagnoseOptions{}); err != nil {
+		t.Fatalf("diagnose after Close: %v", err)
 	}
 }

@@ -148,7 +148,7 @@ type Server struct {
 
 	// Request-ID generation: a per-process boot stamp plus a sequence
 	// number, so IDs are unique across restarts without coordination.
-	boot  uint32
+	boot   uint32
 	reqSeq atomic.Uint64
 
 	mux http.Handler

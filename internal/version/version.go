@@ -1,0 +1,49 @@
+// Package version exposes the producing build's identity — module version
+// plus VCS revision — so long-lived artifacts (campaign manifests, volume
+// reports, stored frameworks) can record exactly which binary wrote them.
+// Everything comes from runtime/debug.ReadBuildInfo, so no build-time
+// ldflags plumbing is needed.
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// String returns a one-line build identity: module version, VCS revision
+// (shortened), and a "+dirty" marker for builds from a modified tree.
+// Binaries built without module or VCS metadata (go test, go run from a
+// tarball) degrade to "(devel)".
+func String() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "(devel)"
+	}
+	ver := bi.Main.Version
+	if ver == "" {
+		ver = "(devel)"
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "+dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return ver
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return fmt.Sprintf("%s %s%s", ver, rev, modified)
+}
+
+// Print writes "name version-string" for a CLI's -version flag.
+func Print(name string) {
+	fmt.Printf("%s %s\n", name, String())
+}

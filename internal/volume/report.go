@@ -1,0 +1,397 @@
+package volume
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// AggregateOptions tunes report aggregation.
+type AggregateOptions struct {
+	// Design names the campaign.
+	Design string
+	// TopK caps candidates considered per die (mirrors Config.TopK).
+	TopK int
+	// Alpha is the family-wise false-positive budget of the systematic
+	// detector; it is Bonferroni-split across the observed-cell universe.
+	Alpha float64
+}
+
+// TierStat is one row of the per-tier suspect histogram.
+type TierStat struct {
+	Tier int `json:"tier"`
+	// Predicted counts dies whose tier classifier picked this tier.
+	Predicted int `json:"predicted"`
+	// Suspects counts ranked candidates sitting on this tier (all dies).
+	Suspects int `json:"suspects"`
+}
+
+// CellStat is one row of the per-cell suspect histogram.
+type CellStat struct {
+	Cell string `json:"cell"`
+	Tier int    `json:"tier"`
+	MIV  bool   `json:"miv,omitempty"`
+	// Dies counts distinct dies whose candidate list contains the cell
+	// (the systematic-detector statistic, deduped per die).
+	Dies int `json:"dies"`
+	// Suspects counts total candidate appearances across dies.
+	Suspects int `json:"suspects"`
+	// TopRank counts dies where the cell was the #1 suspect.
+	TopRank int `json:"top_rank"`
+}
+
+// SystematicFinding is one cell flagged by the Poisson-tail detector: its
+// per-die suspect frequency is too high to explain by the campaign's
+// background rate.
+type SystematicFinding struct {
+	Cell string `json:"cell"`
+	Tier int    `json:"tier"`
+	MIV  bool   `json:"miv,omitempty"`
+	// Dies is the observed die count; Expected the Poisson mean under the
+	// background (leave-one-cell-out) rate; PValue the upper-tail
+	// probability P(X >= Dies).
+	Dies     int     `json:"dies"`
+	Expected float64 `json:"expected"`
+	PValue   float64 `json:"p_value"`
+}
+
+// PFAPoint is one point of the PFA cost curve: inspecting every die's
+// candidate list down to rank Depth costs Cost candidate inspections in
+// total and is expected to expose ExpectedFound of the defect population
+// (0..1), using per-candidate probabilities derived from diagnosis scores.
+type PFAPoint struct {
+	Depth         int     `json:"depth"`
+	Cost          int     `json:"cost"`
+	ExpectedFound float64 `json:"expected_found"`
+}
+
+// QuarantineStat counts quarantined logs by reason.
+type QuarantineStat struct {
+	Reason string `json:"reason"`
+	Count  int    `json:"count"`
+}
+
+// Report is the campaign-level aggregation. It is a pure function of the
+// sealed per-log results (plus AggregateOptions), so resumed and re-run
+// campaigns reproduce it bitwise-identically; run-specific numbers live in
+// RunStats instead.
+type Report struct {
+	Design string `json:"design"`
+	// Logs is the total result count; Diagnosed the ok subset.
+	Logs        int              `json:"logs"`
+	Diagnosed   int              `json:"diagnosed"`
+	Quarantined []QuarantineStat `json:"quarantined,omitempty"`
+
+	// MIVSuspects / GateSuspects split ranked candidates by site kind, and
+	// MIVTopDies counts dies whose #1 suspect is an MIV — the paper's
+	// headline question is how often inter-tier vias are the culprit.
+	MIVSuspects  int `json:"miv_suspects"`
+	GateSuspects int `json:"gate_suspects"`
+	MIVTopDies   int `json:"miv_top_dies"`
+
+	Tiers []TierStat `json:"tiers"`
+	// Cells is the per-cell histogram, most-implicated first.
+	Cells []CellStat `json:"cells"`
+	// Systematic lists cells flagged by the Poisson-tail detector,
+	// strongest (lowest p-value) first.
+	Systematic []SystematicFinding `json:"systematic,omitempty"`
+	// PFACurve is the expected-found-vs-cost curve, one point per rank
+	// depth; monotone in both coordinates.
+	PFACurve []PFAPoint `json:"pfa_curve,omitempty"`
+	// Alpha echoes the detector budget used.
+	Alpha float64 `json:"alpha"`
+}
+
+// Aggregate folds sealed per-log results into the campaign report. The
+// input order is irrelevant: results are re-sorted by log name, and every
+// map walk is sorted, so the output is deterministic.
+func Aggregate(results []*Result, opt AggregateOptions) *Report {
+	if opt.TopK <= 0 {
+		opt.TopK = 16
+	}
+	if opt.Alpha <= 0 {
+		opt.Alpha = 1e-4
+	}
+	rs := append([]*Result(nil), results...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Log < rs[j].Log })
+
+	rep := &Report{Design: opt.Design, Logs: len(rs), Alpha: opt.Alpha}
+	quarantine := map[string]int{}
+	tiers := map[int]*TierStat{}
+	cells := map[string]*CellStat{}
+	var ok []*Result
+	for _, r := range rs {
+		if r.Status != StatusOK {
+			quarantine[r.Reason]++
+			continue
+		}
+		ok = append(ok, r)
+		rep.Diagnosed++
+		t := tierStat(tiers, r.PredictedTier)
+		t.Predicted++
+		dieCells := map[string]bool{}
+		for rank, c := range r.Candidates {
+			if rank >= opt.TopK {
+				break
+			}
+			tierStat(tiers, c.Tier).Suspects++
+			if c.MIV {
+				rep.MIVSuspects++
+				if rank == 0 {
+					rep.MIVTopDies++
+				}
+			} else {
+				rep.GateSuspects++
+			}
+			cs, okc := cells[c.Cell]
+			if !okc {
+				cs = &CellStat{Cell: c.Cell, Tier: c.Tier, MIV: c.MIV}
+				cells[c.Cell] = cs
+			}
+			cs.Suspects++
+			if rank == 0 {
+				cs.TopRank++
+			}
+			if !dieCells[c.Cell] {
+				dieCells[c.Cell] = true
+				cs.Dies++
+			}
+		}
+	}
+
+	for _, reason := range sortedKeys(quarantine) {
+		rep.Quarantined = append(rep.Quarantined, QuarantineStat{Reason: reason, Count: quarantine[reason]})
+	}
+	for _, tier := range sortedKeysInt(tiers) {
+		rep.Tiers = append(rep.Tiers, *tiers[tier])
+	}
+	for _, cell := range sortedKeys(cells) {
+		rep.Cells = append(rep.Cells, *cells[cell])
+	}
+	// Most-implicated first; name breaks ties so the order is total.
+	sort.SliceStable(rep.Cells, func(i, j int) bool {
+		a, b := rep.Cells[i], rep.Cells[j]
+		if a.Dies != b.Dies {
+			return a.Dies > b.Dies
+		}
+		if a.Suspects != b.Suspects {
+			return a.Suspects > b.Suspects
+		}
+		return a.Cell < b.Cell
+	})
+
+	rep.Systematic = detectSystematic(rep.Cells, len(ok), opt.Alpha)
+	rep.PFACurve = pfaCurve(ok, opt.TopK)
+	return rep
+}
+
+func tierStat(m map[int]*TierStat, tier int) *TierStat {
+	t, ok := m[tier]
+	if !ok {
+		t = &TierStat{Tier: tier}
+		m[tier] = t
+	}
+	return t
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysInt[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// detectSystematic flags cells whose per-die suspect count is in the
+// extreme upper tail of the campaign's background rate. For each cell the
+// background is estimated leave-one-out: the mean die count of every
+// *other* observed cell. Under the null (random independent defects) the
+// cell's count is ~Poisson(lambda); a cell is flagged when it appears in
+// at least 3 dies and P(X >= count; lambda) clears the Bonferroni-split
+// budget alpha / #cells. Requiring >= 3 dies keeps tiny campaigns from
+// flagging coincidences.
+func detectSystematic(cells []CellStat, dies int, alpha float64) []SystematicFinding {
+	if len(cells) < 2 || dies < 3 {
+		return nil
+	}
+	total := 0
+	for _, c := range cells {
+		total += c.Dies
+	}
+	threshold := alpha / float64(len(cells))
+	var out []SystematicFinding
+	for _, c := range cells {
+		if c.Dies < 3 {
+			continue
+		}
+		lambda := float64(total-c.Dies) / float64(len(cells)-1)
+		p := poissonTail(c.Dies, lambda)
+		if p < threshold {
+			out = append(out, SystematicFinding{
+				Cell: c.Cell, Tier: c.Tier, MIV: c.MIV,
+				Dies: c.Dies, Expected: lambda, PValue: p,
+			})
+		}
+	}
+	// Strongest evidence first; cell name breaks ties.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].PValue != out[j].PValue {
+			return out[i].PValue < out[j].PValue
+		}
+		return out[i].Cell < out[j].Cell
+	})
+	return out
+}
+
+// poissonTail returns P(X >= k) for X ~ Poisson(lambda). The tail is
+// summed directly — first term via log-gamma, successors by recurrence —
+// so deep tails keep full relative precision instead of cancelling against
+// 1-CDF (a 6-sigma tail computed as 1-CDF rounds to zero and would make
+// every extreme cell "infinitely" significant).
+func poissonTail(k int, lambda float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if lambda <= 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(float64(k + 1))
+	term := math.Exp(-lambda + float64(k)*math.Log(lambda) - lg)
+	sum := 0.0
+	for i := k; i < k+10_000; i++ {
+		sum += term
+		term *= lambda / float64(i+1)
+		if term == 0 || term < sum*1e-16 {
+			break
+		}
+	}
+	return math.Min(sum, 1)
+}
+
+// pfaCurve builds the expected-found-vs-cost curve. Each die's candidate
+// scores are turned into a probability distribution (scores clamped at
+// zero; uniform fallback when they all vanish); inspecting a die to rank
+// depth r exposes its defect with probability sum of its top-r
+// probabilities, at a cost of min(r, len(candidates)) inspections. The
+// curve point at depth r sums cost over dies and averages expected
+// exposure — monotone non-decreasing in both coordinates by construction.
+func pfaCurve(ok []*Result, topK int) []PFAPoint {
+	maxDepth := 0
+	type die struct{ probs []float64 }
+	var dies []die
+	for _, r := range ok {
+		n := len(r.Candidates)
+		if n > topK {
+			n = topK
+		}
+		if n == 0 {
+			continue
+		}
+		probs := make([]float64, n)
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			s := r.Candidates[i].Score
+			if s < 0 {
+				s = 0
+			}
+			probs[i] = s
+			sum += s
+		}
+		if sum <= 0 {
+			for i := range probs {
+				probs[i] = 1 / float64(n)
+			}
+		} else {
+			for i := range probs {
+				probs[i] /= sum
+			}
+		}
+		dies = append(dies, die{probs: probs})
+		if n > maxDepth {
+			maxDepth = n
+		}
+	}
+	if len(dies) == 0 {
+		return nil
+	}
+	curve := make([]PFAPoint, 0, maxDepth)
+	for depth := 1; depth <= maxDepth; depth++ {
+		cost, found := 0, 0.0
+		for _, d := range dies {
+			n := len(d.probs)
+			r := depth
+			if r > n {
+				r = n
+			}
+			cost += r
+			for i := 0; i < r; i++ {
+				found += d.probs[i]
+			}
+		}
+		curve = append(curve, PFAPoint{
+			Depth:         depth,
+			Cost:          cost,
+			ExpectedFound: found / float64(len(dies)),
+		})
+	}
+	return curve
+}
+
+// WriteText renders the report as a deterministic human-readable summary.
+func (rep *Report) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Volume diagnosis campaign: %s\n", rep.Design)
+	fmt.Fprintf(&b, "  logs: %d  diagnosed: %d  quarantined: %d\n",
+		rep.Logs, rep.Diagnosed, rep.Logs-rep.Diagnosed)
+	for _, q := range rep.Quarantined {
+		fmt.Fprintf(&b, "    quarantine[%s]: %d\n", q.Reason, q.Count)
+	}
+	fmt.Fprintf(&b, "  suspects: %d MIV / %d gate; MIV top-ranked on %d dies\n",
+		rep.MIVSuspects, rep.GateSuspects, rep.MIVTopDies)
+	b.WriteString("  tiers:\n")
+	for _, t := range rep.Tiers {
+		fmt.Fprintf(&b, "    tier %d: predicted=%d suspects=%d\n", t.Tier, t.Predicted, t.Suspects)
+	}
+	b.WriteString("  top cells:\n")
+	for i, c := range rep.Cells {
+		if i >= 10 {
+			fmt.Fprintf(&b, "    ... and %d more\n", len(rep.Cells)-i)
+			break
+		}
+		kind := "gate"
+		if c.MIV {
+			kind = "miv"
+		}
+		fmt.Fprintf(&b, "    %-24s tier=%d %-4s dies=%d suspects=%d top=%d\n",
+			c.Cell, c.Tier, kind, c.Dies, c.Suspects, c.TopRank)
+	}
+	if len(rep.Systematic) == 0 {
+		b.WriteString("  systematic defects: none flagged\n")
+	} else {
+		fmt.Fprintf(&b, "  systematic defects (alpha=%g):\n", rep.Alpha)
+		for _, s := range rep.Systematic {
+			fmt.Fprintf(&b, "    SYSTEMATIC %-24s tier=%d dies=%d expected=%.2f p=%.3g\n",
+				s.Cell, s.Tier, s.Dies, s.Expected, s.PValue)
+		}
+	}
+	if len(rep.PFACurve) > 0 {
+		b.WriteString("  pfa cost curve (depth cost expected_found):\n")
+		for _, p := range rep.PFACurve {
+			fmt.Fprintf(&b, "    %3d %6d %.4f\n", p.Depth, p.Cost, p.ExpectedFound)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

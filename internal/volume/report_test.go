@@ -1,0 +1,164 @@
+package volume
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+)
+
+func TestPoissonTail(t *testing.T) {
+	// P(X >= 1; lambda) = 1 - e^{-lambda}.
+	for _, lambda := range []float64{0.1, 1, 3, 10} {
+		got := poissonTail(1, lambda)
+		want := 1 - math.Exp(-lambda)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("poissonTail(1, %v) = %v, want %v", lambda, got, want)
+		}
+	}
+	// Known value: P(X >= 3; 1) = 1 - e^{-1}(1 + 1 + 1/2) ~ 0.080301.
+	if got := poissonTail(3, 1); math.Abs(got-0.0803014) > 1e-6 {
+		t.Fatalf("poissonTail(3, 1) = %v", got)
+	}
+	// Monotone decreasing in k, increasing in lambda.
+	for k := 1; k < 20; k++ {
+		if poissonTail(k+1, 2) > poissonTail(k, 2) {
+			t.Fatalf("tail not decreasing in k at %d", k)
+		}
+	}
+	if poissonTail(5, 1) > poissonTail(5, 2) {
+		t.Fatal("tail not increasing in lambda")
+	}
+	// Edges.
+	if got := poissonTail(0, 5); got != 1 {
+		t.Fatalf("poissonTail(0, 5) = %v, want 1", got)
+	}
+	if got := poissonTail(3, 0); got != 0 {
+		t.Fatalf("poissonTail(3, 0) = %v, want 0", got)
+	}
+	// Deep tails stay finite and positive.
+	if got := poissonTail(60, 10); got <= 0 || got > 1e-20 {
+		t.Fatalf("poissonTail(60, 10) = %v, want tiny positive", got)
+	}
+}
+
+func TestDetectSystematic(t *testing.T) {
+	// One cell in 12 dies against a background of cells in 1-2 dies.
+	cells := []CellStat{{Cell: "hot", Dies: 12}}
+	for i := 0; i < 30; i++ {
+		cells = append(cells, CellStat{Cell: string(rune('a' + i)), Dies: 1 + i%2})
+	}
+	out := detectSystematic(cells, 20, 0.01)
+	if len(out) != 1 || out[0].Cell != "hot" {
+		t.Fatalf("findings = %+v, want exactly [hot]", out)
+	}
+	if out[0].PValue >= 0.01/float64(len(cells)) {
+		t.Fatalf("p-value %v does not clear the Bonferroni threshold", out[0].PValue)
+	}
+	// A uniform campaign flags nothing.
+	if out := detectSystematic(cells[1:], 20, 0.01); len(out) != 0 {
+		t.Fatalf("uniform background flagged %+v", out)
+	}
+	// Tiny campaigns are exempt.
+	if out := detectSystematic(cells, 2, 0.01); out != nil {
+		t.Fatalf("2-die campaign flagged %+v", out)
+	}
+}
+
+func TestPFACurveProperties(t *testing.T) {
+	mk := func(scores ...float64) *Result {
+		r := &Result{Log: "x", Status: StatusOK}
+		for _, s := range scores {
+			r.Candidates = append(r.Candidates, Candidate{Score: s})
+		}
+		return r
+	}
+	curve := pfaCurve([]*Result{mk(8, 2), mk(1, 1, 1, 1), mk(-3, -1)}, 16)
+	if len(curve) != 4 {
+		t.Fatalf("curve has %d points, want max depth 4", len(curve))
+	}
+	for i, p := range curve {
+		if p.Depth != i+1 {
+			t.Fatalf("depth %d at index %d", p.Depth, i)
+		}
+		if i > 0 && (p.Cost < curve[i-1].Cost || p.ExpectedFound < curve[i-1].ExpectedFound) {
+			t.Fatalf("curve not monotone: %+v -> %+v", curve[i-1], p)
+		}
+	}
+	// Depth 1: die1 exposes 0.8, die2 0.25, die3 (all-negative scores →
+	// uniform fallback) 0.5; mean ~0.5167. Cost: one inspection per die.
+	if got := curve[0].Cost; got != 3 {
+		t.Fatalf("depth-1 cost = %d, want 3", got)
+	}
+	if want := (0.8 + 0.25 + 0.5) / 3; math.Abs(curve[0].ExpectedFound-want) > 1e-12 {
+		t.Fatalf("depth-1 expected_found = %v, want %v", curve[0].ExpectedFound, want)
+	}
+	// Full depth reaches 1.0 exactly and costs the total candidate count.
+	last := curve[len(curve)-1]
+	if math.Abs(last.ExpectedFound-1) > 1e-12 || last.Cost != 8 {
+		t.Fatalf("full-depth point = %+v, want found=1 cost=8", last)
+	}
+	// Dies with no candidates contribute nothing (and no NaNs).
+	if c := pfaCurve([]*Result{{Log: "e", Status: StatusOK}}, 16); c != nil {
+		t.Fatalf("candidate-free campaign produced %+v", c)
+	}
+}
+
+// TestAggregateOrderInvariance feeds the same results in different orders
+// and requires byte-identical reports.
+func TestAggregateOrderInvariance(t *testing.T) {
+	var rs []*Result
+	for i := 0; i < 9; i++ {
+		r := &Result{Log: string(rune('a'+i)) + ".log", Status: StatusOK, PredictedTier: i % 2}
+		for j := 0; j <= i%3; j++ {
+			r.Candidates = append(r.Candidates, Candidate{
+				Gate: i*10 + j, Cell: string(rune('A' + (i+j)%4)), Tier: j % 2, Score: float64(10 - j),
+			})
+		}
+		rs = append(rs, r)
+	}
+	rs = append(rs, &Result{Log: "q.log", Status: StatusQuarantined, Reason: ReasonRead})
+
+	opt := AggregateOptions{Design: "d", TopK: 8, Alpha: 0.01}
+	a, err := json.Marshal(Aggregate(rs, opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := make([]*Result, len(rs))
+	for i, r := range rs {
+		rev[len(rs)-1-i] = r
+	}
+	b, err := json.Marshal(Aggregate(rev, opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("aggregation is order-sensitive:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestReadManifest(t *testing.T) {
+	dir := t.TempDir()
+	mf := dir + "/logs.txt"
+	if err := writeFile(mf, "# campaign\nrel.log\n\n/abs/path.log\n"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != dir+"/rel.log" || got[1] != "/abs/path.log" {
+		t.Fatalf("manifest = %v", got)
+	}
+	if err := writeFile(mf, "# only comments\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(mf); err == nil {
+		t.Fatal("empty manifest accepted")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

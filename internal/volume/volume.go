@@ -1,0 +1,501 @@
+// Package volume is the volume-diagnosis campaign engine: the subsystem
+// that turns per-die diagnosis into population-level defect intelligence.
+// In a production test flow, thousands of failing-die logs accumulate per
+// lot; volume diagnosis aggregates their diagnosis reports to separate
+// systematic defects (one mechanism repeating across dies) from random
+// ones, and ranks candidates by expected physical-failure-analysis (PFA)
+// cost.
+//
+// A campaign ingests a directory (or explicit manifest) of failure logs,
+// fans diagnosis out over workers — in-process through core.DiagnoseCtx or
+// remotely against an m3dserve fleet through serve.Client — and aggregates
+// the per-log results into a campaign report: per-tier and per-cell
+// suspect histograms, an MIV-vs-gate breakdown, a Poisson-tail systematic
+// defect detector, and a PFA cost curve.
+//
+// Campaigns are crash-safe and resumable: every per-log result is sealed
+// through the artifact layer the moment it completes, a manifest
+// checkpoint records done/quarantined/pending entries, and a rerun skips
+// sealed work and produces a bitwise-identical report at any worker
+// count. Per-log failures (corrupt log, deadline, panic) are quarantined
+// and counted, never fatal to the campaign.
+package volume
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/failurelog"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/policy"
+	"repro/internal/version"
+)
+
+// Config drives one campaign run.
+type Config struct {
+	// Inputs are the failure-log file paths to diagnose. Discover them with
+	// DiscoverLogs (directory scan) or ReadManifest (explicit list). Base
+	// names must be unique: they key resume and dedup.
+	Inputs []string
+	// Dir is the campaign working directory; per-log results are sealed
+	// under Dir/results and the manifest checkpoint lives at Dir/manifest.json.
+	Dir string
+	// Diagnosers holds one diagnosis backend per worker (the slice length
+	// sets the worker count). Build with NewLocalDiagnosers or
+	// NewRemoteDiagnosers.
+	Diagnosers []Diagnoser
+	// Netlist resolves candidate fault sites to cells and tiers.
+	Netlist *netlist.Netlist
+	// Design names the campaign in the report.
+	Design string
+	// TopK caps the candidates retained per sealed result (default 16).
+	TopK int
+	// LogTimeout bounds one diagnosis; an expired deadline quarantines the
+	// log (reason "deadline") instead of stalling the campaign. 0 = none.
+	LogTimeout time.Duration
+	// Alpha is the family-wise false-positive budget of the systematic
+	// detector (default 1e-4; Bonferroni-split across observed cells).
+	Alpha float64
+	// CheckpointEvery writes the manifest after this many completions
+	// (default 8; a final write always happens).
+	CheckpointEvery int
+	// Obs receives campaign telemetry (logs/sec, in-flight, quarantine
+	// counters); nil disables at zero cost.
+	Obs *obs.Registry
+	// Tracer records one trace per log with read/diagnose/seal spans.
+	Tracer *obs.Tracer
+	// Logf receives operational progress lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.TopK <= 0 {
+		c.TopK = 16
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 1e-4
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 8
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// RunStats describes one engine run (as opposed to the campaign's
+// cumulative state): how much work this invocation performed versus
+// skipped. Deliberately kept out of Report so resumed reruns emit
+// bitwise-identical reports.
+type RunStats struct {
+	// Processed counts logs diagnosed (or quarantined) by this run.
+	Processed int
+	// Resumed counts logs skipped because a sealed result already existed.
+	Resumed int
+	// Elapsed is this run's wall time.
+	Elapsed time.Duration
+}
+
+// manifest is the campaign checkpoint: a cheap, atomic, human-readable
+// record of where the campaign stands. Resume correctness never depends on
+// it — sealed results are the source of truth — but it gives operators
+// (and the smoke tests) done/quarantined/pending at a glance.
+type manifest struct {
+	Build       string          `json:"build"`
+	Design      string          `json:"design"`
+	Total       int             `json:"total"`
+	Done        int             `json:"done"`
+	Quarantined int             `json:"quarantined"`
+	Pending     int             `json:"pending"`
+	Entries     []manifestEntry `json:"entries"`
+}
+
+type manifestEntry struct {
+	Log    string `json:"log"`
+	Status string `json:"status"` // done | quarantined | pending
+}
+
+// ManifestPath returns the checkpoint location inside a campaign dir.
+func ManifestPath(dir string) string { return filepath.Join(dir, "manifest.json") }
+
+// resultsDir is the subdirectory holding sealed per-log results.
+func resultsDir(dir string) string { return filepath.Join(dir, "results") }
+
+// resultPath maps a log base name to its sealed result file.
+func resultPath(dir, base string) string {
+	return filepath.Join(resultsDir(dir), base+".res")
+}
+
+// DiscoverLogs lists the failure-log files in a directory (sorted by
+// name): every regular file ending in .log.
+func DiscoverLogs(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("volume: scan logs: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".log") {
+			continue
+		}
+		out = append(out, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(out)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("volume: no *.log files in %s", dir)
+	}
+	return out, nil
+}
+
+// ReadManifest reads an explicit campaign input list: one log path per
+// line, blank lines and #-comments ignored, relative paths resolved
+// against the manifest's own directory.
+func ReadManifest(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("volume: read manifest: %w", err)
+	}
+	base := filepath.Dir(path)
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !filepath.IsAbs(line) {
+			line = filepath.Join(base, line)
+		}
+		out = append(out, line)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("volume: manifest %s lists no logs", path)
+	}
+	return out, nil
+}
+
+// Run executes (or resumes) a campaign: diagnose every input log whose
+// sealed result is missing, seal each result as it completes, checkpoint
+// the manifest, and aggregate everything into the campaign report.
+//
+// Determinism: per-log results depend only on (log, model, design), never
+// on worker count or schedule, and aggregation walks logs in sorted name
+// order — so the returned report is bitwise-identical for any worker
+// count, and for any interrupt/resume history.
+//
+// On cancellation Run seals nothing partial (in-flight diagnoses are
+// simply dropped), writes a final manifest checkpoint, and returns the
+// context's error; a rerun picks up exactly where the sealed results
+// left off.
+func Run(ctx context.Context, cfg Config) (*Report, *RunStats, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Inputs) == 0 {
+		return nil, nil, errors.New("volume: no input logs")
+	}
+	if len(cfg.Diagnosers) == 0 {
+		return nil, nil, errors.New("volume: no diagnosers configured")
+	}
+	if cfg.Netlist == nil {
+		return nil, nil, errors.New("volume: no netlist for candidate resolution")
+	}
+	if err := os.MkdirAll(resultsDir(cfg.Dir), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("volume: %w", err)
+	}
+
+	// Sorted inputs with unique base names: base names key sealed results
+	// and resume, so a collision would silently merge two dies.
+	inputs := append([]string(nil), cfg.Inputs...)
+	sort.Slice(inputs, func(i, j int) bool {
+		return filepath.Base(inputs[i]) < filepath.Base(inputs[j])
+	})
+	seen := make(map[string]string, len(inputs))
+	for _, p := range inputs {
+		b := filepath.Base(p)
+		if prev, dup := seen[b]; dup {
+			return nil, nil, fmt.Errorf("volume: duplicate log name %q (%s and %s)", b, prev, p)
+		}
+		seen[b] = p
+	}
+
+	describeMetrics(cfg.Obs)
+	start := time.Now()
+
+	// Resume: load every valid sealed result; anything missing or corrupt
+	// is (re)diagnosed.
+	results := make([]*Result, len(inputs))
+	var pending []int
+	for i, p := range inputs {
+		base := filepath.Base(p)
+		if r := loadResult(resultPath(cfg.Dir, base), base); r != nil {
+			results[i] = r
+			continue
+		}
+		pending = append(pending, i)
+	}
+	resumed := len(inputs) - len(pending)
+	cfg.Obs.Counter("m3d_volume_resumed_total").Add(int64(resumed))
+	if resumed > 0 {
+		cfg.Logf("volume: resuming campaign: %d of %d logs already sealed", resumed, len(inputs))
+	}
+
+	st := &campaignState{cfg: cfg, inputs: inputs, results: results}
+	workers := len(cfg.Diagnosers)
+	inflight := cfg.Obs.Gauge("m3d_volume_inflight")
+	runErr := par.ForEachWorkerCtx(ctx, workers, len(pending), func(w, k int) {
+		i := pending[k]
+		inflight.Add(1)
+		r := st.processOne(ctx, cfg.Diagnosers[w], inputs[i])
+		inflight.Add(-1)
+		if r == nil {
+			return // campaign cancelled mid-diagnosis: leave unsealed
+		}
+		st.complete(i, r)
+	})
+
+	// A worker that was cancelled mid-diagnosis (or failed to seal) leaves
+	// its slot empty without failing the fan-out; an incomplete pass must
+	// never aggregate, or the report would silently omit logs.
+	if runErr == nil {
+		for _, r := range results {
+			if r == nil {
+				runErr = ctx.Err()
+				if runErr == nil {
+					runErr = errors.New("unsealed results remain")
+				}
+				break
+			}
+		}
+	}
+
+	// Final checkpoint reflects everything sealed so far, whether the run
+	// completed or was interrupted.
+	st.writeManifest()
+	stats := &RunStats{Processed: st.processed, Resumed: resumed, Elapsed: time.Since(start)}
+	if dt := stats.Elapsed.Seconds(); dt > 0 {
+		cfg.Obs.Gauge("m3d_volume_logs_per_second").Set(float64(st.processed) / dt)
+	}
+	if runErr != nil {
+		return nil, stats, fmt.Errorf("volume: campaign interrupted (%d done, %d pending; rerun to resume): %w",
+			st.doneCount(), len(inputs)-st.doneCount(), runErr)
+	}
+
+	span := obs.Start(ctx, "volume.aggregate")
+	rep := Aggregate(resultsValues(results), AggregateOptions{
+		Design: cfg.Design, TopK: cfg.TopK, Alpha: cfg.Alpha,
+	})
+	span.End()
+	return rep, stats, nil
+}
+
+// campaignState is the shared mutable state of one Run: completed results,
+// progress counters, and the checkpoint cadence.
+type campaignState struct {
+	cfg       Config
+	inputs    []string
+	mu        sync.Mutex
+	results   []*Result
+	done      int // completions since the last checkpoint
+	processed int
+}
+
+func (st *campaignState) doneCount() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, r := range st.results {
+		if r != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// complete records one sealed result and checkpoints the manifest every
+// CheckpointEvery completions.
+func (st *campaignState) complete(i int, r *Result) {
+	st.mu.Lock()
+	st.results[i] = r
+	st.processed++
+	st.done++
+	flush := st.done >= st.cfg.CheckpointEvery
+	if flush {
+		st.done = 0
+	}
+	st.mu.Unlock()
+	if flush {
+		st.writeManifest()
+	}
+}
+
+// writeManifest atomically checkpoints done/quarantined/pending entries.
+func (st *campaignState) writeManifest() {
+	st.mu.Lock()
+	m := manifest{Build: version.String(), Design: st.cfg.Design, Total: len(st.inputs)}
+	m.Entries = make([]manifestEntry, len(st.inputs))
+	for i, p := range st.inputs {
+		e := manifestEntry{Log: filepath.Base(p), Status: "pending"}
+		if r := st.results[i]; r != nil {
+			if r.Status == StatusOK {
+				e.Status = "done"
+				m.Done++
+			} else {
+				e.Status = "quarantined"
+				m.Quarantined++
+			}
+		} else {
+			m.Pending++
+		}
+		m.Entries[i] = e
+	}
+	st.mu.Unlock()
+	err := artifact.WriteAtomic(ManifestPath(st.cfg.Dir), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+	if err != nil {
+		st.cfg.Logf("volume: manifest checkpoint failed (campaign continues): %v", err)
+	}
+}
+
+// processOne reads, diagnoses, and seals one log. Every failure mode short
+// of campaign cancellation produces a quarantined result: corrupt files,
+// backend errors, per-log deadline expiry, and panics are all isolated to
+// the one log. Returns nil only when the campaign context was cancelled
+// (nothing is sealed then, so the rerun redoes the log).
+func (st *campaignState) processOne(ctx context.Context, d Diagnoser, path string) *Result {
+	cfg := st.cfg
+	base := filepath.Base(path)
+	ctx, trace := cfg.Tracer.StartTrace(ctx, "volume.log")
+	if cfg.Obs != nil {
+		ctx = obs.WithRegistry(ctx, cfg.Obs)
+	}
+	defer trace.End()
+
+	r := st.diagnoseOne(ctx, d, path)
+	if r == nil {
+		return nil
+	}
+	span := obs.Start(ctx, "volume.seal")
+	err := sealResult(resultPath(cfg.Dir, base), r)
+	span.End()
+	if err != nil {
+		// A result that cannot be made durable must not enter the report:
+		// the resumed rerun would diverge. Surface loudly and drop.
+		cfg.Logf("volume: seal %s failed, log stays pending: %v", base, err)
+		return nil
+	}
+	cfg.Obs.Counter("m3d_volume_logs_total", "status", r.Status).Inc()
+	if r.Status == StatusQuarantined {
+		cfg.Obs.Counter("m3d_volume_quarantined_total", "reason", r.Reason).Inc()
+		cfg.Logf("volume: quarantined %s (%s): %s", base, r.Reason, r.Err)
+	}
+	return r
+}
+
+// diagnoseOne produces the Result for one log (without sealing it).
+func (st *campaignState) diagnoseOne(ctx context.Context, d Diagnoser, path string) (res *Result) {
+	cfg := st.cfg
+	base := filepath.Base(path)
+	res = &Result{Log: base, Status: StatusQuarantined}
+
+	// Panic isolation: a crash in parsing or diagnosis quarantines this
+	// log; the campaign and every other worker keep going.
+	defer func() {
+		if p := recover(); p != nil {
+			res.Reason = ReasonPanic
+			res.Err = fmt.Sprintf("panic: %v", p)
+		}
+	}()
+
+	span := obs.Start(ctx, "volume.read")
+	log, err := failurelog.ReadFile(path)
+	span.End()
+	if err != nil {
+		res.Reason = ReasonRead
+		res.Err = err.Error()
+		return res
+	}
+	res.Fails = len(log.Fails)
+
+	dctx := ctx
+	if cfg.LogTimeout > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, cfg.LogTimeout)
+		defer cancel()
+	}
+	span = obs.Start(ctx, "volume.diagnose")
+	ro, err := d.Diagnose(dctx, log)
+	span.End()
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil // campaign cancelled: not this log's fault
+		}
+		res.Err = err.Error()
+		if errors.Is(err, context.DeadlineExceeded) {
+			res.Reason = ReasonDeadline
+		} else {
+			res.Reason = ReasonDiagnose
+		}
+		return res
+	}
+
+	res.Status = StatusOK
+	res.Reason = ""
+	res.PredictedTier = ro.PredictedTier
+	res.Confidence = ro.Confidence
+	res.Pruned = ro.Pruned
+	res.FaultyMIVs = ro.FaultyMIVs
+	n := cfg.Netlist
+	for k, c := range ro.Cands {
+		if k >= cfg.TopK {
+			break
+		}
+		site := c.Fault.SiteGate(n)
+		g := n.Gates[site]
+		res.Candidates = append(res.Candidates, Candidate{
+			Gate:  site,
+			Cell:  g.Name,
+			Tier:  policy.EffectiveTier(n, site),
+			MIV:   g.IsMIV,
+			Pol:   int(c.Fault.Pol),
+			Score: c.Score,
+		})
+	}
+	return res
+}
+
+// resultsValues drops the nil slots of an interrupted slice (defensive:
+// Run only aggregates after a complete pass).
+func resultsValues(rs []*Result) []*Result {
+	out := make([]*Result, 0, len(rs))
+	for _, r := range rs {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func describeMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Describe("m3d_volume_logs_total", "Campaign logs completed, by status (ok/quarantined).")
+	r.Describe("m3d_volume_quarantined_total", "Campaign logs quarantined, by reason.")
+	r.Describe("m3d_volume_resumed_total", "Logs skipped because a sealed result already existed.")
+	r.Describe("m3d_volume_inflight", "Diagnoses currently executing.")
+	r.Describe("m3d_volume_logs_per_second", "Throughput of the most recent campaign run.")
+}

@@ -1,0 +1,455 @@
+package volume
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/failurelog"
+	"repro/internal/gen"
+)
+
+// The fixture trains one small framework and generates one campaign's
+// worth of failure logs — with a planted systematic defect — shared by
+// every test (training dominates test wall time).
+type fixture struct {
+	bundle      *dataset.Bundle
+	fw          *core.Framework
+	samples     []dataset.Sample
+	plantedCell string
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+	fixErr  error
+)
+
+const (
+	fixLogs       = 24
+	fixSystematic = 0.6
+	// Tests use a loose detector budget: the campaign is deliberately tiny
+	// (CI speed), so the planted cell recurs ~14 times against a small
+	// background — decisive at alpha=0.01, marginal at the production 1e-4.
+	fixAlpha = 0.01
+)
+
+func getFixture(t *testing.T) *fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		p, _ := gen.ProfileByName("aes")
+		p = p.Scaled(0.2)
+		b, err := dataset.Build(p, dataset.Syn1, dataset.BuildOptions{Seed: 1})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		train := b.Generate(dataset.SampleOptions{Count: 40, Seed: 2, MIVFraction: 0.25})
+		fw, err := core.Train(train, core.TrainOptions{Seed: 3, Epochs: 6, SkipClassifier: true})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		planted, ok := b.PickSystematicFault(11)
+		if !ok {
+			fixErr = fmt.Errorf("no systematic fault available")
+			return
+		}
+		samples := b.Generate(dataset.SampleOptions{
+			Count: fixLogs, Seed: 5, MIVFraction: 0.2,
+			Systematic: fixSystematic, SystematicFault: planted,
+		})
+		fix = &fixture{
+			bundle:      b,
+			fw:          fw,
+			samples:     samples,
+			plantedCell: b.Netlist.Gates[planted.SiteGate(b.Netlist)].Name,
+		}
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fix
+}
+
+// writeLogs materializes the fixture's failure logs into dir and returns
+// their paths.
+func writeLogs(t *testing.T, dir string) []string {
+	t.Helper()
+	fx := getFixture(t)
+	paths := make([]string, len(fx.samples))
+	for i, smp := range fx.samples {
+		p := filepath.Join(dir, fmt.Sprintf("die_%03d.log", i))
+		if err := failurelog.WriteFile(p, smp.Log); err != nil {
+			t.Fatal(err)
+		}
+		paths[i] = p
+	}
+	return paths
+}
+
+func campaignConfig(t *testing.T, inputs []string, dir string, workers int) Config {
+	t.Helper()
+	fx := getFixture(t)
+	ds, err := NewLocalDiagnosers(fx.fw, fx.bundle, workers, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Inputs:     inputs,
+		Dir:        dir,
+		Diagnosers: ds,
+		Netlist:    fx.bundle.Netlist,
+		Design:     fx.bundle.Name,
+		TopK:       8,
+		Alpha:      fixAlpha,
+	}
+}
+
+func reportJSON(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestCampaignWorkerInvariance runs the same campaign at two worker counts
+// and requires bitwise-identical reports; it also checks the report's
+// headline content: everything diagnosed, the planted systematic cell
+// flagged, and a monotone PFA curve.
+func TestCampaignWorkerInvariance(t *testing.T) {
+	logDir := t.TempDir()
+	inputs := writeLogs(t, logDir)
+
+	rep1, stats1, err := Run(context.Background(), campaignConfig(t, inputs, t.TempDir(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep4, _, err := Run(context.Background(), campaignConfig(t, inputs, t.TempDir(), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, j4 := reportJSON(t, rep1), reportJSON(t, rep4)
+	if !bytes.Equal(j1, j4) {
+		t.Fatalf("reports differ between 1 and 4 workers:\n%s\n---\n%s", j1, j4)
+	}
+	if stats1.Processed != fixLogs || stats1.Resumed != 0 {
+		t.Fatalf("stats = %+v, want %d processed, 0 resumed", stats1, fixLogs)
+	}
+	if rep1.Logs != fixLogs || rep1.Diagnosed != fixLogs {
+		t.Fatalf("logs=%d diagnosed=%d, want all %d ok", rep1.Logs, rep1.Diagnosed, fixLogs)
+	}
+
+	fx := getFixture(t)
+	found := false
+	for _, s := range rep1.Systematic {
+		if s.Cell == fx.plantedCell {
+			found = true
+			if s.Dies < 3 {
+				t.Fatalf("planted cell flagged with only %d dies", s.Dies)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("planted systematic cell %s not flagged; findings: %+v, top cells: %+v",
+			fx.plantedCell, rep1.Systematic, rep1.Cells[:min(5, len(rep1.Cells))])
+	}
+
+	if len(rep1.PFACurve) == 0 {
+		t.Fatal("empty PFA curve")
+	}
+	assertMonotonePFA(t, rep1.PFACurve)
+
+	// Text rendering is deterministic too.
+	var ta, tb bytes.Buffer
+	rep1.WriteText(&ta)
+	rep4.WriteText(&tb)
+	if !bytes.Equal(ta.Bytes(), tb.Bytes()) {
+		t.Fatal("text reports differ between worker counts")
+	}
+}
+
+func assertMonotonePFA(t *testing.T, curve []PFAPoint) {
+	t.Helper()
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Cost < curve[i-1].Cost || curve[i].ExpectedFound < curve[i-1].ExpectedFound {
+			t.Fatalf("PFA curve not monotone at %d: %+v -> %+v", i, curve[i-1], curve[i])
+		}
+		if curve[i].Depth != curve[i-1].Depth+1 {
+			t.Fatalf("PFA depths not consecutive at %d", i)
+		}
+	}
+	last := curve[len(curve)-1].ExpectedFound
+	if last < 0.999 || last > 1.001 {
+		t.Fatalf("PFA curve should reach ~1.0 at full depth, got %v", last)
+	}
+}
+
+// cancelAfter cancels the campaign context once its wrapped diagnoser has
+// completed limit diagnoses — a deterministic stand-in for killing the
+// process mid-campaign.
+type cancelAfter struct {
+	inner  Diagnoser
+	calls  *atomic.Int64
+	limit  int64
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfter) Diagnose(ctx context.Context, log *failurelog.Log) (*rawOutcome, error) {
+	ro, err := c.inner.Diagnose(ctx, log)
+	if c.calls.Add(1) >= c.limit {
+		c.cancel()
+	}
+	return ro, err
+}
+
+// counting wraps a Diagnoser with a call counter, to prove resume does not
+// re-diagnose sealed logs.
+type counting struct {
+	inner Diagnoser
+	calls *atomic.Int64
+}
+
+func (c *counting) Diagnose(ctx context.Context, log *failurelog.Log) (*rawOutcome, error) {
+	c.calls.Add(1)
+	return c.inner.Diagnose(ctx, log)
+}
+
+// TestCampaignResume interrupts a campaign mid-flight, reruns it, and
+// requires (a) the rerun skips every sealed result, and (b) the final
+// report is bitwise-identical to an uninterrupted campaign's.
+func TestCampaignResume(t *testing.T) {
+	logDir := t.TempDir()
+	inputs := writeLogs(t, logDir)
+
+	// Uninterrupted baseline.
+	base, _, err := Run(context.Background(), campaignConfig(t, inputs, t.TempDir(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted campaign: cancel after 7 completions.
+	dir := t.TempDir()
+	cfg := campaignConfig(t, inputs, dir, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	for i, d := range cfg.Diagnosers {
+		cfg.Diagnosers[i] = &cancelAfter{inner: d, calls: &calls, limit: 7, cancel: cancel}
+	}
+	_, stats, err := Run(ctx, cfg)
+	if err == nil {
+		t.Fatal("interrupted campaign returned no error")
+	}
+	if stats.Processed == 0 || stats.Processed >= fixLogs {
+		t.Fatalf("interrupted run processed %d logs, want some but not all", stats.Processed)
+	}
+	sealedBefore := countSealed(t, dir)
+	if sealedBefore == 0 {
+		t.Fatal("no results sealed before interruption")
+	}
+
+	// Rerun to completion; count actual diagnoses.
+	cfg2 := campaignConfig(t, inputs, dir, 2)
+	var calls2 atomic.Int64
+	for i, d := range cfg2.Diagnosers {
+		cfg2.Diagnosers[i] = &counting{inner: d, calls: &calls2}
+	}
+	rep, stats2, err := Run(context.Background(), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Resumed != sealedBefore {
+		t.Fatalf("resumed %d, want %d (the sealed count)", stats2.Resumed, sealedBefore)
+	}
+	if got, want := int(calls2.Load()), fixLogs-sealedBefore; got != want {
+		t.Fatalf("rerun diagnosed %d logs, want exactly the %d unsealed ones", got, want)
+	}
+	if !bytes.Equal(reportJSON(t, rep), reportJSON(t, base)) {
+		t.Fatal("resumed report differs from uninterrupted baseline")
+	}
+
+	// A third run is a pure no-op replay and still reproduces the report.
+	rep3, stats3, err := Run(context.Background(), campaignConfig(t, inputs, dir, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats3.Processed != 0 || stats3.Resumed != fixLogs {
+		t.Fatalf("replay stats = %+v, want all %d resumed", stats3, fixLogs)
+	}
+	if !bytes.Equal(reportJSON(t, rep3), reportJSON(t, base)) {
+		t.Fatal("replayed report differs from baseline")
+	}
+}
+
+func countSealed(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(resultsDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(entries)
+}
+
+// TestCampaignQuarantine corrupts some inputs (truncated file, garbage
+// bytes, missing file) and requires the campaign to quarantine exactly
+// those, diagnose the rest, and replay the quarantine decisions on resume
+// without re-reading the bad logs.
+func TestCampaignQuarantine(t *testing.T) {
+	logDir := t.TempDir()
+	inputs := writeLogs(t, logDir)
+
+	// Corrupt two logs and reference one that does not exist. The
+	// truncation mimics a tester upload killed mid-line: cut on a line
+	// boundary with a dangling half-record after it.
+	data, err := os.ReadFile(inputs[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := bytes.LastIndexByte(data[:len(data)/2], '\n')
+	truncated := append(append([]byte(nil), data[:cut+1]...), "31"...)
+	if err := os.WriteFile(inputs[3], truncated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(inputs[9], []byte("not a failure log\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inputs = append(inputs, filepath.Join(logDir, "zz_missing.log"))
+
+	dir := t.TempDir()
+	rep, _, err := Run(context.Background(), campaignConfig(t, inputs, dir, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(inputs) - 3
+	if rep.Diagnosed != want {
+		t.Fatalf("diagnosed %d, want %d", rep.Diagnosed, want)
+	}
+	total := 0
+	for _, q := range rep.Quarantined {
+		if q.Reason != ReasonRead {
+			t.Fatalf("unexpected quarantine reason %q", q.Reason)
+		}
+		total += q.Count
+	}
+	if total != 3 {
+		t.Fatalf("quarantined %d logs, want 3", total)
+	}
+
+	// Resume replays the quarantine verdicts from their sealed results.
+	rep2, stats2, err := Run(context.Background(), campaignConfig(t, inputs, dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Processed != 0 || stats2.Resumed != len(inputs) {
+		t.Fatalf("replay stats = %+v, want all %d resumed", stats2, len(inputs))
+	}
+	if !bytes.Equal(reportJSON(t, rep2), reportJSON(t, rep)) {
+		t.Fatal("replayed report differs")
+	}
+}
+
+// TestCampaignCorruptSealedResult flips a bit in one sealed result; the
+// resume pass must detect the bad checksum and silently re-diagnose just
+// that log, converging on the same report.
+func TestCampaignCorruptSealedResult(t *testing.T) {
+	logDir := t.TempDir()
+	inputs := writeLogs(t, logDir)
+	dir := t.TempDir()
+	base, _, err := Run(context.Background(), campaignConfig(t, inputs, dir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	victim := resultPath(dir, filepath.Base(inputs[5]))
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x40
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := artifact.ReadSealed(victim); err == nil {
+		t.Fatal("corrupted result still verifies; test is vacuous")
+	}
+
+	rep, stats, err := Run(context.Background(), campaignConfig(t, inputs, dir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Processed != 1 || stats.Resumed != fixLogs-1 {
+		t.Fatalf("stats = %+v, want exactly the corrupted log re-diagnosed", stats)
+	}
+	if !bytes.Equal(reportJSON(t, rep), reportJSON(t, base)) {
+		t.Fatal("report changed after re-diagnosing corrupted result")
+	}
+}
+
+// panicky blows up on its nth call.
+type panicky struct {
+	inner Diagnoser
+	calls *atomic.Int64
+	nth   int64
+}
+
+func (p *panicky) Diagnose(ctx context.Context, log *failurelog.Log) (*rawOutcome, error) {
+	if p.calls.Add(1) == p.nth {
+		panic("synthetic diagnosis crash")
+	}
+	return p.inner.Diagnose(ctx, log)
+}
+
+// TestCampaignPanicIsolation proves one panicking diagnosis quarantines
+// one log without taking down the campaign.
+func TestCampaignPanicIsolation(t *testing.T) {
+	logDir := t.TempDir()
+	inputs := writeLogs(t, logDir)
+	cfg := campaignConfig(t, inputs, t.TempDir(), 1)
+	var calls atomic.Int64
+	cfg.Diagnosers[0] = &panicky{inner: cfg.Diagnosers[0], calls: &calls, nth: 4}
+	rep, _, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Diagnosed != fixLogs-1 {
+		t.Fatalf("diagnosed %d, want %d", rep.Diagnosed, fixLogs-1)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0].Reason != ReasonPanic || rep.Quarantined[0].Count != 1 {
+		t.Fatalf("quarantine stats = %+v, want one panic", rep.Quarantined)
+	}
+}
+
+// TestDuplicateLogNames: base names key resume, so duplicates must be
+// rejected up front rather than silently merged.
+func TestDuplicateLogNames(t *testing.T) {
+	logDir := t.TempDir()
+	inputs := writeLogs(t, logDir)
+	other := t.TempDir()
+	dup := filepath.Join(other, filepath.Base(inputs[0]))
+	if err := os.WriteFile(dup, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := campaignConfig(t, append(inputs, dup), t.TempDir(), 1)
+	if _, _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("duplicate base names accepted")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# volume_smoke.sh — CI integration check for the volume-diagnosis campaign
+# engine.
+#
+# Generates a 200-log campaign with a planted systematic defect, trains and
+# saves a model once, then asserts the engine's contract end to end: the
+# campaign completes and flags the planted cell, the PFA cost curve is
+# monotone, reports are bitwise-identical across worker counts, and a
+# campaign interrupted with SIGINT resumes — skipping sealed results — to
+# the same bitwise-identical report.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+trap 'kill "${VOL_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "== build"
+go build -o "$WORK/datagen" ./cmd/datagen
+go build -o "$WORK/m3ddiag" ./cmd/m3ddiag
+go build -o "$WORK/m3dvolume" ./cmd/m3dvolume
+
+echo "== version flags must answer"
+"$WORK/m3dvolume" -version | grep -q '^m3dvolume ' || { echo "bad -version output" >&2; exit 1; }
+"$WORK/datagen" -version >/dev/null
+
+echo "== generate a 200-log campaign with a planted systematic defect"
+GEN_OUT="$("$WORK/datagen" -design aes -scale 0.2 -samples 200 -systematic 0.3 -out "$WORK/data")"
+echo "$GEN_OUT"
+CELL="$(echo "$GEN_OUT" | sed -n 's/.*planted on cell \([^ ]*\) .*/\1/p')"
+[ -n "$CELL" ] || { echo "datagen did not print the planted cell" >&2; exit 1; }
+echo "planted cell: $CELL"
+
+echo "== train and save a model once (shared by every campaign run)"
+"$WORK/m3ddiag" -design aes -scale 0.2 -train-samples 60 -diagnose-samples 0 \
+  -save-model "$WORK/model.fw" >/dev/null
+
+echo "== campaign A (1 worker)"
+"$WORK/m3dvolume" -logs "$WORK/data" -campaign "$WORK/campA" \
+  -design aes -scale 0.2 -load-model "$WORK/model.fw" -workers 1 >/dev/null
+
+echo "== report must flag the planted cell as systematic"
+grep -q "SYSTEMATIC ${CELL}[[:space:]]" "$WORK/campA/report.txt" || {
+  echo "planted cell $CELL not flagged as systematic:" >&2
+  cat "$WORK/campA/report.txt" >&2; exit 1; }
+grep -q '"systematic"' "$WORK/campA/report.json"
+grep -q '"pfa_curve"' "$WORK/campA/report.json"
+grep -q '"diagnosed": 200' "$WORK/campA/report.json" || {
+  echo "campaign did not diagnose all 200 logs" >&2
+  head -5 "$WORK/campA/report.json" >&2; exit 1; }
+
+echo "== PFA cost curve must be monotone in cost and expected_found"
+awk '/pfa cost curve/{f=1;next} f {
+  if ($2+0 < pc || $3+0 < pf) { print "non-monotone at depth " $1; exit 1 }
+  pc=$2+0; pf=$3+0 }' "$WORK/campA/report.txt"
+
+echo "== campaign B (4 workers) must produce a bitwise-identical report"
+"$WORK/m3dvolume" -logs "$WORK/data" -campaign "$WORK/campB" \
+  -design aes -scale 0.2 -load-model "$WORK/model.fw" -workers 4 >/dev/null
+cmp "$WORK/campA/report.json" "$WORK/campB/report.json"
+cmp "$WORK/campA/report.txt" "$WORK/campB/report.txt"
+
+echo "== campaign C: interrupt mid-flight with SIGINT"
+"$WORK/m3dvolume" -logs "$WORK/data" -campaign "$WORK/campC" \
+  -design aes -scale 0.2 -load-model "$WORK/model.fw" -workers 1 >/dev/null 2>&1 &
+VOL_PID=$!
+# Kill as soon as some (but far from all) results are sealed.
+for i in $(seq 1 2000); do
+  N=0
+  if [ -d "$WORK/campC/results" ]; then
+    N="$(find "$WORK/campC/results" -type f | wc -l)"
+  fi
+  if [ "$N" -ge 10 ]; then kill -INT "$VOL_PID"; break; fi
+  if ! kill -0 "$VOL_PID" 2>/dev/null; then break; fi
+  sleep 0.02
+done
+if wait "$VOL_PID"; then
+  echo "interrupted campaign exited 0; SIGINT landed too late to test resume" >&2
+  exit 1
+fi
+VOL_PID=""
+SEALED="$(ls "$WORK/campC/results" | wc -l)"
+if [ "$SEALED" -lt 1 ] || [ "$SEALED" -ge 200 ]; then
+  echo "expected a partial campaign, found $SEALED sealed results" >&2; exit 1
+fi
+echo "interrupted with $SEALED of 200 results sealed"
+grep -q '"pending"' "$WORK/campC/manifest.json" || {
+  echo "manifest checkpoint lists no pending logs" >&2; exit 1; }
+
+echo "== resume campaign C: sealed results must be skipped"
+RESUME_OUT="$("$WORK/m3dvolume" -logs "$WORK/data" -campaign "$WORK/campC" \
+  -design aes -scale 0.2 -load-model "$WORK/model.fw" -workers 4)"
+echo "$RESUME_OUT" | grep -Eq "\([1-9][0-9]* resumed\)" || {
+  echo "resume run reported no resumed logs: $RESUME_OUT" >&2; exit 1; }
+
+echo "== resumed report must be bitwise-identical to campaign A"
+cmp "$WORK/campA/report.json" "$WORK/campC/report.json"
+cmp "$WORK/campA/report.txt" "$WORK/campC/report.txt"
+
+echo "volume smoke: OK"
