@@ -304,13 +304,19 @@ func BenchmarkBacktrace(b *testing.B) {
 	}
 }
 
-// BenchmarkTierInference measures one Tier-predictor forward pass.
+// BenchmarkTierInference measures one Tier-predictor forward pass at
+// steady state: adjacency caches and arena pool are warmed first, so
+// allocs/op reports the per-prediction allocation count (must be 0).
 func BenchmarkTierInference(b *testing.B) {
 	f := getFixture(b)
 	fw, err := core.Train(f.train, core.TrainOptions{Seed: 11, SkipClassifier: true})
 	if err != nil {
 		b.Fatal(err)
 	}
+	for _, s := range f.test {
+		fw.Tier.PredictTier(s.SG)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fw.Tier.PredictTier(f.test[i%len(f.test)].SG)

@@ -1,0 +1,77 @@
+package gnn
+
+import (
+	"sync"
+
+	"repro/internal/mat"
+)
+
+// arena is a reusable pool of scratch matrices and vectors for one
+// forward/backward pass. Buffers are handed out in call order from a
+// cursor and reclaimed wholesale by reset(): acquisition is deterministic
+// (buffer k always plays the same role for a fixed model architecture), so
+// reuse can never change results — every buffer is fully overwritten by
+// the kernel that receives it. Capacity is retained across resets and
+// grows to the largest subgraph seen, after which a pass performs zero
+// allocations.
+//
+// Ownership rules (see DESIGN.md §11): an arena belongs to exactly one
+// goroutine between reset() and the end of the pass. Training replicas own
+// a private arena for their whole lifetime (layer caches l.m/l.z point
+// into it between forward and backward). The shared inference path borrows
+// an arena from a global sync.Pool per prediction and returns it before
+// the prediction's results escape — returned probabilities are always
+// copied out of (or reduced from) arena memory first.
+type arena struct {
+	mats []*mat.Matrix
+	mi   int
+	vecs [][]float64
+	vi   int
+}
+
+func newArena() *arena { return &arena{} }
+
+// reset reclaims every buffer. Outstanding matrices/vectors from before
+// the reset must no longer be used.
+func (a *arena) reset() { a.mi, a.vi = 0, 0 }
+
+// matrix returns an r×c scratch matrix with unspecified contents.
+func (a *arena) matrix(r, c int) *mat.Matrix {
+	if a.mi == len(a.mats) {
+		a.mats = append(a.mats, mat.New(r, c))
+	}
+	m := a.mats[a.mi]
+	a.mi++
+	m.Reuse(r, c)
+	return m
+}
+
+// vec returns a length-n scratch vector with unspecified contents.
+func (a *arena) vec(n int) []float64 {
+	if a.vi == len(a.vecs) {
+		a.vecs = append(a.vecs, make([]float64, n))
+	}
+	v := a.vecs[a.vi]
+	a.vi++
+	if cap(v) < n {
+		v = make([]float64, n)
+		a.vecs[a.vi-1] = v
+	}
+	return v[:n]
+}
+
+// arenaPool recycles arenas across inference calls. Get/Put of a pointer
+// does not allocate, so a warmed pool keeps the steady-state prediction
+// path at zero allocations per op.
+var arenaPool = sync.Pool{New: func() any { return &arena{} }}
+
+// getArena borrows a reset arena from the pool.
+func getArena() *arena {
+	a := arenaPool.Get().(*arena)
+	a.reset()
+	return a
+}
+
+// putArena returns an arena to the pool. No buffer handed out since the
+// last reset may be referenced after this call.
+func putArena(a *arena) { arenaPool.Put(a) }

@@ -1,0 +1,123 @@
+package gnn
+
+// Micro-benchmarks for the SpMM kernels and the arena-backed forward pass.
+// Together with the top-level suite benches these feed the BENCH_*.json
+// performance trajectory (scripts/bench_json.sh).
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hgraph"
+	"repro/internal/mat"
+)
+
+func benchGraph(n int) *hgraph.Subgraph {
+	rng := rand.New(rand.NewSource(1))
+	sg := &hgraph.Subgraph{
+		Nodes:  make([]int32, n),
+		Adj:    make([][]int32, n),
+		X:      mat.New(n, hgraph.FeatureDim),
+		TierOf: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		sg.Nodes[i] = int32(i)
+		if i > 0 {
+			p := int32(rng.Intn(i))
+			sg.Adj[i] = append(sg.Adj[i], p)
+			sg.Adj[p] = append(sg.Adj[p], int32(i))
+		}
+		row := sg.X.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	return sg
+}
+
+// BenchmarkAdjNormBuild measures CSR construction for a 256-node subgraph.
+func BenchmarkAdjNormBuild(b *testing.B) {
+	sg := benchGraph(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewAdjNorm(sg)
+	}
+}
+
+// BenchmarkCSRApply measures one Â·X SpMM (256 nodes, 32-wide features)
+// into a pre-sized destination — the aggregation step of every GCN layer.
+func BenchmarkCSRApply(b *testing.B) {
+	sg := benchGraph(256)
+	adj := NewAdjNorm(sg)
+	x := mat.New(256, 32)
+	rng := rand.New(rand.NewSource(2))
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	dst := mat.New(256, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adj.ApplyInto(dst, x)
+	}
+}
+
+// BenchmarkCSRApplyT measures the transpose SpMM (backprop direction).
+func BenchmarkCSRApplyT(b *testing.B) {
+	sg := benchGraph(256)
+	adj := NewAdjNorm(sg)
+	x := mat.New(256, 32)
+	rng := rand.New(rand.NewSource(3))
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	dst := mat.New(256, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adj.ApplyTInto(dst, x)
+	}
+}
+
+// BenchmarkGraphForwardArena measures a full graph-head forward pass
+// (scale → 2×GCN → mean-pool → dense → softmax) on the pooled-arena path;
+// steady state must be zero allocations.
+func BenchmarkGraphForwardArena(b *testing.B) {
+	sg := benchGraph(256)
+	m := NewModel(Config{Head: GraphHead, Input: hgraph.FeatureDim, Hidden: []int{32, 32}, Output: 2, Seed: 5})
+	m.Scale = FitScaler([]*mat.Matrix{sg.X})
+	m.PredictArgmax(sg) // warm adjacency cache and arena pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictArgmax(sg)
+	}
+}
+
+// BenchmarkGraphBackwardArena measures one training-sample forward+backward
+// on a replica's private arena; steady state must be zero allocations.
+func BenchmarkGraphBackwardArena(b *testing.B) {
+	sg := benchGraph(256)
+	m := NewModel(Config{Head: GraphHead, Input: hgraph.FeatureDim, Hidden: []int{32, 32}, Output: 2, Seed: 6})
+	m.Scale = FitScaler([]*mat.Matrix{sg.X})
+	r := m.replica()
+	adj := AdjNormFor(sg)
+	step := func() {
+		r.zeroGrads()
+		r.ar.reset()
+		h := r.embed(adj, sg.X, r.ar, true)
+		pooled := r.ar.vec(h.Cols)
+		h.ColMeansInto(pooled)
+		logits := r.ar.vec(len(r.Out.B))
+		r.Out.forwardInto(logits, pooled, true)
+		crossEntropyGradInto(logits, logits, 1, 1)
+		r.backwardGraph(adj, sg.NumNodes(), logits, r.ar)
+	}
+	step() // warm the private arena
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}

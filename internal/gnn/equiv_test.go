@@ -1,0 +1,538 @@
+package gnn
+
+// Kernel-equivalence property tests: the flat-CSR adjacency kernels and the
+// arena-backed forward/backward must be BITWISE-identical to the seed
+// formulation (slice-of-slices adjacency, allocate-per-op matrices,
+// explicitly materialized transposes). Every comparison here uses == on
+// float64 bits, not a tolerance: the optimization contract is "same numbers,
+// faster", and these tests are the proof.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hgraph"
+	"repro/internal/mat"
+)
+
+// refAdj is the seed's normalized-adjacency representation: one neighbor
+// slice and one coefficient slice per row.
+type refAdj struct {
+	nbrs  [][]int32
+	coefs [][]float64
+}
+
+func newRefAdj(sg *hgraph.Subgraph) *refAdj {
+	n := sg.NumNodes()
+	a := &refAdj{nbrs: make([][]int32, n), coefs: make([][]float64, n)}
+	deg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		deg[i] = float64(len(sg.Adj[i])) + 1
+	}
+	for i := 0; i < n; i++ {
+		a.nbrs[i] = append(a.nbrs[i], int32(i))
+		a.coefs[i] = append(a.coefs[i], 1/deg[i])
+		for _, j := range sg.Adj[i] {
+			a.nbrs[i] = append(a.nbrs[i], j)
+			a.coefs[i] = append(a.coefs[i], 1/math.Sqrt(deg[i]*deg[int(j)]))
+		}
+	}
+	return a
+}
+
+func (a *refAdj) apply(x *mat.Matrix) *mat.Matrix {
+	out := mat.New(x.Rows, x.Cols)
+	for i := range a.nbrs {
+		orow := out.Row(i)
+		for k, j := range a.nbrs[i] {
+			c := a.coefs[i][k]
+			xrow := x.Row(int(j))
+			for col := range orow {
+				orow[col] += c * xrow[col]
+			}
+		}
+	}
+	return out
+}
+
+func (a *refAdj) applyT(x *mat.Matrix) *mat.Matrix {
+	out := mat.New(x.Rows, x.Cols)
+	for i := range a.nbrs {
+		xrow := x.Row(i)
+		for k, j := range a.nbrs[i] {
+			c := a.coefs[i][k]
+			orow := out.Row(int(j))
+			for col := range orow {
+				orow[col] += c * xrow[col]
+			}
+		}
+	}
+	return out
+}
+
+func bitsEqual(t *testing.T, name string, got, want *mat.Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i, v := range want.Data {
+		if got.Data[i] != v {
+			t.Fatalf("%s: element %d = %v, want %v (bitwise)", name, i, got.Data[i], v)
+		}
+	}
+}
+
+func vecBitsEqual(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d want %d", name, len(got), len(want))
+	}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("%s: element %d = %v, want %v (bitwise)", name, i, got[i], v)
+		}
+	}
+}
+
+// TestCSRApplyMatchesReference checks Â·X and Âᵀ·X on the flat CSR against
+// the seed slice-of-slices formulation, bitwise, over random subgraphs —
+// including via ApplyInto with a dirty destination buffer, proving the
+// kernels fully overwrite their scratch.
+func TestCSRApplyMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		sg := syntheticGraph(rng, trial%2)
+		csr := NewAdjNorm(sg)
+		ref := newRefAdj(sg)
+		x := mat.New(sg.NumNodes(), 1+rng.Intn(8))
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		bitsEqual(t, "Apply", csr.Apply(x), ref.apply(x))
+		bitsEqual(t, "ApplyT", csr.ApplyT(x), ref.applyT(x))
+
+		dirty := mat.New(x.Rows, x.Cols)
+		for i := range dirty.Data {
+			dirty.Data[i] = rng.NormFloat64()
+		}
+		csr.ApplyInto(dirty, x)
+		bitsEqual(t, "ApplyInto(dirty)", dirty, ref.apply(x))
+		for i := range dirty.Data {
+			dirty.Data[i] = rng.NormFloat64()
+		}
+		csr.ApplyTInto(dirty, x)
+		bitsEqual(t, "ApplyTInto(dirty)", dirty, ref.applyT(x))
+	}
+}
+
+// refGraphGrads computes loss and all parameter gradients for one
+// graph-head sample exactly the way the seed code did: reference adjacency,
+// fresh allocations everywhere, explicit m.T()/W.T() materialization, and a
+// temporary product matrix added into gradW.
+func refGraphGrads(m *Model, ref *refAdj, sg *hgraph.Subgraph, label int, weight float64) float64 {
+	x := m.Scale.Transform(sg.X)
+	h := x
+	ms := make([]*mat.Matrix, len(m.Layers))
+	zs := make([]*mat.Matrix, len(m.Layers))
+	for li, l := range m.Layers {
+		ms[li] = ref.apply(h)
+		z := mat.Mul(ms[li], l.W)
+		z.AddRowVector(l.B)
+		if l.ReLU {
+			for i, v := range z.Data {
+				if v < 0 {
+					z.Data[i] = 0
+				}
+			}
+		}
+		zs[li] = z
+		h = z
+	}
+	pooled := h.ColMeans()
+	logits := make([]float64, len(m.Out.B))
+	copy(logits, m.Out.B)
+	for i, xv := range pooled {
+		wrow := m.Out.W.Row(i)
+		for j, wv := range wrow {
+			logits[j] += xv * wv
+		}
+	}
+	loss, dLogits := CrossEntropyGrad(logits, label, weight)
+
+	// Dense backward.
+	for i, xv := range pooled {
+		grow := m.Out.gradW.Row(i)
+		for j, g := range dLogits {
+			grow[j] += xv * g
+		}
+	}
+	for j, g := range dLogits {
+		m.Out.gradB[j] += g
+	}
+	dPooled := make([]float64, m.Out.W.Rows)
+	for i := range dPooled {
+		wrow := m.Out.W.Row(i)
+		s := 0.0
+		for j, g := range dLogits {
+			s += wrow[j] * g
+		}
+		dPooled[i] = s
+	}
+	// Mean-pool backward.
+	dh := mat.New(sg.NumNodes(), len(dPooled))
+	inv := 1 / float64(sg.NumNodes())
+	for i := 0; i < dh.Rows; i++ {
+		row := dh.Row(i)
+		for j, v := range dPooled {
+			row[j] = v * inv
+		}
+	}
+	// GCN stack backward with materialized transposes.
+	for li := len(m.Layers) - 1; li >= 0; li-- {
+		l := m.Layers[li]
+		dz := dh
+		if l.ReLU {
+			for i := range dz.Data {
+				if zs[li].Data[i] <= 0 {
+					dz.Data[i] = 0
+				}
+			}
+		}
+		l.gradW.AddInPlace(mat.Mul(ms[li].T(), dz))
+		for i := 0; i < dz.Rows; i++ {
+			row := dz.Row(i)
+			for j, v := range row {
+				l.gradB[j] += v
+			}
+		}
+		dm := mat.Mul(dz, l.W.T())
+		dh = ref.applyT(dm)
+	}
+	return loss
+}
+
+func modelPair(seed int64, samples []GraphSample) (*Model, *Model) {
+	cfgM := Config{Head: GraphHead, Input: hgraph.FeatureDim, Hidden: []int{16, 16}, Output: 2, Seed: seed}
+	a, b := NewModel(cfgM), NewModel(cfgM)
+	xs := make([]*mat.Matrix, len(samples))
+	for i, s := range samples {
+		xs[i] = s.SG.X
+	}
+	a.Scale = FitScaler(xs)
+	b.Scale = FitScaler(xs)
+	return a, b
+}
+
+// TestForwardBackwardMatchesReference proves one training step's gradients
+// on the arena path are bitwise-identical to the seed formulation, over
+// random subgraphs.
+func TestForwardBackwardMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var samples []GraphSample
+	for i := 0; i < 20; i++ {
+		samples = append(samples, GraphSample{SG: syntheticGraph(rng, i%2), Label: i % 2})
+	}
+	fast, ref := modelPair(33, samples)
+	for _, s := range samples {
+		r := fast.replica()
+		r.zeroGrads()
+		r.ar.reset()
+		adj := AdjNormFor(s.SG)
+		h := r.embed(adj, s.SG.X, r.ar, true)
+		pooled := r.ar.vec(h.Cols)
+		h.ColMeansInto(pooled)
+		logits := r.ar.vec(len(r.Out.B))
+		r.Out.forwardInto(logits, pooled, true)
+		fastLoss := crossEntropyGradInto(logits, logits, s.Label, 1)
+		r.backwardGraph(adj, s.SG.NumNodes(), logits, r.ar)
+
+		ref.zeroGrads()
+		refLoss := refGraphGrads(ref, newRefAdj(s.SG), s.SG, s.Label, 1)
+
+		if fastLoss != refLoss {
+			t.Fatalf("loss %v != reference %v (bitwise)", fastLoss, refLoss)
+		}
+		for li := range ref.Layers {
+			bitsEqual(t, "gradW", r.Layers[li].gradW, ref.Layers[li].gradW)
+			vecBitsEqual(t, "gradB", r.Layers[li].gradB, ref.Layers[li].gradB)
+		}
+		bitsEqual(t, "out.gradW", r.Out.gradW, ref.Out.gradW)
+		vecBitsEqual(t, "out.gradB", r.Out.gradB, ref.Out.gradB)
+	}
+}
+
+// refFit is the seed Fit loop: same shuffling, batching, finite-loss guard,
+// slot-ordered gradient reduction, and Adam schedule as Model.Fit, but with
+// every per-sample gradient computed by the reference kernels, serially.
+// Per-sample gradients accumulate in private slot replicas and are reduced
+// wholesale, exactly like the data-parallel loop — reducing element-wise
+// across samples instead would change the summation order.
+func refFit(m *Model, samples []GraphSample, cfg TrainConfig) float64 {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ps, gs, vs, gvs := m.params()
+	opt := newAdam(cfg.LR, ps, vs)
+	slots := make([]*Model, cfg.Batch)
+	for i := range slots {
+		slots[i] = m.replica()
+	}
+	losses := make([]float64, cfg.Batch)
+	refs := make(map[*hgraph.Subgraph]*refAdj)
+	lastLoss := 0.0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(samples))
+		kept := perm[:0]
+		for _, si := range perm {
+			if samples[si].SG.NumNodes() > 0 {
+				kept = append(kept, si)
+			}
+		}
+		total := 0.0
+		m.zeroGrads()
+		for start := 0; start < len(kept); start += cfg.Batch {
+			n := min(cfg.Batch, len(kept)-start)
+			for k := 0; k < n; k++ {
+				r := slots[k]
+				r.zeroGrads()
+				s := samples[kept[start+k]]
+				w := s.Weight
+				if w == 0 {
+					w = 1
+				}
+				ra := refs[s.SG]
+				if ra == nil {
+					ra = newRefAdj(s.SG)
+					refs[s.SG] = ra
+				}
+				losses[k] = refGraphGrads(r, ra, s.SG, s.Label, w)
+			}
+			batchLoss := 0.0
+			for k := 0; k < n; k++ {
+				batchLoss += losses[k]
+			}
+			if !finite(batchLoss) {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				m.addGradsFrom(slots[k])
+			}
+			total += batchLoss
+			opt.step(ps, gs, vs, gvs, 1/float64(n))
+			m.zeroGrads()
+		}
+		if len(kept) > 0 {
+			lastLoss = total / float64(len(kept))
+		}
+	}
+	return lastLoss
+}
+
+// TestFitMatchesReference trains the arena/CSR path (with parallel batch
+// slots) and the serial seed reference from identical initialization and
+// demands bitwise-identical trained weights, final loss, and predictions.
+func TestFitMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var samples []GraphSample
+	for i := 0; i < 24; i++ {
+		samples = append(samples, GraphSample{SG: syntheticGraph(rng, i%2), Label: i % 2, Weight: 1 + float64(i%3)})
+	}
+	fast, ref := modelPair(5, samples)
+	cfg := TrainConfig{Epochs: 4, Batch: 5, LR: 0.01, Seed: 17, Workers: 3}
+	fastLoss, err := fast.Fit(samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refLoss := refFit(ref, samples, TrainConfig{Epochs: 4, Batch: 5, LR: 0.01, Seed: 17})
+	if fastLoss != refLoss {
+		t.Fatalf("final loss %v != reference %v (bitwise)", fastLoss, refLoss)
+	}
+	for li := range ref.Layers {
+		bitsEqual(t, "trained W", fast.Layers[li].W, ref.Layers[li].W)
+		vecBitsEqual(t, "trained B", fast.Layers[li].B, ref.Layers[li].B)
+	}
+	bitsEqual(t, "trained out.W", fast.Out.W, ref.Out.W)
+	vecBitsEqual(t, "trained out.B", fast.Out.B, ref.Out.B)
+	for _, s := range samples[:6] {
+		vecBitsEqual(t, "prediction", fast.PredictGraph(s.SG), ref.PredictGraph(s.SG))
+	}
+}
+
+// TestNodeBackwardMatchesReference checks the FitNodes inner loop (per-node
+// dense head + accumulated dh + stack backward) against the reference
+// formulation for one node-head sample.
+func TestNodeBackwardMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	sg := syntheticGraph(rng, 1)
+	cfgM := Config{Head: NodeHead, Input: hgraph.FeatureDim, Hidden: []int{16, 16}, Output: 2, Seed: 3}
+	fast, ref := NewModel(cfgM), NewModel(cfgM)
+	fast.Scale = FitScaler([]*mat.Matrix{sg.X})
+	ref.Scale = FitScaler([]*mat.Matrix{sg.X})
+	nodeIdx := []int32{0, int32(sg.NumNodes() - 1)}
+	labels := []int{1, 0}
+
+	// Fast path, as FitNodes runs it.
+	r := fast.replica()
+	r.zeroGrads()
+	r.ar.reset()
+	adj := AdjNormFor(sg)
+	h := r.embed(adj, sg.X, r.ar, true)
+	dh := r.ar.matrix(h.Rows, h.Cols)
+	dh.Zero()
+	logits := r.ar.vec(len(r.Out.B))
+	dx := r.ar.vec(r.Out.W.Rows)
+	fastLoss := 0.0
+	for ki, li := range nodeIdx {
+		r.Out.forwardInto(logits, h.Row(int(li)), true)
+		fastLoss += crossEntropyGradInto(logits, logits, labels[ki], 1)
+		r.Out.backward(logits, dx)
+		row := dh.Row(int(li))
+		for j, v := range dx {
+			row[j] += v
+		}
+	}
+	r.backwardStack(adj, dh, r.ar)
+
+	// Reference path.
+	ra := newRefAdj(sg)
+	x := ref.Scale.Transform(sg.X)
+	hr := x
+	ms := make([]*mat.Matrix, len(ref.Layers))
+	zs := make([]*mat.Matrix, len(ref.Layers))
+	for li, l := range ref.Layers {
+		ms[li] = ra.apply(hr)
+		z := mat.Mul(ms[li], l.W)
+		z.AddRowVector(l.B)
+		if l.ReLU {
+			for i, v := range z.Data {
+				if v < 0 {
+					z.Data[i] = 0
+				}
+			}
+		}
+		zs[li] = z
+		hr = z
+	}
+	bitsEqual(t, "embeddings", h, hr)
+	dhr := mat.New(hr.Rows, hr.Cols)
+	refLoss := 0.0
+	for ki, li := range nodeIdx {
+		xrow := hr.Row(int(li))
+		lg := make([]float64, len(ref.Out.B))
+		copy(lg, ref.Out.B)
+		for i, xv := range xrow {
+			wrow := ref.Out.W.Row(i)
+			for j, wv := range wrow {
+				lg[j] += xv * wv
+			}
+		}
+		loss, g := CrossEntropyGrad(lg, labels[ki], 1)
+		refLoss += loss
+		for i, xv := range xrow {
+			grow := ref.Out.gradW.Row(i)
+			for j, gv := range g {
+				grow[j] += xv * gv
+			}
+		}
+		for j, gv := range g {
+			ref.Out.gradB[j] += gv
+		}
+		row := dhr.Row(int(li))
+		for i := range row {
+			wrow := ref.Out.W.Row(i)
+			s := 0.0
+			for j, gv := range g {
+				s += wrow[j] * gv
+			}
+			row[i] += s
+		}
+	}
+	cur := dhr
+	for li := len(ref.Layers) - 1; li >= 0; li-- {
+		l := ref.Layers[li]
+		if l.ReLU {
+			for i := range cur.Data {
+				if zs[li].Data[i] <= 0 {
+					cur.Data[i] = 0
+				}
+			}
+		}
+		l.gradW.AddInPlace(mat.Mul(ms[li].T(), cur))
+		for i := 0; i < cur.Rows; i++ {
+			row := cur.Row(i)
+			for j, v := range row {
+				l.gradB[j] += v
+			}
+		}
+		cur = ra.applyT(mat.Mul(cur, l.W.T()))
+	}
+
+	if fastLoss != refLoss {
+		t.Fatalf("node loss %v != reference %v (bitwise)", fastLoss, refLoss)
+	}
+	for li := range ref.Layers {
+		bitsEqual(t, "node gradW", r.Layers[li].gradW, ref.Layers[li].gradW)
+		vecBitsEqual(t, "node gradB", r.Layers[li].gradB, ref.Layers[li].gradB)
+	}
+	bitsEqual(t, "node out.gradW", r.Out.gradW, ref.Out.gradW)
+	vecBitsEqual(t, "node out.gradB", r.Out.gradB, ref.Out.gradB)
+}
+
+// TestInferenceAllocFree guards the zero-allocation contract of the warmed
+// steady-state prediction paths: argmax, single-class, and node-probability
+// inference must not allocate at all once the adjacency cache and arena
+// pool are hot.
+func TestInferenceAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	rng := rand.New(rand.NewSource(8))
+	var sgs []*hgraph.Subgraph
+	for i := 0; i < 8; i++ {
+		sg := syntheticGraph(rng, i%2)
+		sg.MIVLocal = []int32{0, 1}
+		sg.MIVGates = []int{10, 11}
+		sgs = append(sgs, sg)
+	}
+	tier := NewTierPredictor(13)
+	cls := &Classifier{Model: NewModel(Config{Head: GraphHead, Input: hgraph.FeatureDim, Hidden: []int{32, 32}, Output: 2, Seed: 4})}
+	miv := NewMIVPinpointer(5)
+	xs := make([]*mat.Matrix, len(sgs))
+	for i, sg := range sgs {
+		xs[i] = sg.X
+	}
+	sc := FitScaler(xs)
+	tier.Model.Scale, cls.Model.Scale, miv.Model.Scale = sc, sc, sc
+
+	// Warm adjacency caches and arena pool.
+	for _, sg := range sgs {
+		tier.PredictTier(sg)
+		cls.PredictPrune(sg)
+		miv.Model.PredictNodeProbs(sg, sg.MIVLocal, func(int, []float64) {})
+	}
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"PredictTier", func() {
+			for _, sg := range sgs {
+				tier.PredictTier(sg)
+			}
+		}},
+		{"PredictPrune", func() {
+			for _, sg := range sgs {
+				cls.PredictPrune(sg)
+			}
+		}},
+		{"PredictNodeProbs", func() {
+			for _, sg := range sgs {
+				miv.Model.PredictNodeProbs(sg, sg.MIVLocal, func(int, []float64) {})
+			}
+		}},
+	}
+	for _, c := range checks {
+		if avg := testing.AllocsPerRun(50, c.fn); avg != 0 {
+			t.Errorf("%s: %v allocs/op at steady state, want 0", c.name, avg)
+		}
+	}
+}

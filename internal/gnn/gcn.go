@@ -5,6 +5,14 @@
 // float64 math, graph convolution layers in the Kipf–Welling formulation
 // the paper cites, mean-pool readout, softmax cross-entropy, Adam, and
 // hand-written backpropagation.
+//
+// The math hot path is engineered for steady-state speed: the normalized
+// adjacency is a flat CSR (compressed sparse row) structure memoized per
+// subgraph, every forward/backward scratch matrix comes from a reusable
+// buffer arena, and the multiply kernels write into caller-owned
+// destinations — one full inference is allocation-free after warm-up
+// (see DESIGN.md §11). All fast paths are bitwise-identical to the naive
+// formulation: same summation orders, same operations.
 package gnn
 
 import (
@@ -16,69 +24,166 @@ import (
 )
 
 // AdjNorm is a subgraph's symmetric-normalized adjacency with self-loops
-// (Â = A + I, coefficients 1/√(d_i·d_n)), stored sparsely.
+// (Â = A + I, coefficients 1/√(d_i·d_n)) in flat CSR form: row i's
+// neighbor list is Indices[Indptr[i]:Indptr[i+1]] with matching
+// coefficients in Coefs. A single backing array per field keeps the whole
+// operator in three contiguous allocations — cache-friendly SpMM and no
+// per-row slice headers.
 type AdjNorm struct {
-	N     int
-	Nbrs  [][]int32
-	Coefs [][]float64
+	N       int
+	Indptr  []int32   // length N+1
+	Indices []int32   // length nnz; row i's first entry is i (self-loop)
+	Coefs   []float64 // length nnz, aligned with Indices
 }
 
-// NewAdjNorm builds the normalized adjacency for a subgraph.
+// NewAdjNorm builds the normalized adjacency for a subgraph. Prefer
+// AdjNormFor, which memoizes the result on the subgraph.
 func NewAdjNorm(sg *hgraph.Subgraph) *AdjNorm {
 	n := sg.NumNodes()
-	a := &AdjNorm{N: n, Nbrs: make([][]int32, n), Coefs: make([][]float64, n)}
+	nnz := n // self-loops
+	for i := 0; i < n; i++ {
+		nnz += len(sg.Adj[i])
+	}
+	a := &AdjNorm{
+		N:       n,
+		Indptr:  make([]int32, n+1),
+		Indices: make([]int32, 0, nnz),
+		Coefs:   make([]float64, 0, nnz),
+	}
 	deg := make([]float64, n)
 	for i := 0; i < n; i++ {
 		deg[i] = float64(len(sg.Adj[i])) + 1 // self-loop
 	}
 	for i := 0; i < n; i++ {
-		nbrs := make([]int32, 0, len(sg.Adj[i])+1)
-		coefs := make([]float64, 0, len(sg.Adj[i])+1)
-		nbrs = append(nbrs, int32(i))
-		coefs = append(coefs, 1/deg[i])
+		a.Indices = append(a.Indices, int32(i))
+		a.Coefs = append(a.Coefs, 1/deg[i])
 		for _, j := range sg.Adj[i] {
-			nbrs = append(nbrs, j)
-			coefs = append(coefs, 1/math.Sqrt(deg[i]*deg[int(j)]))
+			a.Indices = append(a.Indices, j)
+			a.Coefs = append(a.Coefs, 1/math.Sqrt(deg[i]*deg[int(j)]))
 		}
-		a.Nbrs[i] = nbrs
-		a.Coefs[i] = coefs
+		a.Indptr[i+1] = int32(len(a.Indices))
 	}
+	return a
+}
+
+// AdjNormFor returns the subgraph's normalized adjacency, building and
+// memoizing it on the subgraph on first use. Inference and every training
+// epoch hit the same subgraphs repeatedly; with memoization the
+// normalization runs once per subgraph instead of once per forward pass.
+// Safe for concurrent use: racing builders produce identical values
+// (NewAdjNorm is deterministic) and the last store wins.
+func AdjNormFor(sg *hgraph.Subgraph) *AdjNorm {
+	if v := sg.AdjCache(); v != nil {
+		if a, ok := v.(*AdjNorm); ok {
+			return a
+		}
+	}
+	a := NewAdjNorm(sg)
+	sg.SetAdjCache(a)
 	return a
 }
 
 // Apply computes Â·X (aggregation) into a new matrix.
 func (a *AdjNorm) Apply(x *mat.Matrix) *mat.Matrix {
 	out := mat.New(x.Rows, x.Cols)
-	for i := 0; i < a.N; i++ {
-		orow := out.Row(i)
-		for k, j := range a.Nbrs[i] {
-			c := a.Coefs[i][k]
-			xrow := x.Row(int(j))
-			for col := range orow {
-				orow[col] += c * xrow[col]
-			}
-		}
-	}
+	a.ApplyInto(out, x)
 	return out
 }
 
-// ApplyT computes Âᵀ·X. Â is symmetric by construction but the
-// coefficient lists are stored row-wise, so transpose application scatters
-// instead of gathers.
+// ApplyInto computes Â·X into dst (pre-sized to x's shape) without
+// allocating: a row-gather SpMM over the CSR arrays. dst must not alias x.
+// Accumulation order per output element matches the naive row-wise
+// formulation, so results are bitwise-identical.
+// Like mat.MulInto, the neighbor list is processed four entries at a time:
+// per output element the terms still accumulate one by one in list order
+// (each add separately rounded), but the output row is loaded and stored
+// once per block of four neighbors instead of once per neighbor.
+func (a *AdjNorm) ApplyInto(dst, x *mat.Matrix) {
+	if dst.Rows != x.Rows || dst.Cols != x.Cols {
+		panic("gnn: ApplyInto dimension mismatch")
+	}
+	for i := 0; i < a.N; i++ {
+		orow := dst.Row(i)
+		k, end := a.Indptr[i], a.Indptr[i+1]
+		if k == end {
+			for col := range orow {
+				orow[col] = 0
+			}
+			continue
+		}
+		// Row i's first CSR entry is its self-loop, so the output row is
+		// initialized straight from that product instead of a zeroing pass
+		// followed by an add — one traversal fewer. Dropping the leading
+		// `0 +` could only flip the sign of a zero when the first product is
+		// -0.0, which cannot happen here: coefficients are strictly positive
+		// and neither raw features nor ReLU outputs are ever -0.0.
+		{
+			c := a.Coefs[k]
+			xrow := x.Row(int(a.Indices[k]))
+			o := orow[:len(xrow)]
+			for col, xv := range xrow {
+				o[col] = c * xv
+			}
+			k++
+		}
+		for ; k+3 < end; k += 4 {
+			c0, c1, c2, c3 := a.Coefs[k], a.Coefs[k+1], a.Coefs[k+2], a.Coefs[k+3]
+			// Reslice to a common length so the indexed loads below need no
+			// per-element bounds checks.
+			x0 := x.Row(int(a.Indices[k]))
+			x1 := x.Row(int(a.Indices[k+1]))[:len(x0)]
+			x2 := x.Row(int(a.Indices[k+2]))[:len(x0)]
+			x3 := x.Row(int(a.Indices[k+3]))[:len(x0)]
+			o := orow[:len(x0)]
+			for col, v0 := range x0 {
+				t := o[col]
+				t += c0 * v0
+				t += c1 * x1[col]
+				t += c2 * x2[col]
+				t += c3 * x3[col]
+				o[col] = t
+			}
+		}
+		for ; k < end; k++ {
+			c := a.Coefs[k]
+			xrow := x.Row(int(a.Indices[k]))
+			o := orow[:len(xrow)]
+			for col, xv := range xrow {
+				o[col] += c * xv
+			}
+		}
+	}
+}
+
+// ApplyT computes Âᵀ·X into a new matrix.
 func (a *AdjNorm) ApplyT(x *mat.Matrix) *mat.Matrix {
 	out := mat.New(x.Rows, x.Cols)
+	a.ApplyTInto(out, x)
+	return out
+}
+
+// ApplyTInto computes Âᵀ·X into dst without allocating. Â is symmetric by
+// construction but the coefficients are stored row-wise, so transpose
+// application scatters instead of gathers. dst must not alias x.
+func (a *AdjNorm) ApplyTInto(dst, x *mat.Matrix) {
+	if dst.Rows != x.Rows || dst.Cols != x.Cols {
+		panic("gnn: ApplyTInto dimension mismatch")
+	}
+	dst.Zero()
 	for i := 0; i < a.N; i++ {
 		xrow := x.Row(i)
-		for k, j := range a.Nbrs[i] {
-			c := a.Coefs[i][k]
-			orow := out.Row(int(j))
+		for k := a.Indptr[i]; k < a.Indptr[i+1]; k++ {
+			c := a.Coefs[k]
+			orow := dst.Row(int(a.Indices[k]))
 			for col := range orow {
 				orow[col] += c * xrow[col]
 			}
 		}
 	}
-	return out
 }
+
+// NNZ returns the number of stored coefficients (including self-loops).
+func (a *AdjNorm) NNZ() int { return len(a.Indices) }
 
 // GCNLayer is one graph convolution: H' = ReLU(Â·H·W + b) (the final layer
 // of a stack may disable the activation).
@@ -88,9 +193,12 @@ type GCNLayer struct {
 	// ReLU disables the activation when false (linear output layer).
 	ReLU bool
 
-	// caches for backprop
-	m     *mat.Matrix // Â·H
-	z     *mat.Matrix // pre-activation
+	// caches for backprop; arena-owned, valid until the owning arena is
+	// reset. m is Â·H; z is the post-activation output (for ReLU layers
+	// z[i] > 0 exactly when the pre-activation was > 0, which is all the
+	// backward pass needs).
+	m     *mat.Matrix
+	z     *mat.Matrix
 	gradW *mat.Matrix
 	gradB []float64
 }
@@ -107,28 +215,63 @@ func NewGCNLayer(in, out int, relu bool, rng *rand.Rand) *GCNLayer {
 	return l
 }
 
-// Forward computes the layer output for one subgraph.
-func (l *GCNLayer) Forward(adj *AdjNorm, h *mat.Matrix) *mat.Matrix {
-	l.m = adj.Apply(h)
-	z := mat.Mul(l.m, l.W)
-	z.AddRowVector(l.B)
-	l.z = z
-	if !l.ReLU {
-		return z.Clone()
-	}
-	out := z.Clone()
-	for i, v := range out.Data {
-		if v < 0 {
-			out.Data[i] = 0
+// forward computes the layer output into arena buffers. When train is
+// true the aggregation and output matrices are cached on the layer for
+// Backward — only replicas with private buffers may do that; the shared
+// inference path passes train=false and leaves the layer untouched, so a
+// model can serve concurrent predictions without cloning.
+//
+// The returned matrix is arena-owned: valid until the arena is reset, and
+// read-only for callers.
+func (l *GCNLayer) forward(adj *AdjNorm, h *mat.Matrix, ar *arena, train bool) *mat.Matrix {
+	m := ar.matrix(h.Rows, h.Cols)
+	adj.ApplyInto(m, h)
+	z := ar.matrix(h.Rows, l.W.Cols)
+	mat.MulInto(z, m, l.W)
+	if l.ReLU {
+		// Bias add and activation fused into one traversal of z — same
+		// operations in the same order as AddRowVector followed by a
+		// separate clamp pass, one load/store per element instead of two.
+		// The clamp itself is branchless: activation signs are effectively
+		// random, so a compare-and-branch mispredicts half the time. Masking
+		// with the replicated sign bit sends every sign-bit-set value to +0.
+		// That matches `if v < 0 { v = 0 }` everywhere except v = -0.0 or a
+		// negative NaN, neither of which can reach this point: the matmul
+		// accumulator starts at +0.0 (x+y is -0.0 in round-to-nearest only
+		// when both operands are), and non-finite weights are rejected by the
+		// training-loop finite guard.
+		cols, bias, data := z.Cols, l.B, z.Data
+		for start := 0; start < len(data); start += cols {
+			row := data[start : start+cols][:len(bias)]
+			for j, bv := range bias {
+				b := math.Float64bits(row[j] + bv)
+				b &^= uint64(int64(b) >> 63)
+				row[j] = math.Float64frombits(b)
+			}
 		}
+	} else {
+		z.AddRowVector(l.B)
 	}
-	return out
+	if train {
+		l.m, l.z = m, z
+	}
+	return z
 }
 
-// Backward accumulates parameter gradients for the cached forward pass and
-// returns the gradient with respect to the layer input.
-func (l *GCNLayer) Backward(adj *AdjNorm, dOut *mat.Matrix) *mat.Matrix {
-	dz := dOut.Clone()
+// Forward computes the layer output for one subgraph, caching
+// activations for Backward. The returned matrix is owned by the layer's
+// internal buffers; treat it as read-only. Training and the exported API
+// use this entry point; the hot inference path goes through
+// Model.predict* with a pooled arena.
+func (l *GCNLayer) Forward(adj *AdjNorm, h *mat.Matrix) *mat.Matrix {
+	return l.forward(adj, h, newArena(), true)
+}
+
+// backward accumulates parameter gradients for the cached forward pass
+// and returns the gradient with respect to the layer input (arena-owned).
+// dOut is consumed: it is masked in place to become dL/dz.
+func (l *GCNLayer) backward(adj *AdjNorm, dOut *mat.Matrix, ar *arena) *mat.Matrix {
+	dz := dOut
 	if l.ReLU {
 		for i := range dz.Data {
 			if l.z.Data[i] <= 0 {
@@ -136,15 +279,27 @@ func (l *GCNLayer) Backward(adj *AdjNorm, dOut *mat.Matrix) *mat.Matrix {
 			}
 		}
 	}
-	l.gradW.AddInPlace(mat.Mul(l.m.T(), dz))
+	// gradW += mᵀ·dz without materializing mᵀ or the product.
+	mat.AddMulATInto(l.gradW, l.m, dz)
 	for i := 0; i < dz.Rows; i++ {
 		row := dz.Row(i)
 		for j, v := range row {
 			l.gradB[j] += v
 		}
 	}
-	dm := mat.Mul(dz, l.W.T())
-	return adj.ApplyT(dm)
+	// dm = dz·Wᵀ without materializing Wᵀ.
+	dm := ar.matrix(dz.Rows, l.W.Rows)
+	mat.MulTInto(dm, dz, l.W)
+	dx := ar.matrix(dm.Rows, dm.Cols)
+	adj.ApplyTInto(dx, dm)
+	return dx
+}
+
+// Backward accumulates parameter gradients for the cached forward pass and
+// returns the gradient with respect to the layer input. dOut is consumed
+// (masked in place).
+func (l *GCNLayer) Backward(adj *AdjNorm, dOut *mat.Matrix) *mat.Matrix {
+	return l.backward(adj, dOut, newArena())
 }
 
 // Dense is a fully connected layer y = x·W + b on row vectors.
@@ -169,25 +324,33 @@ func NewDense(in, out int, rng *rand.Rand) *Dense {
 	return d
 }
 
-// Forward computes the layer output for one row vector.
-func (d *Dense) Forward(x []float64) []float64 {
-	d.x = append(d.x[:0], x...)
-	out := make([]float64, len(d.B))
-	copy(out, d.B)
+// forwardInto computes the layer output into dst (length len(B)). When
+// train is true the input is cached on the layer for Backward; the shared
+// inference path passes train=false and leaves the layer untouched.
+func (d *Dense) forwardInto(dst, x []float64, train bool) {
+	if train {
+		d.x = append(d.x[:0], x...)
+	}
+	copy(dst, d.B)
 	for i, xv := range x {
-		if xv == 0 {
-			continue
-		}
 		wrow := d.W.Row(i)
 		for j, wv := range wrow {
-			out[j] += xv * wv
+			dst[j] += xv * wv
 		}
 	}
+}
+
+// Forward computes the layer output for one row vector, caching the input
+// for Backward.
+func (d *Dense) Forward(x []float64) []float64 {
+	out := make([]float64, len(d.B))
+	d.forwardInto(out, x, true)
 	return out
 }
 
-// Backward accumulates gradients and returns dL/dx.
-func (d *Dense) Backward(dOut []float64) []float64 {
+// backward accumulates gradients and writes dL/dx into dx (length equal
+// to the cached input).
+func (d *Dense) backward(dOut []float64, dx []float64) {
 	for i, xv := range d.x {
 		grow := d.gradW.Row(i)
 		for j, g := range dOut {
@@ -197,7 +360,6 @@ func (d *Dense) Backward(dOut []float64) []float64 {
 	for j, g := range dOut {
 		d.gradB[j] += g
 	}
-	dx := make([]float64, len(d.x))
 	for i := range dx {
 		wrow := d.W.Row(i)
 		s := 0.0
@@ -206,38 +368,58 @@ func (d *Dense) Backward(dOut []float64) []float64 {
 		}
 		dx[i] = s
 	}
+}
+
+// Backward accumulates gradients and returns dL/dx.
+func (d *Dense) Backward(dOut []float64) []float64 {
+	dx := make([]float64, len(d.x))
+	d.backward(dOut, dx)
 	return dx
 }
 
-// Softmax returns the softmax of logits.
-func Softmax(logits []float64) []float64 {
+// SoftmaxInto writes the softmax of logits into dst (same length).
+// dst may alias logits.
+func SoftmaxInto(dst, logits []float64) {
 	max := logits[0]
 	for _, v := range logits[1:] {
 		if v > max {
 			max = v
 		}
 	}
-	out := make([]float64, len(logits))
 	sum := 0.0
 	for i, v := range logits {
-		out[i] = math.Exp(v - max)
-		sum += out[i]
+		dst[i] = math.Exp(v - max)
+		sum += dst[i]
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
+}
+
+// Softmax returns the softmax of logits.
+func Softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	SoftmaxInto(out, logits)
 	return out
+}
+
+// crossEntropyGradInto computes the softmax cross-entropy loss for an
+// integer label with a class weight, writing dL/dlogits into grad (same
+// length as logits; may alias logits).
+func crossEntropyGradInto(grad, logits []float64, label int, weight float64) float64 {
+	SoftmaxInto(grad, logits)
+	loss := -weight * math.Log(math.Max(grad[label], 1e-12))
+	for i, p := range grad {
+		grad[i] = weight * p
+	}
+	grad[label] -= weight
+	return loss
 }
 
 // CrossEntropyGrad returns the loss and dL/dlogits for a softmax
 // cross-entropy with integer label and a class weight.
 func CrossEntropyGrad(logits []float64, label int, weight float64) (float64, []float64) {
-	p := Softmax(logits)
-	loss := -weight * math.Log(math.Max(p[label], 1e-12))
-	grad := make([]float64, len(p))
-	for i := range p {
-		grad[i] = weight * p[i]
-	}
-	grad[label] -= weight
+	grad := make([]float64, len(logits))
+	loss := crossEntropyGradInto(grad, logits, label, weight)
 	return loss, grad
 }

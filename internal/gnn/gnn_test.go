@@ -59,9 +59,9 @@ func TestAdjNormSymmetricAndStochasticish(t *testing.T) {
 	adj := NewAdjNorm(sg)
 	// Coefficient for edge (i,j) must equal coefficient for (j,i).
 	coef := map[[2]int32]float64{}
-	for i := range adj.Nbrs {
-		for k, j := range adj.Nbrs[i] {
-			coef[[2]int32{int32(i), j}] = adj.Coefs[i][k]
+	for i := 0; i < adj.N; i++ {
+		for k := adj.Indptr[i]; k < adj.Indptr[i+1]; k++ {
+			coef[[2]int32{int32(i), adj.Indices[k]}] = adj.Coefs[k]
 		}
 	}
 	for key, c := range coef {
@@ -90,19 +90,21 @@ func TestGCNGradientCheck(t *testing.T) {
 	m.Scale = FitScaler([]*mat.Matrix{sg.X})
 
 	lossOf := func() float64 {
+		ar := newArena()
 		adj := NewAdjNorm(sg)
-		h := m.embed(adj, sg.X)
+		h := m.embed(adj, sg.X, ar, false)
 		logits := m.Out.Forward(h.ColMeans())
 		l, _ := CrossEntropyGrad(logits, 1, 1)
 		return l
 	}
 	// Analytic gradients.
 	m.zeroGrads()
+	ar := newArena()
 	adj := NewAdjNorm(sg)
-	h := m.embed(adj, sg.X)
+	h := m.embed(adj, sg.X, ar, true)
 	logits := m.Out.Forward(h.ColMeans())
 	_, dLogits := CrossEntropyGrad(logits, 1, 1)
-	m.backwardGraph(adj, sg.NumNodes(), dLogits)
+	m.backwardGraph(adj, sg.NumNodes(), dLogits, ar)
 
 	check := func(name string, p *mat.Matrix, g *mat.Matrix, idx int) {
 		const eps = 1e-5

@@ -69,17 +69,33 @@ func FitScaler(xs []*mat.Matrix) *Scaler {
 
 // Transform returns a standardized copy of x.
 func (s *Scaler) Transform(x *mat.Matrix) *mat.Matrix {
-	if s == nil {
-		return x.Clone()
-	}
 	out := x.Clone()
-	for i := 0; i < out.Rows; i++ {
-		row := out.Row(i)
-		for j := range row {
-			row[j] = (row[j] - s.Mean[j]) / s.Std[j]
+	s.TransformInto(out, x)
+	return out
+}
+
+// TransformInto writes the standardized values of x into dst (same shape),
+// avoiding allocation in hot loops. A nil scaler copies x unchanged. dst
+// may alias x. The standardized value is written in one pass straight from
+// the source — same arithmetic as copy-then-scale, without the extra
+// traversal.
+func (s *Scaler) TransformInto(dst, x *mat.Matrix) {
+	if s == nil {
+		if dst != x {
+			copy(dst.Data, x.Data)
+		}
+		return
+	}
+	mean := s.Mean
+	std := s.Std[:len(mean)]
+	cols := x.Cols
+	for start := 0; start < len(x.Data); start += cols {
+		xrow := x.Data[start : start+cols][:len(mean)]
+		drow := dst.Data[start : start+cols][:len(mean)]
+		for j, mv := range mean {
+			drow[j] = (xrow[j] - mv) / std[j]
 		}
 	}
-	return out
 }
 
 // Model is a GCN stack with either a graph-level or node-level softmax
@@ -92,6 +108,12 @@ type Model struct {
 	// FrozenLayers stops gradient updates for the first k GCN layers
 	// (network-based transfer learning for the Classifier).
 	FrozenLayers int
+
+	// ar is the private scratch arena of a training replica (nil on
+	// primary models; the shared inference path borrows pooled arenas
+	// instead). Layer activation caches point into it between a sample's
+	// forward and backward pass.
+	ar *arena
 }
 
 // Config describes a model architecture.
@@ -116,30 +138,81 @@ func NewModel(cfg Config) *Model {
 	return m
 }
 
-// embed runs the GCN stack and returns node embeddings.
-func (m *Model) embed(adj *AdjNorm, x *mat.Matrix) *mat.Matrix {
-	h := m.Scale.Transform(x)
+// embed runs the GCN stack into arena buffers and returns node embeddings
+// (arena-owned, read-only). When train is true, layer activations are
+// cached for backprop — only replicas with private arenas may do that.
+func (m *Model) embed(adj *AdjNorm, x *mat.Matrix, ar *arena, train bool) *mat.Matrix {
+	h := ar.matrix(x.Rows, x.Cols)
+	m.Scale.TransformInto(h, x)
 	for _, l := range m.Layers {
-		h = l.Forward(adj, h)
+		h = l.forward(adj, h, ar, train)
 	}
 	return h
+}
+
+// graphProbs runs the full graph-head forward pass into arena buffers and
+// returns the class probabilities (arena-owned — consume before releasing
+// the arena). The subgraph must be non-empty. No model state is written,
+// so a shared model can serve concurrent predictions.
+func (m *Model) graphProbs(sg *hgraph.Subgraph, ar *arena) []float64 {
+	adj := AdjNormFor(sg)
+	h := m.embed(adj, sg.X, ar, false)
+	pooled := ar.vec(h.Cols)
+	h.ColMeansInto(pooled)
+	probs := ar.vec(len(m.Out.B))
+	m.Out.forwardInto(probs, pooled, false)
+	SoftmaxInto(probs, probs)
+	return probs
 }
 
 // PredictGraph returns class probabilities for a whole subgraph
 // (graph-head models). Empty subgraphs yield a uniform distribution.
 func (m *Model) PredictGraph(sg *hgraph.Subgraph) []float64 {
 	nOut := len(m.Out.B)
+	out := make([]float64, nOut)
 	if sg.NumNodes() == 0 {
-		out := make([]float64, nOut)
 		for i := range out {
 			out[i] = 1 / float64(nOut)
 		}
 		return out
 	}
-	adj := NewAdjNorm(sg)
-	h := m.embed(adj, sg.X)
-	pooled := h.ColMeans()
-	return Softmax(m.Out.Forward(pooled))
+	ar := getArena()
+	copy(out, m.graphProbs(sg, ar))
+	putArena(ar)
+	return out
+}
+
+// PredictArgmax returns the most probable class and its probability for a
+// graph-head model — the allocation-free inference primitive behind
+// TierPredictor.PredictTier. Empty subgraphs report class 0 at uniform
+// confidence.
+func (m *Model) PredictArgmax(sg *hgraph.Subgraph) (class int, prob float64) {
+	if sg.NumNodes() == 0 {
+		return 0, 1 / float64(len(m.Out.B))
+	}
+	ar := getArena()
+	p := m.graphProbs(sg, ar)
+	best := 0
+	for i, v := range p {
+		if v > p[best] {
+			best = i
+		}
+	}
+	prob = p[best]
+	putArena(ar)
+	return best, prob
+}
+
+// PredictClassProb returns the probability of one class for a graph-head
+// model without allocating (the Classifier's prune-decision hot path).
+func (m *Model) PredictClassProb(sg *hgraph.Subgraph, class int) float64 {
+	if sg.NumNodes() == 0 {
+		return 1 / float64(len(m.Out.B))
+	}
+	ar := getArena()
+	p := m.graphProbs(sg, ar)[class]
+	putArena(ar)
+	return p
 }
 
 // PredictNodes returns per-node class probabilities (node-head models) as
@@ -150,13 +223,37 @@ func (m *Model) PredictNodes(sg *hgraph.Subgraph) *mat.Matrix {
 	if sg.NumNodes() == 0 {
 		return out
 	}
-	adj := NewAdjNorm(sg)
-	h := m.embed(adj, sg.X)
+	ar := getArena()
+	adj := AdjNormFor(sg)
+	h := m.embed(adj, sg.X, ar, false)
 	for i := 0; i < h.Rows; i++ {
-		p := Softmax(m.Out.Forward(h.Row(i)))
-		copy(out.Row(i), p)
+		row := out.Row(i)
+		m.Out.forwardInto(row, h.Row(i), false)
+		SoftmaxInto(row, row)
 	}
+	putArena(ar)
 	return out
+}
+
+// PredictNodeProbs calls visit with the class-probability vector of each
+// node in locals (local node indices), allocation-free: the probability
+// slice is arena-owned and valid only during the visit call. Node-head
+// deployment only ever needs the MIV rows, so this avoids both the output
+// matrix and the softmax work for every other node.
+func (m *Model) PredictNodeProbs(sg *hgraph.Subgraph, locals []int32, visit func(k int, probs []float64)) {
+	if sg.NumNodes() == 0 || len(locals) == 0 {
+		return
+	}
+	ar := getArena()
+	adj := AdjNormFor(sg)
+	h := m.embed(adj, sg.X, ar, false)
+	probs := ar.vec(len(m.Out.B))
+	for k, li := range locals {
+		m.Out.forwardInto(probs, h.Row(int(li)), false)
+		SoftmaxInto(probs, probs)
+		visit(k, probs)
+	}
+	putArena(ar)
 }
 
 // params returns the trainable parameter/gradient pairs, respecting
@@ -192,10 +289,12 @@ func (m *Model) zeroGrads() {
 	}
 }
 
-// backwardGraph backpropagates a graph-level logit gradient.
-func (m *Model) backwardGraph(adj *AdjNorm, nNodes int, dLogits []float64) {
-	dPooled := m.Out.Backward(dLogits)
-	dh := mat.New(nNodes, len(dPooled))
+// backwardGraph backpropagates a graph-level logit gradient through the
+// mean-pool readout and the GCN stack, using arena scratch throughout.
+func (m *Model) backwardGraph(adj *AdjNorm, nNodes int, dLogits []float64, ar *arena) {
+	dPooled := ar.vec(m.Out.W.Rows)
+	m.Out.backward(dLogits, dPooled)
+	dh := ar.matrix(nNodes, len(dPooled))
 	inv := 1 / float64(nNodes)
 	for i := 0; i < nNodes; i++ {
 		row := dh.Row(i)
@@ -203,24 +302,26 @@ func (m *Model) backwardGraph(adj *AdjNorm, nNodes int, dLogits []float64) {
 			row[j] = v * inv
 		}
 	}
-	m.backwardStack(adj, dh)
+	m.backwardStack(adj, dh, ar)
 }
 
-func (m *Model) backwardStack(adj *AdjNorm, dh *mat.Matrix) {
+func (m *Model) backwardStack(adj *AdjNorm, dh *mat.Matrix, ar *arena) {
 	// Frozen layers still accumulate (unused) gradients; params() simply
 	// never surfaces them to the optimizer.
 	for i := len(m.Layers) - 1; i >= 0; i-- {
-		dh = m.Layers[i].Backward(adj, dh)
+		dh = m.Layers[i].backward(adj, dh, ar)
 	}
 }
 
 // replica returns a model sharing the receiver's parameters and scaler but
-// owning private gradient and activation buffers. During a mini-batch the
-// shared W/B are read-only, so replicas can run forward/backward for
-// different samples concurrently; their gradients are then reduced into the
-// primary model in slot order.
+// owning private gradient, activation, and arena buffers. During a
+// mini-batch the shared W/B are read-only, so replicas can run
+// forward/backward for different samples concurrently; their gradients are
+// then reduced into the primary model in slot order. The private arena is
+// reset per sample and its buffer capacities persist across the whole
+// training run, so steady-state epochs stop allocating.
 func (m *Model) replica() *Model {
-	r := &Model{Head: m.Head, Scale: m.Scale, FrozenLayers: m.FrozenLayers}
+	r := &Model{Head: m.Head, Scale: m.Scale, FrozenLayers: m.FrozenLayers, ar: newArena()}
 	for _, l := range m.Layers {
 		r.Layers = append(r.Layers, &GCNLayer{
 			W: l.W, B: l.B, ReLU: l.ReLU,

@@ -40,16 +40,11 @@ func (t *TierPredictor) Predict(sg *hgraph.Subgraph) (pTop, pBottom float64) {
 }
 
 // PredictTier returns the most probable tier index and its confidence
-// (the maximum class probability).
+// (the maximum class probability). Steady state this is allocation-free:
+// the normalized adjacency is memoized on the subgraph and every scratch
+// buffer comes from a pooled arena.
 func (t *TierPredictor) PredictTier(sg *hgraph.Subgraph) (tier int, confidence float64) {
-	p := t.Model.PredictGraph(sg)
-	best := 0
-	for i, v := range p {
-		if v > p[best] {
-			best = i
-		}
-	}
-	return best, p[best]
+	return t.Model.PredictArgmax(sg)
 }
 
 // Train fits the Tier-predictor; the sample label is the tier index.
@@ -92,18 +87,19 @@ func NewMIVPinpointer(seed int64) *MIVPinpointer {
 }
 
 // PredictFaultyMIVs returns the netlist gate IDs of MIVs whose faulty-class
-// probability exceeds the threshold.
+// probability exceeds the threshold. Only the MIV rows go through the
+// classification head (deployment never reads the other nodes' softmax),
+// and the pass allocates nothing beyond the returned slice.
 func (m *MIVPinpointer) PredictFaultyMIVs(sg *hgraph.Subgraph) []int {
 	if len(sg.MIVLocal) == 0 {
 		return nil
 	}
-	probs := m.Model.PredictNodes(sg)
 	var out []int
-	for k, li := range sg.MIVLocal {
-		if probs.At(int(li), 1) >= m.Threshold {
+	m.Model.PredictNodeProbs(sg, sg.MIVLocal, func(k int, probs []float64) {
+		if probs[1] >= m.Threshold {
 			out = append(out, sg.MIVGates[k])
 		}
-	}
+	})
 	return out
 }
 
@@ -167,9 +163,9 @@ func NewClassifier(pretrained *TierPredictor, seed int64) *Classifier {
 }
 
 // PredictPrune returns the probability that pruning the report according
-// to the tier prediction is safe.
+// to the tier prediction is safe. Allocation-free at steady state.
 func (c *Classifier) PredictPrune(sg *hgraph.Subgraph) float64 {
-	return c.Model.PredictGraph(sg)[PruneClass]
+	return c.Model.PredictClassProb(sg, PruneClass)
 }
 
 // Train fits the classification head (hidden layers stay frozen).

@@ -296,18 +296,20 @@ func (m *Model) Fit(samples []GraphSample, cfg TrainConfig) (float64, error) {
 			par.ForEach(workers, n, func(k int) {
 				r := slots[k]
 				r.zeroGrads()
+				r.ar.reset()
 				s := samples[kept[start+k]]
 				w := s.Weight
 				if w == 0 {
 					w = 1
 				}
-				adj := NewAdjNorm(s.SG)
-				h := r.embed(adj, s.SG.X)
-				pooled := h.ColMeans()
-				logits := r.Out.Forward(pooled)
-				loss, dLogits := CrossEntropyGrad(logits, s.Label, w)
-				losses[k] = loss
-				r.backwardGraph(adj, s.SG.NumNodes(), dLogits)
+				adj := AdjNormFor(s.SG)
+				h := r.embed(adj, s.SG.X, r.ar, true)
+				pooled := r.ar.vec(h.Cols)
+				h.ColMeansInto(pooled)
+				logits := r.ar.vec(len(r.Out.B))
+				r.Out.forwardInto(logits, pooled, true)
+				losses[k] = crossEntropyGradInto(logits, logits, s.Label, w)
+				r.backwardGraph(adj, s.SG.NumNodes(), logits, r.ar)
 			})
 			batchLoss := 0.0
 			for k := 0; k < n; k++ {
@@ -379,27 +381,30 @@ func (m *Model) FitNodes(samples []NodeSample, cfg TrainConfig) (float64, error)
 			par.ForEach(workers, n, func(k int) {
 				r := slots[k]
 				r.zeroGrads()
+				r.ar.reset()
 				s := samples[kept[start+k]]
-				adj := NewAdjNorm(s.SG)
-				h := r.embed(adj, s.SG.X)
-				dh := mat.New(h.Rows, h.Cols)
+				adj := AdjNormFor(s.SG)
+				h := r.embed(adj, s.SG.X, r.ar, true)
+				dh := r.ar.matrix(h.Rows, h.Cols)
+				dh.Zero()
+				logits := r.ar.vec(len(r.Out.B))
+				dx := r.ar.vec(r.Out.W.Rows)
 				loss := 0.0
 				for ki, li := range s.NodeIdx {
 					w := 1.0
 					if s.Weights != nil {
 						w = s.Weights[ki]
 					}
-					logits := r.Out.Forward(h.Row(int(li)))
-					l, dLogits := CrossEntropyGrad(logits, s.Labels[ki], w)
-					loss += l
-					dx := r.Out.Backward(dLogits)
+					r.Out.forwardInto(logits, h.Row(int(li)), true)
+					loss += crossEntropyGradInto(logits, logits, s.Labels[ki], w)
+					r.Out.backward(logits, dx)
 					row := dh.Row(int(li))
 					for j, v := range dx {
 						row[j] += v
 					}
 				}
 				losses[k] = loss
-				r.backwardStack(adj, dh)
+				r.backwardStack(adj, dh, r.ar)
 			})
 			batchLoss := 0.0
 			for k := 0; k < n; k++ {

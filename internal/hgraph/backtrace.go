@@ -3,6 +3,7 @@ package hgraph
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/failurelog"
 	"repro/internal/mat"
@@ -29,10 +30,25 @@ type Subgraph struct {
 	// TierOf gives each local node's normalized tier location in [0,1]
 	// (0.5 for MIVs, which sit between tiers).
 	TierOf []float64
+
+	// adjCache memoizes a derived representation of Adj (the GNN stack's
+	// normalized CSR adjacency). It is stored as `any` so hgraph stays
+	// decoupled from the consumer; its lifetime is tied to the subgraph, so
+	// a discarded subgraph releases its cache with it. Concurrent builders
+	// may race to store the same deterministic value — last write wins.
+	adjCache atomic.Value
 }
 
 // NumNodes returns the subgraph size.
 func (s *Subgraph) NumNodes() int { return len(s.Nodes) }
+
+// AdjCache returns the memoized derived adjacency (nil before SetAdjCache).
+// The cached value must be a pure function of Adj: callers that mutate Adj
+// after caching get stale results.
+func (s *Subgraph) AdjCache() any { return s.adjCache.Load() }
+
+// SetAdjCache stores a derived adjacency representation. v must be non-nil.
+func (s *Subgraph) SetAdjCache(v any) { s.adjCache.Store(v) }
 
 // Backtrace runs the paper's back-tracing algorithm: for every erroneous
 // response, collect the fault-site nodes in the fan-in cones of the failing

@@ -252,3 +252,140 @@ func TestNorm2AndMaxAbs(t *testing.T) {
 		t.Errorf("MaxAbs = %v", m.MaxAbs())
 	}
 }
+
+// naiveMul is the pre-optimization Mul: explicit zeroed output, with the
+// data-dependent `av == 0` skip the branchless kernel removed. The kernels
+// must match it bitwise — skipping a zero term never changes an accumulator
+// that started at +0.0.
+func naiveMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+func randomMatrix(rng *rand.Rand, r, c int, sparsity float64) *Matrix {
+	m := New(r, c)
+	for i := range m.Data {
+		if rng.Float64() < sparsity {
+			continue // keep explicit zeros to exercise the removed skip
+		}
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// TestMulBitwiseMatchesNaive proves the branchless MulInto kernel is
+// bitwise-identical to the seed formulation, including on sparse operands
+// where the old `av == 0` skip actually fired, and with a dirty dst.
+func TestMulBitwiseMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		r, k, c := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a := randomMatrix(rng, r, k, 0.4)
+		b := randomMatrix(rng, k, c, 0.4)
+		want := naiveMul(a, b)
+		got := randomMatrix(rng, r, c, 0) // dirty destination
+		MulInto(got, a, b)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("MulInto[%d] = %v want %v (bitwise)", i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestMulTIntoMatchesMulT proves a·bᵀ computed without materializing the
+// transpose is bitwise-identical to Mul(a, b.T()).
+func TestMulTIntoMatchesMulT(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 100; trial++ {
+		r, k, c := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a := randomMatrix(rng, r, k, 0.2)
+		b := randomMatrix(rng, c, k, 0.2)
+		want := Mul(a, b.T())
+		got := randomMatrix(rng, r, c, 0)
+		MulTInto(got, a, b)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("MulTInto[%d] = %v want %v (bitwise)", i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestAddMulATIntoMatchesMulAT proves dst += aᵀ·b via the scatter kernel is
+// bitwise-identical to dst.AddInPlace(Mul(a.T(), b)) when dst starts at
+// zero (the gradient-accumulation contract: grads are zeroed per sample).
+func TestAddMulATIntoMatchesMulAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		r, k, c := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a := randomMatrix(rng, r, k, 0.2)
+		b := randomMatrix(rng, r, c, 0.2)
+		want := Mul(a.T(), b)
+		got := New(k, c)
+		AddMulATInto(got, a, b)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("AddMulATInto[%d] = %v want %v (bitwise)", i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestReuse checks capacity retention and shrink/grow semantics of the
+// arena primitive.
+func TestReuse(t *testing.T) {
+	m := New(4, 5)
+	backing := &m.Data[0]
+	m.Reuse(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("Reuse shrink: got %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	if &m.Data[0] != backing {
+		t.Fatal("Reuse shrink reallocated")
+	}
+	m.Reuse(6, 7)
+	if m.Rows != 6 || m.Cols != 7 || len(m.Data) != 42 {
+		t.Fatalf("Reuse grow: got %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative Reuse")
+		}
+	}()
+	m.Reuse(-1, 2)
+}
+
+// TestColSumsMeansInto checks the in-place variants against the allocating
+// ones bitwise.
+func TestColSumsMeansInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	m := randomMatrix(rng, 9, 4, 0)
+	sums := make([]float64, 4)
+	m.ColSumsInto(sums)
+	for j, v := range m.ColSums() {
+		if sums[j] != v {
+			t.Fatalf("ColSumsInto[%d] = %v want %v", j, sums[j], v)
+		}
+	}
+	means := make([]float64, 4)
+	m.ColMeansInto(means)
+	for j, v := range m.ColMeans() {
+		if means[j] != v {
+			t.Fatalf("ColMeansInto[%d] = %v want %v", j, means[j], v)
+		}
+	}
+}

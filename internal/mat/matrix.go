@@ -55,6 +55,23 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
+// Reuse resizes m to r×c in place, reusing the existing backing array when
+// its capacity suffices (no allocation) and growing it otherwise. The
+// resulting element values are unspecified; callers must fully overwrite
+// them. This is the primitive behind buffer arenas: a scratch matrix can
+// serve subgraphs of any size and stops allocating once it has seen the
+// largest one.
+func (m *Matrix) Reuse(r, c int) {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	need := r * c
+	if cap(m.Data) < need {
+		m.Data = make([]float64, need)
+	}
+	m.Rows, m.Cols, m.Data = r, c, m.Data[:need]
+}
+
 // Zero sets every element of m to zero in place.
 func (m *Matrix) Zero() {
 	for i := range m.Data {
@@ -74,42 +91,199 @@ func (m *Matrix) T() *Matrix {
 }
 
 // Mul returns the matrix product a·b.
+//
+// The inner loop is branchless: the old `av == 0` skip saved work only on
+// genuinely sparse operands, and on the dense weight matrices of the GNN
+// hot path the data-dependent branch cost more in mispredictions than the
+// skipped multiplies saved. Accumulating a zero term never changes a sum
+// bitwise (the running total starts at +0.0 and x + ±0.0 == x for every x
+// reachable from a +0.0 start), so results are identical.
 func Mul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	MulInto(out, a, b)
 	return out
 }
 
 // MulInto computes a·b and stores the result in dst, which must be
-// pre-sized to a.Rows×b.Cols. It avoids allocation in hot loops.
+// pre-sized to a.Rows×b.Cols. It avoids allocation in hot loops. dst must
+// not alias a or b; its prior contents are fully overwritten.
+//
+// The k-dimension is processed four rows of b at a time and two output rows
+// per pass: rows i and i+1 share every load of b, so the inner loop retires
+// eight multiply-adds per four b loads. Each output element still
+// accumulates its terms one by one in ascending k (t += a·b four times per
+// block, each a separately rounded add, identical to the rolled loop), but
+// dst is loaded and stored once per block instead of once per k.
 func MulInto(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("mat: MulInto dimension mismatch")
 	}
-	dst.Zero()
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
+	kdim, cols := a.Cols, b.Cols
+	i := 0
+	for ; i+1 < a.Rows; i += 2 {
+		arow0 := a.Data[i*kdim : (i+1)*kdim]
+		arow1 := a.Data[(i+1)*kdim:][:kdim]
+		orow0 := dst.Data[i*cols : (i+1)*cols]
+		orow1 := dst.Data[(i+1)*cols:][:cols]
+		o1z := orow1[:len(orow0)]
+		for j := range orow0 {
+			orow0[j] = 0
+			o1z[j] = 0
+		}
+		k := 0
+		for ; k+3 < kdim; k += 4 {
+			a00, a01, a02, a03 := arow0[k], arow0[k+1], arow0[k+2], arow0[k+3]
+			a10, a11, a12, a13 := arow1[k], arow1[k+1], arow1[k+2], arow1[k+3]
+			// Reslicing every row to len(b0) lets the compiler prove the
+			// indexed loads below are in bounds (no per-element checks).
+			b0 := b.Data[k*cols : (k+1)*cols]
+			b1 := b.Data[(k+1)*cols:][:len(b0)]
+			b2 := b.Data[(k+2)*cols:][:len(b0)]
+			b3 := b.Data[(k+3)*cols:][:len(b0)]
+			o0 := orow0[:len(b0)]
+			o1 := orow1[:len(b0)]
+			for j, v0 := range b0 {
+				v1, v2, v3 := b1[j], b2[j], b3[j]
+				t0 := o0[j]
+				t0 += a00 * v0
+				t0 += a01 * v1
+				t0 += a02 * v2
+				t0 += a03 * v3
+				o0[j] = t0
+				t1 := o1[j]
+				t1 += a10 * v0
+				t1 += a11 * v1
+				t1 += a12 * v2
+				t1 += a13 * v3
+				o1[j] = t1
 			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+		}
+		for ; k < kdim; k++ {
+			av0, av1 := arow0[k], arow1[k]
+			brow := b.Data[k*cols : (k+1)*cols]
+			o0 := orow0[:len(brow)]
+			o1 := orow1[:len(brow)]
+			for j, bv := range brow {
+				o0[j] += av0 * bv
+				o1[j] += av1 * bv
+			}
+		}
+	}
+	for ; i < a.Rows; i++ {
+		arow := a.Data[i*kdim : (i+1)*kdim]
+		orow := dst.Data[i*cols : (i+1)*cols]
+		for j := range orow {
+			orow[j] = 0
+		}
+		k := 0
+		for ; k+3 < kdim; k += 4 {
+			a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			b0 := b.Data[k*cols : (k+1)*cols]
+			b1 := b.Data[(k+1)*cols:][:len(b0)]
+			b2 := b.Data[(k+2)*cols:][:len(b0)]
+			b3 := b.Data[(k+3)*cols:][:len(b0)]
+			o := orow[:len(b0)]
+			for j, v0 := range b0 {
+				t := o[j]
+				t += a0 * v0
+				t += a1 * b1[j]
+				t += a2 * b2[j]
+				t += a3 * b3[j]
+				o[j] = t
+			}
+		}
+		for ; k < kdim; k++ {
+			av := arow[k]
+			brow := b.Data[k*cols : (k+1)*cols]
+			o := orow[:len(brow)]
+			for j, bv := range brow {
+				o[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulTInto computes a·bᵀ into dst (pre-sized to a.Rows×b.Rows) with b
+// stored untransposed. Backprop through a dense layer needs dz·Wᵀ; this
+// kernel walks both operands row-major — sequential dot products instead
+// of materializing W.T() (an allocation plus a strided copy) per call.
+// dst must not alias a or b.
+func MulTInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("mat: MulTInto dimension mismatch")
+	}
+	kdim := a.Cols
+	// Four output columns per iteration: each keeps its own sequential
+	// accumulator chain (ascending k, bitwise-identical to the single-column
+	// form), but interleaving four independent chains hides the FP-add
+	// latency that serializes a lone dot product.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*kdim : (i+1)*kdim]
+		orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		j := 0
+		for ; j+3 < b.Rows; j += 4 {
+			b0 := b.Data[j*kdim:][:len(arow)]
+			b1 := b.Data[(j+1)*kdim:][:len(arow)]
+			b2 := b.Data[(j+2)*kdim:][:len(arow)]
+			b3 := b.Data[(j+3)*kdim:][:len(arow)]
+			var s0, s1, s2, s3 float64
+			for k, av := range arow {
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+			}
+			orow[j] = s0
+			orow[j+1] = s1
+			orow[j+2] = s2
+			orow[j+3] = s3
+		}
+		for ; j < b.Rows; j++ {
+			brow := b.Data[j*kdim : (j+1)*kdim]
+			sum := 0.0
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			orow[j] = sum
+		}
+	}
+}
+
+// AddMulATInto accumulates aᵀ·b into dst (pre-sized to a.Cols×b.Cols).
+// This is the weight-gradient kernel (gradW += mᵀ·dz): it scatters row i
+// of b scaled by each a[i,k] into dst row k, visiting every operand
+// row-major, so neither aᵀ nor an intermediate product matrix is ever
+// materialized. For fixed (k,j) the contributions accumulate in ascending
+// i — the same summation order as Mul(a.T(), b) — so the result is
+// bitwise-identical to the naive formulation when dst starts at zero.
+// dst must not alias a or b.
+func AddMulATInto(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("mat: AddMulATInto dimension mismatch")
+	}
+	acols, bcols := a.Cols, b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*acols : (i+1)*acols]
+		brow := b.Data[i*bcols : (i+1)*bcols]
+		// Two destination rows per iteration share every load of brow; each
+		// dst element still receives exactly one contribution per i, so the
+		// per-element accumulation order is unchanged.
+		k := 0
+		for ; k+1 < acols; k += 2 {
+			av0, av1 := arow[k], arow[k+1]
+			o0 := dst.Data[k*bcols:][:len(brow)]
+			o1 := dst.Data[(k+1)*bcols:][:len(brow)]
+			for j, bv := range brow {
+				o0[j] += av0 * bv
+				o1[j] += av1 * bv
+			}
+		}
+		for ; k < acols; k++ {
+			av := arow[k]
+			orow := dst.Data[k*bcols:][:len(brow)]
 			for j, bv := range brow {
 				orow[j] += av * bv
 			}
@@ -159,8 +333,9 @@ func Scale(m *Matrix, s float64) *Matrix {
 // AddInPlace adds b into a element-wise.
 func (m *Matrix) AddInPlace(b *Matrix) {
 	checkSameShape("AddInPlace", m, b)
+	bd := b.Data[:len(m.Data)]
 	for i := range m.Data {
-		m.Data[i] += b.Data[i]
+		m.Data[i] += bd[i]
 	}
 }
 
@@ -187,27 +362,48 @@ func (m *Matrix) AddRowVector(v []float64) {
 // ColSums returns the per-column sums of m.
 func (m *Matrix) ColSums() []float64 {
 	sums := make([]float64, m.Cols)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
+	m.ColSumsInto(sums)
+	return sums
+}
+
+// ColSumsInto writes the per-column sums of m into dst (length Cols),
+// avoiding allocation in hot loops.
+func (m *Matrix) ColSumsInto(dst []float64) {
+	if len(dst) != m.Cols {
+		panic("mat: ColSumsInto length mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	cols, data := m.Cols, m.Data
+	for start := 0; start < len(data); start += cols {
+		row := data[start : start+cols]
+		d := dst[:len(row)]
 		for j, v := range row {
-			sums[j] += v
+			d[j] += v
 		}
 	}
-	return sums
 }
 
 // ColMeans returns the per-column means of m. For an empty matrix the
 // result is all zeros.
 func (m *Matrix) ColMeans() []float64 {
-	means := m.ColSums()
+	means := make([]float64, m.Cols)
+	m.ColMeansInto(means)
+	return means
+}
+
+// ColMeansInto writes the per-column means of m into dst (length Cols).
+// For an empty matrix dst is zeroed.
+func (m *Matrix) ColMeansInto(dst []float64) {
+	m.ColSumsInto(dst)
 	if m.Rows == 0 {
-		return means
+		return
 	}
 	inv := 1.0 / float64(m.Rows)
-	for j := range means {
-		means[j] *= inv
+	for j := range dst {
+		dst[j] *= inv
 	}
-	return means
 }
 
 // MaxAbs returns the largest absolute value in m (0 for an empty matrix).

@@ -9,6 +9,7 @@ package policy
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/diagnosis"
 	"repro/internal/gnn"
@@ -16,6 +17,31 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/obs"
 )
+
+// ForwardHistogram is the latency-histogram family recorded around each GNN
+// forward pass in ApplyCtx, labeled by model ("miv", "tier", "cls"). Spans
+// already expose per-request timing in traces; the histogram aggregates the
+// same intervals across requests so inference-latency percentiles can be
+// monitored per model.
+const ForwardHistogram = "m3d_gnn_forward_seconds"
+
+// forwardStart returns the timestamp to measure a forward pass against,
+// skipping the clock read entirely when the context carries no registry.
+func forwardStart(reg *obs.Registry) time.Time {
+	if reg == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observeForward records one forward-pass duration for a model; a no-op
+// when observability is off.
+func observeForward(reg *obs.Registry, model string, t0 time.Time) {
+	if reg == nil {
+		return
+	}
+	reg.Histogram(ForwardHistogram, obs.DurationBuckets, "model", model).ObserveSince(t0)
+}
 
 // Policy bundles the trained models and the threshold used to update ATPG
 // diagnosis reports.
@@ -84,6 +110,7 @@ func (p *Policy) Apply(rep *diagnosis.Report, sg *hgraph.Subgraph) *Outcome {
 // inference time goes. Results are identical to Apply.
 func (p *Policy) ApplyCtx(ctx context.Context, rep *diagnosis.Report, sg *hgraph.Subgraph) *Outcome {
 	n := p.Graph.Netlist()
+	reg := obs.RegistryFrom(ctx)
 	out := &Outcome{Report: &diagnosis.Report{Design: rep.Design, Compacted: rep.Compacted}}
 
 	// Step 1: MIV-pinpointer — flag faulty MIVs and pin equivalent
@@ -91,7 +118,9 @@ func (p *Policy) ApplyCtx(ctx context.Context, rep *diagnosis.Report, sg *hgraph
 	mivSet := make(map[int]bool)
 	if !p.DisableMIV && p.MIV != nil {
 		span := obs.Start(ctx, "gnn.forward.miv")
+		t0 := forwardStart(reg)
 		out.FaultyMIVs = p.MIV.PredictFaultyMIVs(sg)
+		observeForward(reg, "miv", t0)
 		span.End()
 		for _, g := range out.FaultyMIVs {
 			mivSet[g] = true
@@ -113,7 +142,9 @@ func (p *Policy) ApplyCtx(ctx context.Context, rep *diagnosis.Report, sg *hgraph
 
 	// Step 2: Tier-predictor confidence.
 	span := obs.Start(ctx, "gnn.forward.tier")
+	t0 := forwardStart(reg)
 	tier, conf := p.Tier.PredictTier(sg)
+	observeForward(reg, "tier", t0)
 	span.End()
 	out.PredictedTier = tier
 	out.Confidence = conf
@@ -124,7 +155,9 @@ func (p *Policy) ApplyCtx(ctx context.Context, rep *diagnosis.Report, sg *hgraph
 			prune = true
 		} else {
 			span := obs.Start(ctx, "gnn.forward.cls")
+			t0 := forwardStart(reg)
 			prune = p.Cls.PredictPrune(sg) >= 0.5
+			observeForward(reg, "cls", t0)
 			span.End()
 		}
 	}

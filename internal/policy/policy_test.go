@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/hgraph"
 	"repro/internal/mat"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/scan"
 )
 
@@ -350,4 +352,55 @@ func TestPolicyConservationProperty(t *testing.T) {
 	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestApplyCtxRecordsForwardHistograms checks that every GNN forward pass
+// executed by ApplyCtx lands in the per-model m3d_gnn_forward_seconds
+// histogram of the context's registry, and that a bare context (no
+// registry) still works and records nothing.
+func TestApplyCtxRecordsForwardHistograms(t *testing.T) {
+	n := tinyM3D(t)
+	pol := &Policy{
+		Tier:       fakeTier(0.98),
+		TP:         0.9,
+		Graph:      graphFor(t, n),
+		DisableMIV: true,
+	}
+	rep := &diagnosis.Report{Candidates: []diagnosis.Candidate{cand(n.GateByName("g2"), 5)}}
+
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	pol.ApplyCtx(ctx, rep, someSubgraph(3))
+	pol.ApplyCtx(ctx, rep, someSubgraph(3))
+	tierHist := reg.Histogram(ForwardHistogram, obs.DurationBuckets, "model", "tier")
+	if got := tierHist.Count(); got != 2 {
+		t.Fatalf("tier forward histogram count = %d, want 2", got)
+	}
+	// DisableMIV and nil Cls: no miv/cls observations.
+	if got := reg.Histogram(ForwardHistogram, obs.DurationBuckets, "model", "miv").Count(); got != 0 {
+		t.Fatalf("miv forward histogram count = %d, want 0", got)
+	}
+	if got := reg.Histogram(ForwardHistogram, obs.DurationBuckets, "model", "cls").Count(); got != 0 {
+		t.Fatalf("cls forward histogram count = %d, want 0", got)
+	}
+
+	// Classifier path records under model="cls".
+	pol.Cls = fakeCls(t)
+	pol.ApplyCtx(ctx, rep, someSubgraph(3))
+	if got := reg.Histogram(ForwardHistogram, obs.DurationBuckets, "model", "cls").Count(); got != 1 {
+		t.Fatalf("cls forward histogram count = %d, want 1", got)
+	}
+
+	// No registry on the context: must not panic, results identical.
+	out := pol.ApplyCtx(context.Background(), rep, someSubgraph(3))
+	if out == nil || len(out.Report.Candidates) != 1 {
+		t.Fatal("ApplyCtx without registry produced wrong outcome")
+	}
+}
+
+// fakeCls builds a Classifier stub with zeroed weights (uniform output).
+func fakeCls(t *testing.T) *gnn.Classifier {
+	t.Helper()
+	tp := fakeTier(0.98)
+	return gnn.NewClassifier(tp, 2)
 }

@@ -191,6 +191,7 @@ func New(b *dataset.Bundle, fw *core.Framework, cfg Config) *Server {
 		cfg.Metrics.Describe("m3d_queue_wait_seconds", "Admission queue wait per diagnosis request.")
 		cfg.Metrics.Describe("m3d_http_request_seconds", "Wall time per request, by route.")
 		cfg.Metrics.Describe("m3d_shed_total", "Requests shed without executing, by reason.")
+		cfg.Metrics.Describe(policy.ForwardHistogram, "GNN forward-pass wall time per request, by model (miv/tier/cls).")
 		mux.Handle("/metrics", cfg.Metrics)
 	}
 	if cfg.Tracer != nil {
