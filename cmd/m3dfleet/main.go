@@ -1,0 +1,127 @@
+// Command m3dfleet is the fleet coordinator: it fronts a set of m3dserve
+// shards behind the same HTTP/JSON API a single shard serves, so
+// serve.Client users (m3dvolume -remote, curl scripts) point at one
+// address and get consistent-hash routing by design, per-shard circuit
+// breakers, retry-with-failover, optional request hedging, and a
+// background health prober for free.
+//
+// Endpoints: POST /diagnose (FAILLOG body, ?multi=1, ?timeout_ms=N),
+// GET /healthz, GET /readyz, GET /fleet/status, GET /fleet/route?key=D,
+// GET /metrics.
+//
+// Usage:
+//
+//	m3dfleet -addr :8090 -shards http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
+//	m3dfleet -addr :8090 -shards ... -hedge 200ms
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/version"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	shards := flag.String("shards", "", "comma-separated m3dserve base URLs (required)")
+	replicas := flag.Int("replicas", fleet.DefaultReplicas, "virtual nodes per shard on the hash ring")
+	tryTimeout := flag.Duration("try-timeout", 30*time.Second, "per-shard attempt deadline")
+	maxElapsed := flag.Duration("max-elapsed", 2*time.Minute, "total retry/failover budget per request")
+	hedge := flag.Duration("hedge", 0, "hedge a second shard when the primary is silent this long (0 disables)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures that open a shard's breaker")
+	breakerOpenFor := flag.Duration("breaker-open", 10*time.Second, "how long an open breaker rejects before trialing recovery")
+	probeInterval := flag.Duration("probe-interval", time.Second, "health-probe cadence")
+	seed := flag.Int64("seed", 1, "seed for reproducible retry jitter")
+	timeout := flag.Duration("timeout", 2*time.Minute, "default end-to-end deadline per request")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *showVersion {
+		version.Print("m3dfleet")
+		return
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "m3dfleet: "+format+"\n", args...)
+	}
+
+	var shardList []string
+	for _, s := range strings.Split(*shards, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			shardList = append(shardList, s)
+		}
+	}
+	if len(shardList) == 0 {
+		fatal("-shards is required (comma-separated m3dserve base URLs)")
+	}
+
+	reg := obs.NewRegistry()
+	co, err := fleet.New(fleet.Config{
+		Shards:        shardList,
+		Replicas:      *replicas,
+		TryTimeout:    *tryTimeout,
+		MaxElapsed:    *maxElapsed,
+		Hedge:         *hedge,
+		Breaker:       fleet.BreakerConfig{Threshold: *breakerThreshold, OpenFor: *breakerOpenFor},
+		ProbeInterval: *probeInterval,
+		Seed:          *seed,
+		Metrics:       reg,
+		Logf:          logf,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer co.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	co.StartProber(ctx)
+
+	front := fleet.NewFront(co, fleet.FrontConfig{
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Logf:           logf,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: front.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		logf("coordinating %d shard(s) on %s (hedge %v, breaker %d/%v)",
+			len(co.Shards()), *addr, *hedge, *breakerThreshold, *breakerOpenFor)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		fatal("listen: %v", err)
+	case <-ctx.Done():
+	}
+
+	logf("draining (%d shard(s) still coordinated)", len(co.Shards()))
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logf("drain deadline exceeded: %v", err)
+		httpSrv.Close()
+		os.Exit(1)
+	}
+	logf("drained cleanly")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "m3dfleet: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -106,7 +106,7 @@ func main() {
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(reg, *traceRing)
 
-	fw, err := loadOrTrain(ctx, store, *modelName, b, *trainSamples, *seed, *compacted, *workers, reg, logf)
+	fw, artInfo, err := loadOrTrain(ctx, store, *modelName, b, *trainSamples, *seed, *compacted, *workers, reg, logf)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -126,6 +126,9 @@ func main() {
 		Tracer:         tracer,
 	})
 	srv.EnableReload(store, *modelName)
+	// /healthz advertises the exact model identity from the first request
+	// on; fleet coordinators use it to tell shards apart.
+	srv.SetArtifactInfo(artInfo)
 
 	// Optional pprof listener, kept off the service port so profiling
 	// endpoints are never reachable through the load balancer.
@@ -191,27 +194,28 @@ func main() {
 
 // loadOrTrain loads the newest valid framework from the store, or — when
 // the store has none — trains one and seals it into the store so the next
-// start is instant.
+// start is instant. The returned ArtifactInfo identifies the exact payload
+// being served (store version + checksum) for /healthz.
 func loadOrTrain(ctx context.Context, store *artifact.Store, name string, b *dataset.Bundle,
 	trainSamples int, seed int64, compacted bool, workers int,
-	reg *obs.Registry, logf func(string, ...any)) (*core.Framework, error) {
+	reg *obs.Registry, logf func(string, ...any)) (*core.Framework, serve.ArtifactInfo, error) {
 
 	if payload, path, v, err := store.LoadLatest(name); err == nil {
 		fw, err := core.Load(bytes.NewReader(payload))
 		if err != nil {
-			return nil, fmt.Errorf("stored framework %s is invalid: %w", path, err)
+			return nil, serve.ArtifactInfo{}, fmt.Errorf("stored framework %s is invalid: %w", path, err)
 		}
 		logf("loaded framework %s v%d (T_P=%.3f)", name, v, fw.TP)
-		return fw, nil
+		return fw, serve.ArtifactInfo{Model: name, Version: v, Checksum: artifact.ChecksumHex(payload)}, nil
 	} else if !errors.Is(err, artifact.ErrNotFound) {
-		return nil, err
+		return nil, serve.ArtifactInfo{}, err
 	}
 
 	if trainSamples <= 0 {
-		return nil, fmt.Errorf("store holds no framework %q and -train-samples is 0", name)
+		return nil, serve.ArtifactInfo{}, fmt.Errorf("store holds no framework %q and -train-samples is 0", name)
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, serve.ArtifactInfo{}, err
 	}
 	logf("store holds no framework %q; training on %d samples ...", name, trainSamples)
 	train := b.Generate(dataset.SampleOptions{
@@ -220,14 +224,18 @@ func loadOrTrain(ctx context.Context, store *artifact.Store, name string, b *dat
 	})
 	fw, err := core.Train(train, core.TrainOptions{Seed: seed + 3, Workers: workers, Obs: reg})
 	if err != nil {
-		return nil, fmt.Errorf("train: %w", err)
+		return nil, serve.ArtifactInfo{}, fmt.Errorf("train: %w", err)
 	}
-	path, v, err := store.Save(name, func(w io.Writer) error { return fw.Save(w) })
+	var buf bytes.Buffer
+	if err := fw.Save(&buf); err != nil {
+		return nil, serve.ArtifactInfo{}, err
+	}
+	path, v, err := store.Save(name, func(w io.Writer) error { _, err := w.Write(buf.Bytes()); return err })
 	if err != nil {
-		return nil, err
+		return nil, serve.ArtifactInfo{}, err
 	}
 	logf("trained and stored framework v%d at %s (T_P=%.3f)", v, path, fw.TP)
-	return fw, nil
+	return fw, serve.ArtifactInfo{Model: name, Version: v, Checksum: artifact.ChecksumHex(buf.Bytes())}, nil
 }
 
 func fatal(format string, args ...any) {

@@ -13,6 +13,7 @@
 //	m3dvolume -logs ./data/aes -campaign ./campaign -design aes
 //	m3dvolume -manifest logs.txt -campaign ./campaign -load-model aes.fw
 //	m3dvolume -logs ./data/aes -campaign ./campaign -remote http://127.0.0.1:8080
+//	m3dvolume -logs ./data/aes -campaign ./campaign -remote http://127.0.0.1:8081,http://127.0.0.1:8082
 package main
 
 import (
@@ -25,11 +26,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/fleet"
 	"repro/internal/gen"
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -48,7 +51,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "global seed (must match the logs' generation run)")
 	trainSamples := flag.Int("train-samples", 200, "training set size when no -load-model is given")
 	loadModel := flag.String("load-model", "", "load a framework instead of training")
-	remote := flag.String("remote", "", "diagnose against this m3dserve base URL instead of in-process")
+	remote := flag.String("remote", "", "diagnose remotely: one m3dserve/m3dfleet base URL, or a comma-separated shard list (in-process fleet coordinator with failover)")
 	workers := flag.Int("workers", 0, "campaign workers (0 = all cores); the report is identical for any value")
 	timeout := flag.Duration("timeout", 0, "per-log diagnosis deadline (0 = none); expiry quarantines the log")
 	topK := flag.Int("top", 16, "candidates retained per die")
@@ -105,16 +108,48 @@ func main() {
 	nWorkers := par.Workers(*workers)
 	var diagnosers []volume.Diagnoser
 	if *remote != "" {
-		client := &serve.Client{Base: *remote, Seed: *seed}
-		defer client.Close()
-		waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
-		err := client.WaitReady(waitCtx)
-		cancel()
-		if err != nil {
-			fatal("remote %s: %v", *remote, err)
+		endpoints := splitEndpoints(*remote)
+		switch {
+		case len(endpoints) == 0:
+			// Fail fast: a -remote that parses to nothing would otherwise
+			// silently fall back to local diagnosis or hang waiting.
+			fatal("-remote %q lists no endpoints", *remote)
+		case len(endpoints) == 1:
+			client := &serve.Client{Base: endpoints[0], Seed: *seed}
+			defer client.Close()
+			waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+			err := client.WaitReady(waitCtx)
+			cancel()
+			if err != nil {
+				fatal("remote endpoint %s is not ready (is m3dserve/m3dfleet up and loaded?): %v", endpoints[0], err)
+			}
+			fmt.Printf("diagnosing remotely against %s with %d workers\n", endpoints[0], nWorkers)
+			diagnosers = volume.NewRemoteDiagnosers(client, *timeout, nWorkers, *multi)
+		default:
+			co, err := fleet.New(fleet.Config{
+				Shards:  endpoints,
+				Seed:    *seed,
+				Metrics: reg,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, "m3dvolume: "+format+"\n", args...)
+				},
+			})
+			if err != nil {
+				fatal("%v", err)
+			}
+			defer co.Close()
+			// Fail fast: at least one shard must answer /readyz before the
+			// campaign starts; after that, the prober and the coordinator's
+			// failover ride out individual shard outages.
+			ready, err := waitFleetReady(ctx, co, 30*time.Second)
+			if err != nil {
+				fatal("no ready shard among %d endpoints (%s): %v", len(endpoints), *remote, err)
+			}
+			co.StartProber(ctx)
+			fmt.Printf("diagnosing against a %d-shard fleet (%d ready) with %d workers\n",
+				len(endpoints), ready, nWorkers)
+			diagnosers = volume.NewFleetDiagnosers(co, *timeout, nWorkers, *multi)
 		}
-		fmt.Printf("diagnosing remotely against %s with %d workers\n", *remote, nWorkers)
-		diagnosers = volume.NewRemoteDiagnosers(client, *timeout, nWorkers, *multi)
 	} else {
 		fw, err := loadOrTrain(b, *loadModel, *trainSamples, *seed, *workers, reg)
 		if err != nil {
@@ -193,6 +228,45 @@ func loadOrTrain(b *dataset.Bundle, loadModel string, trainSamples int, seed int
 	}
 	fmt.Printf("trained (T_P=%.3f)\n", fw.TP)
 	return fw, nil
+}
+
+// splitEndpoints parses the -remote value: comma-separated base URLs,
+// blanks dropped.
+func splitEndpoints(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// waitFleetReady probes the fleet until at least one shard is ready or the
+// wait budget runs out, returning the ready count.
+func waitFleetReady(ctx context.Context, co *fleet.Coordinator, wait time.Duration) (int, error) {
+	wctx, cancel := context.WithTimeout(ctx, wait)
+	defer cancel()
+	for {
+		if n := co.ProbeAll(wctx); n > 0 {
+			return n, nil
+		}
+		select {
+		case <-wctx.Done():
+			var firstErr string
+			for _, st := range co.Status() {
+				if st.LastErr != "" {
+					firstErr = st.Name + ": " + st.LastErr
+					break
+				}
+			}
+			if firstErr == "" {
+				firstErr = "no shard answered /readyz"
+			}
+			return 0, fmt.Errorf("%s (%w)", firstErr, wctx.Err())
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
 }
 
 func fatal(format string, args ...any) {

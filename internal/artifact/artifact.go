@@ -44,6 +44,14 @@ const footerSize = 24
 // crcTable is the ECMA polynomial table used for all artifact checksums.
 var crcTable = crc64.MakeTable(crc64.ECMA)
 
+// ChecksumHex returns the hex CRC64-ECMA of a payload — the same checksum
+// sealed artifacts carry in their footer — so consumers (the serving
+// layer's /healthz, fleet failover debugging) can report which exact model
+// bytes a process is running without re-reading the store.
+func ChecksumHex(payload []byte) string {
+	return fmt.Sprintf("%016x", crc64.Checksum(payload, crcTable))
+}
+
 // ErrNotFound reports that a store holds no (valid) version of a name.
 var ErrNotFound = errors.New("artifact: not found")
 

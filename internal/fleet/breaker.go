@@ -1,0 +1,198 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+// The breaker states. Closed passes traffic; Open rejects it; HalfOpen
+// passes a bounded number of trial requests to test recovery.
+const (
+	Closed BreakerState = iota
+	HalfOpen
+	Open
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half_open"
+	case Open:
+		return "open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes one shard's circuit breaker. The zero value gets
+// production defaults from withDefaults.
+type BreakerConfig struct {
+	// Threshold is the consecutive dispatch failures that open the breaker
+	// (default 5).
+	Threshold int
+	// OpenFor is how long an open breaker rejects before admitting
+	// half-open trials on its own; a successful health probe shortcuts the
+	// wait (default 10s).
+	OpenFor time.Duration
+	// HalfOpenTrials is how many trial dispatches half-open admits at once;
+	// the first success closes the breaker, any failure reopens it
+	// (default 1).
+	HalfOpenTrials int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 10 * time.Second
+	}
+	if c.HalfOpenTrials <= 0 {
+		c.HalfOpenTrials = 1
+	}
+	return c
+}
+
+// Breaker is a per-shard circuit breaker: consecutive dispatch failures
+// open it, an open breaker sheds dispatches to that shard until either
+// OpenFor elapses or a health probe succeeds (probe-driven recovery), and
+// half-open admits a bounded number of trials whose outcomes close or
+// reopen it.
+//
+// Time is always passed in explicitly, so state transitions are a pure
+// function of the recorded event sequence — which is what lets the tests
+// script probe outcomes and assert exact state walks.
+type Breaker struct {
+	cfg BreakerConfig
+	// onTransition observes every state change (for metrics/logging); set
+	// before use, called with the breaker's lock held — keep it cheap.
+	onTransition func(from, to BreakerState)
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive failures while Closed
+	openedAt time.Time // entry time of the current Open period
+	trials   int       // in-flight trial dispatches while HalfOpen
+}
+
+// NewBreaker builds a closed breaker. onTransition may be nil.
+func NewBreaker(cfg BreakerConfig, onTransition func(from, to BreakerState)) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), onTransition: onTransition}
+}
+
+func (b *Breaker) transition(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	b.fails = 0
+	b.trials = 0
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
+// State reports the current state, applying the Open→HalfOpen timeout.
+func (b *Breaker) State(now time.Time) BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen(now)
+	return b.state
+}
+
+// maybeHalfOpen moves an expired Open period to HalfOpen. Callers hold mu.
+func (b *Breaker) maybeHalfOpen(now time.Time) {
+	if b.state == Open && now.Sub(b.openedAt) >= b.cfg.OpenFor {
+		b.transition(HalfOpen)
+	}
+}
+
+// Allow reports whether a dispatch may be sent now, reserving a half-open
+// trial slot when it is the state that admits it. Every Allow()==true MUST
+// be paired with exactly one RecordSuccess or RecordFailure (or
+// RecordAbandoned when the outcome is unknowable) so trial accounting
+// stays balanced.
+func (b *Breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen(now)
+	switch b.state {
+	case Closed:
+		return true
+	case HalfOpen:
+		if b.trials < b.cfg.HalfOpenTrials {
+			b.trials++
+			return true
+		}
+		return false
+	default: // Open
+		return false
+	}
+}
+
+// RecordSuccess reports a successful dispatch: it resets the failure
+// streak and closes a half-open breaker.
+func (b *Breaker) RecordSuccess(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.fails = 0
+	case HalfOpen:
+		b.transition(Closed)
+	}
+}
+
+// RecordFailure reports a failed dispatch: it extends the failure streak
+// (opening the breaker at Threshold) and reopens a half-open breaker
+// immediately — one failed trial is proof enough the shard is still bad.
+func (b *Breaker) RecordFailure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.fails++
+		if b.fails >= b.cfg.Threshold {
+			b.transition(Open)
+			b.openedAt = now
+		}
+	case HalfOpen:
+		b.transition(Open)
+		b.openedAt = now
+	}
+}
+
+// RecordAbandoned releases an Allow reservation whose dispatch never
+// produced a verdict (e.g. a hedged request cancelled because the other
+// leg won). It must not count for or against the shard.
+func (b *Breaker) RecordAbandoned(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen && b.trials > 0 {
+		b.trials--
+	}
+}
+
+// ProbeResult feeds a health-probe outcome into the breaker. A successful
+// probe of an Open shard shortcuts straight to HalfOpen (probe-driven
+// recovery: real traffic trials resume the moment the shard answers
+// /readyz again, instead of waiting out OpenFor); a failed probe of a
+// HalfOpen shard reopens it. Probe outcomes never affect a Closed breaker
+// — routing away from an unready-but-not-failing shard is the health
+// view's job, not the breaker's.
+func (b *Breaker) ProbeResult(ok bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case ok && b.state == Open:
+		b.transition(HalfOpen)
+	case !ok && b.state == HalfOpen:
+		b.transition(Open)
+		b.openedAt = now
+	}
+}

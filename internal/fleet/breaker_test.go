@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+
+func newTestBreaker(t *testing.T) (*Breaker, *[]string) {
+	t.Helper()
+	var transitions []string
+	b := NewBreaker(BreakerConfig{Threshold: 3, OpenFor: 10 * time.Second, HalfOpenTrials: 1},
+		func(from, to BreakerState) {
+			transitions = append(transitions, from.String()+"->"+to.String())
+		})
+	return b, &transitions
+}
+
+func wantState(t *testing.T, b *Breaker, now time.Time, want BreakerState) {
+	t.Helper()
+	if got := b.State(now); got != want {
+		t.Fatalf("state = %v, want %v", got, want)
+	}
+}
+
+// Closed absorbs sub-threshold failure streaks; a success resets the
+// streak; the Threshold-th consecutive failure opens the breaker.
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, transitions := newTestBreaker(t)
+
+	b.RecordFailure(t0)
+	b.RecordFailure(t0)
+	b.RecordSuccess(t0) // streak resets
+	b.RecordFailure(t0)
+	b.RecordFailure(t0)
+	wantState(t, b, t0, Closed)
+
+	b.RecordFailure(t0) // third consecutive
+	wantState(t, b, t0, Open)
+	// The state words are exported as m3d_fleet_breaker_state label values.
+	if got := b.State(t0).String(); got != "open" {
+		t.Fatalf("state word = %q, want %q", got, "open")
+	}
+	if len(*transitions) != 1 || (*transitions)[0] != "closed->open" {
+		t.Fatalf("transitions = %v", *transitions)
+	}
+	if b.Allow(t0) {
+		t.Fatal("open breaker allowed a dispatch")
+	}
+}
+
+// After OpenFor the breaker admits exactly HalfOpenTrials trial dispatches;
+// a trial success closes it.
+func TestBreakerHalfOpenTrialSuccessCloses(t *testing.T) {
+	b, transitions := newTestBreaker(t)
+	for i := 0; i < 3; i++ {
+		b.RecordFailure(t0)
+	}
+	wantState(t, b, t0, Open)
+
+	// Still open just before the window elapses.
+	if b.Allow(t0.Add(9 * time.Second)) {
+		t.Fatal("breaker allowed a dispatch before OpenFor elapsed")
+	}
+
+	later := t0.Add(10 * time.Second)
+	wantState(t, b, later, HalfOpen)
+	if !b.Allow(later) {
+		t.Fatal("half-open breaker refused its trial")
+	}
+	if b.Allow(later) {
+		t.Fatal("half-open breaker over-admitted: second concurrent trial")
+	}
+	b.RecordSuccess(later)
+	wantState(t, b, later, Closed)
+	want := []string{"closed->open", "open->half_open", "half_open->closed"}
+	if len(*transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", *transitions, want)
+	}
+	for i := range want {
+		if (*transitions)[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", *transitions, want)
+		}
+	}
+}
+
+// A failed trial reopens immediately and restarts the OpenFor clock.
+func TestBreakerHalfOpenTrialFailureReopens(t *testing.T) {
+	b, _ := newTestBreaker(t)
+	for i := 0; i < 3; i++ {
+		b.RecordFailure(t0)
+	}
+	later := t0.Add(10 * time.Second)
+	if !b.Allow(later) {
+		t.Fatal("half-open breaker refused its trial")
+	}
+	b.RecordFailure(later)
+	wantState(t, b, later, Open)
+
+	// The clock restarted: 9s after the reopen is still open, 10s is not.
+	wantState(t, b, later.Add(9*time.Second), Open)
+	wantState(t, b, later.Add(10*time.Second), HalfOpen)
+}
+
+// An abandoned trial (e.g. a cancelled hedge) releases the slot without a
+// verdict: the breaker stays half-open and re-admits a fresh trial.
+func TestBreakerAbandonedTrialReleasesSlot(t *testing.T) {
+	b, _ := newTestBreaker(t)
+	for i := 0; i < 3; i++ {
+		b.RecordFailure(t0)
+	}
+	later := t0.Add(10 * time.Second)
+	if !b.Allow(later) {
+		t.Fatal("half-open breaker refused its trial")
+	}
+	b.RecordAbandoned(later)
+	wantState(t, b, later, HalfOpen)
+	if !b.Allow(later) {
+		t.Fatal("breaker did not re-admit after abandoned trial")
+	}
+}
+
+// Scripted probe outcomes: a successful probe of an Open shard shortcuts
+// to HalfOpen without waiting out OpenFor; a failed probe of a HalfOpen
+// shard reopens it; probes never touch a Closed breaker.
+func TestBreakerProbeDrivenRecovery(t *testing.T) {
+	b, _ := newTestBreaker(t)
+
+	// Probes do not perturb a closed breaker, in either direction.
+	b.ProbeResult(false, t0)
+	b.ProbeResult(true, t0)
+	wantState(t, b, t0, Closed)
+
+	for i := 0; i < 3; i++ {
+		b.RecordFailure(t0)
+	}
+	wantState(t, b, t0, Open)
+
+	// Failed probes of an open breaker change nothing.
+	b.ProbeResult(false, t0.Add(time.Second))
+	wantState(t, b, t0.Add(time.Second), Open)
+
+	// Probe success at t0+2s — long before OpenFor — admits trials now.
+	probeAt := t0.Add(2 * time.Second)
+	b.ProbeResult(true, probeAt)
+	wantState(t, b, probeAt, HalfOpen)
+	if !b.Allow(probeAt) {
+		t.Fatal("probe-recovered breaker refused its trial")
+	}
+	b.RecordAbandoned(probeAt)
+
+	// A failed probe while half-open reopens, restarting the clock.
+	b.ProbeResult(false, probeAt)
+	wantState(t, b, probeAt, Open)
+	wantState(t, b, probeAt.Add(9*time.Second), Open)
+	wantState(t, b, probeAt.Add(10*time.Second), HalfOpen)
+}
+
+// Failures recorded while Open (e.g. from a dispatch admitted before the
+// transition) must not panic or corrupt state.
+func TestBreakerLateRecordsAreSafe(t *testing.T) {
+	b, _ := newTestBreaker(t)
+	for i := 0; i < 3; i++ {
+		b.RecordFailure(t0)
+	}
+	b.RecordFailure(t0)
+	b.RecordSuccess(t0)
+	b.RecordAbandoned(t0)
+	wantState(t, b, t0, Open)
+}

@@ -1,0 +1,218 @@
+// Package chaos is a deterministic, seeded fault injector for the serving
+// fleet: an HTTP middleware that wraps one shard's handler and injects
+// error bursts, added latency, hangs, and crash-restart windows according
+// to a schedule that is a pure function of (seed, shard, request index).
+//
+// Determinism follows the repository's par RNG-stream discipline: every
+// diagnosis request drawn through the injector gets an index from an
+// atomic counter, and the fault decision for index i comes from
+// par.SeedFor(seed ^ shard-mix, i) — never from time, scheduling, or a
+// shared RNG. Two runs with the same seed inject the same decision
+// sequence; the fleet tests use this to prove that a campaign run against
+// a chaotic fleet produces a report bitwise-identical to the no-fault run.
+//
+// The injected failure modes mirror what a real shard outage looks like
+// from the coordinator's side:
+//
+//   - error bursts: consecutive 500s, as from a corrupted model or a
+//     crashing request handler;
+//   - latency: a slow but correct response, to exercise hedging;
+//   - hangs: no response until the client abandons the request (the
+//     connection is then severed), as from a wedged process;
+//   - down windows: every request (probes included) severed at the
+//     transport level for a span of request indices, as from a crashed
+//     process that later restarts.
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/par"
+)
+
+// Window is a half-open span [From, To) of diagnosis-request indices
+// during which the shard is "down" (crashed): every request — health
+// probes included — is severed at the transport level. The window ending
+// models the crashed process restarting.
+type Window struct {
+	From, To int64
+}
+
+// Config is one shard's fault schedule. Rates are probabilities in [0, 1]
+// evaluated per diagnosis request, in the order error, hang, latency —
+// at most one fault fires per request. The zero value injects nothing
+// (the wrapped handler behaves identically to the bare one), which lets a
+// test share one code path between its chaos and no-fault arms.
+type Config struct {
+	// Seed drives every decision stream; Shard forks the stream so shards
+	// sharing a seed still fail independently.
+	Seed  int64
+	Shard int
+
+	// ErrorRate triggers a burst of ErrorBurst consecutive 500s
+	// (ErrorBurst <= 0 means 1).
+	ErrorRate  float64
+	ErrorBurst int
+
+	// HangRate holds the request open for HangFor (or until the client
+	// gives up, whichever is first) and then severs the connection without
+	// a response.
+	HangRate float64
+	HangFor  time.Duration
+
+	// SlowRate delays the response by SlowFor, then serves it normally.
+	SlowRate float64
+	SlowFor  time.Duration
+
+	// Down lists the crash-restart windows in request-index space.
+	Down []Window
+}
+
+// Stats counts what an injector actually did, for test assertions.
+type Stats struct {
+	Requests int64 // diagnosis requests seen
+	Errors   int64 // injected 500s
+	Hangs    int64 // injected hangs
+	Slows    int64 // injected latency
+	Severed  int64 // connections severed by down windows (all routes)
+}
+
+// Injector wraps a shard handler with the configured fault schedule.
+type Injector struct {
+	cfg      Config
+	streamID int64
+	seq      atomic.Int64
+
+	requests atomic.Int64
+	errors   atomic.Int64
+	hangs    atomic.Int64
+	slows    atomic.Int64
+	severed  atomic.Int64
+}
+
+// New builds an injector for one shard's schedule.
+func New(cfg Config) *Injector {
+	if cfg.ErrorBurst <= 0 {
+		cfg.ErrorBurst = 1
+	}
+	return &Injector{
+		cfg: cfg,
+		// Fork the shard's stream from the seed exactly the way dataset
+		// generation forks per-worker streams.
+		streamID: cfg.Seed ^ int64(par.SplitMix64(uint64(cfg.Shard)+0x5bd1)),
+	}
+}
+
+// Stats snapshots the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Requests: in.requests.Load(),
+		Errors:   in.errors.Load(),
+		Hangs:    in.hangs.Load(),
+		Slows:    in.slows.Load(),
+		Severed:  in.severed.Load(),
+	}
+}
+
+// u01 returns the decision draw for request index i: uniform in [0, 1),
+// a pure function of (seed, shard, i).
+func (in *Injector) u01(i int64) float64 {
+	bits := par.SplitMix64(uint64(par.SeedFor(in.streamID, uint64(i))))
+	return float64(bits>>11) / (1 << 53)
+}
+
+// ErrorAt reports whether the schedule injects a 500 at diagnosis-request
+// index i. It is a pure function of (Seed, Shard, i), so tests and tools
+// can print a shard's fault plan without mounting the handler.
+func (in *Injector) ErrorAt(i int64) bool { return in.errorAt(i) }
+
+// errorAt reports whether request index i sits inside an error burst:
+// either i itself triggers one, or a trigger within the previous
+// ErrorBurst-1 indices is still burning.
+func (in *Injector) errorAt(i int64) bool {
+	for j := i; j > i-int64(in.cfg.ErrorBurst) && j >= 0; j-- {
+		if in.u01(j) < in.cfg.ErrorRate {
+			return true
+		}
+	}
+	return false
+}
+
+// downAt reports whether the shard is inside a crash window. The position
+// is the current diagnosis-request counter, so probes arriving between
+// diagnosis requests share the shard's current up/down phase — exactly
+// like probing a crashed process.
+func (in *Injector) downAt(i int64) bool {
+	for _, w := range in.cfg.Down {
+		if i >= w.From && i < w.To {
+			return true
+		}
+	}
+	return false
+}
+
+// sever aborts the response without writing anything: the client observes
+// a transport error, indistinguishable from a crashed process.
+func sever() {
+	panic(http.ErrAbortHandler)
+}
+
+// sleepCtx sleeps for d or until the request is abandoned by the client.
+func sleepCtx(r *http.Request, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-r.Context().Done():
+	}
+}
+
+// Wrap returns next behind the fault schedule. Fault decisions are drawn
+// only for diagnosis requests; health probes see the down windows (a
+// crashed process fails its probes too) but are otherwise untouched, so
+// the prober's view converges on the truth between faults.
+func (in *Injector) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		diagnosis := r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/diagnose")
+		if !diagnosis {
+			if in.downAt(in.seq.Load()) {
+				in.severed.Add(1)
+				sever()
+			}
+			next.ServeHTTP(w, r)
+			return
+		}
+
+		i := in.seq.Add(1) - 1
+		in.requests.Add(1)
+		if in.downAt(i) {
+			in.severed.Add(1)
+			sever()
+		}
+		switch u := in.u01(i); {
+		case in.errorAt(i):
+			in.errors.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			w.Write([]byte(`{"error":"chaos: injected failure"}`))
+			return
+		case u < in.cfg.ErrorRate+in.cfg.HangRate:
+			in.hangs.Add(1)
+			// Drain the body first: the net/http server only watches for
+			// client disconnect once the request body is consumed, and the
+			// hang must end when the client gives up (or srv.Close in tests
+			// would wait on this handler forever).
+			io.Copy(io.Discard, r.Body)
+			sleepCtx(r, in.cfg.HangFor)
+			sever()
+		case u < in.cfg.ErrorRate+in.cfg.HangRate+in.cfg.SlowRate:
+			in.slows.Add(1)
+			sleepCtx(r, in.cfg.SlowFor)
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,200 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+}
+
+// drive sends n diagnosis requests through a wrapped handler and returns
+// the per-request observation sequence: "ok", "500", or "severed".
+func drive(t *testing.T, in *Injector, n int) []string {
+	t.Helper()
+	srv := httptest.NewServer(in.Wrap(okHandler()))
+	defer srv.Close()
+	client := srv.Client()
+	client.Timeout = 5 * time.Second
+
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		resp, err := client.Post(srv.URL+"/diagnose", "application/json", strings.NewReader("{}"))
+		if err != nil {
+			out = append(out, "severed")
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			out = append(out, "ok")
+		case http.StatusInternalServerError:
+			out = append(out, "500")
+		default:
+			t.Fatalf("request %d: unexpected status %d", i, resp.StatusCode)
+		}
+	}
+	return out
+}
+
+// The same (seed, shard) must produce the same fault sequence on every
+// run — the property the campaign-invariance test is built on.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed:      42,
+		Shard:     1,
+		ErrorRate: 0.25,
+		Down:      []Window{{From: 10, To: 14}},
+	}
+	a := drive(t, New(cfg), 40)
+	b := drive(t, New(cfg), 40)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs across identical injectors: %q vs %q\na=%v\nb=%v", i, a[i], b[i], a, b)
+		}
+	}
+	// The schedule must actually contain faults, or the test is vacuous.
+	var errs, severed int
+	for _, o := range a {
+		switch o {
+		case "500":
+			errs++
+		case "severed":
+			severed++
+		}
+	}
+	if errs == 0 {
+		t.Fatalf("ErrorRate 0.25 over 40 requests injected no 500s: %v", a)
+	}
+	if severed != 4 {
+		t.Fatalf("down window [10,14) severed %d requests, want 4: %v", severed, a)
+	}
+}
+
+// Different shards forked from one seed must not share a schedule.
+func TestShardsFailIndependently(t *testing.T) {
+	mk := func(shard int) []string {
+		return drive(t, New(Config{Seed: 7, Shard: shard, ErrorRate: 0.3}), 60)
+	}
+	a, b := mk(0), mk(1)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("shards 0 and 1 produced identical schedules from a shared seed")
+	}
+}
+
+// The zero config must be a perfect identity: no faults, no latency.
+func TestZeroConfigIsIdentity(t *testing.T) {
+	in := New(Config{})
+	for i, o := range drive(t, in, 30) {
+		if o != "ok" {
+			t.Fatalf("zero-config injector faulted request %d: %q", i, o)
+		}
+	}
+	s := in.Stats()
+	if s.Errors+s.Hangs+s.Slows+s.Severed != 0 {
+		t.Fatalf("zero-config injector reported injected faults: %+v", s)
+	}
+	if s.Requests != 30 {
+		t.Fatalf("Requests = %d, want 30", s.Requests)
+	}
+}
+
+// ErrorBurst stretches each trigger into consecutive 500s.
+func TestErrorBurst(t *testing.T) {
+	cfg := Config{Seed: 11, Shard: 0, ErrorRate: 0.08, ErrorBurst: 3}
+	obs := drive(t, New(cfg), 80)
+	// Every 500 must be part of a run; verify via the pure schedule: if
+	// index i triggered, i+1 and i+2 must also report 500.
+	in := New(cfg)
+	for i := 0; i < 78; i++ {
+		if in.u01(int64(i)) < cfg.ErrorRate {
+			for j := i; j < i+3; j++ {
+				if obs[j] != "500" {
+					t.Fatalf("trigger at %d but request %d observed %q (burst broken): %v", i, j, obs[j], obs)
+				}
+			}
+		}
+	}
+}
+
+// Probes (GET /readyz) are severed inside a down window and clean outside
+// it — the prober sees the crash and the restart.
+func TestProbesSeeDownWindows(t *testing.T) {
+	in := New(Config{Seed: 3, Down: []Window{{From: 2, To: 5}}})
+	srv := httptest.NewServer(in.Wrap(okHandler()))
+	defer srv.Close()
+
+	probe := func() error {
+		resp, err := srv.Client().Get(srv.URL + "/readyz")
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil
+	}
+	diagnose := func() {
+		resp, err := srv.Client().Post(srv.URL+"/diagnose", "application/json", strings.NewReader("{}"))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+
+	if err := probe(); err != nil {
+		t.Fatalf("probe before down window failed: %v", err)
+	}
+	diagnose() // index 0
+	diagnose() // index 1; counter now 2 -> inside [2,5)
+	if err := probe(); err == nil {
+		t.Fatal("probe inside down window succeeded")
+	}
+	diagnose() // 2 severed
+	diagnose() // 3 severed
+	diagnose() // 4 severed; counter now 5 -> window over
+	if err := probe(); err != nil {
+		t.Fatalf("probe after down window failed (shard should have 'restarted'): %v", err)
+	}
+}
+
+// A hang holds the request until the client abandons it, then severs; the
+// handler goroutine must exit promptly (or srv.Close would deadlock).
+func TestHangRespectsClientCancel(t *testing.T) {
+	in := New(Config{Seed: 1, HangRate: 1, HangFor: time.Hour})
+	srv := httptest.NewServer(in.Wrap(okHandler()))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/diagnose", strings.NewReader("{}"))
+	start := time.Now()
+	_, err := srv.Client().Do(req)
+	if err == nil {
+		t.Fatal("hang-injected request succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hang did not release on client cancel (%v)", elapsed)
+	}
+	if in.Stats().Hangs != 1 {
+		t.Fatalf("Hangs = %d, want 1", in.Stats().Hangs)
+	}
+}

@@ -1,0 +1,295 @@
+// Package fleet_test holds the fleet acceptance test: a volume campaign
+// dispatched through a coordinator over three real m3dserve shards, with
+// the chaos injector crashing, hanging, and erroring shards mid-campaign —
+// the report must come out bitwise-identical to the no-fault run with zero
+// quarantined logs. (External test package: it imports internal/volume,
+// which imports internal/fleet.)
+package fleet_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/failurelog"
+	"repro/internal/fleet"
+	"repro/internal/fleet/chaos"
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/volume"
+)
+
+// The fixture trains one small framework and a campaign's worth of logs,
+// shared across runs (training dominates wall time).
+type campaignFixture struct {
+	bundle  *dataset.Bundle
+	fwBytes []byte // serialized framework: every shard loads a clone
+	samples []dataset.Sample
+}
+
+var (
+	cfixOnce sync.Once
+	cfix     *campaignFixture
+	cfixErr  error
+)
+
+const campaignLogs = 18
+
+func getCampaignFixture(t *testing.T) *campaignFixture {
+	t.Helper()
+	cfixOnce.Do(func() {
+		p, _ := gen.ProfileByName("aes")
+		p = p.Scaled(0.2)
+		b, err := dataset.Build(p, dataset.Syn1, dataset.BuildOptions{Seed: 1})
+		if err != nil {
+			cfixErr = err
+			return
+		}
+		train := b.Generate(dataset.SampleOptions{Count: 40, Seed: 2, MIVFraction: 0.25})
+		fw, err := core.Train(train, core.TrainOptions{Seed: 3, Epochs: 6, SkipClassifier: true})
+		if err != nil {
+			cfixErr = err
+			return
+		}
+		var buf bytes.Buffer
+		if err := fw.Save(&buf); err != nil {
+			cfixErr = err
+			return
+		}
+		cfix = &campaignFixture{
+			bundle:  b,
+			fwBytes: buf.Bytes(),
+			samples: b.Generate(dataset.SampleOptions{Count: campaignLogs, Seed: 5, MIVFraction: 0.2}),
+		}
+	})
+	if cfixErr != nil {
+		t.Fatal(cfixErr)
+	}
+	return cfix
+}
+
+// swapHandler lets a test install the chaos injector after the shard URLs
+// are known (the fault placement depends on the ring order, which depends
+// on the URLs).
+type swapHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	h.ServeHTTP(w, r)
+}
+
+func (s *swapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+// testShard is one real m3dserve shard: its own framework clone (loaded
+// from the shared serialized bytes, so all shards serve the identical
+// model) and forked diagnosis engine behind a swappable handler.
+type testShard struct {
+	url  string
+	bare http.Handler
+	swap *swapHandler
+}
+
+func newTestShards(t *testing.T, n int) []*testShard {
+	t.Helper()
+	fx := getCampaignFixture(t)
+	shards := make([]*testShard, n)
+	for i := range shards {
+		clone, err := core.Load(bytes.NewReader(fx.fwBytes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw := fx.bundle
+		if i > 0 {
+			cp := *fx.bundle
+			cp.Diag = fx.bundle.Diag.Fork()
+			bw = &cp
+		}
+		s := serve.New(bw, clone, serve.Config{})
+		s.SetArtifactInfo(serve.ArtifactInfo{Model: "framework", Version: 1, Checksum: fmt.Sprintf("%016x", 0xfee1)})
+		sw := &swapHandler{h: s.Handler()}
+		srv := httptest.NewServer(sw)
+		t.Cleanup(srv.Close)
+		shards[i] = &testShard{url: srv.URL, bare: s.Handler(), swap: sw}
+	}
+	return shards
+}
+
+func writeCampaignLogs(t *testing.T, dir string) []string {
+	t.Helper()
+	fx := getCampaignFixture(t)
+	paths := make([]string, len(fx.samples))
+	for i, smp := range fx.samples {
+		p := filepath.Join(dir, fmt.Sprintf("die_%03d.log", i))
+		if err := failurelog.WriteFile(p, smp.Log); err != nil {
+			t.Fatal(err)
+		}
+		paths[i] = p
+	}
+	return paths
+}
+
+// runCampaign executes one full volume campaign through a fresh
+// coordinator over the given shards and returns the marshalled report,
+// the per-log results, and the fleet metrics registry.
+func runCampaign(t *testing.T, shards []*testShard, inputs []string) ([]byte, []*volume.Result, *obs.Registry) {
+	t.Helper()
+	fx := getCampaignFixture(t)
+	urls := make([]string, len(shards))
+	for i, s := range shards {
+		urls[i] = s.url
+	}
+	reg := obs.NewRegistry()
+	co, err := fleet.New(fleet.Config{
+		Shards:        urls,
+		TryTimeout:    2 * time.Second,
+		MaxElapsed:    60 * time.Second,
+		RoundBackoff:  20 * time.Millisecond,
+		Hedge:         150 * time.Millisecond,
+		Breaker:       fleet.BreakerConfig{Threshold: 2, OpenFor: 300 * time.Millisecond},
+		ProbeInterval: 100 * time.Millisecond,
+		Metrics:       reg,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	co.StartProber(ctx)
+
+	dir := t.TempDir()
+	rep, stats, err := volume.Run(ctx, volume.Config{
+		Inputs:     inputs,
+		Dir:        dir,
+		Diagnosers: volume.NewFleetDiagnosers(co, 0, 4, false),
+		Netlist:    fx.bundle.Netlist,
+		Design:     fx.bundle.Name,
+		TopK:       8,
+		Alpha:      0.01,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("campaign failed: %v", err)
+	}
+	if stats.Processed+stats.Resumed != len(inputs) {
+		t.Fatalf("campaign incomplete: processed %d + resumed %d != %d", stats.Processed, stats.Resumed, len(inputs))
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, volume.Results(dir, inputs), reg
+}
+
+// TestChaosCampaignInvariance is the PR's acceptance criterion: a 3-shard
+// campaign with seeded crashes, hangs, and 500-bursts must produce a
+// report bitwise-identical to the no-fault run, with zero quarantined
+// logs and the failure paths visible in the m3d_fleet_* metrics.
+func TestChaosCampaignInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model and runs two campaigns")
+	}
+	shards := newTestShards(t, 3)
+	inputs := writeCampaignLogs(t, t.TempDir())
+
+	// Clean run: no injected faults.
+	cleanReport, cleanResults, _ := runCampaign(t, shards, inputs)
+	for _, r := range cleanResults {
+		if r == nil || r.Status != volume.StatusOK {
+			t.Fatalf("clean run produced a non-ok result: %+v", r)
+		}
+	}
+
+	// Fault placement is by ring position: all campaign logs share one
+	// design, so the ring owner takes all traffic — it gets the error
+	// bursts, a crash-restart window, and hangs; the first failover target
+	// gets latency and a thinner error rate.
+	urls := make([]string, len(shards))
+	byURL := make(map[string]*testShard, len(shards))
+	for i, s := range shards {
+		urls[i] = s.url
+		byURL[s.url] = s
+	}
+	probe, err := fleet.New(fleet.Config{Shards: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := probe.Route(getCampaignFixture(t).bundle.Name)
+	probe.Close()
+
+	primary := byURL[order[0]]
+	secondary := byURL[order[1]]
+	primaryInj := chaos.New(chaos.Config{
+		Seed: 42, Shard: 0,
+		ErrorRate: 0.15, ErrorBurst: 2,
+		HangRate: 0.05, HangFor: 5 * time.Second,
+		SlowRate: 0.10, SlowFor: 30 * time.Millisecond,
+		Down: []chaos.Window{{From: 5, To: 9}},
+	})
+	secondaryInj := chaos.New(chaos.Config{
+		Seed: 42, Shard: 1,
+		ErrorRate: 0.05,
+		SlowRate:  0.20, SlowFor: 50 * time.Millisecond,
+	})
+	primary.swap.set(primaryInj.Wrap(primary.bare))
+	secondary.swap.set(secondaryInj.Wrap(secondary.bare))
+	defer primary.swap.set(primary.bare)
+	defer secondary.swap.set(secondary.bare)
+
+	chaosReport, chaosResults, reg := runCampaign(t, shards, inputs)
+
+	// Zero quarantined logs: every failure mode was ridden out.
+	for _, r := range chaosResults {
+		if r == nil {
+			t.Fatal("chaos run left an unsealed result")
+		}
+		if r.Status != volume.StatusOK {
+			t.Fatalf("chaos run quarantined %s (%s): %s", r.Log, r.Reason, r.Err)
+		}
+	}
+
+	// Bitwise-identical report.
+	if !bytes.Equal(cleanReport, chaosReport) {
+		t.Fatalf("chaos report diverged from clean report:\nclean: %s\nchaos: %s", cleanReport, chaosReport)
+	}
+
+	// The schedule really injected faults, and the coordinator really
+	// failed over — otherwise the invariance above proved nothing.
+	pstats := primaryInj.Stats()
+	if pstats.Errors == 0 {
+		t.Fatalf("primary injected no 500s: %+v", pstats)
+	}
+	if pstats.Severed == 0 {
+		t.Fatalf("primary's down window severed nothing: %+v", pstats)
+	}
+	var failovers int64
+	for _, u := range urls {
+		failovers += reg.Counter("m3d_fleet_failovers_total", "shard", u).Value()
+	}
+	if failovers == 0 {
+		t.Fatal("no failovers recorded despite injected faults")
+	}
+	if ok := reg.Counter("m3d_fleet_requests_total", "outcome", "ok").Value(); ok != campaignLogs {
+		t.Fatalf("requests_total{outcome=ok} = %d, want %d", ok, campaignLogs)
+	}
+}

@@ -1,0 +1,612 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/failurelog"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/serve"
+)
+
+// Config tunes one coordinator. The zero value of every field except
+// Shards gets production defaults from withDefaults.
+type Config struct {
+	// Shards are the m3dserve base URLs the fleet routes across
+	// (e.g. "http://10.0.0.1:8080"). Order does not matter — routing is a
+	// pure function of the name set.
+	Shards []string
+	// Replicas is the virtual-node count per shard on the hash ring
+	// (default DefaultReplicas).
+	Replicas int
+	// TryTimeout bounds one dispatch attempt against one shard; a hung
+	// shard costs at most this long before failover (default 30s).
+	TryTimeout time.Duration
+	// MaxElapsed caps the total time one Diagnose call may spend across
+	// every attempt, failover, and retry round (default 2m). Within the
+	// budget the coordinator keeps re-walking the ring with backoff, so a
+	// campaign rides out a crash-and-restart instead of quarantining logs;
+	// past it the last error is returned.
+	MaxElapsed time.Duration
+	// RoundBackoff is the sleep before re-walking the ring after a round in
+	// which every eligible shard failed; it doubles per round, capped at
+	// 2s (default 100ms).
+	RoundBackoff time.Duration
+	// Hedge launches a second request on the next eligible shard when the
+	// primary has not answered within this delay, taking whichever finishes
+	// first — the classic tail-latency cut. 0 disables hedging.
+	Hedge time.Duration
+	// Breaker tunes the per-shard circuit breakers.
+	Breaker BreakerConfig
+	// ProbeInterval is the health-probe cadence of StartProber
+	// (default 1s); ProbeTimeout bounds one probe (default 2s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// Seed makes per-shard client retry jitter reproducible (default 1).
+	Seed int64
+	// Metrics receives m3d_fleet_* series; nil disables at zero cost.
+	Metrics *obs.Registry
+	// Logf receives operational lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
+	}
+	if c.TryTimeout <= 0 {
+		c.TryTimeout = 30 * time.Second
+	}
+	if c.MaxElapsed <= 0 {
+		c.MaxElapsed = 2 * time.Minute
+	}
+	if c.RoundBackoff <= 0 {
+		c.RoundBackoff = 100 * time.Millisecond
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// ShardHealth is the prober's last view of one shard.
+type ShardHealth struct {
+	// Probed is false until the first probe completes.
+	Probed bool `json:"probed"`
+	// Ready mirrors the last /readyz verdict.
+	Ready bool `json:"ready"`
+	// LastErr holds the last probe failure ("" when ready).
+	LastErr string `json:"last_err,omitempty"`
+	// LastProbe stamps the most recent probe.
+	LastProbe time.Time `json:"last_probe"`
+	// Design, Build, and ArtifactInfo echo the shard's /healthz identity,
+	// so operators can spot a shard running the wrong model at a glance.
+	Design string `json:"design,omitempty"`
+	Build  string `json:"build,omitempty"`
+	serve.ArtifactInfo
+}
+
+// ShardStatus is one shard's row in Status: health view plus breaker
+// position.
+type ShardStatus struct {
+	Name    string `json:"name"`
+	Breaker string `json:"breaker"`
+	ShardHealth
+}
+
+// shard is the coordinator's per-backend state.
+type shard struct {
+	name    string
+	client  *serve.Client
+	breaker *Breaker
+
+	mu     sync.Mutex
+	health ShardHealth
+}
+
+func (s *shard) setHealth(h ShardHealth) {
+	s.mu.Lock()
+	s.health = h
+	s.mu.Unlock()
+}
+
+func (s *shard) getHealth() ShardHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.health
+}
+
+// Coordinator routes diagnosis requests across a fleet of m3dserve shards:
+// consistent-hash placement by design name, per-shard circuit breakers,
+// bounded retry-with-failover along the ring, optional hedged requests,
+// and a background health prober. Safe for concurrent use by any number of
+// goroutines.
+type Coordinator struct {
+	cfg    Config
+	shards []*shard
+	ring   *Ring
+
+	stopProber    chan struct{}
+	proberDone    chan struct{}
+	proberStarted bool
+	stopOnce      sync.Once
+}
+
+// New builds a coordinator over the given shard fleet. The shard list must
+// be non-empty with no duplicates; it is sorted internally so two
+// coordinators handed the same set in any order route identically.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	names := make([]string, 0, len(cfg.Shards))
+	seen := make(map[string]bool, len(cfg.Shards))
+	for _, s := range cfg.Shards {
+		s = strings.TrimRight(strings.TrimSpace(s), "/")
+		if s == "" {
+			continue
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("fleet: duplicate shard %q", s)
+		}
+		seen[s] = true
+		names = append(names, s)
+	}
+	if len(names) == 0 {
+		return nil, errors.New("fleet: shard list is empty")
+	}
+	sort.Strings(names)
+
+	c := &Coordinator{
+		cfg:        cfg,
+		ring:       NewRing(names, cfg.Replicas),
+		stopProber: make(chan struct{}),
+		proberDone: make(chan struct{}),
+	}
+	describeMetrics(cfg.Metrics)
+	for i, name := range names {
+		name := name
+		sh := &shard{
+			name: name,
+			client: &serve.Client{
+				Base: name,
+				// The coordinator owns failover; the per-shard client only
+				// smooths over a transient shed before the try deadline.
+				MaxAttempts: 2,
+				MaxElapsed:  cfg.TryTimeout,
+				Seed:        par.SeedFor(cfg.Seed, uint64(i)+1),
+			},
+		}
+		sh.breaker = NewBreaker(cfg.Breaker, func(from, to BreakerState) {
+			cfg.Metrics.Counter("m3d_fleet_breaker_transitions_total", "shard", name, "to", to.String()).Inc()
+			cfg.Metrics.Gauge("m3d_fleet_breaker_state", "shard", name).Set(float64(to))
+			cfg.Logf("fleet: breaker %s: %s -> %s", name, from, to)
+		})
+		c.shards = append(c.shards, sh)
+	}
+	return c, nil
+}
+
+func describeMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Describe("m3d_fleet_requests_total", "Fleet dispatches, by outcome (ok/permanent/exhausted/cancelled).")
+	r.Describe("m3d_fleet_attempts_total", "Per-shard dispatch attempts, by outcome (ok/error/abandoned).")
+	r.Describe("m3d_fleet_failovers_total", "Attempts that failed and moved on to another shard, by failing shard.")
+	r.Describe("m3d_fleet_hedges_total", "Hedged requests, by event (launched/won).")
+	r.Describe("m3d_fleet_skipped_total", "Shards skipped during routing, by reason (breaker_open/not_ready).")
+	r.Describe("m3d_fleet_breaker_state", "Breaker position per shard (0 closed, 1 half-open, 2 open).")
+	r.Describe("m3d_fleet_breaker_transitions_total", "Breaker transitions per shard, by destination state.")
+	r.Describe("m3d_fleet_request_seconds", "End-to-end fleet dispatch wall time (all attempts included).")
+	r.Describe("m3d_fleet_attempt_seconds", "Single-shard attempt wall time, by shard.")
+	r.Describe("m3d_fleet_probes_total", "Health probes, by shard and result (ok/fail).")
+	r.Describe("m3d_fleet_ready_shards", "Shards whose last probe found them ready.")
+}
+
+// Shards returns the fleet's (sorted) shard names.
+func (c *Coordinator) Shards() []string {
+	out := make([]string, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = s.name
+	}
+	return out
+}
+
+// Route returns the failover order the coordinator would walk for a key —
+// owner first. Exposed for operators (GET /fleet/route) and tests.
+func (c *Coordinator) Route(key string) []string {
+	idx := c.ring.Order(key)
+	out := make([]string, len(idx))
+	for i, s := range idx {
+		out[i] = c.shards[s].name
+	}
+	return out
+}
+
+// Status reports every shard's health view and breaker position.
+func (c *Coordinator) Status() []ShardStatus {
+	now := time.Now()
+	out := make([]ShardStatus, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = ShardStatus{
+			Name:        s.name,
+			Breaker:     s.breaker.State(now).String(),
+			ShardHealth: s.getHealth(),
+		}
+	}
+	return out
+}
+
+// ReadyCount returns how many shards the last probe sweep found ready.
+func (c *Coordinator) ReadyCount() int {
+	n := 0
+	for _, s := range c.shards {
+		if s.getHealth().Ready {
+			n++
+		}
+	}
+	return n
+}
+
+// ProbeAll sweeps every shard once, concurrently: /readyz decides
+// readiness, /healthz fills in the identity, and the outcome feeds the
+// breaker (probe-driven recovery). Returns the ready count.
+func (c *Coordinator) ProbeAll(ctx context.Context) int {
+	var wg sync.WaitGroup
+	wg.Add(len(c.shards))
+	for _, s := range c.shards {
+		go func(s *shard) {
+			defer wg.Done()
+			c.probeShard(ctx, s)
+		}(s)
+	}
+	wg.Wait()
+	ready := c.ReadyCount()
+	c.cfg.Metrics.Gauge("m3d_fleet_ready_shards").Set(float64(ready))
+	return ready
+}
+
+func (c *Coordinator) probeShard(ctx context.Context, s *shard) {
+	pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+	defer cancel()
+	now := time.Now()
+	h := ShardHealth{Probed: true, LastProbe: now}
+	err := s.client.Ready(pctx)
+	if err == nil {
+		h.Ready = true
+		// Identity is best-effort decoration; a shard that answers /readyz
+		// but not /healthz is still routable.
+		if hz, herr := s.client.Healthz(pctx); herr == nil {
+			h.Design, h.Build, h.ArtifactInfo = hz.Design, hz.Build, hz.ArtifactInfo
+		}
+	} else {
+		h.LastErr = err.Error()
+	}
+	prev := s.getHealth()
+	s.setHealth(h)
+	s.breaker.ProbeResult(err == nil, time.Now())
+	result := "ok"
+	if err != nil {
+		result = "fail"
+	}
+	c.cfg.Metrics.Counter("m3d_fleet_probes_total", "shard", s.name, "result", result).Inc()
+	if prev.Probed && prev.Ready != h.Ready {
+		c.cfg.Logf("fleet: shard %s readiness %t -> %t (%s)", s.name, prev.Ready, h.Ready, h.LastErr)
+	}
+}
+
+// StartProber launches the background probe loop at ProbeInterval (after
+// one immediate sweep). Stop it with Close. Call at most once.
+func (c *Coordinator) StartProber(ctx context.Context) {
+	c.proberStarted = true
+	go func() {
+		defer close(c.proberDone)
+		c.ProbeAll(ctx)
+		t := time.NewTicker(c.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.ProbeAll(ctx)
+			case <-c.stopProber:
+				return
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the prober (if running), waits for its in-flight sweep to
+// finish — so no probe callback (Logf, metrics) fires after Close returns
+// — and releases every shard client's idle connections.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stopProber) })
+	if c.proberStarted {
+		<-c.proberDone
+	}
+	for _, s := range c.shards {
+		s.client.Close()
+	}
+}
+
+// attemptOutcome classifies one shard attempt.
+type attemptOutcome int
+
+const (
+	outcomeOK attemptOutcome = iota
+	outcomeRetryable
+	outcomePermanent
+	outcomeAbandoned
+)
+
+// classify sorts an attempt error: permanent errors are the request's own
+// fault (4xx — the same log fails everywhere), retryable errors are the
+// shard's (5xx, sheds, hangs, transport failures) and justify failover,
+// and abandoned means the surrounding call was cancelled so the attempt
+// proves nothing about the shard.
+func classify(err error, parentErr error) attemptOutcome {
+	if parentErr != nil {
+		return outcomeAbandoned
+	}
+	var se *serve.StatusError
+	if errors.As(err, &se) {
+		switch {
+		case se.Status == http.StatusTooManyRequests || se.Status >= 500:
+			return outcomeRetryable
+		default:
+			return outcomePermanent
+		}
+	}
+	// Transport errors and per-try deadline expiry (hung shard).
+	return outcomeRetryable
+}
+
+// attempt runs one dispatch against one shard under TryTimeout and feeds
+// the breaker. The caller must already hold an Allow reservation.
+func (c *Coordinator) attempt(ctx context.Context, s *shard, log *failurelog.Log, opt serve.DiagnoseOptions) (*serve.DiagnoseResponse, attemptOutcome, error) {
+	tctx, cancel := context.WithTimeout(ctx, c.cfg.TryTimeout)
+	defer cancel()
+	start := time.Now()
+	resp, err := s.client.Diagnose(tctx, log, opt)
+	now := time.Now()
+	c.cfg.Metrics.Histogram("m3d_fleet_attempt_seconds", obs.DurationBuckets, "shard", s.name).Observe(now.Sub(start).Seconds())
+	if err == nil {
+		s.breaker.RecordSuccess(now)
+		c.cfg.Metrics.Counter("m3d_fleet_attempts_total", "shard", s.name, "outcome", "ok").Inc()
+		return resp, outcomeOK, nil
+	}
+	switch out := classify(err, ctx.Err()); out {
+	case outcomeAbandoned:
+		s.breaker.RecordAbandoned(now)
+		c.cfg.Metrics.Counter("m3d_fleet_attempts_total", "shard", s.name, "outcome", "abandoned").Inc()
+		return nil, out, err
+	case outcomePermanent:
+		// The shard answered; the request itself is bad. That is evidence
+		// of shard health, not failure.
+		s.breaker.RecordSuccess(now)
+		c.cfg.Metrics.Counter("m3d_fleet_attempts_total", "shard", s.name, "outcome", "ok").Inc()
+		return nil, out, err
+	default:
+		s.breaker.RecordFailure(now)
+		c.cfg.Metrics.Counter("m3d_fleet_attempts_total", "shard", s.name, "outcome", "error").Inc()
+		return nil, out, err
+	}
+}
+
+// raceResult carries one leg's outcome out of a hedged race.
+type raceResult struct {
+	shard   *shard
+	resp    *serve.DiagnoseResponse
+	outcome attemptOutcome
+	err     error
+}
+
+// race runs the primary attempt and, when it is slow and a hedge shard is
+// available, a hedged attempt — returning the first success (or the
+// decisive/last failure). tried records every shard actually dispatched to.
+func (c *Coordinator) race(ctx context.Context, primary, hedge *shard, log *failurelog.Log, opt serve.DiagnoseOptions, tried map[*shard]bool) raceResult {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan raceResult, 2)
+	launch := func(s *shard) {
+		go func() {
+			resp, out, err := c.attempt(actx, s, log, opt)
+			results <- raceResult{shard: s, resp: resp, outcome: out, err: err}
+		}()
+	}
+	tried[primary] = true
+	launch(primary)
+	outstanding := 1
+
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if hedge != nil && c.cfg.Hedge > 0 {
+		hedgeTimer = time.NewTimer(c.cfg.Hedge)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+
+	var last raceResult
+	for outstanding > 0 {
+		select {
+		case r := <-results:
+			outstanding--
+			if r.outcome == outcomeOK || r.outcome == outcomePermanent {
+				if r.shard != primary {
+					c.cfg.Metrics.Counter("m3d_fleet_hedges_total", "event", "won").Inc()
+				}
+				return r // cancel() aborts the losing leg; it records abandoned
+			}
+			if r.outcome != outcomeAbandoned || last.err == nil {
+				last = r
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if hedge.breaker.Allow(time.Now()) {
+				c.cfg.Metrics.Counter("m3d_fleet_hedges_total", "event", "launched").Inc()
+				tried[hedge] = true
+				launch(hedge)
+				outstanding++
+			}
+		}
+	}
+	return last
+}
+
+// ErrExhausted wraps the last attempt error when a dispatch ran out of
+// shards, rounds, and retry budget.
+var ErrExhausted = errors.New("fleet: no shard could serve the request")
+
+// Diagnose dispatches one failure log through the fleet. The routing key
+// is the log's design name; the coordinator walks the ring in failover
+// order, skipping open breakers and (when an alternative exists) unready
+// shards, hedging slow primaries, and retrying whole rounds with backoff
+// inside the MaxElapsed budget — so a request only fails when it is
+// genuinely undiagnosable (permanent error) or every shard stayed down for
+// the whole budget.
+func (c *Coordinator) Diagnose(ctx context.Context, log *failurelog.Log, opt serve.DiagnoseOptions) (*serve.DiagnoseResponse, error) {
+	start := time.Now()
+	resp, err := c.dispatch(ctx, log, opt, start)
+	c.cfg.Metrics.Histogram("m3d_fleet_request_seconds", obs.DurationBuckets).Observe(time.Since(start).Seconds())
+	outcome := "ok"
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrExhausted):
+		outcome = "exhausted"
+	case ctx.Err() != nil:
+		outcome = "cancelled"
+	default:
+		outcome = "permanent"
+	}
+	c.cfg.Metrics.Counter("m3d_fleet_requests_total", "outcome", outcome).Inc()
+	return resp, err
+}
+
+func (c *Coordinator) dispatch(ctx context.Context, log *failurelog.Log, opt serve.DiagnoseOptions, start time.Time) (*serve.DiagnoseResponse, error) {
+	order := c.ring.Order(log.Design)
+	backoff := c.cfg.RoundBackoff
+	var lastErr error
+
+	for round := 0; ; round++ {
+		// One round: walk the failover order, racing a hedge alongside the
+		// primary when configured. eligible() consumes breaker
+		// reservations, so every pick is paired with a recorded outcome.
+		tried := make(map[*shard]bool, len(order))
+		for {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			primary := c.nextEligible(order, tried)
+			if primary == nil {
+				break
+			}
+			hedge := c.peekHedge(order, tried, primary)
+			r := c.race(ctx, primary, hedge, log, opt, tried)
+			switch r.outcome {
+			case outcomeOK:
+				return r.resp, nil
+			case outcomePermanent:
+				return nil, r.err
+			case outcomeAbandoned:
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			lastErr = r.err
+			c.cfg.Metrics.Counter("m3d_fleet_failovers_total", "shard", r.shard.name).Inc()
+			c.cfg.Logf("fleet: attempt on %s failed (%v), failing over", r.shard.name, r.err)
+		}
+
+		// Round exhausted without a success: retry inside the budget.
+		if time.Since(start)+backoff > c.cfg.MaxElapsed {
+			if lastErr == nil {
+				lastErr = errors.New("every shard skipped (breakers open or unready)")
+			}
+			return nil, fmt.Errorf("%w after %d round(s) over %v: %v",
+				ErrExhausted, round+1, time.Since(start).Round(time.Millisecond), lastErr)
+		}
+		timer := time.NewTimer(backoff)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+// nextEligible picks the next untried shard in ring order whose breaker
+// admits a dispatch, preferring probed-ready shards: unready ones are only
+// eligible when no ready shard remains (a stale or absent health view must
+// degrade to trying, never to refusing). Consumes a breaker reservation
+// for the returned shard.
+func (c *Coordinator) nextEligible(order []int, tried map[*shard]bool) *shard {
+	now := time.Now()
+	var fallback *shard
+	for _, si := range order {
+		s := c.shards[si]
+		if tried[s] {
+			continue
+		}
+		h := s.getHealth()
+		if h.Probed && !h.Ready {
+			if fallback == nil {
+				fallback = s
+			}
+			c.cfg.Metrics.Counter("m3d_fleet_skipped_total", "reason", "not_ready").Inc()
+			continue
+		}
+		if !s.breaker.Allow(now) {
+			c.cfg.Metrics.Counter("m3d_fleet_skipped_total", "reason", "breaker_open").Inc()
+			continue
+		}
+		return s
+	}
+	if fallback != nil && fallback.breaker.Allow(now) {
+		return fallback
+	}
+	return nil
+}
+
+// peekHedge picks the hedge candidate: the next untried, allowed,
+// probed-ready shard after the primary. The breaker reservation for the
+// hedge is taken later, at launch time, inside race.
+func (c *Coordinator) peekHedge(order []int, tried map[*shard]bool, primary *shard) *shard {
+	if c.cfg.Hedge <= 0 {
+		return nil
+	}
+	for _, si := range order {
+		s := c.shards[si]
+		if s == primary || tried[s] {
+			continue
+		}
+		h := s.getHealth()
+		if h.Probed && !h.Ready {
+			continue
+		}
+		if s.breaker.State(time.Now()) != Closed {
+			continue
+		}
+		return s
+	}
+	return nil
+}

@@ -1,0 +1,405 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/failurelog"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// stubShard is a scriptable m3dserve stand-in: its mode decides how
+// /diagnose answers, and marker identifies which shard served a response.
+type stubShard struct {
+	srv       *httptest.Server
+	marker    int
+	diagnoses atomic.Int64
+	mode      atomic.Int32
+	slowFor   time.Duration
+}
+
+const (
+	modeOK int32 = iota
+	mode500
+	mode400
+	modeSlow
+	modeNotReady
+)
+
+func newStubShard(t *testing.T, marker int) *stubShard {
+	t.Helper()
+	s := &stubShard{marker: marker, slowFor: 400 * time.Millisecond}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/diagnose", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		s.diagnoses.Add(1)
+		switch s.mode.Load() {
+		case mode500:
+			http.Error(w, `{"error":"stub failure"}`, http.StatusInternalServerError)
+			return
+		case mode400:
+			http.Error(w, `{"error":"stub rejects log"}`, http.StatusBadRequest)
+			return
+		case modeSlow:
+			select {
+			case <-time.After(s.slowFor):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(serve.DiagnoseResponse{PredictedTier: s.marker})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.mode.Load() == modeNotReady {
+			http.Error(w, `{"error":"loading"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"status":"ready"}`))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(serve.HealthzResponse{
+			Status: "ok", Design: "aes", Build: "stub",
+			ArtifactInfo: serve.ArtifactInfo{Model: "framework", Version: 1, Checksum: fmt.Sprintf("%016x", s.marker)},
+		})
+	})
+	s.srv = httptest.NewServer(mux)
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+// newStubFleet builds n stub shards plus a coordinator over them, and
+// returns the stubs re-ordered to the failover order for design — stub[0]
+// is the primary.
+func newStubFleet(t *testing.T, n int, design string, mutate func(*Config)) (*Coordinator, []*stubShard, *obs.Registry) {
+	t.Helper()
+	byURL := make(map[string]*stubShard, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		s := newStubShard(t, i)
+		byURL[s.srv.URL] = s
+		urls[i] = s.srv.URL
+	}
+	reg := obs.NewRegistry()
+	cfg := Config{
+		Shards:       urls,
+		TryTimeout:   2 * time.Second,
+		MaxElapsed:   5 * time.Second,
+		RoundBackoff: 20 * time.Millisecond,
+		Metrics:      reg,
+		Logf:         t.Logf,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(co.Close)
+	ordered := make([]*stubShard, 0, n)
+	for _, name := range co.Route(design) {
+		ordered = append(ordered, byURL[name])
+	}
+	return co, ordered, reg
+}
+
+func testLog(design string) *failurelog.Log {
+	return &failurelog.Log{Design: design}
+}
+
+// A healthy fleet routes every request for one design to the ring owner;
+// no other shard sees traffic.
+func TestCoordinatorRoutesToOwner(t *testing.T) {
+	co, ordered, _ := newStubFleet(t, 3, "aes", nil)
+	for i := 0; i < 5; i++ {
+		resp, err := co.Diagnose(context.Background(), testLog("aes"), serve.DiagnoseOptions{})
+		if err != nil {
+			t.Fatalf("Diagnose: %v", err)
+		}
+		if resp.PredictedTier != ordered[0].marker {
+			t.Fatalf("request served by shard %d, want owner %d", resp.PredictedTier, ordered[0].marker)
+		}
+	}
+	if n := ordered[0].diagnoses.Load(); n != 5 {
+		t.Fatalf("owner served %d requests, want 5", n)
+	}
+	for _, s := range ordered[1:] {
+		if n := s.diagnoses.Load(); n != 0 {
+			t.Fatalf("non-owner shard %d served %d requests, want 0", s.marker, n)
+		}
+	}
+}
+
+// A failing primary fails over to the next shard in ring order, and the
+// failover is visible in the metrics.
+func TestCoordinatorFailover(t *testing.T) {
+	co, ordered, reg := newStubFleet(t, 3, "aes", nil)
+	ordered[0].mode.Store(mode500)
+
+	resp, err := co.Diagnose(context.Background(), testLog("aes"), serve.DiagnoseOptions{})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if resp.PredictedTier != ordered[1].marker {
+		t.Fatalf("served by shard %d, want first failover target %d", resp.PredictedTier, ordered[1].marker)
+	}
+	if n := reg.Counter("m3d_fleet_failovers_total", "shard", co.Route("aes")[0]).Value(); n == 0 {
+		t.Fatal("failover not recorded in m3d_fleet_failovers_total")
+	}
+	if n := reg.Counter("m3d_fleet_requests_total", "outcome", "ok").Value(); n != 1 {
+		t.Fatalf("requests_total{outcome=ok} = %d, want 1", n)
+	}
+}
+
+// Once the primary's breaker opens, later requests skip it entirely.
+func TestCoordinatorSkipsOpenBreaker(t *testing.T) {
+	co, ordered, reg := newStubFleet(t, 3, "aes", func(c *Config) {
+		c.Breaker = BreakerConfig{Threshold: 1, OpenFor: time.Hour}
+	})
+	ordered[0].mode.Store(mode500)
+
+	// First request: primary fails once (opening its breaker), failover wins.
+	if _, err := co.Diagnose(context.Background(), testLog("aes"), serve.DiagnoseOptions{}); err != nil {
+		t.Fatalf("Diagnose 1: %v", err)
+	}
+	before := ordered[0].diagnoses.Load()
+
+	// Later requests must not touch the primary at all.
+	for i := 0; i < 3; i++ {
+		resp, err := co.Diagnose(context.Background(), testLog("aes"), serve.DiagnoseOptions{})
+		if err != nil {
+			t.Fatalf("Diagnose %d: %v", i+2, err)
+		}
+		if resp.PredictedTier != ordered[1].marker {
+			t.Fatalf("served by shard %d, want %d", resp.PredictedTier, ordered[1].marker)
+		}
+	}
+	if after := ordered[0].diagnoses.Load(); after != before {
+		t.Fatalf("open-breaker shard still dispatched to: %d -> %d", before, after)
+	}
+	if n := reg.Counter("m3d_fleet_skipped_total", "reason", "breaker_open").Value(); n == 0 {
+		t.Fatal("breaker_open skips not recorded")
+	}
+}
+
+// A shard whose probe says unready is routed around while a ready
+// alternative exists.
+func TestCoordinatorRoutesAroundUnreadyShard(t *testing.T) {
+	co, ordered, _ := newStubFleet(t, 3, "aes", nil)
+	ordered[0].mode.Store(modeNotReady)
+	if got := co.ProbeAll(context.Background()); got != 2 {
+		t.Fatalf("ProbeAll ready count = %d, want 2", got)
+	}
+
+	resp, err := co.Diagnose(context.Background(), testLog("aes"), serve.DiagnoseOptions{})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if resp.PredictedTier != ordered[1].marker {
+		t.Fatalf("served by shard %d, want %d", resp.PredictedTier, ordered[1].marker)
+	}
+	// The unready primary never saw the diagnosis.
+	if n := ordered[0].diagnoses.Load(); n != 0 {
+		t.Fatalf("unready shard dispatched to %d times", n)
+	}
+
+	// The health view also carries the shard identity from /healthz.
+	var found bool
+	for _, st := range co.Status() {
+		if st.Ready && st.Checksum == fmt.Sprintf("%016x", ordered[1].marker) && st.Design == "aes" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("healthz identity missing from status: %+v", co.Status())
+	}
+}
+
+// When every shard is unready the fleet must still try someone — a stale
+// health view degrades to attempting, never to refusing.
+func TestCoordinatorUnreadyFallback(t *testing.T) {
+	co, ordered, _ := newStubFleet(t, 3, "aes", nil)
+	for _, s := range ordered {
+		s.mode.Store(modeNotReady)
+	}
+	co.ProbeAll(context.Background())
+	// Unready shards still answer /diagnose in this fixture (readiness is a
+	// view, not a gate), so the dispatch should succeed via the fallback.
+	if _, err := co.Diagnose(context.Background(), testLog("aes"), serve.DiagnoseOptions{}); err != nil {
+		t.Fatalf("Diagnose with all-unready fleet: %v", err)
+	}
+}
+
+// A slow primary gets hedged: the secondary's answer wins and the hedge
+// shows up in the metrics.
+func TestCoordinatorHedgedRequest(t *testing.T) {
+	co, ordered, reg := newStubFleet(t, 3, "aes", func(c *Config) {
+		c.Hedge = 50 * time.Millisecond
+	})
+	ordered[0].mode.Store(modeSlow)
+
+	start := time.Now()
+	resp, err := co.Diagnose(context.Background(), testLog("aes"), serve.DiagnoseOptions{})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if resp.PredictedTier != ordered[1].marker {
+		t.Fatalf("served by shard %d, want hedge target %d", resp.PredictedTier, ordered[1].marker)
+	}
+	if elapsed := time.Since(start); elapsed >= ordered[0].slowFor {
+		t.Fatalf("hedge did not cut latency: %v (primary takes %v)", elapsed, ordered[0].slowFor)
+	}
+	if n := reg.Counter("m3d_fleet_hedges_total", "event", "launched").Value(); n != 1 {
+		t.Fatalf("hedges launched = %d, want 1", n)
+	}
+	if n := reg.Counter("m3d_fleet_hedges_total", "event", "won").Value(); n != 1 {
+		t.Fatalf("hedges won = %d, want 1", n)
+	}
+}
+
+// A 4xx is the request's own fault: no failover, the error surfaces
+// immediately with its status intact.
+func TestCoordinatorPermanentErrorFailsFast(t *testing.T) {
+	co, ordered, reg := newStubFleet(t, 3, "aes", nil)
+	ordered[0].mode.Store(mode400)
+
+	_, err := co.Diagnose(context.Background(), testLog("aes"), serve.DiagnoseOptions{})
+	var se *serve.StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusBadRequest {
+		t.Fatalf("want StatusError 400, got %v", err)
+	}
+	for _, s := range ordered[1:] {
+		if n := s.diagnoses.Load(); n != 0 {
+			t.Fatalf("permanent error still failed over to shard %d (%d dispatches)", s.marker, n)
+		}
+	}
+	if n := reg.Counter("m3d_fleet_requests_total", "outcome", "permanent").Value(); n != 1 {
+		t.Fatalf("requests_total{outcome=permanent} = %d, want 1", n)
+	}
+}
+
+// With every shard failing, the dispatch retries rounds until the budget
+// runs out and then reports exhaustion.
+func TestCoordinatorExhaustion(t *testing.T) {
+	co, ordered, reg := newStubFleet(t, 3, "aes", func(c *Config) {
+		c.MaxElapsed = 400 * time.Millisecond
+		c.RoundBackoff = 50 * time.Millisecond
+	})
+	for _, s := range ordered {
+		s.mode.Store(mode500)
+	}
+	_, err := co.Diagnose(context.Background(), testLog("aes"), serve.DiagnoseOptions{})
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("want ErrExhausted, got %v", err)
+	}
+	if n := reg.Counter("m3d_fleet_requests_total", "outcome", "exhausted").Value(); n != 1 {
+		t.Fatalf("requests_total{outcome=exhausted} = %d, want 1", n)
+	}
+}
+
+// A fleet that is briefly all-down recovers within the retry budget: the
+// round loop keeps walking until the shards come back.
+func TestCoordinatorRidesOutOutage(t *testing.T) {
+	co, ordered, _ := newStubFleet(t, 3, "aes", func(c *Config) {
+		c.MaxElapsed = 5 * time.Second
+		c.RoundBackoff = 20 * time.Millisecond
+	})
+	for _, s := range ordered {
+		s.mode.Store(mode500)
+	}
+	// The whole fleet "restarts" shortly after the dispatch begins.
+	restore := time.AfterFunc(150*time.Millisecond, func() {
+		for _, s := range ordered {
+			s.mode.Store(modeOK)
+		}
+	})
+	defer restore.Stop()
+
+	resp, err := co.Diagnose(context.Background(), testLog("aes"), serve.DiagnoseOptions{})
+	if err != nil {
+		t.Fatalf("Diagnose did not ride out the outage: %v", err)
+	}
+	if resp == nil {
+		t.Fatal("nil response")
+	}
+}
+
+// Context cancellation cuts the dispatch short with the context's error.
+func TestCoordinatorHonorsCancellation(t *testing.T) {
+	co, ordered, _ := newStubFleet(t, 3, "aes", nil)
+	for _, s := range ordered {
+		s.mode.Store(mode500)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := co.Diagnose(ctx, testLog("aes"), serve.DiagnoseOptions{})
+	if err == nil {
+		t.Fatal("Diagnose succeeded against an all-failing fleet")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation not honored promptly (%v)", elapsed)
+	}
+}
+
+// New must reject empty and duplicate shard lists, and normalize URLs so
+// "http://x/" and "http://x" are the same shard.
+func TestCoordinatorConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted an empty shard list")
+	}
+	if _, err := New(Config{Shards: []string{" ", ""}}); err == nil {
+		t.Fatal("New accepted a blank-only shard list")
+	}
+	if _, err := New(Config{Shards: []string{"http://a:1/", "http://a:1"}}); err == nil {
+		t.Fatal("New accepted duplicate shards differing only by trailing slash")
+	}
+	co, err := New(Config{Shards: []string{"http://b:2", "http://a:1"}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer co.Close()
+	names := co.Shards()
+	if names[0] != "http://a:1" || names[1] != "http://b:2" {
+		t.Fatalf("shard names not sorted: %v", names)
+	}
+}
+
+// Probe-driven recovery end to end: a crashed shard opens its breaker;
+// when it comes back, one probe sweep readmits it without waiting out
+// OpenFor.
+func TestCoordinatorProbeRecovery(t *testing.T) {
+	co, ordered, _ := newStubFleet(t, 3, "aes", func(c *Config) {
+		c.Breaker = BreakerConfig{Threshold: 1, OpenFor: time.Hour}
+	})
+	co.ProbeAll(context.Background())
+	ordered[0].mode.Store(mode500)
+	if _, err := co.Diagnose(context.Background(), testLog("aes"), serve.DiagnoseOptions{}); err != nil {
+		t.Fatalf("Diagnose during failure: %v", err)
+	}
+
+	// Shard recovers; one probe sweep must readmit it (Open -> HalfOpen),
+	// and the next dispatch closes the breaker via a successful trial.
+	ordered[0].mode.Store(modeOK)
+	co.ProbeAll(context.Background())
+	resp, err := co.Diagnose(context.Background(), testLog("aes"), serve.DiagnoseOptions{})
+	if err != nil {
+		t.Fatalf("Diagnose after recovery: %v", err)
+	}
+	if resp.PredictedTier != ordered[0].marker {
+		t.Fatalf("served by shard %d, want recovered primary %d", resp.PredictedTier, ordered[0].marker)
+	}
+}

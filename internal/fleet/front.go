@@ -1,0 +1,239 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"repro/internal/failurelog"
+	"repro/internal/serve"
+	"repro/internal/version"
+)
+
+// FrontConfig tunes the coordinator's HTTP front end.
+type FrontConfig struct {
+	// MaxBodyBytes bounds the accepted failure-log size (default 8 MiB,
+	// matching m3dserve).
+	MaxBodyBytes int64
+	// DefaultTimeout bounds a dispatch when the client sends no timeout_ms
+	// (default 2m — the fleet needs room for failover rounds on top of one
+	// shard's diagnosis time). MaxTimeout caps client requests (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Logf receives operational lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c FrontConfig) withDefaults() FrontConfig {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Front serves the coordinator over the same HTTP/JSON API as m3dserve —
+// POST /diagnose, GET /healthz, GET /readyz — so serve.Client (and
+// therefore m3dvolume -remote) can point at a fleet without changing a
+// line. It adds GET /fleet/status (per-shard health + breaker view) and
+// GET /fleet/route?key=X (the failover order for a key), plus GET /metrics
+// when the coordinator has a registry.
+type Front struct {
+	co  *Coordinator
+	cfg FrontConfig
+	mux http.Handler
+}
+
+// NewFront wraps a coordinator in its HTTP front end.
+func NewFront(co *Coordinator, cfg FrontConfig) *Front {
+	f := &Front{co: co, cfg: cfg.withDefaults()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/diagnose", f.handleDiagnose)
+	mux.HandleFunc("/healthz", f.handleHealthz)
+	mux.HandleFunc("/readyz", f.handleReadyz)
+	mux.HandleFunc("/fleet/status", f.handleStatus)
+	mux.HandleFunc("/fleet/route", f.handleRoute)
+	if co.cfg.Metrics != nil {
+		mux.Handle("/metrics", co.cfg.Metrics)
+	}
+	if co.cfg.Metrics != nil {
+		co.cfg.Metrics.Describe("m3d_fleet_http_requests_total", "Front-end requests served, by route and status code.")
+	}
+	f.mux = f.metricsMiddleware(f.recoverMiddleware(mux))
+	return f
+}
+
+// frontRoutes clamps the route label to the fixed route set (see
+// serve.Server's knownRoutes for the rationale: arbitrary paths must not
+// explode label cardinality).
+var frontRoutes = map[string]bool{
+	"/diagnose": true, "/healthz": true, "/readyz": true,
+	"/fleet/status": true, "/fleet/route": true, "/metrics": true,
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (f *Front) metricsMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := r.URL.Path
+		if !frontRoutes[route] {
+			route = "other"
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		f.co.cfg.Metrics.Counter("m3d_fleet_http_requests_total",
+			"route", route, "code", strconv.Itoa(rec.status)).Inc()
+	})
+}
+
+// Handler returns the front's HTTP handler.
+func (f *Front) Handler() http.Handler { return f.mux }
+
+func (f *Front) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				f.cfg.Logf("fleet: panic in %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", p))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, serve.ErrorResponse{Error: msg})
+}
+
+// FleetHealthz is the JSON body of the front's GET /healthz.
+type FleetHealthz struct {
+	Status string `json:"status"`
+	Build  string `json:"build"`
+	Shards int    `json:"shards"`
+	Ready  int    `json:"ready"`
+}
+
+func (f *Front) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, FleetHealthz{
+		Status: "ok",
+		Build:  version.String(),
+		Shards: len(f.co.shards),
+		Ready:  f.co.ReadyCount(),
+	})
+}
+
+func (f *Front) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if f.co.ReadyCount() == 0 {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "no ready shard")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (f *Front) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"shards": f.co.Status()})
+}
+
+func (f *Front) handleRoute(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeError(w, http.StatusBadRequest, "key query parameter required")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"key": key, "order": f.co.Route(key)})
+}
+
+func (f *Front) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	timeout := f.cfg.DefaultTimeout
+	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+		ms, err := strconv.Atoi(raw)
+		if err != nil || ms <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad timeout_ms %q", raw))
+			return
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+		if timeout > f.cfg.MaxTimeout {
+			timeout = f.cfg.MaxTimeout
+		}
+	}
+	log, err := failurelog.Read(http.MaxBytesReader(w, r.Body, f.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("parse failure log: %v", err))
+		return
+	}
+	opt := serve.DiagnoseOptions{
+		Multi: r.URL.Query().Get("multi") == "1" || r.URL.Query().Get("multi") == "true",
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	resp, err := f.co.Diagnose(ctx, log, opt)
+	if err != nil {
+		f.writeDispatchError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeDispatchError maps a coordinator failure onto the m3dserve error
+// vocabulary, so serve.Client retry semantics carry over: shard-side
+// status errors pass through verbatim, exhaustion becomes a retryable 503,
+// and a request that outlived its deadline becomes 504.
+func (f *Front) writeDispatchError(w http.ResponseWriter, err error) {
+	var se *serve.StatusError
+	switch {
+	case errors.As(err, &se):
+		w.Header().Set(serve.RequestIDHeader, se.RequestID)
+		writeError(w, se.Status, se.Message)
+	case errors.Is(err, ErrExhausted):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err.Error())
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "request cancelled")
+	default:
+		writeError(w, http.StatusBadGateway, err.Error())
+	}
+}

@@ -1,0 +1,129 @@
+// Package fleet is the multi-shard serving layer: a coordinator that
+// routes diagnosis requests across a fleet of m3dserve shards and keeps a
+// campaign alive through shard crashes, hangs, and error bursts.
+//
+// Routing is consistent hashing of the design name, so each design's
+// framework stays hot on one shard and a shard join/leave moves only the
+// keys it must. Every dispatch is wrapped in a per-shard circuit breaker
+// (closed/open/half-open, with probe-driven recovery), bounded
+// retry-with-failover walks the hash ring past unhealthy shards, and an
+// optional hedged request cuts tail latency when the primary is slow.
+// A background prober maintains a per-shard health view from /readyz and
+// /healthz (including which exact model artifact each shard runs).
+//
+// Everything is instrumented through internal/obs as m3d_fleet_* series,
+// and internal/fleet/chaos provides a deterministic, seeded fault injector
+// used by the tests to prove campaigns survive shard failure with
+// bitwise-identical results.
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"repro/internal/par"
+)
+
+// DefaultReplicas is the default virtual-node count per shard. 128 points
+// per shard keeps the ownership split within a few percent of even for
+// small fleets while the ring stays tiny (a few KiB).
+const DefaultReplicas = 128
+
+// Ring is an immutable consistent-hash ring over shard indices. Placement
+// is a pure function of the shard name list — never of insertion order,
+// process lifetime, or map iteration — so every coordinator replica, and
+// every restart of the same coordinator, routes identically.
+type Ring struct {
+	points   []ringPoint // sorted by hash
+	nShards  int
+	replicas int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// hash64 is FNV-1a over the key bytes, finished with a SplitMix64 mix:
+// stable across processes, platforms, and Go releases (unlike maphash),
+// which is what restart-deterministic routing needs. The finalizer matters
+// — raw FNV-1a of short, similar strings ("shard#0", "shard#1", ...) has
+// weak high-bit avalanche, and the ring orders points by the full 64-bit
+// value, so without it virtual nodes clump and ownership skews badly.
+func hash64(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return par.SplitMix64(h.Sum64())
+}
+
+// NewRing builds a ring over the given shard names with `replicas` virtual
+// nodes per shard (<=0 uses DefaultReplicas). Shard identity is the name:
+// two rings built from the same names agree on every key.
+func NewRing(shards []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{
+		points:   make([]ringPoint, 0, len(shards)*replicas),
+		nShards:  len(shards),
+		replicas: replicas,
+	}
+	for i, name := range shards {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hash64(name + "#" + strconv.Itoa(v)),
+				shard: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (vanishingly rare) break on shard index so the sort —
+		// and therefore ownership — stays deterministic.
+		return r.points[a].shard < r.points[b].shard
+	})
+	return r
+}
+
+// Owner returns the shard index owning key (-1 on an empty ring).
+func (r *Ring) Owner(key string) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	return r.points[r.search(key)].shard
+}
+
+// search finds the first ring point at or clockwise-after the key's hash.
+func (r *Ring) search(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Order returns the failover order for key: the owner first, then each
+// further distinct shard in the order their virtual nodes appear clockwise
+// from the key. Every shard appears exactly once, so walking Order visits
+// the whole fleet; like Owner, the result depends only on the shard names
+// and the key.
+func (r *Ring) Order(key string) []int {
+	if len(r.points) == 0 {
+		return nil
+	}
+	out := make([]int, 0, r.nShards)
+	seen := make([]bool, r.nShards)
+	start := r.search(key)
+	for i := 0; i < len(r.points) && len(out) < r.nShards; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("design-%03d", i)
+	}
+	return keys
+}
+
+// The ring is a pure function of the shard names: two independently built
+// rings (as after a coordinator restart) must agree on every key's owner
+// and full failover order.
+func TestRingDeterministicAcrossRestarts(t *testing.T) {
+	shards := []string{"127.0.0.1:7001", "127.0.0.1:7002", "127.0.0.1:7003", "127.0.0.1:7004"}
+	a := NewRing(shards, 0)
+	b := NewRing(shards, 0)
+	for _, key := range ringKeys(500) {
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("owner(%q) differs across builds: %d vs %d", key, a.Owner(key), b.Owner(key))
+		}
+		oa, ob := a.Order(key), b.Order(key)
+		if len(oa) != len(ob) {
+			t.Fatalf("order(%q) length differs: %v vs %v", key, oa, ob)
+		}
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("order(%q) differs: %v vs %v", key, oa, ob)
+			}
+		}
+	}
+}
+
+// Removing one shard must only move the keys that shard owned; every other
+// key keeps its owner (bounded disruption on leave).
+func TestRingBoundedDisruptionOnLeave(t *testing.T) {
+	shards := []string{"s0", "s1", "s2", "s3", "s4"}
+	full := NewRing(shards, 0)
+	const removed = 2
+	smaller := NewRing([]string{"s0", "s1", "s3", "s4"}, 0)
+	// Map the smaller ring's indices back onto the original shard list.
+	back := []int{0, 1, 3, 4}
+
+	moved := 0
+	for _, key := range ringKeys(1000) {
+		before := full.Owner(key)
+		after := back[smaller.Owner(key)]
+		if before != removed && after != before {
+			t.Fatalf("key %q moved from surviving shard %d to %d when shard %d left", key, before, after, removed)
+		}
+		if before == removed {
+			moved++
+			if after == removed {
+				t.Fatalf("key %q still routes to removed shard", key)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("fixture too small: removed shard owned no keys")
+	}
+}
+
+// Adding a shard must only move keys TO the new shard: no key may hop
+// between two pre-existing shards (bounded disruption on join).
+func TestRingBoundedDisruptionOnJoin(t *testing.T) {
+	before := NewRing([]string{"s0", "s1", "s2", "s3"}, 0)
+	after := NewRing([]string{"s0", "s1", "s2", "s3", "s4"}, 0)
+	const joined = 4
+
+	gained := 0
+	for _, key := range ringKeys(1000) {
+		a, b := before.Owner(key), after.Owner(key)
+		if a != b {
+			if b != joined {
+				t.Fatalf("key %q moved between old shards %d -> %d on join", key, a, b)
+			}
+			gained++
+		}
+	}
+	if gained == 0 {
+		t.Fatal("fixture too small: joined shard gained no keys")
+	}
+}
+
+// Order must start at the owner, visit every shard exactly once, and its
+// tail must agree with the ring built without the owner — i.e. failover
+// lands where the key would live if the owner were gone.
+func TestRingOrderProperties(t *testing.T) {
+	shards := []string{"s0", "s1", "s2", "s3"}
+	r := NewRing(shards, 0)
+	for _, key := range ringKeys(200) {
+		order := r.Order(key)
+		if len(order) != len(shards) {
+			t.Fatalf("order(%q) = %v: want %d distinct shards", key, order, len(shards))
+		}
+		if order[0] != r.Owner(key) {
+			t.Fatalf("order(%q) = %v does not start at owner %d", key, order, r.Owner(key))
+		}
+		seen := make(map[int]bool)
+		for _, s := range order {
+			if seen[s] {
+				t.Fatalf("order(%q) = %v repeats shard %d", key, order, s)
+			}
+			seen[s] = true
+		}
+
+		// First failover target == owner in the ring without the primary.
+		var rest []string
+		for i, name := range shards {
+			if i != order[0] {
+				rest = append(rest, name)
+			}
+		}
+		sub := NewRing(rest, 0)
+		want := rest[sub.Owner(key)]
+		if got := shards[order[1]]; got != want {
+			t.Fatalf("order(%q)[1] = %s, but ring-without-owner places key on %s", key, got, want)
+		}
+	}
+}
+
+// Distribution sanity: with virtual nodes, no shard should own a wildly
+// disproportionate share of keys.
+func TestRingBalance(t *testing.T) {
+	shards := []string{"s0", "s1", "s2", "s3"}
+	r := NewRing(shards, 0)
+	counts := make([]int, len(shards))
+	keys := ringKeys(4000)
+	for _, key := range keys {
+		counts[r.Owner(key)]++
+	}
+	want := len(keys) / len(shards)
+	for i, c := range counts {
+		if c < want/3 || c > want*3 {
+			t.Fatalf("shard %d owns %d of %d keys (want within 3x of %d): %v", i, c, len(keys), want, counts)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if got := r.Owner("anything"); got != -1 {
+		t.Fatalf("empty ring Owner = %d, want -1", got)
+	}
+	if got := r.Order("anything"); got != nil {
+		t.Fatalf("empty ring Order = %v, want nil", got)
+	}
+}

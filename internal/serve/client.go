@@ -44,6 +44,13 @@ type Client struct {
 	// Seed makes the jitter sequence reproducible; 0 seeds from the
 	// default source.
 	Seed int64
+	// MaxElapsed caps the total wall time one call may spend across all
+	// attempts and backoff sleeps. When the next computed backoff would
+	// push the call past this budget, the client gives up immediately with
+	// the last error instead of sleeping — so a caller-facing deadline is
+	// honored even when the server keeps sending generous Retry-After
+	// hints. 0 means no cap (MaxAttempts alone bounds the call).
+	MaxElapsed time.Duration
 
 	rngOnce sync.Once
 	rngMu   sync.Mutex
@@ -91,13 +98,32 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// parseRetryAfter interprets a Retry-After header value, which RFC 9110
+// allows in two forms: delay-seconds ("120") or an HTTP-date ("Fri, 07 Aug
+// 2026 12:00:00 GMT"). The returned delay is non-negative (a date in the
+// past means "retry now"); ok is false for empty or unparsable values.
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
 // backoff computes the jittered delay before retry attempt (0-based), or
 // honors the server's Retry-After hint when one was given.
 func (c *Client) backoff(attempt int, retryAfter string) time.Duration {
-	if retryAfter != "" {
-		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
-			return time.Duration(secs) * time.Second
-		}
+	if d, ok := parseRetryAfter(retryAfter, time.Now()); ok {
+		return d
 	}
 	base := c.BaseBackoff
 	if base <= 0 {
@@ -142,6 +168,7 @@ type DiagnoseOptions struct {
 // do runs one HTTP call with the retry loop. body is re-created per
 // attempt via mkBody.
 func (c *Client) do(ctx context.Context, method, url string, mkBody func() io.Reader) (*http.Response, error) {
+	start := time.Now()
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
 		if attempt > 0 {
@@ -149,6 +176,10 @@ func (c *Client) do(ctx context.Context, method, url string, mkBody func() io.Re
 			// interrupts the wait immediately and the timer is released
 			// rather than left running until it fires.
 			wait := c.backoff(attempt-1, lastRetryAfter(lastErr))
+			if c.MaxElapsed > 0 && time.Since(start)+wait > c.MaxElapsed {
+				return nil, fmt.Errorf("serve: client: retry budget exhausted after %v of MaxElapsed %v: %w",
+					time.Since(start).Round(time.Millisecond), c.MaxElapsed, unwrapRetry(lastErr))
+			}
 			timer := time.NewTimer(wait)
 			select {
 			case <-timer.C:
@@ -267,6 +298,29 @@ func (c *Client) Ready(ctx context.Context) error {
 // Health polls /healthz once; nil means the process is alive.
 func (c *Client) Health(ctx context.Context) error {
 	return c.check(ctx, "/healthz")
+}
+
+// Healthz fetches and parses /healthz, returning the server's identity:
+// design, build, and the loaded model's artifact version and checksum.
+// The fleet prober uses it to tell shards (and model versions) apart.
+func (c *Client) Healthz(ctx context.Context) (*HealthzResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
+	if err != nil {
+		return nil, fmt.Errorf("serve: client: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp)
+	}
+	var h HealthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("serve: client: decode healthz: %w", err)
+	}
+	return &h, nil
 }
 
 func (c *Client) check(ctx context.Context, path string) error {

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -473,6 +474,120 @@ func TestClientGivesUpAfterMaxAttempts(t *testing.T) {
 	}
 	if calls != 3 {
 		t.Fatalf("%d calls, want 3", calls)
+	}
+}
+
+// TestParseRetryAfter covers both RFC 9110 forms of the header: delay
+// seconds and HTTP dates (past dates clamp to zero), plus the unparsable
+// fallbacks.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"", 0, false},
+		{"0", 0, true},
+		{"7", 7 * time.Second, true},
+		{"-3", 0, false},
+		{"soon", 0, false},
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second, true},
+		{now.Add(-time.Hour).Format(http.TimeFormat), 0, true},
+		// RFC 850 and asctime forms are legal HTTP dates too.
+		{now.Add(30 * time.Second).Format("Monday, 02-Jan-06 15:04:05 GMT"), 30 * time.Second, true},
+	}
+	for _, tc := range cases {
+		got, ok := parseRetryAfter(tc.in, now)
+		if ok != tc.ok || got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestClientRetryAfterHTTPDate sheds once with an HTTP-date Retry-After
+// ~2s in the future and asserts the client actually waited for it (a
+// fallback to the default 100ms backoff would retry far too early).
+func TestClientRetryAfterHTTPDate(t *testing.T) {
+	var calls int
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls == 1 {
+			w.Header().Set("Retry-After", time.Now().Add(2*time.Second).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, `{"design":"stub","candidates":[]}`)
+	}))
+	defer stub.Close()
+	c := &Client{Base: stub.URL, Seed: 7}
+	fx := getFixture(t)
+	start := time.Now()
+	if _, err := c.Diagnose(context.Background(), fx.light, DiagnoseOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("%d calls, want 2", calls)
+	}
+	// HTTP dates have 1s resolution, so the honored wait is 1–2s.
+	if elapsed := time.Since(start); elapsed < 800*time.Millisecond {
+		t.Fatalf("retried after %v; the HTTP-date Retry-After was not honored", elapsed)
+	}
+}
+
+// TestClientMaxElapsed runs the client against a server that always sheds
+// with a generous Retry-After and asserts MaxElapsed cuts the call off
+// instead of sleeping through every attempt.
+func TestClientMaxElapsed(t *testing.T) {
+	var calls int
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer stub.Close()
+	c := &Client{Base: stub.URL, MaxAttempts: 10, MaxElapsed: 300 * time.Millisecond, Seed: 7}
+	fx := getFixture(t)
+	start := time.Now()
+	_, err := c.Diagnose(context.Background(), fx.light, DiagnoseOptions{})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("err = %v, want a retry-budget error", err)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want wrapped StatusError 503", err)
+	}
+	if calls != 1 {
+		t.Fatalf("%d calls, want 1 (the 2s Retry-After exceeds the 300ms budget)", calls)
+	}
+	if elapsed := time.Since(start); elapsed > 1500*time.Millisecond {
+		t.Fatalf("call took %v; MaxElapsed did not stop the retry sleep", elapsed)
+	}
+}
+
+// TestHealthzArtifactInfo asserts /healthz reports the serving identity:
+// design, build, and the loaded artifact's version and checksum.
+func TestHealthzArtifactInfo(t *testing.T) {
+	fx := getFixture(t)
+	s, ts, _ := newTestServer(t, fx, Config{})
+	s.SetArtifactInfo(ArtifactInfo{Model: "framework", Version: 3, Checksum: "00cafe0000000042"})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h HealthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Design != fx.bundle.Name || h.Build == "" {
+		t.Fatalf("healthz = %+v, want ok with design %q and a build string", h, fx.bundle.Name)
+	}
+	if h.Model != "framework" || h.Version != 3 || h.Checksum != "00cafe0000000042" {
+		t.Fatalf("healthz artifact info = %+v, want the values set via SetArtifactInfo", h.ArtifactInfo)
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 	"repro/internal/failurelog"
 	"repro/internal/obs"
 	"repro/internal/policy"
+	"repro/internal/version"
 )
 
 // Config tunes the server's robustness envelope. The zero value gets
@@ -129,6 +130,28 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// ArtifactInfo identifies the exact model a server is running: the artifact
+// store version and the CRC64 checksum of the model payload. Fleet failover
+// and A/B debugging use it to tell shards apart at a glance.
+type ArtifactInfo struct {
+	// Model is the artifact name the framework was loaded from.
+	Model string `json:"model,omitempty"`
+	// Version is the artifact store version number (0 = not store-loaded).
+	Version int `json:"artifact_version,omitempty"`
+	// Checksum is the hex CRC64-ECMA of the model payload.
+	Checksum string `json:"model_checksum,omitempty"`
+}
+
+// HealthzResponse is the JSON body of GET /healthz: liveness plus the
+// identity of the serving process — which design it serves, which build it
+// runs, and exactly which model bytes it loaded.
+type HealthzResponse struct {
+	Status string `json:"status"`
+	Design string `json:"design"`
+	Build  string `json:"build"`
+	ArtifactInfo
+}
+
 // Server serves diagnosis requests for one loaded design bundle.
 type Server struct {
 	cfg    Config
@@ -137,6 +160,9 @@ type Server struct {
 
 	store *artifact.Store
 	model string
+	// art identifies the loaded model (version + payload checksum) for
+	// /healthz; nil until SetArtifactInfo or a store load records it.
+	art atomic.Pointer[ArtifactInfo]
 
 	sem      chan struct{}
 	queued   atomic.Int64
@@ -288,6 +314,20 @@ func (s *Server) EnableReload(store *artifact.Store, model string) {
 	s.model = model
 }
 
+// SetArtifactInfo records the identity of the loaded model for /healthz.
+// Reload calls it automatically; servers that load outside the store (or
+// train in place) should call it once after SetFramework.
+func (s *Server) SetArtifactInfo(info ArtifactInfo) { s.art.Store(&info) }
+
+// ArtifactInfo returns the recorded model identity (zero value before any
+// SetArtifactInfo/Reload).
+func (s *Server) ArtifactInfo() ArtifactInfo {
+	if p := s.art.Load(); p != nil {
+		return *p
+	}
+	return ArtifactInfo{}
+}
+
 // Handler returns the server's HTTP handler (panic isolation included).
 func (s *Server) Handler() http.Handler { return s.mux }
 
@@ -326,6 +366,7 @@ func (s *Server) Reload() (version int, err error) {
 		return 0, fmt.Errorf("serve: reload: validate %s: %w", path, err)
 	}
 	s.fw.Store(fw)
+	s.SetArtifactInfo(ArtifactInfo{Model: s.model, Version: version, Checksum: artifact.ChecksumHex(payload)})
 	s.cfg.Logf("serve: reloaded framework %s v%d (T_P=%.3f)", s.model, version, fw.TP)
 	return version, nil
 }
@@ -363,7 +404,15 @@ func (s *Server) retryAfterHeader(w http.ResponseWriter) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := HealthzResponse{
+		Status:       "ok",
+		Build:        version.String(),
+		ArtifactInfo: s.ArtifactInfo(),
+	}
+	if s.bundle != nil {
+		resp.Design = s.bundle.Name
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {

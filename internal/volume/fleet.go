@@ -1,0 +1,72 @@
+package volume
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/failurelog"
+	"repro/internal/faultsim"
+	"repro/internal/fleet"
+	"repro/internal/serve"
+)
+
+// outcomeFromResponse converts a serving-layer diagnosis response into the
+// backend-neutral outcome the campaign engine aggregates. Shared by the
+// single-endpoint RemoteDiagnoser and the FleetDiagnoser so both remote
+// paths produce byte-identical results for the same response.
+func outcomeFromResponse(resp *serve.DiagnoseResponse) *rawOutcome {
+	ro := &rawOutcome{
+		PredictedTier: resp.PredictedTier,
+		Confidence:    resp.Confidence,
+		Pruned:        resp.Pruned,
+		FaultyMIVs:    resp.FaultyMIVs,
+	}
+	for _, c := range resp.Candidates {
+		ro.Cands = append(ro.Cands, rawCand{
+			Fault: faultsim.Fault{Gate: c.Gate, Pin: c.Pin, Pol: faultsim.Polarity(c.Pol)},
+			Score: c.Score,
+		})
+	}
+	return ro
+}
+
+// FleetDiagnoser offloads diagnoses to a multi-shard m3dserve fleet
+// through an in-process fleet.Coordinator: consistent-hash routing,
+// circuit breakers, and retry-with-failover ride along, so a campaign
+// survives individual shard crashes without quarantining logs. The
+// coordinator is safe for concurrent use, so one FleetDiagnoser may back
+// every campaign worker (NewFleetDiagnosers hands the same instance to
+// each).
+type FleetDiagnoser struct {
+	Co *fleet.Coordinator
+	// Timeout is the per-request server-side deadline forwarded to the
+	// shard (0 = server default).
+	Timeout time.Duration
+	// Multi selects the multi-fault diagnosis path.
+	Multi bool
+}
+
+// Diagnose implements Diagnoser over the fleet coordinator.
+func (d *FleetDiagnoser) Diagnose(ctx context.Context, log *failurelog.Log) (*rawOutcome, error) {
+	resp, err := d.Co.Diagnose(ctx, log, serve.DiagnoseOptions{Multi: d.Multi, Timeout: d.Timeout})
+	if err != nil {
+		return nil, fmt.Errorf("fleet diagnose: %w", err)
+	}
+	return outcomeFromResponse(resp), nil
+}
+
+// NewFleetDiagnosers returns the per-worker diagnoser slice for a
+// fleet-backed campaign: the same concurrency-safe instance for every
+// worker.
+func NewFleetDiagnosers(co *fleet.Coordinator, timeout time.Duration, workers int, multi bool) []Diagnoser {
+	if workers < 1 {
+		workers = 1
+	}
+	d := &FleetDiagnoser{Co: co, Timeout: timeout, Multi: multi}
+	out := make([]Diagnoser, workers)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}

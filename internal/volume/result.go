@@ -221,19 +221,7 @@ func (d *RemoteDiagnoser) Diagnose(ctx context.Context, log *failurelog.Log) (*r
 	if err != nil {
 		return nil, fmt.Errorf("remote diagnose: %w", err)
 	}
-	ro := &rawOutcome{
-		PredictedTier: resp.PredictedTier,
-		Confidence:    resp.Confidence,
-		Pruned:        resp.Pruned,
-		FaultyMIVs:    resp.FaultyMIVs,
-	}
-	for _, c := range resp.Candidates {
-		ro.Cands = append(ro.Cands, rawCand{
-			Fault: faultsim.Fault{Gate: c.Gate, Pin: c.Pin, Pol: faultsim.Polarity(c.Pol)},
-			Score: c.Score,
-		})
-	}
-	return ro, nil
+	return outcomeFromResponse(resp), nil
 }
 
 // NewRemoteDiagnosers returns the per-worker diagnoser slice for a remote

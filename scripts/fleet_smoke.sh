@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# fleet_smoke.sh — CI integration check for the serving fleet.
+#
+# Starts three m3dserve shards sharing one artifact store (the first boot
+# trains and seals the model; the other two load the identical payload),
+# fronts them with the m3dfleet coordinator, and runs a 100-log volume
+# campaign through it. Mid-campaign, the shard that owns the design on the
+# hash ring — found via GET /fleet/route — is SIGKILLed. The campaign must
+# still complete with zero quarantined logs and a report bitwise-identical
+# to a single-shard golden run, and the coordinator's /metrics must show
+# the failover paths that made that possible.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+P1="${FLEET_SMOKE_PORT1:-18091}"
+P2="${FLEET_SMOKE_PORT2:-18092}"
+P3="${FLEET_SMOKE_PORT3:-18093}"
+PF="${FLEET_SMOKE_FLEET_PORT:-18090}"
+S1="http://127.0.0.1:${P1}"
+S2="http://127.0.0.1:${P2}"
+S3="http://127.0.0.1:${P3}"
+FLEET="http://127.0.0.1:${PF}"
+WORK="$(mktemp -d)"
+trap 'kill "${SRV1_PID:-}" "${SRV2_PID:-}" "${SRV3_PID:-}" "${FLEET_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "== build"
+go build -o "$WORK/m3dserve" ./cmd/m3dserve
+go build -o "$WORK/m3dfleet" ./cmd/m3dfleet
+go build -o "$WORK/m3dvolume" ./cmd/m3dvolume
+go build -o "$WORK/datagen" ./cmd/datagen
+
+echo "== generate a 100-log campaign"
+"$WORK/datagen" -design aes -scale 0.2 -samples 100 -out "$WORK/data" >/dev/null
+DESIGN="$(head -1 "$(ls "$WORK"/data/*.log | head -1)" | awk '{print $2}')"
+echo "routing key (design): $DESIGN"
+
+wait_ready() { # url name
+  for i in $(seq 1 600); do
+    if curl -fsS "$1/readyz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.5
+  done
+  echo "$2 never became ready" >&2; return 1
+}
+
+echo "== start shard 1 (trains and seals the model into the shared store)"
+"$WORK/m3dserve" -addr "127.0.0.1:${P1}" -design aes -scale 0.2 \
+  -store "$WORK/store" -train-samples 40 -quiet &
+SRV1_PID=$!
+wait_ready "$S1" "shard 1"
+
+echo "== start shards 2 and 3 (load the identical sealed model)"
+"$WORK/m3dserve" -addr "127.0.0.1:${P2}" -design aes -scale 0.2 \
+  -store "$WORK/store" -train-samples 40 -quiet &
+SRV2_PID=$!
+"$WORK/m3dserve" -addr "127.0.0.1:${P3}" -design aes -scale 0.2 \
+  -store "$WORK/store" -train-samples 40 -quiet &
+SRV3_PID=$!
+wait_ready "$S2" "shard 2"
+wait_ready "$S3" "shard 3"
+
+echo "== every shard must advertise the same model checksum"
+CK1="$(curl -fsS "$S1/healthz" | sed -n 's/.*"model_checksum":"\([0-9a-f]*\)".*/\1/p')"
+CK2="$(curl -fsS "$S2/healthz" | sed -n 's/.*"model_checksum":"\([0-9a-f]*\)".*/\1/p')"
+CK3="$(curl -fsS "$S3/healthz" | sed -n 's/.*"model_checksum":"\([0-9a-f]*\)".*/\1/p')"
+if [ -z "$CK1" ] || [ "$CK1" != "$CK2" ] || [ "$CK1" != "$CK3" ]; then
+  echo "shards serve different models: '$CK1' '$CK2' '$CK3'" >&2; exit 1
+fi
+echo "model checksum: $CK1"
+
+echo "== golden single-shard campaign"
+"$WORK/m3dvolume" -logs "$WORK/data" -campaign "$WORK/campG" \
+  -design aes -scale 0.2 -remote "$S1" -workers 4 >/dev/null
+
+echo "== start the m3dfleet coordinator"
+"$WORK/m3dfleet" -addr "127.0.0.1:${PF}" -shards "$S1,$S2,$S3" \
+  -probe-interval 250ms -try-timeout 10s -breaker-open 1s &
+FLEET_PID=$!
+wait_ready "$FLEET" "fleet"
+
+echo "== find the shard that owns the design on the hash ring"
+ROUTE="$(curl -fsS "$FLEET/fleet/route?key=$DESIGN")"
+OWNER="$(echo "$ROUTE" | sed -n 's/.*"order":\["\([^"]*\)".*/\1/p')"
+[ -n "$OWNER" ] || { echo "no owner in route response: $ROUTE" >&2; exit 1; }
+case "$OWNER" in
+  "$S1") OWNER_PID=$SRV1_PID; OWNER_NAME="shard 1" ;;
+  "$S2") OWNER_PID=$SRV2_PID; OWNER_NAME="shard 2" ;;
+  "$S3") OWNER_PID=$SRV3_PID; OWNER_NAME="shard 3" ;;
+  *) echo "owner $OWNER is not one of the shards" >&2; exit 1 ;;
+esac
+echo "owner of $DESIGN: $OWNER ($OWNER_NAME, pid $OWNER_PID)"
+
+echo "== fleet campaign; SIGKILL the owner mid-flight"
+"$WORK/m3dvolume" -logs "$WORK/data" -campaign "$WORK/campF" \
+  -design aes -scale 0.2 -remote "$FLEET" -workers 4 >/dev/null 2>&1 &
+VOL_PID=$!
+KILLED=0
+for i in $(seq 1 3000); do
+  N=0
+  if [ -d "$WORK/campF/results" ]; then
+    N="$(find "$WORK/campF/results" -type f | wc -l)"
+  fi
+  if [ "$N" -ge 10 ] && [ "$KILLED" = 0 ]; then
+    echo "killing $OWNER_NAME with $N of 100 results sealed"
+    kill -KILL "$OWNER_PID"
+    KILLED=1
+  fi
+  if ! kill -0 "$VOL_PID" 2>/dev/null; then break; fi
+  sleep 0.02
+done
+if [ "$KILLED" = 0 ]; then
+  echo "campaign finished before the kill landed; nothing was proven" >&2; exit 1
+fi
+if ! wait "$VOL_PID"; then
+  echo "fleet campaign failed after the owner was killed" >&2; exit 1
+fi
+case "$OWNER_PID" in
+  "$SRV1_PID") SRV1_PID="" ;;
+  "$SRV2_PID") SRV2_PID="" ;;
+  "$SRV3_PID") SRV3_PID="" ;;
+esac
+
+echo "== campaign must be complete with zero quarantined logs"
+grep -q '"quarantined": 0' "$WORK/campF/manifest.json" || {
+  echo "campaign quarantined logs:" >&2
+  grep -m1 '"quarantined"' "$WORK/campF/manifest.json" >&2; exit 1; }
+grep -q '"done": 100' "$WORK/campF/manifest.json" || {
+  echo "campaign did not complete all 100 logs" >&2; exit 1; }
+
+echo "== fleet report must be bitwise-identical to the golden run"
+cmp "$WORK/campG/report.json" "$WORK/campF/report.json"
+cmp "$WORK/campG/report.txt" "$WORK/campF/report.txt"
+
+echo "== coordinator metrics must show the failover"
+METRICS="$(curl -fsS "$FLEET/metrics")"
+echo "$METRICS" | grep -q '^m3d_fleet_failovers_total' || {
+  echo "no failovers recorded in fleet metrics" >&2
+  echo "$METRICS" | grep '^m3d_fleet' >&2; exit 1; }
+OK_COUNT="$(echo "$METRICS" | sed -n 's/^m3d_fleet_requests_total{outcome="ok"} //p')"
+if [ -z "$OK_COUNT" ] || [ "$OK_COUNT" -lt 100 ]; then
+  echo "fleet did not serve all 100 requests ok (got '$OK_COUNT'):" >&2
+  echo "$METRICS" | grep '^m3d_fleet_requests_total' >&2; exit 1
+fi
+
+echo "== fleet status must show the killed shard as not ready"
+STATUS="$(curl -fsS "$FLEET/fleet/status")"
+echo "$STATUS" | grep -q '"ready":false' || {
+  echo "killed shard still reported ready: $STATUS" >&2; exit 1; }
+
+echo "fleet smoke: OK"

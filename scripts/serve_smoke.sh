@@ -43,6 +43,15 @@ for i in $(seq 1 600); do
 done
 curl -fsS "$BASE/readyz" >/dev/null
 
+echo "== /healthz must advertise the loaded artifact identity"
+HEALTHZ="$(curl -fsS "$BASE/healthz")"
+echo "$HEALTHZ" | grep -q '"artifact_version":1' || {
+  echo "no artifact_version in /healthz: $HEALTHZ" >&2; exit 1; }
+echo "$HEALTHZ" | grep -Eq '"model_checksum":"[0-9a-f]{16}"' || {
+  echo "no model_checksum in /healthz: $HEALTHZ" >&2; exit 1; }
+echo "$HEALTHZ" | grep -q '"model":"framework"' || {
+  echo "no model name in /healthz: $HEALTHZ" >&2; exit 1; }
+
 echo "== POST /diagnose"
 RESP="$(curl -fsS --data-binary @"$LOG" "$BASE/diagnose?timeout_ms=60000")"
 echo "$RESP" | grep -q '"candidates"' || { echo "no candidates in response: $RESP" >&2; exit 1; }
