@@ -1,0 +1,253 @@
+// Command m3dstream is the streaming yield monitor: failure logs arrive
+// over HTTP as dies come off the tester, every accepted log is made
+// durable in a write-ahead log before it is acknowledged, and the
+// volume-diagnosis aggregate (suspect histograms, MIV-vs-gate split,
+// systematic-defect detector, PFA curve) is maintained incrementally
+// with crash-safe checkpoints. Kill it at any byte offset and restart:
+// after the testers re-send (at-least-once delivery), the report and the
+// data-alert sequence are bitwise identical to an uninterrupted run.
+//
+// Endpoints: POST /ingest?name=N (FAILLOG body), POST /ingest/batch
+// (chunked NDJSON), GET /stream/status, GET /stream/report (?window=1),
+// GET /stream/alerts (?ops=1), GET /healthz, GET /metrics.
+//
+// Usage:
+//
+//	m3dstream -design aes -store ./m3dstore -dir ./streamstate -addr :8090
+//	m3dstream -design aes -dir ./streamstate -remote http://127.0.0.1:8080
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/stream"
+	"repro/internal/version"
+	"repro/internal/volume"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	design := flag.String("design", "aes", "benchmark: aes, tate, netcard, leon3mp")
+	config := flag.String("config", "syn1", "configuration to monitor")
+	scale := flag.Float64("scale", 1.0, "design size multiplier")
+	seed := flag.Int64("seed", 1, "global seed")
+	dir := flag.String("dir", "streamstate", "durable state directory (WAL, checkpoints, alert logs)")
+	storeDir := flag.String("store", "m3dstore", "artifact store directory for the framework")
+	modelName := flag.String("model", "framework", "artifact name of the framework")
+	trainSamples := flag.Int("train-samples", 200, "training set size when the store holds no framework")
+	loadModel := flag.String("load-model", "", "load a framework file instead of using the artifact store")
+	workers := flag.Int("workers", 0, "diagnosis worker goroutines (0 = all cores)")
+	remote := flag.String("remote", "", "diagnose against a running m3dserve/m3dfleet base URL instead of in-process")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-diagnosis deadline")
+	topK := flag.Int("topk", 16, "suspects retained per die")
+	alpha := flag.Float64("alpha", 1e-4, "systematic-defect detector significance level")
+	window := flag.Int("window", 32, "sliding-window size in dies")
+	evalEvery := flag.Int("eval-every", 8, "run the alert detectors every N applied logs")
+	checkpointEvery := flag.Int("checkpoint-every", 32, "checkpoint the aggregate every N applied logs")
+	maxBacklog := flag.Int("max-backlog", 256, "accepted-but-undiagnosed budget before 429 load-shedding")
+	drift := flag.Float64("drift", 0.5, "window cell-mix total-variation threshold for drift alerts")
+	degraded := flag.Float64("degraded", 0.5, "window quarantine fraction for degradation alerts")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "max time to drain the backlog on shutdown")
+	quiet := flag.Bool("quiet", false, "suppress the service log")
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *showVersion {
+		version.Print("m3dstream")
+		return
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "m3dstream: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	// First signal starts the drain; a second kills hard.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	p, ok := gen.ProfileByName(*design)
+	if !ok {
+		fatal("unknown design %q", *design)
+	}
+	if *scale != 1.0 {
+		p = p.Scaled(*scale)
+	}
+	logf("building %s/%s ...", *design, *config)
+	b, err := dataset.Build(p, dataset.ConfigName(*config), dataset.BuildOptions{Seed: *seed})
+	if err != nil {
+		fatal("build: %v", err)
+	}
+
+	reg := obs.NewRegistry()
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = 4
+	}
+
+	var diagnosers []volume.Diagnoser
+	if *remote != "" {
+		base := strings.TrimRight(*remote, "/")
+		client := &serve.Client{Base: base, Seed: *seed}
+		defer client.Close()
+		waitCtx, cancelWait := context.WithTimeout(ctx, 30*time.Second)
+		err := client.WaitReady(waitCtx)
+		cancelWait()
+		if err != nil {
+			fatal("remote endpoint %s is not ready (is m3dserve up and loaded?): %v", base, err)
+		}
+		logf("diagnosing remotely against %s with %d workers", base, nWorkers)
+		diagnosers = volume.NewRemoteDiagnosers(client, *timeout, nWorkers, false)
+	} else {
+		var fw *core.Framework
+		if *loadModel != "" {
+			payload, _, err := artifact.ReadMaybeSealed(*loadModel)
+			if err != nil {
+				fatal("%v", err)
+			}
+			fw, err = core.Load(bytes.NewReader(payload))
+			if err != nil {
+				fatal("load model %s: %v", *loadModel, err)
+			}
+			logf("loaded framework from %s (T_P=%.3f)", *loadModel, fw.TP)
+		} else {
+			store, err := artifact.Open(*storeDir)
+			if err != nil {
+				fatal("%v", err)
+			}
+			fw, err = loadOrTrain(ctx, store, *modelName, b, *trainSamples, *seed, *workers, reg, logf)
+			if err != nil {
+				fatal("%v", err)
+			}
+		}
+		diagnosers, err = volume.NewLocalDiagnosers(fw, b, nWorkers, false)
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	svc, err := stream.Open(stream.Options{
+		Dir:              *dir,
+		Diagnosers:       diagnosers,
+		Netlist:          b.Netlist,
+		Design:           b.Name,
+		TopK:             *topK,
+		Alpha:            *alpha,
+		Timeout:          *timeout,
+		Window:           *window,
+		EvalEvery:        *evalEvery,
+		CheckpointEvery:  *checkpointEvery,
+		MaxBacklog:       *maxBacklog,
+		DriftThreshold:   *drift,
+		DegradedFraction: *degraded,
+		Metrics:          reg,
+		Logf:             logf,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: stream.Instrument(reg, stream.NewHandler(svc))}
+	errCh := make(chan error, 1)
+	go func() {
+		st := svc.Status()
+		logf("monitoring %s on %s (applied %d, backlog %d, window %d, eval every %d, checkpoint every %d)",
+			b.Name, *addr, st.Applied, st.Backlog, *window, *evalEvery, *checkpointEvery)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		svc.Close()
+		fatal("listen: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop admitting, close the listener, finish the
+	// diagnosis backlog, write the final checkpoint. Everything durable is
+	// crash-safe regardless — the drain only saves the re-diagnosis cost
+	// on the next start.
+	logf("drain: finishing backlog of %d", svc.Backlog())
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Drain(drainCtx); err != nil {
+		logf("drain incomplete (the WAL will replay the rest on restart): %v", err)
+	}
+	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	httpSrv.Shutdown(shutdownCtx)
+	if err := svc.Close(); err != nil {
+		logf("close: %v", err)
+	}
+	st := svc.Status()
+	logf("stopped: %d applied, %d alerts, %d checkpoints", st.Applied, st.Alerts, st.Checkpoints)
+}
+
+// loadOrTrain mirrors m3dserve: newest valid framework from the store, or
+// train one and seal it so the next start is instant.
+func loadOrTrain(ctx context.Context, store *artifact.Store, name string, b *dataset.Bundle,
+	trainSamples int, seed int64, workers int,
+	reg *obs.Registry, logf func(string, ...any)) (*core.Framework, error) {
+
+	if payload, path, v, err := store.LoadLatest(name); err == nil {
+		fw, err := core.Load(bytes.NewReader(payload))
+		if err != nil {
+			return nil, fmt.Errorf("stored framework %s is invalid: %w", path, err)
+		}
+		logf("loaded framework %s v%d (T_P=%.3f)", name, v, fw.TP)
+		return fw, nil
+	} else if !errors.Is(err, artifact.ErrNotFound) {
+		return nil, err
+	}
+
+	if trainSamples <= 0 {
+		return nil, fmt.Errorf("store holds no framework %q and -train-samples is 0", name)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	logf("store holds no framework %q; training on %d samples ...", name, trainSamples)
+	train := b.Generate(dataset.SampleOptions{
+		Count: trainSamples, Seed: seed + 2,
+		MIVFraction: 0.2, Workers: workers, Obs: reg,
+	})
+	fw, err := core.Train(train, core.TrainOptions{Seed: seed + 3, Workers: workers, Obs: reg})
+	if err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := fw.Save(&buf); err != nil {
+		return nil, err
+	}
+	path, v, err := store.Save(name, func(w io.Writer) error { _, err := w.Write(buf.Bytes()); return err })
+	if err != nil {
+		return nil, err
+	}
+	logf("trained and stored framework v%d at %s (T_P=%.3f)", v, path, fw.TP)
+	return fw, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "m3dstream: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+package artifact
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+)
+
+// Record framing: the append-only counterpart of the sealed-artifact
+// footer. A sealed artifact checksums one whole file; a frame checksums one
+// record inside a growing file, so write-ahead logs and alert journals can
+// share the store's CRC64-ECMA integrity discipline without inventing a
+// second format.
+//
+// One frame is:
+//
+//	magic   (4 bytes)  "M3DR"
+//	length  (4 bytes)  big-endian payload byte count
+//	crc64   (8 bytes)  CRC64-ECMA of the payload
+//	payload (length bytes)
+//
+// A reader distinguishes three end states, which is exactly what crash
+// recovery needs: a clean end (io.EOF at a frame boundary), a torn tail
+// (ErrTruncatedFrame — the process died mid-append; truncate to the last
+// good boundary and continue), and corruption (ErrCorrupt — bytes after
+// this point cannot be trusted).
+
+// FrameMagic starts every frame; it doubles as a resync sanity check when a
+// frame boundary lands on garbage.
+const FrameMagic = "M3DR"
+
+// frameHeaderSize is magic(4) + length(4) + crc64(8).
+const frameHeaderSize = 16
+
+// MaxFramePayload caps one frame's payload so a corrupt length field cannot
+// drive a multi-GB allocation.
+const MaxFramePayload = 64 << 20
+
+// ErrTruncatedFrame reports a frame cut short by a crash mid-append: the
+// header or payload stops before its declared end. Unlike ErrCorrupt, the
+// prefix before the torn frame is intact and usable.
+var ErrTruncatedFrame = errors.New("artifact: truncated frame")
+
+// AppendFrame writes one framed record to w. It performs exactly one Write
+// call, so an io.Writer that is an *os.File in append mode sees the frame
+// as a single contiguous write (a crash can still tear it — readers must
+// recover via ErrTruncatedFrame, not assume atomicity).
+func AppendFrame(w io.Writer, payload []byte) (int, error) {
+	if len(payload) > MaxFramePayload {
+		return 0, fmt.Errorf("artifact: frame payload %d bytes exceeds cap %d", len(payload), MaxFramePayload)
+	}
+	buf := make([]byte, frameHeaderSize+len(payload))
+	copy(buf, FrameMagic)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(len(payload)))
+	binary.BigEndian.PutUint64(buf[8:16], crc64.Checksum(payload, crcTable))
+	copy(buf[frameHeaderSize:], payload)
+	return w.Write(buf)
+}
+
+// FrameSize returns the on-disk byte count of a frame holding a payload of
+// n bytes.
+func FrameSize(n int) int { return frameHeaderSize + n }
+
+// FrameReader scans framed records off a stream, tracking the byte offset
+// of the last intact frame boundary so a recovering writer knows where to
+// truncate.
+type FrameReader struct {
+	r      *bufio.Reader
+	offset int64 // bytes consumed through the last valid frame
+}
+
+// NewFrameReader wraps r for frame scanning.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Offset returns the stream offset just past the last successfully read
+// frame — the safe truncation point after ErrTruncatedFrame or ErrCorrupt.
+func (fr *FrameReader) Offset() int64 { return fr.offset }
+
+// Next returns the next frame's payload. io.EOF means a clean end exactly
+// on a frame boundary; ErrTruncatedFrame means the stream ends inside a
+// frame (torn final append); ErrCorrupt means the bytes at the boundary are
+// not a frame or fail their checksum.
+func (fr *FrameReader) Next() ([]byte, error) {
+	header := make([]byte, frameHeaderSize)
+	n, err := io.ReadFull(fr.r, header)
+	if err == io.EOF && n == 0 {
+		return nil, io.EOF
+	}
+	if err == io.ErrUnexpectedEOF || (err == io.EOF && n > 0) {
+		return nil, fmt.Errorf("%w: %d header bytes of %d", ErrTruncatedFrame, n, frameHeaderSize)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("artifact: read frame header: %w", err)
+	}
+	if string(header[:4]) != FrameMagic {
+		return nil, fmt.Errorf("%w: bad frame magic %q", ErrCorrupt, header[:4])
+	}
+	length := binary.BigEndian.Uint32(header[4:8])
+	if length > MaxFramePayload {
+		return nil, fmt.Errorf("%w: frame declares %d payload bytes (cap %d)", ErrCorrupt, length, MaxFramePayload)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: payload cut short of %d bytes", ErrTruncatedFrame, length)
+		}
+		return nil, fmt.Errorf("artifact: read frame payload: %w", err)
+	}
+	want := binary.BigEndian.Uint64(header[8:16])
+	if got := crc64.Checksum(payload, crcTable); got != want {
+		return nil, fmt.Errorf("%w: frame CRC64 mismatch (want %016x, got %016x)", ErrCorrupt, want, got)
+	}
+	fr.offset += int64(frameHeaderSize) + int64(length)
+	return payload, nil
+}

@@ -1,0 +1,153 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// writeFrames appends the given payloads and returns the stream bytes.
+func writeFrames(t *testing.T, payloads ...[]byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		if _, err := AppendFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("hello"),
+		{}, // empty payload is a valid frame
+		bytes.Repeat([]byte{0xAB}, 70000),
+		[]byte("M3DR looks like magic but is payload"),
+	}
+	fr := NewFrameReader(bytes.NewReader(writeFrames(t, payloads...)))
+	for i, want := range payloads {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: payload mismatch (%d vs %d bytes)", i, len(got), len(want))
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("want clean io.EOF at end, got %v", err)
+	}
+	wantOff := 0
+	for _, p := range payloads {
+		wantOff += FrameSize(len(p))
+	}
+	if fr.Offset() != int64(wantOff) {
+		t.Fatalf("offset %d, want %d", fr.Offset(), wantOff)
+	}
+}
+
+// TestFrameTruncation cuts a two-frame stream at every possible byte length
+// inside the second frame: the first frame must always survive, the torn
+// tail must always surface as ErrTruncatedFrame (never a bogus payload),
+// and Offset must point at the end of the intact prefix.
+func TestFrameTruncation(t *testing.T) {
+	first := []byte("frame one survives")
+	second := []byte("frame two is torn")
+	data := writeFrames(t, first, second)
+	boundary := FrameSize(len(first))
+	for cut := boundary + 1; cut < len(data); cut++ {
+		fr := NewFrameReader(bytes.NewReader(data[:cut]))
+		got, err := fr.Next()
+		if err != nil || !bytes.Equal(got, first) {
+			t.Fatalf("cut %d: first frame unreadable: %v", cut, err)
+		}
+		_, err = fr.Next()
+		if !errors.Is(err, ErrTruncatedFrame) {
+			t.Fatalf("cut %d: want ErrTruncatedFrame, got %v", cut, err)
+		}
+		if fr.Offset() != int64(boundary) {
+			t.Fatalf("cut %d: offset %d, want %d", cut, fr.Offset(), boundary)
+		}
+	}
+}
+
+// TestFrameBitFlip flips every byte of a frame stream in turn: every flip
+// must be detected (ErrCorrupt or ErrTruncatedFrame from a shrunk length),
+// and no flip may silently deliver a wrong payload.
+func TestFrameBitFlip(t *testing.T) {
+	payloads := [][]byte{[]byte("integrity"), []byte("matters")}
+	data := writeFrames(t, payloads...)
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		fr := NewFrameReader(bytes.NewReader(mut))
+		for j := 0; ; j++ {
+			p, err := fr.Next()
+			if err == io.EOF {
+				t.Fatalf("flip at byte %d: stream read clean to EOF", i)
+			}
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncatedFrame) {
+					t.Fatalf("flip at byte %d: unexpected error class: %v", i, err)
+				}
+				break // detected
+			}
+			if j >= len(payloads) || !bytes.Equal(p, payloads[j]) {
+				t.Fatalf("flip at byte %d delivered a wrong payload undetected", i)
+			}
+		}
+	}
+}
+
+func TestFramePayloadCap(t *testing.T) {
+	if _, err := AppendFrame(io.Discard, make([]byte, MaxFramePayload+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+	// A corrupt length field must be rejected before allocation.
+	var buf bytes.Buffer
+	buf.WriteString(FrameMagic)
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // length = 4 GiB
+	buf.Write(make([]byte, 8))
+	fr := NewFrameReader(&buf)
+	if _, err := fr.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt for oversized declared length, got %v", err)
+	}
+}
+
+func TestFrameSingleWrite(t *testing.T) {
+	// AppendFrame promises one Write call (append-mode file friendliness).
+	cw := &countingWriter{}
+	if _, err := AppendFrame(cw, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if cw.calls != 1 {
+		t.Fatalf("AppendFrame issued %d writes, want 1", cw.calls)
+	}
+}
+
+type countingWriter struct{ calls int }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.calls++
+	return len(p), nil
+}
+
+func ExampleAppendFrame() {
+	var buf bytes.Buffer
+	AppendFrame(&buf, []byte("record 1"))
+	AppendFrame(&buf, []byte("record 2"))
+	fr := NewFrameReader(&buf)
+	for {
+		p, err := fr.Next()
+		if err != nil {
+			break
+		}
+		fmt.Println(string(p))
+	}
+	// Output:
+	// record 1
+	// record 2
+}

@@ -9,6 +9,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"repro/internal/scan"
@@ -24,9 +25,31 @@ type Log struct {
 	// diagnosis engine must then ignore predicted failures beyond the last
 	// recorded pattern.
 	Truncated bool
+	// Meta carries optional tester provenance. Zero-valued fields are not
+	// serialized, so logs without provenance stay byte-identical to the
+	// pre-Meta format.
+	Meta Meta
 	// Fails lists failing bits sorted by (pattern, observation).
 	Fails []scan.Failure
 }
+
+// Meta is per-log tester provenance: which wafer and lot the die came from
+// and when the tester recorded the failures. Streaming ingestion keys its
+// windowed aggregation (per-lot drift, wafer histograms) on these fields;
+// batch diagnosis ignores them entirely.
+type Meta struct {
+	// Wafer identifies the wafer the die was cut from (tester wafer ID; a
+	// single whitespace-free token).
+	Wafer string
+	// Lot identifies the production lot (a single whitespace-free token).
+	Lot string
+	// TesterTime is the tester's timestamp for the log in Unix
+	// milliseconds; 0 means unrecorded.
+	TesterTime int64
+}
+
+// IsZero reports whether no provenance field is set.
+func (m Meta) IsZero() bool { return m.Wafer == "" && m.Lot == "" && m.TesterTime == 0 }
 
 // LastPattern returns the highest failing pattern ID, or -1 for an empty
 // log.
@@ -81,7 +104,7 @@ func (l *Log) Sanitized(patterns, numObs int) (*Log, int) {
 	if bad == 0 {
 		return l, 0
 	}
-	out := &Log{Design: l.Design, Compacted: l.Compacted, Truncated: l.Truncated}
+	out := &Log{Design: l.Design, Compacted: l.Compacted, Truncated: l.Truncated, Meta: l.Meta}
 	out.Fails = make([]scan.Failure, 0, len(l.Fails)-bad)
 	for _, f := range l.Fails {
 		if f.Pattern < 0 || int(f.Pattern) >= patterns || f.Obs < 0 || int(f.Obs) >= numObs {
@@ -94,17 +117,26 @@ func (l *Log) Sanitized(patterns, numObs int) (*Log, int) {
 
 // Write serializes the log in a simple line format:
 //
-//	FAILLOG <design> compacted=<bool> [truncated=true]
+//	FAILLOG <design> compacted=<bool> [truncated=true] [wafer=<id>] [lot=<id>] [ts=<ms>]
 //	<pattern> <obs>
 //	...
 //
-// The truncated flag is only emitted when set, so untruncated logs are
-// byte-identical to the original two-flag format.
+// The truncated flag and the Meta fields are only emitted when set, so
+// logs without them are byte-identical to the original two-flag format.
 func Write(w io.Writer, l *Log) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "FAILLOG %s compacted=%t", l.Design, l.Compacted)
 	if l.Truncated {
 		fmt.Fprintf(bw, " truncated=true")
+	}
+	if l.Meta.Wafer != "" {
+		fmt.Fprintf(bw, " wafer=%s", l.Meta.Wafer)
+	}
+	if l.Meta.Lot != "" {
+		fmt.Fprintf(bw, " lot=%s", l.Meta.Lot)
+	}
+	if l.Meta.TesterTime != 0 {
+		fmt.Fprintf(bw, " ts=%d", l.Meta.TesterTime)
 	}
 	fmt.Fprintln(bw)
 	for _, f := range l.Fails {
@@ -122,7 +154,7 @@ func Read(r io.Reader) (*Log, error) {
 		return nil, fmt.Errorf("failurelog: empty input")
 	}
 	header := strings.Fields(sc.Text())
-	if len(header) < 3 || len(header) > 4 || header[0] != "FAILLOG" {
+	if len(header) < 3 || header[0] != "FAILLOG" {
 		return nil, fmt.Errorf("failurelog: bad header %q", sc.Text())
 	}
 	l := &Log{Design: header[1]}
@@ -134,14 +166,39 @@ func Read(r io.Reader) (*Log, error) {
 	default:
 		return nil, fmt.Errorf("failurelog: bad header flag %q", header[2])
 	}
-	if len(header) == 4 {
-		switch header[3] {
-		case "truncated=true":
-			l.Truncated = true
-		case "truncated=false":
-			l.Truncated = false
+	for _, field := range header[3:] {
+		key, val, found := strings.Cut(field, "=")
+		if !found {
+			return nil, fmt.Errorf("failurelog: bad header flag %q", field)
+		}
+		switch key {
+		case "truncated":
+			switch val {
+			case "true":
+				l.Truncated = true
+			case "false":
+				l.Truncated = false
+			default:
+				return nil, fmt.Errorf("failurelog: bad header flag %q", field)
+			}
+		case "wafer":
+			if val == "" {
+				return nil, fmt.Errorf("failurelog: bad header flag %q", field)
+			}
+			l.Meta.Wafer = val
+		case "lot":
+			if val == "" {
+				return nil, fmt.Errorf("failurelog: bad header flag %q", field)
+			}
+			l.Meta.Lot = val
+		case "ts":
+			ts, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("failurelog: bad header flag %q", field)
+			}
+			l.Meta.TesterTime = ts
 		default:
-			return nil, fmt.Errorf("failurelog: bad header flag %q", header[3])
+			return nil, fmt.Errorf("failurelog: bad header flag %q", field)
 		}
 	}
 	for sc.Scan() {

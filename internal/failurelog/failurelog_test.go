@@ -161,3 +161,75 @@ func TestSanitized(t *testing.T) {
 		t.Fatalf("clean log should be returned as-is, got %+v dropped=%d", got, dropped)
 	}
 }
+
+func TestMetaRoundTrip(t *testing.T) {
+	l := sample()
+	l.Meta = Meta{Wafer: "W07", Lot: "LOT-3141", TesterTime: 1754500000123}
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(buf.String(), "\n", 2)[0]
+	if header != "FAILLOG aes compacted=true wafer=W07 lot=LOT-3141 ts=1754500000123" {
+		t.Fatalf("unexpected header: %q", header)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != l.Meta {
+		t.Fatalf("Meta round trip: got %+v, want %+v", got.Meta, l.Meta)
+	}
+}
+
+func TestMetaZeroKeepsOldHeader(t *testing.T) {
+	// A log without provenance must stay byte-identical to the pre-Meta
+	// format, so existing logs and goldens never change.
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	if header := strings.SplitN(buf.String(), "\n", 2)[0]; header != "FAILLOG aes compacted=true" {
+		t.Fatalf("zero-Meta header changed: %q", header)
+	}
+}
+
+func TestMetaHeaderCompat(t *testing.T) {
+	// Meta fields compose with the truncated flag in any emitted order, and
+	// old headers still parse to a zero Meta.
+	for _, tc := range []struct {
+		src  string
+		meta Meta
+	}{
+		{"FAILLOG aes compacted=true\n1 2\n", Meta{}},
+		{"FAILLOG aes compacted=true truncated=true wafer=W1\n1 2\n", Meta{Wafer: "W1"}},
+		{"FAILLOG aes compacted=true lot=L9 ts=42\n", Meta{Lot: "L9", TesterTime: 42}},
+	} {
+		l, err := Read(strings.NewReader(tc.src))
+		if err != nil {
+			t.Fatalf("%q: %v", tc.src, err)
+		}
+		if l.Meta != tc.meta {
+			t.Errorf("%q: Meta=%+v, want %+v", tc.src, l.Meta, tc.meta)
+		}
+	}
+	for _, bad := range []string{
+		"FAILLOG aes compacted=true ts=soon\n",
+		"FAILLOG aes compacted=true wafer=\n",
+		"FAILLOG aes compacted=true lot=\n",
+		"FAILLOG aes compacted=true color=red\n",
+	} {
+		if _, err := Read(strings.NewReader(bad)); err == nil {
+			t.Errorf("%q: bad header accepted", bad)
+		}
+	}
+}
+
+func TestSanitizedKeepsMeta(t *testing.T) {
+	l := &Log{Design: "aes", Meta: Meta{Wafer: "W2", Lot: "L2", TesterTime: 7},
+		Fails: []scan.Failure{{Pattern: -1, Obs: 0}, {Pattern: 1, Obs: 1}}}
+	out, dropped := l.Sanitized(4, 4)
+	if dropped != 1 || out.Meta != l.Meta {
+		t.Fatalf("Sanitized dropped Meta: %+v (dropped=%d)", out.Meta, dropped)
+	}
+}

@@ -13,6 +13,10 @@ func FuzzRead(f *testing.F) {
 	f.Add("FAILLOG aes compacted=true\n1 2\n3 4\n")
 	f.Add("FAILLOG tate compacted=false truncated=true\n0 0\n")
 	f.Add("FAILLOG x compacted=false truncated=false\n")
+	f.Add("FAILLOG aes compacted=true wafer=W07 lot=LOT-3141 ts=1754500000123\n5 17\n")
+	f.Add("FAILLOG aes compacted=false truncated=true lot=L1\n0 0\n")
+	f.Add("FAILLOG aes compacted=true ts=notanumber\n")
+	f.Add("FAILLOG aes compacted=true wafer=\n")
 	f.Add("FAILLOG aes compacted=maybe\n")
 	f.Add("")
 	f.Add("garbage\n-1 -2\n")

@@ -165,9 +165,15 @@ type DiagnoseOptions struct {
 	Timeout time.Duration
 }
 
-// do runs one HTTP call with the retry loop. body is re-created per
-// attempt via mkBody.
-func (c *Client) do(ctx context.Context, method, url string, mkBody func() io.Reader) (*http.Response, error) {
+// doJSON runs one HTTP call with the retry loop, reading and decoding the
+// JSON response body inside each attempt. Pulling the body read into the
+// loop matters for crash-safety: a server that dies mid-chunked-response
+// surfaces as a read or decode error on an otherwise-200 response, and
+// that is a transient failure of this attempt — it is retried like any
+// transport error instead of leaking a partially-decoded value to the
+// caller. body is re-created per attempt via mkBody; out (if non-nil) is
+// only trustworthy when the returned error is nil.
+func (c *Client) doJSON(ctx context.Context, method, url string, mkBody func() io.Reader, out any) error {
 	start := time.Now()
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
@@ -177,7 +183,7 @@ func (c *Client) do(ctx context.Context, method, url string, mkBody func() io.Re
 			// rather than left running until it fires.
 			wait := c.backoff(attempt-1, lastRetryAfter(lastErr))
 			if c.MaxElapsed > 0 && time.Since(start)+wait > c.MaxElapsed {
-				return nil, fmt.Errorf("serve: client: retry budget exhausted after %v of MaxElapsed %v: %w",
+				return fmt.Errorf("serve: client: retry budget exhausted after %v of MaxElapsed %v: %w",
 					time.Since(start).Round(time.Millisecond), c.MaxElapsed, unwrapRetry(lastErr))
 			}
 			timer := time.NewTimer(wait)
@@ -185,7 +191,7 @@ func (c *Client) do(ctx context.Context, method, url string, mkBody func() io.Re
 			case <-timer.C:
 			case <-ctx.Done():
 				timer.Stop()
-				return nil, fmt.Errorf("serve: client: %w (last error: %v)", ctx.Err(), lastErr)
+				return fmt.Errorf("serve: client: %w (last error: %v)", ctx.Err(), lastErr)
 			}
 		}
 		var body io.Reader
@@ -194,12 +200,12 @@ func (c *Client) do(ctx context.Context, method, url string, mkBody func() io.Re
 		}
 		req, err := http.NewRequestWithContext(ctx, method, url, body)
 		if err != nil {
-			return nil, fmt.Errorf("serve: client: %w", err)
+			return fmt.Errorf("serve: client: %w", err)
 		}
 		resp, err := c.httpClient().Do(req)
 		if err != nil {
 			if ctx.Err() != nil {
-				return nil, fmt.Errorf("serve: client: %w", ctx.Err())
+				return fmt.Errorf("serve: client: %w", ctx.Err())
 			}
 			lastErr = err // transport error: retry
 			continue
@@ -213,9 +219,31 @@ func (c *Client) do(ctx context.Context, method, url string, mkBody func() io.Re
 			}
 			continue
 		}
-		return resp, nil
+		if resp.StatusCode != http.StatusOK {
+			se := statusError(resp)
+			resp.Body.Close()
+			return se
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("serve: client: %w", ctx.Err())
+			}
+			lastErr = fmt.Errorf("read response: %w", err) // connection died mid-body: retry
+			continue
+		}
+		if out != nil {
+			if err := json.Unmarshal(data, out); err != nil {
+				// A truncated chunked body can arrive as a clean-EOF short
+				// read; it shows up here as malformed JSON. Same remedy.
+				lastErr = fmt.Errorf("decode response (%d bytes): %w", len(data), err)
+				continue
+			}
+		}
+		return nil
 	}
-	return nil, fmt.Errorf("serve: client: giving up after %d attempts: %w", c.maxAttempts(), unwrapRetry(lastErr))
+	return fmt.Errorf("serve: client: giving up after %d attempts: %w", c.maxAttempts(), unwrapRetry(lastErr))
 }
 
 // retryAfterError carries the server's Retry-After hint alongside the
@@ -257,17 +285,10 @@ func (c *Client) Diagnose(ctx context.Context, log *failurelog.Log, opt Diagnose
 	if opt.Timeout > 0 {
 		url += sep + "timeout_ms=" + strconv.FormatInt(opt.Timeout.Milliseconds(), 10)
 	}
-	resp, err := c.do(ctx, http.MethodPost, url, func() io.Reader { return bytes.NewReader(buf.Bytes()) })
+	var out DiagnoseResponse
+	err := c.doJSON(ctx, http.MethodPost, url, func() io.Reader { return bytes.NewReader(buf.Bytes()) }, &out)
 	if err != nil {
 		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, statusError(resp)
-	}
-	var out DiagnoseResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("serve: client: decode response: %w", err)
 	}
 	return &out, nil
 }
@@ -361,19 +382,11 @@ func (c *Client) WaitReady(ctx context.Context) error {
 // Reload triggers a hot reload from the server's artifact store and
 // returns the loaded version.
 func (c *Client) Reload(ctx context.Context) (int, error) {
-	resp, err := c.do(ctx, http.MethodPost, c.Base+"/reload", nil)
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return 0, statusError(resp)
-	}
 	var out struct {
 		Version int `json:"version"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return 0, fmt.Errorf("serve: client: decode response: %w", err)
+	if err := c.doJSON(ctx, http.MethodPost, c.Base+"/reload", nil, &out); err != nil {
+		return 0, err
 	}
 	return out.Version, nil
 }

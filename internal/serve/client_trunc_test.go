@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/failurelog"
+	"repro/internal/scan"
+)
+
+// truncHandler serves /diagnose: the first failBefore requests write a
+// 200 header plus half a JSON body and then kill the connection; later
+// requests answer completely.
+type truncHandler struct {
+	calls      atomic.Int32
+	failBefore int32
+	body       string
+}
+
+func (h *truncHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := h.calls.Add(1)
+	if n <= h.failBefore {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(h.body[:len(h.body)/2]))
+		w.(http.Flusher).Flush()
+		// Abort without finishing the chunked body: the client sees a
+		// truncated response on an otherwise-healthy 200.
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err == nil {
+			conn.Close()
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte(h.body))
+}
+
+func truncLog() *failurelog.Log {
+	return &failurelog.Log{Design: "d", Fails: []scan.Failure{{Pattern: 1, Obs: 2}}}
+}
+
+// TestClientRetriesTruncatedResponse kills the connection mid-body on the
+// first two attempts; the client must treat the torn 200 as retryable and
+// succeed on the third attempt with a fully-decoded response — never
+// surfacing a partially-decoded value.
+func TestClientRetriesTruncatedResponse(t *testing.T) {
+	h := &truncHandler{failBefore: 2,
+		body: `{"predicted_tier": 3, "confidence": 0.75, "candidates": [{"gate": 7, "score": 1.5}]}`}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := &Client{Base: srv.URL, MaxAttempts: 4, BaseBackoff: time.Millisecond, Seed: 1}
+	defer c.Close()
+	out, err := c.Diagnose(context.Background(), truncLog(), DiagnoseOptions{})
+	if err != nil {
+		t.Fatalf("Diagnose after truncated responses: %v", err)
+	}
+	if got := h.calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 truncated + 1 ok)", got)
+	}
+	if out.PredictedTier != 3 || len(out.Candidates) != 1 || out.Candidates[0].Gate != 7 {
+		t.Fatalf("decoded response = %+v, want the complete body", out)
+	}
+}
+
+// TestClientTruncationExhaustsRetries keeps killing every connection; the
+// call must fail with a decode/read error after MaxAttempts, not return a
+// half-decoded response.
+func TestClientTruncationExhaustsRetries(t *testing.T) {
+	h := &truncHandler{failBefore: 1 << 30,
+		body: `{"predicted_tier": 3, "confidence": 0.75}`}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := &Client{Base: srv.URL, MaxAttempts: 3, BaseBackoff: time.Millisecond, Seed: 1}
+	defer c.Close()
+	out, err := c.Diagnose(context.Background(), truncLog(), DiagnoseOptions{})
+	if err == nil {
+		t.Fatalf("truncated-forever server produced %+v, want error", out)
+	}
+	if !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Fatalf("error = %v, want retry exhaustion", err)
+	}
+	if got := h.calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want MaxAttempts=3", got)
+	}
+}

@@ -1,0 +1,130 @@
+package stream
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/artifact"
+)
+
+// Alert kinds. Data alerts are deterministic — a pure function of the
+// applied-record sequence — and live in the replay-invariant alert log.
+const (
+	// AlertSystematic fires the first time the Poisson-tail detector flags
+	// a cell (once per cell for the stream's lifetime).
+	AlertSystematic = "systematic"
+	// AlertDrift fires on the rising edge of the window cell-mix moving
+	// more than the drift threshold between consecutive evaluations.
+	AlertDrift = "drift"
+	// AlertDegraded fires on the rising edge of the window quarantine
+	// fraction crossing its threshold.
+	AlertDegraded = "degraded"
+)
+
+// Ops alert kinds. Ops alerts record operational conditions — functions
+// of wall-clock timing and load, not of the data — so they are kept in a
+// separate durable log that is NOT expected to be replay-invariant.
+const (
+	// OpsBackpressure fires when admission control starts rejecting with
+	// 429 (once per backlog episode).
+	OpsBackpressure = "backpressure"
+	// OpsWALGrowth fires when the WAL exceeds its growth budget.
+	OpsWALGrowth = "wal_growth"
+)
+
+// Alert is one durable data-alert record. It deliberately carries no
+// wall-clock timestamp: the record is a pure function of the applied
+// prefix, so an interrupted-and-replayed stream reproduces the exact same
+// bytes. Seq is the stream-lifetime alert counter and AtLog the applied
+// record count when the detector tripped.
+type Alert struct {
+	Seq    int    `json:"seq"`
+	AtLog  int64  `json:"at_log"`
+	Kind   string `json:"kind"`
+	Cell   string `json:"cell,omitempty"`
+	Detail string `json:"detail"`
+}
+
+// OpsAlert is one durable operational alert. Unlike Alert it is
+// timestamped and timing-dependent.
+type OpsAlert struct {
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+	UnixMs int64  `json:"unix_ms"`
+}
+
+// framedLog is an append-only file of CRC-framed JSON records — the
+// storage under both the alert log and the ops log. Opening truncates a
+// torn tail (crash mid-append) back to the last whole frame; appends are
+// fsynced individually (alerts are rare; latency is irrelevant next to
+// losing one).
+type framedLog struct {
+	f *os.File
+}
+
+// openFramedLog opens path (creating it if needed), repairs a torn tail,
+// and returns the surviving record payloads in order.
+func openFramedLog(path string) (*framedLog, [][]byte, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("stream: alert log: %w", err)
+	}
+	fr := artifact.NewFrameReader(f)
+	var records [][]byte
+	for {
+		payload, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if !errors.Is(err, artifact.ErrTruncatedFrame) && !errors.Is(err, artifact.ErrCorrupt) {
+				f.Close()
+				return nil, nil, fmt.Errorf("stream: alert log: %w", err)
+			}
+			if terr := f.Truncate(fr.Offset()); terr != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("stream: alert log: truncate torn tail: %w", terr)
+			}
+			break
+		}
+		records = append(records, payload)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("stream: alert log: %w", err)
+	}
+	return &framedLog{f: f}, records, nil
+}
+
+// append frames, writes, and fsyncs one record.
+func (l *framedLog) append(v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("stream: alert log: %w", err)
+	}
+	if _, err := artifact.AppendFrame(l.f, payload); err != nil {
+		return fmt.Errorf("stream: alert log: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("stream: alert log: %w", err)
+	}
+	return nil
+}
+
+func (l *framedLog) close() error { return l.f.Close() }
+
+// decodeAlerts parses framed alert-log payloads.
+func decodeAlerts(records [][]byte) ([]Alert, error) {
+	out := make([]Alert, 0, len(records))
+	for _, rec := range records {
+		var a Alert
+		if err := json.Unmarshal(rec, &a); err != nil {
+			return nil, fmt.Errorf("stream: alert log: decode: %w", err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

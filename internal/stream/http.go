@@ -1,0 +1,214 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// maxLogBytes bounds one ingested log (and one batch line).
+const maxLogBytes = 8 << 20
+
+// NewHandler wires the service's HTTP API:
+//
+//	POST /ingest?name=N      one failure log (text format) in the body
+//	POST /ingest/batch       NDJSON lines {"name": ..., "log": base64}
+//	GET  /stream/status      service state
+//	GET  /stream/report      cumulative report (?window=1 for the window)
+//	GET  /stream/alerts      durable data alerts (?ops=1 for ops alerts)
+//	GET  /healthz            liveness
+//	GET  /metrics            Prometheus metrics (when a registry is set)
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/ingest/batch", s.handleIngestBatch)
+	mux.HandleFunc("/stream/status", s.handleStatus)
+	mux.HandleFunc("/stream/report", s.handleReport)
+	mux.HandleFunc("/stream/alerts", s.handleAlerts)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "design": s.opt.Design})
+	})
+	if s.opt.Metrics != nil {
+		mux.Handle("/metrics", s.opt.Metrics)
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// ingestError maps service ingest errors onto HTTP semantics. The
+// Retry-After hint on 429 tells the serve.Client's backoff exactly when
+// the backlog is worth re-probing.
+func ingestError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrBacklog):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrNameConflict):
+		writeError(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, ErrFailed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	raw, err := io.ReadAll(io.LimitReader(r.Body, maxLogBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(raw) > maxLogBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "log exceeds %d bytes", maxLogBytes)
+		return
+	}
+	st, err := s.Ingest(r.Context(), r.URL.Query().Get("name"), raw)
+	if err != nil {
+		ingestError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// batchLine is one NDJSON request line of /ingest/batch. Log carries the
+// raw log bytes base64-encoded (encoding/json's []byte convention).
+type batchLine struct {
+	Name string `json:"name,omitempty"`
+	Log  []byte `json:"log"`
+}
+
+// batchResult is one NDJSON response line, in request order.
+type batchResult struct {
+	Name   string `json:"name,omitempty"`
+	Status string `json:"status,omitempty"`
+	Hash   string `json:"hash,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// handleIngestBatch streams a chunked NDJSON batch: each line is
+// ingested independently (durable before its response line is written),
+// so a connection cut mid-batch loses only un-acknowledged lines — the
+// client re-sends the whole batch and dedup keeps the aggregate exact.
+func (s *Service) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64*1024), maxLogBytes*2)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var in batchLine
+		out := batchResult{}
+		if err := json.Unmarshal(line, &in); err != nil {
+			out.Error = fmt.Sprintf("decode line: %v", err)
+		} else {
+			out.Name = in.Name
+			st, err := s.Ingest(r.Context(), in.Name, in.Log)
+			if err != nil {
+				// Backpressure mid-batch stops the stream: the client
+				// re-sends the remainder after Retry-After.
+				if errors.Is(err, ErrBacklog) {
+					out.Error = err.Error()
+					out.Status = "backpressure"
+					enc.Encode(out)
+					return
+				}
+				out.Error = err.Error()
+			} else {
+				out.Status = st.Status
+				out.Hash = st.Hash
+				out.Name = st.Name
+			}
+		}
+		if err := enc.Encode(out); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		enc.Encode(batchResult{Error: fmt.Sprintf("read batch: %v", err)})
+	}
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("window") != "" {
+		writeJSON(w, http.StatusOK, s.WindowReport())
+		return
+	}
+	// Same bytes as m3dvolume's report.json (indent-2 + newline), so an
+	// operator can cmp the streaming report against a batch rerun.
+	writeJSON(w, http.StatusOK, s.Report())
+}
+
+func (s *Service) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("ops") != "" {
+		writeJSON(w, http.StatusOK, s.OpsAlerts())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Alerts())
+}
+
+// Instrument wraps a handler with request counting and latency metrics.
+func Instrument(reg *obs.Registry, h http.Handler) http.Handler {
+	if reg == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		h.ServeHTTP(sw, r)
+		reg.Counter("m3d_stream_http_total", "route", r.URL.Path, "code", strconv.Itoa(sw.code)).Inc()
+		reg.Histogram("m3d_stream_http_seconds", obs.DurationBuckets, "route", r.URL.Path).ObserveSince(t0)
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

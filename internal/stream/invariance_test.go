@@ -1,0 +1,234 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/volume"
+)
+
+// The chaos-replay acceptance test: a planted-systematic stream that is
+// killed (SIGKILL-style, no graceful shutdown) and restarted at random
+// points — with torn WAL tails, flipped WAL bits, and corrupt newest
+// checkpoints injected between incarnations — must converge, once every
+// log has been re-sent, to a final report and data-alert sequence that
+// are bitwise identical to an uninterrupted run over the same logs.
+
+// mutilate corrupts durable state the way a crash (or bad sector) would:
+// only the *last* WAL segment (a torn tail) or the newest checkpoint
+// (which recovery quarantines and falls back from). Sealed-segment
+// corruption is deliberately out of scope — that is unrecoverable by
+// contract and OpenWAL refuses it loudly.
+func mutilate(t *testing.T, rng *rand.Rand, dir string, choice int) string {
+	t.Helper()
+	switch choice {
+	case 0: // clean crash, durable state intact
+		return "none"
+	case 1: // torn tail: drop 1..200 bytes off the open WAL segment
+		p := activeWAL(t, dir)
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			return "none"
+		}
+		cut := int64(rng.Intn(200)) + 1
+		if cut > st.Size() {
+			cut = st.Size()
+		}
+		if err := os.Truncate(p, st.Size()-cut); err != nil {
+			t.Fatal(err)
+		}
+		return "torn-tail"
+	case 2: // bit flip inside the open WAL segment
+		p := activeWAL(t, dir)
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			return "none"
+		}
+		pos := rng.Intn(len(data))
+		data[pos] ^= 1 << uint(rng.Intn(8))
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return "bit-flip"
+	default: // corrupt the newest checkpoint version
+		matches, err := filepath.Glob(filepath.Join(dir, "checkpoints", "checkpoint.v*.art"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(matches) == 0 {
+			return "none"
+		}
+		sort.Strings(matches)
+		p := matches[len(matches)-1]
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			return "none"
+		}
+		data[rng.Intn(len(data))] ^= 0xFF
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return "checkpoint"
+	}
+}
+
+// activeWAL returns the single open WAL segment in dir.
+func activeWAL(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "wal", "wal-*.open"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("active segment: %v (%d matches)", err, len(matches))
+	}
+	return matches[0]
+}
+
+func TestChaosReplayInvariance(t *testing.T) {
+	fx := getFixture(t)
+	ctx := context.Background()
+
+	// Uninterrupted reference run.
+	refDir := t.TempDir()
+	ref, err := Open(streamOptions(t, refDir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fx.raws {
+		if _, err := ref.Ingest(ctx, fx.names[i], fx.raws[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantRep, wantAlerts := drainAndReport(t, ref)
+	wantStatus := ref.Status()
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := reportJSON(t, wantRep)
+	if len(wantAlerts) == 0 {
+		t.Fatal("reference run raised no alerts; the fixture should plant a systematic")
+	}
+
+	// Chaos run: crash/restart cycles over one durable directory. Every
+	// incarnation re-sends the full log sequence from the top (at-least-
+	// once delivery), crashing after a random number of sends.
+	rng := rand.New(rand.NewSource(42))
+	dir := t.TempDir()
+	const rounds = 8
+	kinds := map[string]int{}
+	maxSent := 0
+	for round := 0; round < rounds; round++ {
+		s, err := Open(streamOptions(t, dir, 2))
+		if err != nil {
+			t.Fatalf("round %d: reopen: %v", round, err)
+		}
+		// Re-send from the top past the previous high-water mark: the
+		// prefix dedups, the extension appends fresh WAL records, and the
+		// global first-append order stays 0..N-1.
+		stop := maxSent + rng.Intn(6)
+		if stop > len(fx.raws) {
+			stop = len(fx.raws)
+		}
+		for i := 0; i < stop; i++ {
+			if _, err := s.Ingest(ctx, fx.names[i], fx.raws[i]); err != nil {
+				t.Fatalf("round %d ingest %d: %v", round, i, err)
+			}
+		}
+		if stop > maxSent {
+			maxSent = stop
+		}
+		// Let the pipeline catch up a random amount before the kill so
+		// crashes land before, during, and after apply/checkpoint.
+		time.Sleep(time.Duration(rng.Intn(4000)) * time.Millisecond)
+		s.Kill()
+		// Cycle through the mutilations deterministically so every kind is
+		// exercised regardless of the seed; the rng still picks where the
+		// damage lands.
+		kind := mutilate(t, rng, dir, round%4)
+		kinds[kind]++
+		t.Logf("round %d: sent %d, crashed, mutilation=%s", round, stop, kind)
+	}
+	if len(kinds) < 3 {
+		t.Fatalf("chaos rounds only exercised %v; tune the seed", kinds)
+	}
+
+	// Final incarnation: re-send everything, drain, compare.
+	s, err := Open(streamOptions(t, dir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := range fx.raws {
+		if _, err := s.Ingest(ctx, fx.names[i], fx.raws[i]); err != nil {
+			t.Fatalf("final ingest %d: %v", i, err)
+		}
+	}
+	gotRep, gotAlerts := drainAndReport(t, s)
+	gotJSON := reportJSON(t, gotRep)
+
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("chaos-replay report diverges from uninterrupted run:\n%s\n---\n%s", gotJSON, wantJSON)
+	}
+	if len(gotAlerts) != len(wantAlerts) {
+		t.Fatalf("alert count %d != %d\ngot:  %+v\nwant: %+v",
+			len(gotAlerts), len(wantAlerts), gotAlerts, wantAlerts)
+	}
+	for i := range gotAlerts {
+		if gotAlerts[i] != wantAlerts[i] {
+			t.Fatalf("alert %d diverges:\ngot:  %+v\nwant: %+v", i, gotAlerts[i], wantAlerts[i])
+		}
+	}
+
+	// The durable alert log holds exactly the alert sequence once — no
+	// duplicates from replayed evaluations.
+	alog, records, err := openFramedLog(filepath.Join(dir, "alerts.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alog.close()
+	durable, err := decodeAlerts(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(durable) != len(wantAlerts) {
+		t.Fatalf("durable alert log has %d records, want %d: %+v", len(durable), len(wantAlerts), durable)
+	}
+	for i := range durable {
+		if durable[i] != wantAlerts[i] {
+			t.Fatalf("durable alert %d diverges:\ngot:  %+v\nwant: %+v", i, durable[i], wantAlerts[i])
+		}
+	}
+
+	gotStatus := s.Status()
+	if gotStatus.Applied != wantStatus.Applied {
+		t.Fatalf("applied %d != %d", gotStatus.Applied, wantStatus.Applied)
+	}
+	if len(gotStatus.Wafers) != len(wantStatus.Wafers) || gotStatus.Wafers["W01"] != wantStatus.Wafers["W01"] {
+		t.Fatalf("wafer tallies diverge: %+v vs %+v", gotStatus.Wafers, wantStatus.Wafers)
+	}
+
+	// And the converged stream equals the batch aggregate — the
+	// stream-service equivalent of an m3dvolume rerun over the same logs.
+	var batch []*volume.Result
+	for i, log := range fx.logs {
+		batch = append(batch, volume.Diagnose(ctx, s.opt.Diagnosers[0], fx.names[i], log,
+			volume.DiagnoseOptions{Netlist: fx.bundle.Netlist, TopK: fixTopK}))
+	}
+	want := volume.Aggregate(batch, s.opt.aggOptions())
+	if !bytes.Equal(gotJSON, reportJSON(t, want)) {
+		t.Fatal("chaos-replay report diverges from batch aggregate")
+	}
+}

@@ -1,0 +1,928 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/failurelog"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/volume"
+)
+
+// Options configures a streaming service.
+type Options struct {
+	// Dir is the service state directory: wal/ segments, checkpoints/
+	// artifact store, alerts.log, ops.log.
+	Dir string
+	// Diagnosers is the worker pool backend (one worker per diagnoser),
+	// local or remote — same contract as volume.Config.Diagnosers.
+	Diagnosers []volume.Diagnoser
+	// Netlist resolves candidate sites (required).
+	Netlist *netlist.Netlist
+	// Design names the stream (must match the logs' design).
+	Design string
+	// TopK / Alpha mirror volume.AggregateOptions (defaults 16 / 1e-4).
+	TopK  int
+	Alpha float64
+	// Timeout bounds one diagnosis; expiry quarantines the log.
+	Timeout time.Duration
+	// Window is the sliding-window size in applied records (default 32).
+	Window int
+	// EvalEvery is the detector cadence in applied records (default 8).
+	EvalEvery int
+	// CheckpointEvery is the checkpoint cadence in applied records
+	// (default 32).
+	CheckpointEvery int
+	// MaxBacklog bounds accepted-but-unapplied records; beyond it ingest
+	// sheds load with ErrBacklog (HTTP 429) (default 256).
+	MaxBacklog int
+	// SegmentBytes is the WAL rotation threshold (default 4 MiB).
+	SegmentBytes int64
+	// DriftThreshold is the total-variation trip point of the window
+	// drift detector (default 0.5).
+	DriftThreshold float64
+	// DegradedFraction is the window quarantine-fraction trip point of
+	// the degradation detector (default 0.5).
+	DegradedFraction float64
+	// WALGrowthBytes trips the WAL-growth ops alert (default 256 MiB).
+	WALGrowthBytes int64
+	// Metrics receives m3d_stream_* series (nil disables).
+	Metrics *obs.Registry
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.TopK <= 0 {
+		o.TopK = 16
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = 1e-4
+	}
+	if o.Window <= 0 {
+		o.Window = 32
+	}
+	if o.EvalEvery <= 0 {
+		o.EvalEvery = 8
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 32
+	}
+	if o.MaxBacklog <= 0 {
+		o.MaxBacklog = 256
+	}
+	if o.DriftThreshold <= 0 {
+		o.DriftThreshold = 0.5
+	}
+	if o.DegradedFraction <= 0 {
+		o.DegradedFraction = 0.5
+	}
+	if o.WALGrowthBytes <= 0 {
+		o.WALGrowthBytes = 256 << 20
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Ingest outcomes and sentinel errors.
+var (
+	// ErrBacklog is returned when admission control sheds load; the HTTP
+	// layer maps it to 429 with a Retry-After hint.
+	ErrBacklog = errors.New("stream: backlog full, retry later")
+	// ErrNameConflict is returned when a log name arrives with different
+	// content than the name's first submission.
+	ErrNameConflict = errors.New("stream: name already ingested with different content")
+	// ErrFailed is returned after an unrecoverable WAL failure; the
+	// service stops accepting writes (restart to recover).
+	ErrFailed = errors.New("stream: service failed")
+)
+
+// IngestStatus is the outcome of one accepted Ingest call.
+type IngestStatus struct {
+	// Status is "accepted" (newly durable) or "duplicate" (content hash
+	// already ingested; the original is durable).
+	Status string `json:"status"`
+	// Name is the aggregation key assigned to the log.
+	Name string `json:"name"`
+	// Hash is the content hash (sha256 hex).
+	Hash string `json:"hash"`
+}
+
+// walRecord is the JSON payload of one WAL frame.
+type walRecord struct {
+	Name string `json:"name"`
+	Hash string `json:"hash"`
+	Raw  []byte `json:"raw"`
+}
+
+// checkpoint is the sealed-artifact payload: everything needed to resume
+// aggregation and alerting without re-applying the covered prefix.
+type checkpoint struct {
+	Design  string           `json:"design"`
+	Applied int64            `json:"applied"`
+	Hashes  []string         `json:"hashes"`
+	Agg     json.RawMessage  `json:"agg"`
+	Window  []*volume.Result `json:"window"`
+	Det     detState         `json:"det"`
+	Wafer   map[string]int   `json:"wafer,omitempty"`
+	Lot     map[string]int   `json:"lot,omitempty"`
+}
+
+// ingestMark tracks one content hash from first sight to durability, so
+// a concurrent duplicate can wait for the original's fsync before being
+// acknowledged as a duplicate.
+type ingestMark struct {
+	done chan struct{}
+	err  error
+}
+
+// entry is one record queued for diagnosis.
+type entry struct {
+	idx  int64 // WAL frame index: the apply-order key
+	name string
+	hash string
+	log  *failurelog.Log
+	meta failurelog.Meta
+}
+
+// applyItem is one diagnosed record awaiting in-order application.
+type applyItem struct {
+	idx  int64
+	hash string
+	meta failurelog.Meta
+	res  *volume.Result
+}
+
+// Service is the streaming yield monitor. See the package comment for the
+// durability model.
+type Service struct {
+	opt   Options
+	wal   *WAL
+	store *artifact.Store
+	alog  *framedLog // deterministic data alerts
+	olog  *framedLog // timing-dependent ops alerts
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	work    chan entry
+	applyCh chan applyItem
+	pending atomic.Int64 // accepted but not yet applied
+
+	// imu guards the ingest fast path.
+	imu    sync.Mutex
+	marks  map[string]*ingestMark // content hash -> durability mark
+	names  map[string]string      // log name -> content hash
+	failed atomic.Pointer[error]
+
+	// amu guards the applier-owned aggregate state; the applier holds it
+	// while mutating, HTTP readers while snapshotting.
+	amu          sync.Mutex
+	agg          *volume.Aggregator
+	window       []*volume.Result
+	wafer, lot   map[string]int
+	applied      int64    // lifetime applied record count
+	appliedSet   []string // content hashes of applied records
+	det          detState
+	alertedCells map[string]bool
+	alertsMem    []Alert
+	lastDurable  int // highest alert seq already durable at recovery (-1 none)
+	prunedBase   int64
+	pruneSafe    int64 // applied count of the previous checkpoint: the prune horizon
+	checkpoints  int64
+	nextApply    int64 // first frame index the applier still waits for
+
+	// omu guards the ops-alert episode latches and memory.
+	omu          sync.Mutex
+	opsMem       []OpsAlert
+	backpressure bool
+	walGrowth    bool
+
+	draining atomic.Bool
+}
+
+// aggOptions builds the volume aggregation options the service uses for
+// both the cumulative aggregator and window reports. It must match the
+// batch campaign's options for report equality with m3dvolume.
+func (o Options) aggOptions() volume.AggregateOptions {
+	return volume.AggregateOptions{Design: o.Design, TopK: o.TopK, Alpha: o.Alpha}
+}
+
+// Open recovers the service state from dir and starts the pipeline:
+// checkpoint restored (torn newest falls back to the previous version),
+// WAL torn tail truncated, un-checkpointed WAL records replayed through
+// diagnosis, alert log deduplicated by sequence number. It returns once
+// recovery bookkeeping is done; replayed records diagnose in the
+// background exactly like live traffic.
+func Open(opt Options) (*Service, error) {
+	opt = opt.withDefaults()
+	if opt.Dir == "" {
+		return nil, errors.New("stream: Options.Dir is required")
+	}
+	if len(opt.Diagnosers) == 0 {
+		return nil, errors.New("stream: Options.Diagnosers is required")
+	}
+	if opt.Netlist == nil {
+		return nil, errors.New("stream: Options.Netlist is required")
+	}
+
+	wal, err := OpenWAL(filepath.Join(opt.Dir, "wal"), opt.SegmentBytes)
+	if err != nil {
+		return nil, err
+	}
+	store, err := artifact.Open(filepath.Join(opt.Dir, "checkpoints"))
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		opt:          opt,
+		wal:          wal,
+		store:        store,
+		ctx:          ctx,
+		cancel:       cancel,
+		work:         make(chan entry, opt.MaxBacklog+1),
+		applyCh:      make(chan applyItem, len(opt.Diagnosers)*2+4),
+		marks:        map[string]*ingestMark{},
+		names:        map[string]string{},
+		agg:          volume.NewAggregator(opt.aggOptions()),
+		wafer:        map[string]int{},
+		lot:          map[string]int{},
+		alertedCells: map[string]bool{},
+		lastDurable:  -1,
+	}
+
+	if err := s.recover(); err != nil {
+		cancel()
+		wal.Close()
+		if s.alog != nil {
+			s.alog.close()
+		}
+		if s.olog != nil {
+			s.olog.close()
+		}
+		return nil, err
+	}
+
+	for _, d := range opt.Diagnosers {
+		s.wg.Add(1)
+		go s.worker(d)
+	}
+	s.wg.Add(1)
+	go s.applier()
+	return s, nil
+}
+
+// recover loads the checkpoint and alert log, replays the WAL, and
+// queues every un-applied record for re-diagnosis.
+func (s *Service) recover() error {
+	span := obs.Start(s.ctx, "stream.recover")
+	defer span.End()
+
+	cpHashes := map[string]bool{}
+	payload, _, version, err := s.store.LoadLatest("checkpoint")
+	switch {
+	case err == nil:
+		var cp checkpoint
+		if err := json.Unmarshal(payload, &cp); err != nil {
+			return fmt.Errorf("stream: checkpoint v%d: %w", version, err)
+		}
+		if cp.Design != s.opt.Design {
+			return fmt.Errorf("stream: checkpoint design %q does not match service design %q", cp.Design, s.opt.Design)
+		}
+		agg, err := volume.LoadAggregator(s.opt.aggOptions(), cp.Agg)
+		if err != nil {
+			return fmt.Errorf("stream: checkpoint v%d: %w", version, err)
+		}
+		s.agg = agg
+		s.window = cp.Window
+		s.det = cp.Det
+		s.applied = cp.Applied
+		if cp.Wafer != nil {
+			s.wafer = cp.Wafer
+		}
+		if cp.Lot != nil {
+			s.lot = cp.Lot
+		}
+		for _, c := range cp.Det.AlertedCells {
+			s.alertedCells[c] = true
+		}
+		for _, h := range cp.Hashes {
+			cpHashes[h] = true
+		}
+		s.appliedSet = append([]string(nil), cp.Hashes...)
+		// The checkpoint we just loaded is durable and loadable, so the
+		// WAL prefix it covers is safe to prune once the next checkpoint
+		// lands.
+		s.pruneSafe = cp.Applied
+		s.opt.Logf("stream: restored checkpoint v%d (%d applied)", version, cp.Applied)
+	case errors.Is(err, artifact.ErrNotFound):
+		// Fresh stream.
+	default:
+		return fmt.Errorf("stream: load checkpoint: %w", err)
+	}
+
+	alog, records, err := openFramedLog(filepath.Join(s.opt.Dir, "alerts.log"))
+	if err != nil {
+		return err
+	}
+	s.alog = alog
+	alerts, err := decodeAlerts(records)
+	if err != nil {
+		return err
+	}
+	s.alertsMem = alerts
+	for _, a := range alerts {
+		if a.Seq > s.lastDurable {
+			s.lastDurable = a.Seq
+		}
+	}
+	if s.lastDurable+1 < s.det.AlertSeq {
+		// The checkpoint claims alerts the log does not hold — the alert
+		// log was tampered with or lost; refuse rather than silently
+		// renumber history.
+		return fmt.Errorf("stream: alert log holds %d alerts but checkpoint expects at least %d",
+			s.lastDurable+1, s.det.AlertSeq)
+	}
+
+	olog, _, err := openFramedLog(filepath.Join(s.opt.Dir, "ops.log"))
+	if err != nil {
+		return err
+	}
+	s.olog = olog
+
+	// Replay: the applied prefix is skipped (its aggregate lives in the
+	// checkpoint); everything after re-enters the pipeline in WAL order.
+	var replayed []entry
+	prefix := int64(0)
+	inPrefix := true
+	err = s.wal.Replay(func(idx int64, payload []byte) error {
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("stream: wal record %d: %w", idx, err)
+		}
+		if cpHashes[rec.Hash] {
+			if !inPrefix {
+				return fmt.Errorf("stream: wal record %d: checkpointed hash after un-applied records", idx)
+			}
+			prefix++
+			s.markDurable(rec.Name, rec.Hash)
+			return nil
+		}
+		inPrefix = false
+		if s.marks[rec.Hash] != nil {
+			return fmt.Errorf("stream: wal record %d: duplicate hash %s", idx, rec.Hash)
+		}
+		log, err := failurelog.Read(bytes.NewReader(rec.Raw))
+		if err != nil {
+			return fmt.Errorf("stream: wal record %d: %w", idx, err)
+		}
+		s.markDurable(rec.Name, rec.Hash)
+		replayed = append(replayed, entry{idx: idx, name: rec.Name, hash: rec.Hash, log: log, meta: log.Meta})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Hashes in the checkpoint but absent from the WAL belong to pruned
+	// segments; they offset lifetime applied counts into current-run
+	// frame numbering.
+	s.prunedBase = int64(len(cpHashes)) - prefix
+	if s.prunedBase < 0 {
+		return fmt.Errorf("stream: checkpoint covers %d records but WAL prefix holds %d", len(cpHashes), prefix)
+	}
+	if s.applied != prefix+s.prunedBase {
+		return fmt.Errorf("stream: checkpoint applied=%d inconsistent with WAL prefix %d + pruned %d",
+			s.applied, prefix, s.prunedBase)
+	}
+	for h := range cpHashes {
+		if s.marks[h] == nil {
+			s.markDurable("", h)
+		}
+	}
+	s.nextApply = prefix
+	s.pending.Add(int64(len(replayed)))
+	s.metric().Counter("m3d_stream_replayed_total").Add(int64(len(replayed)))
+	if len(replayed) > 0 {
+		s.opt.Logf("stream: replaying %d un-applied WAL records", len(replayed))
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for _, e := range replayed {
+			select {
+			case s.work <- e:
+			case <-s.ctx.Done():
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// markDurable records a hash (and optionally its name) as durable in the
+// WAL, with a pre-closed mark so duplicate ingests return immediately.
+func (s *Service) markDurable(name, hash string) {
+	m := &ingestMark{done: make(chan struct{})}
+	close(m.done)
+	s.marks[hash] = m
+	if name != "" {
+		s.names[name] = hash
+	}
+}
+
+func (s *Service) metric() *obs.Registry { return s.opt.Metrics }
+
+func (s *Service) fail(err error) {
+	e := err
+	if s.failed.CompareAndSwap(nil, &e) {
+		s.opt.Logf("stream: FATAL: %v", err)
+	}
+}
+
+// recordHash is a record's dedup identity: the (name, content) pair,
+// hashed with a separator no valid name contains.
+func recordHash(name string, raw []byte) string {
+	h := sha256.New()
+	h.Write([]byte(name))
+	h.Write([]byte{'\n'})
+	h.Write(raw)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ValidName reports whether a client-supplied log name is acceptable: a
+// short, single, path-safe token (it becomes an aggregation key and
+// appears in reports).
+func ValidName(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	return !strings.ContainsAny(name, " \t\n\r/\\")
+}
+
+// Ingest accepts one raw failure log: parse/validate, hash dedup, durable
+// WAL append, then asynchronous diagnosis. It returns after the record
+// (or its earlier duplicate) is durable — an acknowledged log survives
+// any crash. name may be empty (the content hash then names the log).
+//
+// Record identity is the (name, content) pair, not the content alone: a
+// tester re-sending die_042's log is deduplicated, but two different dies
+// that happen to produce byte-identical failure signatures — routine in a
+// small design with few distinguishable fault sites — are both counted,
+// exactly as a batch m3dvolume run over the same files would count them.
+func (s *Service) Ingest(ctx context.Context, name string, raw []byte) (IngestStatus, error) {
+	span := obs.Start(ctx, "stream.ingest")
+	defer span.End()
+
+	if ep := s.failed.Load(); ep != nil {
+		return IngestStatus{}, fmt.Errorf("%w: %v", ErrFailed, *ep)
+	}
+	if s.draining.Load() {
+		return IngestStatus{}, fmt.Errorf("%w: draining", ErrFailed)
+	}
+	log, err := failurelog.Read(bytes.NewReader(raw))
+	if err != nil {
+		s.metric().Counter("m3d_stream_ingested_total", "status", "invalid").Inc()
+		return IngestStatus{}, fmt.Errorf("stream: parse log: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	if name == "" {
+		name = hex.EncodeToString(sum[:])[:16]
+	} else if !ValidName(name) {
+		s.metric().Counter("m3d_stream_ingested_total", "status", "invalid").Inc()
+		return IngestStatus{}, fmt.Errorf("stream: invalid log name %q", name)
+	}
+	hash := recordHash(name, raw)
+
+	if s.pending.Load() >= int64(s.opt.MaxBacklog) {
+		s.metric().Counter("m3d_stream_ingested_total", "status", "backpressure").Inc()
+		s.opsAlert(OpsBackpressure, &s.backpressure,
+			fmt.Sprintf("backlog at %d (budget %d), shedding ingest", s.pending.Load(), s.opt.MaxBacklog))
+		return IngestStatus{}, ErrBacklog
+	}
+
+	s.imu.Lock()
+	if m := s.marks[hash]; m != nil {
+		s.imu.Unlock()
+		// Wait for the original's durability before acknowledging the
+		// duplicate: "duplicate" is a promise the content is safe.
+		select {
+		case <-m.done:
+		case <-ctx.Done():
+			return IngestStatus{}, ctx.Err()
+		}
+		if m.err != nil {
+			return IngestStatus{}, fmt.Errorf("%w: %v", ErrFailed, m.err)
+		}
+		s.metric().Counter("m3d_stream_ingested_total", "status", "duplicate").Inc()
+		return IngestStatus{Status: "duplicate", Name: name, Hash: hash}, nil
+	}
+	if prev, ok := s.names[name]; ok && prev != hash {
+		s.imu.Unlock()
+		s.metric().Counter("m3d_stream_ingested_total", "status", "conflict").Inc()
+		return IngestStatus{}, fmt.Errorf("%w: %q", ErrNameConflict, name)
+	}
+	mark := &ingestMark{done: make(chan struct{})}
+	s.marks[hash] = mark
+	s.names[name] = hash
+	s.imu.Unlock()
+
+	payload, err := json.Marshal(walRecord{Name: name, Hash: hash, Raw: raw})
+	if err != nil {
+		mark.err = err
+		close(mark.done)
+		return IngestStatus{}, fmt.Errorf("stream: encode record: %w", err)
+	}
+	idx, err := s.wal.Append(payload)
+	if err != nil {
+		// Durability unknown (the frame may be on disk without its fsync):
+		// the only safe state is read-only. Keep the mark so a re-send
+		// reports the failure instead of double-appending.
+		mark.err = err
+		close(mark.done)
+		s.fail(err)
+		s.metric().Counter("m3d_stream_ingested_total", "status", "error").Inc()
+		return IngestStatus{}, fmt.Errorf("%w: %v", ErrFailed, err)
+	}
+	close(mark.done)
+	s.pending.Add(1)
+	s.metric().Counter("m3d_stream_ingested_total", "status", "accepted").Inc()
+	s.metric().Gauge("m3d_stream_wal_bytes").Set(float64(s.wal.Size()))
+
+	select {
+	case s.work <- entry{idx: idx, name: name, hash: hash, log: log, meta: log.Meta}:
+	case <-s.ctx.Done():
+		return IngestStatus{}, s.ctx.Err()
+	}
+	return IngestStatus{Status: "accepted", Name: name, Hash: hash}, nil
+}
+
+// opsAlert raises a timing-dependent operational alert on the rising
+// edge of its episode latch, durably (best-effort) and in memory.
+func (s *Service) opsAlert(kind string, latch *bool, detail string) {
+	s.omu.Lock()
+	defer s.omu.Unlock()
+	if *latch {
+		return
+	}
+	*latch = true
+	a := OpsAlert{Kind: kind, Detail: detail, UnixMs: time.Now().UnixMilli()}
+	s.opsMem = append(s.opsMem, a)
+	s.metric().Counter("m3d_stream_ops_alerts_total", "kind", kind).Inc()
+	s.opt.Logf("stream: OPS ALERT [%s] %s", kind, detail)
+	if err := s.olog.append(a); err != nil {
+		s.opt.Logf("stream: ops log append failed: %v", err)
+	}
+}
+
+// worker diagnoses queued records; results go to the applier.
+func (s *Service) worker(d volume.Diagnoser) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case e := <-s.work:
+			t0 := time.Now()
+			res := volume.Diagnose(s.ctx, d, e.name, e.log, volume.DiagnoseOptions{
+				Netlist: s.opt.Netlist, TopK: s.opt.TopK, Timeout: s.opt.Timeout,
+			})
+			s.metric().Histogram("m3d_stream_diagnose_seconds", obs.DurationBuckets).ObserveSince(t0)
+			if res == nil {
+				return // service shutting down; the WAL replays this record
+			}
+			select {
+			case s.applyCh <- applyItem{idx: e.idx, hash: e.hash, meta: e.meta, res: res}:
+			case <-s.ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// applier folds diagnosed records into the aggregate in WAL order —
+// the single writer of all deterministic state.
+func (s *Service) applier() {
+	defer s.wg.Done()
+	buf := map[int64]applyItem{}
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case it := <-s.applyCh:
+			buf[it.idx] = it
+			for {
+				next, ok := buf[s.nextApply]
+				if !ok {
+					break
+				}
+				delete(buf, s.nextApply)
+				s.applyOne(next)
+			}
+		}
+	}
+}
+
+// applyOne applies a single record: aggregate, window, provenance
+// tallies, then (at their cadences) alert evaluation and checkpointing.
+func (s *Service) applyOne(it applyItem) {
+	span := obs.Start(s.ctx, "stream.apply")
+	defer span.End()
+
+	s.amu.Lock()
+	defer s.amu.Unlock()
+	s.agg.Add(it.res)
+	s.window = append(s.window, it.res)
+	if len(s.window) > s.opt.Window {
+		s.window = s.window[len(s.window)-s.opt.Window:]
+	}
+	if it.meta.Wafer != "" {
+		s.wafer[it.meta.Wafer]++
+	}
+	if it.meta.Lot != "" {
+		s.lot[it.meta.Lot]++
+	}
+	s.appliedSet = append(s.appliedSet, it.hash)
+	s.applied++
+	s.nextApply++
+	s.pending.Add(-1)
+	s.metric().Counter("m3d_stream_applied_total").Inc()
+	s.metric().Gauge("m3d_stream_backlog").Set(float64(s.pending.Load()))
+
+	if s.applied%int64(s.opt.EvalEvery) == 0 {
+		s.evalLocked()
+	}
+	if s.applied%int64(s.opt.CheckpointEvery) == 0 {
+		if err := s.checkpointLocked(); err != nil {
+			s.opt.Logf("stream: checkpoint failed: %v", err)
+		}
+	}
+}
+
+// evalLocked runs the detectors and durably emits new alerts. Alerts
+// regenerated during replay (seq already durable) are matched and
+// skipped, never double-appended. Callers hold amu.
+func (s *Service) evalLocked() {
+	s.det.LastEval = s.applied
+	for _, a := range s.evaluate() {
+		a.Seq = s.det.AlertSeq
+		a.AtLog = s.applied
+		s.det.AlertSeq++
+		if a.Seq <= s.lastDurable {
+			// Replay regenerated an alert that survived the crash; the
+			// durable record is authoritative.
+			continue
+		}
+		if err := s.alog.append(a); err != nil {
+			s.opt.Logf("stream: alert append failed: %v", err)
+			s.fail(err)
+			return
+		}
+		s.alertsMem = append(s.alertsMem, a)
+		s.metric().Counter("m3d_stream_alerts_total", "kind", a.Kind).Inc()
+		s.opt.Logf("stream: ALERT #%d [%s] %s", a.Seq, a.Kind, a.Detail)
+	}
+}
+
+// checkpointLocked seals the aggregate state through the artifact store
+// and prunes fully-covered WAL segments. Callers hold amu.
+func (s *Service) checkpointLocked() error {
+	span := obs.Start(s.ctx, "stream.checkpoint")
+	defer span.End()
+
+	aggState, err := s.agg.State()
+	if err != nil {
+		return err
+	}
+	s.det.AlertedCells = sortedBoolKeys(s.alertedCells)
+	// Only applied hashes belong in the checkpoint — in-flight records
+	// must replay from the WAL, not be silently skipped as applied.
+	hashes := append([]string(nil), s.appliedSet...)
+	sort.Strings(hashes)
+	cp := checkpoint{
+		Design:  s.opt.Design,
+		Applied: s.applied,
+		Hashes:  hashes,
+		Agg:     aggState,
+		Window:  s.window,
+		Det:     s.det,
+		Wafer:   s.wafer,
+		Lot:     s.lot,
+	}
+	payload, err := json.Marshal(&cp)
+	if err != nil {
+		return fmt.Errorf("stream: encode checkpoint: %w", err)
+	}
+	_, version, err := s.store.Save("checkpoint", func(w io.Writer) error {
+		_, werr := w.Write(payload)
+		return werr
+	})
+	if err != nil {
+		return fmt.Errorf("stream: save checkpoint: %w", err)
+	}
+	s.checkpoints++
+	s.metric().Counter("m3d_stream_checkpoints_total").Inc()
+	s.opt.Logf("stream: checkpoint v%d (%d applied)", version, s.applied)
+
+	// Prune lags one checkpoint: segments are only dropped once covered
+	// by the checkpoint *before* the one just written. If the newest
+	// checkpoint version is later found corrupt, recovery falls back one
+	// version — and every record past that older checkpoint is still in
+	// the WAL.
+	if safe := s.pruneSafe - s.prunedBase; safe > 0 {
+		if err := s.wal.PruneTo(safe); err != nil {
+			s.opt.Logf("stream: wal prune: %v", err)
+		}
+	}
+	s.pruneSafe = s.applied
+	s.metric().Gauge("m3d_stream_wal_bytes").Set(float64(s.wal.Size()))
+	if s.wal.Size() > s.opt.WALGrowthBytes {
+		s.opsAlert(OpsWALGrowth, &s.walGrowth,
+			fmt.Sprintf("WAL at %d bytes exceeds budget %d", s.wal.Size(), s.opt.WALGrowthBytes))
+	} else {
+		s.omu.Lock()
+		s.walGrowth = false
+		s.omu.Unlock()
+	}
+	return nil
+}
+
+func sortedBoolKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Report snapshots the cumulative aggregate — for the same distinct-log
+// set, bitwise-identical to m3dvolume's batch report.
+func (s *Service) Report() *volume.Report {
+	s.amu.Lock()
+	defer s.amu.Unlock()
+	return s.agg.Snapshot()
+}
+
+// WindowReport aggregates only the sliding window.
+func (s *Service) WindowReport() *volume.Report {
+	s.amu.Lock()
+	defer s.amu.Unlock()
+	return volume.Aggregate(s.window, s.opt.aggOptions())
+}
+
+// Alerts returns the durable data alerts raised so far, in sequence
+// order.
+func (s *Service) Alerts() []Alert {
+	s.amu.Lock()
+	defer s.amu.Unlock()
+	return append([]Alert(nil), s.alertsMem...)
+}
+
+// OpsAlerts returns the operational alerts raised by this process.
+func (s *Service) OpsAlerts() []OpsAlert {
+	s.omu.Lock()
+	defer s.omu.Unlock()
+	return append([]OpsAlert(nil), s.opsMem...)
+}
+
+// Status is the /stream/status payload.
+type Status struct {
+	Design      string         `json:"design"`
+	Applied     int64          `json:"applied"`
+	Backlog     int64          `json:"backlog"`
+	WALBytes    int64          `json:"wal_bytes"`
+	WALRecords  int64          `json:"wal_records"`
+	Checkpoints int64          `json:"checkpoints"`
+	Alerts      int            `json:"alerts"`
+	OpsAlerts   int            `json:"ops_alerts"`
+	Wafers      map[string]int `json:"wafers,omitempty"`
+	Lots        map[string]int `json:"lots,omitempty"`
+	LastAlert   *Alert         `json:"last_alert,omitempty"`
+	Draining    bool           `json:"draining,omitempty"`
+	Failed      string         `json:"failed,omitempty"`
+}
+
+// Status reports the service's current state.
+func (s *Service) Status() Status {
+	s.amu.Lock()
+	st := Status{
+		Design:      s.opt.Design,
+		Applied:     s.applied,
+		Backlog:     s.pending.Load(),
+		WALBytes:    s.wal.Size(),
+		WALRecords:  s.wal.Frames(),
+		Checkpoints: s.checkpoints,
+		Alerts:      len(s.alertsMem),
+		Wafers:      copyCounts(s.wafer),
+		Lots:        copyCounts(s.lot),
+		Draining:    s.draining.Load(),
+	}
+	if n := len(s.alertsMem); n > 0 {
+		a := s.alertsMem[n-1]
+		st.LastAlert = &a
+	}
+	s.amu.Unlock()
+	s.omu.Lock()
+	st.OpsAlerts = len(s.opsMem)
+	s.omu.Unlock()
+	if ep := s.failed.Load(); ep != nil {
+		st.Failed = (*ep).Error()
+	}
+	return st
+}
+
+func copyCounts(m map[string]int) map[string]int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Backlog returns accepted-but-unapplied record count.
+func (s *Service) Backlog() int64 { return s.pending.Load() }
+
+// Drain stops admitting new logs, waits for the backlog to apply, runs a
+// final detector evaluation (if the last record wasn't already on an
+// evaluation boundary), and checkpoints. After Drain the report and
+// alert log cover every acknowledged record.
+func (s *Service) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	for s.pending.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-s.ctx.Done():
+			return errors.New("stream: service closed during drain")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	s.amu.Lock()
+	defer s.amu.Unlock()
+	if s.applied != s.det.LastEval {
+		s.evalLocked()
+	}
+	return s.checkpointLocked()
+}
+
+// Resume re-opens admission after a Drain.
+func (s *Service) Resume() { s.draining.Store(false) }
+
+// Close stops the pipeline and releases every file handle. In-flight
+// diagnoses are abandoned; the WAL replays them on the next Open.
+func (s *Service) Close() error {
+	s.cancel()
+	s.wg.Wait()
+	var firstErr error
+	s.amu.Lock()
+	if err := s.checkpointLocked(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	s.amu.Unlock()
+	if err := s.wal.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := s.alog.close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := s.olog.close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Kill is the SIGKILL-shaped stop: goroutines halt and file handles drop
+// with no drain and no final checkpoint. Everything already durable (WAL
+// frames, sealed checkpoints, alert records) survives; in-memory state is
+// discarded and rebuilt by the next Open. Crash drills and tests use it
+// to prove restart invariance; production shutdown wants Close.
+func (s *Service) Kill() {
+	s.cancel()
+	s.wg.Wait()
+	s.wal.Close()
+	s.alog.close()
+	s.olog.close()
+}

@@ -1,0 +1,262 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/failurelog"
+	"repro/internal/gen"
+	"repro/internal/volume"
+)
+
+// The stream fixture mirrors the volume package's: a small aes build, a
+// quick tier-free training run, and a planted-systematic campaign the
+// detector must flag.
+const (
+	fixLogs       = 24
+	fixSystematic = 0.6
+	fixAlpha      = 0.01
+	fixTopK       = 8
+)
+
+type fixture struct {
+	bundle      *dataset.Bundle
+	fw          *core.Framework
+	raws        [][]byte // serialized logs, ingest order
+	names       []string
+	logs        []*failurelog.Log
+	plantedCell string
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+	fixErr  error
+)
+
+func getFixture(t *testing.T) *fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		p, _ := gen.ProfileByName("aes")
+		p = p.Scaled(0.2)
+		b, err := dataset.Build(p, dataset.Syn1, dataset.BuildOptions{Seed: 1})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		train := b.Generate(dataset.SampleOptions{Count: 40, Seed: 2, MIVFraction: 0.25})
+		fw, err := core.Train(train, core.TrainOptions{Seed: 3, Epochs: 6, SkipClassifier: true})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		planted, ok := b.PickSystematicFault(11)
+		if !ok {
+			fixErr = fmt.Errorf("no systematic fault available")
+			return
+		}
+		samples := b.Generate(dataset.SampleOptions{
+			Count: fixLogs, Seed: 5, MIVFraction: 0.2,
+			Systematic: fixSystematic, SystematicFault: planted,
+		})
+		fx := &fixture{bundle: b, fw: fw,
+			plantedCell: b.Netlist.Gates[planted.SiteGate(b.Netlist)].Name}
+		for i, smp := range samples {
+			log := smp.Log
+			log.Meta = failurelog.Meta{
+				Wafer:      fmt.Sprintf("W%02d", i/8),
+				Lot:        "LOT-1",
+				TesterTime: 1754500000000 + int64(i),
+			}
+			var buf bytes.Buffer
+			if err := failurelog.Write(&buf, log); err != nil {
+				fixErr = err
+				return
+			}
+			fx.raws = append(fx.raws, append([]byte(nil), buf.Bytes()...))
+			fx.names = append(fx.names, fmt.Sprintf("die_%03d.log", i))
+			fx.logs = append(fx.logs, log)
+		}
+		fix = fx
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fix
+}
+
+func streamOptions(t *testing.T, dir string, workers int) Options {
+	t.Helper()
+	fx := getFixture(t)
+	ds, err := volume.NewLocalDiagnosers(fx.fw, fx.bundle, workers, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Options{
+		Dir:             dir,
+		Diagnosers:      ds,
+		Netlist:         fx.bundle.Netlist,
+		Design:          fx.bundle.Name,
+		TopK:            fixTopK,
+		Alpha:           fixAlpha,
+		Window:          8,
+		EvalEvery:       4,
+		CheckpointEvery: 6,
+		MaxBacklog:      64,
+		SegmentBytes:    16384, // a few records per segment: rotation AND non-empty tails
+		Logf:            t.Logf,
+	}
+}
+
+func drainAndReport(t *testing.T, s *Service) (*volume.Report, []Alert) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return s.Report(), s.Alerts()
+}
+
+func reportJSON(t *testing.T, rep *volume.Report) []byte {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestServiceBasicFlow(t *testing.T) {
+	fx := getFixture(t)
+	s, err := Open(streamOptions(t, t.TempDir(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+
+	for i, raw := range fx.raws {
+		st, err := s.Ingest(ctx, fx.names[i], raw)
+		if err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+		if st.Status != "accepted" {
+			t.Fatalf("ingest %d: status %q", i, st.Status)
+		}
+	}
+	// Duplicates are acknowledged, not re-aggregated.
+	if st, err := s.Ingest(ctx, fx.names[0], fx.raws[0]); err != nil || st.Status != "duplicate" {
+		t.Fatalf("duplicate ingest: %+v, %v", st, err)
+	}
+	// Same name, genuinely new content: conflict. Identity is the
+	// (name, content) pair — a re-send of the same pair is a duplicate,
+	// the same name with different bytes is a conflict.
+	altered := *fx.logs[0]
+	altered.Meta.TesterTime += 999
+	var altBuf bytes.Buffer
+	if err := failurelog.Write(&altBuf, &altered); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest(ctx, fx.names[0], altBuf.Bytes()); !errors.Is(err, ErrNameConflict) {
+		t.Fatalf("name conflict: got %v", err)
+	}
+	// Garbage is rejected before it can touch the WAL.
+	if _, err := s.Ingest(ctx, "bad.log", []byte("not a failure log")); err == nil {
+		t.Fatal("unparsable log accepted")
+	}
+
+	rep, alerts := drainAndReport(t, s)
+	if rep.Logs != fixLogs || rep.Diagnosed != fixLogs {
+		t.Fatalf("report logs=%d diagnosed=%d, want %d", rep.Logs, rep.Diagnosed, fixLogs)
+	}
+
+	// The cumulative report equals the batch aggregate over the same
+	// diagnoses — the stream-vs-m3dvolume equivalence in miniature.
+	var batch []*volume.Result
+	for i, log := range fx.logs {
+		r := volume.Diagnose(ctx, s.opt.Diagnosers[0], fx.names[i], log, volume.DiagnoseOptions{
+			Netlist: fx.bundle.Netlist, TopK: fixTopK,
+		})
+		batch = append(batch, r)
+	}
+	want := volume.Aggregate(batch, s.opt.aggOptions())
+	if !bytes.Equal(reportJSON(t, rep), reportJSON(t, want)) {
+		t.Fatalf("stream report diverges from batch:\n%s\n---\n%s", reportJSON(t, rep), reportJSON(t, want))
+	}
+
+	// The planted systematic cell fired exactly one alert.
+	systematic := 0
+	for _, a := range alerts {
+		if a.Kind == AlertSystematic && a.Cell == fx.plantedCell {
+			systematic++
+		}
+	}
+	if systematic != 1 {
+		t.Fatalf("planted cell alerted %d times, want exactly 1: %+v", systematic, alerts)
+	}
+	for i, a := range alerts {
+		if a.Seq != i {
+			t.Fatalf("alert %d has seq %d", i, a.Seq)
+		}
+	}
+
+	st := s.Status()
+	if st.Applied != fixLogs || st.Backlog != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+	if len(st.Wafers) != 3 || st.Wafers["W00"] != 8 || st.Lots["LOT-1"] != fixLogs {
+		t.Fatalf("provenance tallies = %+v / %+v", st.Wafers, st.Lots)
+	}
+	if st.Checkpoints == 0 {
+		t.Fatal("no checkpoints were written")
+	}
+}
+
+// TestServiceRestartResume closes the service gracefully mid-stream and
+// verifies a reopened service continues to the identical final state.
+func TestServiceRestartResume(t *testing.T) {
+	fx := getFixture(t)
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	s, err := Open(streamOptions(t, dir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.Ingest(ctx, fx.names[i], fx.raws[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(streamOptions(t, dir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i := 0; i < fixLogs; i++ {
+		st, err := s2.Ingest(ctx, fx.names[i], fx.raws[i])
+		if err != nil {
+			t.Fatalf("re-ingest %d: %v", i, err)
+		}
+		if i < 10 && st.Status != "duplicate" {
+			t.Fatalf("re-ingest %d: status %q, want duplicate", i, st.Status)
+		}
+	}
+	rep, _ := drainAndReport(t, s2)
+	if rep.Logs != fixLogs || rep.Diagnosed != fixLogs {
+		t.Fatalf("after restart: logs=%d diagnosed=%d", rep.Logs, rep.Diagnosed)
+	}
+}

@@ -1,0 +1,416 @@
+// Package stream is the online counterpart of the volume package: a
+// long-running yield-monitoring service that ingests failure logs over
+// HTTP as testers produce them, diagnoses each asynchronously, folds the
+// results into a crash-safe incremental aggregate, and raises durable
+// alerts when the systematic-defect detector trips or the stream drifts.
+//
+// Durability is layered: every accepted log is first appended to a
+// segmented CRC-framed write-ahead log (acknowledged only after fsync),
+// the aggregate is periodically checkpointed through the versioned
+// artifact store, and alerts are appended to their own framed log. A
+// SIGKILL at any byte offset — mid-WAL-record, mid-checkpoint seal —
+// recovers to the same aggregate state: the WAL's torn tail is truncated
+// at the last whole frame, a torn checkpoint is quarantined in favor of
+// the previous version, and un-checkpointed WAL records are replayed
+// through the same deterministic diagnosis path. Content-hash dedup makes
+// client retries (the at-least-once half of the contract) idempotent.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/artifact"
+)
+
+// WAL is the stream's segmented write-ahead log. Records are CRC-framed
+// (artifact.AppendFrame) and appended to an active segment named
+// wal-%08d.open; when the segment exceeds the size limit it is fsynced
+// and atomically renamed to wal-%08d.seg before the next one opens, so a
+// reader can always tell sealed history from the one file that may have a
+// torn tail.
+//
+// Append is durable on return and safe for concurrent use. Writes are
+// serialized under a mutex but fsyncs are batched group-commit style: the
+// first appender to need a sync becomes the leader and syncs everything
+// appended so far; appenders that arrived meanwhile piggyback on the next
+// leader instead of issuing one fsync per record.
+type WAL struct {
+	dir      string
+	segLimit int64
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	active     *os.File
+	activeSeq  int
+	activeSize int64
+	sealedSize int64 // total bytes across sealed segments
+	appended   int64 // bytes written to the active segment (== activeSize)
+	synced     int64 // bytes of the active segment known durable
+	syncing    bool
+	frames     int64 // frames across current segments plus appends this run
+	pruned     int64 // frames removed by PruneTo this run
+	closed     bool
+}
+
+const defaultSegmentBytes = 4 << 20
+
+func segName(seq int, open bool) string {
+	ext := ".seg"
+	if open {
+		ext = ".open"
+	}
+	return fmt.Sprintf("wal-%08d%s", seq, ext)
+}
+
+func parseSegName(name string) (seq int, open bool, ok bool) {
+	var ext string
+	switch filepath.Ext(name) {
+	case ".seg", ".open":
+		ext = filepath.Ext(name)
+	default:
+		return 0, false, false
+	}
+	if _, err := fmt.Sscanf(name, "wal-%08d"+ext, &seq); err != nil {
+		return 0, false, false
+	}
+	return seq, ext == ".open", true
+}
+
+// OpenWAL opens (or creates) the WAL in dir and repairs crash damage: the
+// last segment's torn or corrupt tail is truncated back to the last whole
+// frame. Records lost to truncation were never acknowledged (or will be
+// re-sent by a retrying client and deduped upstream), so truncation is
+// safe. segLimit <= 0 uses the default rotation threshold.
+func OpenWAL(dir string, segLimit int64) (*WAL, error) {
+	if segLimit <= 0 {
+		segLimit = defaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("stream: wal: %w", err)
+	}
+	w := &WAL{dir: dir, segLimit: segLimit}
+	w.cond = sync.NewCond(&w.mu)
+
+	segs, err := w.segments()
+	if err != nil {
+		return nil, err
+	}
+	// Repair the final segment: scan its frames and cut everything after
+	// the last intact one. Sealed (non-final) segments must be fully
+	// intact — corruption there is not a crash artifact but real damage.
+	for i, s := range segs {
+		n, end, err := scanSegment(filepath.Join(dir, s.name))
+		if err != nil {
+			if i != len(segs)-1 {
+				return nil, fmt.Errorf("stream: wal: sealed segment %s: %w", s.name, err)
+			}
+			if terr := os.Truncate(filepath.Join(dir, s.name), end); terr != nil {
+				return nil, fmt.Errorf("stream: wal: truncate torn tail of %s: %w", s.name, terr)
+			}
+		}
+		segs[i].frames = n
+		segs[i].size = end
+	}
+
+	nextSeq := 0
+	for _, s := range segs {
+		w.frames += s.frames
+		if s.open {
+			// Re-seal the orphaned active segment rather than appending to
+			// it: recovery is rare, and sealing keeps the invariant that
+			// only the newest segment was ever written by this process.
+			if err := w.sealFile(s.name, s.seq); err != nil {
+				return nil, err
+			}
+		}
+		w.sealedSize += s.size
+		nextSeq = s.seq + 1
+	}
+	if err := w.openActive(nextSeq); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+type segInfo struct {
+	name   string
+	seq    int
+	open   bool
+	frames int64
+	size   int64
+}
+
+// segments lists WAL segment files in sequence order.
+func (w *WAL) segments() ([]segInfo, error) {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return nil, fmt.Errorf("stream: wal: %w", err)
+	}
+	var segs []segInfo
+	for _, e := range entries {
+		if seq, open, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, segInfo{name: e.Name(), seq: seq, open: open})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].seq != segs[i-1].seq+1 {
+			return nil, fmt.Errorf("stream: wal: segment gap between %s and %s", segs[i-1].name, segs[i].name)
+		}
+	}
+	return segs, nil
+}
+
+// scanSegment walks a segment's frames, returning the frame count and the
+// offset just past the last intact frame. err is non-nil when the scan
+// stopped early (torn tail or corruption); end is then the safe
+// truncation point.
+func scanSegment(path string) (frames int64, end int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	fr := artifact.NewFrameReader(f)
+	for {
+		_, err := fr.Next()
+		if err == io.EOF {
+			return frames, fr.Offset(), nil
+		}
+		if err != nil {
+			return frames, fr.Offset(), err
+		}
+		frames++
+	}
+}
+
+func (w *WAL) openActive(seq int) error {
+	path := filepath.Join(w.dir, segName(seq, true))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("stream: wal: %w", err)
+	}
+	w.active = f
+	w.activeSeq = seq
+	w.activeSize = 0
+	w.appended = 0
+	w.synced = 0
+	return nil
+}
+
+// sealFile fsyncs and renames one segment file from .open to .seg.
+func (w *WAL) sealFile(name string, seq int) error {
+	path := filepath.Join(w.dir, name)
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return fmt.Errorf("stream: wal: seal: %w", err)
+	}
+	serr := f.Sync()
+	f.Close()
+	if serr != nil {
+		return fmt.Errorf("stream: wal: seal: %w", serr)
+	}
+	if err := os.Rename(path, filepath.Join(w.dir, segName(seq, false))); err != nil {
+		return fmt.Errorf("stream: wal: seal: %w", err)
+	}
+	return nil
+}
+
+// Append writes one framed record and returns once it is durable (the
+// frame and everything before it fsynced). The global frame index of the
+// record (0-based, across all segments, lifetime) is returned; it is the
+// record's position in replay order.
+func (w *WAL) Append(payload []byte) (frameIdx int64, err error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, errors.New("stream: wal: closed")
+	}
+	if w.activeSize >= w.segLimit {
+		if err := w.rotateLocked(); err != nil {
+			w.mu.Unlock()
+			return 0, err
+		}
+	}
+	n, err := artifact.AppendFrame(w.active, payload)
+	if err != nil {
+		w.mu.Unlock()
+		return 0, fmt.Errorf("stream: wal: append: %w", err)
+	}
+	w.activeSize += int64(n)
+	w.appended = w.activeSize
+	frameIdx = w.frames
+	w.frames++
+	target := w.appended
+	f := w.active
+
+	// Group commit: wait for an in-flight sync; if it already covered this
+	// record, done. Otherwise become the leader and sync everything
+	// appended so far — records written while we slept ride along.
+	for {
+		if w.synced >= target && w.active == f {
+			w.mu.Unlock()
+			return frameIdx, nil
+		}
+		if w.active != f {
+			// The segment rotated under us; rotation syncs before renaming,
+			// so this record is durable.
+			w.mu.Unlock()
+			return frameIdx, nil
+		}
+		if !w.syncing {
+			break
+		}
+		w.cond.Wait()
+	}
+	w.syncing = true
+	covered := w.appended
+	w.mu.Unlock()
+
+	serr := f.Sync()
+
+	w.mu.Lock()
+	w.syncing = false
+	if serr == nil && w.active == f && covered > w.synced {
+		w.synced = covered
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	if serr != nil {
+		return 0, fmt.Errorf("stream: wal: fsync: %w", serr)
+	}
+	return frameIdx, nil
+}
+
+// rotateLocked seals the active segment and opens the next. Callers hold
+// w.mu and there must be no sync in flight on the active file.
+func (w *WAL) rotateLocked() error {
+	for w.syncing {
+		w.cond.Wait()
+	}
+	if err := w.active.Sync(); err != nil {
+		return fmt.Errorf("stream: wal: rotate: %w", err)
+	}
+	if err := w.active.Close(); err != nil {
+		return fmt.Errorf("stream: wal: rotate: %w", err)
+	}
+	seq := w.activeSeq
+	if err := os.Rename(
+		filepath.Join(w.dir, segName(seq, true)),
+		filepath.Join(w.dir, segName(seq, false)),
+	); err != nil {
+		return fmt.Errorf("stream: wal: rotate: %w", err)
+	}
+	w.sealedSize += w.activeSize
+	w.synced = 0
+	return w.openActive(seq + 1)
+}
+
+// Replay walks every record across all segments in append order, calling
+// fn with the record's global frame index and payload. It opens its own
+// readers, so it must run before concurrent Appends start (the service
+// replays during recovery, before serving traffic).
+func (w *WAL) Replay(fn func(frameIdx int64, payload []byte) error) error {
+	segs, err := w.segments()
+	if err != nil {
+		return err
+	}
+	idx := int64(0)
+	for _, s := range segs {
+		f, err := os.Open(filepath.Join(w.dir, s.name))
+		if err != nil {
+			return fmt.Errorf("stream: wal: replay: %w", err)
+		}
+		fr := artifact.NewFrameReader(f)
+		for {
+			payload, err := fr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("stream: wal: replay %s: %w", s.name, err)
+			}
+			if err := fn(idx, payload); err != nil {
+				f.Close()
+				return err
+			}
+			idx++
+		}
+		f.Close()
+	}
+	return nil
+}
+
+// PruneTo deletes the prefix of sealed segments whose every record has
+// frame index < appliedFrames (frame indices count from the segments
+// present at OpenWAL, matching Replay's numbering) — records already
+// covered by a durable checkpoint. Only a contiguous prefix is ever
+// removed and the active segment never is, so the remaining files stay
+// gap-free.
+func (w *WAL) PruneTo(appliedFrames int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	segs, err := w.segments()
+	if err != nil {
+		return err
+	}
+	start := w.pruned // first remaining segment's first frame index
+	for _, s := range segs {
+		if s.open {
+			break
+		}
+		n, size, err := scanSegment(filepath.Join(w.dir, s.name))
+		if err != nil {
+			return fmt.Errorf("stream: wal: prune: %s: %w", s.name, err)
+		}
+		if start+n > appliedFrames {
+			break
+		}
+		if err := os.Remove(filepath.Join(w.dir, s.name)); err != nil {
+			return fmt.Errorf("stream: wal: prune: %w", err)
+		}
+		start += n
+		w.pruned = start
+		w.sealedSize -= size
+	}
+	return nil
+}
+
+// Size returns the WAL's total on-disk bytes (sealed + active).
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sealedSize + w.activeSize
+}
+
+// Frames returns the lifetime record count (including pruned segments).
+func (w *WAL) Frames() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.frames
+}
+
+// Close fsyncs and closes the active segment. Further Appends fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	for w.syncing {
+		w.cond.Wait()
+	}
+	if err := w.active.Sync(); err != nil {
+		w.active.Close()
+		return fmt.Errorf("stream: wal: close: %w", err)
+	}
+	return w.active.Close()
+}

@@ -1,0 +1,151 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/volume"
+)
+
+// detState is the detector state threaded through checkpoints. Together
+// with the aggregator and window it makes alert evaluation a pure
+// function of the applied-record prefix: restore the state, replay the
+// same records, and the same alerts come out with the same sequence
+// numbers.
+type detState struct {
+	// AlertSeq is the next data-alert sequence number.
+	AlertSeq int `json:"alert_seq"`
+	// LastEval is the applied count at the most recent evaluation, so a
+	// drain-triggered evaluation is not repeated on replay.
+	LastEval int64 `json:"last_eval"`
+	// AlertedCells lists cells whose systematic alert has already fired
+	// (sorted; each cell alerts once per stream lifetime).
+	AlertedCells []string `json:"alerted_cells,omitempty"`
+	// DriftActive / DegradedActive latch the rising-edge detectors.
+	DriftActive    bool `json:"drift_active,omitempty"`
+	DegradedActive bool `json:"degraded_active,omitempty"`
+	// PrevFreq is the window cell-frequency distribution at the previous
+	// evaluation (HavePrev distinguishes "no evaluation yet" from an
+	// empty distribution).
+	PrevFreq map[string]float64 `json:"prev_freq,omitempty"`
+	HavePrev bool               `json:"have_prev,omitempty"`
+}
+
+// minWindowEval is the smallest window occupancy the drift and
+// degradation detectors act on; below it the statistics are noise.
+const minWindowEval = 8
+
+// windowFreq computes the per-cell die-frequency distribution of the
+// window: the fraction of window dies whose candidate list contains the
+// cell (deduped per die, TopK already applied when the Result was built).
+func windowFreq(window []*volume.Result, topK int) map[string]float64 {
+	if len(window) == 0 {
+		return map[string]float64{}
+	}
+	counts := map[string]int{}
+	for _, r := range window {
+		if r.Status != volume.StatusOK {
+			continue
+		}
+		seen := map[string]bool{}
+		for rank, c := range r.Candidates {
+			if rank >= topK {
+				break
+			}
+			if !seen[c.Cell] {
+				seen[c.Cell] = true
+				counts[c.Cell]++
+			}
+		}
+	}
+	freq := make(map[string]float64, len(counts))
+	for cell, n := range counts {
+		freq[cell] = float64(n) / float64(len(window))
+	}
+	return freq
+}
+
+// totalVariation is half the L1 distance between two cell-frequency
+// distributions, in [0, 1] for (sub-)probability vectors. Keys are
+// walked in sorted order so the floating-point sum is deterministic —
+// the value feeds alert Detail strings that must replay bitwise.
+func totalVariation(a, b map[string]float64) float64 {
+	keys := make([]string, 0, len(a)+len(b))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	for k := range b {
+		if _, ok := a[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	sum := 0.0
+	for _, k := range keys {
+		d := a[k] - b[k]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / 2
+}
+
+// evaluate runs every detector against the current aggregate and window,
+// returning newly-raised alerts (sequence numbers not yet assigned). The
+// caller owns the applier state. All inputs are deterministic functions
+// of the applied prefix, so the alert stream is too.
+func (s *Service) evaluate() []Alert {
+	var out []Alert
+
+	snap := s.agg.Snapshot()
+	for _, f := range snap.Systematic {
+		if s.alertedCells[f.Cell] {
+			continue
+		}
+		s.alertedCells[f.Cell] = true
+		out = append(out, Alert{
+			Kind: AlertSystematic, Cell: f.Cell,
+			Detail: fmt.Sprintf("cell %s suspect in %d dies (expected %.2f, p=%.3g)",
+				f.Cell, f.Dies, f.Expected, f.PValue),
+		})
+	}
+
+	if len(s.window) >= minWindowEval {
+		qn := 0
+		for _, r := range s.window {
+			if r.Status != volume.StatusOK {
+				qn++
+			}
+		}
+		frac := float64(qn) / float64(len(s.window))
+		switch {
+		case frac >= s.opt.DegradedFraction && !s.det.DegradedActive:
+			s.det.DegradedActive = true
+			out = append(out, Alert{
+				Kind:   AlertDegraded,
+				Detail: fmt.Sprintf("%d of %d window logs quarantined", qn, len(s.window)),
+			})
+		case frac < s.opt.DegradedFraction/2:
+			s.det.DegradedActive = false
+		}
+	}
+
+	freq := windowFreq(s.window, s.opt.TopK)
+	if s.det.HavePrev && len(s.window) >= minWindowEval {
+		tv := totalVariation(freq, s.det.PrevFreq)
+		switch {
+		case tv > s.opt.DriftThreshold && !s.det.DriftActive:
+			s.det.DriftActive = true
+			out = append(out, Alert{
+				Kind:   AlertDrift,
+				Detail: fmt.Sprintf("window cell mix moved %.3f total variation since last evaluation", tv),
+			})
+		case tv <= s.opt.DriftThreshold/2:
+			s.det.DriftActive = false
+		}
+	}
+	s.det.PrevFreq = freq
+	s.det.HavePrev = true
+	return out
+}

@@ -1,0 +1,272 @@
+package volume
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Aggregator is the incremental form of Aggregate: results are folded in
+// one at a time with Add, and Snapshot renders the same Report the batch
+// path would produce over the same result set — bitwise-identically, in
+// any Add order. The streaming service feeds it live diagnoses; batch
+// campaigns still call Aggregate (which is now a thin wrapper over it).
+//
+// The state is serializable: State() emits a JSON document from which
+// LoadAggregator reconstructs an aggregator whose every future Snapshot is
+// bitwise-identical to the original's, which is what crash-safe streaming
+// checkpoints need. Floats survive the round trip exactly (encoding/json
+// emits the shortest representation that parses back to the same bits).
+//
+// An Aggregator is not safe for concurrent use; callers serialize Add and
+// Snapshot (the stream applier is single-goroutine by design).
+type Aggregator struct {
+	opt AggregateOptions
+	st  aggState
+}
+
+// aggState is the serialized-form state: pure data, commutative counts
+// plus the per-die probability vectors the PFA curve needs.
+type aggState struct {
+	Logs        int                 `json:"logs"`
+	Diagnosed   int                 `json:"diagnosed"`
+	Quarantine  map[string]int      `json:"quarantine,omitempty"`
+	Tiers       map[int]*TierStat   `json:"tiers,omitempty"`
+	Cells       map[string]*cellAgg `json:"cells,omitempty"`
+	MIVSuspects int                 `json:"miv_suspects"`
+	GateSusp    int                 `json:"gate_suspects"`
+	MIVTopDies  int                 `json:"miv_top_dies"`
+	// DieProbs maps a diagnosed log's name to its normalized candidate
+	// probabilities (the pfaCurve input), so the curve can be rebuilt in
+	// sorted-name order regardless of Add order.
+	DieProbs map[string][]float64 `json:"die_probs,omitempty"`
+}
+
+// cellAgg is a CellStat plus the identity of the candidate that stamped
+// its Tier/MIV fields. The batch fold walked results sorted by log name,
+// so "first encounter" was deterministic; incremental Adds arrive in
+// arbitrary order, so instead the lexicographically-least (log, rank)
+// mention of the cell wins — the same candidate the sorted walk would
+// have seen first.
+type cellAgg struct {
+	CellStat
+	OriginLog  string `json:"origin_log"`
+	OriginRank int    `json:"origin_rank"`
+}
+
+// NewAggregator returns an empty incremental aggregator with the given
+// report options (defaults applied as in Aggregate).
+func NewAggregator(opt AggregateOptions) *Aggregator {
+	if opt.TopK <= 0 {
+		opt.TopK = 16
+	}
+	if opt.Alpha <= 0 {
+		opt.Alpha = 1e-4
+	}
+	return &Aggregator{opt: opt, st: aggState{
+		Quarantine: map[string]int{},
+		Tiers:      map[int]*TierStat{},
+		Cells:      map[string]*cellAgg{},
+		DieProbs:   map[string][]float64{},
+	}}
+}
+
+// Len returns the number of results folded in so far.
+func (a *Aggregator) Len() int { return a.st.Logs }
+
+// Options returns the aggregation options the aggregator was built with.
+func (a *Aggregator) Options() AggregateOptions { return a.opt }
+
+// Add folds one result into the aggregate. Each log name must be added at
+// most once (dedup is the caller's contract — streaming dedups by content
+// hash, campaigns by unique base names); re-adding a name corrupts the die
+// counts exactly as a duplicated input file would in a batch campaign.
+func (a *Aggregator) Add(r *Result) {
+	st := &a.st
+	st.Logs++
+	if r.Status != StatusOK {
+		st.Quarantine[r.Reason]++
+		return
+	}
+	st.Diagnosed++
+	t := tierStat(st.Tiers, r.PredictedTier)
+	t.Predicted++
+	dieCells := map[string]bool{}
+	n := len(r.Candidates)
+	if n > a.opt.TopK {
+		n = a.opt.TopK
+	}
+	for rank := 0; rank < n; rank++ {
+		c := r.Candidates[rank]
+		tierStat(st.Tiers, c.Tier).Suspects++
+		if c.MIV {
+			st.MIVSuspects++
+			if rank == 0 {
+				st.MIVTopDies++
+			}
+		} else {
+			st.GateSusp++
+		}
+		cs, okc := st.Cells[c.Cell]
+		if !okc {
+			cs = &cellAgg{
+				CellStat:  CellStat{Cell: c.Cell, Tier: c.Tier, MIV: c.MIV},
+				OriginLog: r.Log, OriginRank: rank,
+			}
+			st.Cells[c.Cell] = cs
+		} else if r.Log < cs.OriginLog || (r.Log == cs.OriginLog && rank < cs.OriginRank) {
+			cs.Tier, cs.MIV = c.Tier, c.MIV
+			cs.OriginLog, cs.OriginRank = r.Log, rank
+		}
+		cs.Suspects++
+		if rank == 0 {
+			cs.TopRank++
+		}
+		if !dieCells[c.Cell] {
+			dieCells[c.Cell] = true
+			cs.Dies++
+		}
+	}
+	if probs := dieProbs(r, a.opt.TopK); probs != nil {
+		st.DieProbs[r.Log] = probs
+	}
+}
+
+// dieProbs normalizes one die's candidate scores into the probability
+// vector the PFA curve consumes (nil for dies without candidates), exactly
+// as pfaCurve does per die.
+func dieProbs(r *Result, topK int) []float64 {
+	n := len(r.Candidates)
+	if n > topK {
+		n = topK
+	}
+	if n == 0 {
+		return nil
+	}
+	probs := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		s := r.Candidates[i].Score
+		if s < 0 {
+			s = 0
+		}
+		probs[i] = s
+		sum += s
+	}
+	if sum <= 0 {
+		for i := range probs {
+			probs[i] = 1 / float64(n)
+		}
+	} else {
+		for i := range probs {
+			probs[i] /= sum
+		}
+	}
+	return probs
+}
+
+// Snapshot renders the current aggregate as a Report. It is a pure
+// function of the folded-in result set: two aggregators that received the
+// same results — in any order, across any checkpoint/restore history —
+// snapshot to bitwise-identical reports.
+func (a *Aggregator) Snapshot() *Report {
+	st := &a.st
+	rep := &Report{
+		Design: a.opt.Design, Logs: st.Logs, Diagnosed: st.Diagnosed,
+		MIVSuspects: st.MIVSuspects, GateSuspects: st.GateSusp,
+		MIVTopDies: st.MIVTopDies, Alpha: a.opt.Alpha,
+	}
+	for _, reason := range sortedKeys(st.Quarantine) {
+		rep.Quarantined = append(rep.Quarantined, QuarantineStat{Reason: reason, Count: st.Quarantine[reason]})
+	}
+	for _, tier := range sortedKeysInt(st.Tiers) {
+		rep.Tiers = append(rep.Tiers, *st.Tiers[tier])
+	}
+	for _, cell := range sortedKeys(st.Cells) {
+		rep.Cells = append(rep.Cells, st.Cells[cell].CellStat)
+	}
+	sort.SliceStable(rep.Cells, func(i, j int) bool {
+		a, b := rep.Cells[i], rep.Cells[j]
+		if a.Dies != b.Dies {
+			return a.Dies > b.Dies
+		}
+		if a.Suspects != b.Suspects {
+			return a.Suspects > b.Suspects
+		}
+		return a.Cell < b.Cell
+	})
+	rep.Systematic = detectSystematic(rep.Cells, st.Diagnosed, a.opt.Alpha)
+	rep.PFACurve = curveFromProbs(st.DieProbs)
+	return rep
+}
+
+// curveFromProbs rebuilds the PFA curve from stored per-die probability
+// vectors, walking dies in sorted log-name order so the floating-point
+// summation order matches the batch path's sorted-results walk.
+func curveFromProbs(dieProbs map[string][]float64) []PFAPoint {
+	if len(dieProbs) == 0 {
+		return nil
+	}
+	names := sortedKeys(dieProbs)
+	maxDepth := 0
+	for _, name := range names {
+		if n := len(dieProbs[name]); n > maxDepth {
+			maxDepth = n
+		}
+	}
+	curve := make([]PFAPoint, 0, maxDepth)
+	for depth := 1; depth <= maxDepth; depth++ {
+		cost, found := 0, 0.0
+		for _, name := range names {
+			probs := dieProbs[name]
+			r := depth
+			if r > len(probs) {
+				r = len(probs)
+			}
+			cost += r
+			for i := 0; i < r; i++ {
+				found += probs[i]
+			}
+		}
+		curve = append(curve, PFAPoint{
+			Depth:         depth,
+			Cost:          cost,
+			ExpectedFound: found / float64(len(names)),
+		})
+	}
+	return curve
+}
+
+// State serializes the aggregator for a checkpoint.
+func (a *Aggregator) State() ([]byte, error) {
+	data, err := json.Marshal(&a.st)
+	if err != nil {
+		return nil, fmt.Errorf("volume: aggregator state: %w", err)
+	}
+	return data, nil
+}
+
+// LoadAggregator reconstructs an aggregator from State output. The options
+// must match those of the aggregator that produced the state (they are not
+// part of the state so checkpoint payloads stay config-independent).
+func LoadAggregator(opt AggregateOptions, data []byte) (*Aggregator, error) {
+	a := NewAggregator(opt)
+	if err := json.Unmarshal(data, &a.st); err != nil {
+		return nil, fmt.Errorf("volume: load aggregator state: %w", err)
+	}
+	// Maps dropped by omitempty on an empty aggregator must come back
+	// non-nil so Add never writes to a nil map.
+	if a.st.Quarantine == nil {
+		a.st.Quarantine = map[string]int{}
+	}
+	if a.st.Tiers == nil {
+		a.st.Tiers = map[int]*TierStat{}
+	}
+	if a.st.Cells == nil {
+		a.st.Cells = map[string]*cellAgg{}
+	}
+	if a.st.DieProbs == nil {
+		a.st.DieProbs = map[string][]float64{}
+	}
+	return a, nil
+}

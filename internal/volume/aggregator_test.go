@@ -1,0 +1,138 @@
+package volume
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// diagnoseFixture runs every fixture sample through a local diagnoser
+// in-memory (no files, no campaign machinery) and returns the results,
+// named like writeLogs would name them on disk.
+func diagnoseFixture(t *testing.T) []*Result {
+	t.Helper()
+	fx := getFixture(t)
+	ds, err := NewLocalDiagnosers(fx.fw, fx.bundle, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DiagnoseOptions{Netlist: fx.bundle.Netlist, TopK: 8}
+	results := make([]*Result, len(fx.samples))
+	for i, smp := range fx.samples {
+		name := fmt.Sprintf("die_%03d", i)
+		r := Diagnose(context.Background(), ds[0], name, smp.Log, opt)
+		if r == nil || r.Status != StatusOK {
+			t.Fatalf("sample %d did not diagnose: %+v", i, r)
+		}
+		results[i] = r
+	}
+	return results
+}
+
+// TestAggregatorMatchesBatch feeds the planted-systematic fixture campaign
+// through the incremental Aggregator in a shuffled order and requires the
+// snapshot to be bitwise-identical to the batch Aggregate over the same
+// results — the invariant the streaming service's restart equivalence with
+// m3dvolume rests on. It also checks the report is non-trivial (the
+// planted cell is flagged), so equality is not vacuous.
+func TestAggregatorMatchesBatch(t *testing.T) {
+	results := diagnoseFixture(t)
+	fx := getFixture(t)
+	opt := AggregateOptions{Design: fx.bundle.Name, TopK: 8, Alpha: fixAlpha}
+
+	batch := reportJSON(t, Aggregate(results, opt))
+
+	shuffled := append([]*Result(nil), results...)
+	rand.New(rand.NewSource(17)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	agg := NewAggregator(opt)
+	for _, r := range shuffled {
+		agg.Add(r)
+	}
+	if agg.Len() != len(results) {
+		t.Fatalf("Len = %d, want %d", agg.Len(), len(results))
+	}
+	incr := reportJSON(t, agg.Snapshot())
+	if !bytes.Equal(batch, incr) {
+		t.Fatalf("incremental snapshot diverges from batch:\n%s\n---\n%s", batch, incr)
+	}
+
+	rep := agg.Snapshot()
+	found := false
+	for _, s := range rep.Systematic {
+		if s.Cell == fx.plantedCell {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("planted cell %q not flagged; systematic = %+v", fx.plantedCell, rep.Systematic)
+	}
+
+	// Snapshot must not perturb state: a second snapshot is identical.
+	if again := reportJSON(t, agg.Snapshot()); !bytes.Equal(incr, again) {
+		t.Fatal("repeated Snapshot diverged")
+	}
+}
+
+// TestAggregatorStateRoundTrip checkpoints the aggregator mid-campaign,
+// reloads it from the serialized state, folds in the remainder, and
+// requires the final snapshot to be bitwise-identical to an uninterrupted
+// run — the crash-safe checkpoint/restore property.
+func TestAggregatorStateRoundTrip(t *testing.T) {
+	results := diagnoseFixture(t)
+	fx := getFixture(t)
+	opt := AggregateOptions{Design: fx.bundle.Name, TopK: 8, Alpha: fixAlpha}
+
+	want := reportJSON(t, Aggregate(results, opt))
+
+	for _, cut := range []int{0, 1, len(results) / 2, len(results)} {
+		agg := NewAggregator(opt)
+		for _, r := range results[:cut] {
+			agg.Add(r)
+		}
+		state, err := agg.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := LoadAggregator(opt, state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if restored.Len() != cut {
+			t.Fatalf("cut %d: restored Len = %d", cut, restored.Len())
+		}
+		for _, r := range results[cut:] {
+			restored.Add(r)
+		}
+		if got := reportJSON(t, restored.Snapshot()); !bytes.Equal(want, got) {
+			t.Fatalf("cut %d: restored snapshot diverges from batch:\n%s\n---\n%s", cut, want, got)
+		}
+	}
+
+	if _, err := LoadAggregator(opt, []byte("{not json")); err == nil {
+		t.Fatal("corrupt state accepted")
+	}
+}
+
+// TestAggregatorQuarantineAndEmpty covers the non-OK and empty paths the
+// fixture campaign never exercises.
+func TestAggregatorQuarantineAndEmpty(t *testing.T) {
+	agg := NewAggregator(AggregateOptions{Design: "d"})
+	rep := agg.Snapshot()
+	if rep.Logs != 0 || rep.Cells != nil || rep.PFACurve != nil {
+		t.Fatalf("empty snapshot = %+v", rep)
+	}
+
+	agg.Add(&Result{Log: "bad", Status: StatusQuarantined, Reason: ReasonRead})
+	agg.Add(&Result{Log: "worse", Status: StatusQuarantined, Reason: ReasonRead})
+	rep = agg.Snapshot()
+	if rep.Logs != 2 || rep.Diagnosed != 0 {
+		t.Fatalf("logs=%d diagnosed=%d", rep.Logs, rep.Diagnosed)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0].Count != 2 || rep.Quarantined[0].Reason != ReasonRead {
+		t.Fatalf("quarantine rows = %+v", rep.Quarantined)
+	}
+}

@@ -1,0 +1,98 @@
+package volume
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/failurelog"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/policy"
+)
+
+// DiagnoseOptions tunes one Diagnose call.
+type DiagnoseOptions struct {
+	// Netlist resolves candidate fault sites to cells and tiers (required).
+	Netlist *netlist.Netlist
+	// TopK caps the candidates retained in the result (default 16).
+	TopK int
+	// Timeout bounds the diagnosis; expiry quarantines the log with reason
+	// "deadline". 0 = none.
+	Timeout time.Duration
+}
+
+// Diagnose runs one already-parsed failure log through a Diagnoser and
+// resolves the outcome into the durable Result named name. It is the
+// single-log core shared by batch campaigns (which add file reading and
+// sealing around it) and the streaming service (which feeds it WAL
+// records): every failure mode short of cancellation — backend errors,
+// deadline expiry, panics — yields a quarantined Result, never an error.
+// Only a cancelled parent context returns nil (nothing should be recorded
+// then; the caller's replay redoes the log).
+//
+// Determinism: for a deterministic Diagnoser the Result is a pure function
+// of (log bytes, model), independent of wall time and concurrency — the
+// property both campaign resume and streaming replay invariance rest on.
+func Diagnose(ctx context.Context, d Diagnoser, name string, log *failurelog.Log, opt DiagnoseOptions) (res *Result) {
+	if opt.TopK <= 0 {
+		opt.TopK = 16
+	}
+	res = &Result{Log: name, Status: StatusQuarantined, Fails: len(log.Fails)}
+
+	// Panic isolation: a crash in diagnosis quarantines this log; the
+	// caller and every other worker keep going.
+	defer func() {
+		if p := recover(); p != nil {
+			res.Reason = ReasonPanic
+			res.Err = fmt.Sprintf("panic: %v", p)
+		}
+	}()
+
+	dctx := ctx
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
+	}
+	span := obs.Start(ctx, "volume.diagnose")
+	ro, err := d.Diagnose(dctx, log)
+	span.End()
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil // caller cancelled: not this log's fault
+		}
+		res.Err = err.Error()
+		if errors.Is(err, context.DeadlineExceeded) {
+			res.Reason = ReasonDeadline
+		} else {
+			res.Reason = ReasonDiagnose
+		}
+		return res
+	}
+
+	res.Status = StatusOK
+	res.Reason = ""
+	res.PredictedTier = ro.PredictedTier
+	res.Confidence = ro.Confidence
+	res.Pruned = ro.Pruned
+	res.FaultyMIVs = ro.FaultyMIVs
+	n := opt.Netlist
+	for k, c := range ro.Cands {
+		if k >= opt.TopK {
+			break
+		}
+		site := c.Fault.SiteGate(n)
+		g := n.Gates[site]
+		res.Candidates = append(res.Candidates, Candidate{
+			Gate:  site,
+			Cell:  g.Name,
+			Tier:  policy.EffectiveTier(n, site),
+			MIV:   g.IsMIV,
+			Pol:   int(c.Fault.Pol),
+			Score: c.Score,
+		})
+	}
+	return res
+}

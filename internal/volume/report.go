@@ -105,86 +105,16 @@ type Report struct {
 }
 
 // Aggregate folds sealed per-log results into the campaign report. The
-// input order is irrelevant: results are re-sorted by log name, and every
-// map walk is sorted, so the output is deterministic.
+// input order is irrelevant: aggregation state is commutative and every
+// rendered walk is sorted, so the output is deterministic. It is a thin
+// wrapper over the incremental Aggregator, so batch campaigns and the
+// streaming service aggregate through one implementation.
 func Aggregate(results []*Result, opt AggregateOptions) *Report {
-	if opt.TopK <= 0 {
-		opt.TopK = 16
+	a := NewAggregator(opt)
+	for _, r := range results {
+		a.Add(r)
 	}
-	if opt.Alpha <= 0 {
-		opt.Alpha = 1e-4
-	}
-	rs := append([]*Result(nil), results...)
-	sort.Slice(rs, func(i, j int) bool { return rs[i].Log < rs[j].Log })
-
-	rep := &Report{Design: opt.Design, Logs: len(rs), Alpha: opt.Alpha}
-	quarantine := map[string]int{}
-	tiers := map[int]*TierStat{}
-	cells := map[string]*CellStat{}
-	var ok []*Result
-	for _, r := range rs {
-		if r.Status != StatusOK {
-			quarantine[r.Reason]++
-			continue
-		}
-		ok = append(ok, r)
-		rep.Diagnosed++
-		t := tierStat(tiers, r.PredictedTier)
-		t.Predicted++
-		dieCells := map[string]bool{}
-		for rank, c := range r.Candidates {
-			if rank >= opt.TopK {
-				break
-			}
-			tierStat(tiers, c.Tier).Suspects++
-			if c.MIV {
-				rep.MIVSuspects++
-				if rank == 0 {
-					rep.MIVTopDies++
-				}
-			} else {
-				rep.GateSuspects++
-			}
-			cs, okc := cells[c.Cell]
-			if !okc {
-				cs = &CellStat{Cell: c.Cell, Tier: c.Tier, MIV: c.MIV}
-				cells[c.Cell] = cs
-			}
-			cs.Suspects++
-			if rank == 0 {
-				cs.TopRank++
-			}
-			if !dieCells[c.Cell] {
-				dieCells[c.Cell] = true
-				cs.Dies++
-			}
-		}
-	}
-
-	for _, reason := range sortedKeys(quarantine) {
-		rep.Quarantined = append(rep.Quarantined, QuarantineStat{Reason: reason, Count: quarantine[reason]})
-	}
-	for _, tier := range sortedKeysInt(tiers) {
-		rep.Tiers = append(rep.Tiers, *tiers[tier])
-	}
-	for _, cell := range sortedKeys(cells) {
-		rep.Cells = append(rep.Cells, *cells[cell])
-	}
-	// Most-implicated first; name breaks ties so the order is total.
-	sort.SliceStable(rep.Cells, func(i, j int) bool {
-		a, b := rep.Cells[i], rep.Cells[j]
-		if a.Dies != b.Dies {
-			return a.Dies > b.Dies
-		}
-		if a.Suspects != b.Suspects {
-			return a.Suspects > b.Suspects
-		}
-		return a.Cell < b.Cell
-	})
-
-	rep.Systematic = detectSystematic(rep.Cells, len(ok), opt.Alpha)
-	rep.PFACurve = pfaCurve(ok, opt.TopK)
-	return rep
+	return a.Snapshot()
 }
 
 func tierStat(m map[int]*TierStat, tier int) *TierStat {
@@ -278,75 +208,6 @@ func poissonTail(k int, lambda float64) float64 {
 		}
 	}
 	return math.Min(sum, 1)
-}
-
-// pfaCurve builds the expected-found-vs-cost curve. Each die's candidate
-// scores are turned into a probability distribution (scores clamped at
-// zero; uniform fallback when they all vanish); inspecting a die to rank
-// depth r exposes its defect with probability sum of its top-r
-// probabilities, at a cost of min(r, len(candidates)) inspections. The
-// curve point at depth r sums cost over dies and averages expected
-// exposure — monotone non-decreasing in both coordinates by construction.
-func pfaCurve(ok []*Result, topK int) []PFAPoint {
-	maxDepth := 0
-	type die struct{ probs []float64 }
-	var dies []die
-	for _, r := range ok {
-		n := len(r.Candidates)
-		if n > topK {
-			n = topK
-		}
-		if n == 0 {
-			continue
-		}
-		probs := make([]float64, n)
-		sum := 0.0
-		for i := 0; i < n; i++ {
-			s := r.Candidates[i].Score
-			if s < 0 {
-				s = 0
-			}
-			probs[i] = s
-			sum += s
-		}
-		if sum <= 0 {
-			for i := range probs {
-				probs[i] = 1 / float64(n)
-			}
-		} else {
-			for i := range probs {
-				probs[i] /= sum
-			}
-		}
-		dies = append(dies, die{probs: probs})
-		if n > maxDepth {
-			maxDepth = n
-		}
-	}
-	if len(dies) == 0 {
-		return nil
-	}
-	curve := make([]PFAPoint, 0, maxDepth)
-	for depth := 1; depth <= maxDepth; depth++ {
-		cost, found := 0, 0.0
-		for _, d := range dies {
-			n := len(d.probs)
-			r := depth
-			if r > n {
-				r = n
-			}
-			cost += r
-			for i := 0; i < r; i++ {
-				found += d.probs[i]
-			}
-		}
-		curve = append(curve, PFAPoint{
-			Depth:         depth,
-			Cost:          cost,
-			ExpectedFound: found / float64(len(dies)),
-		})
-	}
-	return curve
 }
 
 // WriteText renders the report as a deterministic human-readable summary.

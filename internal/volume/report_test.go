@@ -67,14 +67,15 @@ func TestDetectSystematic(t *testing.T) {
 }
 
 func TestPFACurveProperties(t *testing.T) {
-	mk := func(scores ...float64) *Result {
-		r := &Result{Log: "x", Status: StatusOK}
+	mk := func(name string, scores ...float64) *Result {
+		r := &Result{Log: name, Status: StatusOK}
 		for _, s := range scores {
 			r.Candidates = append(r.Candidates, Candidate{Score: s})
 		}
 		return r
 	}
-	curve := pfaCurve([]*Result{mk(8, 2), mk(1, 1, 1, 1), mk(-3, -1)}, 16)
+	curve := Aggregate([]*Result{mk("a", 8, 2), mk("b", 1, 1, 1, 1), mk("c", -3, -1)},
+		AggregateOptions{TopK: 16}).PFACurve
 	if len(curve) != 4 {
 		t.Fatalf("curve has %d points, want max depth 4", len(curve))
 	}
@@ -100,7 +101,7 @@ func TestPFACurveProperties(t *testing.T) {
 		t.Fatalf("full-depth point = %+v, want found=1 cost=8", last)
 	}
 	// Dies with no candidates contribute nothing (and no NaNs).
-	if c := pfaCurve([]*Result{{Log: "e", Status: StatusOK}}, 16); c != nil {
+	if c := Aggregate([]*Result{{Log: "e", Status: StatusOK}}, AggregateOptions{}).PFACurve; c != nil {
 		t.Fatalf("candidate-free campaign produced %+v", c)
 	}
 }

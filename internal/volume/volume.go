@@ -39,7 +39,6 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/par"
-	"repro/internal/policy"
 	"repro/internal/version"
 )
 
@@ -405,76 +404,31 @@ func (st *campaignState) processOne(ctx context.Context, d Diagnoser, path strin
 	return r
 }
 
-// diagnoseOne produces the Result for one log (without sealing it).
-func (st *campaignState) diagnoseOne(ctx context.Context, d Diagnoser, path string) (res *Result) {
+// diagnoseOne produces the Result for one log (without sealing it): it
+// reads the file, then hands the parsed log to the shared Diagnose core.
+func (st *campaignState) diagnoseOne(ctx context.Context, d Diagnoser, path string) *Result {
 	cfg := st.cfg
 	base := filepath.Base(path)
-	res = &Result{Log: base, Status: StatusQuarantined}
 
-	// Panic isolation: a crash in parsing or diagnosis quarantines this
-	// log; the campaign and every other worker keep going.
-	defer func() {
-		if p := recover(); p != nil {
-			res.Reason = ReasonPanic
-			res.Err = fmt.Sprintf("panic: %v", p)
-		}
+	log, err := func() (l *failurelog.Log, err error) {
+		// Panic isolation for the parse: a crashing reader quarantines this
+		// log like any other read failure.
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("panic: %v", p)
+			}
+		}()
+		span := obs.Start(ctx, "volume.read")
+		defer span.End()
+		return failurelog.ReadFile(path)
 	}()
-
-	span := obs.Start(ctx, "volume.read")
-	log, err := failurelog.ReadFile(path)
-	span.End()
 	if err != nil {
-		res.Reason = ReasonRead
-		res.Err = err.Error()
-		return res
-	}
-	res.Fails = len(log.Fails)
-
-	dctx := ctx
-	if cfg.LogTimeout > 0 {
-		var cancel context.CancelFunc
-		dctx, cancel = context.WithTimeout(ctx, cfg.LogTimeout)
-		defer cancel()
-	}
-	span = obs.Start(ctx, "volume.diagnose")
-	ro, err := d.Diagnose(dctx, log)
-	span.End()
-	if err != nil {
-		if ctx.Err() != nil {
-			return nil // campaign cancelled: not this log's fault
-		}
-		res.Err = err.Error()
-		if errors.Is(err, context.DeadlineExceeded) {
-			res.Reason = ReasonDeadline
-		} else {
-			res.Reason = ReasonDiagnose
-		}
-		return res
+		return &Result{Log: base, Status: StatusQuarantined, Reason: ReasonRead, Err: err.Error()}
 	}
 
-	res.Status = StatusOK
-	res.Reason = ""
-	res.PredictedTier = ro.PredictedTier
-	res.Confidence = ro.Confidence
-	res.Pruned = ro.Pruned
-	res.FaultyMIVs = ro.FaultyMIVs
-	n := cfg.Netlist
-	for k, c := range ro.Cands {
-		if k >= cfg.TopK {
-			break
-		}
-		site := c.Fault.SiteGate(n)
-		g := n.Gates[site]
-		res.Candidates = append(res.Candidates, Candidate{
-			Gate:  site,
-			Cell:  g.Name,
-			Tier:  policy.EffectiveTier(n, site),
-			MIV:   g.IsMIV,
-			Pol:   int(c.Fault.Pol),
-			Score: c.Score,
-		})
-	}
-	return res
+	return Diagnose(ctx, d, base, log, DiagnoseOptions{
+		Netlist: cfg.Netlist, TopK: cfg.TopK, Timeout: cfg.LogTimeout,
+	})
 }
 
 // resultsValues drops the nil slots of an interrupted slice (defensive:

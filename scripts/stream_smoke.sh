@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# stream_smoke.sh — CI integration check for the streaming yield monitor.
+#
+# Generates a 200-log campaign with a planted systematic defect, runs the
+# batch m3dvolume report as the reference, then streams the same logs into
+# m3dstream over HTTP — SIGKILLing the service twice mid-stream and
+# re-sending everything from the top each time (at-least-once delivery).
+# Asserts: no record is lost or double-counted (applied == 200 exactly),
+# the streaming report is bitwise-identical to the batch report.json, and
+# the planted cell's systematic alert fired exactly once.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+ADDR="127.0.0.1:18590"
+BASE="http://$ADDR"
+trap 'kill -9 "${SRV_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "== build"
+go build -o "$WORK/datagen" ./cmd/datagen
+go build -o "$WORK/m3ddiag" ./cmd/m3ddiag
+go build -o "$WORK/m3dvolume" ./cmd/m3dvolume
+go build -o "$WORK/m3dstream" ./cmd/m3dstream
+
+"$WORK/m3dstream" -version | grep -q '^m3dstream ' || { echo "bad -version output" >&2; exit 1; }
+
+echo "== generate a 200-log campaign with a planted systematic defect"
+GEN_OUT="$("$WORK/datagen" -design aes -scale 0.2 -samples 200 -systematic 0.3 -out "$WORK/data")"
+echo "$GEN_OUT"
+CELL="$(echo "$GEN_OUT" | sed -n 's/.*planted on cell \([^ ]*\) .*/\1/p')"
+[ -n "$CELL" ] || { echo "datagen did not print the planted cell" >&2; exit 1; }
+echo "planted cell: $CELL"
+
+echo "== train and save a model once (shared by batch and stream)"
+"$WORK/m3ddiag" -design aes -scale 0.2 -train-samples 60 -diagnose-samples 0 \
+  -save-model "$WORK/model.fw" >/dev/null
+
+echo "== batch reference: m3dvolume report over the same logs"
+"$WORK/m3dvolume" -logs "$WORK/data" -campaign "$WORK/camp" \
+  -design aes -scale 0.2 -load-model "$WORK/model.fw" -workers 4 >/dev/null
+
+start_stream() {
+  "$WORK/m3dstream" -design aes -scale 0.2 -load-model "$WORK/model.fw" \
+    -dir "$WORK/stream" -addr "$ADDR" -workers 4 \
+    -eval-every 8 -checkpoint-every 16 -window 32 \
+    >>"$WORK/stream.log" 2>&1 &
+  SRV_PID=$!
+  for i in $(seq 1 600); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+    if ! kill -0 "$SRV_PID" 2>/dev/null; then
+      echo "m3dstream died during startup:" >&2; tail -20 "$WORK/stream.log" >&2; exit 1
+    fi
+    sleep 0.1
+  done
+  echo "m3dstream never became ready" >&2; tail -20 "$WORK/stream.log" >&2; exit 1
+}
+
+# send_all streams every log from the top in a fixed order; already-durable
+# content is acknowledged as a duplicate, which is exactly the at-least-once
+# contract the testers rely on.
+send_all() {
+  for f in "$WORK"/data/*.log; do
+    curl -fsS --data-binary @"$f" "$BASE/ingest?name=$(basename "$f")" >/dev/null || {
+      echo "ingest of $(basename "$f") failed" >&2; exit 1; }
+  done
+}
+
+applied_count() {
+  curl -fsS "$BASE/stream/status" | sed -n 's/.*"applied": \([0-9]*\).*/\1/p' | head -1
+}
+
+wait_applied_at_least() {
+  local want="$1"
+  for i in $(seq 1 1200); do
+    local n; n="$(applied_count)"
+    if [ "${n:-0}" -ge "$want" ]; then return 0; fi
+    sleep 0.1
+  done
+  echo "timed out waiting for $want applied (at ${n:-?})" >&2; exit 1
+}
+
+echo "== incarnation 1: stream, then SIGKILL mid-flight"
+start_stream
+send_all
+wait_applied_at_least 40
+kill -9 "$SRV_PID"; wait "$SRV_PID" 2>/dev/null || true
+echo "killed at $(date +%T) with >=40 applied"
+
+echo "== incarnation 2: restart, re-send everything, SIGKILL again"
+start_stream
+grep -Eq "restored checkpoint|replaying" "$WORK/stream.log" || {
+  echo "restart did not recover durable state:" >&2; tail -20 "$WORK/stream.log" >&2; exit 1; }
+send_all
+wait_applied_at_least 120
+kill -9 "$SRV_PID"; wait "$SRV_PID" 2>/dev/null || true
+echo "killed again with >=120 applied"
+
+echo "== incarnation 3: restart, re-send everything, run to completion"
+start_stream
+send_all
+
+echo "== batch NDJSON endpoint must answer with per-line statuses"
+BATCH_REQ="$WORK/batch.ndjson"
+: > "$BATCH_REQ"
+for f in $(ls "$WORK"/data/*.log | head -2); do
+  printf '{"name":"%s","log":"%s"}\n' "$(basename "$f")" "$(base64 -w0 < "$f")" >> "$BATCH_REQ"
+done
+BATCH_OUT="$(curl -fsS --data-binary @"$BATCH_REQ" "$BASE/ingest/batch")"
+echo "$BATCH_OUT" | grep -q '"status": *"duplicate"' || {
+  echo "batch re-send did not deduplicate: $BATCH_OUT" >&2; exit 1; }
+
+wait_applied_at_least 200
+APPLIED="$(applied_count)"
+[ "$APPLIED" = "200" ] || { echo "applied=$APPLIED, want exactly 200 (lost or duplicated records)" >&2; exit 1; }
+
+echo "== streaming report must be bitwise-identical to the batch report"
+curl -fsS "$BASE/stream/report" > "$WORK/stream_report.json"
+cmp "$WORK/camp/report.json" "$WORK/stream_report.json" || {
+  echo "stream report diverges from batch report.json" >&2
+  diff <(head -40 "$WORK/camp/report.json") <(head -40 "$WORK/stream_report.json") >&2 || true
+  exit 1; }
+
+echo "== the planted cell's systematic alert fired exactly once"
+curl -fsS "$BASE/stream/alerts" > "$WORK/alerts.json"
+N_ALERT="$(grep -c "\"cell\": \"$CELL\"" "$WORK/alerts.json" || true)"
+[ "$N_ALERT" = "1" ] || {
+  echo "planted cell $CELL alerted $N_ALERT times, want exactly 1:" >&2
+  cat "$WORK/alerts.json" >&2; exit 1; }
+
+echo "== graceful shutdown drains and checkpoints"
+kill -TERM "$SRV_PID"
+for i in $(seq 1 300); do
+  if ! kill -0 "$SRV_PID" 2>/dev/null; then break; fi
+  sleep 0.1
+done
+kill -0 "$SRV_PID" 2>/dev/null && { echo "m3dstream did not exit on SIGTERM" >&2; exit 1; }
+SRV_PID=""
+grep -q "stopped: 200 applied" "$WORK/stream.log" || {
+  echo "shutdown line missing:" >&2; tail -5 "$WORK/stream.log" >&2; exit 1; }
+
+echo "stream smoke: OK"
