@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +33,7 @@ func main() {
 	config := flag.String("config", "syn1", "configuration: syn1, tpi, syn2, par, rand")
 	out := flag.String("out", "data", "output directory")
 	samples := flag.Int("samples", 20, "failure logs to generate")
+	labels := flag.Bool("labels", false, "also write <name>_labels.json mapping each failure log to its ground-truth faulty tier (-1 for MIV faults); fine-tuning clients (tunectl) consume it")
 	compacted := flag.Bool("compacted", false, "use EDT response compaction")
 	format := flag.String("format", "bench", "netlist output format: bench or verilog")
 	scale := flag.Float64("scale", 1.0, "design size multiplier")
@@ -128,6 +130,30 @@ func main() {
 		written++
 	}
 	fmt.Printf("wrote %d failure logs to %s\n", written, *out)
+
+	if *labels {
+		type entry struct {
+			File string `json:"file"`
+			Tier int    `json:"tier"`
+		}
+		ls := make([]entry, len(ss))
+		for i, smp := range ss {
+			ls[i] = entry{
+				File: fmt.Sprintf("%s_fail_%03d.log", b.Name, i),
+				Tier: smp.TierLabel,
+			}
+		}
+		labelPath := filepath.Join(*out, b.Name+"_labels.json")
+		err := artifact.WriteAtomic(labelPath, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(map[string]any{"design": b.Name, "logs": ls})
+		})
+		if err != nil {
+			fatal("write labels: %v", err)
+		}
+		fmt.Printf("labels: %s\n", labelPath)
+	}
 }
 
 func fatal(format string, args ...any) {

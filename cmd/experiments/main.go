@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/experiment"
+	"repro/internal/gnn"
 	"repro/internal/obs"
 	"repro/internal/version"
 )
@@ -35,6 +36,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all cores); output is identical for any value")
 	noiseLevels := flag.String("noise", "", "comma-separated tester-noise levels for the noise experiment (default 0,0.25,0.5,0.75,1)")
 	checkpoint := flag.String("checkpoint", "", "directory for training checkpoints; training resumes from any found there")
+	archName := flag.String("arch", "gcn", "GNN architecture for every trained framework: gcn, sage-mean, sage-max, gat, resgcn; optional widths like gat:48,48 (the zoo experiment sweeps all of them regardless)")
+	transferEpochs := flag.Int("transfer-epochs", 5, "fine-tuning epoch budget of the transfer experiment")
 	list := flag.Bool("list", false, "list experiments and exit")
 	metrics := flag.Bool("metrics", false, "print collected metrics (cache hits, training, data generation) to stderr on exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -81,6 +84,13 @@ func main() {
 	s.Designs = strings.Split(*designs, ",")
 	s.Workers = *workers
 	s.CheckpointDir = *checkpoint
+	// Unknown architecture names are a hard error, never a silent fallback.
+	arch, err := gnn.ParseArch(*archName)
+	if err != nil {
+		fatal("-arch: %v", err)
+	}
+	s.Arch = arch
+	s.TransferEpochs = *transferEpochs
 	if *noiseLevels != "" {
 		var levels []float64
 		for _, part := range strings.Split(*noiseLevels, ",") {

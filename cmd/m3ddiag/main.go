@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/gen"
+	"repro/internal/gnn"
 	"repro/internal/noise"
 	"repro/internal/obs"
 	"repro/internal/version"
@@ -32,6 +33,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "design size multiplier")
 	seed := flag.Int64("seed", 1, "global seed")
 	trainSamples := flag.Int("train-samples", 200, "training set size")
+	archName := flag.String("arch", "gcn", "GNN architecture to train: gcn, sage-mean, sage-max, gat, resgcn; optional widths like sage-mean:64,64 (ignored with -load-model: the artifact carries its spec)")
 	diagSamples := flag.Int("diagnose-samples", 5, "injected chips to diagnose")
 	compacted := flag.Bool("compacted", false, "EDT response compaction")
 	saveModel := flag.String("save-model", "", "write the trained framework to this file")
@@ -47,6 +49,12 @@ func main() {
 	if *showVersion {
 		version.Print("m3ddiag")
 		return
+	}
+
+	// Unknown architecture names are a hard error, never a silent fallback.
+	arch, err := gnn.ParseArch(*archName)
+	if err != nil {
+		fatal("-arch: %v", err)
 	}
 
 	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile)
@@ -107,7 +115,7 @@ func main() {
 			Workers: *workers, Noise: noise.ModelAt(*noiseLevel, *seed+7), Obs: reg,
 		})
 		fw, err = core.Train(train, core.TrainOptions{
-			Seed: *seed + 3, Workers: *workers, CheckpointDir: *checkpoint, Obs: reg,
+			Seed: *seed + 3, Workers: *workers, Arch: arch, CheckpointDir: *checkpoint, Obs: reg,
 		})
 		if err != nil {
 			fatal("train: %v", err)

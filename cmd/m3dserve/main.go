@@ -6,12 +6,15 @@
 // drain-on-SIGTERM.
 //
 // Endpoints: POST /diagnose (FAILLOG body, ?multi=1, ?timeout_ms=N),
-// GET /healthz, GET /readyz, POST /reload. SIGHUP also triggers a reload.
+// GET /healthz, GET /readyz, POST /reload, POST /tune (online fine-tuning
+// with A/B shadow validation), GET /tune/status. SIGHUP also triggers a
+// reload.
 //
 // Usage:
 //
 //	m3dserve -design aes -store ./m3dstore -addr :8080
 //	m3dserve -design aes -store ./m3dstore -train-samples 200   # cold store
+//	m3dserve -design aes -arch sage-mean -store ./sagestore     # zoo architecture
 //	m3dserve -store ./m3dstore -verify-store                    # integrity sweep
 package main
 
@@ -33,8 +36,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/gen"
+	"repro/internal/gnn"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/tune"
 	"repro/internal/version"
 )
 
@@ -47,6 +52,7 @@ func main() {
 	storeDir := flag.String("store", "m3dstore", "artifact store directory (crash-safe, checksummed)")
 	modelName := flag.String("model", "framework", "artifact name of the served framework")
 	trainSamples := flag.Int("train-samples", 200, "training set size when the store holds no framework")
+	archName := flag.String("arch", "gcn", "GNN architecture when training a cold store: gcn, sage-mean, sage-max, gat, resgcn; optional widths like sage-mean:64,64 (see gnn.ParseArch)")
 	compacted := flag.Bool("compacted", false, "EDT response compaction")
 	workers := flag.Int("workers", 0, "training worker goroutines (0 = all cores)")
 	concurrency := flag.Int("concurrency", 0, "max concurrent diagnoses (0 = all cores)")
@@ -68,6 +74,13 @@ func main() {
 
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "m3dserve: "+format+"\n", args...)
+	}
+
+	// Unknown architecture names are a hard error, not a silent fallback:
+	// a typo must never train the wrong model into a cold store.
+	arch, err := gnn.ParseArch(*archName)
+	if err != nil {
+		fatal("-arch: %v", err)
 	}
 
 	store, err := artifact.Open(*storeDir)
@@ -106,7 +119,7 @@ func main() {
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(reg, *traceRing)
 
-	fw, artInfo, err := loadOrTrain(ctx, store, *modelName, b, *trainSamples, *seed, *compacted, *workers, reg, logf)
+	fw, artInfo, err := loadOrTrain(ctx, store, *modelName, b, *trainSamples, *seed, *compacted, *workers, arch, reg, logf)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -130,6 +143,18 @@ func main() {
 	// on; fleet coordinators use it to tell shards apart.
 	srv.SetArtifactInfo(artInfo)
 
+	// Online fine-tuning rides on the same store and reload path; the
+	// manager observes live diagnoses for its A/B shadow window.
+	mgr := tune.NewManager(tune.Config{
+		Store: store, Model: *modelName, Server: srv,
+		Metrics: reg, Logf: logf, Workers: *workers,
+	})
+	srv.SetObserver(mgr)
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("/tune", mgr.Handler())
+	mux.Handle("/tune/status", mgr.Handler())
+
 	// Optional pprof listener, kept off the service port so profiling
 	// endpoints are never reachable through the load balancer.
 	if *debugAddr != "" {
@@ -147,7 +172,7 @@ func main() {
 		}()
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 	errCh := make(chan error, 1)
 	go func() {
 		logf("serving %s on %s (concurrency %d, queue %d, timeout %v)",
@@ -197,7 +222,7 @@ func main() {
 // start is instant. The returned ArtifactInfo identifies the exact payload
 // being served (store version + checksum) for /healthz.
 func loadOrTrain(ctx context.Context, store *artifact.Store, name string, b *dataset.Bundle,
-	trainSamples int, seed int64, compacted bool, workers int,
+	trainSamples int, seed int64, compacted bool, workers int, arch gnn.ArchSpec,
 	reg *obs.Registry, logf func(string, ...any)) (*core.Framework, serve.ArtifactInfo, error) {
 
 	if payload, path, v, err := store.LoadLatest(name); err == nil {
@@ -222,7 +247,7 @@ func loadOrTrain(ctx context.Context, store *artifact.Store, name string, b *dat
 		Count: trainSamples, Seed: seed + 2, Compacted: compacted,
 		MIVFraction: 0.2, Workers: workers, Obs: reg,
 	})
-	fw, err := core.Train(train, core.TrainOptions{Seed: seed + 3, Workers: workers, Obs: reg})
+	fw, err := core.Train(train, core.TrainOptions{Seed: seed + 3, Workers: workers, Arch: arch, Obs: reg})
 	if err != nil {
 		return nil, serve.ArtifactInfo{}, fmt.Errorf("train: %w", err)
 	}

@@ -1,0 +1,167 @@
+// Command tunectl drives the online fine-tuning endpoint of a running
+// m3dserve: it reads the labeled failure logs a datagen -labels run wrote,
+// POSTs them to /tune, optionally keeps live diagnosis traffic flowing so
+// the A/B shadow window fills, and waits for the run to reach a terminal
+// state, printing the final /tune/status JSON to stdout.
+//
+// Usage:
+//
+//	tunectl -base http://127.0.0.1:8080 -labels ./data/aes_syn1_labels.json
+//	tunectl -base ... -labels ... -flip -force -min-agreement 1.0   # inject a regression
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/tune"
+	"repro/internal/version"
+)
+
+func main() {
+	base := flag.String("base", "http://127.0.0.1:8080", "m3dserve base URL")
+	labelsPath := flag.String("labels", "", "labels JSON written by datagen -labels (required)")
+	dir := flag.String("dir", "", "directory holding the failure logs (default: the labels file's directory)")
+	maxSamples := flag.Int("max", 0, "cap on labeled samples sent (0 = all)")
+	epochs := flag.Int("epochs", 5, "fine-tuning epochs")
+	lr := flag.Float64("lr", 0.005, "fine-tuning learning rate")
+	holdout := flag.Float64("holdout", 0.25, "held-out validation fraction")
+	shadowWindow := flag.Int("shadow-window", 8, "live diagnoses the A/B shadow window compares before promotion")
+	minAgreement := flag.Float64("min-agreement", 0.8, "tier-agreement ratio the candidate must reach over the shadow window")
+	maxLatencyRatio := flag.Float64("max-latency-ratio", 5.0, "cap on candidate policy latency relative to the incumbent")
+	force := flag.Bool("force", false, "skip the holdout validation gate (the shadow window still guards promotion)")
+	resume := flag.Bool("resume", false, "resume fine-tuning from an interrupted run's checkpoint")
+	seed := flag.Int64("seed", 1, "holdout-split and shuffle seed")
+	flip := flag.Bool("flip", false, "invert every tier label — deliberately trains a regressed candidate (smoke tests use this with -force to exercise rollback)")
+	drive := flag.Bool("drive", true, "keep POSTing diagnoses after the hot-swap so the shadow window fills")
+	wait := flag.Duration("wait", 2*time.Minute, "max time to wait for a terminal state (0 = return right after the POST)")
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *showVersion {
+		version.Print("tunectl")
+		return
+	}
+	if *labelsPath == "" {
+		fatal("-labels is required")
+	}
+	if *dir == "" {
+		*dir = filepath.Dir(*labelsPath)
+	}
+
+	raw, err := os.ReadFile(*labelsPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var manifest struct {
+		Design string `json:"design"`
+		Logs   []struct {
+			File string `json:"file"`
+			Tier int    `json:"tier"`
+		} `json:"logs"`
+	}
+	if err := json.Unmarshal(raw, &manifest); err != nil {
+		fatal("parse %s: %v", *labelsPath, err)
+	}
+
+	req := tune.Request{
+		Epochs: *epochs, LR: *lr, Holdout: *holdout,
+		ShadowWindow: *shadowWindow, MinAgreement: *minAgreement,
+		MaxLatencyRatio: *maxLatencyRatio, Force: *force, Resume: *resume, Seed: *seed,
+	}
+	var driveLog []byte
+	for _, l := range manifest.Logs {
+		if l.Tier < 0 {
+			continue // MIV faults carry no tier label
+		}
+		text, err := os.ReadFile(filepath.Join(*dir, l.File))
+		if err != nil {
+			fatal("%v", err)
+		}
+		if driveLog == nil {
+			driveLog = text
+		}
+		tier := l.Tier
+		if *flip {
+			tier = 1 - tier
+		}
+		req.Samples = append(req.Samples, tune.LabeledLog{Tier: tier, Log: string(text)})
+		if *maxSamples > 0 && len(req.Samples) >= *maxSamples {
+			break
+		}
+	}
+	fmt.Fprintf(os.Stderr, "tunectl: POSTing %d labeled samples from %s to %s/tune\n",
+		len(req.Samples), manifest.Design, *base)
+
+	body, err := json.Marshal(&req)
+	if err != nil {
+		fatal("%v", err)
+	}
+	resp, err := http.Post(*base+"/tune", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal("POST /tune: %v", err)
+	}
+	respBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal("POST /tune: %d\n%s", resp.StatusCode, respBody)
+	}
+	fmt.Fprintf(os.Stderr, "tunectl: accepted, shadow window of %d open\n", req.ShadowWindow)
+	if *wait == 0 {
+		fmt.Printf("%s\n", respBody)
+		return
+	}
+
+	deadline := time.Now().Add(*wait)
+	for time.Now().Before(deadline) {
+		if *drive && driveLog != nil {
+			r, err := http.Post(*base+"/diagnose?timeout_ms=60000", "text/plain", bytes.NewReader(driveLog))
+			if err != nil {
+				fatal("drive /diagnose: %v", err)
+			}
+			io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+		}
+		st, raw, err := status(*base)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if st.State == tune.StateIdle {
+			fmt.Printf("%s\n", raw)
+			fmt.Fprintf(os.Stderr, "tunectl: %s (final version %d)\n", st.LastResult, st.FinalVersion)
+			return
+		}
+		if !*drive {
+			time.Sleep(time.Second)
+		}
+	}
+	fatal("run did not reach a terminal state within %v", *wait)
+}
+
+func status(base string) (tune.Status, []byte, error) {
+	resp, err := http.Get(base + "/tune/status")
+	if err != nil {
+		return tune.Status{}, nil, fmt.Errorf("GET /tune/status: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return tune.Status{}, nil, err
+	}
+	var st tune.Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return tune.Status{}, nil, fmt.Errorf("parse /tune/status: %w", err)
+	}
+	return st, bytes.TrimSpace(raw), nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tunectl: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/diagnosis"
 	"repro/internal/failurelog"
 	"repro/internal/gnn"
+	"repro/internal/hgraph"
 	"repro/internal/obs"
 	"repro/internal/policy"
 )
@@ -44,6 +45,12 @@ type TrainOptions struct {
 	Seed int64
 	// Epochs for each model; default 30.
 	Epochs int
+	// Arch selects the GNN architecture from the model registry for the
+	// Tier-predictor and MIV-pinpointer (the Classifier inherits the
+	// Tier-predictor's architecture via transfer learning). The zero spec is
+	// the paper's default GCN and trains bitwise-identically to the
+	// pre-registry code.
+	Arch gnn.ArchSpec
 	// PrecisionTarget for T_P selection; default 0.99 (the paper's <1%
 	// accuracy-loss budget).
 	PrecisionTarget float64
@@ -109,8 +116,8 @@ func Train(samples []dataset.Sample, opt TrainOptions) (*Framework, error) {
 		tierSamples = append(tierSamples, gnn.GraphSample{SG: s.SG, Label: s.TierLabel})
 	}
 	fw := &Framework{
-		Tier: gnn.NewTierPredictorK(opt.Seed, numTiers),
-		MIV:  gnn.NewMIVPinpointer(opt.Seed + 1),
+		Tier: gnn.NewTierPredictorArch(opt.Seed, numTiers, opt.Arch),
+		MIV:  gnn.NewMIVPinpointerArch(opt.Seed+1, opt.Arch),
 	}
 	if _, err := fw.Tier.Train(tierSamples, gnn.TrainConfig{
 		Epochs: opt.Epochs, Seed: opt.Seed + 2, FitScaler: true, Workers: opt.Workers,
@@ -210,22 +217,31 @@ func (fw *Framework) Diagnose(b *dataset.Bundle, log *failurelog.Log) (*diagnosi
 // running to completion. On cancellation it returns nil results and the
 // context's error.
 func (fw *Framework) DiagnoseCtx(ctx context.Context, b *dataset.Bundle, log *failurelog.Log) (*diagnosis.Report, *policy.Outcome, error) {
+	rep, _, out, err := fw.DiagnoseFullCtx(ctx, b, log)
+	return rep, out, err
+}
+
+// DiagnoseFullCtx is DiagnoseCtx, additionally returning the back-traced
+// subgraph the policy ran on. Shadow evaluation (the fine-tuning service's
+// A/B window) re-applies a second policy to the same report and subgraph,
+// so both must escape the call.
+func (fw *Framework) DiagnoseFullCtx(ctx context.Context, b *dataset.Bundle, log *failurelog.Log) (*diagnosis.Report, *hgraph.Subgraph, *policy.Outcome, error) {
 	defer obs.Start(ctx, "core.diagnose").End()
 	rep, err := b.Diag.DiagnoseCtx(ctx, log)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	sg, err := b.Graph.BacktraceCtx(ctx, log, b.Diag.Result())
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, nil, fmt.Errorf("core: diagnose: %w", err)
+		return nil, nil, nil, fmt.Errorf("core: diagnose: %w", err)
 	}
 	span := obs.Start(ctx, "policy.apply")
 	out := fw.PolicyFor(b).ApplyCtx(ctx, rep, sg)
 	span.End()
-	return rep, out, nil
+	return rep, sg, out, nil
 }
 
 // DiagnoseMultiCtx is DiagnoseCtx for failure logs that may contain several

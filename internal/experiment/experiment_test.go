@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/gnn"
 )
 
 // tinySuite runs experiments end to end at a very small scale.
@@ -196,6 +198,70 @@ func TestSuiteNoiseWorkerEquivalence(t *testing.T) {
 	ref := run(1)
 	if got := run(4); got != ref {
 		t.Fatalf("noise table differs across worker counts:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", ref, got)
+	}
+}
+
+// TestSuiteZooTable runs the model-zoo comparison end to end at tiny
+// scale: one row per registered architecture, all on the same test chips.
+func TestSuiteZooTable(t *testing.T) {
+	s, buf := tinySuite()
+	s.TrainCount = 40
+	s.TestCount = 12
+	if err := s.Run("zoo"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Model zoo") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	for _, k := range gnn.Architectures() {
+		if !strings.Contains(out, string(k)) {
+			t.Fatalf("missing architecture row %q:\n%s", k, out)
+		}
+	}
+}
+
+// TestSuiteTransferTable runs the cross-design transfer experiment on two
+// designs and asserts all four variant rows appear; with a single design
+// it must skip gracefully instead of failing.
+func TestSuiteTransferTable(t *testing.T) {
+	s, buf := tinySuite()
+	s.Designs = []string{"aes", "tate"}
+	s.TrainCount = 40
+	s.TestCount = 12
+	s.TransferEpochs = 2
+	if err := s.Run("transfer"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Transfer: aes -> tate", "zero-shot", "fine-tuned", "scratch (same epochs)", "full tate training"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+
+	s2, buf2 := tinySuite() // single design: skip, don't fail
+	if err := s2.Run("transfer"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), "skipped") {
+		t.Fatalf("single-design transfer did not skip:\n%s", buf2.String())
+	}
+}
+
+// TestSuiteArchSelection proves the suite-level Arch knob reaches
+// training: a localization table trained as sage-mean must run end to end
+// and print the same shape of output.
+func TestSuiteArchSelection(t *testing.T) {
+	s, buf := tinySuite()
+	s.TrainCount = 40
+	s.TestCount = 12
+	s.Arch = gnn.MustParseArch("sage-mean")
+	if err := s.Run("table6"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table VI") {
+		t.Fatalf("missing table:\n%s", buf.String())
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/baseline"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/diagnosis"
 	"repro/internal/failurelog"
 	"repro/internal/gen"
+	"repro/internal/gnn"
 	"repro/internal/obs"
 	"repro/internal/par"
 )
@@ -43,6 +45,13 @@ type Suite struct {
 	// NoiseLevels are the tester-noise severities swept by the "noise"
 	// experiment (level 0 is the clean pipeline).
 	NoiseLevels []float64
+	// Arch selects the GNN architecture every framework trains with (zero =
+	// the paper's default GCN). The "zoo" experiment sweeps all registered
+	// architectures regardless of this setting.
+	Arch gnn.ArchSpec
+	// TransferEpochs is the fine-tuning budget of the "transfer"
+	// experiment (and its matched from-scratch control).
+	TransferEpochs int
 	// CheckpointDir, when set, makes framework training write periodic
 	// checkpoints under per-(design, mode) subdirectories and resume from
 	// them on a rerun.
@@ -68,22 +77,25 @@ type Suite struct {
 // NewSuite returns a suite with defaults applied.
 func NewSuite(w io.Writer) *Suite {
 	return &Suite{
-		Scale:       1.0,
-		TrainCount:  240,
-		TestCount:   100,
-		Designs:     []string{"aes", "tate", "netcard", "leon3mp"},
-		Seed:        1,
-		NoiseLevels: []float64{0, 0.25, 0.5, 0.75, 1.0},
-		W:           w,
-		runtime:     map[string]*RuntimeBreakdown{},
-		reports:     map[*failurelog.Log]*diagnosis.Report{},
+		Scale:          1.0,
+		TrainCount:     240,
+		TestCount:      100,
+		Designs:        []string{"aes", "tate", "netcard", "leon3mp"},
+		Seed:           1,
+		NoiseLevels:    []float64{0, 0.25, 0.5, 0.75, 1.0},
+		TransferEpochs: 5,
+		W:              w,
+		runtime:        map[string]*RuntimeBreakdown{},
+		reports:        map[*failurelog.Log]*diagnosis.Report{},
 	}
 }
 
-// checkpointDir returns the per-(design, mode) checkpoint directory, or ""
-// when checkpointing is disabled. The directory is created on demand so
-// gnn checkpoint writes never race a missing parent.
-func (s *Suite) checkpointDir(design string, compacted bool) string {
+// checkpointDir returns the per-(design, mode, arch) checkpoint directory,
+// or "" when checkpointing is disabled. The directory is created on demand
+// so gnn checkpoint writes never race a missing parent. Non-default
+// architectures get their own subdirectory: checkpoint resume validates
+// the architecture, so mixing specs in one directory would fail a rerun.
+func (s *Suite) checkpointDir(design string, compacted bool, arch gnn.ArchSpec) string {
 	if s.CheckpointDir == "" {
 		return ""
 	}
@@ -91,7 +103,12 @@ func (s *Suite) checkpointDir(design string, compacted bool) string {
 	if compacted {
 		mode = "edt"
 	}
-	dir := filepath.Join(s.CheckpointDir, design+"_"+mode)
+	name := design + "_" + mode
+	if a := arch.String(); a != string(gnn.ArchGCN) {
+		r := strings.NewReplacer(":", "_", ",", "-")
+		name += "_" + r.Replace(a)
+	}
+	dir := filepath.Join(s.CheckpointDir, name)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "" // fall back to uncheckpointed training
 	}
@@ -104,7 +121,7 @@ func Experiments() []string {
 		"table2", "table3", "fig5", "fig6",
 		"table5", "table6", "table7", "table8",
 		"table9", "fig10", "table10", "table11", "ablations", "noise",
-		"volume",
+		"volume", "zoo", "transfer",
 	}
 }
 
@@ -167,6 +184,10 @@ func (s *Suite) RunContext(ctx context.Context, name string) error {
 		return s.TableNoise()
 	case "volume":
 		return s.TableVolume()
+	case "zoo":
+		return s.TableZoo()
+	case "transfer":
+		return s.TableTransfer()
 	}
 	return fmt.Errorf("experiment: unknown experiment %q (have %v)", name, Experiments())
 }
@@ -296,17 +317,25 @@ func (s *Suite) trainSamples(design string, compacted bool) ([]dataset.Sample, e
 	})
 }
 
-// framework returns the trained framework for (design, mode).
+// framework returns the trained framework for (design, mode) under the
+// suite's architecture.
 func (s *Suite) framework(design string, compacted bool) (*core.Framework, error) {
-	key := fmt.Sprintf("%s/%v", design, compacted)
+	return s.frameworkArch(design, compacted, s.Arch)
+}
+
+// frameworkArch returns the trained framework for (design, mode, arch);
+// the zoo experiment sweeps architectures through this cache while every
+// other experiment shares the suite-default entry.
+func (s *Suite) frameworkArch(design string, compacted bool, arch gnn.ArchSpec) (*core.Framework, error) {
+	key := fmt.Sprintf("%s/%v/%s", design, compacted, arch.String())
 	return s.frameworks.Do(key, func() (*core.Framework, error) {
 		train, err := s.trainSamples(design, compacted)
 		if err != nil {
 			return nil, err
 		}
 		return core.Train(train, core.TrainOptions{
-			Seed: s.Seed + 7, Workers: s.Workers, Obs: s.Obs,
-			CheckpointDir: s.checkpointDir(design, compacted),
+			Seed: s.Seed + 7, Workers: s.Workers, Arch: arch, Obs: s.Obs,
+			CheckpointDir: s.checkpointDir(design, compacted, arch),
 		})
 	})
 }

@@ -1,0 +1,188 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gnn"
+)
+
+// TableZoo prints the model-zoo comparison: one framework per registered
+// architecture, trained on the first configured design's standard training
+// set and evaluated on the shared Syn-1 test chips. Columns follow the
+// paper's localization tables (accuracy, mean resolution, tier-level
+// localization) plus the steady-state Tier-predictor inference latency per
+// subgraph — the serving-path cost an operator trades accuracy against.
+//
+// Accuracy columns are bitwise-reproducible for any -workers count; the
+// latency column is wall-clock and varies with the machine.
+func (s *Suite) TableZoo() error {
+	design := s.Designs[0]
+	s.printf("\n== Model zoo: architecture comparison on %s/syn1 ==\n", design)
+	s.printf("%-18s | %8s %8s %6s | %12s\n",
+		"Arch", "GNNAcc", "MeanRes", "TierL", "Infer µs/sg")
+
+	test, b, err := s.testSamples(design, dataset.Syn1, false)
+	if err != nil {
+		return err
+	}
+	reps := s.parallelDiagnose(b, test, true)
+	for _, kind := range gnn.Architectures() {
+		arch := gnn.MustParseArch(string(kind))
+		fw, err := s.frameworkArch(design, false, arch)
+		if err != nil {
+			return err
+		}
+		pol := fw.PolicyFor(b)
+		var st evalState
+		for i, smp := range test {
+			out := pol.Apply(reps[i], smp.SG)
+			st.add(b.Netlist, out.Report, smp)
+			if smp.TierLabel >= 0 {
+				st.addTier(out.PredictedTier == smp.TierLabel)
+			}
+		}
+		m := st.metrics()
+		s.printf("%-18s | %7.1f%% %8.1f %5.1f%% | %12.1f\n",
+			arch.String(), m.Accuracy*100, m.MeanRes, m.TierLocal*100,
+			inferMicros(fw, test))
+	}
+	return nil
+}
+
+// inferMicros times the Tier-predictor forward pass over the test
+// subgraphs and returns mean microseconds per inference. One untimed
+// warm-up pass populates the memoized adjacencies and the arena pool, so
+// the number reflects steady-state serving, not first-touch allocation.
+func inferMicros(fw *core.Framework, test []dataset.Sample) float64 {
+	n := 0
+	for _, smp := range test {
+		if smp.SG != nil && smp.SG.NumNodes() > 0 {
+			fw.Tier.PredictTier(smp.SG)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	const rounds = 3
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, smp := range test {
+			if smp.SG != nil && smp.SG.NumNodes() > 0 {
+				fw.Tier.PredictTier(smp.SG)
+			}
+		}
+	}
+	return float64(time.Since(start).Microseconds()) / float64(rounds*n)
+}
+
+// TableTransfer prints the cross-design transfer experiment: a framework
+// trained on the first design is fine-tuned for TransferEpochs on the
+// second design's training set and compared against zero-shot transfer, a
+// from-scratch model given the same epoch budget, and the fully trained
+// target framework. The interesting gap is fine-tuned vs scratch-N: how
+// much of design A's training the weights carry into design B.
+func (s *Suite) TableTransfer() error {
+	if len(s.Designs) < 2 {
+		s.printf("\n== Transfer: skipped (needs two designs, have %v) ==\n", s.Designs)
+		return nil
+	}
+	src, dst := s.Designs[0], s.Designs[1]
+	s.printf("\n== Transfer: %s -> %s (fine-tune budget %d epochs) ==\n", src, dst, s.TransferEpochs)
+	s.printf("%-24s | %8s %8s %6s | %9s\n", "Variant", "GNNAcc", "MeanRes", "TierL", "Train s")
+
+	fwSrc, err := s.framework(src, false)
+	if err != nil {
+		return err
+	}
+	trainDst, err := s.trainSamples(dst, false)
+	if err != nil {
+		return err
+	}
+	test, b, err := s.testSamples(dst, dataset.Syn1, false)
+	if err != nil {
+		return err
+	}
+	reps := s.parallelDiagnose(b, test, true)
+
+	// The tier fine-tuning set: every target-design sample with a tier
+	// label, on the target's own subgraphs.
+	var tierDst []gnn.GraphSample
+	for _, smp := range trainDst {
+		if smp.TierLabel >= 0 && smp.SG != nil && smp.SG.NumNodes() > 0 {
+			tierDst = append(tierDst, gnn.GraphSample{SG: smp.SG, Label: smp.TierLabel})
+		}
+	}
+
+	// Fine-tuned: a deep copy of the source framework (serialize round-trip
+	// so the source stays pristine for other experiments), Tier-predictor
+	// trained for the transfer budget with the scaler frozen on the source
+	// design's feature statistics.
+	var buf bytes.Buffer
+	if err := fwSrc.Save(&buf); err != nil {
+		return err
+	}
+	tuned, err := core.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	if _, err := tuned.Tier.Train(tierDst, gnn.TrainConfig{
+		Epochs: s.TransferEpochs, LR: 0.005, Seed: s.Seed + 31,
+		FitScaler: false, Workers: s.Workers, Obs: s.Obs, ObsModel: "transfer",
+	}); err != nil {
+		return err
+	}
+	tunedSec := time.Since(t0).Seconds()
+
+	// Scratch-N: a fresh framework on the target design, same epoch budget
+	// as the fine-tune — the matched control.
+	t0 = time.Now()
+	scratch, err := core.Train(trainDst, core.TrainOptions{
+		Seed: s.Seed + 7, Epochs: s.TransferEpochs, Workers: s.Workers,
+		SkipClassifier: true, Obs: s.Obs,
+	})
+	if err != nil {
+		return err
+	}
+	scratchSec := time.Since(t0).Seconds()
+
+	fwDst, err := s.framework(dst, false)
+	if err != nil {
+		return err
+	}
+
+	rows := []struct {
+		name string
+		fw   *core.Framework
+		sec  float64
+	}{
+		{"zero-shot " + src, fwSrc, 0},
+		{"fine-tuned " + src, tuned, tunedSec},
+		{"scratch (same epochs)", scratch, scratchSec},
+		{"full " + dst + " training", fwDst, 0},
+	}
+	for _, row := range rows {
+		pol := row.fw.PolicyFor(b)
+		var st evalState
+		for i, smp := range test {
+			out := pol.Apply(reps[i], smp.SG)
+			st.add(b.Netlist, out.Report, smp)
+			if smp.TierLabel >= 0 {
+				st.addTier(out.PredictedTier == smp.TierLabel)
+			}
+		}
+		m := st.metrics()
+		sec := "        -"
+		if row.sec > 0 {
+			sec = fmt.Sprintf("%8.2fs", row.sec)
+		}
+		s.printf("%-24s | %7.1f%% %8.1f %5.1f%% | %s\n",
+			row.name, m.Accuracy*100, m.MeanRes, m.TierLocal*100, sec)
+	}
+	return nil
+}

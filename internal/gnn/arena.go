@@ -27,13 +27,15 @@ type arena struct {
 	mi   int
 	vecs [][]float64
 	vi   int
+	ints [][]int32
+	ii   int
 }
 
 func newArena() *arena { return &arena{} }
 
 // reset reclaims every buffer. Outstanding matrices/vectors from before
 // the reset must no longer be used.
-func (a *arena) reset() { a.mi, a.vi = 0, 0 }
+func (a *arena) reset() { a.mi, a.vi, a.ii = 0, 0, 0 }
 
 // matrix returns an r×c scratch matrix with unspecified contents.
 func (a *arena) matrix(r, c int) *mat.Matrix {
@@ -56,6 +58,21 @@ func (a *arena) vec(n int) []float64 {
 	if cap(v) < n {
 		v = make([]float64, n)
 		a.vecs[a.vi-1] = v
+	}
+	return v[:n]
+}
+
+// int32s returns a length-n scratch index slice with unspecified contents
+// (the SAGE-max argmax record).
+func (a *arena) int32s(n int) []int32 {
+	if a.ii == len(a.ints) {
+		a.ints = append(a.ints, make([]int32, n))
+	}
+	v := a.ints[a.ii]
+	a.ii++
+	if cap(v) < n {
+		v = make([]int32, n)
+		a.ints[a.ii-1] = v
 	}
 	return v[:n]
 }

@@ -95,6 +95,47 @@ func BenchmarkGraphForwardArena(b *testing.B) {
 	}
 }
 
+// BenchmarkArchInference measures the steady-state graph-head forward pass
+// of every registry architecture on the same 256-node subgraph. Every
+// architecture runs on the pooled-arena path and must be allocation-free
+// (TestRegistryInferenceAllocFree guards this); the time column is the
+// zoo's per-aggregator serving cost.
+func BenchmarkArchInference(b *testing.B) {
+	sg := benchGraph(256)
+	for _, kind := range Architectures() {
+		spec := MustParseArch(string(kind))
+		b.Run(string(kind), func(b *testing.B) {
+			m := NewModel(Config{Head: GraphHead, Input: hgraph.FeatureDim, Hidden: []int{32, 32}, Output: 2, Seed: 5, Arch: spec})
+			m.Scale = FitScaler([]*mat.Matrix{sg.X})
+			m.PredictArgmax(sg) // warm adjacency cache and arena pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.PredictArgmax(sg)
+			}
+		})
+	}
+}
+
+// BenchmarkArchFit measures a short training run per registry architecture
+// (two epochs over the same synthetic dataset, single worker) — the
+// relative cost of each aggregator's backward pass.
+func BenchmarkArchFit(b *testing.B) {
+	ds := makeDataset(11, 24)
+	for _, kind := range Architectures() {
+		spec := MustParseArch(string(kind))
+		b.Run(string(kind), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m := NewModel(Config{Head: GraphHead, Input: hgraph.FeatureDim, Hidden: []int{16, 16}, Output: 2, Seed: 7, Arch: spec})
+				if _, err := m.Fit(ds, TrainConfig{Epochs: 2, Batch: 8, LR: 0.01, Seed: 9, FitScaler: true, Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkGraphBackwardArena measures one training-sample forward+backward
 // on a replica's private arena; steady state must be zero allocations.
 func BenchmarkGraphBackwardArena(b *testing.B) {

@@ -141,6 +141,14 @@ func (m *Model) restoreFrom(cm *Model) error {
 			return fmt.Errorf("layer %d shape %dx%d does not match model's %dx%d",
 				i, cl.W.Rows, cl.W.Cols, l.W.Rows, l.W.Cols)
 		}
+		if cl.Kind != l.Kind || cl.Residual != l.Residual {
+			return fmt.Errorf("layer %d architecture %q/residual=%t does not match model's %q/residual=%t",
+				i, archName(cl.Kind), cl.Residual, archName(l.Kind), l.Residual)
+		}
+		if len(cl.ASrc) != len(l.ASrc) || len(cl.ADst) != len(l.ADst) {
+			return fmt.Errorf("layer %d attention-vector lengths %d/%d do not match model's %d/%d",
+				i, len(cl.ASrc), len(cl.ADst), len(l.ASrc), len(l.ADst))
+		}
 	}
 	if cm.Out.W.Rows != m.Out.W.Rows || cm.Out.W.Cols != m.Out.W.Cols {
 		return fmt.Errorf("output shape %dx%d does not match model's %dx%d",
@@ -149,11 +157,22 @@ func (m *Model) restoreFrom(cm *Model) error {
 	for i, l := range m.Layers {
 		copy(l.W.Data, cm.Layers[i].W.Data)
 		copy(l.B, cm.Layers[i].B)
+		copy(l.ASrc, cm.Layers[i].ASrc)
+		copy(l.ADst, cm.Layers[i].ADst)
 	}
 	copy(m.Out.W.Data, cm.Out.W.Data)
 	copy(m.Out.B, cm.Out.B)
 	m.Scale = cm.Scale
 	return nil
+}
+
+// archName renders a layer kind for error messages ("" is the default
+// GCN).
+func archName(k ArchKind) ArchKind {
+	if k == "" {
+		return ArchGCN
+	}
+	return k
 }
 
 // restore loads serialized Adam state, validating it against the

@@ -18,6 +18,7 @@ package gnn
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/hgraph"
 	"repro/internal/mat"
@@ -34,6 +35,34 @@ type AdjNorm struct {
 	Indptr  []int32   // length N+1
 	Indices []int32   // length nnz; row i's first entry is i (self-loop)
 	Coefs   []float64 // length nnz, aligned with Indices
+
+	// mean holds the uniform row-mean coefficients (1/deg_i for every entry
+	// of row i, closed neighborhood) over the same Indptr/Indices structure.
+	// SAGE-mean layers are the only consumer, so it is built lazily on first
+	// use and memoized with the operator; the build is deterministic, so
+	// racing first users under the sync.Once observe one identical value.
+	meanOnce sync.Once
+	mean     []float64
+}
+
+// MeanCoefs returns the row-mean coefficient array aligned with Indices:
+// every entry of row i carries 1/deg_i where deg_i is the closed
+// neighborhood size (self-loop included). Built once per operator.
+func (a *AdjNorm) MeanCoefs() []float64 {
+	a.meanOnce.Do(func() {
+		a.mean = make([]float64, len(a.Indices))
+		for i := 0; i < a.N; i++ {
+			k, end := a.Indptr[i], a.Indptr[i+1]
+			if k == end {
+				continue
+			}
+			inv := 1 / float64(end-k)
+			for ; k < end; k++ {
+				a.mean[k] = inv
+			}
+		}
+	})
+	return a.mean
 }
 
 // NewAdjNorm builds the normalized adjacency for a subgraph. Prefer
@@ -99,6 +128,21 @@ func (a *AdjNorm) Apply(x *mat.Matrix) *mat.Matrix {
 // (each add separately rounded), but the output row is loaded and stored
 // once per block of four neighbors instead of once per neighbor.
 func (a *AdjNorm) ApplyInto(dst, x *mat.Matrix) {
+	a.applyCoefsInto(dst, x, a.Coefs)
+}
+
+// ApplyMeanInto computes M·X into dst where M is the row-mean operator over
+// the same sparsity structure (MeanCoefs); the SAGE-mean aggregation. Same
+// kernel, same determinism contract as ApplyInto.
+func (a *AdjNorm) ApplyMeanInto(dst, x *mat.Matrix) {
+	a.applyCoefsInto(dst, x, a.MeanCoefs())
+}
+
+// applyCoefsInto is the shared SpMM kernel behind ApplyInto/ApplyMeanInto,
+// parameterized only by which coefficient array pairs with Indices. The
+// coefficient array is strictly positive for both operators, so the
+// self-loop-first initialization below stays valid.
+func (a *AdjNorm) applyCoefsInto(dst, x *mat.Matrix, coefs []float64) {
 	if dst.Rows != x.Rows || dst.Cols != x.Cols {
 		panic("gnn: ApplyInto dimension mismatch")
 	}
@@ -118,7 +162,7 @@ func (a *AdjNorm) ApplyInto(dst, x *mat.Matrix) {
 		// -0.0, which cannot happen here: coefficients are strictly positive
 		// and neither raw features nor ReLU outputs are ever -0.0.
 		{
-			c := a.Coefs[k]
+			c := coefs[k]
 			xrow := x.Row(int(a.Indices[k]))
 			o := orow[:len(xrow)]
 			for col, xv := range xrow {
@@ -127,7 +171,7 @@ func (a *AdjNorm) ApplyInto(dst, x *mat.Matrix) {
 			k++
 		}
 		for ; k+3 < end; k += 4 {
-			c0, c1, c2, c3 := a.Coefs[k], a.Coefs[k+1], a.Coefs[k+2], a.Coefs[k+3]
+			c0, c1, c2, c3 := coefs[k], coefs[k+1], coefs[k+2], coefs[k+3]
 			// Reslice to a common length so the indexed loads below need no
 			// per-element bounds checks.
 			x0 := x.Row(int(a.Indices[k]))
@@ -145,11 +189,63 @@ func (a *AdjNorm) ApplyInto(dst, x *mat.Matrix) {
 			}
 		}
 		for ; k < end; k++ {
-			c := a.Coefs[k]
+			c := coefs[k]
 			xrow := x.Row(int(a.Indices[k]))
 			o := orow[:len(xrow)]
 			for col, xv := range xrow {
 				o[col] += c * xv
+			}
+		}
+	}
+}
+
+// MaxAggInto computes the element-wise max aggregation over each row's
+// closed neighborhood into dst (the SAGE-max aggregator). When arg is
+// non-nil (length dst.Rows*dst.Cols) it records, per output element, the
+// local index of the winning source node for the backward scatter; ties
+// keep the earliest CSR entry, so results and gradients are deterministic.
+func (a *AdjNorm) MaxAggInto(dst, x *mat.Matrix, arg []int32) {
+	if dst.Rows != x.Rows || dst.Cols != x.Cols {
+		panic("gnn: MaxAggInto dimension mismatch")
+	}
+	for i := 0; i < a.N; i++ {
+		orow := dst.Row(i)
+		k, end := a.Indptr[i], a.Indptr[i+1]
+		if k == end {
+			for col := range orow {
+				orow[col] = 0
+			}
+			continue
+		}
+		// Row i's first entry is its self-loop: initialize the running max
+		// from it, then fold the neighbors in CSR order.
+		j0 := a.Indices[k]
+		x0 := x.Row(int(j0))
+		o := orow[:len(x0)]
+		copy(o, x0)
+		if arg != nil {
+			argRow := arg[i*dst.Cols:][:len(x0)]
+			for col := range argRow {
+				argRow[col] = j0
+			}
+			for k++; k < end; k++ {
+				j := a.Indices[k]
+				xrow := x.Row(int(j))[:len(o)]
+				for col, xv := range xrow {
+					if xv > o[col] {
+						o[col] = xv
+						argRow[col] = j
+					}
+				}
+			}
+			continue
+		}
+		for k++; k < end; k++ {
+			xrow := x.Row(int(a.Indices[k]))[:len(o)]
+			for col, xv := range xrow {
+				if xv > o[col] {
+					o[col] = xv
+				}
 			}
 		}
 	}
@@ -166,6 +262,16 @@ func (a *AdjNorm) ApplyT(x *mat.Matrix) *mat.Matrix {
 // construction but the coefficients are stored row-wise, so transpose
 // application scatters instead of gathers. dst must not alias x.
 func (a *AdjNorm) ApplyTInto(dst, x *mat.Matrix) {
+	a.applyTCoefsInto(dst, x, a.Coefs)
+}
+
+// ApplyMeanTInto computes Mᵀ·X for the row-mean operator (SAGE-mean
+// backward pass). dst must not alias x.
+func (a *AdjNorm) ApplyMeanTInto(dst, x *mat.Matrix) {
+	a.applyTCoefsInto(dst, x, a.MeanCoefs())
+}
+
+func (a *AdjNorm) applyTCoefsInto(dst, x *mat.Matrix, coefs []float64) {
 	if dst.Rows != x.Rows || dst.Cols != x.Cols {
 		panic("gnn: ApplyTInto dimension mismatch")
 	}
@@ -173,7 +279,7 @@ func (a *AdjNorm) ApplyTInto(dst, x *mat.Matrix) {
 	for i := 0; i < a.N; i++ {
 		xrow := x.Row(i)
 		for k := a.Indptr[i]; k < a.Indptr[i+1]; k++ {
-			c := a.Coefs[k]
+			c := coefs[k]
 			orow := dst.Row(int(a.Indices[k]))
 			for col := range orow {
 				orow[col] += c * xrow[col]
@@ -185,22 +291,104 @@ func (a *AdjNorm) ApplyTInto(dst, x *mat.Matrix) {
 // NNZ returns the number of stored coefficients (including self-loops).
 func (a *AdjNorm) NNZ() int { return len(a.Indices) }
 
-// GCNLayer is one graph convolution: H' = ReLU(Â·H·W + b) (the final layer
-// of a stack may disable the activation).
+// GCNLayer is one registry graph-convolution layer. The zero Kind is the
+// paper's default aggregation, H' = ReLU(Â·H·W + b) (the final layer of a
+// stack may disable the activation); the other registered kinds reuse the
+// same struct with the aggregation swapped (DESIGN.md §14):
+//
+//   - ArchSAGEMean / ArchSAGEMax: H' = ReLU([H ‖ agg(H)]·W + b) with W of
+//     shape (2·in)×out; agg is the row-mean or element-wise max over the
+//     closed neighborhood on the same CSR structure.
+//   - ArchGAT: single-head attention — U = H·W, per-edge score
+//     e_ij = LeakyReLU(ASrc·U_i + ADst·U_j), α = row-softmax(e),
+//     H'_i = ReLU(Σ_j α_ij·U_j + b).
+//
+// Residual adds an identity skip connection (out = activation + H) on
+// width-preserving default-kind layers.
 type GCNLayer struct {
 	W *mat.Matrix
 	B []float64
 	// ReLU disables the activation when false (linear output layer).
 	ReLU bool
+	// Kind selects the aggregation ("" or ArchGCN = default GCN).
+	Kind ArchKind
+	// Residual adds the identity skip connection (requires in == out).
+	Residual bool
+	// ASrc/ADst are the GAT attention vectors (length W.Cols); nil for
+	// every other kind.
+	ASrc []float64
+	ADst []float64
 
 	// caches for backprop; arena-owned, valid until the owning arena is
-	// reset. m is Â·H; z is the post-activation output (for ReLU layers
-	// z[i] > 0 exactly when the pre-activation was > 0, which is all the
-	// backward pass needs).
+	// reset. m is the aggregation input to the weight multiply (Â·H for
+	// GCN, the concat [H ‖ agg] for SAGE, U = H·W for GAT); z is the
+	// post-activation output (for ReLU layers z[i] > 0 exactly when the
+	// pre-activation was > 0, which is all the backward pass needs).
 	m     *mat.Matrix
 	z     *mat.Matrix
 	gradW *mat.Matrix
 	gradB []float64
+
+	// GAT-only caches: the layer input (for gradW), the row-softmaxed
+	// attention coefficients, and the raw pre-LeakyReLU scores (for the
+	// slope mask). SAGE-max caches the per-element argmax for its scatter.
+	hin      *mat.Matrix
+	attAlpha []float64
+	attRaw   []float64
+	maxArg   []int32
+	gradASrc []float64
+	gradADst []float64
+}
+
+// leakySlope is the GAT LeakyReLU negative-side slope (the GAT paper's
+// 0.2).
+const leakySlope = 0.2
+
+// InWidth returns the layer's input feature width (W.Rows for GCN/GAT,
+// half of it for the SAGE concat).
+func (l *GCNLayer) InWidth() int {
+	if l.Kind == ArchSAGEMean || l.Kind == ArchSAGEMax {
+		return l.W.Rows / 2
+	}
+	return l.W.Rows
+}
+
+// newLayerKind initializes one registry layer for the given aggregator
+// kind, drawing parameters from rng in a fixed order (W row-major, then
+// ASrc, then ADst for GAT) so construction is deterministic per seed. The
+// default kind delegates to NewGCNLayer and consumes exactly the draws the
+// pre-registry constructor did.
+func newLayerKind(kind ArchKind, residual bool, in, out int, relu bool, rng *rand.Rand) *GCNLayer {
+	switch kind {
+	case ArchSAGEMean, ArchSAGEMax:
+		l := &GCNLayer{W: mat.New(2*in, out), B: make([]float64, out), ReLU: relu, Kind: kind}
+		scale := math.Sqrt(2.0 / float64(2*in+out))
+		for i := range l.W.Data {
+			l.W.Data[i] = rng.NormFloat64() * scale
+		}
+		l.gradW = mat.New(2*in, out)
+		l.gradB = make([]float64, out)
+		return l
+	case ArchGAT:
+		l := NewGCNLayer(in, out, relu, rng)
+		l.Kind = ArchGAT
+		l.ASrc = make([]float64, out)
+		l.ADst = make([]float64, out)
+		scale := math.Sqrt(2.0 / float64(in+out))
+		for i := range l.ASrc {
+			l.ASrc[i] = rng.NormFloat64() * scale
+		}
+		for i := range l.ADst {
+			l.ADst[i] = rng.NormFloat64() * scale
+		}
+		l.gradASrc = make([]float64, out)
+		l.gradADst = make([]float64, out)
+		return l
+	default:
+		l := NewGCNLayer(in, out, relu, rng)
+		l.Residual = residual && in == out
+		return l
+	}
 }
 
 // NewGCNLayer initializes a layer with Glorot-style scaled weights.
@@ -215,45 +403,199 @@ func NewGCNLayer(in, out int, relu bool, rng *rand.Rand) *GCNLayer {
 	return l
 }
 
-// forward computes the layer output into arena buffers. When train is
-// true the aggregation and output matrices are cached on the layer for
-// Backward — only replicas with private buffers may do that; the shared
-// inference path passes train=false and leaves the layer untouched, so a
-// model can serve concurrent predictions without cloning.
+// fusedBiasReLU applies bias add and ReLU in one traversal of z — same
+// operations in the same order as AddRowVector followed by a separate
+// clamp pass, one load/store per element instead of two. The clamp itself
+// is branchless: activation signs are effectively random, so a
+// compare-and-branch mispredicts half the time. Masking with the
+// replicated sign bit sends every sign-bit-set value to +0. That matches
+// `if v < 0 { v = 0 }` everywhere except v = -0.0 or a negative NaN,
+// neither of which can reach this point: the matmul accumulator starts at
+// +0.0 (x+y is -0.0 in round-to-nearest only when both operands are), and
+// non-finite weights are rejected by the training-loop finite guard.
+func fusedBiasReLU(z *mat.Matrix, bias []float64) {
+	cols, data := z.Cols, z.Data
+	for start := 0; start < len(data); start += cols {
+		row := data[start : start+cols][:len(bias)]
+		for j, bv := range bias {
+			b := math.Float64bits(row[j] + bv)
+			b &^= uint64(int64(b) >> 63)
+			row[j] = math.Float64frombits(b)
+		}
+	}
+}
+
+// forward computes the layer output into arena buffers, dispatching on the
+// layer's registry kind. When train is true the activations needed by
+// backward are cached on the layer — only replicas with private buffers
+// may do that; the shared inference path passes train=false and leaves the
+// layer untouched, so a model can serve concurrent predictions without
+// cloning.
 //
 // The returned matrix is arena-owned: valid until the arena is reset, and
 // read-only for callers.
 func (l *GCNLayer) forward(adj *AdjNorm, h *mat.Matrix, ar *arena, train bool) *mat.Matrix {
+	switch l.Kind {
+	case ArchSAGEMean, ArchSAGEMax:
+		return l.forwardSAGE(adj, h, ar, train)
+	case ArchGAT:
+		return l.forwardGAT(adj, h, ar, train)
+	}
+	z := l.forwardGCN(adj, h, ar, train)
+	if !l.Residual {
+		return z
+	}
+	// Identity skip connection: out = ReLU(Â·H·W + b) + H. The activation
+	// z stays cached separately so backward can reconstruct the ReLU mask.
+	out := ar.matrix(z.Rows, z.Cols)
+	zd, hd, od := z.Data, h.Data[:len(z.Data)], out.Data[:len(z.Data)]
+	for i, zv := range zd {
+		od[i] = zv + hd[i]
+	}
+	return out
+}
+
+// forwardGCN is the default (pre-registry) graph convolution, kept
+// byte-for-byte on the seed path so the registry introduction cannot move
+// a single bit of the paper's models.
+func (l *GCNLayer) forwardGCN(adj *AdjNorm, h *mat.Matrix, ar *arena, train bool) *mat.Matrix {
 	m := ar.matrix(h.Rows, h.Cols)
 	adj.ApplyInto(m, h)
 	z := ar.matrix(h.Rows, l.W.Cols)
 	mat.MulInto(z, m, l.W)
 	if l.ReLU {
-		// Bias add and activation fused into one traversal of z — same
-		// operations in the same order as AddRowVector followed by a
-		// separate clamp pass, one load/store per element instead of two.
-		// The clamp itself is branchless: activation signs are effectively
-		// random, so a compare-and-branch mispredicts half the time. Masking
-		// with the replicated sign bit sends every sign-bit-set value to +0.
-		// That matches `if v < 0 { v = 0 }` everywhere except v = -0.0 or a
-		// negative NaN, neither of which can reach this point: the matmul
-		// accumulator starts at +0.0 (x+y is -0.0 in round-to-nearest only
-		// when both operands are), and non-finite weights are rejected by the
-		// training-loop finite guard.
-		cols, bias, data := z.Cols, l.B, z.Data
-		for start := 0; start < len(data); start += cols {
-			row := data[start : start+cols][:len(bias)]
-			for j, bv := range bias {
-				b := math.Float64bits(row[j] + bv)
-				b &^= uint64(int64(b) >> 63)
-				row[j] = math.Float64frombits(b)
-			}
-		}
+		fusedBiasReLU(z, l.B)
 	} else {
 		z.AddRowVector(l.B)
 	}
 	if train {
 		l.m, l.z = m, z
+	}
+	return z
+}
+
+// forwardSAGE is the GraphSAGE-style layer: aggregate the closed
+// neighborhood (mean or element-wise max), concatenate with the node's own
+// features, and multiply through the (2·in)×out weight matrix.
+func (l *GCNLayer) forwardSAGE(adj *AdjNorm, h *mat.Matrix, ar *arena, train bool) *mat.Matrix {
+	in := h.Cols
+	agg := ar.matrix(h.Rows, in)
+	if l.Kind == ArchSAGEMax {
+		var arg []int32
+		if train {
+			arg = ar.int32s(h.Rows * in)
+		}
+		adj.MaxAggInto(agg, h, arg)
+		if train {
+			l.maxArg = arg
+		}
+	} else {
+		adj.ApplyMeanInto(agg, h)
+	}
+	cat := ar.matrix(h.Rows, 2*in)
+	for i := 0; i < h.Rows; i++ {
+		crow := cat.Row(i)
+		copy(crow[:in], h.Row(i))
+		copy(crow[in:], agg.Row(i))
+	}
+	z := ar.matrix(h.Rows, l.W.Cols)
+	mat.MulInto(z, cat, l.W)
+	if l.ReLU {
+		fusedBiasReLU(z, l.B)
+	} else {
+		z.AddRowVector(l.B)
+	}
+	if train {
+		l.m, l.z = cat, z
+	}
+	return z
+}
+
+// forwardGAT is the single-head attention layer. Attention coefficients
+// live in arena vectors aligned with the CSR edge list, so inference stays
+// allocation-free after warm-up like every other kind.
+func (l *GCNLayer) forwardGAT(adj *AdjNorm, h *mat.Matrix, ar *arena, train bool) *mat.Matrix {
+	n, out := h.Rows, l.W.Cols
+	u := ar.matrix(n, out)
+	mat.MulInto(u, h, l.W)
+	sSrc := ar.vec(n)
+	sDst := ar.vec(n)
+	for i := 0; i < n; i++ {
+		urow := u.Row(i)
+		a, b := 0.0, 0.0
+		for c, uv := range urow {
+			a += uv * l.ASrc[c]
+			b += uv * l.ADst[c]
+		}
+		sSrc[i], sDst[i] = a, b
+	}
+	nnz := adj.NNZ()
+	alpha := ar.vec(nnz)
+	raw := ar.vec(nnz)
+	for i := 0; i < n; i++ {
+		k0, end := int(adj.Indptr[i]), int(adj.Indptr[i+1])
+		if k0 == end {
+			continue
+		}
+		// Raw scores, LeakyReLU, then a max-shifted softmax over the row so
+		// the exponentials cannot overflow. CSR order fixes the summation
+		// order, keeping the pass deterministic.
+		maxE := math.Inf(-1)
+		for k := k0; k < end; k++ {
+			e := sSrc[i] + sDst[adj.Indices[k]]
+			raw[k] = e
+			if e < 0 {
+				e *= leakySlope
+			}
+			alpha[k] = e
+			if e > maxE {
+				maxE = e
+			}
+		}
+		sum := 0.0
+		for k := k0; k < end; k++ {
+			v := math.Exp(alpha[k] - maxE)
+			alpha[k] = v
+			sum += v
+		}
+		inv := 1 / sum
+		for k := k0; k < end; k++ {
+			alpha[k] *= inv
+		}
+	}
+	z := ar.matrix(n, out)
+	for i := 0; i < n; i++ {
+		zrow := z.Row(i)
+		k, end := int(adj.Indptr[i]), int(adj.Indptr[i+1])
+		if k == end {
+			for c := range zrow {
+				zrow[c] = 0
+			}
+			continue
+		}
+		// Self-loop-first initialization, mirroring applyCoefsInto.
+		c0 := alpha[k]
+		u0 := u.Row(int(adj.Indices[k]))
+		zr := zrow[:len(u0)]
+		for c, uv := range u0 {
+			zr[c] = c0 * uv
+		}
+		for k++; k < end; k++ {
+			cv := alpha[k]
+			urow := u.Row(int(adj.Indices[k]))[:len(zr)]
+			for c, uv := range urow {
+				zr[c] += cv * uv
+			}
+		}
+	}
+	if l.ReLU {
+		fusedBiasReLU(z, l.B)
+	} else {
+		z.AddRowVector(l.B)
+	}
+	if train {
+		l.hin, l.m, l.z = h, u, z
+		l.attAlpha, l.attRaw = alpha, raw
 	}
 	return z
 }
@@ -268,9 +610,31 @@ func (l *GCNLayer) Forward(adj *AdjNorm, h *mat.Matrix) *mat.Matrix {
 }
 
 // backward accumulates parameter gradients for the cached forward pass
-// and returns the gradient with respect to the layer input (arena-owned).
-// dOut is consumed: it is masked in place to become dL/dz.
+// and returns the gradient with respect to the layer input (arena-owned),
+// dispatching on the layer's registry kind. dOut is consumed: it is masked
+// in place to become dL/dz.
 func (l *GCNLayer) backward(adj *AdjNorm, dOut *mat.Matrix, ar *arena) *mat.Matrix {
+	switch l.Kind {
+	case ArchSAGEMean, ArchSAGEMax:
+		return l.backwardSAGE(adj, dOut, ar)
+	case ArchGAT:
+		return l.backwardGAT(adj, dOut, ar)
+	}
+	if !l.Residual {
+		return l.backwardGCN(adj, dOut, ar)
+	}
+	// Residual: dOut reaches the input both through the convolution and
+	// through the identity skip. Copy it before backwardGCN masks it.
+	skip := ar.matrix(dOut.Rows, dOut.Cols)
+	copy(skip.Data, dOut.Data)
+	dx := l.backwardGCN(adj, dOut, ar)
+	dx.AddInPlace(skip)
+	return dx
+}
+
+// backwardGCN is the default (pre-registry) convolution backward pass,
+// unchanged on the seed path.
+func (l *GCNLayer) backwardGCN(adj *AdjNorm, dOut *mat.Matrix, ar *arena) *mat.Matrix {
 	dz := dOut
 	if l.ReLU {
 		for i := range dz.Data {
@@ -292,6 +656,142 @@ func (l *GCNLayer) backward(adj *AdjNorm, dOut *mat.Matrix, ar *arena) *mat.Matr
 	mat.MulTInto(dm, dz, l.W)
 	dx := ar.matrix(dm.Rows, dm.Cols)
 	adj.ApplyTInto(dx, dm)
+	return dx
+}
+
+// maskReLUInPlace zeroes dz where the cached activation was clamped.
+func maskReLUInPlace(dz, z *mat.Matrix) {
+	for i := range dz.Data {
+		if z.Data[i] <= 0 {
+			dz.Data[i] = 0
+		}
+	}
+}
+
+// backwardSAGE splits the concat gradient into its self and aggregation
+// halves: dH = dcat_self + aggᵀ(dcat_agg), where aggᵀ is the mean-operator
+// transpose scatter or the recorded argmax scatter.
+func (l *GCNLayer) backwardSAGE(adj *AdjNorm, dOut *mat.Matrix, ar *arena) *mat.Matrix {
+	dz := dOut
+	if l.ReLU {
+		maskReLUInPlace(dz, l.z)
+	}
+	mat.AddMulATInto(l.gradW, l.m, dz) // l.m caches the concat
+	for i := 0; i < dz.Rows; i++ {
+		row := dz.Row(i)
+		for j, v := range row {
+			l.gradB[j] += v
+		}
+	}
+	in := l.W.Rows / 2
+	dcat := ar.matrix(dz.Rows, l.W.Rows)
+	mat.MulTInto(dcat, dz, l.W)
+	dx := ar.matrix(dz.Rows, in)
+	if l.Kind == ArchSAGEMax {
+		// Self half seeds dx; the aggregation half scatters to each
+		// element's recorded argmax source in fixed row-major order.
+		for i := 0; i < dz.Rows; i++ {
+			copy(dx.Row(i), dcat.Row(i)[:in])
+		}
+		for i := 0; i < dz.Rows; i++ {
+			grow := dcat.Row(i)[in:]
+			argRow := l.maxArg[i*in:][:in]
+			for c, g := range grow {
+				dx.Data[int(argRow[c])*in+c] += g
+			}
+		}
+		return dx
+	}
+	dagg := ar.matrix(dz.Rows, in)
+	for i := 0; i < dz.Rows; i++ {
+		copy(dagg.Row(i), dcat.Row(i)[in:])
+	}
+	tmp := ar.matrix(dz.Rows, in)
+	adj.ApplyMeanTInto(tmp, dagg)
+	for i := 0; i < dz.Rows; i++ {
+		dxrow, selfHalf, trow := dx.Row(i), dcat.Row(i)[:in], tmp.Row(i)
+		for c := range dxrow {
+			dxrow[c] = selfHalf[c] + trow[c]
+		}
+	}
+	return dx
+}
+
+// backwardGAT backpropagates through the attention aggregation: the
+// α-weighted sum, the per-row softmax Jacobian, the LeakyReLU slope mask,
+// and the two attention score projections, then through U = H·W.
+func (l *GCNLayer) backwardGAT(adj *AdjNorm, dOut *mat.Matrix, ar *arena) *mat.Matrix {
+	dz := dOut
+	if l.ReLU {
+		maskReLUInPlace(dz, l.z)
+	}
+	for i := 0; i < dz.Rows; i++ {
+		row := dz.Row(i)
+		for j, v := range row {
+			l.gradB[j] += v
+		}
+	}
+	n := dz.Rows
+	u, alpha, raw := l.m, l.attAlpha, l.attRaw
+	du := ar.matrix(n, u.Cols)
+	du.Zero()
+	dAlpha := ar.vec(adj.NNZ())
+	// Aggregation path: dU_j += α_ij·dz_i, and dα_ij = dz_i·U_j, in CSR
+	// order so both accumulations are deterministic.
+	for i := 0; i < n; i++ {
+		dzrow := dz.Row(i)
+		for k := int(adj.Indptr[i]); k < int(adj.Indptr[i+1]); k++ {
+			j := int(adj.Indices[k])
+			urow := u.Row(j)[:len(dzrow)]
+			durow := du.Row(j)[:len(dzrow)]
+			cv := alpha[k]
+			s := 0.0
+			for c, g := range dzrow {
+				durow[c] += cv * g
+				s += g * urow[c]
+			}
+			dAlpha[k] = s
+		}
+	}
+	// Softmax Jacobian per row, then the LeakyReLU slope, accumulating the
+	// source/destination score gradients.
+	dsSrc := ar.vec(n)
+	dsDst := ar.vec(n)
+	for i := range dsDst {
+		dsDst[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		k0, end := int(adj.Indptr[i]), int(adj.Indptr[i+1])
+		sumAD := 0.0
+		for k := k0; k < end; k++ {
+			sumAD += alpha[k] * dAlpha[k]
+		}
+		dsum := 0.0
+		for k := k0; k < end; k++ {
+			de := alpha[k] * (dAlpha[k] - sumAD)
+			if raw[k] < 0 {
+				de *= leakySlope
+			}
+			dsum += de
+			dsDst[adj.Indices[k]] += de
+		}
+		dsSrc[i] = dsum
+	}
+	// Score projections: sSrc_i = ASrc·U_i and sDst_i = ADst·U_i, so the
+	// score gradients fan back into dU and the attention-vector gradients.
+	for i := 0; i < n; i++ {
+		urow := u.Row(i)
+		durow := du.Row(i)
+		a, b := dsSrc[i], dsDst[i]
+		for c := range durow {
+			durow[c] += a*l.ASrc[c] + b*l.ADst[c]
+			l.gradASrc[c] += a * urow[c]
+			l.gradADst[c] += b * urow[c]
+		}
+	}
+	mat.AddMulATInto(l.gradW, l.hin, du)
+	dx := ar.matrix(n, l.W.Rows)
+	mat.MulTInto(dx, du, l.W)
 	return dx
 }
 

@@ -98,13 +98,18 @@ func (s *Scaler) TransformInto(dst, x *mat.Matrix) {
 	}
 }
 
-// Model is a GCN stack with either a graph-level or node-level softmax
-// head. The zero value is not usable; construct with NewModel or Load.
+// Model is a registry GNN stack (GCN by default) with either a
+// graph-level or node-level softmax head. The zero value is not usable;
+// construct with NewModel or Load.
 type Model struct {
 	Head   HeadKind
 	Layers []*GCNLayer
 	Out    *Dense
 	Scale  *Scaler
+	// Arch is the architecture spec the stack was built from; it is
+	// serialized inside every artifact so a loaded model knows its own
+	// family. The zero value is the default GCN (pre-registry artifacts).
+	Arch ArchSpec
 	// FrozenLayers stops gradient updates for the first k GCN layers
 	// (network-based transfer learning for the Classifier).
 	FrozenLayers int
@@ -120,18 +125,31 @@ type Model struct {
 type Config struct {
 	Head   HeadKind
 	Input  int   // input feature width
-	Hidden []int // GCN layer widths
+	Hidden []int // hidden layer widths (overridden by Arch.Hidden when set)
 	Output int   // number of classes
 	Seed   int64
+	// Arch selects the aggregator family from the registry; the zero value
+	// is the default GCN, which consumes the RNG exactly as the
+	// pre-registry constructor did and is therefore bitwise-identical.
+	Arch ArchSpec
 }
 
 // NewModel builds a model with Glorot-initialized parameters.
 func NewModel(cfg Config) *Model {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	m := &Model{Head: cfg.Head}
+	spec := cfg.Arch
+	spec.Kind = spec.kindOrDefault()
+	if spec.Kind == ArchResGCN {
+		spec.Residual = true
+	}
+	m := &Model{Head: cfg.Head, Arch: spec}
+	hidden := cfg.Hidden
+	if len(spec.Hidden) > 0 {
+		hidden = spec.Hidden
+	}
 	in := cfg.Input
-	for _, h := range cfg.Hidden {
-		m.Layers = append(m.Layers, NewGCNLayer(in, h, true, rng))
+	for _, h := range hidden {
+		m.Layers = append(m.Layers, newLayerKind(spec.layerKind(), spec.Residual, in, h, true, rng))
 		in = h
 	}
 	m.Out = NewDense(in, cfg.Output, rng)
@@ -267,6 +285,12 @@ func (m *Model) params() (ps []*mat.Matrix, gs []*mat.Matrix, vs [][]float64, gv
 		gs = append(gs, l.gradW)
 		vs = append(vs, l.B)
 		gvs = append(gvs, l.gradB)
+		// GAT attention vectors ride after the layer's bias, so the default
+		// GCN parameter layout (and its Adam checkpoint format) is unchanged.
+		if l.ASrc != nil {
+			vs = append(vs, l.ASrc, l.ADst)
+			gvs = append(gvs, l.gradASrc, l.gradADst)
+		}
 	}
 	ps = append(ps, m.Out.W)
 	gs = append(gs, m.Out.gradW)
@@ -281,6 +305,12 @@ func (m *Model) zeroGrads() {
 		l.gradW.Zero()
 		for i := range l.gradB {
 			l.gradB[i] = 0
+		}
+		for i := range l.gradASrc {
+			l.gradASrc[i] = 0
+		}
+		for i := range l.gradADst {
+			l.gradADst[i] = 0
 		}
 	}
 	m.Out.gradW.Zero()
@@ -321,13 +351,20 @@ func (m *Model) backwardStack(adj *AdjNorm, dh *mat.Matrix, ar *arena) {
 // reset per sample and its buffer capacities persist across the whole
 // training run, so steady-state epochs stop allocating.
 func (m *Model) replica() *Model {
-	r := &Model{Head: m.Head, Scale: m.Scale, FrozenLayers: m.FrozenLayers, ar: newArena()}
+	r := &Model{Head: m.Head, Scale: m.Scale, Arch: m.Arch, FrozenLayers: m.FrozenLayers, ar: newArena()}
 	for _, l := range m.Layers {
-		r.Layers = append(r.Layers, &GCNLayer{
+		rl := &GCNLayer{
 			W: l.W, B: l.B, ReLU: l.ReLU,
+			Kind: l.Kind, Residual: l.Residual,
+			ASrc: l.ASrc, ADst: l.ADst,
 			gradW: mat.New(l.W.Rows, l.W.Cols),
 			gradB: make([]float64, len(l.B)),
-		})
+		}
+		if l.ASrc != nil {
+			rl.gradASrc = make([]float64, len(l.ASrc))
+			rl.gradADst = make([]float64, len(l.ADst))
+		}
+		r.Layers = append(r.Layers, rl)
 	}
 	r.Out = &Dense{
 		W: m.Out.W, B: m.Out.B,
@@ -344,6 +381,12 @@ func (m *Model) addGradsFrom(r *Model) {
 		for j, v := range r.Layers[i].gradB {
 			l.gradB[j] += v
 		}
+		for j, v := range r.Layers[i].gradASrc {
+			l.gradASrc[j] += v
+		}
+		for j, v := range r.Layers[i].gradADst {
+			l.gradADst[j] += v
+		}
 	}
 	m.Out.gradW.AddInPlace(r.Out.gradW)
 	for j, v := range r.Out.gradB {
@@ -356,9 +399,9 @@ func (m *Model) addGradsFrom(r *Model) {
 // pretrained Tier-predictor by copying its hidden layers.
 func (m *Model) CloneArchitecture(seed int64, outClasses int) *Model {
 	rng := rand.New(rand.NewSource(seed))
-	out := &Model{Head: m.Head, Scale: m.Scale}
+	out := &Model{Head: m.Head, Scale: m.Scale, Arch: m.Arch}
 	for _, l := range m.Layers {
-		nl := NewGCNLayer(l.W.Rows, l.W.Cols, l.ReLU, rng)
+		nl := newLayerKind(l.Kind, l.Residual, l.InWidth(), l.W.Cols, l.ReLU, rng)
 		out.Layers = append(out.Layers, nl)
 	}
 	out.Out = NewDense(m.Out.W.Rows, outClasses, rng)
@@ -375,6 +418,8 @@ func (m *Model) CopyPretrainedLayers(src *Model) {
 		}
 		copy(m.Layers[i].W.Data, src.Layers[i].W.Data)
 		copy(m.Layers[i].B, src.Layers[i].B)
+		copy(m.Layers[i].ASrc, src.Layers[i].ASrc)
+		copy(m.Layers[i].ADst, src.Layers[i].ADst)
 	}
 	m.FrozenLayers = len(src.Layers)
 	m.Scale = src.Scale

@@ -25,11 +25,18 @@ func NewTierPredictor(seed int64) *TierPredictor { return NewTierPredictorK(seed
 // (Section III-C: "extending the dimension of the graph representation
 // vector to be the number of tiers").
 func NewTierPredictorK(seed int64, tiers int) *TierPredictor {
+	return NewTierPredictorArch(seed, tiers, ArchSpec{})
+}
+
+// NewTierPredictorArch builds a Tier-predictor from any registry
+// architecture. The zero spec is the paper's default GCN and constructs a
+// bitwise-identical model to NewTierPredictorK.
+func NewTierPredictorArch(seed int64, tiers int, arch ArchSpec) *TierPredictor {
 	if tiers < 2 {
 		tiers = 2
 	}
 	return &TierPredictor{Model: NewModel(Config{
-		Head: GraphHead, Input: hgraph.FeatureDim, Hidden: []int{32, 32}, Output: tiers, Seed: seed,
+		Head: GraphHead, Input: hgraph.FeatureDim, Hidden: []int{32, 32}, Output: tiers, Seed: seed, Arch: arch,
 	})}
 }
 
@@ -78,9 +85,16 @@ type MIVPinpointer struct {
 // NewMIVPinpointer builds the MIV-pinpointer architecture:
 // GCN(13→32)→GCN(32→32)→per-node dense(32→2).
 func NewMIVPinpointer(seed int64) *MIVPinpointer {
+	return NewMIVPinpointerArch(seed, ArchSpec{})
+}
+
+// NewMIVPinpointerArch builds an MIV-pinpointer from any registry
+// architecture; the zero spec is the default GCN, bitwise-identical to
+// NewMIVPinpointer.
+func NewMIVPinpointerArch(seed int64, arch ArchSpec) *MIVPinpointer {
 	return &MIVPinpointer{
 		Model: NewModel(Config{
-			Head: NodeHead, Input: hgraph.FeatureDim, Hidden: []int{32, 32}, Output: 2, Seed: seed,
+			Head: NodeHead, Input: hgraph.FeatureDim, Hidden: []int{32, 32}, Output: 2, Seed: seed, Arch: arch,
 		}),
 		Threshold: 0.5,
 	}

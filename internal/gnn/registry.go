@@ -1,0 +1,159 @@
+package gnn
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ArchKind names an aggregator family in the model zoo. The registry keeps
+// every family on the same flat-CSR/arena kernels (DESIGN.md §11,§14): an
+// architecture choice changes which aggregation runs per layer, never the
+// memory discipline or the determinism contract.
+type ArchKind string
+
+const (
+	// ArchGCN is the paper's default Kipf–Welling graph convolution:
+	// H' = ReLU(Â·H·W + b) with symmetric-normalized Â. The zero ArchSpec
+	// resolves to this kind, and models serialized before the registry
+	// existed load as it.
+	ArchGCN ArchKind = "gcn"
+	// ArchSAGEMean is GraphSAGE-style aggregation with a mean aggregator:
+	// H' = ReLU([H ‖ mean_N(H)]·W + b), mean over the closed neighborhood.
+	ArchSAGEMean ArchKind = "sage-mean"
+	// ArchSAGEMax is GraphSAGE-style aggregation with an element-wise max
+	// aggregator over the closed neighborhood.
+	ArchSAGEMax ArchKind = "sage-max"
+	// ArchGAT is single-head attention-weighted aggregation:
+	// e_ij = LeakyReLU(aₛ·(H_i W) + a_d·(H_j W)), α = row-softmax(e),
+	// H'_i = ReLU(Σ_j α_ij H_j W + b).
+	ArchGAT ArchKind = "gat"
+	// ArchResGCN is a deeper GCN stack with identity skip connections on
+	// every width-preserving layer: H' = ReLU(Â·H·W + b) + H.
+	ArchResGCN ArchKind = "resgcn"
+)
+
+// Architectures lists every registered architecture kind, in registry
+// order. CLI help strings and the zoo experiment iterate this.
+func Architectures() []ArchKind {
+	return []ArchKind{ArchGCN, ArchSAGEMean, ArchSAGEMax, ArchGAT, ArchResGCN}
+}
+
+// ArchSpec is the architecture specification serialized inside every model
+// artifact: aggregator kind, hidden widths, and the residual flag. The
+// zero value means the default GCN with the caller's default widths, so
+// pre-registry artifacts (no spec at all) keep loading unchanged.
+type ArchSpec struct {
+	Kind ArchKind `json:"kind"`
+	// Hidden lists the hidden-layer output widths. Empty means the
+	// constructor's default (32,32 for the paper's models; resgcn defaults
+	// to a deeper 32,32,32,32 stack via ParseArch).
+	Hidden []int `json:"hidden,omitempty"`
+	// Residual adds an identity skip connection on every hidden layer whose
+	// input and output widths match.
+	Residual bool `json:"residual,omitempty"`
+}
+
+// kindOrDefault resolves the zero Kind to the default GCN.
+func (a ArchSpec) kindOrDefault() ArchKind {
+	if a.Kind == "" {
+		return ArchGCN
+	}
+	return a.Kind
+}
+
+// IsDefaultGCN reports whether the spec resolves to the plain GCN family
+// (including the zero spec and resgcn stacks with Residual unset).
+func (a ArchSpec) IsDefaultGCN() bool {
+	return a.kindOrDefault() == ArchGCN && !a.Residual
+}
+
+// layerKind maps the spec to the per-layer aggregator discriminator
+// stored on each GCNLayer ("" = plain GCN; resgcn layers are plain GCN
+// layers distinguished only by their Residual flag).
+func (a ArchSpec) layerKind() ArchKind {
+	switch a.kindOrDefault() {
+	case ArchSAGEMean, ArchSAGEMax, ArchGAT:
+		return a.kindOrDefault()
+	default:
+		return ""
+	}
+}
+
+// String renders the spec in the same "kind[:w1,w2,...]" syntax ParseArch
+// accepts.
+func (a ArchSpec) String() string {
+	s := string(a.kindOrDefault())
+	if len(a.Hidden) > 0 {
+		ws := make([]string, len(a.Hidden))
+		for i, w := range a.Hidden {
+			ws[i] = strconv.Itoa(w)
+		}
+		s += ":" + strings.Join(ws, ",")
+	}
+	return s
+}
+
+// validate rejects malformed specs with descriptive errors.
+func (a ArchSpec) validate() error {
+	switch a.kindOrDefault() {
+	case ArchGCN, ArchSAGEMean, ArchSAGEMax, ArchGAT, ArchResGCN:
+	default:
+		return fmt.Errorf("unknown architecture %q (known: %s)", a.Kind, knownArchNames())
+	}
+	for i, w := range a.Hidden {
+		if w <= 0 {
+			return fmt.Errorf("architecture %s: hidden width %d at layer %d is not positive", a.kindOrDefault(), w, i)
+		}
+	}
+	return nil
+}
+
+func knownArchNames() string {
+	names := make([]string, 0, len(Architectures()))
+	for _, k := range Architectures() {
+		names = append(names, string(k))
+	}
+	return strings.Join(names, ", ")
+}
+
+// ParseArch parses an architecture name as accepted by the -arch CLI flag:
+// a registered kind, optionally followed by explicit hidden widths —
+// "gcn", "sage-mean", "gat:48,48", "resgcn:32,32,32,32". The empty string
+// is the default GCN. Unknown names are an error, never a silent fallback.
+func ParseArch(name string) (ArchSpec, error) {
+	if name == "" {
+		return ArchSpec{Kind: ArchGCN}, nil
+	}
+	kindStr, widths, hasWidths := strings.Cut(name, ":")
+	spec := ArchSpec{Kind: ArchKind(kindStr)}
+	if err := spec.validate(); err != nil {
+		return ArchSpec{}, fmt.Errorf("gnn: parse architecture %q: %w", name, err)
+	}
+	if spec.Kind == ArchResGCN {
+		spec.Residual = true
+		// A residual stack only pays off with depth: default to twice the
+		// paper's two hidden layers.
+		spec.Hidden = []int{32, 32, 32, 32}
+	}
+	if hasWidths {
+		spec.Hidden = nil
+		for _, f := range strings.Split(widths, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || w <= 0 {
+				return ArchSpec{}, fmt.Errorf("gnn: parse architecture %q: bad hidden width %q (want positive integers, e.g. %q)", name, f, kindStr+":32,32")
+			}
+			spec.Hidden = append(spec.Hidden, w)
+		}
+	}
+	return spec, nil
+}
+
+// MustParseArch is ParseArch for known-good literals in tests and tables.
+func MustParseArch(name string) ArchSpec {
+	spec, err := ParseArch(name)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}

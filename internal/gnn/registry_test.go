@@ -1,0 +1,468 @@
+package gnn
+
+// Model-registry tests. Three contracts are proven here:
+//
+//  1. The default GCN routed through the registry (explicit ArchSpec) is
+//     bitwise-identical to the pre-registry seed path — trained weights,
+//     final loss, and predictions — at any worker count.
+//  2. Every registered architecture's hand-written backward pass agrees
+//     with central-difference numerical gradients, trains deterministically
+//     (bitwise across worker counts), round-trips through Save/Load, and
+//     resumes from checkpoints bitwise.
+//  3. Serialized architecture specs are honored on load: legacy bytes
+//     (no spec) load as the default GCN unchanged, and a spec that
+//     disagrees with the weights it travels with is rejected.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/hgraph"
+	"repro/internal/mat"
+)
+
+// testArchSpecs enumerates one representative spec per registered
+// architecture, with widths small enough to keep gradient checks fast.
+// The resgcn spec pins Hidden to the input width so the identity skip is
+// active on every layer.
+func testArchSpecs() []ArchSpec {
+	return []ArchSpec{
+		{Kind: ArchGCN, Hidden: []int{8, 8}},
+		{Kind: ArchSAGEMean, Hidden: []int{8, 8}},
+		{Kind: ArchSAGEMax, Hidden: []int{8, 8}},
+		{Kind: ArchGAT, Hidden: []int{8, 8}},
+		{Kind: ArchResGCN, Hidden: []int{hgraph.FeatureDim, hgraph.FeatureDim}, Residual: true},
+	}
+}
+
+func TestParseArch(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ArchSpec
+	}{
+		{"", ArchSpec{Kind: ArchGCN}},
+		{"gcn", ArchSpec{Kind: ArchGCN}},
+		{"sage-mean", ArchSpec{Kind: ArchSAGEMean}},
+		{"sage-max:16,16", ArchSpec{Kind: ArchSAGEMax, Hidden: []int{16, 16}}},
+		{"gat:24", ArchSpec{Kind: ArchGAT, Hidden: []int{24}}},
+		{"resgcn", ArchSpec{Kind: ArchResGCN, Hidden: []int{32, 32, 32, 32}, Residual: true}},
+		{"resgcn:16,16,16", ArchSpec{Kind: ArchResGCN, Hidden: []int{16, 16, 16}, Residual: true}},
+	}
+	for _, c := range cases {
+		got, err := ParseArch(c.in)
+		if err != nil {
+			t.Fatalf("ParseArch(%q): %v", c.in, err)
+		}
+		if got.Kind != c.want.Kind || got.Residual != c.want.Residual || len(got.Hidden) != len(c.want.Hidden) {
+			t.Fatalf("ParseArch(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		for i, h := range c.want.Hidden {
+			if got.Hidden[i] != h {
+				t.Fatalf("ParseArch(%q).Hidden = %v, want %v", c.in, got.Hidden, c.want.Hidden)
+			}
+		}
+	}
+	for _, bad := range []string{"gan", "sage", "GCN", "gcn:0", "gat:8,x", "resgcn:-4"} {
+		if _, err := ParseArch(bad); err == nil {
+			t.Errorf("ParseArch(%q): expected error, got none", bad)
+		}
+	}
+	if _, err := ParseArch("typo-arch"); err == nil || !strings.Contains(err.Error(), "gcn") {
+		t.Errorf("unknown-arch error should list known names, got %v", err)
+	}
+}
+
+// TestRegistryGCNBitwiseEquivalence is the registry's core guarantee: an
+// explicit "gcn" spec constructs and trains the exact model the zero-spec
+// (pre-registry) path does — same weights, same loss, same predictions,
+// bitwise — independently of the worker count.
+func TestRegistryGCNBitwiseEquivalence(t *testing.T) {
+	samples := makeDataset(11, 24)
+	seedTP := NewTierPredictorK(7, 2)
+	regTP := NewTierPredictorArch(7, 2, MustParseArch("gcn"))
+	lossSeed, err := seedTP.Train(samples, TrainConfig{Epochs: 4, Batch: 5, LR: 0.01, Seed: 3, FitScaler: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossReg, err := regTP.Train(samples, TrainConfig{Epochs: 4, Batch: 5, LR: 0.01, Seed: 3, FitScaler: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossSeed != lossReg {
+		t.Fatalf("final loss %v != seed-path loss %v (bitwise)", lossReg, lossSeed)
+	}
+	modelsBitsEqual(t, regTP.Model, seedTP.Model)
+	for _, s := range samples[:8] {
+		vecBitsEqual(t, "prediction", regTP.Model.PredictGraph(s.SG), seedTP.Model.PredictGraph(s.SG))
+	}
+	if regTP.Model.Arch.kindOrDefault() != ArchGCN {
+		t.Fatalf("registry model arch = %q, want gcn", regTP.Model.Arch.Kind)
+	}
+}
+
+func modelsBitsEqual(t *testing.T, got, want *Model) {
+	t.Helper()
+	if len(got.Layers) != len(want.Layers) {
+		t.Fatalf("layer count %d != %d", len(got.Layers), len(want.Layers))
+	}
+	for li := range want.Layers {
+		bitsEqual(t, "layer W", got.Layers[li].W, want.Layers[li].W)
+		vecBitsEqual(t, "layer B", got.Layers[li].B, want.Layers[li].B)
+		vecBitsEqual(t, "layer ASrc", got.Layers[li].ASrc, want.Layers[li].ASrc)
+		vecBitsEqual(t, "layer ADst", got.Layers[li].ADst, want.Layers[li].ADst)
+	}
+	bitsEqual(t, "out W", got.Out.W, want.Out.W)
+	vecBitsEqual(t, "out B", got.Out.B, want.Out.B)
+}
+
+// graphLossOnly runs a forward-only graph-head pass and returns the
+// cross-entropy loss — the scalar function the numerical gradient check
+// differentiates.
+func graphLossOnly(m *Model, ar *arena, sg *hgraph.Subgraph, label int) float64 {
+	ar.reset()
+	adj := AdjNormFor(sg)
+	h := m.embed(adj, sg.X, ar, false)
+	pooled := ar.vec(h.Cols)
+	h.ColMeansInto(pooled)
+	logits := ar.vec(len(m.Out.B))
+	m.Out.forwardInto(logits, pooled, false)
+	return crossEntropyGradInto(logits, logits, label, 1)
+}
+
+// TestArchGradientCheck verifies every architecture's analytic backward
+// pass against central-difference numerical gradients over ALL trainable
+// parameters (weights, biases, and GAT attention vectors). This is the
+// ground-truth correctness proof for the hand-derived SAGE concat/scatter,
+// GAT softmax-Jacobian, and residual-skip gradients.
+func TestArchGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	sg := syntheticGraph(rng, 1)
+	const label = 1
+	for _, spec := range testArchSpecs() {
+		m := NewModel(Config{Head: GraphHead, Input: hgraph.FeatureDim, Output: 2, Seed: 29, Arch: spec})
+		m.Scale = FitScaler([]*mat.Matrix{sg.X})
+
+		// Analytic gradients on a replica, exactly as Fit computes them.
+		r := m.replica()
+		r.zeroGrads()
+		r.ar.reset()
+		adj := AdjNormFor(sg)
+		h := r.embed(adj, sg.X, r.ar, true)
+		pooled := r.ar.vec(h.Cols)
+		h.ColMeansInto(pooled)
+		logits := r.ar.vec(len(r.Out.B))
+		r.Out.forwardInto(logits, pooled, true)
+		crossEntropyGradInto(logits, logits, label, 1)
+		r.backwardGraph(adj, sg.NumNodes(), logits, r.ar)
+
+		pm, _, pv, _ := m.params()
+		_, gm, _, gv := r.params()
+		ar := newArena()
+		const eps = 1e-6
+		check := func(where string, idx int, param *float64, ana float64) {
+			old := *param
+			*param = old + eps
+			lp := graphLossOnly(m, ar, sg, label)
+			*param = old - eps
+			lm := graphLossOnly(m, ar, sg, label)
+			*param = old
+			num := (lp - lm) / (2 * eps)
+			diff := math.Abs(num - ana)
+			tol := 1e-6 + 1e-4*math.Max(math.Abs(num), math.Abs(ana))
+			if diff > tol {
+				t.Errorf("%s: %s[%d]: analytic %v vs numeric %v (diff %v)", spec.Kind, where, idx, ana, num, diff)
+			}
+		}
+		for k, p := range pm {
+			for i := range p.Data {
+				check("mat", k*1000+i, &p.Data[i], gm[k].Data[i])
+			}
+		}
+		for k, v := range pv {
+			for i := range v {
+				check("vec", k*1000+i, &v[i], gv[k][i])
+			}
+		}
+	}
+}
+
+// TestArchFitDeterminism proves each architecture's Fit is bitwise
+// deterministic: identical seeds with different worker counts produce
+// identical trained weights, losses, and predictions. Run with -race this
+// also exercises the data-parallel slot reduction for the new kinds.
+func TestArchFitDeterminism(t *testing.T) {
+	samples := makeDataset(17, 20)
+	for _, spec := range testArchSpecs() {
+		build := func() *Model {
+			return NewModel(Config{Head: GraphHead, Input: hgraph.FeatureDim, Output: 2, Seed: 41, Arch: spec})
+		}
+		a, b := build(), build()
+		cfg := TrainConfig{Epochs: 3, Batch: 4, LR: 0.01, Seed: 9, FitScaler: true}
+		cfg.Workers = 1
+		lossA, err := a.Fit(samples, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Kind, err)
+		}
+		cfg.Workers = 3
+		lossB, err := b.Fit(samples, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Kind, err)
+		}
+		if lossA != lossB {
+			t.Fatalf("%s: loss %v (1 worker) != %v (3 workers)", spec.Kind, lossA, lossB)
+		}
+		modelsBitsEqual(t, b, a)
+		if !finite(lossA) || lossA <= 0 {
+			t.Fatalf("%s: degenerate training loss %v", spec.Kind, lossA)
+		}
+		for _, s := range samples[:4] {
+			vecBitsEqual(t, string(spec.Kind)+" prediction", b.PredictGraph(s.SG), a.PredictGraph(s.SG))
+		}
+	}
+}
+
+// TestArchSaveLoadRoundTrip serializes each trained architecture and
+// checks the loaded model carries the spec and predicts bitwise
+// identically.
+func TestArchSaveLoadRoundTrip(t *testing.T) {
+	samples := makeDataset(23, 12)
+	for _, spec := range testArchSpecs() {
+		m := NewModel(Config{Head: GraphHead, Input: hgraph.FeatureDim, Output: 2, Seed: 5, Arch: spec})
+		if _, err := m.Fit(samples, TrainConfig{Epochs: 2, Batch: 4, Seed: 2, FitScaler: true}); err != nil {
+			t.Fatalf("%s: %v", spec.Kind, err)
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, m); err != nil {
+			t.Fatalf("%s: save: %v", spec.Kind, err)
+		}
+		m2, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: load: %v", spec.Kind, err)
+		}
+		if m2.Arch.kindOrDefault() != spec.Kind {
+			t.Fatalf("%s: loaded arch = %q", spec.Kind, m2.Arch.Kind)
+		}
+		modelsBitsEqual(t, m2, m)
+		for _, s := range samples[:4] {
+			vecBitsEqual(t, string(spec.Kind)+" loaded prediction", m2.PredictGraph(s.SG), m.PredictGraph(s.SG))
+		}
+	}
+}
+
+// TestLegacyBytesLoadAsDefaultGCN deletes the "arch" member from a
+// serialized default model — reconstructing the exact shape of
+// pre-registry files — and demands the loaded model be indistinguishable
+// from the original: default-GCN spec, bitwise predictions, and a clean
+// re-save round-trip.
+func TestLegacyBytesLoadAsDefaultGCN(t *testing.T) {
+	samples := makeDataset(31, 10)
+	m := NewModel(Config{Head: GraphHead, Input: hgraph.FeatureDim, Hidden: []int{32, 32}, Output: 2, Seed: 13})
+	if _, err := m.Fit(samples, TrainConfig{Epochs: 2, Batch: 4, Seed: 6, FitScaler: true}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["arch"]; !ok {
+		t.Fatal("saved model carries no arch member; legacy simulation is vacuous")
+	}
+	delete(raw, "arch")
+	legacy, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy bytes rejected: %v", err)
+	}
+	if m2.Arch.kindOrDefault() != ArchGCN {
+		t.Fatalf("legacy model arch = %q, want gcn", m2.Arch.Kind)
+	}
+	modelsBitsEqual(t, m2, m)
+	for _, s := range samples[:4] {
+		vecBitsEqual(t, "legacy prediction", m2.PredictGraph(s.SG), m.PredictGraph(s.SG))
+	}
+	// Re-save and reload: the upgraded bytes must still be the same model.
+	var buf2 bytes.Buffer
+	if err := Save(&buf2, m2); err != nil {
+		t.Fatal(err)
+	}
+	m3, err := Load(bytes.NewReader(buf2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelsBitsEqual(t, m3, m)
+}
+
+// TestLoadRejectsSpecMismatch tampers serialized models so the declared
+// architecture disagrees with the weights, and demands descriptive
+// rejections rather than silently running the wrong aggregation.
+func TestLoadRejectsSpecMismatch(t *testing.T) {
+	samples := makeDataset(37, 8)
+	save := func(spec ArchSpec) map[string]json.RawMessage {
+		m := NewModel(Config{Head: GraphHead, Input: hgraph.FeatureDim, Hidden: []int{8}, Output: 2, Seed: 3, Arch: spec})
+		m.Scale = FitScaler([]*mat.Matrix{samples[0].SG.X})
+		var buf bytes.Buffer
+		if err := Save(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		var raw map[string]json.RawMessage
+		if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	tryLoad := func(raw map[string]json.RawMessage) error {
+		data, err := json.Marshal(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = Load(bytes.NewReader(data))
+		return err
+	}
+
+	// Spec claims GAT but the layers are plain GCN.
+	raw := save(ArchSpec{})
+	raw["arch"] = json.RawMessage(`{"kind":"gat"}`)
+	if err := tryLoad(raw); err == nil || !strings.Contains(err.Error(), "does not match architecture spec") {
+		t.Errorf("gcn weights under gat spec: got %v", err)
+	}
+
+	// Spec claims GCN but the layers carry SAGE concat weights.
+	raw = save(ArchSpec{Kind: ArchSAGEMean})
+	raw["arch"] = json.RawMessage(`{"kind":"gcn"}`)
+	if err := tryLoad(raw); err == nil || !strings.Contains(err.Error(), "does not match architecture spec") {
+		t.Errorf("sage weights under gcn spec: got %v", err)
+	}
+
+	// Unknown architecture name.
+	raw = save(ArchSpec{})
+	raw["arch"] = json.RawMessage(`{"kind":"transformer"}`)
+	if err := tryLoad(raw); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("unknown arch name: got %v", err)
+	}
+
+	// GAT attention vector truncated relative to the layer width.
+	raw = save(ArchSpec{Kind: ArchGAT})
+	var layers []map[string]json.RawMessage
+	if err := json.Unmarshal(raw["layers"], &layers); err != nil {
+		t.Fatal(err)
+	}
+	layers[0]["a_src"] = json.RawMessage(`[0.1]`)
+	lb, err := json.Marshal(layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw["layers"] = lb
+	if err := tryLoad(raw); err == nil || !strings.Contains(err.Error(), "attention") {
+		t.Errorf("truncated attention vector: got %v", err)
+	}
+}
+
+// TestArchCheckpointResume trains each architecture straight through and
+// via an interrupt-and-resume from a mid-run checkpoint; both must land on
+// bitwise-identical weights. The GAT case additionally exercises the Adam
+// vector-state layout for the attention parameters.
+func TestArchCheckpointResume(t *testing.T) {
+	samples := makeDataset(43, 16)
+	for _, spec := range testArchSpecs() {
+		build := func() *Model {
+			return NewModel(Config{Head: GraphHead, Input: hgraph.FeatureDim, Output: 2, Seed: 19, Arch: spec})
+		}
+		straight := build()
+		if _, err := straight.Fit(samples, TrainConfig{Epochs: 6, Batch: 4, Seed: 8, FitScaler: true}); err != nil {
+			t.Fatalf("%s: %v", spec.Kind, err)
+		}
+		ckpt := filepath.Join(t.TempDir(), "arch.ckpt")
+		first := build()
+		if _, err := first.Fit(samples, TrainConfig{Epochs: 3, Batch: 4, Seed: 8, FitScaler: true,
+			Checkpoint: CheckpointConfig{Path: ckpt}}); err != nil {
+			t.Fatalf("%s: %v", spec.Kind, err)
+		}
+		resumed := build()
+		var stats TrainStats
+		if _, err := resumed.Fit(samples, TrainConfig{Epochs: 6, Batch: 4, Seed: 8, FitScaler: true,
+			Checkpoint: CheckpointConfig{Path: ckpt}, Stats: &stats}); err != nil {
+			t.Fatalf("%s: %v", spec.Kind, err)
+		}
+		if stats.ResumedEpochs != 3 {
+			t.Fatalf("%s: resumed %d epochs, want 3", spec.Kind, stats.ResumedEpochs)
+		}
+		modelsBitsEqual(t, resumed, straight)
+	}
+}
+
+// TestCheckpointRejectsArchMismatch resumes a GCN checkpoint into a GAT
+// model of the same widths: the shapes agree, so only the kind check can
+// catch it.
+func TestCheckpointRejectsArchMismatch(t *testing.T) {
+	samples := makeDataset(47, 10)
+	ckpt := filepath.Join(t.TempDir(), "kind.ckpt")
+	gcn := NewModel(Config{Head: GraphHead, Input: hgraph.FeatureDim, Hidden: []int{8}, Output: 2, Seed: 1})
+	if _, err := gcn.Fit(samples, TrainConfig{Epochs: 2, Batch: 4, Seed: 2, FitScaler: true,
+		Checkpoint: CheckpointConfig{Path: ckpt}}); err != nil {
+		t.Fatal(err)
+	}
+	gat := NewModel(Config{Head: GraphHead, Input: hgraph.FeatureDim, Output: 2, Seed: 1,
+		Arch: ArchSpec{Kind: ArchGAT, Hidden: []int{8}}})
+	_, err := gat.Fit(samples, TrainConfig{Epochs: 4, Batch: 4, Seed: 2, FitScaler: true,
+		Checkpoint: CheckpointConfig{Path: ckpt}})
+	if err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("gat resume from gcn checkpoint: got %v", err)
+	}
+}
+
+// TestRegistryInferenceAllocFree extends the zero-allocation guard to the
+// new architectures: SAGE (mean and max) and GAT warmed inference must not
+// allocate, exactly like the default GCN path.
+func TestRegistryInferenceAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	rng := rand.New(rand.NewSource(53))
+	var sgs []*hgraph.Subgraph
+	for i := 0; i < 6; i++ {
+		sg := syntheticGraph(rng, i%2)
+		sg.MIVLocal = []int32{0, 1}
+		sg.MIVGates = []int{10, 11}
+		sgs = append(sgs, sg)
+	}
+	xs := make([]*mat.Matrix, len(sgs))
+	for i, sg := range sgs {
+		xs[i] = sg.X
+	}
+	sc := FitScaler(xs)
+	for _, spec := range testArchSpecs() {
+		graph := NewModel(Config{Head: GraphHead, Input: hgraph.FeatureDim, Output: 2, Seed: 2, Arch: spec})
+		node := NewModel(Config{Head: NodeHead, Input: hgraph.FeatureDim, Output: 2, Seed: 3, Arch: spec})
+		graph.Scale, node.Scale = sc, sc
+		for _, sg := range sgs {
+			graph.PredictArgmax(sg)
+			node.PredictNodeProbs(sg, sg.MIVLocal, func(int, []float64) {})
+		}
+		if avg := testing.AllocsPerRun(50, func() {
+			for _, sg := range sgs {
+				graph.PredictArgmax(sg)
+			}
+		}); avg != 0 {
+			t.Errorf("%s: PredictArgmax allocates %v/op at steady state, want 0", spec.Kind, avg)
+		}
+		if avg := testing.AllocsPerRun(50, func() {
+			for _, sg := range sgs {
+				node.PredictNodeProbs(sg, sg.MIVLocal, func(int, []float64) {})
+			}
+		}); avg != 0 {
+			t.Errorf("%s: PredictNodeProbs allocates %v/op at steady state, want 0", spec.Kind, avg)
+		}
+	}
+}

@@ -8,9 +8,14 @@ import (
 	"repro/internal/mat"
 )
 
-// modelJSON is the serialized form of a Model.
+// modelJSON is the serialized form of a Model. Arch is the registry
+// architecture spec; files written before the registry existed carry no
+// "arch" member and load as the default GCN — the nil spec and the
+// kind-less layers below both decode to the pre-registry behavior, so old
+// bytes round-trip unchanged.
 type modelJSON struct {
 	Head         HeadKind    `json:"head"`
+	Arch         *ArchSpec   `json:"arch,omitempty"`
 	FrozenLayers int         `json:"frozen_layers"`
 	Scale        *Scaler     `json:"scale,omitempty"`
 	Layers       []layerJSON `json:"layers"`
@@ -23,14 +28,32 @@ type layerJSON struct {
 	W    []float64 `json:"w"`
 	B    []float64 `json:"b"`
 	ReLU bool      `json:"relu,omitempty"`
+	// Kind is the registry aggregator discriminator; absent/empty means the
+	// default GCN (every pre-registry file).
+	Kind     ArchKind  `json:"kind,omitempty"`
+	Residual bool      `json:"residual,omitempty"`
+	ASrc     []float64 `json:"a_src,omitempty"`
+	ADst     []float64 `json:"a_dst,omitempty"`
 }
 
-// Save writes the model as JSON.
+// inWidth is the layer's input feature width: Rows for GCN/GAT layers,
+// Rows/2 for the SAGE concat.
+func (lj *layerJSON) inWidth() int {
+	if lj.Kind == ArchSAGEMean || lj.Kind == ArchSAGEMax {
+		return lj.Rows / 2
+	}
+	return lj.Rows
+}
+
+// Save writes the model as JSON, architecture spec included.
 func Save(w io.Writer, m *Model) error {
-	mj := modelJSON{Head: m.Head, FrozenLayers: m.FrozenLayers, Scale: m.Scale}
+	arch := m.Arch
+	arch.Kind = arch.kindOrDefault()
+	mj := modelJSON{Head: m.Head, Arch: &arch, FrozenLayers: m.FrozenLayers, Scale: m.Scale}
 	for _, l := range m.Layers {
 		mj.Layers = append(mj.Layers, layerJSON{
 			Rows: l.W.Rows, Cols: l.W.Cols, W: l.W.Data, B: l.B, ReLU: l.ReLU,
+			Kind: l.Kind, Residual: l.Residual, ASrc: l.ASrc, ADst: l.ADst,
 		})
 	}
 	mj.Out = layerJSON{Rows: m.Out.W.Rows, Cols: m.Out.W.Cols, W: m.Out.W.Data, B: m.Out.B}
@@ -50,18 +73,29 @@ func (mj *modelJSON) validate() error {
 	if mj.FrozenLayers < 0 || mj.FrozenLayers > len(mj.Layers) {
 		return fmt.Errorf("frozen_layers %d out of range for %d layers", mj.FrozenLayers, len(mj.Layers))
 	}
+	if mj.Arch != nil {
+		if err := mj.Arch.validate(); err != nil {
+			return err
+		}
+	}
 	width := -1 // unknown until the first layer pins it
 	for i, lj := range mj.Layers {
 		if err := lj.validate(); err != nil {
 			return fmt.Errorf("layer %d: %w", i, err)
 		}
-		if width >= 0 && lj.Rows != width {
-			return fmt.Errorf("layer %d: input width %d does not match previous layer output %d", i, lj.Rows, width)
+		if err := mj.checkLayerKind(i, lj); err != nil {
+			return err
+		}
+		if width >= 0 && lj.inWidth() != width {
+			return fmt.Errorf("layer %d: input width %d does not match previous layer output %d", i, lj.inWidth(), width)
 		}
 		width = lj.Cols
 	}
 	if err := mj.Out.validate(); err != nil {
 		return fmt.Errorf("output layer: %w", err)
+	}
+	if mj.Out.Kind != "" || mj.Out.ASrc != nil || mj.Out.ADst != nil || mj.Out.Residual {
+		return fmt.Errorf("output layer: dense head cannot carry graph-aggregation fields (kind %q)", mj.Out.Kind)
 	}
 	if width >= 0 && mj.Out.Rows != width {
 		return fmt.Errorf("output layer: input width %d does not match last hidden width %d", mj.Out.Rows, width)
@@ -70,8 +104,27 @@ func (mj *modelJSON) validate() error {
 		if len(s.Mean) != len(s.Std) {
 			return fmt.Errorf("scaler: %d means vs %d stds", len(s.Mean), len(s.Std))
 		}
-		if len(mj.Layers) > 0 && len(s.Mean) != mj.Layers[0].Rows {
-			return fmt.Errorf("scaler width %d does not match input width %d", len(s.Mean), mj.Layers[0].Rows)
+		if len(mj.Layers) > 0 && len(s.Mean) != mj.Layers[0].inWidth() {
+			return fmt.Errorf("scaler width %d does not match input width %d", len(s.Mean), mj.Layers[0].inWidth())
+		}
+	}
+	return nil
+}
+
+// checkLayerKind cross-validates one layer against the declared
+// architecture spec, so a spec that disagrees with the weights it travels
+// with is rejected with a descriptive error instead of silently running
+// the wrong aggregation.
+func (mj *modelJSON) checkLayerKind(i int, lj layerJSON) error {
+	if mj.Arch != nil {
+		want := mj.Arch.layerKind()
+		got := lj.Kind
+		if got == ArchGCN {
+			got = ""
+		}
+		if got != want {
+			return fmt.Errorf("layer %d: kind %q does not match architecture spec %q",
+				i, lj.Kind, mj.Arch.kindOrDefault())
 		}
 	}
 	return nil
@@ -87,13 +140,44 @@ func (lj *layerJSON) validate() error {
 	if len(lj.B) != lj.Cols {
 		return fmt.Errorf("bias length %d does not match %d columns", len(lj.B), lj.Cols)
 	}
+	switch lj.Kind {
+	case "", ArchGCN:
+		if lj.ASrc != nil || lj.ADst != nil {
+			return fmt.Errorf("gcn layer cannot carry attention vectors")
+		}
+	case ArchSAGEMean, ArchSAGEMax:
+		if lj.Rows%2 != 0 {
+			return fmt.Errorf("sage layer weight rows %d are not 2×input (concat of self and aggregate)", lj.Rows)
+		}
+		if lj.ASrc != nil || lj.ADst != nil {
+			return fmt.Errorf("sage layer cannot carry attention vectors")
+		}
+		if lj.Residual {
+			return fmt.Errorf("sage layer cannot be residual")
+		}
+	case ArchGAT:
+		if len(lj.ASrc) != lj.Cols || len(lj.ADst) != lj.Cols {
+			return fmt.Errorf("gat layer attention vectors have lengths %d/%d, want %d (output width)",
+				len(lj.ASrc), len(lj.ADst), lj.Cols)
+		}
+		if lj.Residual {
+			return fmt.Errorf("gat layer cannot be residual")
+		}
+	default:
+		return fmt.Errorf("unknown layer kind %q (known: %s)", lj.Kind, knownArchNames())
+	}
+	if lj.Residual && lj.Rows != lj.Cols {
+		return fmt.Errorf("residual layer needs matching input/output widths, got %dx%d", lj.Rows, lj.Cols)
+	}
 	return nil
 }
 
-// Load reads a model previously written by Save. Corrupted or truncated
-// input — bad JSON, negative or inconsistent shapes, weight vectors that
-// do not match their declared dimensions — is rejected with a descriptive
-// error; Load never panics on malformed data.
+// Load reads a model previously written by Save, including pre-registry
+// files (no architecture spec: they decode as the default GCN). Corrupted
+// or truncated input — bad JSON, negative or inconsistent shapes, weight
+// vectors that do not match their declared dimensions, an architecture
+// spec that disagrees with the layer weights it travels with — is rejected
+// with a descriptive error; Load never panics on malformed data.
 func Load(r io.Reader) (*Model, error) {
 	var mj modelJSON
 	if err := json.NewDecoder(r).Decode(&mj); err != nil {
@@ -103,10 +187,25 @@ func Load(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("gnn: load: %w", err)
 	}
 	m := &Model{Head: mj.Head, FrozenLayers: mj.FrozenLayers, Scale: mj.Scale}
+	if mj.Arch != nil {
+		m.Arch = *mj.Arch
+	}
+	m.Arch.Kind = m.Arch.kindOrDefault()
 	for _, lj := range mj.Layers {
-		l := &GCNLayer{W: &mat.Matrix{Rows: lj.Rows, Cols: lj.Cols, Data: lj.W}, B: lj.B, ReLU: lj.ReLU}
+		kind := lj.Kind
+		if kind == ArchGCN {
+			kind = ""
+		}
+		l := &GCNLayer{
+			W: &mat.Matrix{Rows: lj.Rows, Cols: lj.Cols, Data: lj.W}, B: lj.B, ReLU: lj.ReLU,
+			Kind: kind, Residual: lj.Residual, ASrc: lj.ASrc, ADst: lj.ADst,
+		}
 		l.gradW = mat.New(lj.Rows, lj.Cols)
 		l.gradB = make([]float64, lj.Cols)
+		if l.ASrc != nil {
+			l.gradASrc = make([]float64, len(l.ASrc))
+			l.gradADst = make([]float64, len(l.ADst))
+		}
 		m.Layers = append(m.Layers, l)
 	}
 	m.Out = &Dense{W: &mat.Matrix{Rows: mj.Out.Rows, Cols: mj.Out.Cols, Data: mj.Out.W}, B: mj.Out.B}

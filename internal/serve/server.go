@@ -38,6 +38,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/diagnosis"
 	"repro/internal/failurelog"
+	"repro/internal/hgraph"
 	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/version"
@@ -152,11 +153,38 @@ type HealthzResponse struct {
 	ArtifactInfo
 }
 
+// DiagnoseObservation is one completed single-fault diagnosis as seen by
+// a registered Observer: the parsed failure log, the ATPG report, the
+// back-traced subgraph the policy ran on, the policy outcome produced by
+// the currently served framework, and the end-to-end diagnosis wall time.
+// Report and SG are shared with the response path — observers must treat
+// them as read-only.
+type DiagnoseObservation struct {
+	Log     *failurelog.Log
+	Report  *diagnosis.Report
+	SG      *hgraph.Subgraph
+	Outcome *policy.Outcome
+	Elapsed time.Duration
+}
+
+// Observer receives every successful single-fault diagnosis, synchronously
+// on the request goroutine before the response is written — so by the time
+// a client sees its response, the observation has been recorded. The
+// online fine-tuning service's A/B shadow window is the intended consumer;
+// observers must be fast and must not block.
+type Observer interface {
+	ObserveDiagnosis(DiagnoseObservation)
+}
+
 // Server serves diagnosis requests for one loaded design bundle.
 type Server struct {
 	cfg    Config
 	bundle *dataset.Bundle
 	fw     atomic.Pointer[core.Framework]
+
+	// observer, when set, sees every successful single-fault diagnosis
+	// (shadow A/B evaluation during fine-tuning).
+	observer atomic.Pointer[Observer]
 
 	store *artifact.Store
 	model string
@@ -327,6 +355,19 @@ func (s *Server) ArtifactInfo() ArtifactInfo {
 	}
 	return ArtifactInfo{}
 }
+
+// SetObserver registers (or, with nil, removes) the diagnosis observer.
+// Safe to call while serving.
+func (s *Server) SetObserver(ob Observer) {
+	if ob == nil {
+		s.observer.Store(nil)
+		return
+	}
+	s.observer.Store(&ob)
+}
+
+// Bundle returns the design bundle the server serves.
+func (s *Server) Bundle() *dataset.Bundle { return s.bundle }
 
 // Handler returns the server's HTTP handler (panic isolation included).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -571,11 +612,12 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	var rep *diagnosis.Report
+	var sg *hgraph.Subgraph
 	var out *policy.Outcome
 	if r.URL.Query().Get("multi") == "1" || r.URL.Query().Get("multi") == "true" {
 		rep, out, err = fw.DiagnoseMultiCtx(ctx, s.bundle, log)
 	} else {
-		rep, out, err = fw.DiagnoseCtx(ctx, s.bundle, log)
+		rep, sg, out, err = fw.DiagnoseFullCtx(ctx, s.bundle, log)
 	}
 	if err != nil {
 		switch {
@@ -587,6 +629,16 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, err.Error())
 		}
 		return
+	}
+
+	// The observer sees the diagnosis before the response is written:
+	// clients polling shadow progress after their own requests observe a
+	// consistent count. Multi-fault diagnoses carry no subgraph and are not
+	// observed.
+	if p := s.observer.Load(); p != nil && sg != nil {
+		(*p).ObserveDiagnosis(DiagnoseObservation{
+			Log: log, Report: rep, SG: sg, Outcome: out, Elapsed: time.Since(start),
+		})
 	}
 
 	resp := DiagnoseResponse{

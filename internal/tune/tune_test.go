@@ -1,0 +1,476 @@
+package tune
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/failurelog"
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// fixture is the shared diagnosis stack: a small bundle, a trained
+// framework, and a pool of labeled single-fault samples whose logs feed
+// /tune and whose SGs let tests predict the incumbent's behavior.
+type fixture struct {
+	bundle  *dataset.Bundle
+	fw      *core.Framework
+	labeled []dataset.Sample // single-fault, TierLabel >= 0
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+	fixErr  error
+)
+
+func getFixture(t *testing.T) *fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		p, _ := gen.ProfileByName("aes")
+		p = p.Scaled(0.2)
+		b, err := dataset.Build(p, dataset.Syn1, dataset.BuildOptions{Seed: 1})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		train := b.Generate(dataset.SampleOptions{Count: 40, Seed: 2, MIVFraction: 0.25})
+		fw, err := core.Train(train, core.TrainOptions{Seed: 3, Epochs: 6, SkipClassifier: true})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		pool := b.Generate(dataset.SampleOptions{Count: 24, Seed: 9})
+		var labeled []dataset.Sample
+		for _, s := range pool {
+			if s.TierLabel >= 0 && s.SG != nil && s.SG.NumNodes() > 0 {
+				labeled = append(labeled, s)
+			}
+		}
+		if len(labeled) < 10 {
+			fixErr = fmt.Errorf("fixture: only %d labeled samples", len(labeled))
+			return
+		}
+		fix = &fixture{bundle: b, fw: fw, labeled: labeled}
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fix
+}
+
+// stack is one serving + tuning instance over its own artifact store.
+type stack struct {
+	store *artifact.Store
+	srv   *serve.Server
+	mgr   *Manager
+	ts    *httptest.Server
+	reg   *obs.Registry
+}
+
+func newStack(t *testing.T, fx *fixture) *stack {
+	t.Helper()
+	store, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.Save("model", fx.fw.Save); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv := serve.New(fx.bundle, fx.fw, serve.Config{Metrics: reg})
+	srv.EnableReload(store, "model")
+	if _, err := srv.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(Config{
+		Store: store, Model: "model", Server: srv, Metrics: reg,
+		CheckpointDir: t.TempDir(), Workers: 1, Logf: t.Logf,
+	})
+	srv.SetObserver(mgr)
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("/tune", mgr.Handler())
+	mux.Handle("/tune/status", mgr.Handler())
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return &stack{store: store, srv: srv, mgr: mgr, ts: ts, reg: reg}
+}
+
+func logText(t *testing.T, l *failurelog.Log) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := failurelog.Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func metricsDump(t *testing.T, r *obs.Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func postTune(t *testing.T, ts *httptest.Server, body any) (int, map[string]any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/tune", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil && !errors.Is(err, io.EOF) {
+		t.Fatalf("decode /tune response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// driveShadow fires n single-fault diagnoses so the shadow window fills.
+func driveShadow(t *testing.T, fx *fixture, ts *httptest.Server, n int) {
+	t.Helper()
+	c := &serve.Client{Base: ts.URL, Seed: 1}
+	for i := 0; i < n; i++ {
+		if _, err := c.Diagnose(context.Background(), fx.labeled[i%len(fx.labeled)].Log, serve.DiagnoseOptions{}); err != nil {
+			t.Fatalf("diagnosis %d: %v", i, err)
+		}
+	}
+}
+
+func waitResult(t *testing.T, mgr *Manager, want string) Status {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := mgr.StatusSnapshot()
+		if st.State == StateIdle && st.LastResult != "" {
+			if st.LastResult != want {
+				t.Fatalf("run result %q (err %q), want %q", st.LastResult, st.LastError, want)
+			}
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("run never completed; status %+v", mgr.StatusSnapshot())
+	return Status{}
+}
+
+// tuneSamples labels the first n pool samples with their true tier.
+func tuneSamples(t *testing.T, fx *fixture, n int) []map[string]any {
+	t.Helper()
+	out := make([]map[string]any, 0, n)
+	for _, s := range fx.labeled[:n] {
+		out = append(out, map[string]any{"tier": s.TierLabel, "log": logText(t, s.Log)})
+	}
+	return out
+}
+
+// TestTunePromote is the happy path: a near-identity fine-tune (tiny LR)
+// passes holdout validation, hot-swaps, agrees with the incumbent over the
+// shadow window, and is promoted. The served artifact version advances.
+func TestTunePromote(t *testing.T) {
+	fx := getFixture(t)
+	sk := newStack(t, fx)
+
+	const window = 3
+	code, body := postTune(t, sk.ts, map[string]any{
+		"samples": tuneSamples(t, fx, 8),
+		"epochs":  1, "lr": 1e-9, "shadow_window": window, "seed": 7,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("POST /tune = %d, body %v", code, body)
+	}
+	st := sk.mgr.StatusSnapshot()
+	if st.State != StateShadow {
+		t.Fatalf("state after accept = %q, want shadow", st.State)
+	}
+	if st.CandidateVersion != 2 || st.IncumbentVersion != 1 {
+		t.Fatalf("versions cand=%d inc=%d, want 2/1", st.CandidateVersion, st.IncumbentVersion)
+	}
+	// The candidate is already serving during the shadow window.
+	if v := sk.srv.ArtifactInfo().Version; v != 2 {
+		t.Fatalf("serving version %d during shadow, want 2", v)
+	}
+
+	driveShadow(t, fx, sk.ts, window)
+	final := waitResult(t, sk.mgr, ResultPromoted)
+	if final.FinalVersion != 2 {
+		t.Fatalf("final version %d, want 2", final.FinalVersion)
+	}
+	if final.ShadowSeen != window || final.ShadowAgreement != 1.0 {
+		t.Fatalf("shadow seen=%d agreement=%v, want %d and 1.0 (near-identity fine-tune)",
+			final.ShadowSeen, final.ShadowAgreement, window)
+	}
+	if final.CandidateAccuracy != final.IncumbentAccuracy {
+		t.Fatalf("near-identity fine-tune changed holdout accuracy: cand=%v inc=%v",
+			final.CandidateAccuracy, final.IncumbentAccuracy)
+	}
+	// Metrics recorded the run.
+	dump := metricsDump(t, sk.reg)
+	for _, want := range []string{
+		`m3d_tune_runs_total{result="promoted"} 1`,
+		"m3d_tune_shadow_agreement_ratio 1",
+		`m3d_tune_shadow_policy_seconds_avg{role="candidate",version="2"}`,
+		`m3d_tune_shadow_policy_seconds_avg{role="incumbent",version="1"}`,
+	} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+// TestTuneRollback forces the latency gate to fail (max_latency_ratio so
+// small no candidate can meet it) and asserts the rollback: the incumbent
+// payload is resealed as a NEWER version whose checksum equals the
+// original incumbent's, and the server serves it.
+func TestTuneRollback(t *testing.T) {
+	fx := getFixture(t)
+	sk := newStack(t, fx)
+
+	origPayload, _, _, err := sk.store.LoadLatest("model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	origSum := artifact.ChecksumHex(origPayload)
+
+	const window = 2
+	code, body := postTune(t, sk.ts, map[string]any{
+		"samples": tuneSamples(t, fx, 8),
+		"epochs":  1, "lr": 1e-9, "shadow_window": window,
+		"max_latency_ratio": 1e-12, "seed": 7,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("POST /tune = %d, body %v", code, body)
+	}
+	driveShadow(t, fx, sk.ts, window)
+	final := waitResult(t, sk.mgr, ResultRolledBack)
+	if !strings.Contains(final.LastError, "latency") {
+		t.Fatalf("rollback reason %q does not mention latency", final.LastError)
+	}
+
+	// v1 incumbent, v2 candidate, v3 reseal of v1. Nothing deleted.
+	versions, err := sk.store.Versions("model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 3 {
+		t.Fatalf("store versions %v, want 3 (incumbent, candidate, reseal)", versions)
+	}
+	if final.FinalVersion != 3 {
+		t.Fatalf("final version %d, want 3", final.FinalVersion)
+	}
+	payload, _, v, err := sk.store.LoadLatest("model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 || artifact.ChecksumHex(payload) != origSum {
+		t.Fatalf("latest v%d checksum %s, want v3 with incumbent checksum %s",
+			v, artifact.ChecksumHex(payload), origSum)
+	}
+	info := sk.srv.ArtifactInfo()
+	if info.Version != 3 || info.Checksum != origSum {
+		t.Fatalf("serving v%d checksum %s after rollback, want v3 / %s", info.Version, info.Checksum, origSum)
+	}
+	if !strings.Contains(metricsDump(t, sk.reg), `m3d_tune_runs_total{result="rolled_back"} 1`) {
+		t.Fatal("rolled_back run not counted in metrics")
+	}
+}
+
+// TestTuneRejectsWorseCandidate trains the candidate on deliberately
+// flipped labels (holdout labels stay true, so the incumbent keeps its
+// score) and asserts the 422 validation rejection: no new artifact
+// version, server untouched, state back to idle.
+func TestTuneRejectsWorseCandidate(t *testing.T) {
+	fx := getFixture(t)
+	sk := newStack(t, fx)
+
+	// Keep only samples the incumbent classifies correctly, so incumbent
+	// holdout accuracy is exactly 1.0 and any flipped-label candidate loses.
+	var good []dataset.Sample
+	for _, s := range fx.labeled {
+		if tier, _ := fx.fw.Tier.PredictTier(s.SG); tier == s.TierLabel {
+			good = append(good, s)
+		}
+	}
+	const n, seed = 8, int64(5)
+	if len(good) < n {
+		t.Skipf("incumbent only classifies %d/%d fixture samples correctly", len(good), len(fx.labeled))
+	}
+	good = good[:n]
+
+	// Replicate the manager's deterministic holdout split for this seed:
+	// first holdN of the permutation are held out, the rest train.
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	holdN := n / 4
+	inHoldout := make(map[int]bool, holdN)
+	for _, si := range perm[:holdN] {
+		inHoldout[si] = true
+	}
+	samples := make([]map[string]any, n)
+	flipped := 0
+	for i, s := range good {
+		tier := s.TierLabel
+		if !inHoldout[i] { // train slice: flip the label
+			tier = 1 - tier
+			flipped++
+		}
+		samples[i] = map[string]any{"tier": tier, "log": logText(t, s.Log)}
+	}
+	if flipped != n-holdN {
+		t.Fatalf("flipped %d labels, want %d", flipped, n-holdN)
+	}
+
+	code, body := postTune(t, sk.ts, map[string]any{
+		"samples": samples, "epochs": 10, "lr": 0.2, "seed": seed,
+	})
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("POST /tune = %d, want 422; body %v", code, body)
+	}
+	final := waitResult(t, sk.mgr, ResultRejected)
+	if final.IncumbentAccuracy != 1.0 {
+		t.Fatalf("incumbent holdout accuracy %v, want 1.0 by construction", final.IncumbentAccuracy)
+	}
+	if final.CandidateAccuracy >= final.IncumbentAccuracy {
+		t.Fatalf("flipped-label candidate accuracy %v did not drop below incumbent %v",
+			final.CandidateAccuracy, final.IncumbentAccuracy)
+	}
+	if versions, _ := sk.store.Versions("model"); len(versions) != 1 {
+		t.Fatalf("rejected run created artifact versions: %v", versions)
+	}
+	if v := sk.srv.ArtifactInfo().Version; v != 1 {
+		t.Fatalf("serving version %d after rejection, want 1", v)
+	}
+}
+
+// TestTuneConcurrentRunRejected asserts the single-run slot: a second POST
+// while the first run's shadow window is open gets 409.
+func TestTuneConcurrentRunRejected(t *testing.T) {
+	fx := getFixture(t)
+	sk := newStack(t, fx)
+
+	const window = 2
+	code, body := postTune(t, sk.ts, map[string]any{
+		"samples": tuneSamples(t, fx, 6),
+		"epochs":  1, "lr": 1e-9, "shadow_window": window, "seed": 7,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("first POST /tune = %d, body %v", code, body)
+	}
+	if code, _ := postTune(t, sk.ts, map[string]any{
+		"samples": tuneSamples(t, fx, 6),
+	}); code != http.StatusConflict {
+		t.Fatalf("second POST /tune during shadow = %d, want 409", code)
+	}
+	driveShadow(t, fx, sk.ts, window)
+	waitResult(t, sk.mgr, ResultPromoted)
+
+	// Slot free again after the window closes.
+	code, _ = postTune(t, sk.ts, map[string]any{
+		"samples": tuneSamples(t, fx, 6),
+		"epochs":  1, "lr": 1e-9, "shadow_window": 1, "seed": 7,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("POST /tune after promotion = %d, want 200", code)
+	}
+	driveShadow(t, fx, sk.ts, 1)
+	waitResult(t, sk.mgr, ResultPromoted)
+}
+
+// TestTuneBadRequests covers the request-validation edges.
+func TestTuneBadRequests(t *testing.T) {
+	fx := getFixture(t)
+	sk := newStack(t, fx)
+
+	resp, err := http.Get(sk.ts.URL + "/tune")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /tune = %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = http.Post(sk.ts.URL+"/tune", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON = %d, want 400", resp.StatusCode)
+	}
+
+	if code, _ := postTune(t, sk.ts, map[string]any{"samples": tuneSamples(t, fx, 1)}); code != http.StatusBadRequest {
+		t.Fatalf("single sample = %d, want 400", code)
+	}
+	if code, _ := postTune(t, sk.ts, map[string]any{"samples": []map[string]any{
+		{"tier": -1, "log": "x"}, {"tier": 0, "log": "y"},
+	}}); code != http.StatusBadRequest {
+		t.Fatalf("negative tier = %d, want 400", code)
+	}
+	if code, _ := postTune(t, sk.ts, map[string]any{"samples": []map[string]any{
+		{"tier": 0, "log": "not a failure log"}, {"tier": 1, "log": "also not"},
+	}}); code != http.StatusBadRequest {
+		t.Fatalf("unparseable log = %d, want 400", code)
+	}
+	// A failed run must release the slot.
+	if st := sk.mgr.StatusSnapshot(); st.State != StateIdle {
+		t.Fatalf("state %q after bad requests, want idle", st.State)
+	}
+
+	resp, err = http.Get(sk.ts.URL + "/tune/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.State != StateIdle {
+		t.Fatalf("GET /tune/status state %q, want idle", st.State)
+	}
+}
+
+// TestTuneResumeFromCheckpoint interrupts nothing but proves the plumbing:
+// the fine-tune trainer writes its checkpoint under CheckpointDir during
+// the run and removes it on completion, so a crashed run leaves a resume
+// point while a finished one leaves nothing stale behind.
+func TestTuneCheckpointCleanedUp(t *testing.T) {
+	fx := getFixture(t)
+	sk := newStack(t, fx)
+
+	code, body := postTune(t, sk.ts, map[string]any{
+		"samples": tuneSamples(t, fx, 6),
+		"epochs":  1, "lr": 1e-9, "shadow_window": 1, "seed": 7,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("POST /tune = %d, body %v", code, body)
+	}
+	if _, err := os.Stat(sk.mgr.checkpointPath()); !os.IsNotExist(err) {
+		t.Fatalf("training checkpoint still on disk after run accepted: %v", err)
+	}
+	driveShadow(t, fx, sk.ts, 1)
+	waitResult(t, sk.mgr, ResultPromoted)
+}

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# tune_smoke.sh — CI integration check for the online fine-tuning service.
+#
+# Builds m3dserve, datagen, and tunectl; generates labeled failure logs;
+# starts the server (training a small model on first boot); then runs two
+# /tune flows against the live server:
+#
+#   1. A gentle fine-tune (tiny learning rate) that must pass holdout
+#      validation, hot-swap, agree with the incumbent over the A/B shadow
+#      window, and be PROMOTED — /healthz must advertise the new artifact
+#      version while the shadow window is still deciding.
+#   2. An injected regression (labels flipped, -force to skip the holdout
+#      gate, an unmeetable latency cap) whose candidate must be hot-swapped
+#      and then ROLLED BACK: the incumbent payload is resealed as a newer
+#      store version, so /healthz reports a higher artifact_version with
+#      the ORIGINAL model_checksum.
+#
+# Along the way the script asserts the per-version m3d_tune_* metrics and
+# finally drains the server and verifies every store artifact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${TUNE_SMOKE_PORT:-18090}"
+BASE="http://127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+trap 'kill "${SRV_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "== build"
+go build -o "$WORK/m3dserve" ./cmd/m3dserve
+go build -o "$WORK/datagen" ./cmd/datagen
+go build -o "$WORK/tunectl" ./cmd/tunectl
+
+echo "== generate labeled failure logs"
+"$WORK/datagen" -design aes -scale 0.2 -samples 12 -labels -out "$WORK/data" >/dev/null
+LABELS="$WORK/data/aes_syn1_labels.json"
+[ -f "$LABELS" ] || { echo "datagen -labels wrote no manifest" >&2; exit 1; }
+
+echo "== start m3dserve (trains a small model on first boot)"
+"$WORK/m3dserve" -addr "127.0.0.1:${PORT}" -design aes -scale 0.2 \
+  -store "$WORK/store" -train-samples 40 -quiet \
+  -drain-grace 1s -drain-timeout 30s &
+SRV_PID=$!
+
+echo "== wait for /readyz"
+for i in $(seq 1 600); do
+  if curl -fsS "$BASE/readyz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$SRV_PID" 2>/dev/null; then
+    echo "server died during startup" >&2; exit 1
+  fi
+  sleep 0.5
+done
+curl -fsS "$BASE/readyz" >/dev/null
+curl -fsS "$BASE/healthz" | grep -q '"artifact_version":1' || {
+  echo "server did not boot at artifact_version 1" >&2; exit 1; }
+ORIG_SUM="$(curl -fsS "$BASE/healthz" | sed -n 's/.*"model_checksum":"\([0-9a-f]*\)".*/\1/p')"
+[ -n "$ORIG_SUM" ] || { echo "no model_checksum in /healthz" >&2; exit 1; }
+
+echo "== flow 1: gentle fine-tune -> validate -> hot-swap -> shadow -> promote"
+STATUS="$("$WORK/tunectl" -base "$BASE" -labels "$LABELS" \
+  -epochs 1 -lr 1e-9 -shadow-window 3 -seed 7)"
+echo "$STATUS"
+echo "$STATUS" | grep -q '"last_result":"promoted"' || {
+  echo "flow 1 did not promote: $STATUS" >&2; exit 1; }
+echo "$STATUS" | grep -q '"final_version":2' || {
+  echo "flow 1 final version is not 2: $STATUS" >&2; exit 1; }
+
+echo "== /healthz must serve the promoted candidate (v2)"
+HEALTHZ="$(curl -fsS "$BASE/healthz")"
+echo "$HEALTHZ" | grep -q '"artifact_version":2' || {
+  echo "promoted candidate not serving: $HEALTHZ" >&2; exit 1; }
+
+echo "== per-version tune metrics after promotion"
+METRICS="$(curl -fsS "$BASE/metrics")"
+echo "$METRICS" | grep -q '^m3d_tune_runs_total{result="promoted"} 1$' || {
+  echo "promoted run not counted:" >&2; echo "$METRICS" | grep m3d_tune >&2; exit 1; }
+echo "$METRICS" | grep -q '^m3d_tune_shadow_policy_seconds_avg{role="candidate",version="2"}' || {
+  echo "no candidate shadow latency for v2:" >&2; echo "$METRICS" | grep m3d_tune >&2; exit 1; }
+echo "$METRICS" | grep -q '^m3d_tune_shadow_policy_seconds_avg{role="incumbent",version="1"}' || {
+  echo "no incumbent shadow latency for v1:" >&2; echo "$METRICS" | grep m3d_tune >&2; exit 1; }
+
+echo "== flow 2: injected regression (flipped labels, forced) -> rollback"
+PROMOTED_SUM="$(curl -fsS "$BASE/healthz" | sed -n 's/.*"model_checksum":"\([0-9a-f]*\)".*/\1/p')"
+STATUS="$("$WORK/tunectl" -base "$BASE" -labels "$LABELS" \
+  -epochs 6 -lr 0.2 -flip -force -shadow-window 3 \
+  -min-agreement 1.0 -max-latency-ratio 0.000000001 -seed 7)"
+echo "$STATUS"
+echo "$STATUS" | grep -q '"last_result":"rolled_back"' || {
+  echo "flow 2 did not roll back: $STATUS" >&2; exit 1; }
+echo "$STATUS" | grep -q '"final_version":4' || {
+  echo "rollback reseal is not v4 (v2 incumbent, v3 candidate, v4 reseal): $STATUS" >&2; exit 1; }
+
+echo "== /healthz must serve the resealed incumbent: new version, old checksum"
+HEALTHZ="$(curl -fsS "$BASE/healthz")"
+echo "$HEALTHZ" | grep -q '"artifact_version":4' || {
+  echo "rollback not serving v4: $HEALTHZ" >&2; exit 1; }
+echo "$HEALTHZ" | grep -q "\"model_checksum\":\"$PROMOTED_SUM\"" || {
+  echo "rollback checksum differs from the pre-regression incumbent: $HEALTHZ (want $PROMOTED_SUM)" >&2; exit 1; }
+
+echo "== rollback metrics"
+METRICS="$(curl -fsS "$BASE/metrics")"
+echo "$METRICS" | grep -q '^m3d_tune_runs_total{result="rolled_back"} 1$' || {
+  echo "rolled_back run not counted:" >&2; echo "$METRICS" | grep m3d_tune >&2; exit 1; }
+echo "$METRICS" | grep -q '^m3d_tune_state 0$' || {
+  echo "tune manager not idle after rollback:" >&2; echo "$METRICS" | grep m3d_tune_state >&2; exit 1; }
+
+echo "== SIGTERM: server must drain and exit 0"
+kill -TERM "$SRV_PID"
+if ! wait "$SRV_PID"; then
+  echo "server exited non-zero after SIGTERM" >&2; exit 1
+fi
+SRV_PID=""
+
+echo "== store must verify clean: all four versions, nothing quarantined"
+"$WORK/m3dserve" -store "$WORK/store" -verify-store
+for v in 1 2 3 4; do
+  [ -f "$WORK/store/framework.v00000$v.art" ] || {
+    echo "store is missing version $v (rollback must reseal, never delete)" >&2; exit 1; }
+done
+
+echo "tune smoke: OK"
