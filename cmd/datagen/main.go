@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/artifact"
+	"repro/internal/atpg"
 	"repro/internal/dataset"
 	"repro/internal/failurelog"
 	"repro/internal/gen"
@@ -42,6 +43,7 @@ func main() {
 	noiseLevel := flag.Float64("noise", 0, "tester-noise severity in [0,1]; 0 disables the noise model")
 	metrics := flag.Bool("metrics", false, "print generation metrics (attempts, rejects by reason, samples/sec) to stderr on exit")
 	systematic := flag.Float64("systematic", 0, "fraction of logs carrying one planted systematic defect (0 disables); prints the planted cell")
+	fastATPG := flag.Bool("fast-atpg", false, "short collapsed-list ATPG without top-up, for paper-scale smoke runs")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
@@ -67,7 +69,11 @@ func main() {
 	if *scale != 1.0 {
 		p = p.Scaled(*scale)
 	}
-	b, err := dataset.Build(p, dataset.ConfigName(*config), dataset.BuildOptions{Seed: *seed})
+	bopt := dataset.BuildOptions{Seed: *seed, Workers: *workers}
+	if *fastATPG {
+		bopt.ATPG = atpg.Quick()
+	}
+	b, err := dataset.Build(p, dataset.ConfigName(*config), bopt)
 	if err != nil {
 		fatal("build: %v", err)
 	}

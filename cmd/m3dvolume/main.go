@@ -30,10 +30,13 @@ import (
 	"time"
 
 	"repro/internal/artifact"
+	"repro/internal/atpg"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/fleet"
 	"repro/internal/gen"
+	"repro/internal/gnn"
+	"repro/internal/hier"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/serve"
@@ -57,6 +60,11 @@ func main() {
 	topK := flag.Int("top", 16, "candidates retained per die")
 	alpha := flag.Float64("alpha", 1e-4, "systematic-detector family-wise false-positive budget")
 	multi := flag.Bool("multi", false, "use the multi-fault diagnosis path")
+	hierMode := flag.Bool("hier", false, "force hierarchical partitioned diagnosis (auto-selected anyway at 50K+ gates); the report is bitwise-identical to monolithic")
+	hierRegions := flag.Int("hier-regions", 0, "region count for hierarchical diagnosis (0 = one region per ~24K gates)")
+	fastATPG := flag.Bool("fast-atpg", false, "short collapsed-list ATPG without top-up, for paper-scale smoke runs")
+	adjCache := flag.Int("adj-cache", 0, "cap the normalized-adjacency cache at N operators (0 = auto: 256 for paper-scale designs, pinned per subgraph otherwise)")
+	maxLogBytes := flag.Int64("max-log-bytes", 0, "per-file failure-log read cap in bytes (0 = the 64 MiB default)")
 	metrics := flag.Bool("metrics", false, "print campaign metrics to stderr on exit")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -99,13 +107,36 @@ func main() {
 	if *scale != 1.0 {
 		p = p.Scaled(*scale)
 	}
+	// Bound the adjacency-operator memoization on paper-scale campaigns: a
+	// stream of mostly-unique 100K+-node subgraphs would otherwise pin an
+	// operator on every one for its lifetime.
+	if *adjCache > 0 {
+		gnn.LimitAdjCache(*adjCache)
+	} else if p.TargetGates >= gen.LargeGateThreshold {
+		gnn.LimitAdjCache(256)
+	}
+
+	bopt := dataset.BuildOptions{Seed: *seed, Workers: *workers}
+	if *fastATPG {
+		bopt.ATPG = atpg.Quick()
+	}
 	fmt.Printf("building %s/%s ...\n", *design, *config)
-	b, err := dataset.Build(p, dataset.ConfigName(*config), dataset.BuildOptions{Seed: *seed})
+	b, err := dataset.Build(p, dataset.ConfigName(*config), bopt)
 	if err != nil {
 		fatal("build: %v", err)
 	}
 
 	nWorkers := par.Workers(*workers)
+	// The campaign already fans out across logs, so when it runs more than
+	// one worker the hierarchical engine walks its regions serially — the
+	// report is identical either way and the cores are not oversubscribed.
+	if *hierMode || p.TargetGates >= gen.LargeGateThreshold {
+		innerWorkers := 1
+		if nWorkers == 1 {
+			innerWorkers = 0
+		}
+		b.EnableHier(hier.Options{Regions: *hierRegions, Workers: innerWorkers, Obs: reg})
+	}
 	var diagnosers []volume.Diagnoser
 	if *remote != "" {
 		endpoints := splitEndpoints(*remote)
@@ -163,15 +194,16 @@ func main() {
 	}
 
 	rep, stats, err := volume.Run(ctx, volume.Config{
-		Inputs:     inputs,
-		Dir:        *campaign,
-		Diagnosers: diagnosers,
-		Netlist:    b.Netlist,
-		Design:     b.Name,
-		TopK:       *topK,
-		LogTimeout: *timeout,
-		Alpha:      *alpha,
-		Obs:        reg,
+		Inputs:      inputs,
+		Dir:         *campaign,
+		Diagnosers:  diagnosers,
+		Netlist:     b.Netlist,
+		Design:      b.Name,
+		TopK:        *topK,
+		LogTimeout:  *timeout,
+		MaxLogBytes: *maxLogBytes,
+		Alpha:       *alpha,
+		Obs:         reg,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "m3dvolume: "+format+"\n", args...)
 		},

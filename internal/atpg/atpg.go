@@ -43,6 +43,21 @@ type Options struct {
 	Collapse bool
 }
 
+// Quick returns options tuned for wall-clock-bounded runs on paper-scale
+// (100K+ gate) designs: a short random phase against the collapsed fault
+// list and no deterministic top-up. Coverage lands well below the default
+// 99% target, which is acceptable for hierarchical-diagnosis smoke runs
+// and scale benchmarks where pattern quality is not under test.
+func Quick() Options {
+	return Options{
+		MaxRandomBatches: 8,
+		MinBatchYield:    3,
+		TargetCoverage:   0.55,
+		SkipTopUp:        true,
+		Collapse:         true,
+	}
+}
+
 func (o Options) withDefaults() Options {
 	if o.MaxRandomBatches == 0 {
 		o.MaxRandomBatches = 48

@@ -227,13 +227,29 @@ func (fw *Framework) DiagnoseCtx(ctx context.Context, b *dataset.Bundle, log *fa
 // so both must escape the call.
 func (fw *Framework) DiagnoseFullCtx(ctx context.Context, b *dataset.Bundle, log *failurelog.Log) (*diagnosis.Report, *hgraph.Subgraph, *policy.Outcome, error) {
 	defer obs.Start(ctx, "core.diagnose").End()
-	rep, err := b.Diag.DiagnoseCtx(ctx, log)
+	// Paper-scale designs (or bundles with hier forced on) route both heavy
+	// stages through the hierarchical partitioned engine; the results are
+	// bitwise-identical to the monolithic path.
+	he, err := b.HierEngine()
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, fmt.Errorf("core: hierarchical engine: %w", err)
 	}
-	sg, err := b.Graph.BacktraceCtx(ctx, log, b.Diag.Result())
-	if err != nil {
-		return nil, nil, nil, err
+	var rep *diagnosis.Report
+	var sg *hgraph.Subgraph
+	if he != nil {
+		if rep, err = he.DiagnoseCtx(ctx, log); err != nil {
+			return nil, nil, nil, err
+		}
+		if sg, err = he.BacktraceCtx(ctx, log); err != nil {
+			return nil, nil, nil, err
+		}
+	} else {
+		if rep, err = b.Diag.DiagnoseCtx(ctx, log); err != nil {
+			return nil, nil, nil, err
+		}
+		if sg, err = b.Graph.BacktraceCtx(ctx, log, b.Diag.Result()); err != nil {
+			return nil, nil, nil, err
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, nil, fmt.Errorf("core: diagnose: %w", err)
@@ -246,7 +262,9 @@ func (fw *Framework) DiagnoseFullCtx(ctx context.Context, b *dataset.Bundle, log
 
 // DiagnoseMultiCtx is DiagnoseCtx for failure logs that may contain several
 // simultaneous same-tier defects (Section VII-A): the ATPG stage uses the
-// relaxed multi-fault extraction and greedy set cover.
+// relaxed multi-fault extraction and greedy set cover. Multi-fault
+// diagnosis always runs the monolithic path — its set-cover extraction has
+// no hierarchical counterpart.
 func (fw *Framework) DiagnoseMultiCtx(ctx context.Context, b *dataset.Bundle, log *failurelog.Log) (*diagnosis.Report, *policy.Outcome, error) {
 	defer obs.Start(ctx, "core.diagnose_multi").End()
 	rep, err := b.Diag.DiagnoseMultiCtx(ctx, log)

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/hier"
+)
+
+// TestHierRoutingMatchesMonolithic proves the end-to-end contract of the
+// hierarchical path at the framework level: with hier forced on, every
+// deployment artifact — ATPG report, back-traced subgraph, and the
+// policy's pruned/reordered outcome — is bitwise-identical to the
+// monolithic flow.
+func TestHierRoutingMatchesMonolithic(t *testing.T) {
+	x := getE2E(t)
+	b := x.bundle
+	ctx := context.Background()
+	defer b.DisableHier()
+
+	for i, s := range x.test {
+		if i >= 12 {
+			break
+		}
+		b.DisableHier()
+		repM, sgM, outM, err := x.fw.DiagnoseFullCtx(ctx, b, s.Log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.EnableHier(hier.Options{Regions: 4, Workers: 2})
+		repH, sgH, outH, err := x.fw.DiagnoseFullCtx(ctx, b, s.Log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(repM, repH) {
+			t.Fatalf("sample %d: reports differ between monolithic and hierarchical", i)
+		}
+		if !reflect.DeepEqual(sgM.Nodes, sgH.Nodes) || !reflect.DeepEqual(sgM.X, sgH.X) {
+			t.Fatalf("sample %d: subgraphs differ between monolithic and hierarchical", i)
+		}
+		if !reflect.DeepEqual(outM, outH) {
+			t.Fatalf("sample %d: policy outcomes differ between monolithic and hierarchical", i)
+		}
+	}
+}
+
+// TestHierAutoThreshold: small bundles must not construct a hierarchical
+// engine in auto mode, and EnableHier/DisableHier must override the size
+// heuristic both ways.
+func TestHierAutoThreshold(t *testing.T) {
+	x := getE2E(t)
+	b := x.bundle
+	defer b.DisableHier()
+
+	b.DisableHier()
+	if he, err := b.HierEngine(); err != nil || he != nil {
+		t.Fatalf("disabled: want (nil, nil), got (%v, %v)", he, err)
+	}
+	b.EnableHier(hier.Options{Regions: 3})
+	he, err := b.HierEngine()
+	if err != nil || he == nil {
+		t.Fatalf("forced: want an engine, got (%v, %v)", he, err)
+	}
+	if again, _ := b.HierEngine(); again != he {
+		t.Fatal("HierEngine is not memoized")
+	}
+	if st := he.Stats(); st.Regions != 3 {
+		t.Fatalf("forced regions: %+v", st)
+	}
+}

@@ -439,29 +439,13 @@ func (d *Engine) DiagnoseCtx(ctx context.Context, log *failurelog.Log) (*Report,
 	}
 	span.End()
 	obs.Add(ctx, "m3d_diag_candidates_scored_total", int64(len(cands)))
-	// Ties (equivalence classes: buffer chains, MIVs, indistinguishable
-	// reconvergent sites) are ordered by a deterministic hash — a real
-	// tool has no oracle to put the true defect first within a class.
-	rank := func() {
-		sort.Slice(scored, func(i, j int) bool {
-			if scored[i].Score != scored[j].Score {
-				return scored[i].Score > scored[j].Score
-			}
-			hi, hj := faultHash(scored[i].Fault), faultHash(scored[j].Fault)
-			if hi != hj {
-				return hi < hj
-			}
-			return scored[i].Fault.Gate < scored[j].Fault.Gate
-		})
-	}
-	rank()
+	RankCandidates(scored)
 	// Stage 2: refine the strongest net-level candidates to pin
 	// granularity (branch faults dodge reconvergent aliasing).
 	span = obs.Start(ctx, "diagnosis.refine")
-	const refineTop = 40
 	n2 := len(scored)
-	if n2 > refineTop {
-		n2 = refineTop
+	if n2 > RefineTop {
+		n2 = RefineTop
 	}
 	for _, c := range scored[:n2] {
 		if err := ctx.Err(); err != nil {
@@ -476,13 +460,40 @@ func (d *Engine) DiagnoseCtx(ctx context.Context, log *failurelog.Log) (*Report,
 		}
 	}
 	span.End()
-	rank()
+	RankCandidates(scored)
+	d.fillReport(rep, scored)
+	return rep, nil
+}
+
+// RefineTop is how many of the strongest net-level candidates stage 2
+// expands to pin-granularity branch faults.
+const RefineTop = 40
+
+// RankCandidates sorts scored candidates into report order: score
+// descending, with ties (equivalence classes: buffer chains, MIVs,
+// indistinguishable reconvergent sites) ordered by a deterministic hash —
+// a real tool has no oracle to put the true defect first within a class.
+func RankCandidates(scored []Candidate) {
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].Score != scored[j].Score {
+			return scored[i].Score > scored[j].Score
+		}
+		hi, hj := faultHash(scored[i].Fault), faultHash(scored[j].Fault)
+		if hi != hj {
+			return hi < hj
+		}
+		return scored[i].Fault.Gate < scored[j].Fault.Gate
+	})
+}
+
+// fillReport applies the inclusion policy to the ranked candidate list.
+// Inclusion follows match strength: any candidate explaining a solid
+// fraction of what the best candidate explains is reported, ranked by
+// score. This is what gives large designs their large reports.
+func (d *Engine) fillReport(rep *Report, scored []Candidate) {
 	if len(scored) == 0 {
-		return rep, nil
+		return
 	}
-	// Inclusion follows match strength: any candidate explaining a solid
-	// fraction of what the best candidate explains is reported, ranked by
-	// score. This is what gives large designs their large reports.
 	bestTFSF := 0
 	for _, c := range scored {
 		if c.TFSF > bestTFSF {
@@ -504,7 +515,6 @@ func (d *Engine) DiagnoseCtx(ctx context.Context, log *failurelog.Log) (*Report,
 		}
 		rep.Candidates = append(rep.Candidates, c)
 	}
-	return rep, nil
 }
 
 // ExtractStats exposes candidate-extraction internals for tooling and

@@ -1,0 +1,86 @@
+package diagnosis
+
+import (
+	"repro/internal/failurelog"
+	"repro/internal/faultsim"
+	"repro/internal/scan"
+)
+
+// This file exposes the individual stages of DiagnoseCtx to the
+// hierarchical diagnosis engine (internal/hier), which re-implements only
+// the suspect-vote computation (region-partitioned, parallel) and must
+// reuse every other stage verbatim so that its reports stay
+// bitwise-identical to the monolithic path. Each hook is a thin wrapper
+// over the unexported implementation that DiagnoseCtx itself calls.
+
+// Sanitize drops fails the engine's pattern set and scan architecture
+// cannot address (see sanitize).
+func (d *Engine) Sanitize(log *failurelog.Log) *failurelog.Log { return d.sanitize(log) }
+
+// CandidatesFromVotes turns per-gate suspect vote counts (one vote per
+// failing response in whose observation cone the gate transitions) into
+// the vote-ranked candidate pool, exactly as the monolithic extraction
+// stage does. count must be indexed by gate ID; responses is the number
+// of failing responses that voted.
+func (d *Engine) CandidatesFromVotes(log *failurelog.Log, count []int32, responses int) []faultsim.Fault {
+	return d.extractCandidates(log, count, responses)
+}
+
+// ScoreCandidate fault-simulates one candidate against the observed
+// failure set (see score). Safe for concurrent use on forked engines.
+func (d *Engine) ScoreCandidate(cand faultsim.Fault, observed map[int64]bool, compacted bool, horizon int32) Candidate {
+	return d.score(cand, observed, compacted, horizon)
+}
+
+// BranchExpansions expands a net-level candidate into its per-branch
+// input-pin faults (see branchCandidates). Pure: depends only on the
+// netlist structure.
+func (d *Engine) BranchExpansions(c faultsim.Fault) []faultsim.Fault {
+	return d.branchCandidates(c)
+}
+
+// ObservedSet builds the observed-failure set keyed the way scoring
+// compares predicted failures against the log.
+func ObservedSet(log *failurelog.Log) map[int64]bool {
+	observed := make(map[int64]bool, len(log.Fails))
+	for _, f := range log.Fails {
+		observed[failureKey(f)] = true
+	}
+	return observed
+}
+
+// ScoreHorizon returns the truncation horizon for scoring: the last
+// recorded pattern when the tester's fail memory truncated the log, -1
+// otherwise.
+func ScoreHorizon(log *failurelog.Log) int32 {
+	if log.Truncated {
+		return log.LastPattern()
+	}
+	return -1
+}
+
+// AssembleReport applies the inclusion policy to an already-ranked
+// candidate list and returns the final report, identical to the tail of
+// DiagnoseCtx.
+func (d *Engine) AssembleReport(log *failurelog.Log, scored []Candidate) *Report {
+	rep := &Report{Design: log.Design, Compacted: log.Compacted}
+	d.fillReport(rep, scored)
+	return rep
+}
+
+// CaptureGates returns the deduplicated capture gates behind one failing
+// observation, in ObsGates order — the seeds of the suspect-vote cone
+// walk for that response.
+func (d *Engine) CaptureGates(f scan.Failure, compacted bool) []int {
+	obsGates := d.arch.ObsGates(int(f.Obs), compacted)
+	out := make([]int, 0, len(obsGates))
+	seen := make(map[int]bool, len(obsGates))
+	for _, g := range obsGates {
+		c := d.arch.CaptureGate(g)
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -17,8 +17,20 @@ const MaxFileBytes = 64 << 20
 // ReadFile opens, size-checks, and parses one failure-log file. Every
 // error names the file, so a campaign over thousands of logs can report
 // exactly which one failed. Files larger than MaxFileBytes are rejected
-// without reading them.
+// without reading them; use ReadFileLimit when ingesting logs from
+// paper-scale designs, whose legitimate fail sets can exceed the default
+// cap.
 func ReadFile(path string) (*Log, error) {
+	return ReadFileLimit(path, MaxFileBytes)
+}
+
+// ReadFileLimit is ReadFile with a caller-chosen size cap in bytes.
+// maxBytes <= 0 applies the MaxFileBytes default — the cap can be raised
+// or tightened, never silently removed.
+func ReadFileLimit(path string, maxBytes int64) (*Log, error) {
+	if maxBytes <= 0 {
+		maxBytes = MaxFileBytes
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("failurelog: %w", err) // os errors carry the path
@@ -28,8 +40,8 @@ func ReadFile(path string) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("failurelog: stat %s: %w", path, err)
 	}
-	if fi.Size() > MaxFileBytes {
-		return nil, fmt.Errorf("failurelog: %s: %d bytes exceeds the %d-byte read cap", path, fi.Size(), int64(MaxFileBytes))
+	if fi.Size() > maxBytes {
+		return nil, fmt.Errorf("failurelog: %s: %d bytes exceeds the %d-byte read cap (raise it with ReadFileLimit or the -max-log-bytes flag)", path, fi.Size(), maxBytes)
 	}
 	l, err := Read(f)
 	if err != nil {

@@ -72,6 +72,36 @@ func TestReadFileSizeCap(t *testing.T) {
 	}
 }
 
+func TestReadFileLimit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "chip.log")
+	l := &Log{Design: "big", Fails: []scan.Failure{{Pattern: 1, Obs: 2}, {Pattern: 3, Obs: 4}}}
+	if err := WriteFile(path, l); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A tightened cap rejects the file with a descriptive error...
+	if _, err := ReadFileLimit(path, fi.Size()-1); err == nil || !strings.Contains(err.Error(), "read cap") {
+		t.Fatalf("tightened cap should reject with a capped-read error, got: %v", err)
+	}
+	// ...a raised cap (paper-scale ingestion) admits it...
+	got, err := ReadFileLimit(path, 4*MaxFileBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Design != "big" || len(got.Fails) != 2 {
+		t.Fatalf("raised-cap read mismatch: %+v", got)
+	}
+	// ...and a non-positive cap falls back to the MaxFileBytes default.
+	if _, err := ReadFileLimit(path, 0); err != nil {
+		t.Fatalf("zero cap must mean the default, got: %v", err)
+	}
+}
+
 func TestWriteFileAtomicOverwrite(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "chip.log")

@@ -1,0 +1,465 @@
+package gen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"repro/internal/netlist"
+	"repro/internal/par"
+)
+
+// This file scales design generation to the paper's actual benchmark
+// sizes (98K–338K gates, Table III). The motif generator in generate.go
+// builds one global signal pool and is inherently serial; at 300K gates
+// its pool scans and the final dangling sweep dominate, and the whole
+// netlist plus generator state must be resident at once.
+//
+// GenerateLarge/EmitLarge instead synthesize the design as a sequence of
+// tiles. Each tile is a pure function of (profile, seed, tile index): it
+// draws a private RNG stream via par.SeedFor, builds its motif logic over
+// a pool of its own signals plus a deterministic import window — a slice
+// of the primary inputs, a slice of the flop outputs, and the named
+// export signals of the previous importWindow tiles — and ends by
+// compressing its dangling signals into named sink roots. Sink roots feed
+// the flop data pins and primary outputs, so every tile is observable;
+// exports give the cross-tile edges that make the design one connected
+// circuit rather than T islands (and give the region partitioner a real
+// cut to find).
+//
+// Because tiles are independent given their index, they are generated in
+// parallel with par.Map — bitwise-identical output for any worker count —
+// and because every cross-tile reference is a name computable from the
+// profile alone (pi_i, ff_i, tK_eJ, tK_sJ), tiles can be emitted to an
+// io.Writer as they are produced: EmitLarge streams a 300K-gate netlist
+// holding only a small batch of tile buffers in memory, never the whole
+// design.
+
+// LargeGateThreshold is the design size at which dataset construction
+// switches from the monolithic motif generator to the tiled one.
+const LargeGateThreshold = 50_000
+
+// targetTileGates sizes tiles; the last tile absorbs the remainder.
+const targetTileGates = 4000
+
+// tileExports is the number of named export signals per tile, and
+// importWindow how many preceding tiles' exports a tile may consume.
+const (
+	tileExports  = 24
+	importWindow = 4
+)
+
+// PaperProfiles returns the four benchmarks at the paper's reported gate
+// counts (Table III). Flop counts grow sub-linearly versus the 1/16-scale
+// profiles: the paper's designs are logic-dominated, and a moderate
+// capture-point count is what keeps observation cones — and therefore
+// per-log diagnosis work — at realistic per-gate ratios.
+func PaperProfiles() []Profile {
+	return []Profile{
+		{
+			Name: "aes-paper", TargetGates: 98_000, FFs: 2600, PIs: 256, POs: 256,
+			ScanChains: 130, CompactionRatio: 20,
+			MotifWeights: MotifWeights{SBox: 6, XorTree: 5, Adder: 0, MuxTree: 1, Random: 2},
+			DepthBias:    0.45, ShareBias: 0.08, HubCount: 96,
+		},
+		{
+			Name: "tate-paper", TargetGates: 174_000, FFs: 3600, PIs: 320, POs: 320,
+			ScanChains: 180, CompactionRatio: 20,
+			MotifWeights: MotifWeights{SBox: 1, XorTree: 6, Adder: 5, MuxTree: 1, Random: 2},
+			DepthBias:    0.5, ShareBias: 0.1, HubCount: 128,
+		},
+		{
+			Name: "netcard-paper", TargetGates: 301_000, FFs: 6000, PIs: 512, POs: 512,
+			ScanChains: 300, CompactionRatio: 20,
+			MotifWeights: MotifWeights{SBox: 0, XorTree: 1, Adder: 1, MuxTree: 7, Random: 5},
+			DepthBias:    0.12, ShareBias: 0.35, HubCount: 256,
+		},
+		{
+			Name: "leon3mp-paper", TargetGates: 338_000, FFs: 6600, PIs: 512, POs: 512,
+			ScanChains: 330, CompactionRatio: 20,
+			MotifWeights: MotifWeights{SBox: 2, XorTree: 3, Adder: 4, MuxTree: 4, Random: 4},
+			DepthBias:    0.6, ShareBias: 0.22, HubCount: 192,
+		},
+	}
+}
+
+// instr is one gate declaration of the tiled generator: a pure-data form
+// that both the streaming text backend (EmitLarge) and the in-memory
+// backend (GenerateLarge) consume, which is what keeps the two outputs
+// equivalent by construction.
+type instr struct {
+	name string
+	typ  netlist.GateType
+	args []string
+}
+
+// plan holds the derived tiling quantities shared by both backends.
+type plan struct {
+	p        Profile
+	seed     int64
+	tiles    int
+	perTile  []int // motif gate budget per tile
+	sinkBase []int // first global sink index owned by each tile
+	sinks    int   // FFs + POs: total sink roots across all tiles
+}
+
+func newPlan(p Profile, seed int64) plan {
+	t := (p.TargetGates + targetTileGates - 1) / targetTileGates
+	if t < 1 {
+		t = 1
+	}
+	pl := plan{p: p, seed: seed, tiles: t, sinks: p.FFs + p.POs}
+	pl.perTile = make([]int, t)
+	base, rem := p.TargetGates/t, p.TargetGates%t
+	for i := range pl.perTile {
+		pl.perTile[i] = base
+		if i < rem {
+			pl.perTile[i]++
+		}
+	}
+	pl.sinkBase = make([]int, t+1)
+	spt := (pl.sinks + t - 1) / t
+	for i := 0; i <= t; i++ {
+		b := i * spt
+		if b > pl.sinks {
+			b = pl.sinks
+		}
+		pl.sinkBase[i] = b
+	}
+	return pl
+}
+
+// sinkName maps a global sink index to its owning tile's root signal.
+func (pl plan) sinkName(m int) string {
+	spt := pl.sinkBase[1]
+	return fmt.Sprintf("t%d_s%d", m/spt, m%spt)
+}
+
+// tileInstrs generates one tile's declarations: motif logic over the
+// tile pool, export roots, and the dangling sweep into sink roots. Pure:
+// the result depends only on (plan, tile index).
+func (pl plan) tileInstrs(t int) []instr {
+	g := &tileGen{
+		t:    t,
+		p:    pl.p,
+		rng:  rand.New(rand.NewSource(par.SeedFor(pl.seed, uint64(t)))),
+		used: make(map[string]bool),
+	}
+	// Import window: a deterministic slice of ports and flop outputs plus
+	// the exports of the previous importWindow tiles.
+	for i := 0; i < 24 && i < pl.p.PIs; i++ {
+		g.pool = append(g.pool, fmt.Sprintf("pi_%d", (t*24+i)%pl.p.PIs))
+	}
+	for i := 0; i < 24 && i < pl.p.FFs; i++ {
+		g.pool = append(g.pool, fmt.Sprintf("ff_%d", (t*24+i)%pl.p.FFs))
+	}
+	for s := t - importWindow; s < t; s++ {
+		if s < 0 {
+			continue
+		}
+		for j := 0; j < tileExports; j++ {
+			g.pool = append(g.pool, fmt.Sprintf("t%d_e%d", s, j))
+		}
+	}
+	g.localStart = len(g.pool)
+	for i := 0; i < 8; i++ {
+		g.hubs = append(g.hubs, g.pool[g.rng.Intn(len(g.pool))])
+	}
+
+	// Motif phase, mirroring the monolithic generator's weighted draw.
+	// ~1/8 of the budget is reserved for the sweep trees below.
+	w := pl.p.MotifWeights
+	total := w.SBox + w.XorTree + w.Adder + w.MuxTree + w.Random
+	if total == 0 {
+		total = 1
+		w.Random = 1
+	}
+	budget := pl.perTile[t] - pl.perTile[t]/8
+	for len(g.instrs) < budget {
+		r := g.rng.Intn(total)
+		switch {
+		case r < w.SBox:
+			g.sbox()
+		case r < w.SBox+w.XorTree:
+			g.xorTree(4 + g.rng.Intn(9))
+		case r < w.SBox+w.XorTree+w.Adder:
+			g.adder(3 + g.rng.Intn(6))
+		case r < w.SBox+w.XorTree+w.Adder+w.MuxTree:
+			g.muxTree(2 + g.rng.Intn(3))
+		default:
+			g.randomLogic(4 + g.rng.Intn(8))
+		}
+	}
+
+	// Exports: named hand-offs to the following tiles.
+	for j := 0; j < tileExports; j++ {
+		var src string
+		if len(g.pool) > g.localStart {
+			src = g.pool[g.localStart+g.rng.Intn(len(g.pool)-g.localStart)]
+		} else {
+			src = g.pick()
+		}
+		g.used[src] = true
+		g.instrs = append(g.instrs, instr{fmt.Sprintf("t%d_e%d", t, j), netlist.Buf, []string{src}})
+	}
+
+	// Dangling sweep: XOR-compress unconsumed local signals into this
+	// tile's sink roots, so no generated logic is unobservable.
+	var dangling []string
+	for _, s := range g.pool[g.localStart:] {
+		if !g.used[s] {
+			dangling = append(dangling, s)
+		}
+	}
+	nSinks := pl.sinkBase[t+1] - pl.sinkBase[t]
+	for j := 0; j < nSinks; j++ {
+		var group []string
+		for i := j; i < len(dangling); i += nSinks {
+			group = append(group, dangling[i])
+		}
+		root := g.reduce(group)
+		g.instrs = append(g.instrs, instr{fmt.Sprintf("t%d_s%d", t, j), netlist.Buf, []string{root}})
+	}
+	return g.instrs
+}
+
+// tileGen is the per-tile generator state: a local signal pool with the
+// same depth/share-biased pick rule as the monolithic generator.
+type tileGen struct {
+	t          int
+	p          Profile
+	rng        *rand.Rand
+	instrs     []instr
+	pool       []string
+	hubs       []string
+	used       map[string]bool
+	localStart int
+	next       int
+}
+
+func (g *tileGen) emit(typ netlist.GateType, args ...string) string {
+	nm := fmt.Sprintf("t%d_g%d", g.t, g.next)
+	g.next++
+	for _, a := range args {
+		g.used[a] = true
+	}
+	g.instrs = append(g.instrs, instr{nm, typ, args})
+	g.pool = append(g.pool, nm)
+	return nm
+}
+
+func (g *tileGen) pick() string {
+	if g.rng.Float64() < g.p.ShareBias {
+		return g.hubs[g.rng.Intn(len(g.hubs))]
+	}
+	n := len(g.pool)
+	if g.rng.Float64() < g.p.DepthBias {
+		lo := n * 3 / 4
+		return g.pool[lo+g.rng.Intn(n-lo)]
+	}
+	return g.pool[g.rng.Intn(n)]
+}
+
+// reduce XOR-compresses a signal group to one root (a pool pick for an
+// empty group, so every sink root always exists).
+func (g *tileGen) reduce(group []string) string {
+	if len(group) == 0 {
+		return g.pick()
+	}
+	for len(group) > 1 {
+		var next []string
+		for i := 0; i+1 < len(group); i += 2 {
+			next = append(next, g.emit(netlist.Xor, group[i], group[i+1]))
+		}
+		if len(group)%2 == 1 {
+			next = append(next, group[len(group)-1])
+		}
+		group = next
+	}
+	g.used[group[0]] = true
+	return group[0]
+}
+
+func (g *tileGen) sbox() {
+	in := make([]string, 8)
+	for i := range in {
+		in[i] = g.pick()
+	}
+	mixed := make([]string, 4)
+	pairTypes := []netlist.GateType{netlist.Xor, netlist.Nand, netlist.Nor, netlist.Xnor}
+	for i := range mixed {
+		mixed[i] = g.emit(pairTypes[g.rng.Intn(len(pairTypes))], in[2*i], in[2*i+1])
+	}
+	l2a := g.emit(netlist.And, mixed[0], mixed[1])
+	l2b := g.emit(netlist.Or, mixed[2], mixed[3])
+	x := g.emit(netlist.Xor, l2a, l2b)
+	inv := g.emit(netlist.Not, x)
+	g.emit(netlist.Xor, inv, mixed[g.rng.Intn(4)])
+}
+
+func (g *tileGen) xorTree(k int) {
+	cur := make([]string, k)
+	for i := range cur {
+		cur[i] = g.pick()
+	}
+	for len(cur) > 1 {
+		var next []string
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, g.emit(netlist.Xor, cur[i], cur[i+1]))
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+	}
+}
+
+func (g *tileGen) adder(k int) {
+	carry := g.pick()
+	for i := 0; i < k; i++ {
+		a, b := g.pick(), g.pick()
+		axb := g.emit(netlist.Xor, a, b)
+		g.emit(netlist.Xor, axb, carry)
+		ab := g.emit(netlist.And, a, b)
+		cax := g.emit(netlist.And, carry, axb)
+		carry = g.emit(netlist.Or, ab, cax)
+	}
+}
+
+func (g *tileGen) muxTree(depth int) {
+	cur := make([]string, 1<<depth)
+	for i := range cur {
+		cur[i] = g.pick()
+	}
+	for len(cur) > 1 {
+		sel := g.pick()
+		var next []string
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, g.emit(netlist.Mux, sel, cur[i], cur[i+1]))
+		}
+		cur = next
+	}
+}
+
+func (g *tileGen) randomLogic(k int) {
+	types := []netlist.GateType{
+		netlist.And, netlist.Or, netlist.Nand, netlist.Nor, netlist.Xor, netlist.Xnor,
+	}
+	for i := 0; i < k; i++ {
+		if g.rng.Float64() < 0.1 {
+			g.emit(netlist.Not, g.pick())
+			continue
+		}
+		g.emit(types[g.rng.Intn(len(types))], g.pick(), g.pick())
+	}
+}
+
+// forEachTileBatch produces tile instruction lists in index order while
+// generating generateAhead tiles in parallel, and hands each tile's list
+// to fn. Peak memory is one batch of tiles, not the whole design.
+func (pl plan) forEachTileBatch(workers int, fn func(t int, instrs []instr) error) error {
+	batch := par.Workers(workers) * 2
+	if batch < 4 {
+		batch = 4
+	}
+	for lo := 0; lo < pl.tiles; lo += batch {
+		hi := lo + batch
+		if hi > pl.tiles {
+			hi = pl.tiles
+		}
+		lists := par.Map(workers, hi-lo, func(i int) []instr {
+			return pl.tileInstrs(lo + i)
+		})
+		for i, instrs := range lists {
+			if err := fn(lo+i, instrs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// EmitLarge streams a paper-scale design to w in the netlist text format,
+// with bounded memory: ports and flops first (flop data pins forward-
+// reference their tile sink roots, which netlist.Read resolves in its
+// second pass), then the tiles in order, then the primary outputs. The
+// byte stream is identical for any worker count.
+func EmitLarge(w io.Writer, p Profile, seed int64, workers int) error {
+	pl := newPlan(p, seed)
+	bw := bufio.NewWriterSize(w, 1<<20)
+	fmt.Fprintf(bw, "# tiled design: %d tiles, target %d gates\n", pl.tiles, p.TargetGates)
+	fmt.Fprintf(bw, "NAME %s\n", p.Name)
+	for i := 0; i < p.PIs; i++ {
+		fmt.Fprintf(bw, "INPUT(pi_%d)\n", i)
+	}
+	for i := 0; i < p.FFs; i++ {
+		fmt.Fprintf(bw, "ff_%d = DFF(%s)\n", i, pl.sinkName(i))
+	}
+	err := pl.forEachTileBatch(workers, func(t int, instrs []instr) error {
+		for _, in := range instrs {
+			fmt.Fprintf(bw, "%s = %s(%s)\n", in.name, in.typ.String(), strings.Join(in.args, ", "))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < p.POs; i++ {
+		fmt.Fprintf(bw, "po_%d = OUTPUT(%s)\n", i, pl.sinkName(p.FFs+i))
+	}
+	return bw.Flush()
+}
+
+// GenerateLarge builds the same design as EmitLarge directly in memory
+// (no text round-trip): reading back an EmitLarge stream yields a netlist
+// whose serialized form is byte-identical to this one's. Tiles are
+// generated in parallel; the result is deterministic for (profile, seed)
+// at any worker count, validated, and levelized.
+func GenerateLarge(p Profile, seed int64, workers int) *netlist.Netlist {
+	pl := newPlan(p, seed)
+	n := netlist.New(p.Name)
+	byName := make(map[string]int, p.TargetGates+p.TargetGates/4)
+	for i := 0; i < p.PIs; i++ {
+		name := fmt.Sprintf("pi_%d", i)
+		byName[name] = n.AddGate(name, netlist.Input)
+	}
+	ffs := make([]int, p.FFs)
+	for i := 0; i < p.FFs; i++ {
+		name := fmt.Sprintf("ff_%d", i)
+		ffs[i] = n.AddGate(name, netlist.DFF)
+		byName[name] = ffs[i]
+	}
+	err := pl.forEachTileBatch(workers, func(t int, instrs []instr) error {
+		for _, in := range instrs {
+			id := n.AddGate(in.name, in.typ)
+			byName[in.name] = id
+			for _, a := range in.args {
+				src, ok := byName[a]
+				if !ok {
+					return fmt.Errorf("gen: tile %d: undeclared signal %q", t, a)
+				}
+				n.Connect(id, src)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("gen: GenerateLarge %s: %v", p.Name, err))
+	}
+	for i, ff := range ffs {
+		n.Connect(ff, byName[pl.sinkName(i)])
+	}
+	for i := 0; i < p.POs; i++ {
+		name := fmt.Sprintf("po_%d", i)
+		byName[name] = n.AddGate(name, netlist.Output, byName[pl.sinkName(p.FFs+i)])
+	}
+	if err := n.Validate(); err != nil {
+		panic(fmt.Sprintf("gen: GenerateLarge produced invalid netlist for %s: %v", p.Name, err))
+	}
+	if err := n.Levelize(); err != nil {
+		panic(fmt.Sprintf("gen: GenerateLarge levelize %s: %v", p.Name, err))
+	}
+	return n
+}

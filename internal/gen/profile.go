@@ -94,9 +94,15 @@ func Profiles() []Profile {
 	}
 }
 
-// ProfileByName returns the named profile, or false if unknown.
+// ProfileByName returns the named profile — laptop-scale (Profiles) or
+// paper-scale (PaperProfiles) — or false if unknown.
 func ProfileByName(name string) (Profile, bool) {
 	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range PaperProfiles() {
 		if p.Name == name {
 			return p, true
 		}

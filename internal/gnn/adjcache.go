@@ -1,0 +1,83 @@
+package gnn
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hgraph"
+)
+
+// By default every back-traced subgraph pins its normalized adjacency on
+// itself (SetAdjCache), which is ideal for training: the same subgraphs
+// are revisited every epoch and the cache dies with the sample set. A
+// paper-scale serving or volume campaign is the opposite shape — a stream
+// of large, mostly-unique subgraphs, each visited a handful of times —
+// where per-subgraph pinning roughly doubles the resident size of every
+// subgraph still referenced anywhere. LimitAdjCache switches AdjNormFor
+// to a process-wide bounded LRU for that regime: at most n operators stay
+// live, recomputation is the (cheap, deterministic) cost of an eviction,
+// and results are unchanged either way.
+
+// adjEntry is one LRU slot.
+type adjEntry struct {
+	sg *hgraph.Subgraph
+	a  *AdjNorm
+}
+
+// adjLRU is a bounded, mutex-guarded LRU keyed by subgraph identity.
+type adjLRU struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[*hgraph.Subgraph]*list.Element
+	order   *list.List // front = most recently used
+}
+
+func (c *adjLRU) get(sg *hgraph.Subgraph) *AdjNorm {
+	c.mu.Lock()
+	if e, ok := c.entries[sg]; ok {
+		c.order.MoveToFront(e)
+		a := e.Value.(*adjEntry).a
+		c.mu.Unlock()
+		return a
+	}
+	c.mu.Unlock()
+	// Build outside the lock: a shared mutex held across a large build
+	// would serialize every worker of a parallel campaign. Racing builders
+	// of the same subgraph produce identical operators; first insert wins.
+	a := NewAdjNorm(sg)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[sg]; ok {
+		c.order.MoveToFront(e)
+		return e.Value.(*adjEntry).a
+	}
+	c.entries[sg] = c.order.PushFront(&adjEntry{sg: sg, a: a})
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*adjEntry).sg)
+	}
+	return a
+}
+
+// adjCache holds the active LRU; nil selects the pin-on-subgraph default.
+var adjCache atomic.Pointer[adjLRU]
+
+// LimitAdjCache bounds the process-wide normalized-adjacency memoization
+// to at most n operators in a shared LRU, instead of pinning one operator
+// on every subgraph for its lifetime. n <= 0 restores the default
+// pin-on-subgraph behavior. Purely a memory/recompute trade: AdjNormFor
+// returns bitwise-identical operators in both modes. Intended for
+// paper-scale serving and volume campaigns; call it once at startup.
+func LimitAdjCache(n int) {
+	if n <= 0 {
+		adjCache.Store(nil)
+		return
+	}
+	adjCache.Store(&adjLRU{
+		cap:     n,
+		entries: make(map[*hgraph.Subgraph]*list.Element, n),
+		order:   list.New(),
+	})
+}

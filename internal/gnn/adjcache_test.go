@@ -1,0 +1,100 @@
+package gnn
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/hgraph"
+	"repro/internal/mat"
+)
+
+// ringSubgraph builds a minimal n-node ring subgraph: AdjNormFor only
+// consumes NumNodes and Adj.
+func ringSubgraph(n int) *hgraph.Subgraph {
+	sg := &hgraph.Subgraph{
+		Nodes: make([]int32, n),
+		Adj:   make([][]int32, n),
+		X:     mat.New(n, hgraph.FeatureDim),
+	}
+	for i := 0; i < n; i++ {
+		sg.Nodes[i] = int32(i)
+		sg.Adj[i] = []int32{int32((i + 1) % n), int32((i + n - 1) % n)}
+	}
+	return sg
+}
+
+func TestLimitAdjCacheBoundsAndEvicts(t *testing.T) {
+	LimitAdjCache(2)
+	defer LimitAdjCache(0)
+
+	a, b, c := ringSubgraph(5), ringSubgraph(6), ringSubgraph(7)
+	na := AdjNormFor(a)
+	if AdjNormFor(a) != na {
+		t.Fatal("warm hit must return the cached operator")
+	}
+	if a.AdjCache() != nil {
+		t.Fatal("LRU mode must not pin operators on the subgraph")
+	}
+	AdjNormFor(b)
+	AdjNormFor(c) // capacity 2: evicts a (least recently used)
+	na2 := AdjNormFor(a)
+	if na2 == na {
+		t.Fatal("evicted entry should have been rebuilt")
+	}
+	if !reflect.DeepEqual(na.Indptr, na2.Indptr) || !reflect.DeepEqual(na.Indices, na2.Indices) ||
+		!reflect.DeepEqual(na.Coefs, na2.Coefs) {
+		t.Fatal("rebuilt operator must be identical to the evicted one")
+	}
+}
+
+func TestLimitAdjCachePrefersPinnedOperator(t *testing.T) {
+	// A subgraph that already pinned its operator (e.g. during training)
+	// keeps using it even with the LRU active.
+	sg := ringSubgraph(4)
+	pinned := AdjNormFor(sg) // pin-on-subgraph mode
+	LimitAdjCache(4)
+	defer LimitAdjCache(0)
+	if AdjNormFor(sg) != pinned {
+		t.Fatal("pinned operator must win over the LRU")
+	}
+}
+
+func TestLimitAdjCacheRestoreDefault(t *testing.T) {
+	LimitAdjCache(2)
+	LimitAdjCache(0)
+	sg := ringSubgraph(4)
+	a := AdjNormFor(sg)
+	if sg.AdjCache() == nil {
+		t.Fatal("default mode must pin the operator on the subgraph")
+	}
+	if AdjNormFor(sg) != a {
+		t.Fatal("pinned operator must be returned on the second call")
+	}
+}
+
+func TestLimitAdjCacheConcurrent(t *testing.T) {
+	LimitAdjCache(8)
+	defer LimitAdjCache(0)
+	sgs := []*hgraph.Subgraph{ringSubgraph(5), ringSubgraph(9), ringSubgraph(13)}
+	want := make([]*AdjNorm, len(sgs))
+	for i, sg := range sgs {
+		want[i] = AdjNormFor(sg)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sg := sgs[i%len(sgs)]
+				a := AdjNormFor(sg)
+				if a.N != sg.NumNodes() {
+					t.Error("wrong operator returned")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -101,11 +101,18 @@ func NewAdjNorm(sg *hgraph.Subgraph) *AdjNorm {
 // normalization runs once per subgraph instead of once per forward pass.
 // Safe for concurrent use: racing builders produce identical values
 // (NewAdjNorm is deterministic) and the last store wins.
+//
+// With LimitAdjCache active, operators for not-already-pinned subgraphs
+// come from the bounded shared LRU instead of being pinned, so a stream
+// of unique paper-scale subgraphs cannot grow the cache without bound.
 func AdjNormFor(sg *hgraph.Subgraph) *AdjNorm {
 	if v := sg.AdjCache(); v != nil {
 		if a, ok := v.(*AdjNorm); ok {
 			return a
 		}
+	}
+	if c := adjCache.Load(); c != nil {
+		return c.get(sg)
 	}
 	a := NewAdjNorm(sg)
 	sg.SetAdjCache(a)

@@ -144,6 +144,20 @@ func (g *Graph) BacktraceCtx(ctx context.Context, log *failurelog.Log, res *sim.
 	return g.subgraph(picked), nil
 }
 
+// SubgraphOf builds the induced subgraph (Table-II features) over the
+// given full-graph node IDs. It is the final stage of BacktraceCtx,
+// exported so the hierarchical backtrace (internal/hier) — which computes
+// the same picked-node set via region-partitioned BFS — can produce a
+// bitwise-identical subgraph. nodes must be in ascending order (the order
+// the relaxation loop emits) for the result to match the monolithic path.
+func (g *Graph) SubgraphOf(nodes []int32) *Subgraph { return g.subgraph(nodes) }
+
+// NodeTransitions reports whether pin node v switches under pattern k
+// (see nodeTransitions), exported for the hierarchical backtrace.
+func (g *Graph) NodeTransitions(res *sim.Result, v int32, k int) bool {
+	return g.nodeTransitions(res, v, k)
+}
+
 // subgraph builds the induced subgraph with Table-II features.
 func (g *Graph) subgraph(nodes []int32) *Subgraph {
 	local := make(map[int32]int32, len(nodes))

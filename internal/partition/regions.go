@@ -1,0 +1,335 @@
+package partition
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/par"
+)
+
+// This file implements k-way region partitioning for hierarchical
+// diagnosis (internal/hier): recursive proportional bisection with
+// Fiduccia–Mattheyses refinement restricted to each subset. Unlike the
+// tier assignment in Assign — which models the physical two-tier M3D
+// split and pins ports — region partitioning covers every gate (ports
+// included), because the hierarchical engine needs an owner region for
+// every node it may visit during back-tracing.
+//
+// The result is a pure function of (netlist, k, options): the initial
+// split orders gates by (topological level, ID) for locality, every FM
+// pass breaks ties deterministically, and the recursion tree is evaluated
+// breadth-first with index-ordered fan-out via internal/par, so any
+// worker count produces the identical assignment.
+
+// RegionOptions configures AssignRegions.
+type RegionOptions struct {
+	// BalanceTol is the allowed relative deviation of any region from the
+	// ideal size N/k. Default 0.1.
+	BalanceTol float64
+	// MaxPasses bounds FM passes per bisection. Default 3.
+	MaxPasses int
+	// Workers bounds the parallel evaluation of independent recursion
+	// branches (0 = all cores). The assignment is identical for any value.
+	Workers int
+}
+
+func (o RegionOptions) withDefaults() RegionOptions {
+	if o.BalanceTol == 0 {
+		o.BalanceTol = 0.1
+	}
+	if o.MaxPasses == 0 {
+		o.MaxPasses = 3
+	}
+	return o
+}
+
+// AssignRegions cuts the netlist's gates into k balanced regions with a
+// small hyperedge cut, by recursive proportional bisection with FM
+// refinement. It returns one region index in [0,k) per gate ID.
+func AssignRegions(n *netlist.Netlist, k int, opt RegionOptions) ([]int32, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: AssignRegions: k must be >= 1, got %d", k)
+	}
+	opt = opt.withDefaults()
+	out := make([]int32, len(n.Gates))
+	if k == 1 || len(n.Gates) == 0 {
+		return out, nil
+	}
+	// Locality-first ordering: gates at adjacent topological levels tend to
+	// share nets, so a contiguous split of this order is already a decent
+	// initial bisection for FM to polish.
+	ids := make([]int32, len(n.Gates))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ga, gb := n.Gates[ids[a]], n.Gates[ids[b]]
+		if ga.Level != gb.Level {
+			return ga.Level < gb.Level
+		}
+		return ids[a] < ids[b]
+	})
+	// Absolute per-bisection balance slack, sized so that the accumulated
+	// deviation over the full recursion depth stays within BalanceTol of
+	// the ideal region size.
+	depth := 0
+	for 1<<depth < k {
+		depth++
+	}
+	slack := int(opt.BalanceTol * float64(len(ids)) / float64(2*k*depth))
+	if slack < 1 {
+		slack = 1
+	}
+
+	type task struct {
+		ids  []int32
+		k    int
+		base int32
+	}
+	tasks := []task{{ids: ids, k: k, base: 0}}
+	for len(tasks) > 0 {
+		// One recursion level at a time; subsets at a level are disjoint, so
+		// their bisections are independent and run in parallel. Results are
+		// consumed in task order, keeping the assignment schedule-free.
+		type split struct{ left, right []int32 }
+		splits := par.Map(opt.Workers, len(tasks), func(i int) split {
+			t := tasks[i]
+			if t.k == 1 {
+				return split{}
+			}
+			kl := t.k / 2
+			left, right := bisect(n, t.ids, kl, t.k, slack, opt.MaxPasses)
+			return split{left: left, right: right}
+		})
+		var next []task
+		for i, t := range tasks {
+			if t.k == 1 {
+				for _, id := range t.ids {
+					out[id] = t.base
+				}
+				continue
+			}
+			kl := t.k / 2
+			next = append(next,
+				task{ids: splits[i].left, k: kl, base: t.base},
+				task{ids: splits[i].right, k: t.k - kl, base: t.base + int32(kl)})
+		}
+		tasks = next
+	}
+	return out, nil
+}
+
+// bisect splits ids into a left part of ~len(ids)*kl/k gates and the
+// remainder, refining the cut with FM passes under the balance window
+// target±slack. ids keep their incoming order in both halves so deeper
+// recursion levels inherit the locality ordering.
+func bisect(n *netlist.Netlist, ids []int32, kl, k, slack, maxPasses int) (left, right []int32) {
+	target := len(ids) * kl / k
+	if len(ids) < 2 || target == 0 || target == len(ids) {
+		return ids[:target], ids[target:]
+	}
+	f := newBisectState(n, ids, target, slack)
+	for pass := 0; pass < maxPasses; pass++ {
+		if f.pass() <= 0 {
+			break
+		}
+	}
+	left = make([]int32, 0, target)
+	right = make([]int32, 0, len(ids)-target)
+	for _, id := range ids {
+		if f.side[f.local[id]] == 0 {
+			left = append(left, id)
+		} else {
+			right = append(right, id)
+		}
+	}
+	return left, right
+}
+
+// bisectState is the FM state for one subset bisection. It mirrors
+// fmState but operates on local indices of the subset with nets clipped
+// to it: a net contributes affinity only through the pins that are inside
+// the subset (pins outside are immovable here and irrelevant to this cut).
+type bisectState struct {
+	side    []int8    // local index -> 0 (left) or 1 (right)
+	nets    [][]int32 // nets as local pin lists (>= 2 pins each)
+	count   [][2]int32
+	cellNet [][]int32
+	local   []int32 // gate ID -> local index (-1 outside subset)
+	ids     []int32
+	sideCnt [2]int
+	minL    int
+	maxL    int
+}
+
+func newBisectState(n *netlist.Netlist, ids []int32, target, slack int) *bisectState {
+	f := &bisectState{ids: ids}
+	f.local = make([]int32, len(n.Gates))
+	for i := range f.local {
+		f.local[i] = -1
+	}
+	for li, id := range ids {
+		f.local[id] = int32(li)
+	}
+	f.side = make([]int8, len(ids))
+	for li := target; li < len(ids); li++ {
+		f.side[li] = 1
+	}
+	f.sideCnt = [2]int{target, len(ids) - target}
+	f.minL, f.maxL = target-slack, target+slack
+	if f.minL < 1 {
+		f.minL = 1
+	}
+	if f.maxL > len(ids)-1 {
+		f.maxL = len(ids) - 1
+	}
+	f.cellNet = make([][]int32, len(ids))
+	// Every net in the design, clipped to the subset. Iterating the full
+	// netlist here is fine: the subsets of one recursion level partition
+	// the gate set, so a whole level costs one sweep of the edge list.
+	var pins []int32
+	for _, g := range n.Gates {
+		// Skip huge nets (hub/enable signals): they span many regions no
+		// matter where their pins land, so they carry no useful gain signal,
+		// and their quadratic pin handling would dominate the runtime.
+		if len(g.Fanout) == 0 || len(g.Fanout) > 64 {
+			continue
+		}
+		pins = pins[:0]
+		if li := f.local[g.ID]; li >= 0 {
+			pins = append(pins, li)
+		}
+		for _, s := range g.Fanout {
+			if li := f.local[s]; li >= 0 {
+				dup := false
+				for _, p := range pins {
+					if p == li {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					pins = append(pins, li)
+				}
+			}
+		}
+		if len(pins) < 2 {
+			continue
+		}
+		ni := int32(len(f.nets))
+		f.nets = append(f.nets, append([]int32(nil), pins...))
+		var cnt [2]int32
+		for _, p := range pins {
+			cnt[f.side[p]]++
+			f.cellNet[p] = append(f.cellNet[p], ni)
+		}
+		f.count = append(f.count, cnt)
+	}
+	return f
+}
+
+func (f *bisectState) gain(li int32) int {
+	s := f.side[li]
+	g := 0
+	for _, ni := range f.cellNet[li] {
+		if f.count[ni][s] == 1 {
+			g++
+		}
+		if f.count[ni][1-s] == 0 {
+			g--
+		}
+	}
+	return g
+}
+
+func (f *bisectState) applyMove(li int32) {
+	s := f.side[li]
+	for _, ni := range f.cellNet[li] {
+		f.count[ni][s]--
+		f.count[ni][1-s]++
+	}
+	f.sideCnt[s]--
+	f.sideCnt[1-s]++
+	f.side[li] = 1 - s
+}
+
+// pass performs one FM pass (best-gain moves under the balance window,
+// best-prefix rollback) and returns the realized cut improvement.
+func (f *bisectState) pass() int {
+	locked := make([]bool, len(f.ids))
+	h := make(gainHeap, 0, len(f.ids))
+	for li := range f.ids {
+		h = append(h, gainEntry{f.gain(int32(li)), li})
+	}
+	heap.Init(&h)
+	var moves []int32
+	cum, best, bestIdx := 0, 0, -1
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(gainEntry)
+		li := int32(e.id)
+		if locked[li] {
+			continue
+		}
+		if g := f.gain(li); g != e.gain {
+			heap.Push(&h, gainEntry{g, e.id}) // stale entry, reinsert fresh
+			continue
+		}
+		s := f.side[li]
+		// Moving off the left side shrinks it; keep it within the window.
+		newLeft := f.sideCnt[0]
+		if s == 0 {
+			newLeft--
+		} else {
+			newLeft++
+		}
+		if newLeft < f.minL || newLeft > f.maxL {
+			continue
+		}
+		f.applyMove(li)
+		locked[li] = true
+		moves = append(moves, li)
+		cum += e.gain
+		if cum > best {
+			best, bestIdx = cum, len(moves)-1
+		}
+		for _, ni := range f.cellNet[li] {
+			for _, p := range f.nets[ni] {
+				if !locked[p] {
+					heap.Push(&h, gainEntry{f.gain(p), int(p)})
+				}
+			}
+		}
+	}
+	for i := len(moves) - 1; i > bestIdx; i-- {
+		f.applyMove(moves[i])
+	}
+	return best
+}
+
+// RegionSizes counts the gates per region.
+func RegionSizes(regions []int32, k int) []int {
+	sizes := make([]int, k)
+	for _, r := range regions {
+		sizes[r]++
+	}
+	return sizes
+}
+
+// RegionCut counts nets (driver plus fanout) spanning more than one
+// region — the hyperedge cut the hierarchical engine pays for in
+// cross-region frontier hand-offs.
+func RegionCut(n *netlist.Netlist, regions []int32) int {
+	cut := 0
+	for _, g := range n.Gates {
+		r := regions[g.ID]
+		for _, s := range g.Fanout {
+			if regions[s] != r {
+				cut++
+				break
+			}
+		}
+	}
+	return cut
+}

@@ -1,0 +1,156 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// syntheticNetlist builds a levelized random DAG with locality: each gate
+// draws fanin from a sliding window of recent signals, plus a few flops
+// and ports, mimicking the structure of generated designs without paying
+// for full design generation in a unit test.
+func syntheticNetlist(t testing.TB, gates int, seed int64) *netlist.Netlist {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := netlist.New(fmt.Sprintf("synth_%d", gates))
+	var pool []int
+	for i := 0; i < 32; i++ {
+		pool = append(pool, n.AddGate(fmt.Sprintf("pi_%d", i), netlist.Input))
+	}
+	var ffs []int
+	for i := 0; i < 64; i++ {
+		id := n.AddGate(fmt.Sprintf("ff_%d", i), netlist.DFF)
+		ffs = append(ffs, id)
+		pool = append(pool, id)
+	}
+	types := []netlist.GateType{netlist.And, netlist.Or, netlist.Xor, netlist.Nand}
+	for i := 0; i < gates; i++ {
+		window := 256
+		lo := 0
+		if len(pool) > window {
+			lo = len(pool) - window
+		}
+		a := pool[lo+rng.Intn(len(pool)-lo)]
+		b := pool[lo+rng.Intn(len(pool)-lo)]
+		pool = append(pool, n.AddGate(fmt.Sprintf("g_%d", i), types[rng.Intn(len(types))], a, b))
+	}
+	// Make the design legal: flops get data, a PO observes the last signal.
+	for _, ff := range ffs {
+		back := 256
+		if back > len(pool) {
+			back = len(pool)
+		}
+		n.Connect(ff, pool[len(pool)-1-rng.Intn(back)])
+	}
+	n.AddGate("po_0", netlist.Output, pool[len(pool)-1])
+	if err := n.Levelize(); err != nil {
+		t.Fatalf("levelize: %v", err)
+	}
+	return n
+}
+
+func TestAssignRegionsBalanceAndCut(t *testing.T) {
+	n := syntheticNetlist(t, 20000, 7)
+	for _, k := range []int{2, 5, 8} {
+		regions, err := AssignRegions(n, k, RegionOptions{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		sizes := RegionSizes(regions, k)
+		ideal := float64(len(n.Gates)) / float64(k)
+		for r, s := range sizes {
+			if dev := float64(s)/ideal - 1; dev > 0.1 || dev < -0.1 {
+				t.Errorf("k=%d region %d: size %d deviates %.1f%% from ideal %.0f", k, r, s, dev*100, ideal)
+			}
+		}
+		// Every gate must have a region in range.
+		for id, r := range regions {
+			if r < 0 || int(r) >= k {
+				t.Fatalf("k=%d gate %d: region %d out of range", k, id, r)
+			}
+		}
+		// The refined cut must beat a round-robin assignment (no locality)
+		// by a wide margin, or FM refinement is not doing its job.
+		rr := make([]int32, len(n.Gates))
+		for i := range rr {
+			rr[i] = int32(i % k)
+		}
+		cut, rrCut := RegionCut(n, regions), RegionCut(n, rr)
+		if cut >= rrCut/2 {
+			t.Errorf("k=%d: refined cut %d not < half the round-robin cut %d", k, cut, rrCut)
+		}
+		t.Logf("k=%d: sizes %v cut %d (round-robin %d)", k, sizes, cut, rrCut)
+	}
+}
+
+// TestAssignRegionsScale checks the balance invariant holds at the scale
+// the hierarchical engine actually uses: a 100K+ gate graph cut into many
+// regions, in reasonable time.
+func TestAssignRegionsScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	n := syntheticNetlist(t, 120000, 11)
+	const k = 12
+	regions, err := AssignRegions(n, k, RegionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := RegionSizes(regions, k)
+	ideal := float64(len(n.Gates)) / float64(k)
+	for r, s := range sizes {
+		if dev := float64(s)/ideal - 1; dev > 0.1 || dev < -0.1 {
+			t.Errorf("region %d: size %d deviates %.1f%% from ideal %.0f", r, s, dev*100, ideal)
+		}
+	}
+	t.Logf("120K gates, k=%d: sizes %v cut %d", k, sizes, RegionCut(n, regions))
+}
+
+// TestAssignRegionsWorkerInvariance: the assignment must be bitwise
+// identical for every worker count (run under -race in CI).
+func TestAssignRegionsWorkerInvariance(t *testing.T) {
+	n := syntheticNetlist(t, 15000, 3)
+	base, err := AssignRegions(n, 6, RegionOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 7} {
+		got, err := AssignRegions(n, 6, RegionOptions{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d: assignment differs from workers=1", w)
+		}
+	}
+}
+
+func TestAssignRegionsDegenerate(t *testing.T) {
+	n := syntheticNetlist(t, 50, 1)
+	if _, err := AssignRegions(n, 0, RegionOptions{}); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	one, err := AssignRegions(n, 1, RegionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range one {
+		if r != 0 {
+			t.Fatal("k=1 must assign every gate to region 0")
+		}
+	}
+	// k larger than the gate count: valid, some regions simply stay empty.
+	many, err := AssignRegions(n, len(n.Gates)*2, RegionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, r := range many {
+		if int(r) >= len(n.Gates)*2 {
+			t.Fatalf("gate %d: region %d out of range", id, r)
+		}
+	}
+}

@@ -70,6 +70,10 @@ type Config struct {
 	// CheckpointEvery writes the manifest after this many completions
 	// (default 8; a final write always happens).
 	CheckpointEvery int
+	// MaxLogBytes caps individual failure-log file sizes (<= 0 applies the
+	// failurelog.MaxFileBytes default). Paper-scale designs produce
+	// legitimately larger logs; raise the cap rather than quarantining them.
+	MaxLogBytes int64
 	// Obs receives campaign telemetry (logs/sec, in-flight, quarantine
 	// counters); nil disables at zero cost.
 	Obs *obs.Registry
@@ -420,7 +424,7 @@ func (st *campaignState) diagnoseOne(ctx context.Context, d Diagnoser, path stri
 		}()
 		span := obs.Start(ctx, "volume.read")
 		defer span.End()
-		return failurelog.ReadFile(path)
+		return failurelog.ReadFileLimit(path, cfg.MaxLogBytes)
 	}()
 	if err != nil {
 		return &Result{Log: base, Status: StatusQuarantined, Reason: ReasonRead, Err: err.Error()}

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# hier_smoke.sh — CI integration check for hierarchical partitioned
+# diagnosis (internal/hier, DESIGN.md §15).
+#
+# Asserts the subsystem's contract end to end:
+#   1. Equivalence: forcing -hier on a small design produces a
+#      byte-identical m3ddiag report to the monolithic run.
+#   2. Paper scale: a ~300K-gate netcard-paper build diagnoses through
+#      the (auto-selected) hierarchical engine, each chip within 60s.
+#   3. Volume: a small campaign over the same 300K-gate design
+#      completes with every log diagnosed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== build"
+go build -o "$WORK/datagen" ./cmd/datagen
+go build -o "$WORK/m3ddiag" ./cmd/m3ddiag
+go build -o "$WORK/m3dvolume" ./cmd/m3dvolume
+
+echo "== equivalence: mono vs -hier reports must be byte-identical"
+# Timing and hier topology go to stderr, so stdout of the two runs must
+# match byte for byte (same build, same model, same chips).
+"$WORK/m3ddiag" -design aes -scale 0.2 -train-samples 40 -diagnose-samples 4 \
+  >"$WORK/mono.out" 2>/dev/null
+"$WORK/m3ddiag" -design aes -scale 0.2 -train-samples 40 -diagnose-samples 4 \
+  -hier -hier-regions 4 >"$WORK/hier.out" 2>/dev/null
+cmp "$WORK/mono.out" "$WORK/hier.out"
+"$WORK/m3ddiag" -design aes -scale 0.2 -train-samples 40 -diagnose-samples 4 \
+  -hier -hier-regions 7 -workers 3 >"$WORK/hier2.out" 2>/dev/null
+cmp "$WORK/mono.out" "$WORK/hier2.out"
+echo "mono == hier (4 regions) == hier (7 regions, 3 workers)"
+
+echo "== paper scale: 300K-gate hierarchical diagnosis within 60s/chip"
+"$WORK/m3ddiag" -design netcard-paper -fast-atpg \
+  -train-samples 6 -diagnose-samples 2 -save-model "$WORK/paper.fw" \
+  >"$WORK/paper.out" 2>"$WORK/paper.err"
+grep -q 'hierarchical diagnosis: [0-9]* regions' "$WORK/paper.err" || {
+  echo "paper-scale run did not route through the hierarchical engine:" >&2
+  cat "$WORK/paper.err" >&2; exit 1; }
+CHIPS="$(grep -c 'diagnosed in' "$WORK/paper.err" || true)"
+[ "$CHIPS" -eq 2 ] || { echo "expected 2 diagnosed chips, saw $CHIPS" >&2; exit 1; }
+awk '/diagnosed in/ {
+  secs=$NF; sub(/s$/, "", secs)
+  if (secs+0 > 60) { print "chip exceeded 60s: " $0; exit 1 }
+  print "  " $0
+}' "$WORK/paper.err"
+
+echo "== volume: small campaign over the 300K-gate design"
+"$WORK/datagen" -design netcard-paper -fast-atpg -samples 6 \
+  -out "$WORK/paperdata" >/dev/null
+"$WORK/m3dvolume" -logs "$WORK/paperdata" -campaign "$WORK/papercamp" \
+  -design netcard-paper -fast-atpg -load-model "$WORK/paper.fw" \
+  -workers 2 >"$WORK/vol.out"
+grep -q '"diagnosed": 6' "$WORK/papercamp/report.json" || {
+  echo "campaign did not diagnose all 6 paper-scale logs" >&2
+  head -5 "$WORK/papercamp/report.json" >&2; exit 1; }
+
+echo "hier smoke: OK"
